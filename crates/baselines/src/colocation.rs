@@ -1,0 +1,208 @@
+//! Co-location-based baseline (Hsieh et al. [22]): heuristic co-location
+//! features plus indirect linkage through a co-location graph, combined by a
+//! logistic model. A knowledge-based method — pairs without any co-location
+//! carry no signal and are always predicted non-friends (the paper notes the
+//! F1 of this method is undefined at zero common locations).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use seeker_graph::SocialGraph;
+use seeker_ml::{LogRegConfig, LogisticRegression, StandardScaler};
+use seeker_trace::{Dataset, PoiId, UserId, UserPair};
+
+use crate::common::{labeled_pairs, FriendshipInference};
+
+/// Configuration of the co-location baseline.
+#[derive(Debug, Clone)]
+pub struct ColocationConfig {
+    /// Non-friend calibration pairs per friend pair.
+    pub negative_ratio: f64,
+    /// Sampling / training seed.
+    pub seed: u64,
+}
+
+impl Default for ColocationConfig {
+    fn default() -> Self {
+        ColocationConfig { negative_ratio: 1.0, seed: 42 }
+    }
+}
+
+/// The trained co-location baseline.
+#[derive(Debug, Clone)]
+pub struct ColocationBaseline {
+    scaler: StandardScaler,
+    model: LogisticRegression,
+}
+
+/// Per-dataset context reused across pair featurizations.
+struct Context {
+    /// POIs visited by each user.
+    visited: Vec<BTreeSet<PoiId>>,
+    /// How many distinct users visited each POI (location popularity).
+    poi_visitors: BTreeMap<PoiId, usize>,
+    /// The co-location graph: an edge between users sharing ≥ 1 POI.
+    graph: SocialGraph,
+}
+
+impl Context {
+    fn build(ds: &Dataset) -> Context {
+        let visited = ds.all_visited_pois();
+        let mut poi_visitors: BTreeMap<PoiId, usize> = BTreeMap::new();
+        for set in &visited {
+            for &p in set {
+                *poi_visitors.entry(p).or_insert(0) += 1;
+            }
+        }
+        // Build the co-location graph via POI -> visitors inversion (cheaper
+        // than all-pairs intersection).
+        let mut poi_users: BTreeMap<PoiId, Vec<UserId>> = BTreeMap::new();
+        for (u, set) in visited.iter().enumerate() {
+            for &p in set {
+                poi_users.entry(p).or_default().push(UserId::new(u as u32));
+            }
+        }
+        let mut graph = SocialGraph::new(ds.n_users());
+        for users in poi_users.values() {
+            // Skip mega-popular locations: they link everyone to everyone
+            // and carry no friendship evidence (location-entropy intuition).
+            if users.len() > 50 {
+                continue;
+            }
+            for i in 0..users.len() {
+                for j in (i + 1)..users.len() {
+                    graph.add_edge(UserPair::new(users[i], users[j]));
+                }
+            }
+        }
+        Context { visited, poi_visitors, graph }
+    }
+
+    /// Heuristic features of one pair:
+    /// `[n_colocations, popularity-weighted colocations, min |Δt| at a shared
+    /// POI (days, capped), common co-location-graph neighbours]`.
+    fn features(&self, ds: &Dataset, pair: UserPair) -> Vec<f32> {
+        let (a, b) = pair.as_tuple();
+        let shared: Vec<PoiId> =
+            self.visited[a.index()].intersection(&self.visited[b.index()]).copied().collect();
+        let n_colo = shared.len() as f32;
+        let weighted: f32 = shared
+            .iter()
+            .map(|p| {
+                let pop = *self.poi_visitors.get(p).unwrap_or(&1) as f32;
+                1.0 / (1.0 + pop.ln())
+            })
+            .sum();
+        let min_gap_days = if shared.is_empty() {
+            30.0
+        } else {
+            let shared_set: BTreeSet<PoiId> = shared.iter().copied().collect();
+            let mut best = f64::INFINITY;
+            for ca in ds.trajectory(a) {
+                if !shared_set.contains(&ca.poi) {
+                    continue;
+                }
+                for cb in ds.trajectory(b) {
+                    if cb.poi == ca.poi {
+                        let gap = (ca.time.delta_secs(cb.time)).abs() as f64 / 86_400.0;
+                        best = best.min(gap);
+                    }
+                }
+            }
+            best.min(30.0) as f32
+        };
+        let common = seeker_graph::heuristics::common_neighbors(&self.graph, pair) as f32;
+        vec![n_colo, weighted, min_gap_days, common]
+    }
+}
+
+impl ColocationBaseline {
+    /// Trains the baseline on a labeled dataset.
+    pub fn fit(cfg: &ColocationConfig, train: &Dataset) -> Self {
+        let ctx = Context::build(train);
+        let (pairs, labels) = labeled_pairs(train, cfg.negative_ratio, cfg.seed);
+        let features: Vec<Vec<f32>> = pairs.iter().map(|&p| ctx.features(train, p)).collect();
+        let (scaler, scaled) = StandardScaler::fit_transform(&features);
+        let model = LogisticRegression::fit(&LogRegConfig::default(), &scaled, &labels);
+        ColocationBaseline { scaler, model }
+    }
+}
+
+impl FriendshipInference for ColocationBaseline {
+    fn name(&self) -> &'static str {
+        "co-location"
+    }
+
+    fn predict(&self, target: &Dataset, pairs: &[UserPair]) -> Vec<bool> {
+        let ctx = Context::build(target);
+        pairs
+            .iter()
+            .map(|&p| {
+                let f = ctx.features(target, p);
+                if f[0] == 0.0 {
+                    // No co-location: a knowledge-based method has nothing
+                    // to reason from.
+                    return false;
+                }
+                let mut row = f;
+                self.scaler.transform_row(&mut row);
+                self.model.predict_one(&row)
+            })
+            .collect()
+    }
+
+    fn scores(&self, target: &Dataset, pairs: &[UserPair]) -> Vec<f64> {
+        let ctx = Context::build(target);
+        pairs
+            .iter()
+            .map(|&p| {
+                let mut row = ctx.features(target, p);
+                if row[0] == 0.0 {
+                    return 0.0;
+                }
+                self.scaler.transform_row(&mut row);
+                self.model.predict_proba_one(&row) as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seeker_ml::BinaryMetrics;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+
+    #[test]
+    fn beats_chance_within_dataset() {
+        let ds = generate(&SyntheticConfig::small(81)).unwrap().dataset;
+        let model = ColocationBaseline::fit(&ColocationConfig::default(), &ds);
+        let (pairs, labels) = labeled_pairs(&ds, 1.0, 9);
+        let preds = model.predict(&ds, &pairs);
+        let m = BinaryMetrics::from_predictions(&preds, &labels);
+        assert!(m.f1() > 0.5, "colocation F1 {}", m.f1());
+    }
+
+    #[test]
+    fn never_predicts_pairs_without_colocation() {
+        let ds = generate(&SyntheticConfig::small(82)).unwrap().dataset;
+        let model = ColocationBaseline::fit(&ColocationConfig::default(), &ds);
+        let (pairs, _) = labeled_pairs(&ds, 1.0, 9);
+        let visited = ds.all_visited_pois();
+        let preds = model.predict(&ds, &pairs);
+        for (&pair, &pred) in pairs.iter().zip(preds.iter()) {
+            let shared = visited[pair.lo().index()]
+                .intersection(&visited[pair.hi().index()])
+                .count();
+            if shared == 0 {
+                assert!(!pred, "predicted friendship without any co-location");
+            }
+        }
+    }
+
+    #[test]
+    fn name_is_stable() {
+        let ds = generate(&SyntheticConfig::small(83)).unwrap().dataset;
+        let model = ColocationBaseline::fit(&ColocationConfig::default(), &ds);
+        assert_eq!(model.name(), "co-location");
+    }
+}

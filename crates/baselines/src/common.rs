@@ -1,0 +1,123 @@
+//! Shared infrastructure for the baseline attacks: the common inference
+//! trait, labeled-pair assembly and score-threshold calibration.
+
+use seeker_trace::{stats, Dataset, UserPair};
+
+/// A friendship-inference method that can be compared against FriendSeeker
+/// (Fig. 11–16 of the paper).
+pub trait FriendshipInference {
+    /// Human-readable method name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Predicts friendship for each candidate pair on the target dataset.
+    fn predict(&self, target: &Dataset, pairs: &[UserPair]) -> Vec<bool>;
+
+    /// Raw decision scores (higher = more likely friends). The default
+    /// derives ±1 from predictions; score-based methods override this.
+    fn scores(&self, target: &Dataset, pairs: &[UserPair]) -> Vec<f64> {
+        self.predict(target, pairs).into_iter().map(|p| if p { 1.0 } else { -1.0 }).collect()
+    }
+}
+
+/// A labeled pair sample: all friends plus `ratio ×` sampled non-friends.
+/// (Duplicated from the core crate's sampler to keep baselines free-standing.)
+pub fn labeled_pairs(ds: &Dataset, ratio: f64, seed: u64) -> (Vec<UserPair>, Vec<bool>) {
+    let mut pairs: Vec<UserPair> = ds.friendships().collect();
+    let n_pos = pairs.len();
+    let negatives =
+        stats::sample_non_friend_pairs(ds, ((n_pos as f64) * ratio).round() as usize, seed);
+    let mut labels = vec![true; n_pos];
+    labels.extend(std::iter::repeat_n(false, negatives.len()));
+    pairs.extend(negatives);
+    (pairs, labels)
+}
+
+/// Finds the score threshold maximizing F1 on a labeled calibration set:
+/// prediction is `score >= threshold`. Returns `(threshold, best_f1)`.
+///
+/// # Panics
+///
+/// Panics if inputs are empty or mismatched.
+pub fn best_f1_threshold(scores: &[f64], labels: &[bool]) -> (f64, f64) {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    assert!(!scores.is_empty(), "empty calibration set");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let total_pos = labels.iter().filter(|&&y| y).count();
+    let mut tp = 0usize;
+    let mut best = (f64::INFINITY, 0.0f64);
+    let mut k = 0usize;
+    while k < order.len() {
+        // Advance over ties so a threshold never splits equal scores.
+        let score = scores[order[k]];
+        while k < order.len() && scores[order[k]] == score {
+            if labels[order[k]] {
+                tp += 1;
+            }
+            k += 1;
+        }
+        let fp = k - tp;
+        let fn_ = total_pos - tp;
+        let f1 = if tp == 0 { 0.0 } else { 2.0 * tp as f64 / (2.0 * tp as f64 + fp as f64 + fn_ as f64) };
+        if f1 > best.1 {
+            best = (score, f1);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+
+    #[test]
+    fn labeled_pairs_balanced() {
+        let ds = generate(&SyntheticConfig::small(71)).unwrap().dataset;
+        let (pairs, labels) = labeled_pairs(&ds, 1.0, 3);
+        let pos = labels.iter().filter(|&&y| y).count();
+        assert_eq!(pos, ds.n_links());
+        assert_eq!(pairs.len(), labels.len());
+        assert!(pairs.len() >= 2 * pos - 1);
+    }
+
+    #[test]
+    fn threshold_finds_perfect_separation() {
+        let scores = vec![0.9, 0.8, 0.2, 0.1];
+        let labels = vec![true, true, false, false];
+        let (thr, f1) = best_f1_threshold(&scores, &labels);
+        assert_eq!(f1, 1.0);
+        assert!(thr <= 0.8 && thr > 0.2);
+    }
+
+    #[test]
+    fn threshold_handles_interleaved_scores() {
+        let scores = vec![0.9, 0.7, 0.8, 0.1];
+        let labels = vec![true, true, false, false];
+        let (_, f1) = best_f1_threshold(&scores, &labels);
+        // Best cut: top-3 -> tp=2 fp=1 fn=0 -> f1 = 4/5.
+        assert!((f1 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_with_ties_never_splits_them() {
+        let scores = vec![0.5, 0.5, 0.5, 0.5];
+        let labels = vec![true, false, true, false];
+        let (thr, f1) = best_f1_threshold(&scores, &labels);
+        assert_eq!(thr, 0.5);
+        // Everything predicted positive: tp=2 fp=2 fn=0 -> f1 = 2/3.
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_negative_labels_give_zero_f1() {
+        let (_, f1) = best_f1_threshold(&[0.3, 0.1], &[false, false]);
+        assert_eq!(f1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_calibration_panics() {
+        let _ = best_f1_threshold(&[], &[]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Distance-based baseline (Hsieh & Li [12]): each user is summarized by the
+//! check-in-frequency-weighted center of their visited POIs; pairs whose
+//! centers are close are declared friends. The distance threshold is
+//! calibrated for best F1 on the training dataset.
+
+use seeker_trace::{Dataset, GeoPoint, UserId, UserPair};
+
+use crate::common::{best_f1_threshold, labeled_pairs, FriendshipInference};
+
+/// Configuration of the distance baseline.
+#[derive(Debug, Clone)]
+pub struct DistanceConfig {
+    /// Non-friend calibration pairs per friend pair.
+    pub negative_ratio: f64,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for DistanceConfig {
+    fn default() -> Self {
+        DistanceConfig { negative_ratio: 1.0, seed: 42 }
+    }
+}
+
+/// The trained distance baseline (a single calibrated threshold, in meters).
+#[derive(Debug, Clone)]
+pub struct DistanceBaseline {
+    threshold_m: f64,
+}
+
+/// The check-in-frequency-weighted center location of a user.
+pub fn user_center(ds: &Dataset, user: UserId) -> Option<GeoPoint> {
+    let traj = ds.trajectory(user);
+    if traj.is_empty() {
+        return None;
+    }
+    let mut lat = 0.0f64;
+    let mut lon = 0.0f64;
+    for c in traj {
+        let p = ds.poi(c.poi).center;
+        lat += p.lat;
+        lon += p.lon;
+    }
+    let n = traj.len() as f64;
+    Some(GeoPoint::new(lat / n, lon / n))
+}
+
+fn center_distance_m(centers: &[Option<GeoPoint>], pair: UserPair) -> f64 {
+    match (centers[pair.lo().index()], centers[pair.hi().index()]) {
+        (Some(a), Some(b)) => a.planar_m(b),
+        // A user without check-ins has no center; treat as maximally far.
+        _ => f64::INFINITY,
+    }
+}
+
+impl DistanceBaseline {
+    /// Calibrates the distance threshold on a labeled dataset.
+    pub fn fit(cfg: &DistanceConfig, train: &Dataset) -> Self {
+        let centers: Vec<Option<GeoPoint>> = train.users().map(|u| user_center(train, u)).collect();
+        let (pairs, labels) = labeled_pairs(train, cfg.negative_ratio, cfg.seed);
+        // Score = −distance so that "higher = more likely friends".
+        let scores: Vec<f64> = pairs
+            .iter()
+            .map(|&p| {
+                let d = center_distance_m(&centers, p);
+                if d.is_finite() {
+                    -d
+                } else {
+                    -1e12
+                }
+            })
+            .collect();
+        let (thr, _) = best_f1_threshold(&scores, &labels);
+        DistanceBaseline { threshold_m: -thr }
+    }
+
+    /// The calibrated threshold in meters.
+    pub fn threshold_m(&self) -> f64 {
+        self.threshold_m
+    }
+}
+
+impl FriendshipInference for DistanceBaseline {
+    fn name(&self) -> &'static str {
+        "distance"
+    }
+
+    fn predict(&self, target: &Dataset, pairs: &[UserPair]) -> Vec<bool> {
+        let centers: Vec<Option<GeoPoint>> =
+            target.users().map(|u| user_center(target, u)).collect();
+        pairs.iter().map(|&p| center_distance_m(&centers, p) <= self.threshold_m).collect()
+    }
+
+    fn scores(&self, target: &Dataset, pairs: &[UserPair]) -> Vec<f64> {
+        let centers: Vec<Option<GeoPoint>> =
+            target.users().map(|u| user_center(target, u)).collect();
+        pairs
+            .iter()
+            .map(|&p| {
+                let d = center_distance_m(&centers, p);
+                if d.is_finite() {
+                    -d
+                } else {
+                    -1e12
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seeker_ml::BinaryMetrics;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+
+    #[test]
+    fn center_is_mean_of_visits() {
+        use seeker_trace::{DatasetBuilder, Timestamp};
+        let mut b = DatasetBuilder::new("c");
+        let p1 = b.add_poi(GeoPoint::new(0.0, 0.0), 1.0);
+        let p2 = b.add_poi(GeoPoint::new(2.0, 2.0), 1.0);
+        b.add_checkin(1, p1, Timestamp::from_secs(0));
+        b.add_checkin(1, p2, Timestamp::from_secs(1));
+        let ds = b.build().unwrap();
+        let c = user_center(&ds, UserId::new(0)).unwrap();
+        assert!((c.lat - 1.0).abs() < 1e-9);
+        assert!((c.lon - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibrated_threshold_is_positive_and_finite() {
+        let ds = generate(&SyntheticConfig::small(91)).unwrap().dataset;
+        let model = DistanceBaseline::fit(&DistanceConfig::default(), &ds);
+        assert!(model.threshold_m().is_finite());
+        assert!(model.threshold_m() > 0.0);
+    }
+
+    #[test]
+    fn beats_chance_within_dataset() {
+        // Same-community friends live near each other, so distance carries
+        // real (if weak) signal on the synthetic data.
+        let ds = generate(&SyntheticConfig::small(92)).unwrap().dataset;
+        let model = DistanceBaseline::fit(&DistanceConfig::default(), &ds);
+        let (pairs, labels) = labeled_pairs(&ds, 1.0, 5);
+        let preds = model.predict(&ds, &pairs);
+        let m = BinaryMetrics::from_predictions(&preds, &labels);
+        assert!(m.f1() > 0.5, "distance F1 {}", m.f1());
+    }
+
+    #[test]
+    fn scores_are_negative_distances() {
+        let ds = generate(&SyntheticConfig::small(93)).unwrap().dataset;
+        let model = DistanceBaseline::fit(&DistanceConfig::default(), &ds);
+        let (pairs, _) = labeled_pairs(&ds, 1.0, 5);
+        for s in model.scores(&ds, &pairs[..10.min(pairs.len())]) {
+            assert!(s <= 0.0);
+        }
+    }
+}

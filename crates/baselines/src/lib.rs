@@ -1,0 +1,36 @@
+//! # seeker-baselines
+//!
+//! The four baseline friendship-inference attacks the paper compares
+//! against (§IV-A), implemented from scratch on the shared substrates:
+//!
+//! - **co-location** (knowledge-based, Hsieh et al.): heuristic co-location
+//!   features + indirect linkage through a co-location graph;
+//! - **distance** (knowledge-based, Hsieh & Li): check-in-weighted user
+//!   centers and a calibrated distance threshold;
+//! - **walk2friends** (learning-based, Backes et al.): skip-gram over random
+//!   walks on the user–location bipartite graph;
+//! - **user-graph embedding** (learning-based, Yu et al.): skip-gram over
+//!   weighted walks on a location-aware meeting graph;
+//! - **pgt** (knowledge-based, Wang et al. — the paper's reference [5]):
+//!   personal × global × temporal meeting significance, provided as an
+//!   extra comparison point beyond the paper's four.
+//!
+//! All implement [`FriendshipInference`] so the experiment harness can sweep
+//! them uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod colocation;
+pub mod common;
+mod distance;
+mod pgt;
+mod user_graph;
+mod walk2friends;
+
+pub use colocation::{ColocationBaseline, ColocationConfig};
+pub use common::FriendshipInference;
+pub use distance::{user_center, DistanceBaseline, DistanceConfig};
+pub use pgt::{PgtBaseline, PgtConfig};
+pub use user_graph::{meeting_graph, UserGraphConfig, UserGraphEmbedding};
+pub use walk2friends::{Walk2Friends, Walk2FriendsConfig};

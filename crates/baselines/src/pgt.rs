@@ -1,0 +1,279 @@
+//! PGT baseline (Wang, Li & Lee, ICDM 2014 — reference [5] of the paper):
+//! scores each *meeting* of a user pair by **P**ersonal, **G**lobal and
+//! **T**emporal factors and sums them into a social-tie strength.
+//!
+//! - Personal: meeting at a place either user rarely visits is more
+//!   significant (`−ln f_a(l) − ln f_b(l)` over visit fractions).
+//! - Global: meetings at low-entropy (private) places are more significant
+//!   (`e^{−ρ·H(l)}` over the location entropy).
+//! - Temporal: bursts of meetings within a short window carry shared
+//!   information; repeated meetings are discounted exponentially in their
+//!   temporal proximity to the previous one.
+//!
+//! The decision threshold is calibrated for best F1 on the training world,
+//! as for the other knowledge-based baselines.
+
+use std::collections::BTreeMap;
+
+use seeker_trace::mobility::location_entropies;
+use seeker_trace::{Dataset, PoiId, UserPair};
+
+use crate::common::{best_f1_threshold, labeled_pairs, FriendshipInference};
+
+/// Configuration of the PGT baseline.
+#[derive(Debug, Clone)]
+pub struct PgtConfig {
+    /// Two check-ins at the same POI within this window are a meeting.
+    pub meeting_window_secs: i64,
+    /// Entropy discount exponent ρ of the global factor.
+    pub rho: f64,
+    /// Time constant (seconds) of the temporal discount between consecutive
+    /// meetings of the same pair.
+    pub temporal_tau_secs: f64,
+    /// Non-friend calibration pairs per friend pair.
+    pub negative_ratio: f64,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for PgtConfig {
+    fn default() -> Self {
+        PgtConfig {
+            meeting_window_secs: 6 * 3_600,
+            rho: 1.0,
+            temporal_tau_secs: 12.0 * 3_600.0,
+            negative_ratio: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// The trained PGT baseline.
+#[derive(Debug, Clone)]
+pub struct PgtBaseline {
+    cfg: PgtConfig,
+    threshold: f64,
+}
+
+/// One meeting event of a pair.
+#[derive(Debug, Clone, Copy)]
+struct Meeting {
+    time: i64,
+    poi: PoiId,
+}
+
+/// All pairwise meetings plus the per-user visit fractions the personal
+/// factor needs.
+struct Context {
+    meetings: BTreeMap<UserPair, Vec<Meeting>>,
+    /// `visit_fraction[(user, poi)] = visits(user, poi) / visits(user)`.
+    visit_fraction: BTreeMap<(u32, PoiId), f64>,
+    entropy: BTreeMap<PoiId, f64>,
+}
+
+impl Context {
+    fn build(cfg: &PgtConfig, ds: &Dataset) -> Context {
+        let mut poi_events: BTreeMap<PoiId, Vec<(i64, u32)>> = BTreeMap::new();
+        let mut user_visits: BTreeMap<(u32, PoiId), u32> = BTreeMap::new();
+        let mut user_totals: BTreeMap<u32, u32> = BTreeMap::new();
+        for c in ds.checkins() {
+            poi_events.entry(c.poi).or_default().push((c.time.as_secs(), c.user.raw()));
+            *user_visits.entry((c.user.raw(), c.poi)).or_insert(0) += 1;
+            *user_totals.entry(c.user.raw()).or_insert(0) += 1;
+        }
+        let mut meetings: BTreeMap<UserPair, Vec<Meeting>> = BTreeMap::new();
+        for (&poi, events) in poi_events.iter_mut() {
+            events.sort_unstable();
+            for i in 0..events.len() {
+                let (ti, ui) = events[i];
+                for &(tj, uj) in events.iter().skip(i + 1) {
+                    if tj - ti > cfg.meeting_window_secs {
+                        break;
+                    }
+                    if ui == uj {
+                        continue;
+                    }
+                    let pair = UserPair::new(
+                        seeker_trace::UserId::new(ui),
+                        seeker_trace::UserId::new(uj),
+                    );
+                    meetings.entry(pair).or_default().push(Meeting { time: ti.min(tj), poi });
+                }
+            }
+        }
+        let visit_fraction = user_visits
+            .into_iter()
+            .map(|((u, p), v)| ((u, p), v as f64 / user_totals[&u] as f64))
+            .collect();
+        Context { meetings, visit_fraction, entropy: location_entropies(ds) }
+    }
+
+    fn score(&self, cfg: &PgtConfig, pair: UserPair) -> f64 {
+        let Some(meetings) = self.meetings.get(&pair) else {
+            return 0.0;
+        };
+        let mut sorted = meetings.clone();
+        sorted.sort_by_key(|m| m.time);
+        let mut total = 0.0f64;
+        let mut last_time: Option<i64> = None;
+        for m in &sorted {
+            let fa = self
+                .visit_fraction
+                .get(&(pair.lo().raw(), m.poi))
+                .copied()
+                .unwrap_or(1e-6)
+                .max(1e-6);
+            let fb = self
+                .visit_fraction
+                .get(&(pair.hi().raw(), m.poi))
+                .copied()
+                .unwrap_or(1e-6)
+                .max(1e-6);
+            let personal = -(fa.ln()) - fb.ln();
+            let h = self.entropy.get(&m.poi).copied().unwrap_or(0.0);
+            let global = (-cfg.rho * h).exp();
+            let temporal = match last_time {
+                None => 1.0,
+                Some(t) => {
+                    let gap = (m.time - t).max(0) as f64;
+                    1.0 - (-gap / cfg.temporal_tau_secs).exp()
+                }
+            };
+            total += personal * global * temporal.max(0.05);
+            last_time = Some(m.time);
+        }
+        total
+    }
+}
+
+impl PgtBaseline {
+    /// Calibrates the PGT score threshold on a labeled dataset.
+    pub fn fit(cfg: &PgtConfig, train: &Dataset) -> Self {
+        let ctx = Context::build(cfg, train);
+        let (pairs, labels) = labeled_pairs(train, cfg.negative_ratio, cfg.seed);
+        let scores: Vec<f64> = pairs.iter().map(|&p| ctx.score(cfg, p)).collect();
+        let (threshold, _) = best_f1_threshold(&scores, &labels);
+        PgtBaseline { cfg: cfg.clone(), threshold }
+    }
+
+    /// The calibrated score threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl FriendshipInference for PgtBaseline {
+    fn name(&self) -> &'static str {
+        "pgt"
+    }
+
+    fn predict(&self, target: &Dataset, pairs: &[UserPair]) -> Vec<bool> {
+        let ctx = Context::build(&self.cfg, target);
+        pairs.iter().map(|&p| ctx.score(&self.cfg, p) >= self.threshold).collect()
+    }
+
+    fn scores(&self, target: &Dataset, pairs: &[UserPair]) -> Vec<f64> {
+        let ctx = Context::build(&self.cfg, target);
+        pairs.iter().map(|&p| ctx.score(&self.cfg, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seeker_ml::BinaryMetrics;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+    use seeker_trace::{DatasetBuilder, GeoPoint, Timestamp, UserId};
+
+    #[test]
+    fn meetings_at_private_places_score_higher() {
+        let cfg = PgtConfig::default();
+        let mut b = DatasetBuilder::new("p");
+        let private = b.add_poi(GeoPoint::new(0.0, 0.0), 1.0);
+        let airport = b.add_poi(GeoPoint::new(1.0, 1.0), 1.0);
+        // Pair (1, 2) meets at a private place; pair (3, 4) meets at the
+        // airport along with everyone else.
+        b.add_checkin(1, private, Timestamp::from_secs(0));
+        b.add_checkin(2, private, Timestamp::from_secs(600));
+        b.add_checkin(1, airport, Timestamp::from_secs(1_000_000));
+        b.add_checkin(2, airport, Timestamp::from_secs(2_000_000));
+        for u in 3..=9u64 {
+            b.add_checkin(u, airport, Timestamp::from_secs(100 + u as i64 * 60));
+            b.add_checkin(u, airport, Timestamp::from_secs(3_000_000 + u as i64));
+        }
+        let ds = b.build().unwrap();
+        let ctx = Context::build(&cfg, &ds);
+        let private_pair = UserPair::new(UserId::new(0), UserId::new(1));
+        let airport_pair = UserPair::new(UserId::new(2), UserId::new(3));
+        let s_private = ctx.score(&cfg, private_pair);
+        let s_airport = ctx.score(&cfg, airport_pair);
+        assert!(
+            s_private > s_airport,
+            "private meeting {s_private} must outscore airport meeting {s_airport}"
+        );
+    }
+
+    #[test]
+    fn no_meetings_scores_zero() {
+        let cfg = PgtConfig::default();
+        let mut b = DatasetBuilder::new("z");
+        let p0 = b.add_poi(GeoPoint::new(0.0, 0.0), 1.0);
+        let p1 = b.add_poi(GeoPoint::new(1.0, 1.0), 1.0);
+        b.add_checkin(1, p0, Timestamp::from_secs(0));
+        b.add_checkin(1, p0, Timestamp::from_secs(1));
+        b.add_checkin(2, p1, Timestamp::from_secs(0));
+        b.add_checkin(2, p1, Timestamp::from_secs(1));
+        let ds = b.build().unwrap();
+        let ctx = Context::build(&cfg, &ds);
+        assert_eq!(ctx.score(&cfg, UserPair::new(UserId::new(0), UserId::new(1))), 0.0);
+    }
+
+    #[test]
+    fn burst_meetings_are_discounted() {
+        let cfg = PgtConfig::default();
+        let build = |gap: i64| -> f64 {
+            let mut b = DatasetBuilder::new("t");
+            let p = b.add_poi(GeoPoint::new(0.0, 0.0), 1.0);
+            let q = b.add_poi(GeoPoint::new(1.0, 1.0), 1.0);
+            // Two meetings separated by `gap` seconds...
+            b.add_checkin(1, p, Timestamp::from_secs(0));
+            b.add_checkin(2, p, Timestamp::from_secs(1));
+            b.add_checkin(1, p, Timestamp::from_secs(gap));
+            b.add_checkin(2, p, Timestamp::from_secs(gap + 1));
+            // ... plus solo visits elsewhere so the visit fractions at `p`
+            // are < 1 and the personal factor is non-zero.
+            for t in 0..4 {
+                b.add_checkin(1, q, Timestamp::from_secs(5_000_000 + t));
+                b.add_checkin(2, q, Timestamp::from_secs(6_000_000 + t));
+            }
+            let ds = b.build().unwrap();
+            let ctx = Context::build(&cfg, &ds);
+            ctx.score(&cfg, UserPair::new(UserId::new(0), UserId::new(1)))
+        };
+        // Note: the 10-minute burst produces *more* raw meeting events
+        // (cross-products within the window), so the temporal discount must
+        // overcome a 2× event-count handicap to pass this test.
+        let burst = build(600); // ten minutes apart
+        let spread = build(7 * 86_400); // a week apart
+        assert!(spread > burst, "spread {spread} must outscore burst {burst}");
+    }
+
+    #[test]
+    fn beats_chance_within_dataset() {
+        let ds = generate(&SyntheticConfig::small(171)).unwrap().dataset;
+        let model = PgtBaseline::fit(&PgtConfig::default(), &ds);
+        let (pairs, labels) = labeled_pairs(&ds, 1.0, 5);
+        let preds = model.predict(&ds, &pairs);
+        let m = BinaryMetrics::from_predictions(&preds, &labels);
+        assert!(m.f1() > 0.55, "pgt F1 {}", m.f1());
+        assert_eq!(model.name(), "pgt");
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let ds = generate(&SyntheticConfig::small(172)).unwrap().dataset;
+        let a = PgtBaseline::fit(&PgtConfig::default(), &ds);
+        let b = PgtBaseline::fit(&PgtConfig::default(), &ds);
+        assert_eq!(a.threshold(), b.threshold());
+    }
+}

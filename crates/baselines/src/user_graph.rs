@@ -1,0 +1,242 @@
+//! User-graph embedding baseline (Yu et al. [11]): a *meeting graph* whose
+//! edge weights are location-aware meeting frequencies (meetings at popular
+//! places count less), embedded by weighted random walks + skip-gram, with a
+//! cosine threshold calibrated on the training dataset.
+
+use std::collections::BTreeMap;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use seeker_nn::embedding::{cosine_similarity, train_skipgram, SkipGramConfig};
+use seeker_trace::{Dataset, PoiId, UserPair};
+
+use crate::common::{best_f1_threshold, labeled_pairs, FriendshipInference};
+
+/// Configuration of the user-graph embedding baseline.
+#[derive(Debug, Clone)]
+pub struct UserGraphConfig {
+    /// Two check-ins at the same POI within this window are a *meeting*.
+    pub meeting_window_secs: i64,
+    /// Walks started from every user.
+    pub walks_per_user: usize,
+    /// Walk length (user nodes).
+    pub walk_length: usize,
+    /// Skip-gram settings.
+    pub skipgram: SkipGramConfig,
+    /// Non-friend calibration pairs per friend pair.
+    pub negative_ratio: f64,
+    /// Walk / sampling seed.
+    pub seed: u64,
+}
+
+impl Default for UserGraphConfig {
+    fn default() -> Self {
+        UserGraphConfig {
+            meeting_window_secs: 6 * 3_600,
+            walks_per_user: 10,
+            walk_length: 12,
+            skipgram: SkipGramConfig { dim: 64, window: 3, negatives: 5, epochs: 2, lr: 0.025, seed: 42 },
+            negative_ratio: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// The trained user-graph baseline.
+#[derive(Debug, Clone)]
+pub struct UserGraphEmbedding {
+    cfg: UserGraphConfig,
+    threshold: f64,
+}
+
+/// Builds the weighted meeting graph: `weights[u]` is the adjacency list of
+/// `(neighbor, weight)` with weights = Σ over meetings of `1 / ln(e + pop)`.
+pub fn meeting_graph(cfg: &UserGraphConfig, ds: &Dataset) -> Vec<Vec<(u32, f32)>> {
+    // Per-POI time-sorted visit lists.
+    let mut poi_events: BTreeMap<PoiId, Vec<(i64, u32)>> = BTreeMap::new();
+    for c in ds.checkins() {
+        poi_events.entry(c.poi).or_default().push((c.time.as_secs(), c.user.raw()));
+    }
+    let mut weights: BTreeMap<(u32, u32), f32> = BTreeMap::new();
+    for events in poi_events.values_mut() {
+        events.sort_unstable();
+        let visitors = events.iter().map(|&(_, u)| u).collect::<std::collections::BTreeSet<_>>();
+        let pop = visitors.len() as f32;
+        let w = 1.0 / (std::f32::consts::E + pop).ln();
+        // Sliding window over time-sorted events.
+        for i in 0..events.len() {
+            let (ti, ui) = events[i];
+            for &(tj, uj) in events.iter().skip(i + 1) {
+                if tj - ti > cfg.meeting_window_secs {
+                    break;
+                }
+                if ui == uj {
+                    continue;
+                }
+                let key = if ui < uj { (ui, uj) } else { (uj, ui) };
+                *weights.entry(key).or_insert(0.0) += w;
+            }
+        }
+    }
+    let mut adj: Vec<Vec<(u32, f32)>> = vec![Vec::new(); ds.n_users()];
+    for (&(a, b), &w) in &weights {
+        adj[a as usize].push((b, w));
+        adj[b as usize].push((a, w));
+    }
+    adj
+}
+
+/// Embeds users by weighted random walks over the meeting graph.
+pub fn user_embeddings(cfg: &UserGraphConfig, ds: &Dataset) -> Vec<Vec<f32>> {
+    let adj = meeting_graph(cfg, ds);
+    let n = ds.n_users();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut walks: Vec<Vec<usize>> = Vec::new();
+    for start in 0..n {
+        if adj[start].is_empty() {
+            continue;
+        }
+        for _ in 0..cfg.walks_per_user {
+            let mut walk = Vec::with_capacity(cfg.walk_length);
+            let mut at = start;
+            walk.push(at);
+            while walk.len() < cfg.walk_length {
+                let nbrs = &adj[at];
+                if nbrs.is_empty() {
+                    break;
+                }
+                let total: f32 = nbrs.iter().map(|&(_, w)| w).sum();
+                let mut target = rng.gen::<f32>() * total;
+                let mut chosen = nbrs[nbrs.len() - 1].0;
+                for &(v, w) in nbrs {
+                    target -= w;
+                    if target <= 0.0 {
+                        chosen = v;
+                        break;
+                    }
+                }
+                at = chosen as usize;
+                walk.push(at);
+            }
+            walks.push(walk);
+        }
+    }
+    train_skipgram(&walks, n, &cfg.skipgram)
+}
+
+impl UserGraphEmbedding {
+    /// Trains (calibrates) the baseline on a labeled dataset.
+    pub fn fit(cfg: &UserGraphConfig, train: &Dataset) -> Self {
+        let emb = user_embeddings(cfg, train);
+        let (pairs, labels) = labeled_pairs(train, cfg.negative_ratio, cfg.seed);
+        let scores: Vec<f64> = pairs.iter().map(|&p| pair_score(&emb, p)).collect();
+        let (threshold, _) = best_f1_threshold(&scores, &labels);
+        UserGraphEmbedding { cfg: cfg.clone(), threshold }
+    }
+
+    /// The calibrated cosine threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+fn pair_score(emb: &[Vec<f32>], pair: UserPair) -> f64 {
+    cosine_similarity(&emb[pair.lo().index()], &emb[pair.hi().index()]) as f64
+}
+
+impl FriendshipInference for UserGraphEmbedding {
+    fn name(&self) -> &'static str {
+        "user-graph embedding"
+    }
+
+    fn predict(&self, target: &Dataset, pairs: &[UserPair]) -> Vec<bool> {
+        let emb = user_embeddings(&self.cfg, target);
+        pairs.iter().map(|&p| pair_score(&emb, p) >= self.threshold).collect()
+    }
+
+    fn scores(&self, target: &Dataset, pairs: &[UserPair]) -> Vec<f64> {
+        let emb = user_embeddings(&self.cfg, target);
+        pairs.iter().map(|&p| pair_score(&emb, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seeker_ml::BinaryMetrics;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+    use seeker_trace::UserId;
+
+    #[test]
+    fn meeting_graph_is_symmetric_and_weighted() {
+        let ds = generate(&SyntheticConfig::small(101)).unwrap().dataset;
+        let adj = meeting_graph(&UserGraphConfig::default(), &ds);
+        assert_eq!(adj.len(), ds.n_users());
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &(v, w) in nbrs {
+                assert!(w > 0.0);
+                let back = &adj[v as usize];
+                let found = back.iter().find(|&&(x, _)| x as usize == u).expect("symmetric");
+                assert_eq!(found.1, w);
+            }
+        }
+    }
+
+    #[test]
+    fn covisiting_friends_meet() {
+        let ds = generate(&SyntheticConfig::small(102)).unwrap().dataset;
+        let adj = meeting_graph(&UserGraphConfig::default(), &ds);
+        // At least some ground-truth friend pairs must share a meeting edge
+        // (the generator creates co-visits within a 45-minute jitter).
+        let mut met = 0;
+        for pair in ds.friendships() {
+            if adj[pair.lo().index()].iter().any(|&(v, _)| v == pair.hi().raw()) {
+                met += 1;
+            }
+        }
+        assert!(met * 2 > ds.n_links(), "most friends should meet: {met}/{}", ds.n_links());
+    }
+
+    #[test]
+    fn beats_chance_within_dataset() {
+        let ds = generate(&SyntheticConfig::small(103)).unwrap().dataset;
+        let model = UserGraphEmbedding::fit(&UserGraphConfig::default(), &ds);
+        let (pairs, labels) = labeled_pairs(&ds, 1.0, 5);
+        let preds = model.predict(&ds, &pairs);
+        let m = BinaryMetrics::from_predictions(&preds, &labels);
+        assert!(m.f1() > 0.55, "user-graph F1 {}", m.f1());
+        assert_eq!(model.name(), "user-graph embedding");
+    }
+
+    #[test]
+    fn isolated_users_get_no_meetings() {
+        use seeker_trace::{DatasetBuilder, GeoPoint, Timestamp};
+        let mut b = DatasetBuilder::new("iso");
+        let p0 = b.add_poi(GeoPoint::new(0.0, 0.0), 1.0);
+        let p1 = b.add_poi(GeoPoint::new(1.0, 1.0), 1.0);
+        // Two users, different POIs -> no meetings at all.
+        b.add_checkin(1, p0, Timestamp::from_secs(0));
+        b.add_checkin(1, p0, Timestamp::from_secs(10));
+        b.add_checkin(2, p1, Timestamp::from_secs(0));
+        b.add_checkin(2, p1, Timestamp::from_secs(10));
+        let ds = b.build().unwrap();
+        let adj = meeting_graph(&UserGraphConfig::default(), &ds);
+        assert!(adj[UserId::new(0).index()].is_empty());
+        assert!(adj[UserId::new(1).index()].is_empty());
+    }
+
+    #[test]
+    fn meetings_respect_time_window() {
+        use seeker_trace::{DatasetBuilder, GeoPoint, Timestamp};
+        let mut b = DatasetBuilder::new("win");
+        let p = b.add_poi(GeoPoint::new(0.0, 0.0), 1.0);
+        // Same POI but 10 days apart: not a meeting with a 6h window.
+        b.add_checkin(1, p, Timestamp::from_secs(0));
+        b.add_checkin(1, p, Timestamp::from_secs(5));
+        b.add_checkin(2, p, Timestamp::from_days(10.0));
+        b.add_checkin(2, p, Timestamp::from_days(10.1));
+        let ds = b.build().unwrap();
+        let adj = meeting_graph(&UserGraphConfig::default(), &ds);
+        assert!(adj.iter().all(|n| n.is_empty()));
+    }
+}

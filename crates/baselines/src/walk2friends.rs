@@ -1,0 +1,188 @@
+//! walk2friends baseline (Backes et al. [10]): random walks on the
+//! user–location bipartite graph, skip-gram embeddings of the walk corpus,
+//! and a cosine-similarity threshold calibrated on the training dataset.
+
+use std::collections::BTreeMap;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use seeker_nn::embedding::{cosine_similarity, train_skipgram, SkipGramConfig};
+use seeker_trace::{Dataset, PoiId, UserPair};
+
+use crate::common::{best_f1_threshold, labeled_pairs, FriendshipInference};
+
+/// Configuration of walk2friends.
+#[derive(Debug, Clone)]
+pub struct Walk2FriendsConfig {
+    /// Random walks started from every user node.
+    pub walks_per_user: usize,
+    /// Walk length in nodes (alternating user/location).
+    pub walk_length: usize,
+    /// Skip-gram settings.
+    pub skipgram: SkipGramConfig,
+    /// Non-friend calibration pairs per friend pair.
+    pub negative_ratio: f64,
+    /// Walk / sampling seed.
+    pub seed: u64,
+}
+
+impl Default for Walk2FriendsConfig {
+    fn default() -> Self {
+        Walk2FriendsConfig {
+            walks_per_user: 10,
+            walk_length: 20,
+            skipgram: SkipGramConfig { dim: 64, window: 3, negatives: 5, epochs: 2, lr: 0.025, seed: 42 },
+            negative_ratio: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// The trained walk2friends baseline (a calibrated similarity threshold).
+#[derive(Debug, Clone)]
+pub struct Walk2Friends {
+    cfg: Walk2FriendsConfig,
+    threshold: f64,
+}
+
+/// Computes user embeddings on a dataset by bipartite random walks.
+///
+/// Node index space: users `0..U`, then one index per *visited* POI.
+pub fn user_embeddings(cfg: &Walk2FriendsConfig, ds: &Dataset) -> Vec<Vec<f32>> {
+    let n_users = ds.n_users();
+    // user -> visited pois (with multiplicity = visit counts for natural
+    // walk bias toward frequent places).
+    let user_pois: Vec<Vec<PoiId>> = ds
+        .users()
+        .map(|u| ds.trajectory(u).iter().map(|c| c.poi).collect())
+        .collect();
+    let mut poi_index: BTreeMap<PoiId, usize> = BTreeMap::new();
+    let mut poi_users: Vec<Vec<u32>> = Vec::new();
+    for (u, pois) in user_pois.iter().enumerate() {
+        for &p in pois {
+            let next_index = n_users + poi_index.len();
+            let idx = *poi_index.entry(p).or_insert(next_index);
+            poi_users.resize(poi_users.len().max(idx - n_users + 1), Vec::new());
+            poi_users[idx - n_users].push(u as u32);
+        }
+    }
+    let n_nodes = n_users + poi_index.len();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut walks: Vec<Vec<usize>> = Vec::with_capacity(n_users * cfg.walks_per_user);
+    for u in 0..n_users {
+        if user_pois[u].is_empty() {
+            continue;
+        }
+        for _ in 0..cfg.walks_per_user {
+            let mut walk = Vec::with_capacity(cfg.walk_length);
+            let mut at_user = u;
+            walk.push(at_user);
+            while walk.len() < cfg.walk_length {
+                // user -> location
+                let pois = &user_pois[at_user];
+                let p = pois[rng.gen_range(0..pois.len())];
+                let pi = poi_index[&p];
+                walk.push(pi);
+                if walk.len() >= cfg.walk_length {
+                    break;
+                }
+                // location -> user
+                let visitors = &poi_users[pi - n_users];
+                at_user = visitors[rng.gen_range(0..visitors.len())] as usize;
+                walk.push(at_user);
+            }
+            walks.push(walk);
+        }
+    }
+    let emb = train_skipgram(&walks, n_nodes, &cfg.skipgram);
+    emb.into_iter().take(n_users).collect()
+}
+
+impl Walk2Friends {
+    /// Trains (calibrates) walk2friends on a labeled dataset.
+    pub fn fit(cfg: &Walk2FriendsConfig, train: &Dataset) -> Self {
+        let emb = user_embeddings(cfg, train);
+        let (pairs, labels) = labeled_pairs(train, cfg.negative_ratio, cfg.seed);
+        let scores: Vec<f64> = pairs.iter().map(|&p| pair_score(&emb, p)).collect();
+        let (threshold, _) = best_f1_threshold(&scores, &labels);
+        Walk2Friends { cfg: cfg.clone(), threshold }
+    }
+
+    /// The calibrated cosine-similarity threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+fn pair_score(emb: &[Vec<f32>], pair: UserPair) -> f64 {
+    cosine_similarity(&emb[pair.lo().index()], &emb[pair.hi().index()]) as f64
+}
+
+impl FriendshipInference for Walk2Friends {
+    fn name(&self) -> &'static str {
+        "walk2friends"
+    }
+
+    fn predict(&self, target: &Dataset, pairs: &[UserPair]) -> Vec<bool> {
+        let emb = user_embeddings(&self.cfg, target);
+        pairs.iter().map(|&p| pair_score(&emb, p) >= self.threshold).collect()
+    }
+
+    fn scores(&self, target: &Dataset, pairs: &[UserPair]) -> Vec<f64> {
+        let emb = user_embeddings(&self.cfg, target);
+        pairs.iter().map(|&p| pair_score(&emb, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seeker_ml::BinaryMetrics;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+
+    #[test]
+    fn embeddings_cover_all_users() {
+        let ds = generate(&SyntheticConfig::small(95)).unwrap().dataset;
+        let cfg = Walk2FriendsConfig::default();
+        let emb = user_embeddings(&cfg, &ds);
+        assert_eq!(emb.len(), ds.n_users());
+        assert!(emb.iter().all(|v| v.len() == cfg.skipgram.dim));
+    }
+
+    #[test]
+    fn beats_chance_within_dataset() {
+        let ds = generate(&SyntheticConfig::small(96)).unwrap().dataset;
+        let model = Walk2Friends::fit(&Walk2FriendsConfig::default(), &ds);
+        let (pairs, labels) = labeled_pairs(&ds, 1.0, 7);
+        let preds = model.predict(&ds, &pairs);
+        let m = BinaryMetrics::from_predictions(&preds, &labels);
+        assert!(m.f1() > 0.55, "walk2friends F1 {}", m.f1());
+        assert_eq!(model.name(), "walk2friends");
+    }
+
+    #[test]
+    fn friends_score_higher_on_average() {
+        let ds = generate(&SyntheticConfig::small(97)).unwrap().dataset;
+        let model = Walk2Friends::fit(&Walk2FriendsConfig::default(), &ds);
+        let (pairs, labels) = labeled_pairs(&ds, 1.0, 8);
+        let scores = model.scores(&ds, &pairs);
+        let mean = |f: bool| -> f64 {
+            let v: Vec<f64> = scores
+                .iter()
+                .zip(labels.iter())
+                .filter(|(_, &y)| y == f)
+                .map(|(&s, _)| s)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(true) > mean(false), "friend mean must exceed stranger mean");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = generate(&SyntheticConfig::small(98)).unwrap().dataset;
+        let a = Walk2Friends::fit(&Walk2FriendsConfig::default(), &ds);
+        let b = Walk2Friends::fit(&Walk2FriendsConfig::default(), &ds);
+        assert_eq!(a.threshold(), b.threshold());
+    }
+}

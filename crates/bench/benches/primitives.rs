@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the primitives whose cost dominates each
+//! experiment: quadtree construction, JOC building, k-hop subgraph
+//! extraction, one supervised-autoencoder epoch, SVM-SMO fitting, and a
+//! skip-gram pass.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use friendseeker::phase1::joc_row;
+use seeker_graph::{KHopSubgraph, SocialGraph};
+use seeker_ml::{Kernel, Svm, SvmConfig};
+use seeker_nn::embedding::{train_skipgram, SkipGramConfig};
+use seeker_nn::{SupervisedAutoencoder, SupervisedAutoencoderConfig};
+use seeker_spatial::{Joc, Quadtree, SpatialTemporalDivision};
+use seeker_trace::synth::{generate, SyntheticConfig};
+use seeker_trace::{Dataset, UserId, UserPair};
+
+fn dataset() -> Dataset {
+    generate(&SyntheticConfig::small(9001)).unwrap().dataset
+}
+
+fn bench_quadtree(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("quadtree_build_sigma20", |b| {
+        b.iter(|| Quadtree::build(ds.pois(), 20))
+    });
+}
+
+fn bench_joc(c: &mut Criterion) {
+    let ds = dataset();
+    let std = SpatialTemporalDivision::build(&ds, 30, 7.0).unwrap();
+    let (a, bu) = (UserId::new(0), UserId::new(1));
+    c.bench_function("joc_build_pair", |b| {
+        b.iter(|| Joc::build(&std, ds.trajectory(a), ds.trajectory(bu)))
+    });
+    let pair = UserPair::new(a, bu);
+    c.bench_function("joc_sparse_row", |b| b.iter(|| joc_row(&std, &ds, pair)));
+}
+
+fn bench_khop(c: &mut Criterion) {
+    let ds = dataset();
+    let g = SocialGraph::from_dataset(&ds);
+    let pairs: Vec<UserPair> = (0..20u32)
+        .flat_map(|i| ((i + 1)..21).map(move |j| UserPair::new(UserId::new(i), UserId::new(j))))
+        .collect();
+    c.bench_function("khop_extract_k3_210pairs", |b| {
+        b.iter(|| {
+            for &p in &pairs {
+                let _ = KHopSubgraph::extract(&g, p, 3);
+            }
+        })
+    });
+}
+
+fn bench_autoencoder_epoch(c: &mut Criterion) {
+    // A representative small training problem: 128 sparse samples, 300-dim
+    // input, d = 32.
+    let xs: Vec<Vec<(usize, f32)>> = (0..128)
+        .map(|i| (0..8).map(|j| ((i * 13 + j * 29) % 300, 1.0f32 + j as f32 * 0.1)).collect())
+        .collect();
+    let ys: Vec<f32> = (0..128).map(|i| (i % 2) as f32).collect();
+    c.bench_function("supervised_autoencoder_epoch", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = SupervisedAutoencoderConfig::new(300, 32);
+                cfg.epochs = 1;
+                SupervisedAutoencoder::new(cfg)
+            },
+            |mut model| model.fit(&xs, &ys),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let xs: Vec<Vec<f32>> = (0..200)
+        .map(|i| {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            vec![sign * (1.0 + (i as f32 * 0.01)), (i as f32 * 0.017) % 1.0]
+        })
+        .collect();
+    let ys: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
+    let cfg = SvmConfig { kernel: Kernel::Rbf { gamma: 0.5 }, ..Default::default() };
+    c.bench_function("svm_smo_fit_200x2", |b| b.iter(|| Svm::fit(&cfg, &xs, &ys)));
+}
+
+fn bench_skipgram(c: &mut Criterion) {
+    let walks: Vec<Vec<usize>> = (0..100)
+        .map(|i| (0..20).map(|j| (i * 7 + j * 3) % 50).collect())
+        .collect();
+    let cfg = SkipGramConfig { dim: 32, epochs: 1, ..Default::default() };
+    c.bench_function("skipgram_epoch_100walks", |b| {
+        b.iter(|| train_skipgram(&walks, 50, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_quadtree, bench_joc, bench_khop, bench_autoencoder_epoch, bench_svm, bench_skipgram
+}
+criterion_main!(benches);

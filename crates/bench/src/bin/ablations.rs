@@ -1,0 +1,14 @@
+//! Runs the ablation suite (design-choice studies from DESIGN.md §6).
+fn main() {
+    let seed = seeker_bench::seed_from_env();
+    use seeker_bench::experiments::ablations as ab;
+    let mut tables = Vec::new();
+    tables.extend(ab::alpha_ablation(seed));
+    tables.extend(ab::k_hop_ablation(seed));
+    tables.extend(ab::classifier_ablation(seed));
+    tables.extend(ab::optimizer_ablation(seed));
+    tables.extend(ab::grid_ablation(seed));
+    tables.extend(ab::feature_ablation(seed));
+    tables.extend(ab::cyber_detection_table(seed));
+    seeker_bench::report::emit("ablations", &tables);
+}

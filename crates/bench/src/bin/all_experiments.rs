@@ -1,0 +1,31 @@
+//! Runs every experiment of DESIGN.md §4 in order, timing each.
+use std::time::Instant;
+
+fn main() {
+    let seed = seeker_bench::seed_from_env();
+    use seeker_bench::experiments::*;
+    use seeker_bench::report::emit;
+    let runs: Vec<(&str, Box<dyn Fn(u64) -> Vec<seeker_bench::report::Table>>)> = vec![
+        ("table1", Box::new(tables::table1)),
+        ("table2", Box::new(tables::table2)),
+        ("fig1", Box::new(fig1::fig1)),
+        ("fig5", Box::new(fig5::fig5)),
+        ("fig7", Box::new(sweeps::fig7)),
+        ("fig8", Box::new(sweeps::fig8)),
+        ("fig9", Box::new(sweeps::fig9)),
+        ("fig10", Box::new(sweeps::fig10)),
+        ("fig11", Box::new(comparison::fig11)),
+        ("fig12", Box::new(comparison::fig12)),
+        ("fig13", Box::new(comparison::fig13)),
+        ("fig14", Box::new(obfuscation::fig14)),
+        ("fig15", Box::new(obfuscation::fig15)),
+        ("fig16", Box::new(obfuscation::fig16)),
+    ];
+    for (name, f) in runs {
+        let t0 = Instant::now();
+        eprintln!("=== {name} ===");
+        let tables = f(seed);
+        emit(name, &tables);
+        eprintln!("=== {name} done in {:.1?} ===", t0.elapsed());
+    }
+}

@@ -1,0 +1,8 @@
+//! Standalone classifier-C ablation (MLP head vs KNN vs random forest).
+fn main() {
+    let seed = seeker_bench::seed_from_env();
+    seeker_bench::report::emit(
+        "classifier_ablation",
+        &seeker_bench::experiments::ablations::classifier_ablation(seed),
+    );
+}

@@ -1,0 +1,5 @@
+//! Extension: targeted vs random hiding defense (the paper's future work).
+fn main() {
+    let seed = seeker_bench::seed_from_env();
+    seeker_bench::report::emit("defense", &seeker_bench::experiments::defense::defense_comparison(seed));
+}

@@ -1,0 +1,5 @@
+//! Extension: PGT (the paper's reference [5]) as a fifth comparison method.
+fn main() {
+    let seed = seeker_bench::seed_from_env();
+    seeker_bench::report::emit("extra_baselines", &seeker_bench::experiments::extra::pgt_comparison(seed));
+}

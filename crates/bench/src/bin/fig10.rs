@@ -1,0 +1,5 @@
+//! Regenerates Fig. 10 (performance vs refinement iterations).
+fn main() {
+    let seed = seeker_bench::seed_from_env();
+    seeker_bench::report::emit("fig10", &seeker_bench::experiments::sweeps::fig10(seed));
+}

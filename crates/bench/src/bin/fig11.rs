@@ -1,0 +1,5 @@
+//! Regenerates Fig. 11 (FriendSeeker vs baselines).
+fn main() {
+    let seed = seeker_bench::seed_from_env();
+    seeker_bench::report::emit("fig11", &seeker_bench::experiments::comparison::fig11(seed));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 14 (F1 vs hiding ratio).
+fn main() {
+    let seed = seeker_bench::seed_from_env();
+    seeker_bench::report::emit("fig14", &seeker_bench::experiments::obfuscation::fig14(seed));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 8 (performance vs tau).
+fn main() {
+    let seed = seeker_bench::seed_from_env();
+    seeker_bench::report::emit("fig8", &seeker_bench::experiments::sweeps::fig8(seed));
+}

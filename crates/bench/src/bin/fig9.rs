@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9 (performance vs feature dimension d).
+fn main() {
+    let seed = seeker_bench::seed_from_env();
+    seeker_bench::report::emit("fig9", &seeker_bench::experiments::sweeps::fig9(seed));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table I (dataset statistics).
+fn main() {
+    let seed = seeker_bench::seed_from_env();
+    seeker_bench::report::emit("table1", &seeker_bench::experiments::tables::table1(seed));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table II (co-location x co-friend contingency).
+fn main() {
+    let seed = seeker_bench::seed_from_env();
+    seeker_bench::report::emit("table2", &seeker_bench::experiments::tables::table2(seed));
+}

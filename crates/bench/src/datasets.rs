@@ -1,0 +1,114 @@
+//! Experiment worlds: synthetic stand-ins for Gowalla and Brightkite, split
+//! 70/30 into user-disjoint train / target datasets (§IV-A: "We use 70% and
+//! 30% data to train and to test"; §II-B: training users need not overlap
+//! the target users).
+
+use seeker_ml::train_test_split;
+use seeker_trace::synth::{generate, SyntheticConfig, SyntheticTrace};
+use seeker_trace::{Dataset, UserId, UserPair};
+use std::collections::BTreeSet;
+
+/// The two dataset presets of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Scaled-down Gowalla analogue (dispersed, sparse, more cyber friends).
+    Gowalla,
+    /// Scaled-down Brightkite analogue (dense, tight geography).
+    Brightkite,
+}
+
+impl Preset {
+    /// Display name matching the paper's dataset naming.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Gowalla => "synth-gowalla",
+            Preset::Brightkite => "synth-brightkite",
+        }
+    }
+
+    /// Both presets, Gowalla first (paper table order).
+    pub fn both() -> [Preset; 2] {
+        [Preset::Gowalla, Preset::Brightkite]
+    }
+
+    /// The generator configuration of the preset.
+    pub fn config(self, seed: u64) -> SyntheticConfig {
+        match self {
+            Preset::Gowalla => SyntheticConfig::synth_gowalla(seed),
+            Preset::Brightkite => SyntheticConfig::synth_brightkite(seed),
+        }
+    }
+}
+
+/// A fully prepared experiment world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Which preset generated it.
+    pub preset: Preset,
+    /// The complete generated dataset (Table I / II statistics).
+    pub full: Dataset,
+    /// Generator-side ground truth (cyber edges, communities).
+    pub synth: SyntheticTrace,
+    /// 70 % of users — the attacker's labeled training data.
+    pub train: Dataset,
+    /// 30 % of users — the anonymized target.
+    pub target: Dataset,
+    /// Cyber edges of the *target* dataset, renumbered to target ids.
+    pub target_cyber: BTreeSet<UserPair>,
+}
+
+/// Generates and splits a world. Deterministic in `seed`.
+pub fn world(preset: Preset, seed: u64) -> World {
+    let synth = generate(&preset.config(seed)).expect("preset configs are valid");
+    let full = synth.dataset.clone();
+    let (train_idx, target_idx) = train_test_split(full.n_users(), 0.3, seed ^ 0x7e57);
+    let train_users: Vec<UserId> = train_idx.iter().map(|&i| UserId::new(i as u32)).collect();
+    let target_users: Vec<UserId> = target_idx.iter().map(|&i| UserId::new(i as u32)).collect();
+    let train = full.induced_subset(&train_users, "train").expect("valid split");
+    let target = full.induced_subset(&target_users, "target").expect("valid split");
+    // Remap cyber edges into the target's dense id space.
+    let mut remap = std::collections::BTreeMap::new();
+    for (new, &old) in target_users.iter().enumerate() {
+        remap.insert(old, UserId::new(new as u32));
+    }
+    let target_cyber: BTreeSet<UserPair> = synth
+        .cyber_edges
+        .iter()
+        .filter_map(|p| {
+            let a = remap.get(&p.lo())?;
+            let b = remap.get(&p.hi())?;
+            Some(UserPair::new(*a, *b))
+        })
+        .collect();
+    World { preset, full, synth, train, target, target_cyber }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_split_is_user_disjoint_and_sized() {
+        let w = world(Preset::Gowalla, 1);
+        let n = w.full.n_users();
+        assert_eq!(w.train.n_users() + w.target.n_users(), n);
+        assert!((w.target.n_users() as f64 / n as f64 - 0.3).abs() < 0.02);
+        assert!(w.train.n_links() > 0 && w.target.n_links() > 0);
+    }
+
+    #[test]
+    fn target_cyber_edges_are_target_friendships() {
+        let w = world(Preset::Brightkite, 2);
+        for p in &w.target_cyber {
+            assert!(w.target.are_friends(p.lo(), p.hi()), "cyber edge {p} missing in target");
+        }
+    }
+
+    #[test]
+    fn worlds_are_deterministic() {
+        let a = world(Preset::Gowalla, 5);
+        let b = world(Preset::Gowalla, 5);
+        assert_eq!(a.train.checkins(), b.train.checkins());
+        assert_eq!(a.target.n_links(), b.target.n_links());
+    }
+}

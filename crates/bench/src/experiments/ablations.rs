@@ -1,0 +1,272 @@
+//! Ablation studies on the design choices DESIGN.md calls out:
+//!
+//! - supervised vs plain autoencoder (α = 1 vs α = 0);
+//! - the k of the k-hop reachable subgraph;
+//! - classifier `C`: jointly-trained MLP head vs KNN on the embedding;
+//! - optimizer: the paper's plain SGD vs Adam at the same rate;
+//! - composite feature vs presence-only vs social-only for `C'`;
+//! - Theorem-1 pruned path extraction vs naive all-paths extraction.
+
+use friendseeker::features::{social_proximity_feature, FeatureStore};
+use friendseeker::phase1::train_phase1;
+use friendseeker::{ClassifierKind, FriendSeekerConfig};
+use seeker_graph::{all_paths_of_length, KHopSubgraph, SocialGraph};
+use seeker_ml::{BinaryMetrics, StandardScaler, Svm};
+use seeker_nn::Optimizer;
+use seeker_trace::UserPair;
+
+use crate::datasets::{world, Preset};
+use crate::harness::{default_config, eval_pairs, run_friendseeker};
+use crate::report::{fmt3, Table};
+
+/// Ablation 1: α = 0 (plain autoencoder) vs α = 1 (supervised, the paper's
+/// default).
+pub fn alpha_ablation(seed: u64) -> Vec<Table> {
+    config_ablation(seed, "Ablation: supervised vs plain autoencoder", &["alpha=0 (plain)", "alpha=1 (supervised)"], |cfg, i| {
+        cfg.alpha = if i == 0 { 0.0 } else { 1.0 };
+    })
+}
+
+/// Ablation 2: the k of the k-hop reachable subgraph (paper argues k = 3).
+pub fn k_hop_ablation(seed: u64) -> Vec<Table> {
+    config_ablation(seed, "Ablation: k of the k-hop reachable subgraph", &["k=2", "k=3", "k=4", "k=5"], |cfg, i| {
+        cfg.k_hop = i + 2;
+    })
+}
+
+/// Ablation 3: classifier `C` — jointly-trained MLP head vs KNN.
+pub fn classifier_ablation(seed: u64) -> Vec<Table> {
+    config_ablation(
+        seed,
+        "Ablation: phase-1 classifier C",
+        &["MLP head (Algorithm 1)", "KNN (k=10)", "random forest (32 trees)"],
+        |cfg, i| {
+            cfg.classifier = match i {
+                0 => ClassifierKind::MlpHead,
+                1 => ClassifierKind::Knn { k: 10 },
+                _ => ClassifierKind::RandomForest { n_trees: 32 },
+            };
+        },
+    )
+}
+
+/// Ablation 4: optimizer — the paper's plain SGD at β = 0.005 vs Adam at the
+/// same rate and epoch budget.
+pub fn optimizer_ablation(seed: u64) -> Vec<Table> {
+    config_ablation(seed, "Ablation: optimizer (equal epochs)", &["SGD (paper)", "Adam"], |cfg, i| {
+        cfg.optimizer = if i == 0 {
+            Optimizer::Sgd { lr: 0.005 }
+        } else {
+            Optimizer::Adam { lr: 0.005, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        };
+        cfg.epochs = 30;
+    })
+}
+
+/// Ablation: adaptive quadtree STD vs uniform grids of comparable cell
+/// counts (4³ = 64 and 4⁴ = 256 cells bracket the adaptive grid count at
+/// the default σ).
+pub fn grid_ablation(seed: u64) -> Vec<Table> {
+    config_ablation(
+        seed,
+        "Ablation: adaptive quadtree vs uniform grid",
+        &["adaptive quadtree (sigma=150)", "uniform 4^3 cells", "uniform 4^4 cells"],
+        |cfg, i| {
+            cfg.uniform_grid_depth = match i {
+                0 => None,
+                1 => Some(3),
+                _ => Some(4),
+            };
+        },
+    )
+}
+
+fn config_ablation(
+    seed: u64,
+    title: &str,
+    labels: &[&str],
+    apply: impl Fn(&mut FriendSeekerConfig, usize),
+) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let mut t = Table::new(
+            format!("{title} ({})", preset.name()),
+            &["variant", "F1", "Precision", "Recall"],
+        );
+        for (i, label) in labels.iter().enumerate() {
+            let mut cfg = default_config();
+            apply(&mut cfg, i);
+            let run = run_friendseeker(&cfg, &w.train, &w.target);
+            t.push_row(vec![
+                label.to_string(),
+                fmt3(run.metrics.f1()),
+                fmt3(run.metrics.precision()),
+                fmt3(run.metrics.recall()),
+            ]);
+            eprintln!("  [ablation/{}] {label}: F1={:.3}", preset.name(), run.metrics.f1());
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Which feature blocks classifier `C'` sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FeatureSet {
+    PresenceOnly,
+    SocialOnly,
+    Composite,
+}
+
+/// How the k-hop paths are extracted for the social feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PathMode {
+    /// Theorem 1: shortest-first, consumed intermediates.
+    Pruned,
+    /// All simple paths of each length, no consumption.
+    Naive,
+}
+
+/// Ablation 5+6: the feature composition of `C'` and the path-extraction
+/// strategy, evaluated with a single refinement step (isolates the feature
+/// effect from iteration dynamics).
+pub fn feature_ablation(seed: u64) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let cfg = default_config();
+        let p1 = train_phase1(&cfg, &w.train).expect("experiment training");
+        let variants: [(&str, FeatureSet, PathMode); 4] = [
+            ("presence only (h)", FeatureSet::PresenceOnly, PathMode::Pruned),
+            ("social only (s)", FeatureSet::SocialOnly, PathMode::Pruned),
+            ("composite (h ⊕ s), pruned paths", FeatureSet::Composite, PathMode::Pruned),
+            ("composite (h ⊕ s), naive all-paths", FeatureSet::Composite, PathMode::Naive),
+        ];
+        let mut t = Table::new(
+            format!("Ablation: C' features and path extraction ({})", preset.name()),
+            &["variant", "F1", "Precision", "Recall"],
+        );
+        // Train-side assembly.
+        let train_store = FeatureStore::build(&p1.model, &w.train, &p1.train_pairs.pairs);
+        let g0_train = p1.model.predict_graph(&w.train, &p1.train_pairs.pairs);
+        let (ep, el) = eval_pairs(&w.target);
+        let target_store = FeatureStore::build(&p1.model, &w.target, &ep);
+        let g0_target = p1.model.predict_graph(&w.target, &ep);
+        let cal_idx: Vec<usize> = if p1.holdout.len() >= 20 {
+            p1.holdout.clone()
+        } else {
+            (0..p1.train_pairs.len()).collect()
+        };
+        let cal_labels: Vec<bool> = cal_idx.iter().map(|&i| p1.train_pairs.labels[i]).collect();
+        let svm_cfg = friendseeker::phase2::effective_svm_config(&cfg);
+        for (label, set, mode) in variants {
+            let train_x = assemble(&g0_train, &p1.train_pairs.pairs, &cfg, &train_store, set, mode);
+            let cal_x: Vec<Vec<f32>> = cal_idx.iter().map(|&i| train_x[i].clone()).collect();
+            let (scaler, scaled) = StandardScaler::fit_transform(&cal_x);
+            let svm = Svm::fit(&svm_cfg, &scaled, &cal_labels);
+            let target_x = assemble(&g0_target, &ep, &cfg, &target_store, set, mode);
+            let preds = svm.predict(&scaler.transform(&target_x));
+            let m = BinaryMetrics::from_predictions(&preds, &el);
+            t.push_row(vec![label.to_string(), fmt3(m.f1()), fmt3(m.precision()), fmt3(m.recall())]);
+            eprintln!("  [features/{}] {label}: F1={:.3}", preset.name(), m.f1());
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+fn assemble(
+    graph: &SocialGraph,
+    pairs: &[UserPair],
+    cfg: &FriendSeekerConfig,
+    store: &FeatureStore,
+    set: FeatureSet,
+    mode: PathMode,
+) -> Vec<Vec<f32>> {
+    pairs
+        .iter()
+        .map(|&pair| {
+            let h = store.get(pair).expect("pair in store").to_vec();
+            let s = match mode {
+                PathMode::Pruned => {
+                    let sub = KHopSubgraph::extract(graph, pair, cfg.k_hop);
+                    social_proximity_feature(&sub, cfg.k_hop, store)
+                }
+                PathMode::Naive => naive_social_feature(graph, pair, cfg.k_hop, store),
+            };
+            match set {
+                FeatureSet::PresenceOnly => h,
+                FeatureSet::SocialOnly => s,
+                FeatureSet::Composite => {
+                    let mut v = h;
+                    v.extend(s);
+                    v
+                }
+            }
+        })
+        .collect()
+}
+
+/// The naive social feature: sum edge features over **all** simple paths of
+/// each length (no shortest-first pruning) — the strawman Theorem 1 argues
+/// against.
+fn naive_social_feature(
+    graph: &SocialGraph,
+    pair: UserPair,
+    k: usize,
+    store: &FeatureStore,
+) -> Vec<f32> {
+    let d = store.dim();
+    let mut out = vec![0.0f32; (k - 1) * d];
+    for l in 2..=k {
+        let block = &mut out[(l - 2) * d..(l - 1) * d];
+        for path in all_paths_of_length(graph, pair.lo(), pair.hi(), l) {
+            for w in path.windows(2) {
+                if let Some(f) = store.get(UserPair::new(w[0], w[1])) {
+                    for (o, &x) in block.iter_mut().zip(f.iter()) {
+                        *o += x;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Ablation 7: cyber-friend detection across k (does the social feature,
+/// not the presence feature, carry the cyber signal?).
+pub fn cyber_detection_table(seed: u64) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let cfg = default_config();
+        let run = run_friendseeker(&cfg, &w.train, &w.target);
+        let preds = run.result.predictions();
+        let (ep, _) = eval_pairs(&w.target);
+        let cyber_idx: Vec<usize> =
+            (0..ep.len()).filter(|&i| w.target_cyber.contains(&ep[i])).collect();
+        let mut t = Table::new(
+            format!("Cyber-friend detection ({})", preset.name()),
+            &["quantity", "value"],
+        );
+        t.push_row(vec!["cyber friend pairs in eval set".into(), cyber_idx.len().to_string()]);
+        if !cyber_idx.is_empty() {
+            let hit = cyber_idx.iter().filter(|&&i| preds[i]).count();
+            t.push_row(vec![
+                "FriendSeeker recall on cyber friends".into(),
+                fmt3(hit as f64 / cyber_idx.len() as f64),
+            ]);
+            // Phase-1-only recall for contrast (presence features cannot see
+            // cyber friends; phase 2 adds them through graph structure).
+            let g0 = &run.result.trace.graphs[0];
+            let hit0 = cyber_idx.iter().filter(|&&i| g0.has_edge(ep[i])).count();
+            t.push_row(vec![
+                "phase-1-only recall on cyber friends".into(),
+                fmt3(hit0 as f64 / cyber_idx.len() as f64),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

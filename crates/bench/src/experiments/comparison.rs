@@ -1,0 +1,216 @@
+//! Fig. 11–13: FriendSeeker against the four baselines — overall, bucketed
+//! by co-location count, and bucketed by pair check-in volume — plus the
+//! paper's hidden-friend headline claims (sparse users, cyber friends).
+
+use seeker_ml::BinaryMetrics;
+use seeker_trace::UserPair;
+
+use crate::datasets::{world, Preset, World};
+use crate::harness::{baseline_suite, default_config, eval_pairs, run_friendseeker};
+use crate::report::{fmt3, Table};
+
+/// Fig. 11: overall comparison of FriendSeeker vs all baselines.
+pub fn fig11(seed: u64) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let (pairs, labels) = eval_pairs(&w.target);
+        let mut t = Table::new(
+            format!("Fig. 11 ({}): FriendSeeker vs baseline models", preset.name()),
+            &["method", "F1", "Precision", "Recall"],
+        );
+        let run = run_friendseeker(&default_config(), &w.train, &w.target);
+        push_metrics(&mut t, "FriendSeeker", &run.metrics);
+        for method in baseline_suite(&w.train) {
+            let preds = method.predict(&w.target, &pairs);
+            let m = BinaryMetrics::from_predictions(&preds, &labels);
+            push_metrics(&mut t, method.name(), &m);
+            eprintln!("  [fig11/{}] {}: F1={:.3}", preset.name(), method.name(), m.f1());
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+fn push_metrics(t: &mut Table, name: &str, m: &BinaryMetrics) {
+    t.push_row(vec![name.to_string(), fmt3(m.f1()), fmt3(m.precision()), fmt3(m.recall())]);
+}
+
+/// Buckets on the number of co-locations of a pair (Fig. 12 x-axis).
+const COLO_BUCKETS: [(usize, usize, &str); 6] = [
+    (0, 0, "0"),
+    (1, 1, "1"),
+    (2, 2, "2"),
+    (3, 3, "3"),
+    (4, 4, "4"),
+    (5, usize::MAX, ">=5"),
+];
+
+/// Fig. 12: F1 vs the number of common locations, all methods.
+///
+/// Also reports the hidden-friend headline claims: recall on friend pairs
+/// with **zero** co-locations, and recall on the generator's cyber edges.
+pub fn fig12(seed: u64) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let (pairs, labels) = eval_pairs(&w.target);
+        let colo: Vec<usize> = pairs
+            .iter()
+            .map(|p| w.target.colocation_count(p.lo(), p.hi()))
+            .collect();
+        let run = run_friendseeker(&default_config(), &w.train, &w.target);
+        let seeker_preds = run.result.predictions();
+        let methods = baseline_suite(&w.train);
+        let mut all_preds: Vec<(String, Vec<bool>)> =
+            vec![("FriendSeeker".to_string(), seeker_preds)];
+        for m in &methods {
+            all_preds.push((m.name().to_string(), m.predict(&w.target, &pairs)));
+        }
+
+        let mut t = Table::new(
+            format!("Fig. 12 ({}): F1 vs number of co-locations", preset.name()),
+            &["#co-locations", "n pairs", "FriendSeeker", "co-location", "distance", "walk2friends", "user-graph embedding"],
+        );
+        for &(lo, hi, label) in &COLO_BUCKETS {
+            let idx: Vec<usize> = (0..pairs.len())
+                .filter(|&i| colo[i] >= lo && colo[i] <= hi)
+                .collect();
+            if idx.is_empty() {
+                continue;
+            }
+            let mut row = vec![label.to_string(), idx.len().to_string()];
+            for (_, preds) in &all_preds {
+                let sub_preds: Vec<bool> = idx.iter().map(|&i| preds[i]).collect();
+                let sub_labels: Vec<bool> = idx.iter().map(|&i| labels[i]).collect();
+                let m = BinaryMetrics::from_predictions(&sub_preds, &sub_labels);
+                // The paper notes F1 of the co-location method is undefined
+                // at zero common locations (it can never predict positive).
+                row.push(if m.tp + m.fp + m.fn_ == 0 { "-".into() } else { fmt3(m.f1()) });
+            }
+            t.push_row(row);
+        }
+        tables.push(t);
+        tables.push(hidden_friend_claims(&w, &pairs, &labels, &all_preds));
+    }
+    tables
+}
+
+/// The §IV headline claims: recall on no-co-location friends ("identify
+/// 68.13% friends sharing no common locations") and on cyber edges.
+fn hidden_friend_claims(
+    w: &World,
+    pairs: &[UserPair],
+    labels: &[bool],
+    all_preds: &[(String, Vec<bool>)],
+) -> Table {
+    let mut t = Table::new(
+        format!("Hidden-friend recall ({}): friends with no co-location / cyber friends", w.preset.name()),
+        &["method", "recall (friends, 0 co-locations)", "recall (cyber friends)"],
+    );
+    let no_colo_idx: Vec<usize> = (0..pairs.len())
+        .filter(|&i| labels[i] && w.target.colocation_count(pairs[i].lo(), pairs[i].hi()) == 0)
+        .collect();
+    let cyber_idx: Vec<usize> =
+        (0..pairs.len()).filter(|&i| w.target_cyber.contains(&pairs[i])).collect();
+    for (name, preds) in all_preds {
+        let recall = |idx: &[usize]| -> String {
+            if idx.is_empty() {
+                return "-".into();
+            }
+            let hit = idx.iter().filter(|&&i| preds[i]).count();
+            fmt3(hit as f64 / idx.len() as f64)
+        };
+        t.push_row(vec![name.clone(), recall(&no_colo_idx), recall(&cyber_idx)]);
+    }
+    t
+}
+
+/// Buckets on the combined check-in count of a pair (Fig. 13 x-axis).
+const CHECKIN_BUCKETS: [(usize, usize, &str); 5] = [
+    (0, 24, "<25"),
+    (25, 49, "25-49"),
+    (50, 99, "50-99"),
+    (100, 199, "100-199"),
+    (200, usize::MAX, ">=200"),
+];
+
+/// Fig. 13: F1 vs the number of check-ins owned by a pair, all methods,
+/// plus the share of pairs per bucket (the figure's distribution overlay).
+pub fn fig13(seed: u64) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let (pairs, labels) = eval_pairs(&w.target);
+        let volume: Vec<usize> = pairs
+            .iter()
+            .map(|p| w.target.checkin_count(p.lo()) + w.target.checkin_count(p.hi()))
+            .collect();
+        let run = run_friendseeker(&default_config(), &w.train, &w.target);
+        let mut all_preds: Vec<(String, Vec<bool>)> =
+            vec![("FriendSeeker".to_string(), run.result.predictions())];
+        for m in baseline_suite(&w.train) {
+            all_preds.push((m.name().to_string(), m.predict(&w.target, &pairs)));
+        }
+        let mut t = Table::new(
+            format!("Fig. 13 ({}): F1 vs number of check-ins of the pair", preset.name()),
+            &["#check-ins", "share of pairs", "FriendSeeker", "co-location", "distance", "walk2friends", "user-graph embedding"],
+        );
+        for &(lo, hi, label) in &CHECKIN_BUCKETS {
+            let idx: Vec<usize> =
+                (0..pairs.len()).filter(|&i| volume[i] >= lo && volume[i] <= hi).collect();
+            if idx.is_empty() {
+                continue;
+            }
+            let mut row = vec![
+                label.to_string(),
+                format!("{:.1}%", 100.0 * idx.len() as f64 / pairs.len() as f64),
+            ];
+            for (_, preds) in &all_preds {
+                let sub_preds: Vec<bool> = idx.iter().map(|&i| preds[i]).collect();
+                let sub_labels: Vec<bool> = idx.iter().map(|&i| labels[i]).collect();
+                row.push(fmt3(BinaryMetrics::from_predictions(&sub_preds, &sub_labels).f1()));
+            }
+            t.push_row(row);
+        }
+        tables.push(t);
+        tables.push(sparse_friend_discovery(&w, &pairs, &labels, &run));
+    }
+    tables
+}
+
+/// The "29.6 % of friends discovered with < 25 check-ins" style claim:
+/// recall of FriendSeeker on friend pairs in the sparsest bucket.
+fn sparse_friend_discovery(
+    w: &World,
+    pairs: &[UserPair],
+    labels: &[bool],
+    run: &crate::harness::SeekerRun,
+) -> Table {
+    let mut t = Table::new(
+        format!("Sparse-friend discovery ({}): FriendSeeker recall by check-in volume", w.preset.name()),
+        &["#check-ins of pair", "friend pairs", "recall"],
+    );
+    let preds = run.result.predictions();
+    for &(lo, hi, label) in &CHECKIN_BUCKETS {
+        let idx: Vec<usize> = (0..pairs.len())
+            .filter(|&i| {
+                labels[i] && {
+                    let v = w.target.checkin_count(pairs[i].lo())
+                        + w.target.checkin_count(pairs[i].hi());
+                    v >= lo && v <= hi
+                }
+            })
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let hit = idx.iter().filter(|&&i| preds[i]).count();
+        t.push_row(vec![
+            label.to_string(),
+            idx.len().to_string(),
+            fmt3(hit as f64 / idx.len() as f64),
+        ]);
+    }
+    t
+}

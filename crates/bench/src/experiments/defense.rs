@@ -1,0 +1,71 @@
+//! Extension experiment (the paper's future work): does a *targeted*
+//! hiding defense protect friendship privacy better than random hiding at
+//! the same budget?
+
+use seeker_ml::BinaryMetrics;
+use seeker_obfuscation::targeted::{targeted_hide, TargetedHidingConfig};
+use seeker_obfuscation::hide_checkins;
+
+use crate::datasets::{world, Preset};
+use crate::harness::{baseline_suite, default_config, eval_pairs, run_friendseeker};
+use crate::report::{fmt3, Table};
+
+/// Budgets evaluated (fractions of check-ins removed).
+pub const BUDGETS: [f64; 3] = [0.2, 0.3, 0.5];
+
+/// Random vs targeted hiding at equal budgets, against FriendSeeker and the
+/// strongest baseline family.
+pub fn defense_comparison(seed: u64) -> Vec<Table> {
+    let cfg = default_config();
+    let mut tables = Vec::new();
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let mut t = Table::new(
+            format!(
+                "Targeted vs random hiding ({}): attack F1 after defense",
+                preset.name()
+            ),
+            &["budget", "defense", "FriendSeeker", "co-location", "user-graph embedding"],
+        );
+        for &budget in &BUDGETS {
+            for targeted in [false, true] {
+                let (train, target, label) = if targeted {
+                    let d = TargetedHidingConfig { budget, ..Default::default() };
+                    (
+                        targeted_hide(&w.train, &d).expect("valid budget"),
+                        targeted_hide(&w.target, &d).expect("valid budget"),
+                        "targeted",
+                    )
+                } else {
+                    (
+                        hide_checkins(&w.train, budget, seed ^ 0xd1).expect("valid budget"),
+                        hide_checkins(&w.target, budget, seed ^ 0xd2).expect("valid budget"),
+                        "random",
+                    )
+                };
+                let (pairs, labels) = eval_pairs(&target);
+                let run = run_friendseeker(&cfg, &train, &target);
+                let mut row = vec![
+                    format!("{:.0}%", budget * 100.0),
+                    label.to_string(),
+                    fmt3(run.metrics.f1()),
+                ];
+                for method in baseline_suite(&train) {
+                    if method.name() == "co-location" || method.name() == "user-graph embedding" {
+                        let preds = method.predict(&target, &pairs);
+                        row.push(fmt3(BinaryMetrics::from_predictions(&preds, &labels).f1()));
+                    }
+                }
+                eprintln!(
+                    "  [defense/{}] {label} {:.0}%: FriendSeeker F1={:.3}",
+                    preset.name(),
+                    budget * 100.0,
+                    run.metrics.f1()
+                );
+                t.push_row(row);
+            }
+        }
+        tables.push(t);
+    }
+    tables
+}

@@ -1,0 +1,52 @@
+//! Extension comparison: the PGT method (the paper's reference [5], not one
+//! of its four evaluated baselines) against FriendSeeker and the strongest
+//! paper baseline, on the standard evaluation sample.
+
+use seeker_baselines::{FriendshipInference, PgtBaseline, PgtConfig};
+use seeker_ml::BinaryMetrics;
+
+use crate::datasets::{world, Preset};
+use crate::harness::{baseline_suite, default_config, eval_pairs, run_friendseeker};
+use crate::report::{fmt3, Table};
+
+/// FriendSeeker vs PGT vs the paper's four baselines.
+pub fn pgt_comparison(seed: u64) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let (pairs, labels) = eval_pairs(&w.target);
+        let mut t = Table::new(
+            format!("Extension ({}): PGT vs FriendSeeker and the paper's baselines", preset.name()),
+            &["method", "F1", "Precision", "Recall"],
+        );
+        let run = run_friendseeker(&default_config(), &w.train, &w.target);
+        t.push_row(vec![
+            "FriendSeeker".into(),
+            fmt3(run.metrics.f1()),
+            fmt3(run.metrics.precision()),
+            fmt3(run.metrics.recall()),
+        ]);
+        let pgt = PgtBaseline::fit(&PgtConfig::default(), &w.train);
+        let preds = pgt.predict(&w.target, &pairs);
+        let m = BinaryMetrics::from_predictions(&preds, &labels);
+        t.push_row(vec![
+            "pgt (Wang et al. [5])".into(),
+            fmt3(m.f1()),
+            fmt3(m.precision()),
+            fmt3(m.recall()),
+        ]);
+        eprintln!("  [extra/{}] pgt: F1={:.3}", preset.name(), m.f1());
+        for method in baseline_suite(&w.train) {
+            let preds = method.predict(&w.target, &pairs);
+            let m = BinaryMetrics::from_predictions(&preds, &labels);
+            t.push_row(vec![
+                method.name().to_string(),
+                fmt3(m.f1()),
+                fmt3(m.precision()),
+                fmt3(m.recall()),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

@@ -1,0 +1,40 @@
+//! Fig. 1: CDFs of the number of co-locations / common friends shared by
+//! friend pairs vs non-friend pairs.
+
+use seeker_trace::stats;
+
+use crate::datasets::{world, Preset};
+use crate::report::{fmt3, Table};
+
+/// Evaluation points on the count axis.
+const XS: [u64; 7] = [0, 1, 2, 3, 5, 10, 20];
+
+/// Fig. 1(a)+(b) as CDF tables, one per dataset.
+pub fn fig1(seed: u64) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let cdfs = stats::pair_cdfs(&w.full, 1.0, seed ^ 0xf161);
+        let mut t = Table::new(
+            format!("Fig. 1 ({}): CDFs of shared co-locations and common friends", preset.name()),
+            &[
+                "x",
+                "P(#colo <= x | friends)",
+                "P(#colo <= x | non-friends)",
+                "P(#cofriend <= x | friends)",
+                "P(#cofriend <= x | non-friends)",
+            ],
+        );
+        for &x in &XS {
+            t.push_row(vec![
+                x.to_string(),
+                fmt3(cdfs.colocations_friends.eval(x)),
+                fmt3(cdfs.colocations_non_friends.eval(x)),
+                fmt3(cdfs.common_friends_friends.eval(x)),
+                fmt3(cdfs.common_friends_non_friends.eval(x)),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

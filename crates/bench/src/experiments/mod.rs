@@ -1,0 +1,13 @@
+//! One module per paper artefact (table / figure) plus the ablation suite.
+//! Every function returns printable [`crate::report::Table`]s; the binaries
+//! in `src/bin/` are thin wrappers around these.
+
+pub mod ablations;
+pub mod comparison;
+pub mod defense;
+pub mod extra;
+pub mod fig1;
+pub mod fig5;
+pub mod obfuscation;
+pub mod sweeps;
+pub mod tables;

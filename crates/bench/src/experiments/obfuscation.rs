@@ -1,0 +1,110 @@
+//! Fig. 14–16: countermeasure effects. Both the attacker's training data
+//! and the target data are perturbed (the defense acts on everything the
+//! MSN publishes), all attacks are re-trained on the perturbed data, and F1
+//! is measured as the perturbation ratio grows.
+
+use seeker_ml::BinaryMetrics;
+use seeker_obfuscation::{blur_checkins, hide_checkins, BlurMode};
+use seeker_trace::Dataset;
+
+use crate::datasets::{world, Preset};
+use crate::harness::{baseline_suite, default_config, eval_pairs, run_friendseeker};
+use crate::report::{fmt3, Table};
+
+/// Perturbation ratios (paper: 10 % to 50 %).
+pub const RATIOS: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// The three obfuscation mechanisms of §IV-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mechanism {
+    /// Fig. 14 — random removal of check-ins.
+    Hiding,
+    /// Fig. 15 — blur within the spatial grid.
+    InGridBlur,
+    /// Fig. 16 — blur into a neighbouring grid.
+    CrossGridBlur,
+}
+
+impl Mechanism {
+    fn figure(self) -> &'static str {
+        match self {
+            Mechanism::Hiding => "Fig. 14",
+            Mechanism::InGridBlur => "Fig. 15",
+            Mechanism::CrossGridBlur => "Fig. 16",
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Mechanism::Hiding => "hiding",
+            Mechanism::InGridBlur => "in-grid blurring",
+            Mechanism::CrossGridBlur => "cross-grid blurring",
+        }
+    }
+
+    fn apply(self, ds: &Dataset, ratio: f64, sigma: usize, seed: u64) -> Dataset {
+        match self {
+            Mechanism::Hiding => hide_checkins(ds, ratio, seed).expect("valid ratio"),
+            Mechanism::InGridBlur => {
+                blur_checkins(ds, ratio, BlurMode::InGrid, sigma, seed).expect("valid ratio")
+            }
+            Mechanism::CrossGridBlur => {
+                blur_checkins(ds, ratio, BlurMode::CrossGrid, sigma, seed).expect("valid ratio")
+            }
+        }
+    }
+}
+
+/// Runs one mechanism's sweep over both datasets (one table each).
+pub fn obfuscation_sweep(mechanism: Mechanism, seed: u64) -> Vec<Table> {
+    let cfg = default_config();
+    let mut tables = Vec::new();
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let mut t = Table::new(
+            format!(
+                "{} ({}): F1 vs proportion of {} check-ins",
+                mechanism.figure(),
+                preset.name(),
+                mechanism.label()
+            ),
+            &["ratio", "FriendSeeker", "co-location", "distance", "walk2friends", "user-graph embedding"],
+        );
+        for &ratio in &RATIOS {
+            let train = mechanism.apply(&w.train, ratio, cfg.sigma, seed ^ 0x0b5_0001);
+            let target = mechanism.apply(&w.target, ratio, cfg.sigma, seed ^ 0x0b5_0002);
+            let (pairs, labels) = eval_pairs(&target);
+            let run = run_friendseeker(&cfg, &train, &target);
+            let mut row = vec![format!("{:.0}%", ratio * 100.0), fmt3(run.metrics.f1())];
+            for method in baseline_suite(&train) {
+                let preds = method.predict(&target, &pairs);
+                row.push(fmt3(BinaryMetrics::from_predictions(&preds, &labels).f1()));
+            }
+            eprintln!(
+                "  [{}/{}] ratio={:.0}%: FriendSeeker F1={:.3}",
+                mechanism.figure(),
+                preset.name(),
+                ratio * 100.0,
+                run.metrics.f1()
+            );
+            t.push_row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Fig. 14.
+pub fn fig14(seed: u64) -> Vec<Table> {
+    obfuscation_sweep(Mechanism::Hiding, seed)
+}
+
+/// Fig. 15.
+pub fn fig15(seed: u64) -> Vec<Table> {
+    obfuscation_sweep(Mechanism::InGridBlur, seed)
+}
+
+/// Fig. 16.
+pub fn fig16(seed: u64) -> Vec<Table> {
+    obfuscation_sweep(Mechanism::CrossGridBlur, seed)
+}

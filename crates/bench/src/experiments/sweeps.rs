@@ -1,0 +1,107 @@
+//! Parameter-sensitivity sweeps: Fig. 7 (σ), Fig. 8 (τ) and Fig. 9 (d).
+
+use crate::datasets::{world, Preset};
+use crate::harness::{default_config, run_friendseeker};
+use crate::report::{fmt3, Table};
+
+/// σ values — the scaled analogue of the paper's 500..1500 sweep (the paper
+/// uses ~0.5–1.5 % of its POI count per grid; so do we).
+pub const SIGMAS: [usize; 5] = [60, 100, 150, 225, 300];
+
+/// τ values in days (paper: 1 to 60 days, peak expected at 7).
+pub const TAUS: [f64; 7] = [1.0, 7.0, 14.0, 21.0, 28.0, 42.0, 56.0];
+
+/// d values (paper: 16 to 256, doubling).
+pub const DIMS: [usize; 5] = [16, 32, 64, 128, 256];
+
+/// Fig. 7: attack performance vs the maximum number of POIs in a grid.
+pub fn fig7(seed: u64) -> Vec<Table> {
+    sweep(seed, "Fig. 7", "sigma", &SIGMAS.map(|s| s.to_string()), |cfg, i| {
+        cfg.sigma = SIGMAS[i];
+    })
+}
+
+/// Fig. 8: attack performance vs the time-slot length τ.
+pub fn fig8(seed: u64) -> Vec<Table> {
+    sweep(seed, "Fig. 8", "tau (days)", &TAUS.map(|t| format!("{t}")), |cfg, i| {
+        cfg.tau_days = TAUS[i];
+        if TAUS[i] < 7.0 {
+            // Small τ explodes the STD width; cap the first hidden layer
+            // harder to keep the single-core run tractable (DESIGN.md §3).
+            cfg.max_hidden = 256;
+        }
+    })
+}
+
+/// Fig. 9: attack performance vs the presence-feature dimension d.
+pub fn fig9(seed: u64) -> Vec<Table> {
+    sweep(seed, "Fig. 9", "d", &DIMS.map(|d| d.to_string()), |cfg, i| {
+        cfg.feature_dim = DIMS[i];
+    })
+}
+
+fn sweep(
+    seed: u64,
+    figure: &str,
+    param: &str,
+    labels: &[String],
+    apply: impl Fn(&mut friendseeker::FriendSeekerConfig, usize),
+) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let mut t = Table::new(
+            format!("{figure} ({}): attack performance vs {param}", preset.name()),
+            &[param, "F1", "Precision", "Recall", "iterations"],
+        );
+        for (i, label) in labels.iter().enumerate() {
+            let mut cfg = default_config();
+            apply(&mut cfg, i);
+            let run = run_friendseeker(&cfg, &w.train, &w.target);
+            t.push_row(vec![
+                label.clone(),
+                fmt3(run.metrics.f1()),
+                fmt3(run.metrics.precision()),
+                fmt3(run.metrics.recall()),
+                run.result.trace.n_iterations().to_string(),
+            ]);
+            eprintln!(
+                "  [{figure}/{}] {param}={label}: F1={:.3}",
+                preset.name(),
+                run.metrics.f1()
+            );
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Fig. 10: attack performance as a function of refinement iterations.
+pub fn fig10(seed: u64) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let cfg = default_config();
+        let run = run_friendseeker(&cfg, &w.train, &w.target);
+        let mut t = Table::new(
+            format!("Fig. 10 ({}): attack performance vs iterations", preset.name()),
+            &["iteration", "F1", "Precision", "Recall", "edge change ratio"],
+        );
+        for (i, m) in run.per_iteration.iter().enumerate() {
+            let change = if i == 0 {
+                "-".to_string()
+            } else {
+                fmt3(run.result.trace.change_ratios[i - 1])
+            };
+            t.push_row(vec![
+                if i == 0 { "G0 (phase 1)".to_string() } else { i.to_string() },
+                fmt3(m.f1()),
+                fmt3(m.precision()),
+                fmt3(m.recall()),
+                change,
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

@@ -1,0 +1,51 @@
+//! Table I (dataset statistics) and Table II (co-location × co-friend
+//! contingency) of the paper's empirical study.
+
+use seeker_trace::stats;
+
+use crate::datasets::{world, Preset};
+use crate::report::Table;
+
+/// Table I: basic statistics of both datasets.
+pub fn table1(seed: u64) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table I: statistics of the two synthetic MSN trace datasets",
+        &["Dataset", "# POIs", "# Users", "# Check-ins", "# Links"],
+    );
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let s = stats::basic_stats(&w.full);
+        t.push_row(vec![
+            preset.name().to_string(),
+            s.n_pois.to_string(),
+            s.n_users.to_string(),
+            s.n_checkins.to_string(),
+            s.n_links.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// Table II: per-class distribution over the four
+/// (co-location × co-friend) cells.
+pub fn table2(seed: u64) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for preset in Preset::both() {
+        let w = world(preset, seed);
+        let c = stats::contingency(&w.full, 1.0, seed ^ 0x7ab1e2);
+        let mut t = Table::new(
+            format!(
+                "Table II ({}): proportion of pairs by co-location (C-L) and co-friend (C-F)",
+                preset.name()
+            ),
+            &["C-L", "C-F", "Friends", "Non-friends"],
+        );
+        let pct = |v: f64| format!("{:.2}%", v * 100.0);
+        t.push_row(vec!["Yes".into(), "Yes".into(), pct(c.friends.colo_and_cofriend), pct(c.non_friends.colo_and_cofriend)]);
+        t.push_row(vec!["Yes".into(), "No".into(), pct(c.friends.colo_only), pct(c.non_friends.colo_only)]);
+        t.push_row(vec!["No".into(), "Yes".into(), pct(c.friends.cofriend_only), pct(c.non_friends.cofriend_only)]);
+        t.push_row(vec!["No".into(), "No".into(), pct(c.friends.neither), pct(c.non_friends.neither)]);
+        tables.push(t);
+    }
+    tables
+}

@@ -1,0 +1,96 @@
+//! Shared run helpers: train-and-evaluate wrappers for FriendSeeker and the
+//! baseline suite, over a common evaluation pair sample.
+
+use friendseeker::{pairs, FriendSeeker, FriendSeekerConfig, InferenceResult};
+use seeker_baselines::{
+    ColocationBaseline, ColocationConfig, DistanceBaseline, DistanceConfig, FriendshipInference,
+    UserGraphConfig, UserGraphEmbedding, Walk2Friends, Walk2FriendsConfig,
+};
+use seeker_ml::BinaryMetrics;
+use seeker_trace::{Dataset, UserPair};
+
+/// Seed used for evaluation-pair sampling throughout the harness, kept fixed
+/// so every method sees the identical pair sample.
+pub const EVAL_SEED: u64 = 0xe0a1;
+
+/// A balanced evaluation sample on the target: all friend pairs + equally
+/// many non-friends.
+pub fn eval_pairs(target: &Dataset) -> (Vec<UserPair>, Vec<bool>) {
+    let lp = pairs::labeled_pairs(target, 1.0, EVAL_SEED);
+    (lp.pairs, lp.labels)
+}
+
+/// Outcome of one FriendSeeker run.
+pub struct SeekerRun {
+    /// Final metrics on the evaluation pairs.
+    pub metrics: BinaryMetrics,
+    /// Metrics of every refinement iteration (`G⁰` first).
+    pub per_iteration: Vec<BinaryMetrics>,
+    /// The raw inference result (graphs, predictions).
+    pub result: InferenceResult,
+}
+
+/// Trains FriendSeeker on `train` and evaluates on `target` over the shared
+/// evaluation sample.
+///
+/// # Panics
+///
+/// Panics if training fails (experiment configurations are pre-validated).
+pub fn run_friendseeker(cfg: &FriendSeekerConfig, train: &Dataset, target: &Dataset) -> SeekerRun {
+    let trained = FriendSeeker::new(cfg.clone()).train(train).expect("experiment training");
+    let (ep, _) = eval_pairs(target);
+    let result = trained.infer_pairs(target, ep);
+    let metrics = result.evaluate(target);
+    let per_iteration = result.evaluate_iterations(target);
+    SeekerRun { metrics, per_iteration, result }
+}
+
+/// The default experiment configuration (paper parameters, spatial scale
+/// adapted; see DESIGN.md).
+pub fn default_config() -> FriendSeekerConfig {
+    FriendSeekerConfig { sigma: 150, epochs: 15, ..FriendSeekerConfig::default() }
+}
+
+/// The four baselines of §IV-A, trained/calibrated on `train`.
+pub fn baseline_suite(train: &Dataset) -> Vec<Box<dyn FriendshipInference>> {
+    vec![
+        Box::new(ColocationBaseline::fit(&ColocationConfig::default(), train)),
+        Box::new(DistanceBaseline::fit(&DistanceConfig::default(), train)),
+        Box::new(Walk2Friends::fit(&Walk2FriendsConfig::default(), train)),
+        Box::new(UserGraphEmbedding::fit(&UserGraphConfig::default(), train)),
+    ]
+}
+
+/// Evaluates a baseline on an explicit labeled pair set.
+pub fn evaluate_method(
+    method: &dyn FriendshipInference,
+    target: &Dataset,
+    pairs: &[UserPair],
+    labels: &[bool],
+) -> BinaryMetrics {
+    let preds = method.predict(target, pairs);
+    BinaryMetrics::from_predictions(&preds, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{world, Preset};
+
+    #[test]
+    fn eval_pairs_are_balanced() {
+        let w = world(Preset::Gowalla, 3);
+        let (pairs, labels) = eval_pairs(&w.target);
+        let pos = labels.iter().filter(|&&y| y).count();
+        assert_eq!(pos, w.target.n_links());
+        assert!(pairs.len() >= 2 * pos - 1);
+    }
+
+    #[test]
+    fn baseline_suite_has_four_named_methods() {
+        let w = world(Preset::Gowalla, 4);
+        let suite = baseline_suite(&w.train);
+        let names: Vec<_> = suite.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["co-location", "distance", "walk2friends", "user-graph embedding"]);
+    }
+}

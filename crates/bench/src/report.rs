@@ -1,0 +1,121 @@
+//! Result tables: pretty-printed to stdout and saved as markdown under
+//! `results/` so EXPERIMENTS.md can reference them.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A rectangular result table with a title.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (e.g. `"Fig. 7 (synth-gowalla): F1 vs sigma"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells, each row the same length as `headers`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {:?}", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Prints the markdown rendering to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+/// The directory experiment results are written into (`results/` under the
+/// workspace root, falling back to the current directory).
+pub fn results_dir() -> PathBuf {
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    root.join("results")
+}
+
+/// Prints the tables and writes them to `results/<name>.md`.
+/// I/O failures are reported to stderr but never abort an experiment.
+pub fn emit(name: &str, tables: &[Table]) {
+    let mut combined = String::new();
+    for t in tables {
+        t.print();
+        combined.push_str(&t.to_markdown());
+        combined.push('\n');
+    }
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.md"));
+    if let Err(e) = fs::write(&path, combined) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("saved {}", path.display());
+    }
+}
+
+/// Formats a float with 3 decimals (the precision used throughout the
+/// experiment tables).
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_shape() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt3_rounds() {
+        assert_eq!(fmt3(0.12349), "0.123");
+        assert_eq!(fmt3(1.0), "1.000");
+    }
+}

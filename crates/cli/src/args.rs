@@ -1,0 +1,118 @@
+//! Minimal dependency-free argument parsing: `--key value` flags plus
+//! positional arguments, with typed accessors.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: flags (`--key value`) and positionals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    positionals: Vec<String>,
+}
+
+/// A user-facing argument error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (without the program/subcommand names).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for a trailing `--flag` without a value.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut it = raw.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("flag --{key} is missing its value")))?;
+                args.flags.insert(key.to_string(), value);
+            } else {
+                args.positionals.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The positional arguments in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when missing.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key).ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// An optional typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s
+                .parse::<T>()
+                .map_err(|_| ArgError(format!("flag --{key} has invalid value {s:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn flags_and_positionals() {
+        let a = parse(&["--seed", "7", "checkins.txt", "--sigma", "150", "edges.txt"]).unwrap();
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get("sigma"), Some("150"));
+        assert_eq!(a.positionals(), &["checkins.txt".to_string(), "edges.txt".to_string()]);
+    }
+
+    #[test]
+    fn typed_access_with_default() {
+        let a = parse(&["--seed", "7"]).unwrap();
+        assert_eq!(a.get_or("seed", 1u64).unwrap(), 7);
+        assert_eq!(a.get_or("sigma", 150usize).unwrap(), 150);
+        assert!(a.get_or::<u64>("seed", 0).is_ok());
+        let bad = parse(&["--seed", "x"]).unwrap();
+        assert!(bad.get_or::<u64>("seed", 0).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&[]).unwrap();
+        let err = a.require("out").unwrap_err();
+        assert!(err.to_string().contains("--out"));
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_an_error() {
+        assert!(parse(&["--seed"]).is_err());
+    }
+}

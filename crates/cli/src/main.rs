@@ -1,0 +1,236 @@
+//! `friendseeker` — command-line interface for the FriendSeeker
+//! reproduction.
+//!
+//! ```text
+//! friendseeker generate --preset gowalla --seed 1 --out-checkins c.txt --out-edges e.txt
+//! friendseeker stats c.txt e.txt
+//! friendseeker attack --train-checkins c.txt --train-edges e.txt \
+//!                     --target-checkins tc.txt --target-edges te.txt
+//! friendseeker obfuscate --mode hide --ratio 0.3 c.txt e.txt \
+//!                     --out-checkins h.txt --out-edges he.txt
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{ArgError, Args};
+use friendseeker::{pairs, FriendSeeker, FriendSeekerConfig};
+use seeker_graph::{analysis, SocialGraph};
+use seeker_obfuscation::targeted::{targeted_hide, TargetedHidingConfig};
+use seeker_obfuscation::{blur_checkins, hide_checkins, BlurMode};
+use seeker_trace::snap::{load_dataset, write_dataset, SnapOptions};
+use seeker_trace::stats;
+use seeker_trace::synth::{generate, SyntheticConfig};
+use seeker_trace::Dataset;
+
+const USAGE: &str = "\
+friendseeker — hidden-friendship inference attack toolkit (research reproduction)
+
+USAGE:
+  friendseeker generate --preset <gowalla|brightkite|small> [--seed N]
+                        --out-checkins FILE --out-edges FILE
+  friendseeker stats <checkins> <edges>
+  friendseeker attack --train-checkins FILE --train-edges FILE
+                      --target-checkins FILE --target-edges FILE
+                      [--sigma N] [--tau DAYS] [--dim N] [--epochs N] [--seed N]
+                      [--save-model FILE] [--out FILE]
+  friendseeker attack --load-model FILE
+                      --target-checkins FILE --target-edges FILE [--out FILE]
+  friendseeker obfuscate --mode <hide|blur-in|blur-cross|targeted> --ratio R
+                      <checkins> <edges> --out-checkins FILE --out-edges FILE
+  friendseeker export --what <pois|friendships> <checkins> <edges> --out FILE.geojson
+  friendseeker help
+";
+
+fn main() -> ExitCode {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let cmd = raw.remove(0);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(raw),
+        "stats" => cmd_stats(raw),
+        "attack" => cmd_attack(raw),
+        "obfuscate" => cmd_obfuscate(raw),
+        "export" => cmd_export(raw),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_generate(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw)?;
+    let seed: u64 = a.get_or("seed", 42)?;
+    let preset = a.require("preset")?;
+    let cfg = match preset {
+        "gowalla" => SyntheticConfig::synth_gowalla(seed),
+        "brightkite" => SyntheticConfig::synth_brightkite(seed),
+        "small" => SyntheticConfig::small(seed),
+        other => return Err(ArgError(format!("unknown preset {other:?}")).into()),
+    };
+    let trace = generate(&cfg)?;
+    let checkins = a.require("out-checkins")?;
+    let edges = a.require("out-edges")?;
+    write_dataset(&trace.dataset, checkins, edges)?;
+    println!(
+        "wrote {}: {} users, {} check-ins, {} links ({} cyber) -> {checkins} / {edges}",
+        trace.dataset.name(),
+        trace.dataset.n_users(),
+        trace.dataset.n_checkins(),
+        trace.dataset.n_links(),
+        trace.cyber_edges.len(),
+    );
+    Ok(())
+}
+
+fn load_positional(a: &Args) -> Result<Dataset, Box<dyn std::error::Error>> {
+    let pos = a.positionals();
+    if pos.len() != 2 {
+        return Err(ArgError("expected positional arguments: <checkins> <edges>".into()).into());
+    }
+    Ok(load_dataset(&pos[0], &pos[1], &SnapOptions::default())?)
+}
+
+fn cmd_stats(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw)?;
+    let ds = load_positional(&a)?;
+    let b = stats::basic_stats(&ds);
+    println!("dataset: {}", ds.name());
+    println!("  POIs (visited): {}", b.n_pois);
+    println!("  users:          {}", b.n_users);
+    println!("  check-ins:      {}", b.n_checkins);
+    println!("  links:          {}", b.n_links);
+    let d = stats::distribution_summary(&ds);
+    let (min, med, mean, max) = d.checkins_per_user;
+    println!("  check-ins/user: min {min} / median {med} / mean {mean:.1} / max {max}");
+    println!("  sparse users (<25 check-ins): {:.1}%", d.sparse_user_fraction * 100.0);
+    println!("  observation span: {:.1} days", d.span_days);
+    let g = SocialGraph::from_dataset(&ds);
+    if let Some(deg) = analysis::degree_stats(&g) {
+        println!("  degree: min {} / median {} / mean {:.1} / max {}", deg.min, deg.median, deg.mean, deg.max);
+    }
+    let comps = analysis::Components::find(&g);
+    println!("  components: {} (largest {})", comps.count(), comps.largest());
+    println!("  mean clustering: {:.3}", analysis::mean_clustering(&g));
+    if let Some(mspl) = analysis::mean_shortest_path(&g, 30) {
+        println!("  mean shortest path (sampled): {mspl:.2}");
+    }
+    let c = stats::contingency(&ds, 1.0, 7);
+    println!(
+        "  friends with a co-location: {:.1}%   non-friends: {:.1}%",
+        (c.friends.colo_and_cofriend + c.friends.colo_only) * 100.0,
+        (c.non_friends.colo_and_cofriend + c.non_friends.colo_only) * 100.0,
+    );
+    Ok(())
+}
+
+fn cmd_attack(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw)?;
+    let opts = SnapOptions::default();
+    let target = load_dataset(a.require("target-checkins")?, a.require("target-edges")?, &opts)?;
+    let trained = if let Some(model_path) = a.get("load-model") {
+        eprintln!("loading trained attack from {model_path} ...");
+        friendseeker::persist::load(&std::fs::read(model_path)?)?
+    } else {
+        let train =
+            load_dataset(a.require("train-checkins")?, a.require("train-edges")?, &opts)?;
+        let cfg = FriendSeekerConfig {
+            sigma: a.get_or("sigma", 150)?,
+            tau_days: a.get_or("tau", 7.0)?,
+            feature_dim: a.get_or("dim", 128)?,
+            epochs: a.get_or("epochs", 15)?,
+            seed: a.get_or("seed", 42)?,
+            ..FriendSeekerConfig::default()
+        };
+        cfg.validate().map_err(ArgError)?;
+        eprintln!(
+            "training on {} users / {} links (sigma={}, tau={}d, d={}) ...",
+            train.n_users(),
+            train.n_links(),
+            cfg.sigma,
+            cfg.tau_days,
+            cfg.feature_dim
+        );
+        let trained = FriendSeeker::new(cfg).train(&train)?;
+        if let Some(path) = a.get("save-model") {
+            std::fs::write(path, friendseeker::persist::save(&trained, train.pois())?)?;
+            eprintln!("saved trained attack to {path}");
+        }
+        trained
+    };
+    let lp = pairs::labeled_pairs(&target, 1.0, 99);
+    let result = trained.infer_pairs(&target, lp.pairs);
+    let m = result.evaluate(&target);
+    println!("iterations: {}", result.trace.n_iterations());
+    println!("predicted friendships: {}", result.final_graph().n_edges());
+    println!("F1 = {:.3}  precision = {:.3}  recall = {:.3}", m.f1(), m.precision(), m.recall());
+    if let Some(out) = a.get("out") {
+        use std::io::Write;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(out)?);
+        for e in result.final_graph().edges() {
+            writeln!(f, "{}\t{}", e.lo().raw(), e.hi().raw())?;
+        }
+        eprintln!("wrote predicted edges to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_export(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw)?;
+    let ds = load_positional(&a)?;
+    let out = a.require("out")?;
+    let what = a.get("what").unwrap_or("pois");
+    let json = match what {
+        "pois" => seeker_trace::geojson::pois_to_geojson(&ds),
+        "friendships" => {
+            let pairs: Vec<_> = ds.friendships().collect();
+            seeker_trace::geojson::edges_to_geojson(&ds, &pairs, ds.name())
+        }
+        other => return Err(ArgError(format!("unknown export target {other:?}")).into()),
+    };
+    std::fs::write(out, json)?;
+    println!("wrote {what} GeoJSON to {out}");
+    Ok(())
+}
+
+fn cmd_obfuscate(raw: Vec<String>) -> CliResult {
+    let a = Args::parse(raw)?;
+    let ds = load_positional(&a)?;
+    let ratio: f64 = a.get_or("ratio", 0.3)?;
+    let seed: u64 = a.get_or("seed", 42)?;
+    let sigma: usize = a.get_or("sigma", 150)?;
+    let mode = a.require("mode")?;
+    let defended = match mode {
+        "hide" => hide_checkins(&ds, ratio, seed)?,
+        "blur-in" => blur_checkins(&ds, ratio, BlurMode::InGrid, sigma, seed)?,
+        "blur-cross" => blur_checkins(&ds, ratio, BlurMode::CrossGrid, sigma, seed)?,
+        "targeted" => targeted_hide(
+            &ds,
+            &TargetedHidingConfig { budget: ratio, seed, ..Default::default() },
+        )?,
+        other => return Err(ArgError(format!("unknown mode {other:?}")).into()),
+    };
+    write_dataset(&defended, a.require("out-checkins")?, a.require("out-edges")?)?;
+    println!(
+        "{mode} at {:.0}%: {} -> {} check-ins",
+        ratio * 100.0,
+        ds.n_checkins(),
+        defended.n_checkins()
+    );
+    Ok(())
+}

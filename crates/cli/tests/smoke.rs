@@ -1,0 +1,84 @@
+//! End-to-end smoke tests of the CLI binary: generate → stats → obfuscate.
+//! (The `attack` command is exercised in the workspace examples; it is too
+//! slow for the default test profile.)
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_friendseeker"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("seeker_cli_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn generate_stats_obfuscate_pipeline() {
+    let c = tmp("c.txt");
+    let e = tmp("e.txt");
+    let out = bin()
+        .args(["generate", "--preset", "small", "--seed", "5"])
+        .args(["--out-checkins", c.to_str().unwrap(), "--out-edges", e.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("60 users"), "unexpected generate output: {stdout}");
+
+    let out = bin()
+        .args(["stats", c.to_str().unwrap(), e.to_str().unwrap()])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("users:          60"));
+    assert!(stdout.contains("components:"));
+
+    let dc = tmp("dc.txt");
+    let de = tmp("de.txt");
+    let out = bin()
+        .args(["obfuscate", "--mode", "hide", "--ratio", "0.25"])
+        .args([c.to_str().unwrap(), e.to_str().unwrap()])
+        .args(["--out-checkins", dc.to_str().unwrap(), "--out-edges", de.to_str().unwrap()])
+        .output()
+        .expect("run obfuscate");
+    assert!(out.status.success(), "obfuscate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dc.exists() && de.exists());
+
+    for f in [c, e, dc, de] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("USAGE"), "usage text missing: {stderr}");
+}
+
+#[test]
+fn help_succeeds() {
+    let out = bin().arg("help").output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("friendseeker"));
+}
+
+#[test]
+fn missing_flags_are_reported() {
+    let out = bin().args(["generate", "--preset", "small"]).output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--out-checkins"), "got: {stderr}");
+}
+
+#[test]
+fn bad_preset_is_reported() {
+    let out = bin()
+        .args(["generate", "--preset", "nope", "--out-checkins", "/tmp/x", "--out-edges", "/tmp/y"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
+}

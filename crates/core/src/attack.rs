@@ -1,0 +1,265 @@
+//! The end-to-end FriendSeeker attack: train on a labeled dataset, infer
+//! hidden friendships on a target dataset (§II-B attack model).
+
+use seeker_graph::SocialGraph;
+use seeker_ml::BinaryMetrics;
+use seeker_trace::{Dataset, UserPair};
+
+use crate::config::FriendSeekerConfig;
+use crate::error::Result;
+use crate::pairs::{all_pairs, ground_truth_labels};
+use crate::phase1::{train_phase1, Phase1Model};
+use crate::phase2::{train_phase2, IterationTrace, Phase2Model};
+
+/// The FriendSeeker attack, parameterized by a configuration.
+///
+/// ```no_run
+/// use friendseeker::{FriendSeeker, FriendSeekerConfig};
+/// use seeker_trace::synth::{generate, SyntheticConfig};
+///
+/// let train = generate(&SyntheticConfig::synth_gowalla(1))?.dataset;
+/// let target = generate(&SyntheticConfig::synth_gowalla(2))?.dataset;
+/// let attack = FriendSeeker::new(FriendSeekerConfig::default());
+/// let trained = attack.train(&train)?;
+/// let result = trained.infer(&target);
+/// println!("predicted {} friendships", result.final_graph().n_edges());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FriendSeeker {
+    cfg: FriendSeekerConfig,
+}
+
+impl FriendSeeker {
+    /// Creates the attack with the given configuration.
+    pub fn new(cfg: FriendSeekerConfig) -> Self {
+        FriendSeeker { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FriendSeekerConfig {
+        &self.cfg
+    }
+
+    /// Trains both phases on a labeled dataset (check-ins + ground-truth
+    /// friendships).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and data errors from the two phases.
+    pub fn train(&self, train: &Dataset) -> Result<TrainedAttack> {
+        let p1 = train_phase1(&self.cfg, train)?;
+        let (p2, train_trace) = train_phase2(&self.cfg, &p1.model, train, &p1.train_pairs, &p1.holdout)?;
+        Ok(TrainedAttack {
+            cfg: self.cfg.clone(),
+            phase1: p1.model,
+            phase2: p2,
+            train_trace,
+        })
+    }
+}
+
+/// A fully trained attack, ready to run against unlabeled targets.
+#[derive(Debug, Clone)]
+pub struct TrainedAttack {
+    cfg: FriendSeekerConfig,
+    phase1: Phase1Model,
+    phase2: Phase2Model,
+    train_trace: IterationTrace,
+}
+
+impl TrainedAttack {
+    /// Reassembles a trained attack from persisted parts. The training
+    /// trace is not persisted; a loaded attack reports an empty one.
+    pub(crate) fn from_parts(
+        cfg: FriendSeekerConfig,
+        phase1: Phase1Model,
+        phase2: Phase2Model,
+    ) -> TrainedAttack {
+        let train_trace = IterationTrace {
+            graphs: vec![seeker_graph::SocialGraph::new(0)],
+            change_ratios: Vec::new(),
+            converged: true,
+        };
+        TrainedAttack { cfg, phase1, phase2, train_trace }
+    }
+
+    /// The configuration used for training.
+    pub fn config(&self) -> &FriendSeekerConfig {
+        &self.cfg
+    }
+
+    /// The phase-1 model (STD + encoder + `C`).
+    pub fn phase1(&self) -> &Phase1Model {
+        &self.phase1
+    }
+
+    /// The phase-2 model (`C'`).
+    pub fn phase2(&self) -> &Phase2Model {
+        &self.phase2
+    }
+
+    /// The refinement trace observed during training (convergence studies).
+    pub fn train_trace(&self) -> &IterationTrace {
+        &self.train_trace
+    }
+
+    /// Runs the attack over **all** pairs of the target dataset.
+    ///
+    /// Quadratic in users; for large targets prefer
+    /// [`TrainedAttack::infer_pairs`] with a candidate list.
+    pub fn infer(&self, target: &Dataset) -> InferenceResult {
+        self.infer_pairs(target, all_pairs(target))
+    }
+
+    /// Runs the attack over an explicit candidate pair list.
+    pub fn infer_pairs(&self, target: &Dataset, pairs: Vec<UserPair>) -> InferenceResult {
+        let trace = self.phase2.infer(&self.cfg, &self.phase1, target, &pairs);
+        InferenceResult { pairs, trace }
+    }
+}
+
+/// The outcome of one attack run on a target dataset.
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// The candidate pairs that were classified.
+    pub pairs: Vec<UserPair>,
+    /// The graph sequence `G⁰ … Gᶠⁱⁿᵃˡ`.
+    pub trace: IterationTrace,
+}
+
+impl InferenceResult {
+    /// The final predicted social graph.
+    pub fn final_graph(&self) -> &SocialGraph {
+        self.trace.final_graph()
+    }
+
+    /// Binary predictions for the candidate pairs against a given graph of
+    /// the sequence (index 0 = `G⁰`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iteration` is out of range.
+    pub fn predictions_at(&self, iteration: usize) -> Vec<bool> {
+        let g = &self.trace.graphs[iteration];
+        self.pairs.iter().map(|&p| g.has_edge(p)).collect()
+    }
+
+    /// Final-iteration predictions for the candidate pairs.
+    pub fn predictions(&self) -> Vec<bool> {
+        self.predictions_at(self.trace.graphs.len() - 1)
+    }
+
+    /// Evaluates the final graph against the target's ground truth over the
+    /// candidate pairs.
+    pub fn evaluate(&self, target: &Dataset) -> BinaryMetrics {
+        let labels = ground_truth_labels(target, &self.pairs);
+        BinaryMetrics::from_predictions(&self.predictions(), &labels)
+    }
+
+    /// Evaluates every iteration (Fig. 10: accuracy vs iterations).
+    pub fn evaluate_iterations(&self, target: &Dataset) -> Vec<BinaryMetrics> {
+        let labels = ground_truth_labels(target, &self.pairs);
+        (0..self.trace.graphs.len())
+            .map(|i| BinaryMetrics::from_predictions(&self.predictions_at(i), &labels))
+            .collect()
+    }
+
+    /// Evaluates the final graph over an arbitrary labeled pair subset
+    /// (used by the co-location / check-in bucketed experiments).
+    pub fn evaluate_subset(&self, pairs: &[UserPair], labels: &[bool]) -> BinaryMetrics {
+        let g = self.final_graph();
+        let preds: Vec<bool> = pairs.iter().map(|&p| g.has_edge(p)).collect();
+        BinaryMetrics::from_predictions(&preds, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::labeled_pairs;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+    use seeker_trace::UserId;
+
+    /// Train on one small world, attack a *different* small world
+    /// (user-disjoint by construction) — the paper's §II-B setting.
+    /// Computed once and shared across tests (the pipeline is deterministic).
+    fn end_to_end() -> &'static (Dataset, InferenceResult) {
+        use std::sync::OnceLock;
+        static CELL: OnceLock<(Dataset, InferenceResult)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let train = generate(&SyntheticConfig::small(61)).unwrap().dataset;
+            let target = generate(&SyntheticConfig::small(62)).unwrap().dataset;
+            let attack = FriendSeeker::new(FriendSeekerConfig::fast());
+            let trained = attack.train(&train).unwrap();
+            // Balanced candidate list keeps the test fast and the F1 readable.
+            let lp = labeled_pairs(&target, 1.0, 777);
+            let result = trained.infer_pairs(&target, lp.pairs);
+            (target, result)
+        })
+    }
+
+    #[test]
+    fn attack_beats_chance_on_unseen_world() {
+        let (target, result) = end_to_end();
+        let m = result.evaluate(target);
+        // A balanced pair set means chance F1 ≈ 0.5 for a coin flip and
+        // ≈ 0.67 for always-friend; demand clearly better than coin flip.
+        assert!(m.f1() > 0.55, "cross-world F1 {}", m.f1());
+    }
+
+    #[test]
+    fn iteration_metrics_cover_every_graph() {
+        let (target, result) = end_to_end();
+        let per_iter = result.evaluate_iterations(target);
+        assert_eq!(per_iter.len(), result.trace.graphs.len());
+        let final_f1 = per_iter.last().unwrap().f1();
+        assert!((final_f1 - result.evaluate(target).f1()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictions_align_with_final_graph() {
+        let (_, result) = end_to_end();
+        let preds = result.predictions();
+        for (&pair, &p) in result.pairs.iter().zip(preds.iter()) {
+            assert_eq!(p, result.final_graph().has_edge(pair));
+        }
+    }
+
+    #[test]
+    fn evaluate_subset_consistency() {
+        let (target, result) = end_to_end();
+        let labels = ground_truth_labels(target, &result.pairs);
+        let m1 = result.evaluate(target);
+        let m2 = result.evaluate_subset(&result.pairs, &labels);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn trained_attack_exposes_internals() {
+        let train = generate(&SyntheticConfig::small(63)).unwrap().dataset;
+        let attack = FriendSeeker::new(FriendSeekerConfig::fast());
+        assert_eq!(attack.config().k_hop, 3);
+        let trained = attack.train(&train).unwrap();
+        assert_eq!(trained.config().k_hop, 3);
+        assert!(trained.phase1().feature_dim() > 0);
+        assert!(trained.phase2().svm().n_support_vectors() > 0);
+        assert!(trained.train_trace().n_iterations() >= 1);
+    }
+
+    #[test]
+    fn infer_all_pairs_has_quadratic_universe() {
+        let train = generate(&SyntheticConfig::small(64)).unwrap().dataset;
+        let attack = FriendSeeker::new(FriendSeekerConfig::fast());
+        let trained = attack.train(&train).unwrap();
+        let target = generate(&SyntheticConfig::small(65)).unwrap().dataset;
+        let result = trained.infer(&target);
+        let n = target.n_users();
+        assert_eq!(result.pairs.len(), n * (n - 1) / 2);
+        // Sanity: every predicted edge is a valid user pair.
+        for e in result.final_graph().edges() {
+            assert!(e.hi().index() < n);
+            assert_ne!(e.lo(), UserId::new(e.hi().raw()));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Configuration of the FriendSeeker attack.
+
+use seeker_ml::SvmConfig;
+use seeker_nn::Optimizer;
+
+/// The phase-1 real-world friendship classifier `C`.
+///
+/// Algorithm 1 backpropagates through `C`, which requires a differentiable
+/// head; §IV-B additionally evaluates a plain KNN on the learned features.
+/// Both are supported: [`ClassifierKind::MlpHead`] is the jointly-trained
+/// classification network (the Algorithm 1 reading), [`ClassifierKind::Knn`]
+/// replaces it at inference time by a KNN over the encoded features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassifierKind {
+    /// Use the jointly-trained classification head directly.
+    MlpHead,
+    /// Fit a KNN on the encoded training features and classify with it.
+    Knn {
+        /// Number of neighbours.
+        k: usize,
+    },
+    /// Fit a random forest on the encoded training features (classifier-
+    /// agnosticism ablation; not part of the paper's configurations).
+    RandomForest {
+        /// Number of trees.
+        n_trees: usize,
+    },
+}
+
+/// All knobs of the two-phase attack (paper defaults from §IV-B, spatial
+/// scale adapted to the synthetic datasets — see DESIGN.md §3).
+#[derive(Debug, Clone)]
+pub struct FriendSeekerConfig {
+    /// Maximum POIs per quadtree grid (the paper's σ).
+    pub sigma: usize,
+    /// Time-slot length in days (the paper's τ; default 7).
+    pub tau_days: f64,
+    /// Presence-proximity feature dimension (the paper's d; default 128).
+    pub feature_dim: usize,
+    /// Balance weight between reconstruction and classification loss (α).
+    pub alpha: f32,
+    /// k of the k-hop reachable subgraph (default 3, §III-C-1).
+    pub k_hop: usize,
+    /// Width cap on the first autoencoder hidden layer (compute guard).
+    pub max_hidden: usize,
+    /// Autoencoder training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimizer for the autoencoder networks.
+    pub optimizer: Optimizer,
+    /// The phase-1 classifier `C`.
+    pub classifier: ClassifierKind,
+    /// The phase-2 classifier `C'` (SVM with RBF kernel in the paper).
+    pub svm: SvmConfig,
+    /// When true (default), the RBF γ of `C'` is set to `1 / feature_dim`
+    /// of the composite feature (the standard "scale" heuristic): a fixed γ
+    /// cannot be right across the d and k sweeps, which change the feature
+    /// dimension by an order of magnitude.
+    pub svm_auto_gamma: bool,
+    /// Hard cap on refinement iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold: stop when the fraction of changed edges drops
+    /// below this (paper: 1 %).
+    pub convergence_threshold: f64,
+    /// Non-friend training pairs sampled per friend pair.
+    pub negative_ratio: f64,
+    /// Fraction of the labeled pairs held out from autoencoder training and
+    /// used to fit classifier `C'`. Training `C'` on pairs the phase-1
+    /// model never saw gives it realistically *noisy* graph features — the
+    /// same distribution it faces on the target — instead of the
+    /// near-perfect in-sample graph (a stacking/out-of-fold protocol).
+    pub oof_fraction: f64,
+    /// When set, replace the adaptive quadtree by a **uniform** grid of
+    /// `4^depth` equal cells (ablation; the paper argues uniform grids are
+    /// "inflexible and inefficient" because POI density varies).
+    pub uniform_grid_depth: Option<usize>,
+    /// Master seed (sampling, initialization, SMO).
+    pub seed: u64,
+}
+
+impl Default for FriendSeekerConfig {
+    fn default() -> Self {
+        FriendSeekerConfig {
+            sigma: 60,
+            tau_days: 7.0,
+            feature_dim: 128,
+            alpha: 1.0,
+            k_hop: 3,
+            max_hidden: 512,
+            epochs: 20,
+            batch_size: 32,
+            // Algorithm 1 is plain gradient descent at 0.005; Adam at the
+            // same rate reaches the same loss in far fewer epochs, which
+            // matters on a single-core harness. The paper states the method
+            // is optimizer-agnostic; the ablation bench compares both.
+            optimizer: Optimizer::Adam { lr: 0.005, beta1: 0.9, beta2: 0.999, eps: 1e-8 },
+            classifier: ClassifierKind::MlpHead,
+            svm: SvmConfig::default(),
+            svm_auto_gamma: true,
+            max_iterations: 8,
+            convergence_threshold: 0.01,
+            negative_ratio: 1.0,
+            oof_fraction: 0.3,
+            uniform_grid_depth: None,
+            seed: 42,
+        }
+    }
+}
+
+impl FriendSeekerConfig {
+    /// A down-scaled configuration for unit tests and doc examples: small
+    /// feature dimension and few epochs so a full attack runs in seconds.
+    pub fn fast() -> Self {
+        FriendSeekerConfig {
+            sigma: 40,
+            feature_dim: 16,
+            epochs: 15,
+            max_iterations: 3,
+            ..Default::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sigma == 0 {
+            return Err("sigma must be positive".into());
+        }
+        if !(self.tau_days.is_finite() && self.tau_days > 0.0) {
+            return Err(format!("tau must be positive, got {}", self.tau_days));
+        }
+        if self.feature_dim == 0 {
+            return Err("feature_dim must be positive".into());
+        }
+        if self.k_hop < 2 {
+            return Err(format!("k_hop must be at least 2, got {}", self.k_hop));
+        }
+        if self.max_iterations == 0 {
+            return Err("max_iterations must be positive".into());
+        }
+        if self.negative_ratio <= 0.0 {
+            return Err("negative_ratio must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.convergence_threshold) {
+            return Err("convergence_threshold must be in [0, 1]".into());
+        }
+        if !(self.oof_fraction > 0.0 && self.oof_fraction < 1.0) {
+            return Err(format!("oof_fraction must be in (0, 1), got {}", self.oof_fraction));
+        }
+        if let Some(depth) = self.uniform_grid_depth {
+            if depth == 0 || depth > 8 {
+                return Err(format!("uniform_grid_depth must be in 1..=8, got {depth}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Dimension of the social-proximity feature `s`: one `d`-block per path
+    /// length `2..=k`.
+    pub fn social_feature_dim(&self) -> usize {
+        (self.k_hop - 1) * self.feature_dim
+    }
+
+    /// Dimension of the composite feature `v = h ⊕ s` fed to `C'`.
+    pub fn composite_feature_dim(&self) -> usize {
+        self.feature_dim + self.social_feature_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let cfg = FriendSeekerConfig::default();
+        assert_eq!(cfg.tau_days, 7.0);
+        assert_eq!(cfg.feature_dim, 128);
+        assert_eq!(cfg.alpha, 1.0);
+        assert_eq!(cfg.k_hop, 3);
+        assert_eq!(cfg.convergence_threshold, 0.01);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn feature_dims_compose() {
+        let cfg = FriendSeekerConfig::default();
+        assert_eq!(cfg.social_feature_dim(), 2 * 128);
+        assert_eq!(cfg.composite_feature_dim(), 3 * 128);
+        let mut k4 = cfg.clone();
+        k4.k_hop = 4;
+        assert_eq!(k4.social_feature_dim(), 3 * 128);
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut cfg = FriendSeekerConfig::default();
+        cfg.sigma = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = FriendSeekerConfig::default();
+        cfg.tau_days = -1.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = FriendSeekerConfig::default();
+        cfg.k_hop = 1;
+        assert!(cfg.validate().is_err());
+        let mut cfg = FriendSeekerConfig::default();
+        cfg.negative_ratio = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = FriendSeekerConfig::default();
+        cfg.convergence_threshold = 2.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fast_preset_is_valid() {
+        assert!(FriendSeekerConfig::fast().validate().is_ok());
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type of the attack pipeline.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors raised while training or running the attack.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// The configuration is invalid.
+    Config(String),
+    /// The dataset cannot support the requested operation (e.g. no labeled
+    /// pairs to train on).
+    Data(String),
+    /// An error from the trace substrate.
+    Trace(seeker_trace::TraceError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Config(m) => write!(f, "invalid configuration: {m}"),
+            AttackError::Data(m) => write!(f, "unusable data: {m}"),
+            AttackError::Trace(e) => write!(f, "trace error: {e}"),
+        }
+    }
+}
+
+impl StdError for AttackError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            AttackError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<seeker_trace::TraceError> for AttackError {
+    fn from(e: seeker_trace::TraceError) -> Self {
+        AttackError::Trace(e)
+    }
+}
+
+/// Result alias for the attack pipeline.
+pub type Result<T> = std::result::Result<T, AttackError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AttackError::Config("bad sigma".into());
+        assert!(e.to_string().contains("bad sigma"));
+        assert!(e.source().is_none());
+        let e = AttackError::from(seeker_trace::TraceError::Invalid("x".into()));
+        assert!(e.to_string().contains("trace error"));
+        assert!(e.source().is_some());
+    }
+}

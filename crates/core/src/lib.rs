@@ -1,0 +1,43 @@
+//! # friendseeker
+//!
+//! A from-scratch Rust implementation of **FriendSeeker** (ICDCS 2023): a
+//! two-phase friendship-inference attack that reveals both real-world and
+//! cyber friendships from sparse check-in data.
+//!
+//! - **Phase 1** (module [`phase1`]): joint occurrence cuboids over an
+//!   adaptive spatial-temporal division are compressed by a *supervised
+//!   autoencoder* (Algorithm 1) into presence-proximity features; a
+//!   classifier `C` predicts an initial graph of physical friends.
+//! - **Phase 2** (module [`phase2`]): each pair's *k-hop reachable subgraph*
+//!   is embedded into a social-proximity feature, concatenated with the
+//!   presence feature, and classified by `C'` (an RBF SVM); the graph is
+//!   iteratively refined until fewer than 1 % of edges change.
+//!
+//! ```no_run
+//! use friendseeker::{FriendSeeker, FriendSeekerConfig};
+//! use seeker_trace::synth::{generate, SyntheticConfig};
+//!
+//! let train = generate(&SyntheticConfig::synth_brightkite(1))?.dataset;
+//! let target = generate(&SyntheticConfig::synth_brightkite(2))?.dataset;
+//! let trained = FriendSeeker::new(FriendSeekerConfig::default()).train(&train)?;
+//! let result = trained.infer(&target);
+//! let metrics = result.evaluate(&target);
+//! println!("F1 = {:.3}", metrics.f1());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack;
+mod config;
+mod error;
+pub mod features;
+pub mod pairs;
+pub mod persist;
+pub mod phase1;
+pub mod phase2;
+
+pub use attack::{FriendSeeker, InferenceResult, TrainedAttack};
+pub use config::{ClassifierKind, FriendSeekerConfig};
+pub use error::{AttackError, Result};

@@ -1,0 +1,135 @@
+//! Candidate user-pair generation and labeling.
+//!
+//! The attacker trains on a labeled dataset: all friend pairs plus a sampled
+//! set of non-friend pairs (the full non-friend universe is quadratic and
+//! overwhelmingly negative). The same sampler builds balanced evaluation
+//! sets for the experiment harness.
+
+use seeker_trace::{stats, Dataset, UserId, UserPair};
+
+/// A labeled pair set.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledPairs {
+    /// The pairs, friends first.
+    pub pairs: Vec<UserPair>,
+    /// Friendship labels, aligned with `pairs`.
+    pub labels: Vec<bool>,
+}
+
+impl LabeledPairs {
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of positive (friend) pairs.
+    pub fn n_positive(&self) -> usize {
+        self.labels.iter().filter(|&&y| y).count()
+    }
+
+    /// Labels as `f32` (0/1), the format the autoencoder trainer expects.
+    pub fn labels_f32(&self) -> Vec<f32> {
+        self.labels.iter().map(|&y| if y { 1.0 } else { 0.0 }).collect()
+    }
+}
+
+/// Builds a labeled pair set from the dataset's ground truth: every friend
+/// pair, plus `negative_ratio` × as many uniformly sampled non-friend pairs.
+/// Deterministic in `seed`.
+pub fn labeled_pairs(ds: &Dataset, negative_ratio: f64, seed: u64) -> LabeledPairs {
+    let mut pairs: Vec<UserPair> = ds.friendships().collect();
+    let n_pos = pairs.len();
+    let mut labels = vec![true; n_pos];
+    let n_neg = ((n_pos as f64) * negative_ratio).round() as usize;
+    let negatives = stats::sample_non_friend_pairs(ds, n_neg, seed);
+    labels.extend(std::iter::repeat_n(false, negatives.len()));
+    pairs.extend(negatives);
+    LabeledPairs { pairs, labels }
+}
+
+/// Every unordered pair of users in the dataset, in canonical order.
+///
+/// Quadratic — intended for the inference stage over a target dataset, where
+/// the attacker must decide *every* pair (Definition 7).
+pub fn all_pairs(ds: &Dataset) -> Vec<UserPair> {
+    let n = ds.n_users() as u32;
+    let mut out = Vec::with_capacity((n as usize * (n as usize - 1)) / 2);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            out.push(UserPair::new(UserId::new(a), UserId::new(b)));
+        }
+    }
+    out
+}
+
+/// Ground-truth labels for an arbitrary pair list.
+pub fn ground_truth_labels(ds: &Dataset, pairs: &[UserPair]) -> Vec<bool> {
+    pairs.iter().map(|p| ds.are_friends(p.lo(), p.hi())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+
+    fn ds() -> Dataset {
+        generate(&SyntheticConfig::small(21)).unwrap().dataset
+    }
+
+    #[test]
+    fn labeled_pairs_contains_all_friends() {
+        let ds = ds();
+        let lp = labeled_pairs(&ds, 1.0, 3);
+        assert_eq!(lp.n_positive(), ds.n_links());
+        for (pair, &label) in lp.pairs.iter().zip(lp.labels.iter()) {
+            assert_eq!(label, ds.are_friends(pair.lo(), pair.hi()));
+        }
+    }
+
+    #[test]
+    fn negative_ratio_controls_balance() {
+        let ds = ds();
+        let lp1 = labeled_pairs(&ds, 1.0, 3);
+        let lp2 = labeled_pairs(&ds, 2.0, 3);
+        let neg1 = lp1.len() - lp1.n_positive();
+        let neg2 = lp2.len() - lp2.n_positive();
+        assert_eq!(neg1, lp1.n_positive());
+        assert!(neg2 > neg1);
+    }
+
+    #[test]
+    fn labels_f32_maps_correctly() {
+        let lp = LabeledPairs { pairs: vec![], labels: vec![true, false, true] };
+        assert_eq!(lp.labels_f32(), vec![1.0, 0.0, 1.0]);
+        assert!(!lp.is_empty() || lp.pairs.is_empty());
+    }
+
+    #[test]
+    fn all_pairs_count_is_choose_two() {
+        let ds = ds();
+        let n = ds.n_users();
+        assert_eq!(all_pairs(&ds).len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn ground_truth_labels_match() {
+        let ds = ds();
+        let pairs = all_pairs(&ds);
+        let labels = ground_truth_labels(&ds, &pairs);
+        let positives = labels.iter().filter(|&&y| y).count();
+        assert_eq!(positives, ds.n_links());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let ds = ds();
+        let a = labeled_pairs(&ds, 1.0, 7);
+        let b = labeled_pairs(&ds, 1.0, 7);
+        assert_eq!(a.pairs, b.pairs);
+    }
+}

@@ -1,0 +1,394 @@
+//! Persistence of a trained attack: train once, save, attack later.
+//!
+//! A trained attack consists of (1) the spatial-temporal division, which is
+//! a deterministic function of the training POI table, the spatial
+//! parameter and the covered time range — so those *inputs* are persisted
+//! and the division rebuilt on load; (2) the three networks of the
+//! supervised autoencoder; (3) the calibrated `C` threshold; (4) the `C'`
+//! scaler + SVM and the early-stopped iteration budget.
+//!
+//! Only the default MLP-head classifier variant is persistable (the KNN and
+//! random-forest ablation variants memorize training rows and are cheap to
+//! refit).
+//!
+//! Format: magic `SEEKAT01`, then little-endian fixed-width fields — see
+//! the `write_*`/`read_*` pairs. No serde format crate is required.
+
+use seeker_ml::{Kernel, StandardScaler, Svm};
+use seeker_nn::persist::{mlp_from_bytes, mlp_to_bytes};
+use seeker_nn::{SupervisedAutoencoder, SupervisedAutoencoderConfig};
+use seeker_spatial::{SpatialParam, SpatialTemporalDivision};
+use seeker_trace::{GeoPoint, Poi, PoiId, Timestamp};
+
+use crate::attack::TrainedAttack;
+use crate::config::{ClassifierKind, FriendSeekerConfig};
+use crate::error::{AttackError, Result};
+use crate::phase1::Phase1Model;
+use crate::phase2::Phase2Model;
+
+const MAGIC: &[u8; 8] = b"SEEKAT01";
+
+/// Serializes a trained attack.
+///
+/// `pois` must be the POI table of the training dataset (the division is
+/// rebuilt from it on load; [`seeker_trace::Dataset::pois`] of the training
+/// world is the right argument).
+///
+/// # Errors
+///
+/// Returns [`AttackError::Config`] if the attack uses a non-persistable
+/// classifier variant, or if `pois` is inconsistent with the division.
+pub fn save(attack: &TrainedAttack, pois: &[Poi]) -> Result<Vec<u8>> {
+    if !matches!(attack.config().classifier, ClassifierKind::MlpHead) {
+        return Err(AttackError::Config(
+            "only the MLP-head classifier variant is persistable".into(),
+        ));
+    }
+    // Consistency guard: rebuilding the division from `pois` must reproduce
+    // the persisted model's input layout.
+    let division = attack.phase1().division();
+    let rebuilt = SpatialTemporalDivision::from_components(
+        pois,
+        spatial_param(attack.config()),
+        division.slots().origin(),
+        end_of(division),
+        attack.config().tau_days,
+    )
+    .map_err(AttackError::Trace)?;
+    if rebuilt.n_cells() != division.n_cells() {
+        return Err(AttackError::Config(format!(
+            "poi table does not reproduce the division ({} cells vs {})",
+            rebuilt.n_cells(),
+            division.n_cells()
+        )));
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let cfg = attack.config();
+    write_f64(&mut out, cfg.tau_days);
+    write_u32(&mut out, cfg.k_hop as u32);
+    write_u32(&mut out, cfg.max_iterations as u32);
+    write_f64(&mut out, cfg.convergence_threshold);
+    match spatial_param(cfg) {
+        SpatialParam::Adaptive { sigma } => {
+            out.push(0);
+            write_u32(&mut out, sigma as u32);
+        }
+        SpatialParam::Uniform { depth } => {
+            out.push(1);
+            write_u32(&mut out, depth as u32);
+        }
+    }
+    write_i64(&mut out, division.slots().origin().as_secs());
+    write_i64(&mut out, end_of(division).as_secs());
+    write_u32(&mut out, pois.len() as u32);
+    for p in pois {
+        write_f64(&mut out, p.center.lat);
+        write_f64(&mut out, p.center.lon);
+        write_f64(&mut out, p.radius_m);
+    }
+
+    // Phase 1.
+    write_f64(&mut out, attack.phase1().threshold());
+    let ae = attack.phase1().autoencoder();
+    write_f64(&mut out, ae.config().alpha as f64);
+    for mlp in [ae.encoder(), ae.decoder(), ae.classifier()] {
+        let blob = mlp_to_bytes(mlp);
+        write_u32(&mut out, blob.len() as u32);
+        out.extend_from_slice(&blob);
+    }
+
+    // Phase 2.
+    let (means, stds) = attack.phase2().scaler().to_parts();
+    write_u32(&mut out, means.len() as u32);
+    for &m in means {
+        write_f32(&mut out, m);
+    }
+    for &s in stds {
+        write_f32(&mut out, s);
+    }
+    let (kernel, svs, coeffs, bias) = attack.phase2().svm().to_parts();
+    match kernel {
+        Kernel::Linear => {
+            out.push(0);
+            write_f32(&mut out, 0.0);
+        }
+        Kernel::Rbf { gamma } => {
+            out.push(1);
+            write_f32(&mut out, gamma);
+        }
+    }
+    write_u32(&mut out, attack.phase2().svm().dim() as u32);
+    write_u32(&mut out, svs.len() as u32);
+    write_f32(&mut out, bias);
+    for (sv, &c) in svs.iter().zip(coeffs.iter()) {
+        write_f32(&mut out, c);
+        for &x in sv {
+            write_f32(&mut out, x);
+        }
+    }
+    write_u32(&mut out, attack.phase2().n_iterations() as u32);
+    Ok(out)
+}
+
+/// Deserializes a trained attack saved by [`save`].
+///
+/// # Errors
+///
+/// Returns [`AttackError::Data`] for wrong magic, truncation or structural
+/// inconsistencies.
+pub fn load(bytes: &[u8]) -> Result<TrainedAttack> {
+    let mut c = Cursor { buf: bytes, pos: 0 };
+    if c.take(8)? != MAGIC {
+        return Err(AttackError::Data("not a persisted FriendSeeker attack".into()));
+    }
+    let tau_days = c.f64()?;
+    let k_hop = c.u32()? as usize;
+    let max_iterations = c.u32()? as usize;
+    let convergence_threshold = c.f64()?;
+    let spatial = match c.u8()? {
+        0 => SpatialParam::Adaptive { sigma: c.u32()? as usize },
+        1 => SpatialParam::Uniform { depth: c.u32()? as usize },
+        other => return Err(AttackError::Data(format!("unknown spatial tag {other}"))),
+    };
+    let t_lo = Timestamp::from_secs(c.i64()?);
+    let t_hi = Timestamp::from_secs(c.i64()?);
+    let n_pois = c.u32()? as usize;
+    let mut pois = Vec::with_capacity(n_pois);
+    for i in 0..n_pois {
+        let lat = c.f64()?;
+        let lon = c.f64()?;
+        let radius = c.f64()?;
+        pois.push(Poi::new(PoiId::new(i as u32), GeoPoint::new(lat, lon), radius));
+    }
+    let division = SpatialTemporalDivision::from_components(&pois, spatial, t_lo, t_hi, tau_days)
+        .map_err(AttackError::Trace)?;
+
+    let threshold = c.f64()?;
+    let alpha = c.f64()? as f32;
+    let mut mlps = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let len = c.u32()? as usize;
+        let blob = c.take(len)?;
+        mlps.push(mlp_from_bytes(blob).map_err(|e| AttackError::Data(e.to_string()))?);
+    }
+    let classifier_head = mlps.pop().expect("three blobs");
+    let decoder = mlps.pop().expect("three blobs");
+    let encoder = mlps.pop().expect("three blobs");
+    let mut ae_cfg = SupervisedAutoencoderConfig::new(encoder.in_dim(), encoder.out_dim());
+    ae_cfg.alpha = alpha;
+    let feature_dim = ae_cfg.bottleneck;
+    let autoencoder = SupervisedAutoencoder::from_parts(ae_cfg, encoder, decoder, classifier_head)
+        .map_err(AttackError::Data)?;
+    let phase1 = Phase1Model::from_parts(division, autoencoder, threshold);
+
+    let scaler_dim = c.u32()? as usize;
+    let means = c.f32s(scaler_dim)?;
+    let stds = c.f32s(scaler_dim)?;
+    let scaler = StandardScaler::from_parts(means, stds).map_err(AttackError::Data)?;
+    let kernel = match c.u8()? {
+        0 => {
+            let _ = c.f32()?;
+            Kernel::Linear
+        }
+        1 => Kernel::Rbf { gamma: c.f32()? },
+        other => return Err(AttackError::Data(format!("unknown kernel tag {other}"))),
+    };
+    let svm_dim = c.u32()? as usize;
+    let n_sv = c.u32()? as usize;
+    let bias = c.f32()?;
+    let mut coeffs = Vec::with_capacity(n_sv);
+    let mut svs = Vec::with_capacity(n_sv);
+    for _ in 0..n_sv {
+        coeffs.push(c.f32()?);
+        svs.push(c.f32s(svm_dim)?);
+    }
+    let svm = Svm::from_parts(kernel, svs, coeffs, bias, svm_dim).map_err(AttackError::Data)?;
+    let n_iterations = c.u32()? as usize;
+    if c.pos != bytes.len() {
+        return Err(AttackError::Data("trailing bytes after payload".into()));
+    }
+    let phase2 = Phase2Model::from_parts(scaler, svm, n_iterations);
+
+    let cfg = FriendSeekerConfig {
+        tau_days,
+        k_hop,
+        max_iterations,
+        convergence_threshold,
+        feature_dim,
+        sigma: match spatial {
+            SpatialParam::Adaptive { sigma } => sigma,
+            SpatialParam::Uniform { .. } => FriendSeekerConfig::default().sigma,
+        },
+        uniform_grid_depth: match spatial {
+            SpatialParam::Adaptive { .. } => None,
+            SpatialParam::Uniform { depth } => Some(depth),
+        },
+        ..FriendSeekerConfig::default()
+    };
+    Ok(TrainedAttack::from_parts(cfg, phase1, phase2))
+}
+
+fn spatial_param(cfg: &FriendSeekerConfig) -> SpatialParam {
+    match cfg.uniform_grid_depth {
+        None => SpatialParam::Adaptive { sigma: cfg.sigma },
+        Some(depth) => SpatialParam::Uniform { depth },
+    }
+}
+
+/// The last instant covered by the division's slots, chosen so rebuilding
+/// with `TimeSlots::new(origin, end, tau)` reproduces the slot count.
+fn end_of(division: &SpatialTemporalDivision) -> Timestamp {
+    let slots = division.slots();
+    Timestamp::from_secs(
+        slots.origin().as_secs() + slots.slot_secs() * (slots.n_slots() as i64 - 1),
+    )
+}
+
+fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(AttackError::Data("persisted attack is truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("eight bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("eight bytes")))
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>> {
+        let b = self.take(n * 4)?;
+        Ok(b.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs;
+    use crate::FriendSeeker;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+    use seeker_trace::{Dataset, UserId};
+    use std::sync::OnceLock;
+
+    fn fixture() -> &'static (Dataset, Dataset, TrainedAttack, Vec<u8>) {
+        static CELL: OnceLock<(Dataset, Dataset, TrainedAttack, Vec<u8>)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let full = generate(&SyntheticConfig::small(181)).unwrap().dataset;
+            let (train_idx, target_idx) = seeker_ml::train_test_split(full.n_users(), 0.3, 3);
+            let to_users =
+                |idx: &[usize]| idx.iter().map(|&i| UserId::new(i as u32)).collect::<Vec<_>>();
+            let train = full.induced_subset(&to_users(&train_idx), "train").unwrap();
+            let target = full.induced_subset(&to_users(&target_idx), "target").unwrap();
+            let attack =
+                FriendSeeker::new(crate::FriendSeekerConfig::fast()).train(&train).unwrap();
+            let bytes = save(&attack, train.pois()).unwrap();
+            (train, target, attack, bytes)
+        })
+    }
+
+    #[test]
+    fn roundtrip_reproduces_predictions_exactly() {
+        let (_, target, attack, bytes) = fixture();
+        let loaded = load(bytes).unwrap();
+        let lp = pairs::labeled_pairs(target, 1.0, 5);
+        let a = attack.infer_pairs(target, lp.pairs.clone());
+        let b = loaded.infer_pairs(target, lp.pairs);
+        assert_eq!(a.predictions(), b.predictions(), "loaded attack must agree bit-for-bit");
+        assert_eq!(a.trace.graphs.len(), b.trace.graphs.len());
+    }
+
+    #[test]
+    fn loaded_config_matches_inference_relevant_fields() {
+        let (_, _, attack, bytes) = fixture();
+        let loaded = load(bytes).unwrap();
+        assert_eq!(loaded.config().k_hop, attack.config().k_hop);
+        assert_eq!(loaded.config().tau_days, attack.config().tau_days);
+        assert_eq!(loaded.config().sigma, attack.config().sigma);
+        assert_eq!(loaded.phase1().threshold(), attack.phase1().threshold());
+        assert_eq!(loaded.phase2().n_iterations(), attack.phase2().n_iterations());
+        assert_eq!(
+            loaded.phase1().division().n_cells(),
+            attack.phase1().division().n_cells()
+        );
+    }
+
+    #[test]
+    fn corrupted_payloads_are_rejected() {
+        let (_, _, _, bytes) = fixture();
+        // Magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(load(&bad).is_err());
+        // Truncation at several depths.
+        for cut in [4usize, 40, bytes.len() / 2, bytes.len() - 2] {
+            assert!(load(&bytes[..cut]).is_err(), "cut {cut} must fail");
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(7);
+        assert!(load(&long).is_err());
+    }
+
+    #[test]
+    fn knn_variant_refuses_to_persist() {
+        let (train, _, _, _) = fixture();
+        let mut cfg = crate::FriendSeekerConfig::fast();
+        cfg.classifier = crate::ClassifierKind::Knn { k: 5 };
+        let attack = FriendSeeker::new(cfg).train(train).unwrap();
+        assert!(matches!(save(&attack, train.pois()), Err(AttackError::Config(_))));
+    }
+
+    #[test]
+    fn wrong_poi_table_is_rejected_at_save() {
+        let (train, _, attack, _) = fixture();
+        // A truncated POI table cannot reproduce the division.
+        let half = &train.pois()[..train.pois().len() / 2];
+        assert!(save(attack, half).is_err());
+    }
+}

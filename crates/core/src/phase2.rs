@@ -1,0 +1,390 @@
+//! Phase 2 — iterative hidden friends inference (§III-C).
+//!
+//! Starting from the phase-1 graph `G⁰`, each iteration embeds every
+//! candidate pair's k-hop reachable subgraph into a social-proximity
+//! feature, concatenates it with the pair's presence feature, and feeds the
+//! composite vector to classifier `C'` (an RBF SVM). The classifier's
+//! decisions form the next graph; iteration stops when fewer than the
+//! convergence threshold of edges change (1 % in the paper).
+
+use seeker_graph::SocialGraph;
+use seeker_ml::{Kernel, StandardScaler, Svm};
+use seeker_trace::{Dataset, UserPair};
+
+use crate::config::FriendSeekerConfig;
+use crate::error::{AttackError, Result};
+use crate::features::{composite_feature, FeatureStore};
+use crate::pairs::LabeledPairs;
+use crate::phase1::Phase1Model;
+
+/// The trained phase-2 model: the scaler and SVM of the selected training
+/// iteration, plus the early-stopped iteration budget.
+#[derive(Debug, Clone)]
+pub struct Phase2Model {
+    scaler: StandardScaler,
+    svm: Svm,
+    /// How many refinement iterations to run at inference time: the
+    /// iteration count at which calibration F1 peaked during training
+    /// (0 = keep the phase-1 graph untouched).
+    n_iterations: usize,
+}
+
+/// The graph sequence produced by an iterative refinement run.
+#[derive(Debug, Clone)]
+pub struct IterationTrace {
+    /// `G⁰, G¹, …` — the initial graph plus one entry per iteration.
+    pub graphs: Vec<SocialGraph>,
+    /// `change_ratios[i]` is the relative edge difference between
+    /// `graphs[i]` and `graphs[i + 1]`.
+    pub change_ratios: Vec<f64>,
+    /// Whether the convergence criterion was met (vs. hitting the cap).
+    pub converged: bool,
+}
+
+impl IterationTrace {
+    /// The final social graph.
+    pub fn final_graph(&self) -> &SocialGraph {
+        self.graphs.last().expect("trace always holds G0")
+    }
+
+    /// Number of refinement iterations performed (excludes `G⁰`).
+    pub fn n_iterations(&self) -> usize {
+        self.graphs.len() - 1
+    }
+}
+
+/// Trains `C'` by iterative refinement on the labeled training pairs.
+///
+/// Each candidate SVM configuration runs a full refinement loop (a fresh
+/// scaler + SVM fit per iteration on the out-of-fold calibration pairs);
+/// the configuration and iteration count with the best calibration F1 —
+/// guarded by a margin against the phase-1 graph — become the model used
+/// at inference time.
+///
+/// # Errors
+///
+/// Returns [`AttackError::Data`] if `train_pairs` is empty.
+pub fn train_phase2(
+    cfg: &FriendSeekerConfig,
+    phase1: &Phase1Model,
+    train: &Dataset,
+    train_pairs: &LabeledPairs,
+    holdout: &[usize],
+) -> Result<(Phase2Model, IterationTrace)> {
+    if train_pairs.is_empty() {
+        return Err(AttackError::Data("no labeled pairs for phase-2 training".into()));
+    }
+    // C' is calibrated on the out-of-fold pairs when enough exist: their
+    // graph features carry the same phase-1 noise the target will have.
+    let all_idx: Vec<usize> = (0..train_pairs.len()).collect();
+    let cal_idx: Vec<usize> = if holdout.len() >= 20 { holdout.to_vec() } else { all_idx };
+    let cal_labels: Vec<bool> = cal_idx.iter().map(|&i| train_pairs.labels[i]).collect();
+    let store = FeatureStore::build(phase1, train, &train_pairs.pairs);
+    let g0 = phase1.predict_graph(train, &train_pairs.pairs);
+
+    // Model selection for C' on the attacker's own labeled data: run the
+    // full refinement for each candidate (γ, C) and keep the configuration
+    // whose *final* graph scores the best F1 on the calibration pairs. A
+    // fixed kernel width cannot be right across the d/k sweeps (the
+    // composite dimension changes by an order of magnitude), and an
+    // ill-sized γ makes the iteration drift (inflate or collapse).
+    // Early stopping: within each candidate's refinement, keep the
+    // iteration at which the calibration F1 peaked (0 = phase-1 graph
+    // as-is), then keep the best candidate overall. The attacker owns
+    // labeled data, so this is free — and it guarantees the refinement
+    // never degrades the graph it can measure.
+    let mut best: Option<(f64, Phase2Model, IterationTrace)> = None;
+    for svm_cfg in candidate_svm_configs(cfg) {
+        let (mut model, mut trace) = refine(
+            cfg, &svm_cfg, &store, train, train_pairs, &cal_idx, &cal_labels, g0.clone(), true,
+        );
+        let f1_at: Vec<f64> = trace
+            .graphs
+            .iter()
+            .map(|g| graph_f1(g, train_pairs, &cal_idx, &cal_labels))
+            .collect();
+        // Winner's-curse guard: a refined graph must beat the unbiased G0
+        // estimate by a clear margin before it replaces G0.
+        const MARGIN: f64 = 0.01;
+        let (mut best_iter, mut best_f1) = (0usize, f1_at[0]);
+        for (i, &f1) in f1_at.iter().enumerate().skip(1) {
+            if f1 > best_f1.max(f1_at[0] + MARGIN) {
+                best_iter = i;
+                best_f1 = f1;
+            }
+        }
+        model.n_iterations = best_iter;
+        trace.graphs.truncate(best_iter + 1);
+        trace.change_ratios.truncate(best_iter);
+        if best.as_ref().is_none_or(|(b, _, _)| best_f1 > *b) {
+            best = Some((best_f1, model, trace));
+        }
+    }
+    let (_, model, trace) = best.expect("at least one candidate configuration");
+    Ok((model, trace))
+}
+
+/// The candidate `C'` configurations tried during training.
+fn candidate_svm_configs(cfg: &FriendSeekerConfig) -> Vec<seeker_ml::SvmConfig> {
+    if !cfg.svm_auto_gamma {
+        return vec![cfg.svm.clone()];
+    }
+    let dim = cfg.composite_feature_dim() as f32;
+    [1.0 / dim, 4.0 / dim, 16.0 / dim, 64.0 / dim]
+        .iter()
+        .map(|&gamma| seeker_ml::SvmConfig { kernel: Kernel::Rbf { gamma }, ..cfg.svm.clone() })
+        .collect()
+}
+
+/// F1 of a predicted graph over a labeled pair subset.
+fn graph_f1(
+    graph: &SocialGraph,
+    train_pairs: &LabeledPairs,
+    idx: &[usize],
+    labels: &[bool],
+) -> f64 {
+    let preds: Vec<bool> = idx.iter().map(|&i| graph.has_edge(train_pairs.pairs[i])).collect();
+    seeker_ml::BinaryMetrics::from_predictions(&preds, labels).f1()
+}
+
+/// One full refinement loop. With `fit = true` the scaler + SVM are refit
+/// each iteration on the calibration subset (training); the returned model
+/// is the last iteration's.
+#[allow(clippy::too_many_arguments)]
+fn refine(
+    cfg: &FriendSeekerConfig,
+    svm_cfg: &seeker_ml::SvmConfig,
+    store: &FeatureStore,
+    train: &Dataset,
+    train_pairs: &LabeledPairs,
+    cal_idx: &[usize],
+    cal_labels: &[bool],
+    mut graph: SocialGraph,
+    fit: bool,
+) -> (Phase2Model, IterationTrace) {
+    debug_assert!(fit, "training-side refinement always refits");
+    let mut trace =
+        IterationTrace { graphs: vec![graph.clone()], change_ratios: Vec::new(), converged: false };
+    let mut model: Option<Phase2Model> = None;
+    for _ in 0..cfg.max_iterations {
+        let features = composite_features(&graph, &train_pairs.pairs, cfg.k_hop, store);
+        let cal_features: Vec<Vec<f32>> =
+            cal_idx.iter().map(|&i| features[i].clone()).collect();
+        let (scaler, cal_scaled) = StandardScaler::fit_transform(&cal_features);
+        let svm = Svm::fit(svm_cfg, &cal_scaled, cal_labels);
+        let preds = svm.predict(&scaler.transform(&features));
+        let next = graph_from_predictions(train.n_users(), &train_pairs.pairs, &preds);
+        let change = graph.change_ratio(&next);
+        model = Some(Phase2Model { scaler, svm, n_iterations: cfg.max_iterations });
+        trace.graphs.push(next.clone());
+        trace.change_ratios.push(change);
+        graph = next;
+        if change < cfg.convergence_threshold {
+            trace.converged = true;
+            break;
+        }
+    }
+    (model.expect("max_iterations >= 1 guarantees one fit"), trace)
+}
+
+impl Phase2Model {
+    /// Runs the iterative inference procedure on a target dataset: phase-1
+    /// features and graph, then repeated `C'` refinement with the *trained*
+    /// scaler and SVM (no further fitting), until convergence or the cap.
+    pub fn infer(
+        &self,
+        cfg: &FriendSeekerConfig,
+        phase1: &Phase1Model,
+        target: &Dataset,
+        pairs: &[UserPair],
+    ) -> IterationTrace {
+        let store = FeatureStore::build(phase1, target, pairs);
+        let mut graph = phase1.predict_graph(target, pairs);
+        let mut trace = IterationTrace {
+            graphs: vec![graph.clone()],
+            change_ratios: Vec::new(),
+            converged: self.n_iterations == 0,
+        };
+        for _ in 0..self.n_iterations.min(cfg.max_iterations) {
+            let features = composite_features(&graph, pairs, cfg.k_hop, &store);
+            let scaled = self.scaler.transform(&features);
+            let preds = self.svm.predict(&scaled);
+            let next = graph_from_predictions(target.n_users(), pairs, &preds);
+            let change = graph.change_ratio(&next);
+            trace.graphs.push(next.clone());
+            trace.change_ratios.push(change);
+            graph = next;
+            if change < cfg.convergence_threshold {
+                trace.converged = true;
+                break;
+            }
+        }
+        trace
+    }
+
+    /// The underlying SVM (ablation inspection).
+    pub fn svm(&self) -> &Svm {
+        &self.svm
+    }
+
+    /// The fitted feature scaler (persistence).
+    pub fn scaler(&self) -> &StandardScaler {
+        &self.scaler
+    }
+
+    /// The early-stopped inference iteration budget (persistence).
+    pub fn n_iterations(&self) -> usize {
+        self.n_iterations
+    }
+
+    /// Reassembles a phase-2 model from persisted parts.
+    pub(crate) fn from_parts(scaler: StandardScaler, svm: Svm, n_iterations: usize) -> Phase2Model {
+        Phase2Model { scaler, svm, n_iterations }
+    }
+}
+
+/// The SVM configuration phase 2 actually uses: the configured one, with γ
+/// replaced by the `1 / dim` heuristic when `svm_auto_gamma` is set.
+pub fn effective_svm_config(cfg: &FriendSeekerConfig) -> seeker_ml::SvmConfig {
+    let mut svm = cfg.svm.clone();
+    if cfg.svm_auto_gamma {
+        if let Kernel::Rbf { .. } = svm.kernel {
+            svm.kernel = Kernel::Rbf { gamma: 1.0 / cfg.composite_feature_dim() as f32 };
+        }
+    }
+    svm
+}
+
+/// Composite features of all pairs against the current graph.
+fn composite_features(
+    graph: &SocialGraph,
+    pairs: &[UserPair],
+    k: usize,
+    store: &FeatureStore,
+) -> Vec<Vec<f32>> {
+    pairs.iter().map(|&p| composite_feature(graph, p, k, store)).collect()
+}
+
+/// Builds the graph implied by per-pair predictions. If a pair is predicted
+/// as friends, the corresponding edge is added; everything else is pruned —
+/// this is how misidentified close-range strangers drop out of the graph.
+pub fn graph_from_predictions(n_users: usize, pairs: &[UserPair], preds: &[bool]) -> SocialGraph {
+    assert_eq!(pairs.len(), preds.len(), "pair/prediction count mismatch");
+    let mut g = SocialGraph::new(n_users);
+    for (&pair, &friend) in pairs.iter().zip(preds.iter()) {
+        if friend {
+            g.add_edge(pair);
+        }
+    }
+    g
+}
+
+/// The Fig. 5 statistic: per-pair counts of length-`l` paths between
+/// endpoints for `l = 2..=k_max`, computed on a given graph.
+pub fn path_count_profile(graph: &SocialGraph, pair: UserPair, k_max: usize) -> Vec<usize> {
+    (2..=k_max)
+        .map(|l| seeker_graph::count_paths_of_length(graph, pair.lo(), pair.hi(), l))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::labeled_pairs;
+    use crate::phase1::train_phase1;
+    use seeker_ml::BinaryMetrics;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+
+    fn setup() -> &'static (Dataset, FriendSeekerConfig, crate::phase1::Phase1Training) {
+        use std::sync::OnceLock;
+        static CELL: OnceLock<(Dataset, FriendSeekerConfig, crate::phase1::Phase1Training)> =
+            OnceLock::new();
+        CELL.get_or_init(|| {
+            let ds = generate(&SyntheticConfig::small(51)).unwrap().dataset;
+            let cfg = FriendSeekerConfig::fast();
+            let training = train_phase1(&cfg, &ds).unwrap();
+            (ds, cfg, training)
+        })
+    }
+
+    #[test]
+    fn training_converges_or_hits_cap() {
+        let (ds, cfg, p1) = setup();
+        let (_, trace) = train_phase2(cfg, &p1.model, ds, &p1.train_pairs, &p1.holdout).unwrap();
+        assert!(!trace.graphs.is_empty());
+        assert!(trace.n_iterations() <= cfg.max_iterations);
+        assert_eq!(trace.change_ratios.len(), trace.n_iterations());
+        if trace.converged {
+            assert!(*trace.change_ratios.last().unwrap() < cfg.convergence_threshold);
+        }
+    }
+
+    #[test]
+    fn refined_graph_beats_or_matches_phase1_on_train() {
+        let (ds, cfg, p1) = setup();
+        let (_, trace) = train_phase2(cfg, &p1.model, ds, &p1.train_pairs, &p1.holdout).unwrap();
+        let eval = |g: &SocialGraph| -> f64 {
+            let preds: Vec<bool> =
+                p1.train_pairs.pairs.iter().map(|&p| g.has_edge(p)).collect();
+            BinaryMetrics::from_predictions(&preds, &p1.train_pairs.labels).f1()
+        };
+        let f1_initial = eval(&trace.graphs[0]);
+        let f1_final = eval(trace.final_graph());
+        assert!(
+            f1_final >= f1_initial - 0.05,
+            "refinement degraded training F1: {f1_initial} -> {f1_final}"
+        );
+    }
+
+    #[test]
+    fn inference_produces_trace_on_held_out_data() {
+        let (ds, cfg, p1) = setup();
+        let (model, _) = train_phase2(cfg, &p1.model, ds, &p1.train_pairs, &p1.holdout).unwrap();
+        // Fresh pair sample as a stand-in for a target dataset.
+        let target_pairs = labeled_pairs(ds, 1.0, 999);
+        let trace = model.infer(cfg, &p1.model, ds, &target_pairs.pairs);
+        assert!(trace.n_iterations() >= 1);
+        let preds: Vec<bool> =
+            target_pairs.pairs.iter().map(|&p| trace.final_graph().has_edge(p)).collect();
+        let m = BinaryMetrics::from_predictions(&preds, &target_pairs.labels);
+        assert!(m.f1() > 0.4, "held-out F1 {}", m.f1());
+    }
+
+    #[test]
+    fn graph_from_predictions_is_exact() {
+        let pairs = vec![
+            UserPair::new(seeker_trace::UserId::new(0), seeker_trace::UserId::new(1)),
+            UserPair::new(seeker_trace::UserId::new(1), seeker_trace::UserId::new(2)),
+        ];
+        let g = graph_from_predictions(3, &pairs, &[true, false]);
+        assert!(g.has_edge(pairs[0]));
+        assert!(!g.has_edge(pairs[1]));
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn graph_from_predictions_checks_lengths() {
+        let _ = graph_from_predictions(2, &[], &[true]);
+    }
+
+    #[test]
+    fn empty_pairs_rejected() {
+        let (ds, cfg, p1) = setup();
+        let empty = LabeledPairs::default();
+        assert!(matches!(
+            train_phase2(cfg, &p1.model, ds, &empty, &[]),
+            Err(AttackError::Data(_))
+        ));
+    }
+
+    #[test]
+    fn path_count_profile_on_known_graph() {
+        use seeker_trace::UserId;
+        let pair = |a: u32, b: u32| UserPair::new(UserId::new(a), UserId::new(b));
+        let g = SocialGraph::from_edges(4, [pair(0, 2), pair(2, 1), pair(0, 3), pair(3, 1)]);
+        let profile = path_count_profile(&g, pair(0, 1), 4);
+        assert_eq!(profile[0], 2); // two length-2 paths
+        assert_eq!(profile.len(), 3); // lengths 2, 3, 4
+    }
+}

@@ -1,0 +1,352 @@
+//! Whole-graph analysis utilities: connected components, distances,
+//! clustering and degree statistics. Used by the dataset reports and by the
+//! small-world sanity checks on synthetic social graphs (the paper leans on
+//! the small-world property to justify k = 3).
+
+use std::collections::VecDeque;
+
+use seeker_trace::UserId;
+
+use crate::graph::SocialGraph;
+
+/// Connected components of the graph: `membership[u]` is the component id
+/// of vertex `u`, ids are dense `0..n_components` in first-seen order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    membership: Vec<u32>,
+    sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Computes connected components by BFS.
+    pub fn find(g: &SocialGraph) -> Components {
+        let n = g.n_vertices();
+        let mut membership = vec![u32::MAX; n];
+        let mut sizes = Vec::new();
+        for start in 0..n {
+            if membership[start] != u32::MAX {
+                continue;
+            }
+            let id = sizes.len() as u32;
+            let mut size = 0usize;
+            let mut queue = VecDeque::from([start]);
+            membership[start] = id;
+            while let Some(v) = queue.pop_front() {
+                size += 1;
+                for &w in g.neighbors(UserId::new(v as u32)) {
+                    if membership[w.index()] == u32::MAX {
+                        membership[w.index()] = id;
+                        queue.push_back(w.index());
+                    }
+                }
+            }
+            sizes.push(size);
+        }
+        Components { membership, sizes }
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component id of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn component_of(&self, u: UserId) -> u32 {
+        self.membership[u.index()]
+    }
+
+    /// Size of each component, indexed by component id.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether two vertices are connected.
+    pub fn connected(&self, a: UserId, b: UserId) -> bool {
+        self.component_of(a) == self.component_of(b)
+    }
+}
+
+/// BFS distances (hop counts) from `source`; `None` for unreachable
+/// vertices.
+pub fn bfs_distances(g: &SocialGraph, source: UserId) -> Vec<Option<u32>> {
+    let n = g.n_vertices();
+    let mut dist = vec![None; n];
+    dist[source.index()] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("enqueued vertices have distances");
+        for &w in g.neighbors(v) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Local clustering coefficient of `u`: the fraction of neighbour pairs
+/// that are themselves connected (0 for degree < 2).
+pub fn clustering_coefficient(g: &SocialGraph, u: UserId) -> f64 {
+    let nbrs = g.neighbors(u);
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if g.has_edge(seeker_trace::UserPair::new(nbrs[i], nbrs[j])) {
+                closed += 1;
+            }
+        }
+    }
+    closed as f64 / (k * (k - 1) / 2) as f64
+}
+
+/// Mean local clustering coefficient over all vertices of degree ≥ 2
+/// (0 when no such vertex exists).
+pub fn mean_clustering(g: &SocialGraph) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in g.vertices() {
+        if g.degree(v) >= 2 {
+            sum += clustering_coefficient(g, v);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Degree statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree (`2m / n`).
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+}
+
+/// Computes degree statistics. Returns `None` for an empty vertex set.
+pub fn degree_stats(g: &SocialGraph) -> Option<DegreeStats> {
+    if g.n_vertices() == 0 {
+        return None;
+    }
+    let mut degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    Some(DegreeStats {
+        min: degrees[0],
+        max: *degrees.last().expect("non-empty"),
+        mean: 2.0 * g.n_edges() as f64 / g.n_vertices() as f64,
+        median: degrees[degrees.len() / 2],
+    })
+}
+
+/// Estimates the mean shortest-path length of the largest component by BFS
+/// from up to `samples` sources (exact when `samples >= component size`).
+/// Returns `None` when the largest component has < 2 vertices.
+pub fn mean_shortest_path(g: &SocialGraph, samples: usize) -> Option<f64> {
+    let comps = Components::find(g);
+    let largest_id = (0..comps.count() as u32).max_by_key(|&c| comps.sizes()[c as usize])?;
+    let members: Vec<UserId> = g
+        .vertices()
+        .filter(|&v| comps.component_of(v) == largest_id)
+        .collect();
+    if members.len() < 2 {
+        return None;
+    }
+    let step = (members.len() / samples.max(1)).max(1);
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for src in members.iter().step_by(step) {
+        for (v, d) in bfs_distances(g, *src).into_iter().enumerate() {
+            if let Some(d) = d {
+                if d > 0 && comps.component_of(UserId::new(v as u32)) == largest_id {
+                    total += d as u64;
+                    count += 1;
+                }
+            }
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total as f64 / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seeker_trace::UserPair;
+
+    fn pair(a: u32, b: u32) -> UserPair {
+        UserPair::new(UserId::new(a), UserId::new(b))
+    }
+
+    /// Two components: a triangle {0,1,2} and an edge {3,4}; vertex 5 alone.
+    fn sample() -> SocialGraph {
+        SocialGraph::from_edges(6, [pair(0, 1), pair(1, 2), pair(0, 2), pair(3, 4)])
+    }
+
+    #[test]
+    fn components_partition_vertices() {
+        let g = sample();
+        let c = Components::find(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.largest(), 3);
+        assert!(c.connected(UserId::new(0), UserId::new(2)));
+        assert!(!c.connected(UserId::new(0), UserId::new(3)));
+        let total: usize = c.sizes().iter().sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = SocialGraph::from_edges(4, [pair(0, 1), pair(1, 2), pair(2, 3)]);
+        let d = bfs_distances(&g, UserId::new(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+        let g2 = sample();
+        let d2 = bfs_distances(&g2, UserId::new(0));
+        assert_eq!(d2[3], None, "other component unreachable");
+        assert_eq!(d2[5], None);
+    }
+
+    #[test]
+    fn clustering_of_triangle_and_star() {
+        let g = sample();
+        // Triangle: every vertex fully clustered.
+        assert_eq!(clustering_coefficient(&g, UserId::new(0)), 1.0);
+        // Degree-1 vertex: zero by convention.
+        assert_eq!(clustering_coefficient(&g, UserId::new(3)), 0.0);
+        // Star center with no closed wedges.
+        let star = SocialGraph::from_edges(4, [pair(0, 1), pair(0, 2), pair(0, 3)]);
+        assert_eq!(clustering_coefficient(&star, UserId::new(0)), 0.0);
+        assert_eq!(mean_clustering(&star), 0.0);
+        assert_eq!(mean_clustering(&g), 1.0, "only the triangle vertices qualify");
+    }
+
+    #[test]
+    fn degree_stats_on_known_graph() {
+        let g = sample();
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.min, 0); // vertex 5
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 2.0 * 4.0 / 6.0).abs() < 1e-12);
+        // degrees sorted: [0, 1, 1, 2, 2, 2] -> upper-median at index 3.
+        assert_eq!(s.median, 2);
+        assert!(degree_stats(&SocialGraph::new(1)).is_some());
+    }
+
+    #[test]
+    fn mean_shortest_path_of_path_graph() {
+        // Path 0-1-2: distances {1,1,2} duplicated both directions -> mean 4/3.
+        let g = SocialGraph::from_edges(3, [pair(0, 1), pair(1, 2)]);
+        let m = mean_shortest_path(&g, 10).unwrap();
+        assert!((m - 4.0 / 3.0).abs() < 1e-9, "got {m}");
+    }
+
+    #[test]
+    fn mean_shortest_path_none_for_edgeless() {
+        let g = SocialGraph::new(3);
+        assert!(mean_shortest_path(&g, 5).is_none());
+    }
+
+    #[test]
+    fn small_world_property_of_synthetic_graphs() {
+        use seeker_trace::synth::{generate, SyntheticConfig};
+        let ds = generate(&SyntheticConfig::small(7)).unwrap().dataset;
+        let g = SocialGraph::from_dataset(&ds);
+        // Community structure → high clustering; bridges → short paths.
+        assert!(mean_clustering(&g) > 0.1, "clustering {}", mean_clustering(&g));
+        let mspl = mean_shortest_path(&g, 20).unwrap();
+        assert!(mspl < 6.0, "mean shortest path {mspl} violates small-world expectation");
+    }
+}
+
+/// Counts the triangles of the graph (each counted once) and the number of
+/// connected vertex triples ("wedges"), returning `(triangles, wedges)`.
+/// The global transitivity is `3·triangles / wedges`.
+pub fn triangle_census(g: &SocialGraph) -> (u64, u64) {
+    let mut triangles = 0u64;
+    let mut wedges = 0u64;
+    for v in g.vertices() {
+        let nbrs = g.neighbors(v);
+        let k = nbrs.len() as u64;
+        wedges += k.saturating_sub(1) * k / 2;
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                if g.has_edge(seeker_trace::UserPair::new(nbrs[i], nbrs[j])) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    // Every triangle was seen once per corner.
+    (triangles / 3, wedges)
+}
+
+/// Global transitivity `3·triangles / wedges` (0 when there are no wedges).
+pub fn transitivity(g: &SocialGraph) -> f64 {
+    let (t, w) = triangle_census(g);
+    if w == 0 {
+        0.0
+    } else {
+        3.0 * t as f64 / w as f64
+    }
+}
+
+#[cfg(test)]
+mod triangle_tests {
+    use super::*;
+    use seeker_trace::{UserId, UserPair};
+
+    fn pair(a: u32, b: u32) -> UserPair {
+        UserPair::new(UserId::new(a), UserId::new(b))
+    }
+
+    #[test]
+    fn triangle_census_on_known_graphs() {
+        // One triangle.
+        let tri = SocialGraph::from_edges(3, [pair(0, 1), pair(1, 2), pair(0, 2)]);
+        assert_eq!(triangle_census(&tri), (1, 3));
+        assert!((transitivity(&tri) - 1.0).abs() < 1e-12);
+        // A path has wedges but no triangles.
+        let path = SocialGraph::from_edges(3, [pair(0, 1), pair(1, 2)]);
+        assert_eq!(triangle_census(&path), (0, 1));
+        assert_eq!(transitivity(&path), 0.0);
+        // K4 has 4 triangles and 12 wedges.
+        let mut k4 = SocialGraph::new(4);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                k4.add_edge(pair(i, j));
+            }
+        }
+        assert_eq!(triangle_census(&k4), (4, 12));
+        assert!((transitivity(&k4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_transitivity() {
+        let g = SocialGraph::new(5);
+        assert_eq!(triangle_census(&g), (0, 0));
+        assert_eq!(transitivity(&g), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Classic link-prediction heuristics (common neighbours, Jaccard,
+//! Adamic–Adar, preferential attachment, Katz), used as comparison features
+//! and by the baseline attacks.
+
+use seeker_trace::{UserId, UserPair};
+
+use crate::graph::SocialGraph;
+
+/// Number of common neighbours of the pair.
+pub fn common_neighbors(g: &SocialGraph, pair: UserPair) -> usize {
+    sorted_intersection(g.neighbors(pair.lo()), g.neighbors(pair.hi())).count()
+}
+
+/// Jaccard similarity of the two neighbourhoods (0 when both are empty).
+pub fn jaccard(g: &SocialGraph, pair: UserPair) -> f64 {
+    let a = g.neighbors(pair.lo());
+    let b = g.neighbors(pair.hi());
+    let inter = sorted_intersection(a, b).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Adamic–Adar index: `Σ 1/ln(deg(z))` over common neighbours `z`.
+///
+/// Common neighbours of degree 1 cannot exist (they are adjacent to both
+/// endpoints), so the logarithm is always positive.
+pub fn adamic_adar(g: &SocialGraph, pair: UserPair) -> f64 {
+    sorted_intersection(g.neighbors(pair.lo()), g.neighbors(pair.hi()))
+        .map(|z| {
+            let d = g.degree(z) as f64;
+            1.0 / d.ln()
+        })
+        .sum()
+}
+
+/// Preferential attachment score: `deg(a) · deg(b)`.
+pub fn preferential_attachment(g: &SocialGraph, pair: UserPair) -> f64 {
+    (g.degree(pair.lo()) * g.degree(pair.hi())) as f64
+}
+
+/// Truncated Katz index: `Σ_{l=1..max_len} βˡ · #walks_l(a, b)`.
+///
+/// Computed by propagating an indicator vector through the adjacency
+/// structure `max_len` times — O(max_len · m) per query, no matrix powers.
+///
+/// # Panics
+///
+/// Panics if `max_len == 0` or `beta` is not finite and positive.
+pub fn katz(g: &SocialGraph, pair: UserPair, beta: f64, max_len: usize) -> f64 {
+    assert!(max_len >= 1, "katz needs max_len >= 1");
+    assert!(beta.is_finite() && beta > 0.0, "katz needs positive finite beta");
+    let n = g.n_vertices();
+    let mut walks = vec![0.0f64; n];
+    walks[pair.lo().index()] = 1.0;
+    let mut score = 0.0;
+    let mut beta_l = 1.0;
+    for _ in 1..=max_len {
+        beta_l *= beta;
+        let mut next = vec![0.0f64; n];
+        for v in g.vertices() {
+            let w = walks[v.index()];
+            if w == 0.0 {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                next[u.index()] += w;
+            }
+        }
+        score += beta_l * next[pair.hi().index()];
+        walks = next;
+    }
+    score
+}
+
+fn sorted_intersection<'a>(
+    a: &'a [UserId],
+    b: &'a [UserId],
+) -> impl Iterator<Item = UserId> + 'a {
+    SortedIntersection { a, b, i: 0, j: 0 }
+}
+
+struct SortedIntersection<'a> {
+    a: &'a [UserId],
+    b: &'a [UserId],
+    i: usize,
+    j: usize,
+}
+
+impl Iterator for SortedIntersection<'_> {
+    type Item = UserId;
+
+    fn next(&mut self) -> Option<UserId> {
+        while self.i < self.a.len() && self.j < self.b.len() {
+            match self.a[self.i].cmp(&self.b[self.j]) {
+                std::cmp::Ordering::Less => self.i += 1,
+                std::cmp::Ordering::Greater => self.j += 1,
+                std::cmp::Ordering::Equal => {
+                    let out = self.a[self.i];
+                    self.i += 1;
+                    self.j += 1;
+                    return Some(out);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32) -> UserPair {
+        UserPair::new(UserId::new(a), UserId::new(b))
+    }
+
+    /// 0-2, 1-2, 0-3, 1-3, 3-4: users 0 and 1 share neighbours {2, 3}.
+    fn wedge() -> SocialGraph {
+        SocialGraph::from_edges(5, [pair(0, 2), pair(1, 2), pair(0, 3), pair(1, 3), pair(3, 4)])
+    }
+
+    #[test]
+    fn common_neighbors_counts_shared() {
+        let g = wedge();
+        assert_eq!(common_neighbors(&g, pair(0, 1)), 2);
+        assert_eq!(common_neighbors(&g, pair(0, 4)), 1); // via 3
+        assert_eq!(common_neighbors(&g, pair(2, 4)), 0); // N(2)={0,1}, N(4)={3}
+    }
+
+    #[test]
+    fn jaccard_bounds_and_values() {
+        let g = wedge();
+        // N(0) = {2,3}, N(1) = {2,3} -> jaccard 1.0
+        assert_eq!(jaccard(&g, pair(0, 1)), 1.0);
+        // N(0) = {2,3}, N(4) = {3} -> 1/2
+        assert!((jaccard(&g, pair(0, 4)) - 0.5).abs() < 1e-12);
+        let empty = SocialGraph::new(3);
+        assert_eq!(jaccard(&empty, pair(0, 1)), 0.0);
+    }
+
+    #[test]
+    fn adamic_adar_weights_low_degree_neighbors_higher() {
+        let g = wedge();
+        // Common neighbours of (0,1): 2 (deg 2) and 3 (deg 3).
+        let expected = 1.0 / 2.0f64.ln() + 1.0 / 3.0f64.ln();
+        assert!((adamic_adar(&g, pair(0, 1)) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preferential_attachment_is_degree_product() {
+        let g = wedge();
+        assert_eq!(preferential_attachment(&g, pair(0, 1)), 4.0);
+        assert_eq!(preferential_attachment(&g, pair(3, 4)), 3.0);
+    }
+
+    #[test]
+    fn katz_counts_walks() {
+        // Path graph 0-1-2: one length-2 walk from 0 to 2, no length-1.
+        let g = SocialGraph::from_edges(3, [pair(0, 1), pair(1, 2)]);
+        let beta = 0.5;
+        // walks: l=1: 0; l=2: 1 (0-1-2); l=3: 0 walks from 0 to 2 of length 3.
+        let score = katz(&g, pair(0, 2), beta, 3);
+        assert!((score - beta * beta).abs() < 1e-12, "got {score}");
+        // Direct neighbours get the first-order term.
+        let s01 = katz(&g, pair(0, 1), beta, 1);
+        assert!((s01 - beta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn katz_monotone_in_max_len() {
+        let g = wedge();
+        let p = pair(0, 1);
+        let mut prev = 0.0;
+        for l in 1..6 {
+            let s = katz(&g, p, 0.1, l);
+            assert!(s >= prev - 1e-15, "katz must be non-decreasing in max_len");
+            prev = s;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_len")]
+    fn katz_rejects_zero_length() {
+        let g = wedge();
+        let _ = katz(&g, pair(0, 1), 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn katz_rejects_bad_beta() {
+        let g = wedge();
+        let _ = katz(&g, pair(0, 1), f64::NAN, 2);
+    }
+}

@@ -1,0 +1,372 @@
+//! k-hop reachable subgraph extraction (§III-C-1 of the paper).
+//!
+//! For a user pair `(a, b)` the k-hop reachable subgraph collects all paths
+//! of length 2..=k between them, *shortest lengths first*, removing the
+//! intermediate vertices of already-collected paths from the working graph
+//! before looking for longer paths. Theorem 1 of the paper follows from this
+//! construction: every retained path is an induced path, and paths of
+//! different lengths share no edges (or intermediate vertices).
+
+use std::collections::BTreeMap;
+
+use seeker_trace::{UserId, UserPair};
+
+use crate::graph::SocialGraph;
+
+/// The k-hop reachable subgraph between a pair of users.
+///
+/// Stored as the collected paths grouped by length; each path is the full
+/// vertex sequence `a, v₁, …, b`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KHopSubgraph {
+    pair: UserPair,
+    k: usize,
+    paths_by_len: BTreeMap<usize, Vec<Vec<UserId>>>,
+}
+
+impl KHopSubgraph {
+    /// Extracts the k-hop reachable subgraph of `pair` from `graph`.
+    ///
+    /// Follows the paper's three-step procedure:
+    /// 1. start with path length `l = 2` and an empty subgraph;
+    /// 2. find **all** length-`l` paths between the endpoints in the working
+    ///    graph, add them to the subgraph, then delete every intermediate
+    ///    vertex of the found paths (with incident edges) from the working
+    ///    graph;
+    /// 3. increment `l` and repeat while `l ≤ k`.
+    ///
+    /// The direct edge `a–b` (a length-1 path), if present, is *not* part of
+    /// the subgraph — the feature describes indirect reachability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint of `pair` is outside `graph`'s vertex space, or
+    /// if `k < 2`.
+    pub fn extract(graph: &SocialGraph, pair: UserPair, k: usize) -> Self {
+        assert!(k >= 2, "k-hop subgraphs require k >= 2, got {k}");
+        assert!(
+            pair.hi().index() < graph.n_vertices(),
+            "pair endpoint {} outside graph",
+            pair.hi()
+        );
+        let (a, b) = pair.as_tuple();
+        // Working copy: we only ever *disable* vertices, so a boolean mask is
+        // cheaper than cloning the graph.
+        let mut alive = vec![true; graph.n_vertices()];
+        let mut paths_by_len: BTreeMap<usize, Vec<Vec<UserId>>> = BTreeMap::new();
+
+        for l in 2..=k {
+            let found = paths_of_length(graph, &alive, a, b, l);
+            if found.is_empty() {
+                continue;
+            }
+            for path in &found {
+                for v in &path[1..path.len() - 1] {
+                    alive[v.index()] = false;
+                }
+            }
+            paths_by_len.insert(l, found);
+        }
+        KHopSubgraph { pair, k, paths_by_len }
+    }
+
+    /// The pair this subgraph connects.
+    pub fn pair(&self) -> UserPair {
+        self.pair
+    }
+
+    /// The `k` used during extraction.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Whether no connecting path of length ≤ k exists.
+    pub fn is_empty(&self) -> bool {
+        self.paths_by_len.is_empty()
+    }
+
+    /// All collected paths of length `l` (vertex sequences, endpoints
+    /// included). Empty slice when none were found.
+    pub fn paths_of_len(&self, l: usize) -> &[Vec<UserId>] {
+        self.paths_by_len.get(&l).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of collected paths of length `l`.
+    pub fn n_paths_of_len(&self, l: usize) -> usize {
+        self.paths_of_len(l).len()
+    }
+
+    /// Total number of collected paths.
+    pub fn n_paths(&self) -> usize {
+        self.paths_by_len.values().map(Vec::len).sum()
+    }
+
+    /// Iterator over `(length, paths)` groups in increasing length order.
+    pub fn groups(&self) -> impl Iterator<Item = (usize, &[Vec<UserId>])> {
+        self.paths_by_len.iter().map(|(&l, ps)| (l, ps.as_slice()))
+    }
+
+    /// All edges of the subgraph, as canonical pairs, without duplicates
+    /// across paths of the same length (paths of different lengths cannot
+    /// share edges by construction).
+    pub fn edges(&self) -> Vec<UserPair> {
+        let mut out: Vec<UserPair> = Vec::new();
+        for paths in self.paths_by_len.values() {
+            for path in paths {
+                for w in path.windows(2) {
+                    out.push(UserPair::new(w[0], w[1]));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Counts length-`l` paths between `a` and `b` in `graph` without building a
+/// subgraph — the raw statistic behind Fig. 5 of the paper.
+pub fn count_paths_of_length(graph: &SocialGraph, a: UserId, b: UserId, l: usize) -> usize {
+    let alive = vec![true; graph.n_vertices()];
+    paths_of_length(graph, &alive, a, b, l).len()
+}
+
+/// Enumerates **all** simple paths of exactly `l` edges between `a` and `b`,
+/// without the shortest-first consumption of Theorem 1. This is the naive
+/// alternative the k-hop construction improves on; exposed for the ablation
+/// benches.
+pub fn all_paths_of_length(graph: &SocialGraph, a: UserId, b: UserId, l: usize) -> Vec<Vec<UserId>> {
+    let alive = vec![true; graph.n_vertices()];
+    paths_of_length(graph, &alive, a, b, l)
+}
+
+/// Enumerates all simple paths of exactly `l` edges from `a` to `b` that use
+/// only `alive` intermediate vertices.
+fn paths_of_length(
+    graph: &SocialGraph,
+    alive: &[bool],
+    a: UserId,
+    b: UserId,
+    l: usize,
+) -> Vec<Vec<UserId>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<UserId> = vec![a];
+    let mut on_path = vec![false; graph.n_vertices()];
+    on_path[a.index()] = true;
+    dfs(graph, alive, b, l, &mut stack, &mut on_path, &mut out);
+    out
+}
+
+fn dfs(
+    graph: &SocialGraph,
+    alive: &[bool],
+    target: UserId,
+    l: usize,
+    stack: &mut Vec<UserId>,
+    on_path: &mut [bool],
+    out: &mut Vec<Vec<UserId>>,
+) {
+    let current = *stack.last().expect("stack never empty");
+    let remaining = l + 1 - stack.len();
+    if remaining == 0 {
+        if current == target {
+            out.push(stack.clone());
+        }
+        return;
+    }
+    // The endpoint can only appear as the final vertex.
+    for &next in graph.neighbors(current) {
+        if on_path[next.index()] {
+            continue;
+        }
+        if next == target {
+            if remaining == 1 {
+                stack.push(next);
+                out.push(stack.clone());
+                stack.pop();
+            }
+            continue;
+        }
+        // Intermediate vertices must be alive (not consumed by shorter paths).
+        if !alive[next.index()] {
+            continue;
+        }
+        if remaining == 1 {
+            continue; // would need to end here but `next != target`
+        }
+        stack.push(next);
+        on_path[next.index()] = true;
+        dfs(graph, alive, target, l, stack, on_path, out);
+        on_path[next.index()] = false;
+        stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn pair(a: u32, b: u32) -> UserPair {
+        UserPair::new(UserId::new(a), UserId::new(b))
+    }
+
+    /// The Fig. 4 example graph of the paper: vertices a=0, b=1, c=2, d=3,
+    /// e=4, f=5, g=6, h=7.
+    /// Edges: a-c, c-b (len-2 path a-c-b), c-e, e-b, a-f, f-h, h-b, f-g, g-h,
+    /// a-d, d-e.
+    fn fig4() -> SocialGraph {
+        SocialGraph::from_edges(
+            8,
+            [
+                pair(0, 2), // a-c
+                pair(2, 1), // c-b
+                pair(2, 4), // c-e
+                pair(4, 1), // e-b
+                pair(0, 5), // a-f
+                pair(5, 7), // f-h
+                pair(7, 1), // h-b
+                pair(5, 6), // f-g
+                pair(6, 7), // g-h
+                pair(0, 3), // a-d
+                pair(3, 4), // d-e
+            ],
+        )
+    }
+
+    #[test]
+    fn fig4_example_matches_paper() {
+        let g = fig4();
+        let sub = KHopSubgraph::extract(&g, pair(0, 1), 3);
+        // Length 2: a-c-b. Consumes c.
+        let l2: Vec<_> = sub.paths_of_len(2).to_vec();
+        assert_eq!(l2.len(), 1);
+        assert_eq!(l2[0], vec![UserId::new(0), UserId::new(2), UserId::new(1)]);
+        // Length 3: with c consumed, a-c-e-b is gone; a-f-h-b and a-d-e-b
+        // remain.
+        let l3: BTreeSet<Vec<u32>> = sub
+            .paths_of_len(3)
+            .iter()
+            .map(|p| p.iter().map(|u| u.raw()).collect())
+            .collect();
+        let expected: BTreeSet<Vec<u32>> =
+            [vec![0, 5, 7, 1], vec![0, 3, 4, 1]].into_iter().collect();
+        assert_eq!(l3, expected);
+        // The paper notes a-f-g-h-b (length 4) is pruned during G³ anyway.
+        assert_eq!(sub.n_paths(), 3);
+    }
+
+    #[test]
+    fn direct_edge_is_not_a_path() {
+        let g = SocialGraph::from_edges(2, [pair(0, 1)]);
+        let sub = KHopSubgraph::extract(&g, pair(0, 1), 3);
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn disconnected_pair_yields_empty_subgraph() {
+        let g = SocialGraph::from_edges(4, [pair(0, 1), pair(2, 3)]);
+        let sub = KHopSubgraph::extract(&g, pair(0, 2), 4);
+        assert!(sub.is_empty());
+        assert_eq!(sub.n_paths(), 0);
+        assert!(sub.edges().is_empty());
+    }
+
+    #[test]
+    fn shorter_paths_consume_vertices_of_longer_candidates() {
+        // a-x-b and a-x-y-b share x; after the length-2 round consumes x,
+        // the length-3 candidate must disappear.
+        let g = SocialGraph::from_edges(4, [pair(0, 2), pair(2, 1), pair(2, 3), pair(3, 1)]);
+        let sub = KHopSubgraph::extract(&g, pair(0, 1), 3);
+        assert_eq!(sub.n_paths_of_len(2), 1);
+        assert_eq!(sub.n_paths_of_len(3), 0);
+    }
+
+    #[test]
+    fn paths_of_different_lengths_share_no_edges() {
+        let g = fig4();
+        let sub = KHopSubgraph::extract(&g, pair(0, 1), 4);
+        let mut seen: BTreeSet<UserPair> = BTreeSet::new();
+        for (_, paths) in sub.groups() {
+            let mut this_len: BTreeSet<UserPair> = BTreeSet::new();
+            for p in paths {
+                for w in p.windows(2) {
+                    this_len.insert(UserPair::new(w[0], w[1]));
+                }
+            }
+            assert!(seen.intersection(&this_len).next().is_none(), "edge reuse across lengths");
+            seen.extend(this_len);
+        }
+    }
+
+    #[test]
+    fn all_paths_exist_in_original_graph() {
+        let g = fig4();
+        let sub = KHopSubgraph::extract(&g, pair(0, 1), 4);
+        for (l, paths) in sub.groups() {
+            for p in paths {
+                assert_eq!(p.len(), l + 1);
+                assert_eq!(p[0], UserId::new(0));
+                assert_eq!(*p.last().unwrap(), UserId::new(1));
+                for w in p.windows(2) {
+                    assert!(g.has_edge(UserPair::new(w[0], w[1])), "missing edge {w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_paths_matches_enumeration() {
+        let g = fig4();
+        assert_eq!(count_paths_of_length(&g, UserId::new(0), UserId::new(1), 2), 1);
+        // Without consumption: a-c-e-b, a-d-e-b, a-f-h-b.
+        assert_eq!(count_paths_of_length(&g, UserId::new(0), UserId::new(1), 3), 3);
+        // a-f-g-h-b and a-d-e-c-b.
+        assert_eq!(count_paths_of_length(&g, UserId::new(0), UserId::new(1), 4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn rejects_k_below_two() {
+        let g = SocialGraph::new(3);
+        let _ = KHopSubgraph::extract(&g, pair(0, 1), 1);
+    }
+
+    #[test]
+    fn paths_are_simple() {
+        // A dense-ish graph to stress the DFS.
+        let mut g = SocialGraph::new(7);
+        for i in 0..7u32 {
+            for j in (i + 1)..7 {
+                if (i + j) % 2 == 0 || j == i + 1 {
+                    g.add_edge(pair(i, j));
+                }
+            }
+        }
+        let sub = KHopSubgraph::extract(&g, pair(0, 6), 4);
+        for (_, paths) in sub.groups() {
+            for p in paths {
+                let set: BTreeSet<_> = p.iter().collect();
+                assert_eq!(set.len(), p.len(), "path revisits a vertex: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn intermediates_unique_across_lengths() {
+        let g = fig4();
+        let sub = KHopSubgraph::extract(&g, pair(0, 1), 4);
+        let mut seen: BTreeSet<UserId> = BTreeSet::new();
+        for (_, paths) in sub.groups() {
+            let mut this: BTreeSet<UserId> = BTreeSet::new();
+            for p in paths {
+                this.extend(p[1..p.len() - 1].iter().copied());
+            }
+            assert!(
+                seen.intersection(&this).next().is_none(),
+                "intermediate vertex reused across lengths"
+            );
+            seen.extend(this);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Platt scaling: maps raw SVM decision values to calibrated probabilities
+//! by fitting `P(y=1 | f) = σ(A·f + B)` with regularized targets
+//! (Platt 1999, with the Lin–Weng–Keerthi numerical fixes kept simple).
+
+/// A fitted Platt scaler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlattScaler {
+    a: f64,
+    b: f64,
+}
+
+impl PlattScaler {
+    /// Fits the sigmoid on decision values and labels by gradient descent on
+    /// the regularized cross-entropy (targets `(n⁺+1)/(n⁺+2)` and
+    /// `1/(n⁻+2)` as in Platt's original paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or mismatched.
+    pub fn fit(decisions: &[f32], labels: &[bool]) -> PlattScaler {
+        assert_eq!(decisions.len(), labels.len(), "decision/label length mismatch");
+        assert!(!decisions.is_empty(), "cannot calibrate on an empty set");
+        let n_pos = labels.iter().filter(|&&y| y).count() as f64;
+        let n_neg = decisions.len() as f64 - n_pos;
+        let t_pos = (n_pos + 1.0) / (n_pos + 2.0);
+        let t_neg = 1.0 / (n_neg + 2.0);
+        let targets: Vec<f64> =
+            labels.iter().map(|&y| if y { t_pos } else { t_neg }).collect();
+        let n = decisions.len() as f64;
+
+        let mut a = -1.0f64; // negative slope: higher decision -> higher p
+        let mut b = 0.0f64;
+        let lr = 0.1;
+        for _ in 0..2_000 {
+            let mut ga = 0.0f64;
+            let mut gb = 0.0f64;
+            for (&f, &t) in decisions.iter().zip(targets.iter()) {
+                let p = sigmoid(-(a * f as f64 + b));
+                let err = p - t;
+                // dp/da = -f·p(1-p) folded into the chain rule of BCE gives
+                // simply err scaled by the input.
+                ga += err * (-(f as f64));
+                gb += -err;
+            }
+            a -= lr * ga / n;
+            b -= lr * gb / n;
+        }
+        PlattScaler { a, b }
+    }
+
+    /// Calibrated probability for a raw decision value.
+    pub fn probability(&self, decision: f32) -> f64 {
+        sigmoid(-(self.a * decision as f64 + self.b))
+    }
+
+    /// Batch calibration.
+    pub fn probabilities(&self, decisions: &[f32]) -> Vec<f64> {
+        decisions.iter().map(|&d| self.probability(d)).collect()
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_monotone_in_decision() {
+        let decisions: Vec<f32> = (-10..=10).map(|i| i as f32 / 2.0).collect();
+        let labels: Vec<bool> = decisions.iter().map(|&d| d > 0.0).collect();
+        let scaler = PlattScaler::fit(&decisions, &labels);
+        let mut prev = 0.0;
+        for &d in &decisions {
+            let p = scaler.probability(d);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev - 1e-9, "calibrated probability must be monotone");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn separable_data_calibrates_to_extremes() {
+        let decisions = vec![-3.0f32, -2.5, -2.0, 2.0, 2.5, 3.0];
+        let labels = vec![false, false, false, true, true, true];
+        let scaler = PlattScaler::fit(&decisions, &labels);
+        assert!(scaler.probability(3.0) > 0.8);
+        assert!(scaler.probability(-3.0) < 0.2);
+        assert!((scaler.probability(0.0) - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let decisions = vec![-1.0f32, 0.0, 1.0];
+        let labels = vec![false, false, true];
+        let scaler = PlattScaler::fit(&decisions, &labels);
+        let batch = scaler.probabilities(&decisions);
+        for (&d, &p) in decisions.iter().zip(batch.iter()) {
+            assert_eq!(scaler.probability(d), p);
+        }
+    }
+
+    #[test]
+    fn works_with_svm_decisions() {
+        use crate::svm::{Kernel, Svm, SvmConfig};
+        let xs: Vec<Vec<f32>> = (0..60)
+            .map(|i| vec![if i % 2 == 0 { 1.5 } else { -1.5 } + (i as f32 * 0.01)])
+            .collect();
+        let ys: Vec<bool> = (0..60).map(|i| i % 2 == 0).collect();
+        let svm = Svm::fit(&SvmConfig { kernel: Kernel::Linear, ..Default::default() }, &xs, &ys);
+        let decisions = svm.decision(&xs);
+        let scaler = PlattScaler::fit(&decisions, &ys);
+        let probs = scaler.probabilities(&decisions);
+        let correct = probs
+            .iter()
+            .zip(ys.iter())
+            .filter(|(&p, &y)| (p > 0.5) == y)
+            .count();
+        assert!(correct >= 55, "calibrated probabilities should classify well: {correct}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_inputs_rejected() {
+        let _ = PlattScaler::fit(&[], &[]);
+    }
+}

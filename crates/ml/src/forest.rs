@@ -1,0 +1,319 @@
+//! Decision trees and random forests (bagged, feature-subsampled CART with
+//! Gini splits). The paper claims FriendSeeker "is independent from the type
+//! of … classifiers used"; this gives the ablation suite a third classifier
+//! family beyond KNN and the SVM.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Hyper-parameters shared by single trees and forests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees (1 = a single deterministic tree on the full data).
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples a node needs to be considered for splitting.
+    pub min_samples_split: usize,
+    /// Number of candidate features tried per split; `0` means `⌈√d⌉`.
+    pub n_feature_candidates: usize,
+    /// Candidate thresholds sampled per feature per split.
+    pub n_threshold_candidates: usize,
+    /// Bootstrap/feature sampling seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 32,
+            max_depth: 8,
+            min_samples_split: 4,
+            n_feature_candidates: 0,
+            n_threshold_candidates: 12,
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        p_positive: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        /// Arena index of the `< threshold` child.
+        left: usize,
+        /// Arena index of the `>= threshold` child.
+        right: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict(&self, x: &[f32]) -> f32 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { p_positive } => return *p_positive,
+                Node::Split { feature, threshold, left, right } => {
+                    idx = if x[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// A trained random forest (binary).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<Tree>,
+    dim: usize,
+}
+
+impl RandomForest {
+    /// Trains a forest on `xs` with boolean labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty/mismatched/ragged or the config is
+    /// degenerate (`n_trees == 0`, `max_depth == 0`).
+    pub fn fit(cfg: &ForestConfig, xs: &[Vec<f32>], labels: &[bool]) -> RandomForest {
+        assert_eq!(xs.len(), labels.len(), "sample/label count mismatch");
+        assert!(!xs.is_empty(), "cannot train on an empty set");
+        assert!(cfg.n_trees > 0, "need at least one tree");
+        assert!(cfg.max_depth > 0, "max_depth must be positive");
+        let dim = xs[0].len();
+        assert!(xs.iter().all(|r| r.len() == dim), "inconsistent feature dimensions");
+        let n_features = if cfg.n_feature_candidates == 0 {
+            (dim as f64).sqrt().ceil() as usize
+        } else {
+            cfg.n_feature_candidates.min(dim)
+        };
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for t in 0..cfg.n_trees {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9e37_79b9));
+            // Bootstrap sample (the single-tree case uses the full data for
+            // determinism and exact reproduction of classic CART).
+            let indices: Vec<usize> = if cfg.n_trees == 1 {
+                (0..xs.len()).collect()
+            } else {
+                (0..xs.len()).map(|_| rng.gen_range(0..xs.len())).collect()
+            };
+            let mut nodes = Vec::new();
+            grow(cfg, xs, labels, &indices, n_features, 0, &mut nodes, &mut rng);
+            trees.push(Tree { nodes });
+        }
+        RandomForest { trees, dim }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Mean positive-class probability over the trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn predict_proba_one(&self, x: &[f32]) -> f64 {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        let sum: f32 = self.trees.iter().map(|t| t.predict(x)).sum();
+        (sum / self.trees.len() as f32) as f64
+    }
+
+    /// Class prediction at the 0.5 threshold.
+    pub fn predict_one(&self, x: &[f32]) -> bool {
+        self.predict_proba_one(x) >= 0.5
+    }
+
+    /// Batch predictions.
+    pub fn predict(&self, xs: &[Vec<f32>]) -> Vec<bool> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    /// Batch probabilities.
+    pub fn predict_proba(&self, xs: &[Vec<f32>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_proba_one(x)).collect()
+    }
+}
+
+/// Recursively grows one subtree over `indices`, returning its arena index.
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    cfg: &ForestConfig,
+    xs: &[Vec<f32>],
+    labels: &[bool],
+    indices: &[usize],
+    n_features: usize,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+    rng: &mut StdRng,
+) -> usize {
+    let n_pos = indices.iter().filter(|&&i| labels[i]).count();
+    let p = n_pos as f32 / indices.len() as f32;
+    let make_leaf = depth >= cfg.max_depth
+        || indices.len() < cfg.min_samples_split
+        || n_pos == 0
+        || n_pos == indices.len();
+    if make_leaf {
+        nodes.push(Node::Leaf { p_positive: p });
+        return nodes.len() - 1;
+    }
+
+    let dim = xs[0].len();
+    let mut best: Option<(f64, usize, f32)> = None; // (gini gain, feature, threshold)
+    let parent_gini = gini(n_pos, indices.len());
+    for _ in 0..n_features {
+        let f = rng.gen_range(0..dim);
+        for _ in 0..cfg.n_threshold_candidates {
+            let a = xs[indices[rng.gen_range(0..indices.len())]][f];
+            let b = xs[indices[rng.gen_range(0..indices.len())]][f];
+            let threshold = (a + b) / 2.0;
+            let (mut ln, mut lp) = (0usize, 0usize);
+            for &i in indices {
+                if xs[i][f] < threshold {
+                    ln += 1;
+                    lp += usize::from(labels[i]);
+                }
+            }
+            let rn = indices.len() - ln;
+            if ln == 0 || rn == 0 {
+                continue;
+            }
+            let rp = n_pos - lp;
+            let weighted = (ln as f64 * gini(lp, ln) + rn as f64 * gini(rp, rn))
+                / indices.len() as f64;
+            let gain = parent_gini - weighted;
+            if best.is_none_or(|(g, _, _)| gain > g) {
+                best = Some((gain, f, threshold));
+            }
+        }
+    }
+    let Some((gain, feature, threshold)) = best else {
+        nodes.push(Node::Leaf { p_positive: p });
+        return nodes.len() - 1;
+    };
+    if gain <= 1e-12 {
+        nodes.push(Node::Leaf { p_positive: p });
+        return nodes.len() - 1;
+    }
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| xs[i][feature] < threshold);
+    let here = nodes.len();
+    nodes.push(Node::Leaf { p_positive: p }); // placeholder
+    let left = grow(cfg, xs, labels, &left_idx, n_features, depth + 1, nodes, rng);
+    let right = grow(cfg, xs, labels, &right_idx, n_features, depth + 1, nodes, rng);
+    nodes[here] = Node::Split { feature, threshold, left, right };
+    here
+}
+
+fn gini(n_pos: usize, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let p = n_pos as f64 / n as f64;
+    2.0 * p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let (a, b) = (rng.gen::<bool>(), rng.gen::<bool>());
+            xs.push(vec![
+                (if a { 1.0 } else { -1.0 }) + rng.gen_range(-0.3..0.3),
+                (if b { 1.0 } else { -1.0 }) + rng.gen_range(-0.3..0.3),
+            ]);
+            ys.push(a == b);
+        }
+        (xs, ys)
+    }
+
+    fn accuracy(f: &RandomForest, xs: &[Vec<f32>], ys: &[bool]) -> f64 {
+        f.predict(xs).iter().zip(ys).filter(|(p, y)| p == y).count() as f64 / ys.len() as f64
+    }
+
+    #[test]
+    fn forest_solves_xor() {
+        let (xs, ys) = xor_data(300, 3);
+        let forest = RandomForest::fit(&ForestConfig::default(), &xs, &ys);
+        assert!(accuracy(&forest, &xs, &ys) > 0.95, "train acc {}", accuracy(&forest, &xs, &ys));
+        let (xt, yt) = xor_data(100, 9);
+        assert!(accuracy(&forest, &xt, &yt) > 0.9, "test acc {}", accuracy(&forest, &xt, &yt));
+    }
+
+    #[test]
+    fn single_tree_is_deterministic_and_purer_with_depth() {
+        let (xs, ys) = xor_data(200, 5);
+        let shallow = RandomForest::fit(
+            &ForestConfig { n_trees: 1, max_depth: 1, ..Default::default() },
+            &xs,
+            &ys,
+        );
+        let deep = RandomForest::fit(
+            &ForestConfig { n_trees: 1, max_depth: 8, ..Default::default() },
+            &xs,
+            &ys,
+        );
+        // A depth-1 stump cannot solve XOR; a deep tree can.
+        assert!(accuracy(&shallow, &xs, &ys) < 0.75);
+        assert!(accuracy(&deep, &xs, &ys) > 0.9);
+        let again = RandomForest::fit(
+            &ForestConfig { n_trees: 1, max_depth: 8, ..Default::default() },
+            &xs,
+            &ys,
+        );
+        assert_eq!(deep.predict_proba(&xs), again.predict_proba(&xs));
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let (xs, ys) = xor_data(80, 7);
+        let forest = RandomForest::fit(&ForestConfig::default(), &xs, &ys);
+        for p in forest.predict_proba(&xs) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert_eq!(forest.n_trees(), 32);
+        assert_eq!(forest.dim(), 2);
+    }
+
+    #[test]
+    fn pure_leaves_for_constant_labels() {
+        let xs: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let ys = vec![true; 20];
+        let forest = RandomForest::fit(&ForestConfig::default(), &xs, &ys);
+        assert!(forest.predict_proba(&xs).iter().all(|&p| p == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_rejected() {
+        let _ = RandomForest::fit(&ForestConfig::default(), &[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn query_dim_checked() {
+        let forest =
+            RandomForest::fit(&ForestConfig::default(), &[vec![0.0], vec![1.0]], &[false, true]);
+        let _ = forest.predict_one(&[0.0, 1.0]);
+    }
+}

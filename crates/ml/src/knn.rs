@@ -1,0 +1,153 @@
+//! K-nearest-neighbours classifier — the paper's classifier `C` choice in
+//! §IV-B ("we use a simple KNN … as the classifier C").
+
+/// A fitted KNN binary classifier over Euclidean distance.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    xs: Vec<Vec<f32>>,
+    ys: Vec<bool>,
+}
+
+impl KnnClassifier {
+    /// Fits (memorizes) the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, the set is empty, lengths mismatch, or rows are
+    /// ragged.
+    pub fn fit(k: usize, xs: Vec<Vec<f32>>, ys: Vec<bool>) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert_eq!(xs.len(), ys.len(), "sample/label count mismatch");
+        assert!(!xs.is_empty(), "cannot fit on an empty set");
+        let dim = xs[0].len();
+        assert!(xs.iter().all(|r| r.len() == dim), "inconsistent feature dimensions");
+        KnnClassifier { k, xs, ys }
+    }
+
+    /// The `k` in use.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.xs[0].len()
+    }
+
+    /// Fraction of the k nearest training samples labelled positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn predict_proba_one(&self, x: &[f32]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "query dimension mismatch");
+        let k = self.k.min(self.xs.len());
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f32, bool)> = self
+            .xs
+            .iter()
+            .zip(self.ys.iter())
+            .map(|(row, &y)| (squared_distance(row, x), y))
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let positives = dists[..k].iter().filter(|&&(_, y)| y).count();
+        positives as f64 / k as f64
+    }
+
+    /// Majority-vote prediction (ties break positive, matching a 0.5
+    /// probability threshold).
+    pub fn predict_one(&self, x: &[f32]) -> bool {
+        self.predict_proba_one(x) >= 0.5
+    }
+
+    /// Batch prediction.
+    pub fn predict(&self, xs: &[Vec<f32>]) -> Vec<bool> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    /// Batch probabilities.
+    pub fn predict_proba(&self, xs: &[Vec<f32>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_proba_one(x)).collect()
+    }
+}
+
+fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters() -> (Vec<Vec<f32>>, Vec<bool>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..10 {
+            xs.push(vec![0.0 + 0.01 * i as f32, 0.0]);
+            ys.push(true);
+            xs.push(vec![5.0 + 0.01 * i as f32, 5.0]);
+            ys.push(false);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn classifies_obvious_clusters() {
+        let (xs, ys) = clusters();
+        let knn = KnnClassifier::fit(3, xs, ys);
+        assert!(knn.predict_one(&[0.1, 0.1]));
+        assert!(!knn.predict_one(&[5.1, 4.9]));
+        assert_eq!(knn.predict(&[vec![0.0, 0.0], vec![5.0, 5.0]]), vec![true, false]);
+    }
+
+    #[test]
+    fn proba_reflects_neighborhood_composition() {
+        let xs = vec![vec![0.0], vec![0.1], vec![0.2], vec![10.0]];
+        let ys = vec![true, true, false, false];
+        let knn = KnnClassifier::fit(3, xs, ys);
+        // Neighbours of 0.05: {0.0 T, 0.1 T, 0.2 F} -> 2/3.
+        assert!((knn.predict_proba_one(&[0.05]) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_uses_all() {
+        let knn = KnnClassifier::fit(10, vec![vec![0.0], vec![1.0]], vec![true, false]);
+        // Both samples vote: 1/2 -> ties positive.
+        assert!(knn.predict_one(&[0.5]));
+        assert!((knn.predict_proba_one(&[0.5]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_memorization_with_k1() {
+        let (xs, ys) = clusters();
+        let knn = KnnClassifier::fit(1, xs.clone(), ys.clone());
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            assert_eq!(knn.predict_one(x), y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = KnnClassifier::fit(0, vec![vec![0.0]], vec![true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_rejected() {
+        let _ = KnnClassifier::fit(1, vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn query_dimension_checked() {
+        let knn = KnnClassifier::fit(1, vec![vec![0.0, 1.0]], vec![true]);
+        let _ = knn.predict_one(&[0.0]);
+    }
+}

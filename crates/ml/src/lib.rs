@@ -1,0 +1,132 @@
+//! # seeker-ml
+//!
+//! Classic machine-learning substrate for the FriendSeeker reproduction:
+//! the paper's classifiers (KNN for `C`, SMO-trained RBF SVM for `C'`),
+//! logistic regression for baselines, feature standardization, F1 metrics
+//! and deterministic splits.
+//!
+//! ```
+//! use seeker_ml::{Kernel, Svm, SvmConfig};
+//!
+//! let xs = vec![vec![-1.0f32], vec![-2.0], vec![1.0], vec![2.0]];
+//! let ys = vec![false, false, true, true];
+//! let svm = Svm::fit(&SvmConfig { kernel: Kernel::Linear, ..Default::default() }, &xs, &ys);
+//! assert!(svm.predict_one(&[1.5]));
+//! assert!(!svm.predict_one(&[-1.5]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibrate;
+mod forest;
+mod knn;
+mod logreg;
+mod metrics;
+mod ranking;
+mod scaler;
+mod split;
+mod svm;
+
+pub use calibrate::PlattScaler;
+pub use forest::{ForestConfig, RandomForest};
+pub use knn::KnnClassifier;
+pub use logreg::{LogRegConfig, LogisticRegression};
+pub use metrics::BinaryMetrics;
+pub use ranking::{average_precision, roc_auc};
+pub use scaler::StandardScaler;
+pub use split::{kfold, stratified_split, train_test_split};
+pub use svm::{Kernel, Svm, SvmConfig};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn f1_always_in_unit_interval(
+            preds in proptest::collection::vec(any::<bool>(), 1..50),
+            seed in any::<u64>(),
+        ) {
+            // Random labels of the same length.
+            use rand::prelude::*;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let labels: Vec<bool> = (0..preds.len()).map(|_| rng.gen()).collect();
+            let m = BinaryMetrics::from_predictions(&preds, &labels);
+            prop_assert!((0.0..=1.0).contains(&m.f1()));
+            prop_assert!((0.0..=1.0).contains(&m.precision()));
+            prop_assert!((0.0..=1.0).contains(&m.recall()));
+            prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+            prop_assert_eq!(m.total(), preds.len());
+        }
+
+        #[test]
+        fn scaler_transform_is_affine_invertible(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-100.0f32..100.0, 3), 2..20)
+        ) {
+            let (scaler, out) = StandardScaler::fit_transform(&rows);
+            prop_assert_eq!(out.len(), rows.len());
+            // Transforming twice differs unless data was already standard.
+            for r in &out {
+                prop_assert!(r.iter().all(|v| v.is_finite()));
+            }
+            prop_assert_eq!(scaler.dim(), 3);
+        }
+
+        #[test]
+        fn split_is_a_partition(n in 2usize..200, frac in 0.05f64..0.95, seed in any::<u64>()) {
+            let (train, test) = train_test_split(n, frac, seed);
+            let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+
+        /// ROC-AUC is invariant under strictly monotone score transforms.
+        #[test]
+        fn auc_invariant_under_monotone_transform(
+            scores in proptest::collection::vec(-10.0f64..10.0, 4..40),
+            seed in any::<u64>(),
+        ) {
+            use rand::prelude::*;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let labels: Vec<bool> = (0..scores.len()).map(|_| rng.gen()).collect();
+            let transformed: Vec<f64> = scores.iter().map(|&s| (s / 3.0).exp()).collect();
+            match (roc_auc(&scores, &labels), roc_auc(&transformed, &labels)) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
+                (None, None) => {}
+                other => prop_assert!(false, "inconsistent None-ness: {other:?}"),
+            }
+        }
+
+        /// AUC of inverted scores is 1 - AUC.
+        #[test]
+        fn auc_complement_under_negation(
+            scores in proptest::collection::vec(-5.0f64..5.0, 4..40),
+            seed in any::<u64>(),
+        ) {
+            use rand::prelude::*;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let labels: Vec<bool> = (0..scores.len()).map(|_| rng.gen()).collect();
+            let negated: Vec<f64> = scores.iter().map(|&s| -s).collect();
+            if let (Some(a), Some(b)) = (roc_auc(&scores, &labels), roc_auc(&negated, &labels)) {
+                prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
+            }
+        }
+
+        /// Average precision is within (0, 1] and equals the positive
+        /// prevalence for constant scores.
+        #[test]
+        fn average_precision_bounds(
+            n_pos in 1usize..10, n_neg in 0usize..10,
+        ) {
+            let labels: Vec<bool> =
+                (0..n_pos).map(|_| true).chain((0..n_neg).map(|_| false)).collect();
+            let scores = vec![0.5f64; labels.len()];
+            let ap = average_precision(&scores, &labels).unwrap();
+            let prevalence = n_pos as f64 / labels.len() as f64;
+            prop_assert!((ap - prevalence).abs() < 1e-9, "ap {ap} vs prevalence {prevalence}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! L2-regularized logistic regression trained by full-batch gradient
+//! descent. Used by baseline attacks that need a simple calibrated
+//! probability on hand-crafted features.
+
+/// Hyper-parameters of [`LogisticRegression::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRegConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Full-batch iterations.
+    pub iters: usize,
+    /// L2 penalty strength.
+    pub l2: f32,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig { lr: 0.1, iters: 500, l2: 1e-4 }
+    }
+}
+
+/// A fitted logistic-regression model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    weights: Vec<f32>,
+    bias: f32,
+}
+
+impl LogisticRegression {
+    /// Trains on `xs` with boolean labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty, mismatched or ragged.
+    pub fn fit(cfg: &LogRegConfig, xs: &[Vec<f32>], labels: &[bool]) -> Self {
+        assert_eq!(xs.len(), labels.len(), "sample/label count mismatch");
+        assert!(!xs.is_empty(), "cannot train on an empty set");
+        let dim = xs[0].len();
+        assert!(xs.iter().all(|r| r.len() == dim), "inconsistent feature dimensions");
+        let n = xs.len() as f32;
+        let ys: Vec<f32> = labels.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let mut w = vec![0.0f32; dim];
+        let mut b = 0.0f32;
+        for _ in 0..cfg.iters {
+            let mut gw = vec![0.0f32; dim];
+            let mut gb = 0.0f32;
+            for (x, &y) in xs.iter().zip(ys.iter()) {
+                let p = sigmoid(dot(&w, x) + b);
+                let err = p - y;
+                for (g, &xi) in gw.iter_mut().zip(x.iter()) {
+                    *g += err * xi;
+                }
+                gb += err;
+            }
+            for (wi, g) in w.iter_mut().zip(gw.iter()) {
+                *wi -= cfg.lr * (g / n + cfg.l2 * *wi);
+            }
+            b -= cfg.lr * gb / n;
+        }
+        LogisticRegression { weights: w, bias: b }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Predicted friend probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn predict_proba_one(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.weights.len(), "query dimension mismatch");
+        sigmoid(dot(&self.weights, x) + self.bias)
+    }
+
+    /// Class prediction at a 0.5 threshold.
+    pub fn predict_one(&self, x: &[f32]) -> bool {
+        self.predict_proba_one(x) >= 0.5
+    }
+
+    /// Batch predictions.
+    pub fn predict(&self, xs: &[Vec<f32>]) -> Vec<bool> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    /// Batch probabilities.
+    pub fn predict_proba(&self, xs: &[Vec<f32>]) -> Vec<f32> {
+        xs.iter().map(|x| self.predict_proba_one(x)).collect()
+    }
+
+    /// The learned weights (ablation inspection).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_one_dimensional_threshold() {
+        let xs: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32 / 10.0]).collect();
+        let ys: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        let m = LogisticRegression::fit(&LogRegConfig::default(), &xs, &ys);
+        let correct = m.predict(&xs).iter().zip(ys.iter()).filter(|(p, y)| p == y).count();
+        assert!(correct >= 38, "correct {correct}");
+        // Monotone probability in the feature.
+        assert!(m.predict_proba_one(&[4.0]) > m.predict_proba_one(&[0.0]));
+    }
+
+    #[test]
+    fn weight_sign_follows_correlation() {
+        let xs = vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![0.0, 0.0], vec![0.0, 1.0]];
+        let ys = vec![true, true, false, false]; // dim 0 predicts, dim 1 is noise
+        let m = LogisticRegression::fit(&LogRegConfig::default(), &xs, &ys);
+        assert!(m.weights()[0] > 0.5);
+        assert!(m.weights()[1].abs() < m.weights()[0]);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let xs: Vec<Vec<f32>> = (0..20).map(|i| vec![if i < 10 { -1.0 } else { 1.0 }]).collect();
+        let ys: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let loose = LogisticRegression::fit(&LogRegConfig { l2: 0.0, ..Default::default() }, &xs, &ys);
+        let tight = LogisticRegression::fit(&LogRegConfig { l2: 1.0, ..Default::default() }, &xs, &ys);
+        assert!(tight.weights()[0].abs() < loose.weights()[0].abs());
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![false, true];
+        let m = LogisticRegression::fit(&LogRegConfig::default(), &xs, &ys);
+        for p in m.predict_proba(&xs) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_rejected() {
+        let _ = LogisticRegression::fit(&LogRegConfig::default(), &[], &[]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Binary-classification metrics. The paper evaluates everything with
+//! F1-score ("non-sensitive to class distribution"), plus precision and
+//! recall in the parameter-sensitivity figures.
+
+/// Confusion-matrix counts and derived metrics for a binary task where
+/// "positive" means *friends*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BinaryMetrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl BinaryMetrics {
+    /// Builds the confusion matrix from predictions and ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn from_predictions(preds: &[bool], labels: &[bool]) -> Self {
+        assert_eq!(preds.len(), labels.len(), "prediction/label length mismatch");
+        let mut m = BinaryMetrics::default();
+        for (&p, &y) in preds.iter().zip(labels.iter()) {
+            match (p, y) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (false, true) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when no positive predictions exist.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when no positive labels exist.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1-score, the paper's headline metric; 0 when precision + recall = 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Plain accuracy; 0 for an empty set.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let m = BinaryMetrics::from_predictions(&[true, false, true], &[true, false, true]);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn known_confusion_matrix() {
+        // tp=2 fp=1 fn=1 tn=2
+        let preds = [true, true, true, false, false, false];
+        let labels = [true, true, false, true, false, false];
+        let m = BinaryMetrics::from_predictions(&preds, &labels);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn), (2, 1, 1, 2));
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        // Never predicts positive.
+        let m = BinaryMetrics::from_predictions(&[false, false], &[true, false]);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        // No positive labels.
+        let m = BinaryMetrics::from_predictions(&[true, false], &[false, false]);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        // Empty.
+        let m = BinaryMetrics::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let m = BinaryMetrics { tp: 10, fp: 10, tn: 0, fn_: 0 };
+        // precision 0.5, recall 1.0 -> f1 = 2/3
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = BinaryMetrics::from_predictions(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Threshold-free ranking metrics: ROC-AUC and average precision. Useful
+//! for comparing attack scores without committing to a decision threshold.
+
+/// Area under the ROC curve for scored binary labels, handling ties by
+/// midrank (the Mann–Whitney U formulation). Returns `None` when either
+/// class is absent.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    let n_pos = labels.iter().filter(|&&y| y).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return None;
+    }
+    // Midranks over ascending scores.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = ((i + 1 + j) as f64) / 2.0; // average of ranks i+1..=j
+        for &idx in &order[i..j] {
+            ranks[idx] = midrank;
+        }
+        i = j;
+    }
+    let rank_sum_pos: f64 =
+        ranks.iter().zip(labels.iter()).filter(|(_, &y)| y).map(|(&r, _)| r).sum();
+    let u = rank_sum_pos - (n_pos as f64) * (n_pos as f64 + 1.0) / 2.0;
+    Some(u / (n_pos as f64 * n_neg as f64))
+}
+
+/// Average precision (area under the precision–recall curve, step-wise).
+/// Returns `None` when no positive labels exist.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "score/label length mismatch");
+    let n_pos = labels.iter().filter(|&&y| y).count();
+    if n_pos == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    let mut k = 0usize;
+    while k < order.len() {
+        // Process tied blocks together (a threshold cannot split ties).
+        let score = scores[order[k]];
+        let mut block_tp = 0usize;
+        let start = k;
+        while k < order.len() && scores[order[k]] == score {
+            if labels[order[k]] {
+                block_tp += 1;
+            }
+            k += 1;
+        }
+        if block_tp > 0 {
+            tp += block_tp;
+            let precision = tp as f64 / k as f64;
+            let recall_gain = block_tp as f64 / n_pos as f64;
+            ap += precision * recall_gain;
+            let _ = start;
+        }
+    }
+    Some(ap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&[0.9, 0.8, 0.2, 0.1], &labels), Some(1.0));
+        assert_eq!(roc_auc(&[0.1, 0.2, 0.8, 0.9], &labels), Some(0.0));
+    }
+
+    #[test]
+    fn auc_chance_for_constant_scores() {
+        let labels = [true, false, true, false];
+        let auc = roc_auc(&[0.5, 0.5, 0.5, 0.5], &labels).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12, "ties must midrank to 0.5, got {auc}");
+    }
+
+    #[test]
+    fn auc_known_interleaving() {
+        // scores: pos 0.9, neg 0.7, pos 0.6, neg 0.2 -> 3 of 4 pos-neg pairs
+        // correctly ordered.
+        let auc = roc_auc(&[0.9, 0.7, 0.6, 0.2], &[true, false, true, false]).unwrap();
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_none_for_single_class() {
+        assert_eq!(roc_auc(&[0.5, 0.6], &[true, true]), None);
+        assert_eq!(roc_auc(&[0.5, 0.6], &[false, false]), None);
+    }
+
+    #[test]
+    fn average_precision_perfect_is_one() {
+        let ap = average_precision(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]).unwrap();
+        assert!((ap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_known_value() {
+        // Ranked: pos, neg, pos, neg -> AP = (1/1)*0.5 + (2/3)*0.5 = 0.8333…
+        let ap = average_precision(&[0.9, 0.7, 0.6, 0.2], &[true, false, true, false]).unwrap();
+        assert!((ap - (0.5 + 2.0 / 3.0 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_none_without_positives() {
+        assert_eq!(average_precision(&[0.1], &[false]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn lengths_checked() {
+        let _ = roc_auc(&[0.1], &[true, false]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Feature standardization (zero mean, unit variance), required by the
+//! RBF-kernel SVM and KNN which are scale-sensitive.
+
+/// A fitted standard scaler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations on `rows`.
+    ///
+    /// Constant features get `std = 1` so transforming is a no-op shift for
+    /// them rather than a division by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows have inconsistent lengths.
+    pub fn fit(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on an empty set");
+        let dim = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == dim), "inconsistent row lengths");
+        let n = rows.len() as f64;
+        let mut means = vec![0.0f64; dim];
+        for r in rows {
+            for (m, &v) in means.iter_mut().zip(r.iter()) {
+                *m += v as f64;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0f64; dim];
+        for r in rows {
+            for ((v, &x), &m) in vars.iter_mut().zip(r.iter()).zip(means.iter()) {
+                let d = x as f64 - m;
+                *v += d * d;
+            }
+        }
+        let stds: Vec<f32> = vars
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s < 1e-9 {
+                    1.0
+                } else {
+                    s as f32
+                }
+            })
+            .collect();
+        StandardScaler { means: means.into_iter().map(|m| m as f32).collect(), stds }
+    }
+
+    /// Number of features this scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Transforms one row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the fitted dimension.
+    pub fn transform_row(&self, row: &mut [f32]) {
+        assert_eq!(row.len(), self.means.len(), "row length mismatch");
+        for ((v, &m), &s) in row.iter_mut().zip(self.means.iter()).zip(self.stds.iter()) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Transforms a set of rows, returning the standardized copy.
+    pub fn transform(&self, rows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        rows.iter()
+            .map(|r| {
+                let mut out = r.clone();
+                self.transform_row(&mut out);
+                out
+            })
+            .collect()
+    }
+
+    /// Fits on `rows` and returns `(scaler, transformed rows)`.
+    pub fn fit_transform(rows: &[Vec<f32>]) -> (Self, Vec<Vec<f32>>) {
+        let scaler = Self::fit(rows);
+        let out = scaler.transform(rows);
+        (scaler, out)
+    }
+
+    /// The fitted `(means, stds)` for persistence.
+    pub fn to_parts(&self) -> (&[f32], &[f32]) {
+        (&self.means, &self.stds)
+    }
+
+    /// Reconstructs a scaler from persisted parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the lengths differ or a std is non-positive.
+    pub fn from_parts(means: Vec<f32>, stds: Vec<f32>) -> Result<Self, String> {
+        if means.len() != stds.len() {
+            return Err("means/stds length mismatch".into());
+        }
+        if stds.iter().any(|&s| !(s > 0.0)) {
+            return Err("standard deviations must be positive".into());
+        }
+        Ok(StandardScaler { means, stds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let (_, out) = StandardScaler::fit_transform(&rows);
+        for d in 0..2 {
+            let mean: f32 = out.iter().map(|r| r[d]).sum::<f32>() / 3.0;
+            let var: f32 = out.iter().map(|r| (r[d] - mean).powi(2)).sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-6, "dim {d} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-5, "dim {d} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_features_survive() {
+        let rows = vec![vec![7.0, 1.0], vec![7.0, 2.0]];
+        let (scaler, out) = StandardScaler::fit_transform(&rows);
+        assert_eq!(scaler.dim(), 2);
+        assert!(out.iter().all(|r| r[0] == 0.0), "constant feature maps to 0");
+        assert!(out.iter().all(|r| r[0].is_finite() && r[1].is_finite()));
+    }
+
+    #[test]
+    fn transform_uses_training_statistics() {
+        let train = vec![vec![0.0], vec![2.0]];
+        let scaler = StandardScaler::fit(&train);
+        let test = scaler.transform(&[vec![4.0]]);
+        // mean 1, std 1 -> (4-1)/1 = 3
+        assert!((test[0][0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        let _ = StandardScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn ragged_rows_panic() {
+        let _ = StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn transform_checks_dim() {
+        let scaler = StandardScaler::fit(&[vec![1.0, 2.0]]);
+        let mut row = vec![1.0];
+        scaler.transform_row(&mut row);
+    }
+}

@@ -1,0 +1,168 @@
+//! Deterministic dataset splitting helpers (70/30 in the paper's setup).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Splits indices `0..n` into `(train, test)` with `test_fraction` of the
+/// items in the test set. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is outside `(0, 1)`.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1), got {test_fraction}"
+    );
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    let n_test = n_test.min(n);
+    let test = idx.split_off(n - n_test);
+    (idx, test)
+}
+
+/// Stratified split: the test set preserves the positive/negative ratio of
+/// `labels`. Returns `(train, test)` index sets. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is outside `(0, 1)`.
+pub fn stratified_split(labels: &[bool], test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1), got {test_fraction}"
+    );
+    let mut pos: Vec<usize> = Vec::new();
+    let mut neg: Vec<usize> = Vec::new();
+    for (i, &y) in labels.iter().enumerate() {
+        if y {
+            pos.push(i);
+        } else {
+            neg.push(i);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for class in [pos, neg] {
+        let n_test = ((class.len() as f64) * test_fraction).round() as usize;
+        let n_test = n_test.min(class.len());
+        let split = class.len() - n_test;
+        train.extend_from_slice(&class[..split]);
+        test.extend_from_slice(&class[split..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+/// Splits indices `0..n` into `k` folds for cross-validation: returns, for
+/// each fold, `(train_indices, test_indices)`. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > n`.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2, got {k}");
+    assert!(k <= n, "cannot split {n} items into {k} folds");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &x) in idx.iter().enumerate() {
+        folds[i % k].push(x);
+    }
+    (0..k)
+        .map(|f| {
+            let test = folds[f].clone();
+            let train: Vec<usize> =
+                (0..k).filter(|&g| g != f).flat_map(|g| folds[g].iter().copied()).collect();
+            (train, test)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions_indices() {
+        let (train, test) = train_test_split(100, 0.3, 1);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        assert_eq!(train_test_split(50, 0.2, 9), train_test_split(50, 0.2, 9));
+        assert_ne!(train_test_split(50, 0.2, 9), train_test_split(50, 0.2, 10));
+    }
+
+    #[test]
+    fn stratified_preserves_class_ratio() {
+        let labels: Vec<bool> = (0..100).map(|i| i % 4 == 0).collect(); // 25% positive
+        let (train, test) = stratified_split(&labels, 0.2, 3);
+        assert_eq!(train.len() + test.len(), 100);
+        let pos_in_test = test.iter().filter(|&&i| labels[i]).count();
+        assert_eq!(pos_in_test, 5, "25% of the 20 test items");
+        let pos_in_train = train.iter().filter(|&&i| labels[i]).count();
+        assert_eq!(pos_in_train, 20);
+    }
+
+    #[test]
+    fn stratified_handles_single_class() {
+        let labels = vec![true; 10];
+        let (train, test) = stratified_split(&labels, 0.3, 1);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let (train, test) = train_test_split(1, 0.5, 1);
+        assert_eq!(train.len() + test.len(), 1);
+        let (train, test) = stratified_split(&[true], 0.5, 1);
+        assert_eq!(train.len() + test.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn rejects_bad_fraction() {
+        let _ = train_test_split(10, 1.5, 0);
+    }
+
+    #[test]
+    fn kfold_partitions_each_fold() {
+        let folds = kfold(23, 5, 7);
+        assert_eq!(folds.len(), 5);
+        let mut all_test: Vec<usize> = Vec::new();
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 23);
+            let overlap = test.iter().filter(|x| train.contains(x)).count();
+            assert_eq!(overlap, 0, "train/test must be disjoint");
+            all_test.extend(test.iter().copied());
+        }
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..23).collect::<Vec<_>>(), "test folds tile the data");
+    }
+
+    #[test]
+    fn kfold_deterministic() {
+        assert_eq!(kfold(12, 3, 5), kfold(12, 3, 5));
+        assert_ne!(kfold(12, 3, 5), kfold(12, 3, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn kfold_rejects_k1() {
+        let _ = kfold(10, 1, 0);
+    }
+}

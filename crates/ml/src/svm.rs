@@ -1,0 +1,391 @@
+//! Soft-margin SVM trained with simplified SMO — the paper's classifier `C'`
+//! ("we use … SVM as the classifier C'. We use RBF as the kernel function").
+//!
+//! The solver is Platt's SMO in its simplified form (two-alpha working set,
+//! random second choice): exact enough for the few-thousand-sample training
+//! sets of this reproduction and entirely dependency-free.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// SVM kernel functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Inner product.
+    Linear,
+    /// Radial basis function `exp(-γ ||x − y||²)` — the paper's choice.
+    Rbf {
+        /// The γ bandwidth parameter.
+        gamma: f32,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel on two feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn eval(self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "kernel operand length mismatch");
+        match self {
+            Kernel::Linear => a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum(),
+            Kernel::Rbf { gamma } => {
+                let mut d2 = 0.0f32;
+                for (&x, &y) in a.iter().zip(b.iter()) {
+                    let d = x - y;
+                    d2 += d * d;
+                }
+                (-gamma * d2).exp()
+            }
+        }
+    }
+}
+
+/// Hyper-parameters of [`Svm::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvmConfig {
+    /// Soft-margin penalty C.
+    pub c: f32,
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// KKT-violation tolerance.
+    pub tol: f32,
+    /// Stop after this many consecutive passes without any alpha change.
+    pub max_passes: usize,
+    /// Hard cap on total optimization passes.
+    pub max_iters: usize,
+    /// Seed for the second-alpha random choice.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            c: 1.0,
+            kernel: Kernel::Rbf { gamma: 0.05 },
+            tol: 1e-3,
+            max_passes: 5,
+            max_iters: 200,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained support-vector machine (binary).
+#[derive(Debug, Clone)]
+pub struct Svm {
+    kernel: Kernel,
+    support_x: Vec<Vec<f32>>,
+    /// `alpha_i * y_i` for each support vector.
+    coeffs: Vec<f32>,
+    bias: f32,
+    dim: usize,
+}
+
+impl Svm {
+    /// Trains an SVM on `xs` with boolean labels (`true` = friend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty/mismatched/ragged, or `c <= 0`.
+    pub fn fit(cfg: &SvmConfig, xs: &[Vec<f32>], labels: &[bool]) -> Self {
+        assert_eq!(xs.len(), labels.len(), "sample/label count mismatch");
+        assert!(!xs.is_empty(), "cannot train on an empty set");
+        assert!(cfg.c > 0.0, "C must be positive");
+        let n = xs.len();
+        let dim = xs[0].len();
+        assert!(xs.iter().all(|r| r.len() == dim), "inconsistent feature dimensions");
+        let ys: Vec<f32> = labels.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+
+        // Precomputed Gram matrix (n ≤ a few thousand in this repo).
+        let gram: Vec<f32> = {
+            let mut g = vec![0.0f32; n * n];
+            for i in 0..n {
+                for j in i..n {
+                    let v = cfg.kernel.eval(&xs[i], &xs[j]);
+                    g[i * n + j] = v;
+                    g[j * n + i] = v;
+                }
+            }
+            g
+        };
+
+        let mut alphas = vec![0.0f32; n];
+        let mut b = 0.0f32;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Error cache: E[p] = f(p) − y(p). With all alphas zero, f ≡ 0.
+        let mut errs: Vec<f32> = ys.iter().map(|&y| -y).collect();
+
+        let mut passes = 0usize;
+        let mut iters = 0usize;
+        while passes < cfg.max_passes && iters < cfg.max_iters {
+            iters += 1;
+            let mut changed = 0usize;
+            for i in 0..n {
+                let ei = errs[i];
+                let violates = (ys[i] * ei < -cfg.tol && alphas[i] < cfg.c)
+                    || (ys[i] * ei > cfg.tol && alphas[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = errs[j];
+                let (ai_old, aj_old) = (alphas[i], alphas[j]);
+                let (lo, hi) = if ys[i] != ys[j] {
+                    ((aj_old - ai_old).max(0.0), (cfg.c + aj_old - ai_old).min(cfg.c))
+                } else {
+                    ((ai_old + aj_old - cfg.c).max(0.0), (ai_old + aj_old).min(cfg.c))
+                };
+                if lo >= hi - 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * gram[i * n + j] - gram[i * n + i] - gram[j * n + j];
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = aj_old - ys[j] * (ei - ej) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-5 {
+                    continue;
+                }
+                let ai = ai_old + ys[i] * ys[j] * (aj_old - aj);
+                alphas[i] = ai;
+                alphas[j] = aj;
+                let b1 = b - ei
+                    - ys[i] * (ai - ai_old) * gram[i * n + i]
+                    - ys[j] * (aj - aj_old) * gram[i * n + j];
+                let b2 = b - ej
+                    - ys[i] * (ai - ai_old) * gram[i * n + j]
+                    - ys[j] * (aj - aj_old) * gram[j * n + j];
+                let b_old = b;
+                b = if ai > 0.0 && ai < cfg.c {
+                    b1
+                } else if aj > 0.0 && aj < cfg.c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                // Incremental error-cache maintenance: only the two changed
+                // alphas and the bias shift contribute.
+                let di = ys[i] * (ai - ai_old);
+                let dj = ys[j] * (aj - aj_old);
+                let db = b - b_old;
+                for p in 0..n {
+                    errs[p] += di * gram[i * n + p] + dj * gram[j * n + p] + db;
+                }
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+
+        // Keep only support vectors.
+        let mut support_x = Vec::new();
+        let mut coeffs = Vec::new();
+        for i in 0..n {
+            if alphas[i] > 1e-8 {
+                support_x.push(xs[i].clone());
+                coeffs.push(alphas[i] * ys[i]);
+            }
+        }
+        Svm { kernel: cfg.kernel, support_x, coeffs, bias: b, dim }
+    }
+
+    /// Number of support vectors retained.
+    pub fn n_support_vectors(&self) -> usize {
+        self.support_x.len()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Signed decision value `Σ αᵢyᵢ K(xᵢ, x) + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn decision_one(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        let mut acc = self.bias;
+        for (sv, &c) in self.support_x.iter().zip(self.coeffs.iter()) {
+            acc += c * self.kernel.eval(sv, x);
+        }
+        acc
+    }
+
+    /// Class prediction (`true` = friend).
+    pub fn predict_one(&self, x: &[f32]) -> bool {
+        self.decision_one(x) >= 0.0
+    }
+
+    /// Batch predictions.
+    pub fn predict(&self, xs: &[Vec<f32>]) -> Vec<bool> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    /// Batch decision values.
+    pub fn decision(&self, xs: &[Vec<f32>]) -> Vec<f32> {
+        xs.iter().map(|x| self.decision_one(x)).collect()
+    }
+
+    /// Decomposes the model into `(kernel, support vectors, coefficients
+    /// αᵢyᵢ, bias)` for persistence.
+    pub fn to_parts(&self) -> (Kernel, &[Vec<f32>], &[f32], f32) {
+        (self.kernel, &self.support_x, &self.coeffs, self.bias)
+    }
+
+    /// Reconstructs a model from persisted parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the vector counts mismatch or dimensions are
+    /// inconsistent.
+    pub fn from_parts(
+        kernel: Kernel,
+        support_x: Vec<Vec<f32>>,
+        coeffs: Vec<f32>,
+        bias: f32,
+        dim: usize,
+    ) -> Result<Self, String> {
+        if support_x.len() != coeffs.len() {
+            return Err(format!(
+                "support vector count {} != coefficient count {}",
+                support_x.len(),
+                coeffs.len()
+            ));
+        }
+        if support_x.iter().any(|v| v.len() != dim) {
+            return Err("support vector dimension mismatch".into());
+        }
+        Ok(Svm { kernel, support_x, coeffs, bias, dim })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let pos = rng.gen::<bool>();
+            let cx = if pos { 2.0 } else { -2.0 };
+            xs.push(vec![cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+            ys.push(pos);
+        }
+        (xs, ys)
+    }
+
+    /// XOR-style data only an RBF kernel can separate.
+    fn xor_data(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let (qx, qy) = (rng.gen::<bool>(), rng.gen::<bool>());
+            let x = (if qx { 1.0 } else { -1.0 }) + rng.gen_range(-0.3..0.3);
+            let y = (if qy { 1.0 } else { -1.0 }) + rng.gen_range(-0.3..0.3);
+            xs.push(vec![x, y]);
+            ys.push(qx == qy);
+        }
+        (xs, ys)
+    }
+
+    fn accuracy(svm: &Svm, xs: &[Vec<f32>], ys: &[bool]) -> f64 {
+        let correct = svm.predict(xs).iter().zip(ys.iter()).filter(|(p, y)| p == y).count();
+        correct as f64 / ys.len() as f64
+    }
+
+    #[test]
+    fn linear_kernel_separates_linear_data() {
+        let (xs, ys) = linearly_separable(120, 5);
+        let cfg = SvmConfig { kernel: Kernel::Linear, ..Default::default() };
+        let svm = Svm::fit(&cfg, &xs, &ys);
+        assert!(accuracy(&svm, &xs, &ys) > 0.95);
+        assert!(svm.n_support_vectors() > 0);
+        assert!(svm.n_support_vectors() < xs.len(), "solution should be sparse");
+    }
+
+    #[test]
+    fn rbf_kernel_separates_xor() {
+        let (xs, ys) = xor_data(160, 7);
+        let cfg = SvmConfig { kernel: Kernel::Rbf { gamma: 1.0 }, c: 5.0, ..Default::default() };
+        let svm = Svm::fit(&cfg, &xs, &ys);
+        assert!(accuracy(&svm, &xs, &ys) > 0.95, "xor accuracy {}", accuracy(&svm, &xs, &ys));
+        // A linear kernel can get at most ~3 of the 4 XOR quadrants right
+        // (one quadrant is always on the wrong side of any hyperplane).
+        let lin = Svm::fit(&SvmConfig { kernel: Kernel::Linear, ..Default::default() }, &xs, &ys);
+        let lin_acc = accuracy(&lin, &xs, &ys);
+        assert!(lin_acc < 0.9, "linear should not solve xor, got {lin_acc}");
+        assert!(accuracy(&svm, &xs, &ys) > lin_acc, "rbf must beat linear on xor");
+    }
+
+    #[test]
+    fn generalizes_to_held_out_data() {
+        let (xtr, ytr) = xor_data(200, 11);
+        let (xte, yte) = xor_data(80, 13);
+        let cfg = SvmConfig { kernel: Kernel::Rbf { gamma: 1.0 }, c: 5.0, ..Default::default() };
+        let svm = Svm::fit(&cfg, &xtr, &ytr);
+        assert!(accuracy(&svm, &xte, &yte) > 0.9);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (xs, ys) = linearly_separable(60, 3);
+        let cfg = SvmConfig::default();
+        let a = Svm::fit(&cfg, &xs, &ys);
+        let b = Svm::fit(&cfg, &xs, &ys);
+        let probe = vec![0.3f32, -0.7];
+        assert_eq!(a.decision_one(&probe), b.decision_one(&probe));
+    }
+
+    #[test]
+    fn decision_sign_matches_prediction() {
+        let (xs, ys) = linearly_separable(60, 9);
+        let svm = Svm::fit(&SvmConfig::default(), &xs, &ys);
+        for x in &xs {
+            assert_eq!(svm.predict_one(x), svm.decision_one(x) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn kernel_values() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let r = Kernel::Rbf { gamma: 0.5 }.eval(&[0.0], &[2.0]);
+        assert!((r - (-2.0f32).exp()).abs() < 1e-6);
+        assert_eq!(Kernel::Rbf { gamma: 1.0 }.eval(&[1.0, 1.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn single_class_degenerates_gracefully() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ys = vec![true, true, true];
+        let svm = Svm::fit(&SvmConfig::default(), &xs, &ys);
+        // Everything should be classified positive.
+        assert!(svm.predict(&xs).iter().all(|&p| p));
+    }
+
+    #[test]
+    #[should_panic(expected = "C must be positive")]
+    fn rejects_non_positive_c() {
+        let cfg = SvmConfig { c: 0.0, ..Default::default() };
+        let _ = Svm::fit(&cfg, &[vec![0.0]], &[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn rejects_mismatched_inputs() {
+        let _ = Svm::fit(&SvmConfig::default(), &[vec![0.0]], &[true, false]);
+    }
+}

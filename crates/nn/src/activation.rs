@@ -1,0 +1,95 @@
+//! Activation functions and their derivatives.
+
+/// The non-linearities supported by [`crate::Dense`] layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// `max(0, x)`.
+    #[default]
+    Relu,
+    /// `1 / (1 + e^{-x})`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// The identity (linear layer).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to `x`.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// The derivative expressed in terms of the *output* `y = apply(x)`,
+    /// which is what backprop has at hand.
+    #[inline]
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(1.0), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!(s.apply(10.0) > 0.999);
+        assert!(s.apply(-10.0) < 0.001);
+        // derivative at midpoint is 0.25
+        assert!((s.derivative_from_output(0.5) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let t = Activation::Tanh;
+        assert!((t.apply(1.3) + t.apply(-1.3)).abs() < 1e-6);
+        assert!((t.derivative_from_output(0.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        assert_eq!(Activation::Identity.apply(4.2), 4.2);
+        assert_eq!(Activation::Identity.derivative_from_output(4.2), 1.0);
+    }
+
+    /// Finite-difference check of all derivatives.
+    #[test]
+    fn derivatives_match_finite_differences() {
+        for act in [Activation::Relu, Activation::Sigmoid, Activation::Tanh, Activation::Identity] {
+            for &x in &[-1.7f32, -0.3, 0.4, 2.1] {
+                let eps = 1e-3;
+                let num = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let ana = act.derivative_from_output(act.apply(x));
+                assert!((num - ana).abs() < 1e-2, "{act:?} at {x}: {num} vs {ana}");
+            }
+        }
+    }
+}

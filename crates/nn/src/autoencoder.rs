@@ -1,0 +1,718 @@
+//! The supervised autoencoder of Algorithm 1: an autoencoder whose
+//! bottleneck is jointly trained with a classification head under
+//! `L = L_auto + α · L_cla`, so the compressed JOC representation is both
+//! reconstructive and discriminative (§III-B-2/3 of the paper).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::activation::Activation;
+use crate::layer::SparseRow;
+use crate::loss::{bce_grad, bce_loss, mse_grad, mse_loss};
+use crate::matrix::Matrix;
+use crate::mlp::{Input, Mlp};
+use crate::optimizer::Optimizer;
+
+/// Configuration of a [`SupervisedAutoencoder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedAutoencoderConfig {
+    /// Flattened JOC dimension (`I × J × 3`).
+    pub input_dim: usize,
+    /// Bottleneck dimension `d` — the presence-proximity feature size
+    /// (paper default: 128).
+    pub bottleneck: usize,
+    /// Width cap on the first hidden layer. The paper halves layer widths
+    /// from the input; on very wide STDs that is computationally dominated
+    /// by the first layer, so this reproduction caps it (see DESIGN.md §3).
+    pub max_hidden: usize,
+    /// Hidden width of the classification head.
+    pub classifier_hidden: usize,
+    /// The α balancing reconstruction and classification (paper default: 1).
+    pub alpha: f32,
+    /// Optimizer (the paper uses plain gradient descent at β = 0.005).
+    pub optimizer: Optimizer,
+    /// Training epochs `m`.
+    pub epochs: usize,
+    /// Mini-batch size `n`.
+    pub batch_size: usize,
+    /// L2 weight decay on all three networks (0 = off, the paper's
+    /// setting; useful when training sets are small).
+    pub weight_decay: f32,
+    /// Dropout probability on the bottleneck during training (0 = off, the
+    /// paper's setting). Dropped units are rescaled by `1/(1-p)` (inverted
+    /// dropout), so inference needs no adjustment.
+    pub dropout: f32,
+    /// Seed for weight initialization and batch shuffling.
+    pub seed: u64,
+}
+
+impl SupervisedAutoencoderConfig {
+    /// A sensible default configuration for the given input and bottleneck
+    /// dimensions, mirroring the paper's §IV-B settings.
+    pub fn new(input_dim: usize, bottleneck: usize) -> Self {
+        SupervisedAutoencoderConfig {
+            input_dim,
+            bottleneck,
+            max_hidden: 512,
+            classifier_hidden: 32,
+            alpha: 1.0,
+            optimizer: Optimizer::Sgd { lr: 0.005 },
+            epochs: 30,
+            batch_size: 32,
+            weight_decay: 0.0,
+            dropout: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// The encoder layer widths: halve from the input (capped at
+    /// `max_hidden`) down to the bottleneck, as the paper describes
+    /// ("consecutive layers with half the number of nodes", §IV-B).
+    pub fn encoder_dims(&self) -> Vec<usize> {
+        let mut dims = vec![self.input_dim];
+        let mut h = (self.input_dim / 2).min(self.max_hidden);
+        while h > 2 * self.bottleneck && dims.len() < 8 {
+            dims.push(h);
+            h /= 2;
+        }
+        dims.push(self.bottleneck);
+        dims
+    }
+}
+
+/// Per-epoch loss pair recorded during training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochLosses {
+    /// Mean reconstruction loss `L_auto` over the epoch's batches.
+    pub reconstruction: f32,
+    /// Mean classification loss `L_cla` over the epoch's batches.
+    pub classification: f32,
+}
+
+/// Loss history returned by [`SupervisedAutoencoder::fit`].
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// One entry per epoch, in order.
+    pub epochs: Vec<EpochLosses>,
+}
+
+impl TrainReport {
+    /// The last epoch's losses, if any training happened.
+    pub fn final_losses(&self) -> Option<EpochLosses> {
+        self.epochs.last().copied()
+    }
+}
+
+/// The jointly-trained autoencoder + classifier of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct SupervisedAutoencoder {
+    encoder: Mlp,
+    decoder: Mlp,
+    classifier: Mlp,
+    cfg: SupervisedAutoencoderConfig,
+}
+
+impl SupervisedAutoencoder {
+    /// Builds the networks with Xavier initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim` or `bottleneck` is zero.
+    pub fn new(cfg: SupervisedAutoencoderConfig) -> Self {
+        assert!(cfg.input_dim > 0 && cfg.bottleneck > 0, "dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let enc_dims = cfg.encoder_dims();
+        let dec_dims: Vec<usize> = enc_dims.iter().rev().copied().collect();
+        // Hidden layers ReLU; bottleneck tanh (bounded features suit the
+        // downstream KNN/SVM); reconstruction output linear.
+        let encoder = Mlp::new(&enc_dims, Activation::Relu, Activation::Tanh, &mut rng);
+        let decoder = Mlp::new(&dec_dims, Activation::Relu, Activation::Identity, &mut rng);
+        let classifier = Mlp::new(
+            &[cfg.bottleneck, cfg.classifier_hidden, 1],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        SupervisedAutoencoder { encoder, decoder, classifier, cfg }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &SupervisedAutoencoderConfig {
+        &self.cfg
+    }
+
+    /// The bottleneck dimension `d`.
+    pub fn feature_dim(&self) -> usize {
+        self.cfg.bottleneck
+    }
+
+    /// Total trainable parameters across the three networks.
+    pub fn n_params(&self) -> usize {
+        self.encoder.n_params() + self.decoder.n_params() + self.classifier.n_params()
+    }
+
+    /// Trains encoder, decoder and classifier jointly (Algorithm 1).
+    ///
+    /// `xs` are sparse flattened JOCs, `ys` the friendship labels (0/1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` lengths differ, the set is empty, or a label
+    /// is not 0/1.
+    pub fn fit(&mut self, xs: &[SparseRow], ys: &[f32]) -> TrainReport {
+        assert_eq!(xs.len(), ys.len(), "sample/label count mismatch");
+        assert!(!xs.is_empty(), "cannot train on an empty set");
+        assert!(ys.iter().all(|&y| y == 0.0 || y == 1.0), "labels must be 0 or 1");
+        assert!(
+            (0.0..1.0).contains(&self.cfg.dropout),
+            "dropout must be in [0, 1), got {}",
+            self.cfg.dropout
+        );
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x05ee_df17);
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut report = TrainReport::default();
+        let bs = self.cfg.batch_size.max(1);
+
+        for _epoch in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut recon_sum = 0.0f32;
+            let mut cls_sum = 0.0f32;
+            let mut n_batches = 0usize;
+            for chunk in order.chunks(bs) {
+                let batch: Vec<SparseRow> = chunk.iter().map(|&i| xs[i].clone()).collect();
+                let labels: Vec<f32> = chunk.iter().map(|&i| ys[i]).collect();
+                let target = sparse_to_dense(&batch, self.cfg.input_dim);
+                let (recon, cls) = self.train_batch(&batch, &target, &labels, &mut rng);
+                recon_sum += recon;
+                cls_sum += cls;
+                n_batches += 1;
+            }
+            report.epochs.push(EpochLosses {
+                reconstruction: recon_sum / n_batches as f32,
+                classification: cls_sum / n_batches as f32,
+            });
+        }
+        report
+    }
+
+    /// One mini-batch update; returns `(L_auto, L_cla)` before the update.
+    ///
+    /// `L_auto` is normalized per input dimension (mean squared error per
+    /// JOC cell): the paper's Σ||Ô−O||² grows linearly with the STD size,
+    /// which would silently rescale the meaning of α across σ/τ sweeps. With
+    /// the per-dimension mean, α = 1 (the paper's setting) balances the two
+    /// gradient paths at any input width.
+    fn train_batch(
+        &mut self,
+        batch: &[SparseRow],
+        target: &Matrix,
+        labels: &[f32],
+        rng: &mut StdRng,
+    ) -> (f32, f32) {
+        let enc_cache = self.encoder.forward_cached(Input::Sparse(batch));
+        let mut h = enc_cache.output().clone();
+        // Inverted dropout on the bottleneck: mask the representation the
+        // decoder and classifier see, and mask the gradient flowing back to
+        // the encoder the same way.
+        let mask: Option<Vec<f32>> = if self.cfg.dropout > 0.0 {
+            let keep = 1.0 - self.cfg.dropout;
+            let m: Vec<f32> = (0..h.as_slice().len())
+                .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                .collect();
+            for (v, &mv) in h.as_mut_slice().iter_mut().zip(m.iter()) {
+                *v *= mv;
+            }
+            Some(m)
+        } else {
+            None
+        };
+        let dec_cache = self.decoder.forward_cached(Input::Dense(&h));
+        let cls_cache = self.classifier.forward_cached(Input::Dense(&h));
+
+        let dim_norm = 1.0 / self.cfg.input_dim as f32;
+        let recon_loss = mse_loss(dec_cache.output(), target) * dim_norm;
+        let probs: Vec<f32> = (0..cls_cache.output().rows())
+            .map(|i| cls_cache.output().get(i, 0))
+            .collect();
+        let cls_loss = bce_loss(&probs, labels);
+
+        // Decoder path (Algorithm 1 lines 11–14): L_auto gradients at rate β.
+        let mut d_recon = mse_grad(dec_cache.output(), target);
+        d_recon.map_inplace(|g| g * dim_norm);
+        let (dec_grads, d_h_recon) =
+            self.decoder.compute_grads(Input::Dense(&h), &dec_cache, &d_recon);
+        self.decoder.apply_grads_decayed(&dec_grads, &self.cfg.optimizer, 1.0, self.cfg.weight_decay);
+        let d_h_recon = d_h_recon.expect("dense input yields input gradient");
+
+        // Classifier path (lines 15–18): L_cla gradients at rate β.
+        let g = bce_grad(&probs, labels);
+        let d_cls = Matrix::from_vec(g.len(), 1, g);
+        let (cls_grads, d_h_cls) =
+            self.classifier.compute_grads(Input::Dense(&h), &cls_cache, &d_cls);
+        self.classifier.apply_grads_decayed(&cls_grads, &self.cfg.optimizer, 1.0, self.cfg.weight_decay);
+        let d_h_cls = d_h_cls.expect("dense input yields input gradient");
+
+        // Encoder (lines 11–14 + 19–22): L_auto at β plus L_cla at α·β,
+        // i.e. one pass with the combined bottleneck gradient.
+        let mut d_h = d_h_recon;
+        d_h.add_scaled(&d_h_cls, self.cfg.alpha);
+        if let Some(m) = &mask {
+            for (g, &mv) in d_h.as_mut_slice().iter_mut().zip(m.iter()) {
+                *g *= mv;
+            }
+        }
+        let (enc_grads, _) = self.encoder.compute_grads(Input::Sparse(batch), &enc_cache, &d_h);
+        self.encoder.apply_grads_decayed(&enc_grads, &self.cfg.optimizer, 1.0, self.cfg.weight_decay);
+
+        (recon_loss, cls_loss)
+    }
+
+    /// Encodes samples into `d`-dimensional presence-proximity features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn encode(&self, xs: &[SparseRow]) -> Matrix {
+        assert!(!xs.is_empty(), "nothing to encode");
+        let mut out = Matrix::zeros(xs.len(), self.cfg.bottleneck);
+        for (start, chunk) in xs.chunks(256).enumerate().map(|(i, c)| (i * 256, c)) {
+            let h = self.encoder.forward(Input::Sparse(chunk));
+            for r in 0..h.rows() {
+                out.row_mut(start + r).copy_from_slice(h.row(r));
+            }
+        }
+        out
+    }
+
+    /// Encodes a single sample.
+    pub fn encode_one(&self, x: &SparseRow) -> Vec<f32> {
+        let m = self.encoder.forward(Input::Sparse(std::slice::from_ref(x)));
+        m.row(0).to_vec()
+    }
+
+    /// Friend probability of each sample from the classification head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn predict_proba(&self, xs: &[SparseRow]) -> Vec<f32> {
+        let h = self.encode(xs);
+        let p = self.classifier.forward(Input::Dense(&h));
+        (0..p.rows()).map(|i| p.get(i, 0)).collect()
+    }
+
+    /// Friend probability from an already-encoded feature matrix.
+    pub fn predict_proba_encoded(&self, h: &Matrix) -> Vec<f32> {
+        let p = self.classifier.forward(Input::Dense(h));
+        (0..p.rows()).map(|i| p.get(i, 0)).collect()
+    }
+
+    /// Reconstructions (decoder output) of the given samples.
+    pub fn reconstruct(&self, xs: &[SparseRow]) -> Matrix {
+        let h = self.encode(xs);
+        self.decoder.forward(Input::Dense(&h))
+    }
+
+    /// The encoder network (ablations and tests).
+    pub fn encoder(&self) -> &Mlp {
+        &self.encoder
+    }
+
+    /// The decoder network (persistence).
+    pub fn decoder(&self) -> &Mlp {
+        &self.decoder
+    }
+
+    /// The classification head (persistence).
+    pub fn classifier(&self) -> &Mlp {
+        &self.classifier
+    }
+
+    /// Reassembles a trained model from its three networks (persistence).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the network dimensions are inconsistent with
+    /// each other or with `cfg`.
+    pub fn from_parts(
+        cfg: SupervisedAutoencoderConfig,
+        encoder: Mlp,
+        decoder: Mlp,
+        classifier: Mlp,
+    ) -> Result<Self, String> {
+        if encoder.in_dim() != cfg.input_dim {
+            return Err(format!(
+                "encoder input {} != configured input_dim {}",
+                encoder.in_dim(),
+                cfg.input_dim
+            ));
+        }
+        if encoder.out_dim() != cfg.bottleneck {
+            return Err(format!(
+                "encoder output {} != configured bottleneck {}",
+                encoder.out_dim(),
+                cfg.bottleneck
+            ));
+        }
+        if decoder.in_dim() != cfg.bottleneck || decoder.out_dim() != cfg.input_dim {
+            return Err("decoder dimensions do not mirror the encoder".into());
+        }
+        if classifier.in_dim() != cfg.bottleneck || classifier.out_dim() != 1 {
+            return Err("classifier head dimensions are inconsistent".into());
+        }
+        Ok(SupervisedAutoencoder { encoder, decoder, classifier, cfg })
+    }
+
+    /// Mutable encoder access (finite-difference tests).
+    pub fn encoder_mut(&mut self) -> &mut Mlp {
+        &mut self.encoder
+    }
+
+    /// The total loss `L = L_auto + α·L_cla` on a sample set, without
+    /// updating any weights. Used by tests and early-stopping harnesses.
+    pub fn evaluate(&self, xs: &[SparseRow], ys: &[f32]) -> (f32, f32) {
+        let target = sparse_to_dense(xs, self.cfg.input_dim);
+        let h = self.encode(xs);
+        let recon = self.decoder.forward(Input::Dense(&h));
+        let probs = self.predict_proba_encoded(&h);
+        (mse_loss(&recon, &target) / self.cfg.input_dim as f32, bce_loss(&probs, ys))
+    }
+}
+
+fn sparse_to_dense(rows: &[SparseRow], dim: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows.len(), dim);
+    for (i, row) in rows.iter().enumerate() {
+        for &(d, v) in row {
+            m.set(i, d, v);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic separable task: friends occupy dims [0, dim/2), strangers
+    /// dims [dim/2, dim), with noise.
+    fn toy_data(n: usize, dim: usize, seed: u64) -> (Vec<SparseRow>, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let friend = i % 2 == 0;
+            let half = dim / 2;
+            let base = if friend { 0 } else { half };
+            let mut row: SparseRow = (0..4)
+                .map(|_| (base + rng.gen_range(0..half), 1.0 + rng.gen::<f32>()))
+                .collect();
+            // noise dim anywhere
+            row.push((rng.gen_range(0..dim), 0.5));
+            xs.push(row);
+            ys.push(if friend { 1.0 } else { 0.0 });
+        }
+        (xs, ys)
+    }
+
+    fn quick_cfg(dim: usize, d: usize) -> SupervisedAutoencoderConfig {
+        let mut cfg = SupervisedAutoencoderConfig::new(dim, d);
+        cfg.optimizer = Optimizer::Adam { lr: 0.01, beta1: 0.9, beta2: 0.999, eps: 1e-8 };
+        cfg.epochs = 40;
+        cfg.batch_size = 16;
+        cfg
+    }
+
+    #[test]
+    fn encoder_dims_halve_with_cap() {
+        let mut cfg = SupervisedAutoencoderConfig::new(2048, 128);
+        cfg.max_hidden = 512;
+        assert_eq!(cfg.encoder_dims(), vec![2048, 512, 128]);
+        let cfg2 = SupervisedAutoencoderConfig::new(600, 128);
+        assert_eq!(cfg2.encoder_dims(), vec![600, 300, 128]);
+        let tiny = SupervisedAutoencoderConfig::new(10, 4);
+        assert_eq!(tiny.encoder_dims(), vec![10, 4]);
+    }
+
+    #[test]
+    fn losses_decrease_during_training() {
+        let (xs, ys) = toy_data(64, 32, 7);
+        let mut model = SupervisedAutoencoder::new(quick_cfg(32, 8));
+        let report = model.fit(&xs, &ys);
+        let first = report.epochs.first().unwrap();
+        let last = report.final_losses().unwrap();
+        assert!(last.reconstruction < first.reconstruction, "recon did not improve");
+        assert!(last.classification < first.classification, "classification did not improve");
+    }
+
+    #[test]
+    fn classifier_separates_toy_classes() {
+        let (xs, ys) = toy_data(96, 32, 9);
+        let mut model = SupervisedAutoencoder::new(quick_cfg(32, 8));
+        model.fit(&xs, &ys);
+        let probs = model.predict_proba(&xs);
+        let correct = probs
+            .iter()
+            .zip(ys.iter())
+            .filter(|(&p, &y)| (p > 0.5) == (y > 0.5))
+            .count();
+        assert!(correct as f64 / ys.len() as f64 > 0.85, "accuracy {correct}/{}", ys.len());
+    }
+
+    #[test]
+    fn encode_shapes_and_determinism() {
+        let (xs, ys) = toy_data(20, 16, 3);
+        let mut m1 = SupervisedAutoencoder::new(quick_cfg(16, 4));
+        let mut m2 = SupervisedAutoencoder::new(quick_cfg(16, 4));
+        m1.fit(&xs, &ys);
+        m2.fit(&xs, &ys);
+        let h1 = m1.encode(&xs);
+        let h2 = m2.encode(&xs);
+        assert_eq!(h1.rows(), 20);
+        assert_eq!(h1.cols(), 4);
+        assert_eq!(h1.as_slice(), h2.as_slice(), "training must be deterministic");
+        assert_eq!(m1.encode_one(&xs[0]), h1.row(0).to_vec());
+    }
+
+    #[test]
+    fn bottleneck_features_are_bounded_by_tanh() {
+        let (xs, ys) = toy_data(20, 16, 5);
+        let mut m = SupervisedAutoencoder::new(quick_cfg(16, 4));
+        m.fit(&xs, &ys);
+        let h = m.encode(&xs);
+        assert!(h.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn alpha_zero_ignores_labels_in_encoder() {
+        let (xs, ys) = toy_data(32, 16, 11);
+        let mut flipped = ys.clone();
+        for y in &mut flipped {
+            *y = 1.0 - *y;
+        }
+        let mut cfg = quick_cfg(16, 4);
+        cfg.alpha = 0.0;
+        let mut m1 = SupervisedAutoencoder::new(cfg.clone());
+        let mut m2 = SupervisedAutoencoder::new(cfg);
+        m1.fit(&xs, &ys);
+        m2.fit(&xs, &flipped);
+        // With α = 0 the encoder sees only reconstruction: identical labels
+        // or flipped labels must give the identical encoder.
+        assert_eq!(m1.encode(&xs).as_slice(), m2.encode(&xs).as_slice());
+    }
+
+    #[test]
+    fn supervised_bottleneck_beats_unsupervised_on_classification() {
+        let (xs, ys) = toy_data(96, 32, 13);
+        let mut sup_cfg = quick_cfg(32, 8);
+        sup_cfg.alpha = 1.0;
+        let mut unsup_cfg = quick_cfg(32, 8);
+        unsup_cfg.alpha = 0.0;
+        let mut sup = SupervisedAutoencoder::new(sup_cfg);
+        let mut unsup = SupervisedAutoencoder::new(unsup_cfg);
+        sup.fit(&xs, &ys);
+        unsup.fit(&xs, &ys);
+        let (_, sup_cls) = sup.evaluate(&xs, &ys);
+        let (_, unsup_cls) = unsup.evaluate(&xs, &ys);
+        assert!(
+            sup_cls < unsup_cls,
+            "supervision should reduce classification loss: {sup_cls} vs {unsup_cls}"
+        );
+    }
+
+    #[test]
+    fn reconstruction_approximates_input() {
+        let (xs, ys) = toy_data(48, 16, 15);
+        let mut cfg = quick_cfg(16, 8);
+        cfg.epochs = 120;
+        let mut m = SupervisedAutoencoder::new(cfg);
+        m.fit(&xs, &ys);
+        let recon = m.reconstruct(&xs);
+        let target = sparse_to_dense(&xs, 16);
+        let err = mse_loss(&recon, &target);
+        // Input magnitude is ~4 dims × (1..2)² per sample; the autoencoder
+        // must capture a large share of it.
+        let base = mse_loss(&Matrix::zeros(target.rows(), target.cols()), &target);
+        assert!(err < base * 0.5, "reconstruction err {err} vs baseline {base}");
+    }
+
+    /// Finite-difference check of the *combined* loss gradient w.r.t. an
+    /// encoder weight, exercising the α-weighted two-path backward pass.
+    #[test]
+    fn encoder_gradient_matches_finite_difference() {
+        let (xs, ys) = toy_data(8, 12, 17);
+        let mut cfg = SupervisedAutoencoderConfig::new(12, 4);
+        cfg.alpha = 0.7;
+        cfg.epochs = 0;
+        let mut model = SupervisedAutoencoder::new(cfg);
+
+        let total_loss = |m: &SupervisedAutoencoder| -> f32 {
+            let (recon, cls) = m.evaluate(&xs, &ys);
+            recon + 0.7 * cls
+        };
+
+        // Analytic gradient via the training path: replicate train_batch's
+        // gradient computation without applying updates.
+        let enc_cache = model.encoder.forward_cached(Input::Sparse(&xs));
+        let h = enc_cache.output().clone();
+        let dec_cache = model.decoder.forward_cached(Input::Dense(&h));
+        let cls_cache = model.classifier.forward_cached(Input::Dense(&h));
+        let target = sparse_to_dense(&xs, 12);
+        let mut d_recon = mse_grad(dec_cache.output(), &target);
+        d_recon.map_inplace(|g| g / 12.0); // per-dimension L_auto normalization
+        let (_, d_h_recon) = model.decoder.compute_grads(Input::Dense(&h), &dec_cache, &d_recon);
+        let probs: Vec<f32> =
+            (0..cls_cache.output().rows()).map(|i| cls_cache.output().get(i, 0)).collect();
+        let g = bce_grad(&probs, &ys);
+        let d_cls = Matrix::from_vec(g.len(), 1, g);
+        let (_, d_h_cls) = model.classifier.compute_grads(Input::Dense(&h), &cls_cache, &d_cls);
+        let mut d_h = d_h_recon.unwrap();
+        d_h.add_scaled(&d_h_cls.unwrap(), 0.7);
+        let (enc_grads, _) = model.encoder.compute_grads(Input::Sparse(&xs), &enc_cache, &d_h);
+
+        let eps = 1e-2;
+        let n = model.encoder.layers()[0].weights().as_slice().len();
+        for wi in (0..n).step_by(n / 7 + 1) {
+            let orig = model.encoder.layers()[0].weights().as_slice()[wi];
+            model.encoder_mut().layers_mut()[0].weights_mut().as_mut_slice()[wi] = orig + eps;
+            let lp = total_loss(&model);
+            model.encoder_mut().layers_mut()[0].weights_mut().as_mut_slice()[wi] = orig - eps;
+            let lm = total_loss(&model);
+            model.encoder_mut().layers_mut()[0].weights_mut().as_mut_slice()[wi] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = enc_grads[0].dw_slice()[wi];
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + num.abs().max(ana.abs())),
+                "w[{wi}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be 0 or 1")]
+    fn rejects_bad_labels() {
+        let mut m = SupervisedAutoencoder::new(SupervisedAutoencoderConfig::new(4, 2));
+        let _ = m.fit(&[vec![(0, 1.0)]], &[0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn rejects_mismatched_lengths() {
+        let mut m = SupervisedAutoencoder::new(SupervisedAutoencoderConfig::new(4, 2));
+        let _ = m.fit(&[vec![(0, 1.0)]], &[1.0, 0.0]);
+    }
+}
+
+#[cfg(test)]
+mod decay_tests {
+    use super::*;
+
+    #[test]
+    fn weight_decay_shrinks_weight_norms() {
+        // Same toy task with and without decay; decayed weights end smaller.
+        let xs: Vec<SparseRow> = (0..32)
+            .map(|i| vec![((i * 7) % 16, 1.0f32), (((i * 11) % 16), 0.5)])
+            .collect();
+        let ys: Vec<f32> = (0..32).map(|i| (i % 2) as f32).collect();
+        let run = |wd: f32| -> f32 {
+            let mut cfg = SupervisedAutoencoderConfig::new(16, 4);
+            cfg.epochs = 40;
+            cfg.weight_decay = wd;
+            cfg.optimizer = Optimizer::Adam { lr: 0.01, beta1: 0.9, beta2: 0.999, eps: 1e-8 };
+            let mut m = SupervisedAutoencoder::new(cfg);
+            m.fit(&xs, &ys);
+            m.encoder().layers().iter().map(|l| l.weights().frobenius_norm()).sum()
+        };
+        let free = run(0.0);
+        let decayed = run(0.05);
+        assert!(
+            decayed < free,
+            "decayed norm {decayed} should be below undecayed {free}"
+        );
+    }
+
+    #[test]
+    fn zero_decay_matches_previous_behavior() {
+        // apply_grads == apply_grads_decayed(0.0): training with explicit 0
+        // must reproduce the default path bit-for-bit.
+        let xs: Vec<SparseRow> = (0..16).map(|i| vec![((i * 5) % 8, 1.0f32)]).collect();
+        let ys: Vec<f32> = (0..16).map(|i| (i % 2) as f32).collect();
+        let mut cfg = SupervisedAutoencoderConfig::new(8, 2);
+        cfg.epochs = 5;
+        let mut a = SupervisedAutoencoder::new(cfg.clone());
+        a.fit(&xs, &ys);
+        let mut cfg0 = cfg;
+        cfg0.weight_decay = 0.0;
+        let mut b = SupervisedAutoencoder::new(cfg0);
+        b.fit(&xs, &ys);
+        assert_eq!(a.encode(&xs).as_slice(), b.encode(&xs).as_slice());
+    }
+}
+
+#[cfg(test)]
+mod dropout_tests {
+    use super::*;
+
+    fn toy() -> (Vec<SparseRow>, Vec<f32>) {
+        let xs: Vec<SparseRow> = (0..48)
+            .map(|i| vec![((i * 7) % 24, 1.0f32), (((i * 13) % 24), 0.8)])
+            .collect();
+        let ys: Vec<f32> = (0..48).map(|i| (i % 2) as f32).collect();
+        (xs, ys)
+    }
+
+    fn cfg(dropout: f32) -> SupervisedAutoencoderConfig {
+        let mut c = SupervisedAutoencoderConfig::new(24, 6);
+        c.epochs = 20;
+        c.dropout = dropout;
+        c.optimizer = Optimizer::Adam { lr: 0.01, beta1: 0.9, beta2: 0.999, eps: 1e-8 };
+        c
+    }
+
+    #[test]
+    fn zero_dropout_is_identity_path() {
+        let (xs, ys) = toy();
+        let mut a = SupervisedAutoencoder::new(cfg(0.0));
+        a.fit(&xs, &ys);
+        let mut b = SupervisedAutoencoder::new(cfg(0.0));
+        b.fit(&xs, &ys);
+        assert_eq!(a.encode(&xs).as_slice(), b.encode(&xs).as_slice());
+    }
+
+    #[test]
+    fn dropout_changes_training_but_not_inference_determinism() {
+        let (xs, ys) = toy();
+        let mut with = SupervisedAutoencoder::new(cfg(0.3));
+        with.fit(&xs, &ys);
+        let mut without = SupervisedAutoencoder::new(cfg(0.0));
+        without.fit(&xs, &ys);
+        assert_ne!(
+            with.encode(&xs).as_slice(),
+            without.encode(&xs).as_slice(),
+            "dropout must alter the learned weights"
+        );
+        // Inference on the trained model is deterministic (no mask applied).
+        assert_eq!(with.encode(&xs).as_slice(), with.encode(&xs).as_slice());
+        // And training with the same seed reproduces exactly.
+        let mut again = SupervisedAutoencoder::new(cfg(0.3));
+        again.fit(&xs, &ys);
+        assert_eq!(with.encode(&xs).as_slice(), again.encode(&xs).as_slice());
+    }
+
+    #[test]
+    fn dropout_still_learns() {
+        let (xs, ys) = toy();
+        let mut m = SupervisedAutoencoder::new(cfg(0.2));
+        let report = m.fit(&xs, &ys);
+        let first = report.epochs.first().unwrap().classification;
+        let last = report.final_losses().unwrap().classification;
+        assert!(last < first, "classification loss should still fall: {first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout must be in")]
+    fn invalid_dropout_rejected() {
+        let (xs, ys) = toy();
+        let mut m = SupervisedAutoencoder::new(cfg(1.0));
+        let _ = m.fit(&xs, &ys);
+    }
+}

@@ -1,0 +1,254 @@
+//! Skip-gram embeddings with negative sampling (word2vec-style), the
+//! substrate behind the walk2friends and user-graph-embedding baselines:
+//! random walks over a graph are treated as sentences and node embeddings
+//! are learned so that co-walked nodes are similar.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration for [`train_skipgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkipGramConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Passes over the walk corpus.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// RNG seed (initialization + negative sampling).
+    pub seed: u64,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        SkipGramConfig { dim: 64, window: 5, negatives: 5, epochs: 3, lr: 0.025, seed: 42 }
+    }
+}
+
+/// Trains skip-gram embeddings over `walks` (sequences of node indices in
+/// `0..n_nodes`). Returns one `dim`-vector per node; nodes never visited get
+/// their (small random) initialization.
+///
+/// # Panics
+///
+/// Panics if `n_nodes == 0`, `cfg.dim == 0`, or a walk mentions a node
+/// `>= n_nodes`.
+pub fn train_skipgram(walks: &[Vec<usize>], n_nodes: usize, cfg: &SkipGramConfig) -> Vec<Vec<f32>> {
+    assert!(n_nodes > 0, "need at least one node");
+    assert!(cfg.dim > 0, "embedding dim must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let init = 0.5 / cfg.dim as f32;
+    let mut w_in: Vec<f32> =
+        (0..n_nodes * cfg.dim).map(|_| rng.gen_range(-init..init)).collect();
+    let mut w_out: Vec<f32> = vec![0.0; n_nodes * cfg.dim];
+
+    // Unigram^0.75 negative-sampling table.
+    let mut counts = vec![0u64; n_nodes];
+    for walk in walks {
+        for &n in walk {
+            assert!(n < n_nodes, "walk mentions node {n} >= n_nodes {n_nodes}");
+            counts[n] += 1;
+        }
+    }
+    let table = build_negative_table(&counts);
+    if table.is_empty() {
+        // No walk data at all: return the random initialization.
+        return to_rows(&w_in, n_nodes, cfg.dim);
+    }
+
+    let dim = cfg.dim;
+    for _ in 0..cfg.epochs {
+        for walk in walks {
+            for (pos, &center) in walk.iter().enumerate() {
+                let lo = pos.saturating_sub(cfg.window);
+                let hi = (pos + cfg.window + 1).min(walk.len());
+                for ctx_pos in lo..hi {
+                    if ctx_pos == pos {
+                        continue;
+                    }
+                    let context = walk[ctx_pos];
+                    // One positive + `negatives` negative updates.
+                    let mut acc = vec![0.0f32; dim];
+                    for s in 0..=cfg.negatives {
+                        let (target, label) = if s == 0 {
+                            (context, 1.0f32)
+                        } else {
+                            (table[rng.gen_range(0..table.len())], 0.0f32)
+                        };
+                        if s > 0 && target == context {
+                            continue;
+                        }
+                        let (ci, ti) = (center * dim, target * dim);
+                        let mut dot = 0.0f32;
+                        for k in 0..dim {
+                            dot += w_in[ci + k] * w_out[ti + k];
+                        }
+                        let score = 1.0 / (1.0 + (-dot).exp());
+                        let g = (label - score) * cfg.lr;
+                        for k in 0..dim {
+                            acc[k] += g * w_out[ti + k];
+                            w_out[ti + k] += g * w_in[ci + k];
+                        }
+                    }
+                    let ci = center * dim;
+                    for k in 0..dim {
+                        w_in[ci + k] += acc[k];
+                    }
+                }
+            }
+        }
+    }
+    to_rows(&w_in, n_nodes, cfg.dim)
+}
+
+fn build_negative_table(counts: &[u64]) -> Vec<usize> {
+    const TABLE_SIZE: usize = 1 << 16;
+    let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let mut table = Vec::with_capacity(TABLE_SIZE);
+    for (node, &w) in weights.iter().enumerate() {
+        let slots = ((w / total) * TABLE_SIZE as f64).round() as usize;
+        table.extend(std::iter::repeat_n(node, slots));
+    }
+    if table.is_empty() {
+        // Degenerate rounding: fall back to the nonzero nodes.
+        table = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(n, _)| n)
+            .collect();
+    }
+    table
+}
+
+fn to_rows(flat: &[f32], n: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n).map(|i| flat[i * dim..(i + 1) * dim].to_vec()).collect()
+}
+
+/// Cosine similarity of two equal-length vectors (0 when either is zero).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disjoint cliques of walk contexts: embeddings must separate them.
+    fn two_cluster_walks(seed: u64) -> Vec<Vec<usize>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut walks = Vec::new();
+        for _ in 0..200 {
+            let base = if rng.gen::<bool>() { 0 } else { 5 };
+            let walk: Vec<usize> = (0..10).map(|_| base + rng.gen_range(0..5)).collect();
+            walks.push(walk);
+        }
+        walks
+    }
+
+    fn cfg() -> SkipGramConfig {
+        SkipGramConfig { dim: 16, window: 3, negatives: 4, epochs: 4, lr: 0.05, seed: 1 }
+    }
+
+    #[test]
+    fn co_walked_nodes_are_more_similar() {
+        let walks = two_cluster_walks(3);
+        let emb = train_skipgram(&walks, 10, &cfg());
+        // Mean within-cluster vs cross-cluster similarity.
+        let mut within = 0.0;
+        let mut cross = 0.0;
+        let mut nw = 0;
+        let mut nc = 0;
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let s = cosine_similarity(&emb[i], &emb[j]);
+                if (i < 5) == (j < 5) {
+                    within += s;
+                    nw += 1;
+                } else {
+                    cross += s;
+                    nc += 1;
+                }
+            }
+        }
+        let within = within / nw as f32;
+        let cross = cross / nc as f32;
+        assert!(within > cross + 0.2, "within {within} vs cross {cross}");
+    }
+
+    #[test]
+    fn output_shape_and_determinism() {
+        let walks = vec![vec![0, 1, 2], vec![2, 1, 0]];
+        let a = train_skipgram(&walks, 4, &cfg());
+        let b = train_skipgram(&walks, 4, &cfg());
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|v| v.len() == 16));
+        assert_eq!(a, b, "same seed must reproduce");
+        let mut c2 = cfg();
+        c2.seed = 99;
+        let c = train_skipgram(&walks, 4, &c2);
+        assert_ne!(a, c, "different seed should differ");
+    }
+
+    #[test]
+    fn empty_walks_return_initialization() {
+        let emb = train_skipgram(&[], 3, &cfg());
+        assert_eq!(emb.len(), 3);
+        assert!(emb.iter().flatten().all(|v| v.abs() <= 0.5 / 16.0 + 1e-6));
+    }
+
+    #[test]
+    fn cosine_similarity_properties() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn cosine_checks_lengths() {
+        let _ = cosine_similarity(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= n_nodes")]
+    fn walks_bounds_checked() {
+        let _ = train_skipgram(&[vec![7]], 3, &cfg());
+    }
+
+    #[test]
+    fn negative_table_respects_counts() {
+        let table = build_negative_table(&[100, 0, 1]);
+        assert!(!table.is_empty());
+        assert!(table.iter().all(|&n| n != 1), "zero-count node must not appear");
+        let heavy = table.iter().filter(|&&n| n == 0).count();
+        let light = table.iter().filter(|&&n| n == 2).count();
+        assert!(heavy > light);
+    }
+}

@@ -1,0 +1,46 @@
+//! # seeker-nn
+//!
+//! A minimal neural-network substrate written for the FriendSeeker
+//! reproduction: dense matrices, fully-connected layers with a sparse-input
+//! fast path, SGD/momentum/Adam optimizers, the paper's **supervised
+//! autoencoder** (Algorithm 1) and skip-gram embeddings (substrate for the
+//! walk2friends / user-graph-embedding baselines).
+//!
+//! ```
+//! use seeker_nn::{SupervisedAutoencoder, SupervisedAutoencoderConfig};
+//!
+//! // Friends light up dim 0, strangers dim 2.
+//! let xs = vec![vec![(0usize, 1.0f32)], vec![(2, 1.0)], vec![(0, 2.0)], vec![(2, 2.0)]];
+//! let ys = vec![1.0, 0.0, 1.0, 0.0];
+//! let mut cfg = SupervisedAutoencoderConfig::new(4, 2);
+//! cfg.epochs = 5;
+//! let mut model = SupervisedAutoencoder::new(cfg);
+//! let report = model.fit(&xs, &ys);
+//! assert_eq!(report.epochs.len(), 5);
+//! assert_eq!(model.encode(&xs).cols(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod autoencoder;
+pub mod embedding;
+mod layer;
+mod loss;
+mod matrix;
+mod mlp;
+mod optimizer;
+pub mod persist;
+#[cfg(test)]
+mod proptests;
+
+pub use activation::Activation;
+pub use autoencoder::{
+    EpochLosses, SupervisedAutoencoder, SupervisedAutoencoderConfig, TrainReport,
+};
+pub use layer::{Dense, DenseGrads, SparseRow};
+pub use loss::{bce_grad, bce_loss, mse_grad, mse_loss};
+pub use matrix::Matrix;
+pub use mlp::{Input, Mlp, MlpCache};
+pub use optimizer::{Optimizer, ParamState};

@@ -1,0 +1,160 @@
+//! Loss functions of Algorithm 1: reconstruction MSE (`L_auto`) and binary
+//! cross-entropy (`L_cla`), with their gradients.
+
+use crate::matrix::Matrix;
+
+/// Mean-over-batch, sum-over-dimensions squared error — the paper's
+/// `L_auto = Σ ||Ô − O||²` normalized by the batch size (Algorithm 1 line 6).
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse_loss(pred: &Matrix, target: &Matrix) -> f32 {
+    assert_eq!((pred.rows(), pred.cols()), (target.rows(), target.cols()), "shape mismatch");
+    let n = pred.rows() as f32;
+    let mut acc = 0.0f32;
+    for (p, t) in pred.as_slice().iter().zip(target.as_slice().iter()) {
+        let d = p - t;
+        acc += d * d;
+    }
+    acc / n
+}
+
+/// Gradient of [`mse_loss`] with respect to `pred`: `2 (pred − target) / n`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse_grad(pred: &Matrix, target: &Matrix) -> Matrix {
+    assert_eq!((pred.rows(), pred.cols()), (target.rows(), target.cols()), "shape mismatch");
+    let n = pred.rows() as f32;
+    let mut out = pred.clone();
+    for (o, &t) in out.as_mut_slice().iter_mut().zip(target.as_slice().iter()) {
+        *o = 2.0 * (*o - t) / n;
+    }
+    out
+}
+
+/// Probability clamp keeping `ln` finite.
+const P_EPS: f32 = 1e-7;
+
+/// Mean binary cross-entropy over a batch of probabilities
+/// (`L_cla`, Algorithm 1 line 9). Labels must be 0 or 1.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the batch is empty.
+pub fn bce_loss(pred: &[f32], labels: &[f32]) -> f32 {
+    assert_eq!(pred.len(), labels.len(), "prediction/label length mismatch");
+    assert!(!pred.is_empty(), "empty batch");
+    let n = pred.len() as f32;
+    let mut acc = 0.0f32;
+    for (&p, &y) in pred.iter().zip(labels.iter()) {
+        let p = p.clamp(P_EPS, 1.0 - P_EPS);
+        acc -= y * p.ln() + (1.0 - y) * (1.0 - p).ln();
+    }
+    acc / n
+}
+
+/// Gradient of [`bce_loss`] with respect to the predicted probabilities:
+/// `(p − y) / (p (1 − p) n)`.
+///
+/// Combined with a sigmoid output layer this reduces to the familiar
+/// `(p − y) / n` after the activation derivative — the layered backward pass
+/// performs that multiplication, so this returns the probability-space
+/// gradient.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the batch is empty.
+pub fn bce_grad(pred: &[f32], labels: &[f32]) -> Vec<f32> {
+    assert_eq!(pred.len(), labels.len(), "prediction/label length mismatch");
+    assert!(!pred.is_empty(), "empty batch");
+    let n = pred.len() as f32;
+    pred.iter()
+        .zip(labels.iter())
+        .map(|(&p, &y)| {
+            let p = p.clamp(P_EPS, 1.0 - P_EPS);
+            (p - y) / (p * (1.0 - p) * n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(mse_loss(&a, &a), 0.0);
+        assert!(mse_grad(&a, &a).as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::from_vec(2, 1, vec![1.0, 3.0]);
+        let t = Matrix::from_vec(2, 1, vec![0.0, 1.0]);
+        // ((1)² + (2)²) / 2 = 2.5
+        assert!((mse_loss(&p, &t) - 2.5).abs() < 1e-6);
+        let g = mse_grad(&p, &t);
+        assert_eq!(g.as_slice(), &[1.0, 2.0]); // 2*d/n
+    }
+
+    #[test]
+    fn mse_grad_matches_finite_difference() {
+        let p = Matrix::from_vec(2, 3, vec![0.3, -0.1, 0.7, 1.2, 0.0, -0.5]);
+        let t = Matrix::from_vec(2, 3, vec![0.0, 0.2, 0.5, 1.0, -0.3, 0.1]);
+        let g = mse_grad(&p, &t);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut plus = p.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = p.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let num = (mse_loss(&plus, &t) - mse_loss(&minus, &t)) / (2.0 * eps);
+            assert!((num - g.as_slice()[i]).abs() < 1e-2, "dim {i}: {num} vs {}", g.as_slice()[i]);
+        }
+    }
+
+    #[test]
+    fn bce_perfect_predictions_near_zero() {
+        let loss = bce_loss(&[1.0 - 1e-7, 1e-7], &[1.0, 0.0]);
+        assert!(loss < 1e-5);
+    }
+
+    #[test]
+    fn bce_known_value() {
+        // p = 0.5 for both classes: loss = ln 2.
+        let loss = bce_loss(&[0.5, 0.5], &[1.0, 0.0]);
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_grad_matches_finite_difference() {
+        let p = [0.3f32, 0.8, 0.5];
+        let y = [1.0f32, 0.0, 1.0];
+        let g = bce_grad(&p, &y);
+        let eps = 1e-4;
+        for i in 0..3 {
+            let mut plus = p;
+            plus[i] += eps;
+            let mut minus = p;
+            minus[i] -= eps;
+            let num = (bce_loss(&plus, &y) - bce_loss(&minus, &y)) / (2.0 * eps);
+            assert!((num - g[i]).abs() < 1e-2, "dim {i}: {num} vs {}", g[i]);
+        }
+    }
+
+    #[test]
+    fn bce_is_finite_at_extreme_inputs() {
+        assert!(bce_loss(&[0.0, 1.0], &[1.0, 0.0]).is_finite());
+        assert!(bce_grad(&[0.0, 1.0], &[1.0, 0.0]).iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bce_length_checked() {
+        let _ = bce_loss(&[0.5], &[1.0, 0.0]);
+    }
+}

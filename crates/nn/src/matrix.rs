@@ -1,0 +1,335 @@
+//! A minimal dense `f32` matrix with the operations the network stack needs.
+//!
+//! Row-major storage; the multiply kernels use an `i-k-j` loop order so the
+//! inner loop streams both operands, which auto-vectorizes well — ample for
+//! the scaled-down experiment sizes of this reproduction.
+
+use std::fmt;
+
+/// A dense row-major `f32` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive ({rows}x{cols})");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive ({rows}x{cols})");
+        assert_eq!(data.len(), rows * cols, "data length must match dimensions");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of range");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The raw row-major buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `self @ other` (`rows×k` times `k×cols`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` (`k×rows`ᵀ times `k×cols`), without materializing the
+    /// transpose. Used for weight gradients `Xᵀ @ dZ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts disagree.
+    pub fn matmul_transpose_self(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row counts must agree for AᵀB");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+            for (i, &aki) in a_row.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += aki * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` (`rows×k` times `cols×k`ᵀ), without materializing the
+    /// transpose. Used for input gradients `dZ @ Wᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts disagree.
+    pub fn matmul_transpose_other(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "column counts must agree for ABᵀ");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..other.rows {
+                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Adds `vec` to every row in place (bias addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vec.len() != cols`.
+    pub fn add_row_vector(&mut self, vec: &[f32]) {
+        assert_eq!(vec.len(), self.cols, "bias length must equal column count");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, &b) in row.iter_mut().zip(vec.iter()) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Column sums (used for bias gradients).
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &x) in out.iter_mut().zip(row.iter()) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Element-wise `self += scale * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = m(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i).as_slice(), a.as_slice());
+        assert_eq!(i.matmul(&a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 4, &(1..=12).map(|x| x as f32).collect::<Vec<_>>());
+        // aᵀ @ b == transpose(a) @ b
+        let at = m(2, 3, &[1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+        assert_eq!(a.matmul_transpose_self(&b).as_slice(), at.matmul(&b).as_slice());
+        // c @ bᵀ == c @ transpose(b)
+        let c = m(2, 4, &(1..=8).map(|x| x as f32).collect::<Vec<_>>());
+        let bt = {
+            let mut t = Matrix::zeros(4, 3);
+            for r in 0..3 {
+                for col in 0..4 {
+                    t.set(col, r, b.get(r, col));
+                }
+            }
+            t
+        };
+        assert_eq!(c.matmul_transpose_other(&b).as_slice(), c.matmul(&bt).as_slice());
+    }
+
+    #[test]
+    fn add_row_vector_and_column_sums() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_vector(&[1.0, -2.0]);
+        assert_eq!(a.as_slice(), &[1.0, -2.0, 1.0, -2.0, 1.0, -2.0]);
+        assert_eq!(a.column_sums(), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn add_scaled_and_map() {
+        let mut a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 2, &[1.0, 1.0, 1.0, 1.0]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.as_slice(), &[1.5, 2.5, 3.5, 4.5]);
+        a.map_inplace(|x| x * 2.0);
+        assert_eq!(a.as_slice(), &[3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = m(1, 2, &[3.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rows_and_accessors() {
+        let mut a = Matrix::zeros(2, 3);
+        a.set(1, 2, 7.0);
+        assert_eq!(a.get(1, 2), 7.0);
+        assert_eq!(a.row(1), &[0.0, 0.0, 7.0]);
+        a.row_mut(0)[0] = 5.0;
+        assert_eq!(a.get(0, 0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = Matrix::zeros(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_length_checked() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+}

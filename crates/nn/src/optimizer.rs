@@ -1,0 +1,171 @@
+//! Gradient-descent optimizers.
+//!
+//! Algorithm 1 of the paper uses plain gradient descent with learning rate β;
+//! SGD is therefore the default. Momentum and Adam are provided for the
+//! ablation benches (the paper claims its method is optimizer-agnostic).
+
+/// Optimizer configuration. One instance is shared across layers; per-layer
+/// state (velocities, moments) lives inside the layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// Plain stochastic gradient descent — the paper's Algorithm 1.
+    Sgd {
+        /// Learning rate β.
+        lr: f32,
+    },
+    /// SGD with classical momentum.
+    Momentum {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (e.g. 0.9).
+        beta: f32,
+    },
+    /// Adam (Kingma & Ba).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay (e.g. 0.9).
+        beta1: f32,
+        /// Second-moment decay (e.g. 0.999).
+        beta2: f32,
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer::Sgd { lr: 0.005 }
+    }
+}
+
+impl Optimizer {
+    /// The base learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        match *self {
+            Optimizer::Sgd { lr } | Optimizer::Momentum { lr, .. } | Optimizer::Adam { lr, .. } => lr,
+        }
+    }
+}
+
+/// Per-parameter-tensor optimizer state.
+#[derive(Debug, Clone, Default)]
+pub struct ParamState {
+    velocity: Vec<f32>,
+    moment2: Vec<f32>,
+    step: u64,
+}
+
+impl ParamState {
+    /// Applies one update to `params` given `grads`, scaled by `lr_scale`
+    /// (used for the paper's α·β classifier-path updates on the encoder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` have different lengths.
+    pub fn apply(&mut self, opt: &Optimizer, params: &mut [f32], grads: &[f32], lr_scale: f32) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        match *opt {
+            Optimizer::Sgd { lr } => {
+                let step = lr * lr_scale;
+                for (p, &g) in params.iter_mut().zip(grads.iter()) {
+                    *p -= step * g;
+                }
+            }
+            Optimizer::Momentum { lr, beta } => {
+                if self.velocity.len() != params.len() {
+                    self.velocity = vec![0.0; params.len()];
+                }
+                let step = lr * lr_scale;
+                for ((p, &g), v) in params.iter_mut().zip(grads.iter()).zip(self.velocity.iter_mut()) {
+                    *v = beta * *v + g;
+                    *p -= step * *v;
+                }
+            }
+            Optimizer::Adam { lr, beta1, beta2, eps } => {
+                if self.velocity.len() != params.len() {
+                    self.velocity = vec![0.0; params.len()];
+                    self.moment2 = vec![0.0; params.len()];
+                    self.step = 0;
+                }
+                self.step += 1;
+                let t = self.step as f32;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+                let step = lr * lr_scale;
+                for (((p, &g), m), v) in params
+                    .iter_mut()
+                    .zip(grads.iter())
+                    .zip(self.velocity.iter_mut())
+                    .zip(self.moment2.iter_mut())
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *v = beta2 * *v + (1.0 - beta2) * g * g;
+                    let m_hat = *m / bc1;
+                    let v_hat = *v / bc2;
+                    *p -= step * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)² with each optimizer; all must converge.
+    #[test]
+    fn optimizers_minimize_quadratic() {
+        for opt in [
+            Optimizer::Sgd { lr: 0.1 },
+            Optimizer::Momentum { lr: 0.05, beta: 0.9 },
+            Optimizer::Adam { lr: 0.2, beta1: 0.9, beta2: 0.999, eps: 1e-8 },
+        ] {
+            let mut state = ParamState::default();
+            let mut x = vec![-4.0f32];
+            for _ in 0..300 {
+                let g = vec![2.0 * (x[0] - 3.0)];
+                state.apply(&opt, &mut x, &g, 1.0);
+            }
+            assert!((x[0] - 3.0).abs() < 0.05, "{opt:?} ended at {}", x[0]);
+        }
+    }
+
+    #[test]
+    fn sgd_step_is_exact() {
+        let mut state = ParamState::default();
+        let mut p = vec![1.0f32, 2.0];
+        state.apply(&Optimizer::Sgd { lr: 0.5 }, &mut p, &[2.0, -2.0], 1.0);
+        assert_eq!(p, vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn lr_scale_scales_the_update() {
+        let mut s1 = ParamState::default();
+        let mut s2 = ParamState::default();
+        let mut a = vec![1.0f32];
+        let mut b = vec![1.0f32];
+        s1.apply(&Optimizer::Sgd { lr: 0.1 }, &mut a, &[1.0], 1.0);
+        s2.apply(&Optimizer::Sgd { lr: 0.1 }, &mut b, &[1.0], 0.5);
+        assert!((1.0 - a[0]) > (1.0 - b[0]));
+        assert!(((1.0 - a[0]) - 2.0 * (1.0 - b[0])).abs() < 1e-7);
+    }
+
+    #[test]
+    fn default_is_the_papers_rate() {
+        match Optimizer::default() {
+            Optimizer::Sgd { lr } => assert!((lr - 0.005).abs() < 1e-9),
+            other => panic!("unexpected default {other:?}"),
+        }
+        assert!((Optimizer::default().learning_rate() - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut state = ParamState::default();
+        let mut p = vec![0.0f32];
+        state.apply(&Optimizer::Sgd { lr: 0.1 }, &mut p, &[1.0, 2.0], 1.0);
+    }
+}

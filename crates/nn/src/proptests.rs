@@ -1,0 +1,102 @@
+//! Property-based tests of the linear-algebra and training substrate.
+
+use proptest::prelude::*;
+
+use crate::activation::Activation;
+use crate::matrix::Matrix;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.as_slice().iter().zip(b.as_slice()).all(|(&x, &y)| (x - y).abs() <= tol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Matrix multiplication distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(a in arb_matrix(3, 4), b in arb_matrix(4, 2), c in arb_matrix(4, 2)) {
+        let mut b_plus_c = b.clone();
+        b_plus_c.add_scaled(&c, 1.0);
+        let lhs = a.matmul(&b_plus_c);
+        let mut rhs = a.matmul(&b);
+        rhs.add_scaled(&a.matmul(&c), 1.0);
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-3));
+    }
+
+    /// The transpose-fused kernels agree with plain matmul:
+    /// `AᵀB == transpose(A)·B` and `ABᵀ == A·transpose(B)`.
+    #[test]
+    fn fused_transpose_kernels_agree(a in arb_matrix(4, 3), b in arb_matrix(4, 5)) {
+        // Explicit transpose of a (4x3 -> 3x4).
+        let mut at = Matrix::zeros(3, 4);
+        for r in 0..4 {
+            for c in 0..3 {
+                at.set(c, r, a.get(r, c));
+            }
+        }
+        prop_assert!(approx_eq(&a.matmul_transpose_self(&b), &at.matmul(&b), 1e-3));
+        // ABᵀ with B explicit-transposed (4x5 -> 5x4): (3x4 needed) — reuse at (3x4) times b (4x5).
+        let ab = at.matmul(&b); // 3x5
+        let mut bt = Matrix::zeros(5, 4);
+        for r in 0..4 {
+            for c in 0..5 {
+                bt.set(c, r, b.get(r, c));
+            }
+        }
+        prop_assert!(approx_eq(&at.matmul_transpose_other(&bt), &ab, 1e-3));
+    }
+
+    /// Column sums equal multiplying by a ones-vector.
+    #[test]
+    fn column_sums_agree_with_ones_product(a in arb_matrix(5, 3)) {
+        let ones = Matrix::from_vec(1, 5, vec![1.0; 5]);
+        let prod = ones.matmul(&a);
+        let sums = a.column_sums();
+        for (i, &s) in sums.iter().enumerate() {
+            prop_assert!((s - prod.get(0, i)).abs() < 1e-3);
+        }
+    }
+
+    /// Activations are monotone non-decreasing on the tested ranges.
+    #[test]
+    fn activations_monotone(x in -5.0f32..5.0, dx in 0.001f32..2.0) {
+        for act in [Activation::Relu, Activation::Sigmoid, Activation::Tanh, Activation::Identity] {
+            prop_assert!(act.apply(x + dx) >= act.apply(x) - 1e-6, "{act:?} not monotone");
+        }
+    }
+
+    /// Sigmoid output and its derivative stay in their theoretical ranges.
+    #[test]
+    fn sigmoid_ranges(x in -30.0f32..30.0) {
+        let y = Activation::Sigmoid.apply(x);
+        prop_assert!((0.0..=1.0).contains(&y));
+        let d = Activation::Sigmoid.derivative_from_output(y);
+        prop_assert!((0.0..=0.25 + 1e-6).contains(&d));
+    }
+
+    /// BCE loss is minimized by predicting the label.
+    #[test]
+    fn bce_minimized_at_label(p in 0.05f32..0.95) {
+        use crate::loss::bce_loss;
+        let at_label = bce_loss(&[1.0 - 1e-6], &[1.0]);
+        let elsewhere = bce_loss(&[p], &[1.0]);
+        prop_assert!(at_label <= elsewhere + 1e-6);
+    }
+
+    /// Frobenius norm is absolutely homogeneous: ‖cA‖ = |c|·‖A‖.
+    #[test]
+    fn frobenius_homogeneous(a in arb_matrix(3, 3), c in -4.0f32..4.0) {
+        let mut scaled = a.clone();
+        scaled.map_inplace(|v| c * v);
+        let lhs = scaled.frobenius_norm();
+        let rhs = c.abs() * a.frobenius_norm();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + rhs));
+    }
+}

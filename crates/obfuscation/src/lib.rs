@@ -1,0 +1,371 @@
+//! # seeker-obfuscation
+//!
+//! The two countermeasures evaluated in §IV-D of the paper:
+//!
+//! - **Hiding**: remove a proportion of check-ins uniformly at random,
+//!   never deleting a user's last remaining check-in;
+//! - **Blurring**: replace the location of a proportion of check-ins with
+//!   another POI — either in the *same* spatial grid (in-grid) or in a
+//!   randomly chosen *neighbouring* grid (cross-grid).
+//!
+//! All mechanisms are deterministic in their seed and return a new
+//! [`Dataset`] with the ground truth untouched (the defense perturbs only
+//! what the attacker can see).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod targeted;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use seeker_spatial::Quadtree;
+use seeker_trace::{CheckIn, Dataset, GeoPoint, PoiId, Result, TraceError};
+
+/// The blurring flavour (§IV-D-1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlurMode {
+    /// Replacement POI drawn from the same quadtree grid.
+    InGrid,
+    /// Replacement POI drawn from one of the four neighbouring grids
+    /// (falls back to in-grid when no neighbour has POIs).
+    CrossGrid,
+}
+
+/// Randomly removes `proportion` of all check-ins (deterministic in `seed`).
+///
+/// Mirrors the paper's safeguard: before removing a check-in, verify it is
+/// not its owner's last one; otherwise skip it, preserving every user.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Invalid`] if `proportion` is outside `[0, 1)`.
+pub fn hide_checkins(ds: &Dataset, proportion: f64, seed: u64) -> Result<Dataset> {
+    if !(0.0..1.0).contains(&proportion) {
+        return Err(TraceError::Invalid(format!("hiding proportion {proportion} outside [0, 1)")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target_removals = ((ds.n_checkins() as f64) * proportion).round() as usize;
+    let mut remaining: Vec<usize> = ds.users().map(|u| ds.checkin_count(u)).collect();
+    let mut keep = vec![true; ds.n_checkins()];
+    let mut order: Vec<usize> = (0..ds.n_checkins()).collect();
+    order.shuffle(&mut rng);
+    let mut removed = 0usize;
+    for idx in order {
+        if removed >= target_removals {
+            break;
+        }
+        let user = ds.checkins()[idx].user;
+        if remaining[user.index()] <= 1 {
+            continue; // never delete the last check-in of a user
+        }
+        keep[idx] = false;
+        remaining[user.index()] -= 1;
+        removed += 1;
+    }
+    let kept: Vec<CheckIn> = ds
+        .checkins()
+        .iter()
+        .zip(keep.iter())
+        .filter(|(_, &k)| k)
+        .map(|(&c, _)| c)
+        .collect();
+    ds.with_checkins(kept)
+}
+
+/// Randomly replaces the POI of `proportion` of all check-ins with another
+/// POI (deterministic in `seed`). The spatial grid structure used to define
+/// "same grid" / "neighbouring grid" is a quadtree built with `sigma`.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Invalid`] if `proportion` is outside `[0, 1]` or
+/// the dataset has no POIs.
+pub fn blur_checkins(
+    ds: &Dataset,
+    proportion: f64,
+    mode: BlurMode,
+    sigma: usize,
+    seed: u64,
+) -> Result<Dataset> {
+    if !(0.0..=1.0).contains(&proportion) {
+        return Err(TraceError::Invalid(format!("blurring proportion {proportion} outside [0, 1]")));
+    }
+    if ds.n_pois() == 0 {
+        return Err(TraceError::Invalid("no POIs to blur into".into()));
+    }
+    let quadtree = Quadtree::build(ds.pois(), sigma);
+    let members = quadtree.grid_members(ds.pois());
+    let poi_grid = quadtree.poi_grids(ds.pois());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let n = ds.n_checkins();
+    let n_blur = ((n as f64) * proportion).round() as usize;
+    let mut selected = vec![false; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for &idx in order.iter().take(n_blur) {
+        selected[idx] = true;
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for (idx, &c) in ds.checkins().iter().enumerate() {
+        if !selected[idx] {
+            out.push(c);
+            continue;
+        }
+        let grid = match poi_grid[c.poi.index()] {
+            Some(g) => g,
+            None => {
+                out.push(c);
+                continue;
+            }
+        };
+        let replacement = match mode {
+            BlurMode::InGrid => pick_other_in_grid(&members[grid], c.poi, &mut rng),
+            BlurMode::CrossGrid => pick_in_neighbor_grid(&quadtree, &members, grid, &mut rng)
+                .or_else(|| pick_other_in_grid(&members[grid], c.poi, &mut rng)),
+        };
+        match replacement {
+            Some(poi) => out.push(CheckIn::new(c.user, poi, c.time)),
+            None => out.push(c), // single-POI grid: nothing to blur into
+        }
+    }
+    ds.with_checkins(out)
+}
+
+/// A random POI of the grid other than `exclude`.
+fn pick_other_in_grid(members: &[PoiId], exclude: PoiId, rng: &mut StdRng) -> Option<PoiId> {
+    let candidates: Vec<PoiId> = members.iter().copied().filter(|&p| p != exclude).collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0..candidates.len())])
+    }
+}
+
+/// A random POI from one of the four neighbouring grids of `grid`
+/// (probing just beyond a random edge of the grid's bounding box, as the
+/// paper describes: "randomly select one of the four neighborhoods of the
+/// target grid, then randomly select another POI in the grid").
+fn pick_in_neighbor_grid(
+    quadtree: &Quadtree,
+    members: &[Vec<PoiId>],
+    grid: usize,
+    rng: &mut StdRng,
+) -> Option<PoiId> {
+    let bb = quadtree.grid_bbox(grid);
+    let mid_lat = (bb.min_lat + bb.max_lat) / 2.0;
+    let mid_lon = (bb.min_lon + bb.max_lon) / 2.0;
+    let eps_lat = (bb.max_lat - bb.min_lat) * 0.01 + 1e-9;
+    let eps_lon = (bb.max_lon - bb.min_lon) * 0.01 + 1e-9;
+    let mut directions = [
+        GeoPoint::new(bb.max_lat + eps_lat, mid_lon), // north
+        GeoPoint::new(bb.min_lat - eps_lat, mid_lon), // south
+        GeoPoint::new(mid_lat, bb.max_lon + eps_lon), // east
+        GeoPoint::new(mid_lat, bb.min_lon - eps_lon), // west
+    ];
+    directions.shuffle(rng);
+    for probe in directions {
+        if let Some(g) = quadtree.locate(probe) {
+            if g != grid && !members[g].is_empty() {
+                let list = &members[g];
+                return Some(list[rng.gen_range(0..list.len())]);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+
+    fn ds() -> Dataset {
+        generate(&SyntheticConfig::small(111)).unwrap().dataset
+    }
+
+    #[test]
+    fn hiding_removes_requested_proportion() {
+        let ds = ds();
+        for prop in [0.1, 0.3, 0.5] {
+            let hidden = hide_checkins(&ds, prop, 7).unwrap();
+            let expected = ds.n_checkins() - ((ds.n_checkins() as f64 * prop).round() as usize);
+            // Allow slack for the last-check-in guard.
+            assert!(hidden.n_checkins() >= expected);
+            assert!(hidden.n_checkins() < ds.n_checkins());
+            assert_eq!(hidden.n_links(), ds.n_links(), "ground truth untouched");
+        }
+    }
+
+    #[test]
+    fn hiding_never_empties_a_user() {
+        let ds = ds();
+        let hidden = hide_checkins(&ds, 0.5, 3).unwrap();
+        for u in hidden.users() {
+            assert!(hidden.checkin_count(u) >= 1, "user {u} lost all check-ins");
+        }
+    }
+
+    #[test]
+    fn hiding_is_deterministic() {
+        let ds = ds();
+        let a = hide_checkins(&ds, 0.3, 11).unwrap();
+        let b = hide_checkins(&ds, 0.3, 11).unwrap();
+        assert_eq!(a.checkins(), b.checkins());
+        let c = hide_checkins(&ds, 0.3, 12).unwrap();
+        assert_ne!(a.checkins(), c.checkins());
+    }
+
+    #[test]
+    fn hiding_zero_is_identity() {
+        let ds = ds();
+        let same = hide_checkins(&ds, 0.0, 1).unwrap();
+        assert_eq!(same.n_checkins(), ds.n_checkins());
+    }
+
+    #[test]
+    fn hiding_rejects_bad_proportion() {
+        let ds = ds();
+        assert!(hide_checkins(&ds, 1.0, 1).is_err());
+        assert!(hide_checkins(&ds, -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn blurring_changes_locations_not_counts() {
+        let ds = ds();
+        for mode in [BlurMode::InGrid, BlurMode::CrossGrid] {
+            let blurred = blur_checkins(&ds, 0.3, mode, 30, 5).unwrap();
+            assert_eq!(blurred.n_checkins(), ds.n_checkins());
+            assert_eq!(blurred.n_links(), ds.n_links());
+            let changed = ds
+                .checkins()
+                .iter()
+                .zip(blurred.checkins().iter())
+                .filter(|(a, b)| a.poi != b.poi)
+                .count();
+            assert!(changed > 0, "{mode:?} changed nothing");
+            // Users and timestamps are preserved as a multiset.
+            let mut t1: Vec<_> = ds.checkins().iter().map(|c| (c.user, c.time)).collect();
+            let mut t2: Vec<_> = blurred.checkins().iter().map(|c| (c.user, c.time)).collect();
+            t1.sort_unstable();
+            t2.sort_unstable();
+            assert_eq!(t1, t2);
+        }
+    }
+
+    #[test]
+    fn in_grid_blur_stays_in_grid() {
+        let ds = ds();
+        let sigma = 30;
+        let blurred = blur_checkins(&ds, 0.4, BlurMode::InGrid, sigma, 9).unwrap();
+        let qt = Quadtree::build(ds.pois(), sigma);
+        let grids = qt.poi_grids(ds.pois());
+        for (a, b) in ds.checkins().iter().zip(blurred.checkins().iter()) {
+            if a.user == b.user && a.time == b.time && a.poi != b.poi {
+                assert_eq!(
+                    grids[a.poi.index()],
+                    grids[b.poi.index()],
+                    "in-grid blur left the grid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_grid_blur_moves_across_grids() {
+        let ds = ds();
+        let sigma = 30;
+        let blurred = blur_checkins(&ds, 0.4, BlurMode::CrossGrid, sigma, 9).unwrap();
+        let qt = Quadtree::build(ds.pois(), sigma);
+        assert!(qt.n_grids() > 1, "test needs a multi-grid division");
+        let grids = qt.poi_grids(ds.pois());
+        let mut crossed = 0;
+        for (a, b) in ds.checkins().iter().zip(blurred.checkins().iter()) {
+            if a.poi != b.poi && grids[a.poi.index()] != grids[b.poi.index()] {
+                crossed += 1;
+            }
+        }
+        assert!(crossed > 0, "cross-grid blur never left the grid");
+    }
+
+    #[test]
+    fn blur_full_proportion_touches_everything_possible() {
+        let ds = ds();
+        let blurred = blur_checkins(&ds, 1.0, BlurMode::InGrid, 30, 2).unwrap();
+        let changed = ds
+            .checkins()
+            .iter()
+            .zip(blurred.checkins().iter())
+            .filter(|(a, b)| a.poi != b.poi)
+            .count();
+        // Most check-ins must move (single-POI grids legitimately cannot).
+        assert!(changed * 2 > ds.n_checkins(), "only {changed} moved");
+    }
+
+    #[test]
+    fn blur_rejects_bad_inputs() {
+        let ds = ds();
+        assert!(blur_checkins(&ds, 1.5, BlurMode::InGrid, 30, 1).is_err());
+        assert!(blur_checkins(&ds, -0.1, BlurMode::CrossGrid, 30, 1).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+    use std::sync::OnceLock;
+
+    fn base() -> &'static Dataset {
+        static CELL: OnceLock<Dataset> = OnceLock::new();
+        CELL.get_or_init(|| generate(&SyntheticConfig::small(777)).unwrap().dataset)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Hiding removes at most the requested share and never a user's
+        /// last check-in, at any ratio and seed.
+        #[test]
+        fn hiding_invariants(ratio in 0.0f64..0.95, seed in any::<u64>()) {
+            let ds = base();
+            let hidden = hide_checkins(ds, ratio, seed).unwrap();
+            let target_removed = ((ds.n_checkins() as f64) * ratio).round() as usize;
+            prop_assert!(ds.n_checkins() - hidden.n_checkins() <= target_removed);
+            for u in hidden.users() {
+                prop_assert!(hidden.checkin_count(u) >= 1);
+            }
+            prop_assert_eq!(hidden.n_links(), ds.n_links());
+        }
+
+        /// Blurring never changes users, timestamps or the check-in count,
+        /// and replacement POIs are always valid.
+        #[test]
+        fn blurring_invariants(ratio in 0.0f64..1.0, cross in any::<bool>(), seed in any::<u64>()) {
+            let ds = base();
+            let mode = if cross { BlurMode::CrossGrid } else { BlurMode::InGrid };
+            let blurred = blur_checkins(ds, ratio, mode, 30, seed).unwrap();
+            prop_assert_eq!(blurred.n_checkins(), ds.n_checkins());
+            let mut t1: Vec<_> = ds.checkins().iter().map(|c| (c.user, c.time)).collect();
+            let mut t2: Vec<_> = blurred.checkins().iter().map(|c| (c.user, c.time)).collect();
+            t1.sort_unstable();
+            t2.sort_unstable();
+            prop_assert_eq!(t1, t2);
+            for c in blurred.checkins() {
+                prop_assert!(c.poi.index() < blurred.n_pois());
+            }
+        }
+
+        /// Determinism: equal seeds produce equal perturbations.
+        #[test]
+        fn obfuscation_deterministic(ratio in 0.05f64..0.9, seed in any::<u64>()) {
+            let ds = base();
+            let a = hide_checkins(ds, ratio, seed).unwrap();
+            let b = hide_checkins(ds, ratio, seed).unwrap();
+            prop_assert_eq!(a.checkins(), b.checkins());
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! A **targeted** hiding defense — the paper's future-work direction
+//! ("design an obfuscation mechanism to effectively protect friendship").
+//!
+//! Random hiding wastes most of its budget on check-ins that carry no
+//! friendship evidence. This mechanism spends the same budget on the
+//! check-ins that are most *linkable*: visits that co-occur with other
+//! users at the same POI within a small time window, weighted by how
+//! unpopular (and therefore identifying) the place is — the same
+//! location-entropy intuition the attacks exploit, turned around.
+
+use std::collections::BTreeMap;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use seeker_trace::{CheckIn, Dataset, PoiId, Result, TraceError};
+
+/// Configuration of the targeted hiding defense.
+#[derive(Debug, Clone)]
+pub struct TargetedHidingConfig {
+    /// Fraction of all check-ins to remove, in `[0, 1)`.
+    pub budget: f64,
+    /// Two check-ins at the same POI within this window count as a
+    /// co-occurrence (linkability evidence).
+    pub window_secs: i64,
+    /// Tie-breaking seed (scores often tie on sparse data).
+    pub seed: u64,
+}
+
+impl Default for TargetedHidingConfig {
+    fn default() -> Self {
+        TargetedHidingConfig { budget: 0.3, window_secs: 6 * 3_600, seed: 42 }
+    }
+}
+
+/// Linkability score of every check-in: the popularity-discounted number of
+/// co-occurrences with *other users* at the same POI within the window.
+///
+/// Exposed so defenses and diagnostics can inspect what would be hidden.
+pub fn linkability_scores(ds: &Dataset, window_secs: i64) -> Vec<f64> {
+    // Per-POI time-sorted event lists (index into the check-in array).
+    let mut poi_events: BTreeMap<PoiId, Vec<(i64, u32, usize)>> = BTreeMap::new();
+    for (idx, c) in ds.checkins().iter().enumerate() {
+        poi_events.entry(c.poi).or_default().push((c.time.as_secs(), c.user.raw(), idx));
+    }
+    let mut scores = vec![0.0f64; ds.n_checkins()];
+    for events in poi_events.values_mut() {
+        events.sort_unstable();
+        let visitors: std::collections::BTreeSet<u32> =
+            events.iter().map(|&(_, u, _)| u).collect();
+        let weight = 1.0 / (std::f64::consts::E + visitors.len() as f64).ln();
+        for i in 0..events.len() {
+            let (ti, ui, idx_i) = events[i];
+            for &(tj, uj, idx_j) in events.iter().skip(i + 1) {
+                if tj - ti > window_secs {
+                    break;
+                }
+                if ui == uj {
+                    continue;
+                }
+                scores[idx_i] += weight;
+                scores[idx_j] += weight;
+            }
+        }
+    }
+    scores
+}
+
+/// Removes the `budget` fraction of check-ins with the highest linkability
+/// scores (never a user's last check-in). Deterministic in the seed.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Invalid`] if `budget` is outside `[0, 1)`.
+pub fn targeted_hide(ds: &Dataset, cfg: &TargetedHidingConfig) -> Result<Dataset> {
+    if !(0.0..1.0).contains(&cfg.budget) {
+        return Err(TraceError::Invalid(format!("hiding budget {} outside [0, 1)", cfg.budget)));
+    }
+    let scores = linkability_scores(ds, cfg.window_secs);
+    let mut order: Vec<usize> = (0..ds.n_checkins()).collect();
+    // Random tie-break, then stable sort by descending score.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    order.shuffle(&mut rng);
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+
+    let target_removals = ((ds.n_checkins() as f64) * cfg.budget).round() as usize;
+    let mut remaining: Vec<usize> = ds.users().map(|u| ds.checkin_count(u)).collect();
+    let mut keep = vec![true; ds.n_checkins()];
+    let mut removed = 0usize;
+    for idx in order {
+        if removed >= target_removals {
+            break;
+        }
+        let user = ds.checkins()[idx].user;
+        if remaining[user.index()] <= 1 {
+            continue;
+        }
+        keep[idx] = false;
+        remaining[user.index()] -= 1;
+        removed += 1;
+    }
+    let kept: Vec<CheckIn> = ds
+        .checkins()
+        .iter()
+        .zip(keep.iter())
+        .filter(|(_, &k)| k)
+        .map(|(&c, _)| c)
+        .collect();
+    ds.with_checkins(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+    use seeker_trace::{DatasetBuilder, GeoPoint, Timestamp};
+
+    #[test]
+    fn scores_reward_temporal_co_occurrence() {
+        let mut b = DatasetBuilder::new("s");
+        let p = b.add_poi(GeoPoint::new(0.0, 0.0), 1.0);
+        let q = b.add_poi(GeoPoint::new(1.0, 1.0), 1.0);
+        // Users 1 and 2 co-occur at p within the window; user 1's visit to q
+        // is solitary.
+        b.add_checkin(1, p, Timestamp::from_secs(0));
+        b.add_checkin(1, q, Timestamp::from_secs(50_000));
+        b.add_checkin(2, p, Timestamp::from_secs(600));
+        b.add_checkin(2, q, Timestamp::from_secs(999_999));
+        let ds = b.build().unwrap();
+        let scores = linkability_scores(&ds, 3_600);
+        // Find the co-occurring check-ins: both at poi p.
+        for (i, c) in ds.checkins().iter().enumerate() {
+            if c.poi == p {
+                assert!(scores[i] > 0.0, "co-occurring check-in must score");
+            } else {
+                assert_eq!(scores[i], 0.0, "solitary check-in must not score");
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_hide_removes_linkable_checkins_first() {
+        let ds = generate(&SyntheticConfig::small(131)).unwrap().dataset;
+        let cfg = TargetedHidingConfig { budget: 0.3, ..Default::default() };
+        let scores = linkability_scores(&ds, cfg.window_secs);
+        let defended = targeted_hide(&ds, &cfg).unwrap();
+        // Mean linkability of surviving check-ins must be lower than the
+        // original mean (the defense removed the hottest ones).
+        let orig_mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+        let surviving: std::collections::BTreeSet<_> =
+            defended.checkins().iter().map(|c| (c.user, c.poi, c.time)).collect();
+        let kept_scores: Vec<f64> = ds
+            .checkins()
+            .iter()
+            .zip(scores.iter())
+            .filter(|(c, _)| surviving.contains(&(c.user, c.poi, c.time)))
+            .map(|(_, &s)| s)
+            .collect();
+        let kept_mean: f64 = kept_scores.iter().sum::<f64>() / kept_scores.len() as f64;
+        assert!(kept_mean < orig_mean, "kept {kept_mean} vs original {orig_mean}");
+    }
+
+    #[test]
+    fn targeted_hide_respects_budget_and_guard() {
+        let ds = generate(&SyntheticConfig::small(132)).unwrap().dataset;
+        let cfg = TargetedHidingConfig { budget: 0.4, ..Default::default() };
+        let defended = targeted_hide(&ds, &cfg).unwrap();
+        let removed = ds.n_checkins() - defended.n_checkins();
+        assert!(removed <= ((ds.n_checkins() as f64) * 0.4).round() as usize);
+        for u in defended.users() {
+            assert!(defended.checkin_count(u) >= 1);
+        }
+        assert_eq!(defended.n_links(), ds.n_links());
+    }
+
+    #[test]
+    fn targeted_hide_is_deterministic() {
+        let ds = generate(&SyntheticConfig::small(133)).unwrap().dataset;
+        let cfg = TargetedHidingConfig::default();
+        let a = targeted_hide(&ds, &cfg).unwrap();
+        let b = targeted_hide(&ds, &cfg).unwrap();
+        assert_eq!(a.checkins(), b.checkins());
+    }
+
+    #[test]
+    fn rejects_bad_budget() {
+        let ds = generate(&SyntheticConfig::small(134)).unwrap().dataset;
+        let cfg = TargetedHidingConfig { budget: 1.0, ..Default::default() };
+        assert!(targeted_hide(&ds, &cfg).is_err());
+    }
+}

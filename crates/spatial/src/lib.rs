@@ -1,0 +1,33 @@
+//! # seeker-spatial
+//!
+//! Spatial-temporal substrate for the FriendSeeker reproduction: the
+//! adaptive quadtree spatial-temporal division (Definition 8) and joint
+//! occurrence cuboids (Definition 9) that feed the presence-proximity
+//! feature extractor.
+//!
+//! ```
+//! use seeker_spatial::{Joc, SpatialTemporalDivision};
+//! use seeker_trace::synth::{generate, SyntheticConfig};
+//! use seeker_trace::UserId;
+//!
+//! let ds = generate(&SyntheticConfig::small(9))?.dataset;
+//! let std = SpatialTemporalDivision::build(&ds, 40, 7.0)?;
+//! let joc = Joc::build(&std, ds.trajectory(UserId::new(0)), ds.trajectory(UserId::new(1)));
+//! assert_eq!(joc.input_dim(), std.n_cells() * Joc::CHANNELS);
+//! # Ok::<(), seeker_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod joc;
+#[cfg(test)]
+mod proptests;
+mod quadtree;
+mod std_division;
+mod timeslot;
+
+pub use joc::{Joc, JocCell};
+pub use quadtree::Quadtree;
+pub use std_division::{SpatialParam, SpatialTemporalDivision};
+pub use timeslot::TimeSlots;

@@ -1,0 +1,146 @@
+//! Uniform time slotting — the temporal half of the spatial-temporal
+//! division (Definition 8). The time domain is partitioned into equal slots
+//! of length τ.
+
+use seeker_trace::Timestamp;
+
+/// A partition of a time interval into equal slots of length τ.
+///
+/// ```
+/// use seeker_spatial::TimeSlots;
+/// use seeker_trace::Timestamp;
+///
+/// let slots = TimeSlots::new(Timestamp::from_secs(0), Timestamp::from_days(21.0), 7.0);
+/// assert_eq!(slots.n_slots(), 4); // covers [0, 21] inclusive
+/// assert_eq!(slots.slot_of(Timestamp::from_days(8.0)), Some(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeSlots {
+    origin: Timestamp,
+    slot_secs: i64,
+    n_slots: usize,
+}
+
+impl TimeSlots {
+    /// Creates a slotting of `[origin, end]` with slots of `tau_days` days.
+    ///
+    /// The final partial slot, if any, is kept (so `end` is always covered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau_days` is not positive and finite, or if `end < origin`.
+    pub fn new(origin: Timestamp, end: Timestamp, tau_days: f64) -> Self {
+        assert!(tau_days.is_finite() && tau_days > 0.0, "tau must be positive, got {tau_days}");
+        assert!(end >= origin, "time range must be non-empty");
+        let slot_secs = ((tau_days * Timestamp::SECS_PER_DAY as f64).round() as i64).max(1);
+        let span = end.delta_secs(origin);
+        let n_slots = (span / slot_secs + 1) as usize;
+        TimeSlots { origin, slot_secs, n_slots }
+    }
+
+    /// Number of slots (the `J` of the STD).
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Slot length in seconds.
+    pub fn slot_secs(&self) -> i64 {
+        self.slot_secs
+    }
+
+    /// The start of the covered interval.
+    pub fn origin(&self) -> Timestamp {
+        self.origin
+    }
+
+    /// The slot index of `t`, or `None` if `t` lies outside the covered
+    /// interval.
+    pub fn slot_of(&self, t: Timestamp) -> Option<usize> {
+        let delta = t.delta_secs(self.origin);
+        if delta < 0 {
+            return None;
+        }
+        let slot = (delta / self.slot_secs) as usize;
+        if slot < self.n_slots {
+            Some(slot)
+        } else {
+            None
+        }
+    }
+
+    /// The start timestamp of slot `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn slot_start(&self, j: usize) -> Timestamp {
+        assert!(j < self.n_slots, "slot {j} out of range (n = {})", self.n_slots);
+        Timestamp::from_secs(self.origin.as_secs() + j as i64 * self.slot_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let s = TimeSlots::new(Timestamp::from_secs(0), Timestamp::from_days(21.0), 7.0);
+        assert_eq!(s.n_slots(), 4); // days 0..7, 7..14, 14..21, 21..28 (end inclusive)
+        assert_eq!(s.slot_of(Timestamp::from_secs(0)), Some(0));
+        assert_eq!(s.slot_of(Timestamp::from_days(6.999)), Some(0));
+        assert_eq!(s.slot_of(Timestamp::from_days(7.0)), Some(1));
+        assert_eq!(s.slot_of(Timestamp::from_days(21.0)), Some(3));
+    }
+
+    #[test]
+    fn partial_final_slot_is_kept() {
+        let s = TimeSlots::new(Timestamp::from_secs(0), Timestamp::from_days(10.0), 7.0);
+        assert_eq!(s.n_slots(), 2);
+        assert_eq!(s.slot_of(Timestamp::from_days(10.0)), Some(1));
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let s = TimeSlots::new(Timestamp::from_days(1.0), Timestamp::from_days(8.0), 7.0);
+        assert_eq!(s.slot_of(Timestamp::from_secs(0)), None);
+        assert_eq!(s.slot_of(Timestamp::from_days(100.0)), None);
+    }
+
+    #[test]
+    fn fractional_tau() {
+        let s = TimeSlots::new(Timestamp::from_secs(0), Timestamp::from_days(1.0), 0.5);
+        assert_eq!(s.n_slots(), 3);
+        assert_eq!(s.slot_secs(), 43_200);
+        assert_eq!(s.slot_of(Timestamp::from_secs(43_199)), Some(0));
+        assert_eq!(s.slot_of(Timestamp::from_secs(43_200)), Some(1));
+    }
+
+    #[test]
+    fn slot_start_roundtrip() {
+        let s = TimeSlots::new(Timestamp::from_days(2.0), Timestamp::from_days(30.0), 7.0);
+        for j in 0..s.n_slots() {
+            assert_eq!(s.slot_of(s.slot_start(j)), Some(j));
+        }
+    }
+
+    #[test]
+    fn degenerate_single_instant() {
+        let t = Timestamp::from_secs(5);
+        let s = TimeSlots::new(t, t, 7.0);
+        assert_eq!(s.n_slots(), 1);
+        assert_eq!(s.slot_of(t), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tau")]
+    fn rejects_non_positive_tau() {
+        let _ = TimeSlots::new(Timestamp::from_secs(0), Timestamp::from_secs(10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_inverted_range() {
+        let _ = TimeSlots::new(Timestamp::from_secs(10), Timestamp::from_secs(0), 1.0);
+    }
+}

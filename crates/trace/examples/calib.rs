@@ -1,0 +1,48 @@
+//! Generator calibration report: prints the Table II-style contingency and
+//! Fig. 1-style CDF separations of both synthetic presets, the shapes that
+//! were tuned against the paper's empirical study (DESIGN.md §3).
+//!
+//! ```sh
+//! cargo run -p seeker-trace --example calib --release
+//! ```
+
+use seeker_trace::stats::{contingency, pair_cdfs};
+use seeker_trace::synth::{generate, SyntheticConfig};
+
+fn main() {
+    for cfg in [SyntheticConfig::synth_gowalla(5), SyntheticConfig::synth_brightkite(5)] {
+        let t = generate(&cfg).unwrap();
+        let ds = &t.dataset;
+        let cdfs = pair_cdfs(ds, 1.0, 11);
+        let c = contingency(ds, 1.0, 7);
+        println!(
+            "{}: users={} checkins={} links={} cyber={}",
+            ds.name(),
+            ds.n_users(),
+            ds.n_checkins(),
+            ds.n_links(),
+            t.cyber_edges.len()
+        );
+        println!(
+            "  P(no co-location): friends={:.3} non-friends={:.3}",
+            cdfs.colocations_friends.eval(0),
+            cdfs.colocations_non_friends.eval(0)
+        );
+        println!(
+            "  P(no common friend): friends={:.3} non-friends={:.3}",
+            cdfs.common_friends_friends.eval(0),
+            cdfs.common_friends_non_friends.eval(0)
+        );
+        println!(
+            "  friends:     CL&CF={:.3} CL-only={:.3} CF-only={:.3} neither={:.3}",
+            c.friends.colo_and_cofriend, c.friends.colo_only, c.friends.cofriend_only, c.friends.neither
+        );
+        println!(
+            "  non-friends: CL&CF={:.3} CL-only={:.3} CF-only={:.3} neither={:.3}",
+            c.non_friends.colo_and_cofriend,
+            c.non_friends.colo_only,
+            c.non_friends.cofriend_only,
+            c.non_friends.neither
+        );
+    }
+}

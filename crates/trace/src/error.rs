@@ -1,0 +1,76 @@
+//! Error type for trace loading and dataset construction.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io;
+
+/// Errors produced while loading or assembling check-in datasets.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An underlying I/O failure while reading a trace file.
+    Io(io::Error),
+    /// A malformed line in a SNAP-format file.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What was wrong with the record.
+        message: String,
+    },
+    /// The dataset violates a structural invariant (e.g. an edge references
+    /// an unknown user).
+    Invalid(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            TraceError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
+        }
+    }
+}
+
+impl StdError for TraceError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, TraceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = TraceError::Parse { line: 3, message: "bad field".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = TraceError::Invalid("dangling edge".into());
+        assert!(e.to_string().contains("dangling edge"));
+        let e = TraceError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let e = TraceError::from(io::Error::other("inner"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = TraceError::Invalid("x".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! GeoJSON export of datasets and inferred graphs, for visual inspection in
+//! any GIS viewer (kepler.gl, QGIS, geojson.io).
+//!
+//! The writer is hand-rolled (the repository's dependency budget has no
+//! JSON crate); the output is plain RFC 7946 FeatureCollections.
+
+use std::fmt::Write as _;
+
+use crate::dataset::Dataset;
+use crate::types::{GeoPoint, UserId, UserPair};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Exports the dataset's visited POIs as a GeoJSON `FeatureCollection` of
+/// points. Each feature carries the POI id and its visit count.
+pub fn pois_to_geojson(ds: &Dataset) -> String {
+    let mut visits = vec![0u32; ds.n_pois()];
+    for c in ds.checkins() {
+        visits[c.poi.index()] += 1;
+    }
+    let mut features = Vec::new();
+    for p in ds.pois() {
+        let v = visits[p.id.index()];
+        if v == 0 {
+            continue;
+        }
+        features.push(format!(
+            r#"{{"type":"Feature","geometry":{{"type":"Point","coordinates":[{:.7},{:.7}]}},"properties":{{"poi":{},"visits":{}}}}}"#,
+            p.center.lon,
+            p.center.lat,
+            p.id.raw(),
+            v
+        ));
+    }
+    collection(&features, ds.name())
+}
+
+/// Exports a set of user pairs (e.g. an inferred friendship graph) as
+/// GeoJSON `LineString`s between the users' mean check-in locations.
+/// Pairs whose endpoints have no check-ins are skipped.
+pub fn edges_to_geojson(ds: &Dataset, pairs: &[UserPair], name: &str) -> String {
+    let centers: Vec<Option<GeoPoint>> = ds.users().map(|u| user_mean(ds, u)).collect();
+    let mut features = Vec::new();
+    for pair in pairs {
+        if let (Some(a), Some(b)) = (centers[pair.lo().index()], centers[pair.hi().index()]) {
+            features.push(format!(
+                r#"{{"type":"Feature","geometry":{{"type":"LineString","coordinates":[[{:.7},{:.7}],[{:.7},{:.7}]]}},"properties":{{"a":{},"b":{}}}}}"#,
+                a.lon,
+                a.lat,
+                b.lon,
+                b.lat,
+                pair.lo().raw(),
+                pair.hi().raw()
+            ));
+        }
+    }
+    collection(&features, name)
+}
+
+fn user_mean(ds: &Dataset, u: UserId) -> Option<GeoPoint> {
+    let traj = ds.trajectory(u);
+    if traj.is_empty() {
+        return None;
+    }
+    let (mut lat, mut lon) = (0.0f64, 0.0f64);
+    for c in traj {
+        let p = ds.poi(c.poi).center;
+        lat += p.lat;
+        lon += p.lon;
+    }
+    let n = traj.len() as f64;
+    Some(GeoPoint::new(lat / n, lon / n))
+}
+
+fn collection(features: &[String], name: &str) -> String {
+    format!(
+        r#"{{"type":"FeatureCollection","name":"{}","features":[{}]}}"#,
+        esc(name),
+        features.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SyntheticConfig};
+    use crate::DatasetBuilder;
+    use crate::Timestamp;
+
+    #[test]
+    fn poi_export_contains_visited_pois_only() {
+        let mut b = DatasetBuilder::new("g");
+        let p0 = b.add_poi(GeoPoint::new(1.0, 2.0), 10.0);
+        let _unvisited = b.add_poi(GeoPoint::new(3.0, 4.0), 10.0);
+        b.add_checkin(1, p0, Timestamp::from_secs(0));
+        b.add_checkin(1, p0, Timestamp::from_secs(1));
+        let ds = b.build().unwrap();
+        let json = pois_to_geojson(&ds);
+        assert!(json.contains(r#""type":"FeatureCollection""#));
+        assert!(json.contains(r#""visits":2"#));
+        assert!(!json.contains("3.0000000,4.0000000".to_string().as_str()));
+        // Coordinates are [lon, lat].
+        assert!(json.contains("[2.0000000,1.0000000]"));
+    }
+
+    #[test]
+    fn edge_export_draws_linestrings() {
+        let ds = generate(&SyntheticConfig::small(151)).unwrap().dataset;
+        let pairs: Vec<UserPair> = ds.friendships().take(5).collect();
+        let json = edges_to_geojson(&ds, &pairs, "friends");
+        assert!(json.contains(r#""name":"friends""#));
+        assert_eq!(json.matches(r#""type":"LineString""#).count(), pairs.len());
+    }
+
+    #[test]
+    fn output_is_structurally_balanced_json() {
+        let ds = generate(&SyntheticConfig::small(152)).unwrap().dataset;
+        for json in [pois_to_geojson(&ds), edges_to_geojson(&ds, &[], "empty")] {
+            let opens = json.matches('{').count();
+            let closes = json.matches('}').count();
+            assert_eq!(opens, closes, "unbalanced braces");
+            let opens = json.matches('[').count();
+            let closes = json.matches(']').count();
+            assert_eq!(opens, closes, "unbalanced brackets");
+        }
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let json = collection(&[], "a\"b\\c\nd");
+        assert!(json.contains(r#""name":"a\"b\\c\nd""#));
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

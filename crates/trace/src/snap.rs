@@ -1,0 +1,366 @@
+//! Loader and writer for the SNAP LBSN file layout used by the Gowalla and
+//! Brightkite dumps.
+//!
+//! Check-in files are tab-separated lines of
+//! `<user-id> <ISO-8601 time> <latitude> <longitude> <location-id>`, edge
+//! files are `<user-id> <user-id>` pairs. This module lets the real datasets
+//! drop into the pipeline unchanged when they are available; the rest of the
+//! repository uses the synthetic generator in [`crate::synth`].
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::{Result, TraceError};
+use crate::types::{GeoPoint, Timestamp};
+
+/// Options controlling SNAP-format loading.
+#[derive(Debug, Clone)]
+pub struct SnapOptions {
+    /// Minimum check-ins for a user to be kept (paper default: 2).
+    pub min_checkins: usize,
+    /// Radius assigned to every POI, in meters (the dumps carry no radius).
+    pub poi_radius_m: f64,
+    /// Dataset name to record.
+    pub name: String,
+}
+
+impl Default for SnapOptions {
+    fn default() -> Self {
+        SnapOptions { min_checkins: 2, poi_radius_m: 100.0, name: "snap".to_string() }
+    }
+}
+
+/// Loads a dataset from SNAP-format check-in and edge files on disk.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on file errors and [`TraceError::Parse`] on
+/// malformed records.
+pub fn load_dataset(
+    checkins_path: impl AsRef<Path>,
+    edges_path: impl AsRef<Path>,
+    options: &SnapOptions,
+) -> Result<Dataset> {
+    let checkins = File::open(checkins_path)?;
+    let edges = File::open(edges_path)?;
+    load_dataset_from(BufReader::new(checkins), BufReader::new(edges), options)
+}
+
+/// Loads a dataset from any pair of readers in SNAP format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] with the 1-based line number on malformed
+/// input.
+pub fn load_dataset_from<R1: Read, R2: Read>(checkins: R1, edges: R2, options: &SnapOptions) -> Result<Dataset> {
+    let mut builder = DatasetBuilder::new(options.name.clone());
+    builder.min_checkins(options.min_checkins);
+    // External location-id -> dense PoiId, first-seen coordinates win.
+    let mut poi_map: BTreeMap<u64, crate::types::PoiId> = BTreeMap::new();
+
+    for (idx, line) in BufReader::new(checkins).lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let user = parse_field::<u64>(fields.next(), lineno, "user id")?;
+        let time_str = fields
+            .next()
+            .ok_or_else(|| TraceError::Parse { line: lineno, message: "missing timestamp".into() })?;
+        let time = parse_iso8601(time_str).map_err(|m| TraceError::Parse { line: lineno, message: m })?;
+        let lat = parse_field::<f64>(fields.next(), lineno, "latitude")?;
+        let lon = parse_field::<f64>(fields.next(), lineno, "longitude")?;
+        let loc = parse_location_id(fields.next(), lineno)?;
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            // The public dumps contain a handful of (0,0)/garbage rows; the
+            // original study drops them, and so do we.
+            continue;
+        }
+        let poi = *poi_map
+            .entry(loc)
+            .or_insert_with(|| builder.add_poi(GeoPoint::new(lat, lon), options.poi_radius_m));
+        builder.add_checkin(user, poi, time);
+    }
+
+    for (idx, line) in BufReader::new(edges).lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let a = parse_field::<u64>(fields.next(), lineno, "edge endpoint")?;
+        let b = parse_field::<u64>(fields.next(), lineno, "edge endpoint")?;
+        builder.add_friendship(a, b);
+    }
+
+    builder.build()
+}
+
+/// Writes a dataset back out in SNAP format (check-ins and edges).
+///
+/// Useful for exporting synthetic traces for external tooling and for
+/// round-trip testing of the loader.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on write failure.
+pub fn write_dataset(
+    dataset: &Dataset,
+    checkins_path: impl AsRef<Path>,
+    edges_path: impl AsRef<Path>,
+) -> Result<()> {
+    let mut cw = BufWriter::new(File::create(checkins_path)?);
+    for c in dataset.checkins() {
+        let poi = dataset.poi(c.poi);
+        writeln!(
+            cw,
+            "{}\t{}\t{:.7}\t{:.7}\t{}",
+            c.user.raw(),
+            format_iso8601(c.time),
+            poi.center.lat,
+            poi.center.lon,
+            c.poi.raw(),
+        )?;
+    }
+    cw.flush()?;
+    let mut ew = BufWriter::new(File::create(edges_path)?);
+    for pair in dataset.friendships() {
+        writeln!(ew, "{}\t{}", pair.lo().raw(), pair.hi().raw())?;
+    }
+    ew.flush()?;
+    Ok(())
+}
+
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, line: usize, what: &str) -> Result<T> {
+    let s = field.ok_or_else(|| TraceError::Parse { line, message: format!("missing {what}") })?;
+    s.parse::<T>().map_err(|_| TraceError::Parse { line, message: format!("invalid {what}: {s:?}") })
+}
+
+fn parse_location_id(field: Option<&str>, line: usize) -> Result<u64> {
+    let s = field.ok_or_else(|| TraceError::Parse { line, message: "missing location id".into() })?;
+    // Brightkite uses hex-ish hashes for some locations; fall back to hashing
+    // any non-numeric token into a stable id.
+    if let Ok(v) = s.parse::<u64>() {
+        return Ok(v);
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    Ok(h)
+}
+
+/// Parses an ISO-8601 UTC timestamp of the form `YYYY-MM-DDTHH:MM:SSZ`.
+///
+/// Implemented locally (days-from-civil algorithm) to avoid a date-time
+/// dependency; only the exact layout used by the SNAP dumps is accepted.
+pub fn parse_iso8601(s: &str) -> std::result::Result<Timestamp, String> {
+    let bytes = s.as_bytes();
+    if bytes.len() != 20 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b'T'
+        || bytes[13] != b':' || bytes[16] != b':' || bytes[19] != b'Z'
+    {
+        return Err(format!("timestamp {s:?} is not of the form YYYY-MM-DDTHH:MM:SSZ"));
+    }
+    let num = |range: std::ops::Range<usize>| -> std::result::Result<i64, String> {
+        s[range.clone()].parse::<i64>().map_err(|_| format!("non-numeric field in timestamp {s:?}"))
+    };
+    let year = num(0..4)?;
+    let month = num(5..7)?;
+    let day = num(8..10)?;
+    let hour = num(11..13)?;
+    let min = num(14..16)?;
+    let sec = num(17..19)?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return Err(format!("out-of-range date in {s:?}"));
+    }
+    if !(0..24).contains(&hour) || !(0..60).contains(&min) || !(0..60).contains(&sec) {
+        return Err(format!("out-of-range time in {s:?}"));
+    }
+    let days = days_from_civil(year, month, day);
+    Ok(Timestamp::from_secs(days * 86_400 + hour * 3_600 + min * 60 + sec))
+}
+
+/// Formats a timestamp as `YYYY-MM-DDTHH:MM:SSZ` (inverse of
+/// [`parse_iso8601`]).
+pub fn format_iso8601(t: Timestamp) -> String {
+    let secs = t.as_secs();
+    let days = secs.div_euclid(86_400);
+    let rem = secs.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+        y,
+        m,
+        d,
+        rem / 3_600,
+        (rem % 3_600) / 60,
+        rem % 60
+    )
+}
+
+/// Days since 1970-01-01 for a proleptic Gregorian civil date
+/// (Howard Hinnant's `days_from_civil`).
+fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, i64, i64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iso8601_epoch() {
+        assert_eq!(parse_iso8601("1970-01-01T00:00:00Z").unwrap(), Timestamp::from_secs(0));
+    }
+
+    #[test]
+    fn iso8601_known_instants() {
+        // Verified against `date -u -d @1287532527`.
+        assert_eq!(parse_iso8601("2010-10-19T23:55:27Z").unwrap(), Timestamp::from_secs(1_287_532_527));
+        assert_eq!(parse_iso8601("2000-03-01T00:00:00Z").unwrap(), Timestamp::from_secs(951_868_800));
+    }
+
+    #[test]
+    fn iso8601_rejects_malformed() {
+        for bad in ["", "2010-10-19 23:55:27Z", "2010-13-19T23:55:27Z", "2010-10-19T25:55:27Z", "2010-10-19T23:55:27", "garbage"] {
+            assert!(parse_iso8601(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn iso8601_roundtrip() {
+        for s in ["1970-01-01T00:00:00Z", "2009-03-21T12:34:56Z", "2011-11-02T01:02:03Z", "2024-02-29T23:59:59Z"] {
+            let t = parse_iso8601(s).unwrap();
+            assert_eq!(format_iso8601(t), s);
+        }
+    }
+
+    #[test]
+    fn civil_days_roundtrip_sweep() {
+        for z in (-200_000..200_000).step_by(997) {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+
+    #[test]
+    fn load_from_readers() {
+        let checkins = "\
+1\t2010-10-19T23:55:27Z\t30.2\t-97.7\t101
+1\t2010-10-20T00:05:00Z\t30.3\t-97.8\t102
+2\t2010-10-21T10:00:00Z\t30.2\t-97.7\t101
+2\t2010-10-22T11:00:00Z\t30.2\t-97.7\t101
+# a comment line
+
+3\t2010-10-23T09:00:00Z\t91.0\t0.0\t103
+";
+        let edges = "1\t2\n2\t3\n";
+        let ds =
+            load_dataset_from(checkins.as_bytes(), edges.as_bytes(), &SnapOptions::default()).unwrap();
+        // User 3's single check-in has out-of-range latitude -> dropped, so
+        // user 3 is filtered (0 check-ins) and the 2-3 edge is dropped.
+        assert_eq!(ds.n_users(), 2);
+        assert_eq!(ds.n_pois(), 2);
+        assert_eq!(ds.n_checkins(), 4);
+        assert_eq!(ds.n_links(), 1);
+    }
+
+    #[test]
+    fn load_rejects_bad_rows() {
+        let bad = "1\t2010-10-19T23:55:27Z\tnot-a-number\t-97.7\t101\n";
+        let err = load_dataset_from(bad.as_bytes(), "".as_bytes(), &SnapOptions::default());
+        match err {
+            Err(TraceError::Parse { line: 1, .. }) => {}
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hashed_location_ids_are_stable() {
+        let a = parse_location_id(Some("abc123def"), 1).unwrap();
+        let b = parse_location_id(Some("abc123def"), 2).unwrap();
+        let c = parse_location_id(Some("abc123dee"), 1).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(parse_location_id(Some("42"), 1).unwrap(), 42);
+    }
+
+    #[test]
+    fn write_and_reload_roundtrip() {
+        let checkins = "\
+1\t2010-10-19T23:55:27Z\t30.2\t-97.7\t101
+1\t2010-10-20T00:05:00Z\t30.3\t-97.8\t102
+2\t2010-10-21T10:00:00Z\t30.2\t-97.7\t101
+2\t2010-10-22T11:00:00Z\t30.2\t-97.7\t101
+";
+        let edges = "1\t2\n";
+        let ds =
+            load_dataset_from(checkins.as_bytes(), edges.as_bytes(), &SnapOptions::default()).unwrap();
+        let dir = std::env::temp_dir();
+        let cp = dir.join("seeker_snap_test_checkins.txt");
+        let ep = dir.join("seeker_snap_test_edges.txt");
+        write_dataset(&ds, &cp, &ep).unwrap();
+        let ds2 = load_dataset(&cp, &ep, &SnapOptions::default()).unwrap();
+        assert_eq!(ds2.n_users(), ds.n_users());
+        assert_eq!(ds2.n_checkins(), ds.n_checkins());
+        assert_eq!(ds2.n_links(), ds.n_links());
+        let _ = std::fs::remove_file(cp);
+        let _ = std::fs::remove_file(ep);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// ISO-8601 format/parse round-trips for any in-range instant.
+        #[test]
+        fn iso8601_roundtrip_any_instant(secs in 0i64..4_102_444_800) {
+            let t = Timestamp::from_secs(secs);
+            let s = format_iso8601(t);
+            prop_assert_eq!(parse_iso8601(&s).unwrap(), t);
+        }
+
+        /// civil <-> days conversions are mutually inverse.
+        #[test]
+        fn civil_days_inverse(z in -1_000_000i64..1_000_000) {
+            let (y, m, d) = civil_from_days(z);
+            prop_assert!((1..=12).contains(&m));
+            prop_assert!((1..=31).contains(&d));
+            prop_assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+}

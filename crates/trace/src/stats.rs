@@ -1,0 +1,489 @@
+//! Dataset statistics: Table I, the Table II contingency analysis and the
+//! Fig. 1 CDFs of the paper's empirical study (§II-C).
+
+use std::collections::BTreeSet;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::dataset::Dataset;
+use crate::types::{UserId, UserPair};
+
+/// Basic dataset statistics — the columns of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasicStats {
+    /// Number of distinct POIs that actually appear in check-ins.
+    pub n_pois: usize,
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of check-ins.
+    pub n_checkins: usize,
+    /// Number of ground-truth links.
+    pub n_links: usize,
+}
+
+/// Computes Table I statistics for a dataset.
+///
+/// `n_pois` counts POIs that are visited at least once, matching how the
+/// paper counts POIs from the check-in file rather than a separate gazetteer.
+pub fn basic_stats(ds: &Dataset) -> BasicStats {
+    let visited: BTreeSet<_> = ds.checkins().iter().map(|c| c.poi).collect();
+    BasicStats {
+        n_pois: visited.len(),
+        n_users: ds.n_users(),
+        n_checkins: ds.n_checkins(),
+        n_links: ds.n_links(),
+    }
+}
+
+/// One class column of the Table II contingency table: the distribution of a
+/// set of pairs over the four (co-location × co-friend) cells. Fractions sum
+/// to 1 over the four cells.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ContingencyColumn {
+    /// Has ≥1 co-location and ≥1 common friend.
+    pub colo_and_cofriend: f64,
+    /// Has ≥1 co-location but no common friend.
+    pub colo_only: f64,
+    /// No co-location but ≥1 common friend.
+    pub cofriend_only: f64,
+    /// Neither.
+    pub neither: f64,
+}
+
+/// The full Table II analysis: friends vs (sampled) non-friends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Contingency {
+    /// Distribution of friend pairs over the four cells.
+    pub friends: ContingencyColumn,
+    /// Distribution of sampled non-friend pairs over the four cells.
+    pub non_friends: ContingencyColumn,
+    /// Number of friend pairs analyzed.
+    pub n_friend_pairs: usize,
+    /// Number of non-friend pairs sampled.
+    pub n_non_friend_pairs: usize,
+}
+
+/// Computes the Table II contingency table.
+///
+/// All friend pairs are used; non-friend pairs are sampled uniformly (with
+/// the given `seed`) at `non_friend_ratio` times the friend-pair count, since
+/// the full non-friend pair set is quadratic.
+pub fn contingency(ds: &Dataset, non_friend_ratio: f64, seed: u64) -> Contingency {
+    let pois = ds.all_visited_pois();
+    let classify = |pair: UserPair| -> (bool, bool) {
+        let colo = pois[pair.lo().index()]
+            .intersection(&pois[pair.hi().index()])
+            .next()
+            .is_some();
+        let cofriend = common_friend_count(ds, pair) > 0;
+        (colo, cofriend)
+    };
+
+    let mut friends = ContingencyColumn::default();
+    let friend_pairs: Vec<UserPair> = ds.friendships().collect();
+    for &pair in &friend_pairs {
+        bump(&mut friends, classify(pair));
+    }
+    normalize(&mut friends, friend_pairs.len());
+
+    let targets = ((friend_pairs.len() as f64) * non_friend_ratio).round() as usize;
+    let sampled = sample_non_friend_pairs(ds, targets, seed);
+    let mut non_friends = ContingencyColumn::default();
+    for &pair in &sampled {
+        bump(&mut non_friends, classify(pair));
+    }
+    normalize(&mut non_friends, sampled.len());
+
+    Contingency {
+        friends,
+        non_friends,
+        n_friend_pairs: friend_pairs.len(),
+        n_non_friend_pairs: sampled.len(),
+    }
+}
+
+fn bump(col: &mut ContingencyColumn, (colo, cofriend): (bool, bool)) {
+    match (colo, cofriend) {
+        (true, true) => col.colo_and_cofriend += 1.0,
+        (true, false) => col.colo_only += 1.0,
+        (false, true) => col.cofriend_only += 1.0,
+        (false, false) => col.neither += 1.0,
+    }
+}
+
+fn normalize(col: &mut ContingencyColumn, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let n = n as f64;
+    col.colo_and_cofriend /= n;
+    col.colo_only /= n;
+    col.cofriend_only /= n;
+    col.neither /= n;
+}
+
+/// Number of common ground-truth friends of a pair.
+pub fn common_friend_count(ds: &Dataset, pair: UserPair) -> usize {
+    let fa = ds.friends_of(pair.lo());
+    let fb = ds.friends_of(pair.hi());
+    sorted_intersection_count(fa, fb)
+}
+
+fn sorted_intersection_count(a: &[UserId], b: &[UserId]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Samples up to `count` distinct non-friend pairs uniformly at random.
+///
+/// Deterministic in `seed`. Returns fewer pairs than requested only if the
+/// dataset is too small to contain that many non-friend pairs.
+pub fn sample_non_friend_pairs(ds: &Dataset, count: usize, seed: u64) -> Vec<UserPair> {
+    let n = ds.n_users();
+    let mut out = Vec::with_capacity(count);
+    if n < 2 {
+        return out;
+    }
+    let total_pairs = n * (n - 1) / 2;
+    let max_available = total_pairs.saturating_sub(ds.n_links());
+    let count = count.min(max_available);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: BTreeSet<UserPair> = BTreeSet::new();
+    let mut attempts = 0usize;
+    let attempt_cap = count.saturating_mul(200) + 10_000;
+    while out.len() < count && attempts < attempt_cap {
+        attempts += 1;
+        let a = rng.gen_range(0..n) as u32;
+        let b = rng.gen_range(0..n) as u32;
+        if a == b {
+            continue;
+        }
+        let pair = UserPair::new(UserId::new(a), UserId::new(b));
+        if ds.are_friends(pair.lo(), pair.hi()) || !seen.insert(pair) {
+            continue;
+        }
+        out.push(pair);
+    }
+    out
+}
+
+/// An empirical CDF over non-negative integer counts.
+///
+/// `eval(x)` returns the fraction of observations ≤ `x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCdf {
+    sorted: Vec<u64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from raw observations.
+    pub fn new(mut values: Vec<u64>) -> Self {
+        values.sort_unstable();
+        EmpiricalCdf { sorted: values }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of observations ≤ `x` (0 for an empty CDF).
+    pub fn eval(&self, x: u64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        self.sorted.last().copied()
+    }
+}
+
+/// The Fig. 1 data: CDFs of per-pair co-location and common-friend counts,
+/// for friends and for sampled non-friends.
+#[derive(Debug, Clone)]
+pub struct PairCdfs {
+    /// CDF of #co-locations over friend pairs (Fig. 1a, friends series).
+    pub colocations_friends: EmpiricalCdf,
+    /// CDF of #co-locations over non-friend pairs.
+    pub colocations_non_friends: EmpiricalCdf,
+    /// CDF of #common friends over friend pairs (Fig. 1b, friends series).
+    pub common_friends_friends: EmpiricalCdf,
+    /// CDF of #common friends over non-friend pairs.
+    pub common_friends_non_friends: EmpiricalCdf,
+}
+
+/// Computes the Fig. 1 CDFs. Non-friend pairs are sampled at
+/// `non_friend_ratio` × the friend-pair count with the given seed.
+pub fn pair_cdfs(ds: &Dataset, non_friend_ratio: f64, seed: u64) -> PairCdfs {
+    let pois = ds.all_visited_pois();
+    let colo = |pair: UserPair| -> u64 {
+        pois[pair.lo().index()].intersection(&pois[pair.hi().index()]).count() as u64
+    };
+    let friend_pairs: Vec<UserPair> = ds.friendships().collect();
+    let n_non = ((friend_pairs.len() as f64) * non_friend_ratio).round() as usize;
+    let non_pairs = sample_non_friend_pairs(ds, n_non, seed);
+
+    PairCdfs {
+        colocations_friends: EmpiricalCdf::new(friend_pairs.iter().map(|&p| colo(p)).collect()),
+        colocations_non_friends: EmpiricalCdf::new(non_pairs.iter().map(|&p| colo(p)).collect()),
+        common_friends_friends: EmpiricalCdf::new(
+            friend_pairs.iter().map(|&p| common_friend_count(ds, p) as u64).collect(),
+        ),
+        common_friends_non_friends: EmpiricalCdf::new(
+            non_pairs.iter().map(|&p| common_friend_count(ds, p) as u64).collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::synth::{generate, SyntheticConfig};
+    use crate::types::{GeoPoint, Timestamp};
+
+    fn synth() -> Dataset {
+        generate(&SyntheticConfig::small(1)).unwrap().dataset
+    }
+
+    #[test]
+    fn basic_stats_match_dataset() {
+        let ds = synth();
+        let s = basic_stats(&ds);
+        assert_eq!(s.n_users, ds.n_users());
+        assert_eq!(s.n_checkins, ds.n_checkins());
+        assert_eq!(s.n_links, ds.n_links());
+        assert!(s.n_pois <= ds.n_pois());
+        assert!(s.n_pois > 0);
+    }
+
+    #[test]
+    fn contingency_columns_sum_to_one() {
+        let ds = synth();
+        let c = contingency(&ds, 1.0, 7);
+        for col in [c.friends, c.non_friends] {
+            let sum = col.colo_and_cofriend + col.colo_only + col.cofriend_only + col.neither;
+            assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        }
+        assert_eq!(c.n_friend_pairs, ds.n_links());
+        assert!(c.n_non_friend_pairs > 0);
+    }
+
+    #[test]
+    fn contingency_separates_friends_from_non_friends() {
+        let ds = generate(&SyntheticConfig::synth_gowalla(3)).unwrap().dataset;
+        let c = contingency(&ds, 1.0, 7);
+        // The paper's key observation: friends concentrate in cells with
+        // either a co-location or a co-friend; non-friends in "neither".
+        assert!(c.friends.neither < c.non_friends.neither);
+        assert!(c.friends.colo_and_cofriend > c.non_friends.colo_and_cofriend);
+    }
+
+    #[test]
+    fn common_friend_count_simple_triangle() {
+        let mut b = DatasetBuilder::new("tri");
+        let p = b.add_poi(GeoPoint::new(0.0, 0.0), 1.0);
+        for u in 0..4u64 {
+            b.add_checkin(u, p, Timestamp::from_secs(u as i64));
+            b.add_checkin(u, p, Timestamp::from_secs(100 + u as i64));
+        }
+        b.add_friendship(0, 2);
+        b.add_friendship(1, 2);
+        b.add_friendship(0, 3);
+        b.add_friendship(1, 3);
+        let ds = b.build().unwrap();
+        // Users 0 and 1 share friends 2 and 3.
+        let pair = UserPair::new(UserId::new(0), UserId::new(1));
+        assert_eq!(common_friend_count(&ds, pair), 2);
+    }
+
+    #[test]
+    fn sampled_pairs_are_distinct_non_friends() {
+        let ds = synth();
+        let pairs = sample_non_friend_pairs(&ds, 200, 9);
+        let set: BTreeSet<_> = pairs.iter().collect();
+        assert_eq!(set.len(), pairs.len());
+        for p in &pairs {
+            assert!(!ds.are_friends(p.lo(), p.hi()));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let ds = synth();
+        assert_eq!(sample_non_friend_pairs(&ds, 50, 1), sample_non_friend_pairs(&ds, 50, 1));
+        assert_ne!(sample_non_friend_pairs(&ds, 50, 1), sample_non_friend_pairs(&ds, 50, 2));
+    }
+
+    #[test]
+    fn sampling_respects_availability() {
+        let mut b = DatasetBuilder::new("tiny");
+        let p = b.add_poi(GeoPoint::new(0.0, 0.0), 1.0);
+        for u in 0..3u64 {
+            b.add_checkin(u, p, Timestamp::from_secs(0));
+            b.add_checkin(u, p, Timestamp::from_secs(1));
+        }
+        b.add_friendship(0, 1);
+        let ds = b.build().unwrap();
+        // 3 users -> 3 pairs, 1 friendship -> 2 non-friend pairs available.
+        let pairs = sample_non_friend_pairs(&ds, 100, 3);
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn cdf_eval_monotone_and_bounded() {
+        let cdf = EmpiricalCdf::new(vec![0, 0, 1, 3, 3, 10]);
+        assert_eq!(cdf.len(), 6);
+        assert!((cdf.eval(0) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((cdf.eval(3) - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(cdf.eval(10), 1.0);
+        assert_eq!(cdf.eval(11), 1.0);
+        assert_eq!(cdf.max(), Some(10));
+        let mut prev = 0.0;
+        for x in 0..=11 {
+            let v = cdf.eval(x);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let cdf = EmpiricalCdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.eval(5), 0.0);
+        assert_eq!(cdf.max(), None);
+    }
+
+    #[test]
+    fn fig1_shape_non_friends_mostly_share_nothing() {
+        let ds = generate(&SyntheticConfig::synth_gowalla(5)).unwrap().dataset;
+        let cdfs = pair_cdfs(&ds, 1.0, 11);
+        // Most non-friends share zero locations; friends share far more.
+        // (Social events deliberately give some strangers co-locations —
+        // the paper's "nearby strangers" confounder — so the non-friend
+        // zero-co-location mass sits below the raw datasets' ~95 %.)
+        assert!(cdfs.colocations_non_friends.eval(0) > 0.75);
+        assert!(cdfs.colocations_friends.eval(0) < cdfs.colocations_non_friends.eval(0));
+        // Most non-friends share no common friend; friends often do.
+        assert!(cdfs.common_friends_non_friends.eval(0) > 0.75);
+        assert!(cdfs.common_friends_friends.eval(0) < 0.6);
+    }
+}
+
+/// Distributional summary of a dataset: per-user check-in volumes, POI
+/// popularity and temporal span — the quantities one inspects to judge
+/// whether a trace is "sparse" in the paper's sense.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionSummary {
+    /// Minimum / median / mean / maximum check-ins per user.
+    pub checkins_per_user: (usize, usize, f64, usize),
+    /// Fraction of users with fewer than 25 check-ins (the paper's
+    /// sparse-user bucket).
+    pub sparse_user_fraction: f64,
+    /// Minimum / median / mean / maximum distinct visitors per visited POI.
+    pub visitors_per_poi: (usize, usize, f64, usize),
+    /// Observation span in days (0 for an empty dataset).
+    pub span_days: f64,
+    /// Mean distinct POIs per user.
+    pub mean_pois_per_user: f64,
+}
+
+/// Computes the distribution summary of a dataset.
+pub fn distribution_summary(ds: &Dataset) -> DistributionSummary {
+    let mut per_user: Vec<usize> = ds.users().map(|u| ds.checkin_count(u)).collect();
+    per_user.sort_unstable();
+    let visited = ds.all_visited_pois();
+    let mut visitors: std::collections::BTreeMap<crate::PoiId, usize> =
+        std::collections::BTreeMap::new();
+    for set in &visited {
+        for &p in set {
+            *visitors.entry(p).or_insert(0) += 1;
+        }
+    }
+    let mut per_poi: Vec<usize> = visitors.values().copied().collect();
+    per_poi.sort_unstable();
+    let four = |v: &[usize]| -> (usize, usize, f64, usize) {
+        if v.is_empty() {
+            return (0, 0, 0.0, 0);
+        }
+        let mean = v.iter().sum::<usize>() as f64 / v.len() as f64;
+        (v[0], v[v.len() / 2], mean, *v.last().expect("non-empty"))
+    };
+    let sparse = if per_user.is_empty() {
+        0.0
+    } else {
+        per_user.iter().filter(|&&c| c < 25).count() as f64 / per_user.len() as f64
+    };
+    let span = ds
+        .time_range()
+        .map(|(lo, hi)| (hi.delta_secs(lo)) as f64 / 86_400.0)
+        .unwrap_or(0.0);
+    let mean_pois = if visited.is_empty() {
+        0.0
+    } else {
+        visited.iter().map(|s| s.len()).sum::<usize>() as f64 / visited.len() as f64
+    };
+    DistributionSummary {
+        checkins_per_user: four(&per_user),
+        sparse_user_fraction: sparse,
+        visitors_per_poi: four(&per_poi),
+        span_days: span,
+        mean_pois_per_user: mean_pois,
+    }
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+    use crate::synth::{generate, SyntheticConfig};
+    use crate::DatasetBuilder;
+
+    #[test]
+    fn summary_of_synthetic_world() {
+        let ds = generate(&SyntheticConfig::small(61)).unwrap().dataset;
+        let s = distribution_summary(&ds);
+        let (min, median, mean, max) = s.checkins_per_user;
+        assert!(min >= 2, "generator guarantees >= 2 check-ins");
+        assert!(min <= median && median <= max);
+        assert!(mean >= min as f64 && mean <= max as f64);
+        assert!((0.0..=1.0).contains(&s.sparse_user_fraction));
+        assert!(s.sparse_user_fraction > 0.2, "the synthetic trace is meant to be sparse");
+        assert!(s.span_days > 0.0 && s.span_days <= 84.0);
+        assert!(s.mean_pois_per_user > 1.0);
+        let (pmin, pmed, pmean, pmax) = s.visitors_per_poi;
+        assert!(pmin >= 1 && pmin <= pmed && pmed <= pmax);
+        assert!(pmean >= 1.0);
+    }
+
+    #[test]
+    fn summary_of_empty_dataset() {
+        let ds = DatasetBuilder::new("e").build().unwrap();
+        let s = distribution_summary(&ds);
+        assert_eq!(s.checkins_per_user, (0, 0, 0.0, 0));
+        assert_eq!(s.span_days, 0.0);
+        assert_eq!(s.sparse_user_fraction, 0.0);
+        assert_eq!(s.mean_pois_per_user, 0.0);
+    }
+}

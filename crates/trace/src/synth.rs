@@ -1,0 +1,668 @@
+//! Synthetic mobile-social-network trace generator.
+//!
+//! The Gowalla and Brightkite dumps used in the paper are not redistributable
+//! with this repository, so experiments run on synthetic traces produced by a
+//! generative model that reproduces the *structural* properties the attack
+//! exploits (see DESIGN.md §3):
+//!
+//! - a community-structured social graph with **real-world** edges (people
+//!   who physically meet) and **cyber** edges (likeminded strangers who share
+//!   graph structure but never co-locate);
+//! - POIs clustered into "cities" (Gaussian mixture) with Zipf popularity;
+//! - home-anchored user mobility with a heavy-tailed (log-normal) per-user
+//!   check-in budget — the sparsity the paper targets;
+//! - weekly-periodic check-in times (the reason the paper finds τ = 7 days
+//!   optimal);
+//! - correlated co-visits for real-world friend pairs, none for cyber pairs.
+//!
+//! Same-city strangers organically share POI pools, reproducing the paper's
+//! "nearby strangers look like friends to naive learners" confounder.
+
+use std::collections::BTreeSet;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, LogNormal, Normal, Poisson};
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::Result;
+use crate::types::{GeoPoint, PoiId, Timestamp, UserId, UserPair};
+
+/// Degrees of latitude per kilometer (1 / 111.195).
+const DEG_PER_KM: f64 = 1.0 / 111.195;
+
+/// Configuration of the synthetic trace generator.
+///
+/// All fields are public so experiments can sweep any knob; use the presets
+/// ([`SyntheticConfig::synth_gowalla`], [`SyntheticConfig::synth_brightkite`],
+/// [`SyntheticConfig::small`]) as starting points.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Dataset name recorded on the generated [`Dataset`].
+    pub name: String,
+    /// RNG seed; generation is fully deterministic given the config.
+    pub seed: u64,
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of POIs.
+    pub n_pois: usize,
+    /// Number of geographic "cities" (Gaussian POI clusters).
+    pub n_cities: usize,
+    /// Number of social communities (≥ `n_cities`; several communities can
+    /// share a city, producing nearby strangers).
+    pub n_communities: usize,
+    /// Center of the region of interest.
+    pub region_center: GeoPoint,
+    /// Half-extent of the square region, in kilometers.
+    pub region_extent_km: f64,
+    /// Standard deviation of POI positions around their city center, km.
+    pub city_sigma_km: f64,
+    /// Standard deviation of user homes around their community's city, km.
+    pub home_sigma_km: f64,
+    /// Target mean intra-community degree of the real-world graph.
+    pub mean_intra_degree: f64,
+    /// Real-world "bridge" edges between communities, as a fraction of the
+    /// intra-community edge count.
+    pub bridge_fraction: f64,
+    /// Cyber edges as a fraction of the total edge count. Cyber edges are
+    /// created by triadic closure between users of *different cities* and
+    /// receive no co-visits.
+    pub cyber_fraction: f64,
+    /// Log-normal parameters `(mu, sigma)` of the per-user check-in budget.
+    pub checkins_lognormal: (f64, f64),
+    /// Minimum / maximum check-ins per user (after clamping).
+    pub checkins_range: (usize, usize),
+    /// Observation window, in days.
+    pub observation_days: f64,
+    /// Number of POIs in each user's personal pool.
+    pub pool_size: usize,
+    /// Zipf exponent of POI popularity within a city.
+    pub zipf_exponent: f64,
+    /// Distance-decay scale (km) of the pool-selection weight.
+    pub pool_decay_km: f64,
+    /// Probability that a solo check-in uses the personal pool (otherwise a
+    /// uniformly random POI anywhere — travel noise).
+    pub p_pool: f64,
+    /// Probability that a real-world friend pair has any co-visits at all.
+    pub p_covisit: f64,
+    /// Poisson mean of the number of extra co-visit events per co-visiting
+    /// pair (every co-visiting pair has at least one event).
+    pub covisit_lambda: f64,
+    /// Maximum jitter between the two check-ins of one co-visit, seconds.
+    pub covisit_jitter_secs: f64,
+    /// Probability a check-in time follows one of the user's weekly anchors
+    /// (otherwise uniform over the window).
+    pub p_anchor: f64,
+    /// Standard deviation of the time noise around an anchor, hours.
+    pub anchor_sigma_hours: f64,
+    /// Social events per user (events ≈ rate × n_users). Events draw
+    /// *arbitrary* same-city users to one POI at one time — the
+    /// "nearby strangers present similar spatial-temporal proximity"
+    /// confounder the paper warns about: they create co-locations and even
+    /// temporal meetings between non-friends.
+    pub event_rate: f64,
+    /// Poisson mean of extra attendees per event (every event has ≥ 2).
+    pub event_attendees_lambda: f64,
+    /// Check-in time jitter around the event instant, seconds.
+    pub event_jitter_secs: f64,
+}
+
+impl SyntheticConfig {
+    /// Preset shaped like the (scaled-down) Gowalla dataset: more dispersed
+    /// POIs, sparser check-ins, more cyber edges.
+    pub fn synth_gowalla(seed: u64) -> Self {
+        SyntheticConfig {
+            name: "synth-gowalla".to_string(),
+            seed,
+            n_users: 320,
+            n_pois: 3200,
+            n_cities: 3,
+            n_communities: 14,
+            region_center: GeoPoint::new(37.0, -95.0),
+            region_extent_km: 120.0,
+            city_sigma_km: 6.0,
+            home_sigma_km: 4.0,
+            mean_intra_degree: 7.0,
+            bridge_fraction: 0.06,
+            cyber_fraction: 0.25,
+            checkins_lognormal: (3.0, 0.9),
+            checkins_range: (2, 400),
+            observation_days: 84.0,
+            pool_size: 10,
+            zipf_exponent: 0.3,
+            pool_decay_km: 0.6,
+            p_pool: 0.8,
+            p_covisit: 0.78,
+            covisit_lambda: 2.0,
+            covisit_jitter_secs: 2_700.0,
+            p_anchor: 0.7,
+            anchor_sigma_hours: 1.5,
+            event_rate: 1.2,
+            event_attendees_lambda: 2.5,
+            event_jitter_secs: 3_600.0,
+        }
+    }
+
+    /// Preset shaped like the (scaled-down) Brightkite dataset: denser
+    /// check-ins, tighter geography, fewer cyber edges.
+    pub fn synth_brightkite(seed: u64) -> Self {
+        SyntheticConfig {
+            name: "synth-brightkite".to_string(),
+            seed,
+            n_users: 360,
+            n_pois: 2800,
+            n_cities: 2,
+            n_communities: 12,
+            region_center: GeoPoint::new(40.0, -105.0),
+            region_extent_km: 80.0,
+            city_sigma_km: 4.0,
+            home_sigma_km: 3.0,
+            mean_intra_degree: 9.0,
+            bridge_fraction: 0.05,
+            cyber_fraction: 0.18,
+            checkins_lognormal: (3.4, 0.8),
+            checkins_range: (2, 500),
+            observation_days: 84.0,
+            pool_size: 10,
+            zipf_exponent: 0.35,
+            pool_decay_km: 0.5,
+            p_pool: 0.85,
+            p_covisit: 0.88,
+            covisit_lambda: 2.5,
+            covisit_jitter_secs: 2_700.0,
+            p_anchor: 0.75,
+            anchor_sigma_hours: 1.2,
+            event_rate: 1.5,
+            event_attendees_lambda: 3.0,
+            event_jitter_secs: 3_600.0,
+        }
+    }
+
+    /// A tiny preset (fast enough for unit tests and doc examples).
+    pub fn small(seed: u64) -> Self {
+        let mut cfg = Self::synth_gowalla(seed);
+        cfg.name = "synth-small".to_string();
+        cfg.n_users = 60;
+        cfg.n_pois = 240;
+        cfg.n_cities = 2;
+        cfg.n_communities = 4;
+        cfg.mean_intra_degree = 5.0;
+        cfg.checkins_lognormal = (2.8, 0.7);
+        // Tiny worlds drown in event noise at the full-scale rate.
+        cfg.event_rate = 0.5;
+        cfg
+    }
+}
+
+/// The output of the generator: the dataset plus generator-side ground truth
+/// that the experiments need (which edges are cyber, who lives where).
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    /// The generated check-in dataset with ground-truth friendships.
+    pub dataset: Dataset,
+    /// The subset of friendships that are *cyber*: no co-visits were
+    /// generated for them (endpoints live in different cities).
+    pub cyber_edges: BTreeSet<UserPair>,
+    /// Community index of each user.
+    pub communities: Vec<u32>,
+    /// Home location of each user.
+    pub homes: Vec<GeoPoint>,
+}
+
+impl SyntheticTrace {
+    /// Whether `pair` is a cyber (structure-only) friendship.
+    pub fn is_cyber(&self, pair: UserPair) -> bool {
+        self.cyber_edges.contains(&pair)
+    }
+}
+
+/// Generates a synthetic trace from `cfg`. Deterministic in `cfg.seed`.
+///
+/// # Errors
+///
+/// Propagates dataset-construction errors; these indicate a configuration so
+/// degenerate that no valid dataset exists (e.g. zero users).
+///
+/// ```
+/// use seeker_trace::synth::{generate, SyntheticConfig};
+/// let trace = generate(&SyntheticConfig::small(7))?;
+/// assert!(trace.dataset.n_users() > 0);
+/// assert!(trace.dataset.n_links() > 0);
+/// # Ok::<(), seeker_trace::TraceError>(())
+/// ```
+pub fn generate(cfg: &SyntheticConfig) -> Result<SyntheticTrace> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let deg_extent = cfg.region_extent_km * DEG_PER_KM;
+
+    // --- Cities ------------------------------------------------------------
+    let cities: Vec<GeoPoint> = (0..cfg.n_cities)
+        .map(|_| {
+            GeoPoint::new(
+                cfg.region_center.lat + rng.gen_range(-deg_extent * 0.7..deg_extent * 0.7),
+                cfg.region_center.lon + rng.gen_range(-deg_extent * 0.7..deg_extent * 0.7),
+            )
+        })
+        .collect();
+
+    // --- Communities and users ----------------------------------------------
+    let community_city: Vec<usize> =
+        (0..cfg.n_communities).map(|c| c % cfg.n_cities).collect();
+    let user_community: Vec<u32> =
+        (0..cfg.n_users).map(|u| (u % cfg.n_communities) as u32).collect();
+    let home_noise = Normal::new(0.0, cfg.home_sigma_km * DEG_PER_KM).expect("valid sigma");
+    let homes: Vec<GeoPoint> = (0..cfg.n_users)
+        .map(|u| {
+            let city = cities[community_city[user_community[u] as usize]];
+            GeoPoint::new(city.lat + home_noise.sample(&mut rng), city.lon + home_noise.sample(&mut rng))
+        })
+        .collect();
+
+    // --- POIs ---------------------------------------------------------------
+    let poi_noise = Normal::new(0.0, cfg.city_sigma_km * DEG_PER_KM).expect("valid sigma");
+    let mut poi_city = Vec::with_capacity(cfg.n_pois);
+    let mut poi_points = Vec::with_capacity(cfg.n_pois);
+    for i in 0..cfg.n_pois {
+        let c = i % cfg.n_cities;
+        let center = cities[c];
+        poi_city.push(c);
+        poi_points.push(GeoPoint::new(
+            center.lat + poi_noise.sample(&mut rng),
+            center.lon + poi_noise.sample(&mut rng),
+        ));
+    }
+    // Zipf popularity rank within each city (by arrival order per city).
+    let mut city_rank = vec![0usize; cfg.n_pois];
+    let mut per_city_count = vec![0usize; cfg.n_cities];
+    for i in 0..cfg.n_pois {
+        city_rank[i] = per_city_count[poi_city[i]];
+        per_city_count[poi_city[i]] += 1;
+    }
+    let popularity: Vec<f64> =
+        city_rank.iter().map(|&r| 1.0 / ((r + 1) as f64).powf(cfg.zipf_exponent)).collect();
+    let mut city_pois: Vec<Vec<usize>> = vec![Vec::new(); cfg.n_cities];
+    for i in 0..cfg.n_pois {
+        city_pois[poi_city[i]].push(i);
+    }
+
+    // --- Social graph --------------------------------------------------------
+    let mut edges: BTreeSet<UserPair> = BTreeSet::new();
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); cfg.n_communities];
+    for (u, &c) in user_community.iter().enumerate() {
+        members[c as usize].push(u as u32);
+    }
+    for comm in &members {
+        let n = comm.len();
+        if n < 2 {
+            continue;
+        }
+        let p = (cfg.mean_intra_degree / (n as f64 - 1.0)).min(1.0);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen::<f64>() < p {
+                    edges.insert(UserPair::new(UserId::new(comm[i]), UserId::new(comm[j])));
+                }
+            }
+        }
+    }
+    let n_intra = edges.len();
+    let n_bridges = (cfg.bridge_fraction * n_intra as f64).round() as usize;
+    let mut attempts = 0usize;
+    let mut added = 0usize;
+    while added < n_bridges && attempts < n_bridges * 200 + 1000 {
+        attempts += 1;
+        let a = rng.gen_range(0..cfg.n_users) as u32;
+        let b = rng.gen_range(0..cfg.n_users) as u32;
+        if a == b || user_community[a as usize] == user_community[b as usize] {
+            continue;
+        }
+        if edges.insert(UserPair::new(UserId::new(a), UserId::new(b))) {
+            added += 1;
+        }
+    }
+    // Adjacency of the real-world graph, used for triadic cyber closure.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); cfg.n_users];
+    for pair in &edges {
+        adj[pair.lo().index()].push(pair.hi().raw());
+        adj[pair.hi().index()].push(pair.lo().raw());
+    }
+    let n_real = edges.len();
+    let target_cyber = if cfg.cyber_fraction > 0.0 && cfg.cyber_fraction < 1.0 {
+        ((cfg.cyber_fraction / (1.0 - cfg.cyber_fraction)) * n_real as f64).round() as usize
+    } else {
+        0
+    };
+    let mut cyber_edges: BTreeSet<UserPair> = BTreeSet::new();
+    attempts = 0;
+    while cyber_edges.len() < target_cyber && attempts < target_cyber * 500 + 1000 {
+        attempts += 1;
+        let u = rng.gen_range(0..cfg.n_users);
+        if adj[u].is_empty() {
+            continue;
+        }
+        let w = adj[u][rng.gen_range(0..adj[u].len())] as usize;
+        if adj[w].is_empty() {
+            continue;
+        }
+        let v = adj[w][rng.gen_range(0..adj[w].len())] as usize;
+        if v == u {
+            continue;
+        }
+        // Cyber friends live in different cities: strangers in the real world.
+        let cu = community_city[user_community[u] as usize];
+        let cv = community_city[user_community[v] as usize];
+        if cu == cv {
+            continue;
+        }
+        let pair = UserPair::new(UserId::new(u as u32), UserId::new(v as u32));
+        if edges.contains(&pair) {
+            continue;
+        }
+        if cyber_edges.insert(pair) {
+            edges.insert(pair);
+        }
+    }
+
+    // --- Personal pools and anchors ------------------------------------------
+    let pools: Vec<Vec<usize>> = (0..cfg.n_users)
+        .map(|u| {
+            let city = community_city[user_community[u] as usize];
+            let candidates = &city_pois[city];
+            let weights: Vec<f64> = candidates
+                .iter()
+                .map(|&p| {
+                    let d_km = homes[u].planar_m(poi_points[p]) / 1000.0;
+                    popularity[p] * (-d_km / cfg.pool_decay_km).exp()
+                })
+                .collect();
+            weighted_sample_without_replacement(candidates, &weights, cfg.pool_size, &mut rng)
+        })
+        .collect();
+    // Weekly anchors: (day-of-week, hour).
+    let anchors: Vec<Vec<(u32, u32)>> = (0..cfg.n_users)
+        .map(|_| {
+            (0..3).map(|_| (rng.gen_range(0..7u32), rng.gen_range(8..23u32))).collect()
+        })
+        .collect();
+
+    // --- Check-in budgets ------------------------------------------------------
+    let (mu, sigma) = cfg.checkins_lognormal;
+    let budget_dist = LogNormal::new(mu, sigma).expect("valid lognormal");
+    let budgets: Vec<usize> = (0..cfg.n_users)
+        .map(|_| {
+            (budget_dist.sample(&mut rng).round() as usize)
+                .clamp(cfg.checkins_range.0, cfg.checkins_range.1)
+        })
+        .collect();
+
+    // --- Co-visit events for real-world friend pairs ----------------------------
+    let mut builder = DatasetBuilder::new(cfg.name.clone());
+    builder.min_checkins(0);
+    for (i, &pt) in poi_points.iter().enumerate() {
+        let id = builder.add_poi(pt, 100.0);
+        debug_assert_eq!(id.index(), i);
+    }
+    let mut generated = vec![0usize; cfg.n_users];
+    let covisit_count = Poisson::new(cfg.covisit_lambda.max(1e-9)).expect("valid lambda");
+    for pair in edges.iter().copied().collect::<Vec<_>>() {
+        if cyber_edges.contains(&pair) {
+            continue; // cyber friends never co-locate by construction
+        }
+        if rng.gen::<f64>() >= cfg.p_covisit {
+            continue;
+        }
+        let n_events = 1 + covisit_count.sample(&mut rng) as usize;
+        let (a, b) = (pair.lo().index(), pair.hi().index());
+        for _ in 0..n_events {
+            let host = if rng.gen::<bool>() { a } else { b };
+            if pools[host].is_empty() {
+                continue;
+            }
+            let poi = pools[host][rng.gen_range(0..pools[host].len())];
+            let t = sample_time(cfg, &anchors[host], &mut rng);
+            let jitter = rng.gen_range(-cfg.covisit_jitter_secs..cfg.covisit_jitter_secs);
+            builder.add_checkin(a as u64, PoiId::new(poi as u32), clamp_time(cfg, t));
+            builder.add_checkin(
+                b as u64,
+                PoiId::new(poi as u32),
+                clamp_time(cfg, t + jitter),
+            );
+            generated[a] += 1;
+            generated[b] += 1;
+        }
+    }
+
+    // --- Social events: same-city users (friends or strangers) co-occur ----------
+    let mut city_users: Vec<Vec<usize>> = vec![Vec::new(); cfg.n_cities];
+    for u in 0..cfg.n_users {
+        city_users[community_city[user_community[u] as usize]].push(u);
+    }
+    let n_events = (cfg.event_rate * cfg.n_users as f64).round() as usize;
+    let attendee_count = Poisson::new(cfg.event_attendees_lambda.max(1e-9)).expect("valid lambda");
+    for _ in 0..n_events {
+        let city = rng.gen_range(0..cfg.n_cities);
+        if city_users[city].len() < 2 || city_pois[city].is_empty() {
+            continue;
+        }
+        let poi = city_pois[city][rng.gen_range(0..city_pois[city].len())];
+        let t = rng.gen_range(0.0..cfg.observation_days * 86_400.0);
+        let m = (2 + attendee_count.sample(&mut rng) as usize).min(city_users[city].len());
+        // Sample m distinct attendees from the city.
+        let mut pool = city_users[city].clone();
+        for _ in 0..m {
+            let pick = rng.gen_range(0..pool.len());
+            let u = pool.swap_remove(pick);
+            let jitter = rng.gen_range(-cfg.event_jitter_secs..cfg.event_jitter_secs);
+            builder.add_checkin(u as u64, PoiId::new(poi as u32), clamp_time(cfg, t + jitter));
+            generated[u] += 1;
+        }
+    }
+
+    // --- Solo check-ins up to each user's budget ---------------------------------
+    for u in 0..cfg.n_users {
+        let want = budgets[u].max(2);
+        while generated[u] < want {
+            let poi = if !pools[u].is_empty() && rng.gen::<f64>() < cfg.p_pool {
+                pools[u][rng.gen_range(0..pools[u].len())]
+            } else {
+                rng.gen_range(0..cfg.n_pois)
+            };
+            let t = sample_time(cfg, &anchors[u], &mut rng);
+            builder.add_checkin(u as u64, PoiId::new(poi as u32), clamp_time(cfg, t));
+            generated[u] += 1;
+        }
+    }
+
+    for pair in &edges {
+        builder.add_friendship(pair.lo().raw() as u64, pair.hi().raw() as u64);
+    }
+
+    let dataset = builder.build()?;
+    debug_assert_eq!(dataset.n_users(), cfg.n_users, "every user must survive filtering");
+    Ok(SyntheticTrace { dataset, cyber_edges, communities: user_community, homes })
+}
+
+/// Samples a check-in instant: usually near one of the user's weekly anchors
+/// (producing the weekly periodicity the paper exploits at τ = 7 days),
+/// otherwise uniform over the observation window.
+fn sample_time(cfg: &SyntheticConfig, anchors: &[(u32, u32)], rng: &mut StdRng) -> f64 {
+    let window_secs = cfg.observation_days * 86_400.0;
+    if !anchors.is_empty() && rng.gen::<f64>() < cfg.p_anchor {
+        let &(dow, hour) = &anchors[rng.gen_range(0..anchors.len())];
+        let n_weeks = (cfg.observation_days / 7.0).floor().max(1.0) as u64;
+        let week = rng.gen_range(0..n_weeks) as f64;
+        let noise = Normal::new(0.0, cfg.anchor_sigma_hours * 3_600.0)
+            .expect("valid sigma")
+            .sample(rng);
+        week * 7.0 * 86_400.0 + dow as f64 * 86_400.0 + hour as f64 * 3_600.0 + noise
+    } else {
+        rng.gen_range(0.0..window_secs)
+    }
+}
+
+fn clamp_time(cfg: &SyntheticConfig, secs: f64) -> Timestamp {
+    let max = cfg.observation_days * 86_400.0 - 1.0;
+    Timestamp::from_secs(secs.clamp(0.0, max) as i64)
+}
+
+/// Weighted sampling of `k` distinct items (A-Res would be overkill at these
+/// sizes; repeated weighted picks with removal are exact and simple).
+fn weighted_sample_without_replacement(
+    items: &[usize],
+    weights: &[f64],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    debug_assert_eq!(items.len(), weights.len());
+    let mut remaining: Vec<(usize, f64)> =
+        items.iter().copied().zip(weights.iter().copied()).filter(|&(_, w)| w > 0.0).collect();
+    let mut out = Vec::with_capacity(k.min(remaining.len()));
+    for _ in 0..k {
+        if remaining.is_empty() {
+            break;
+        }
+        let total: f64 = remaining.iter().map(|&(_, w)| w).sum();
+        if total <= 0.0 {
+            break;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen = remaining.len() - 1;
+        for (idx, &(_, w)) in remaining.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                chosen = idx;
+                break;
+            }
+        }
+        out.push(remaining.swap_remove(chosen).0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SyntheticConfig::small(42);
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.dataset.n_checkins(), b.dataset.n_checkins());
+        assert_eq!(a.dataset.n_links(), b.dataset.n_links());
+        assert_eq!(a.cyber_edges, b.cyber_edges);
+        assert_eq!(a.dataset.checkins(), b.dataset.checkins());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SyntheticConfig::small(1)).unwrap();
+        let b = generate(&SyntheticConfig::small(2)).unwrap();
+        assert_ne!(a.dataset.checkins(), b.dataset.checkins());
+    }
+
+    #[test]
+    fn every_user_has_at_least_two_checkins() {
+        let t = generate(&SyntheticConfig::small(3)).unwrap();
+        for u in t.dataset.users() {
+            assert!(t.dataset.checkin_count(u) >= 2, "{u} has too few check-ins");
+        }
+    }
+
+    #[test]
+    fn cyber_edges_are_a_subset_of_friendships() {
+        let t = generate(&SyntheticConfig::small(4)).unwrap();
+        let all: BTreeSet<_> = t.dataset.friendships().collect();
+        assert!(t.cyber_edges.is_subset(&all));
+        assert!(!t.cyber_edges.is_empty(), "small preset should still produce cyber edges");
+    }
+
+    #[test]
+    fn cyber_friends_rarely_colocate_real_friends_mostly_do() {
+        let t = generate(&SyntheticConfig::synth_gowalla(5)).unwrap();
+        let ds = &t.dataset;
+        let pois = ds.all_visited_pois();
+        let mut real_with_colo = 0usize;
+        let mut real_total = 0usize;
+        let mut cyber_with_colo = 0usize;
+        for pair in ds.friendships() {
+            let shared = pois[pair.lo().index()].intersection(&pois[pair.hi().index()]).count();
+            if t.is_cyber(pair) {
+                if shared > 0 {
+                    cyber_with_colo += 1;
+                }
+            } else {
+                real_total += 1;
+                if shared > 0 {
+                    real_with_colo += 1;
+                }
+            }
+        }
+        let real_rate = real_with_colo as f64 / real_total.max(1) as f64;
+        let cyber_rate = cyber_with_colo as f64 / t.cyber_edges.len().max(1) as f64;
+        assert!(real_rate > 0.5, "real-world friends should usually co-locate, got {real_rate}");
+        assert!(cyber_rate < real_rate, "cyber friends must co-locate less: {cyber_rate} vs {real_rate}");
+    }
+
+    #[test]
+    fn cyber_friends_have_common_friends() {
+        let t = generate(&SyntheticConfig::small(6)).unwrap();
+        for pair in &t.cyber_edges {
+            let fa: BTreeSet<_> = t.dataset.friends_of(pair.lo()).iter().copied().collect();
+            let fb: BTreeSet<_> = t.dataset.friends_of(pair.hi()).iter().copied().collect();
+            // Triadic closure guarantees ≥1 common friend at creation time.
+            assert!(
+                fa.intersection(&fb).next().is_some(),
+                "cyber pair {pair} has no common friend"
+            );
+        }
+    }
+
+    #[test]
+    fn checkins_fit_in_observation_window() {
+        let cfg = SyntheticConfig::small(7);
+        let t = generate(&cfg).unwrap();
+        let (lo, hi) = t.dataset.time_range().unwrap();
+        assert!(lo.as_secs() >= 0);
+        assert!(hi.as_days() <= cfg.observation_days);
+    }
+
+    #[test]
+    fn presets_have_expected_scale() {
+        let g = SyntheticConfig::synth_gowalla(1);
+        let b = SyntheticConfig::synth_brightkite(1);
+        assert!(g.cyber_fraction > b.cyber_fraction, "gowalla has more cyber friends");
+        assert!(g.p_covisit < b.p_covisit, "brightkite friends co-locate more");
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights_and_uniqueness() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let items: Vec<usize> = (0..100).collect();
+        let mut weights = vec![1e-6; 100];
+        weights[7] = 1e6;
+        let picked = weighted_sample_without_replacement(&items, &weights, 10, &mut rng);
+        assert_eq!(picked.len(), 10);
+        assert!(picked.contains(&7), "dominant weight must be picked");
+        let set: BTreeSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), picked.len(), "no duplicates");
+    }
+
+    #[test]
+    fn weighted_sampling_handles_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(weighted_sample_without_replacement(&[], &[], 3, &mut rng).is_empty());
+        let picked = weighted_sample_without_replacement(&[1, 2], &[0.0, 0.0], 3, &mut rng);
+        assert!(picked.is_empty(), "zero weights yield nothing");
+        let picked = weighted_sample_without_replacement(&[1, 2], &[1.0, 1.0], 5, &mut rng);
+        assert_eq!(picked.len(), 2, "k larger than population is truncated");
+    }
+
+    #[test]
+    fn communities_and_homes_are_recorded() {
+        let cfg = SyntheticConfig::small(11);
+        let t = generate(&cfg).unwrap();
+        assert_eq!(t.communities.len(), cfg.n_users);
+        assert_eq!(t.homes.len(), cfg.n_users);
+        assert!(t.communities.iter().all(|&c| (c as usize) < cfg.n_communities));
+    }
+}

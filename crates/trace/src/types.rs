@@ -1,0 +1,421 @@
+//! Core value types of the check-in data model.
+//!
+//! The paper (Definitions 1–3) models a mobile social network trace as a set
+//! of users, a set of POIs (points of interest) and a set of timestamped
+//! check-ins `(user, poi, time)`. These types are deliberately small `Copy`
+//! newtypes so the rest of the workspace can index densely into arrays.
+
+use std::fmt;
+
+/// A dense user identifier, `0..n_users`.
+///
+/// Users are renumbered on dataset construction so that a `UserId` can be
+/// used directly as a vector index via [`UserId::index`].
+///
+/// ```
+/// use seeker_trace::UserId;
+/// let u = UserId::new(3);
+/// assert_eq!(u.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(u32);
+
+impl UserId {
+    /// Creates a user id from its dense index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        UserId(raw)
+    }
+
+    /// Returns the raw dense index as a `usize`, suitable for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(raw: u32) -> Self {
+        UserId(raw)
+    }
+}
+
+/// A dense POI identifier, `0..n_pois`.
+///
+/// ```
+/// use seeker_trace::PoiId;
+/// assert_eq!(PoiId::new(7).index(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PoiId(u32);
+
+impl PoiId {
+    /// Creates a POI id from its dense index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        PoiId(raw)
+    }
+
+    /// Returns the raw dense index as a `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for PoiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for PoiId {
+    fn from(raw: u32) -> Self {
+        PoiId(raw)
+    }
+}
+
+/// A point in time, stored as seconds since the Unix epoch.
+///
+/// The trace datasets span a couple of years; `i64` seconds are more than
+/// enough and keep arithmetic exact.
+///
+/// ```
+/// use seeker_trace::Timestamp;
+/// let t = Timestamp::from_days(7.0);
+/// assert_eq!(t.as_secs(), 7 * 86_400);
+/// assert!((t.as_days() - 7.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// Number of seconds in a day.
+    pub const SECS_PER_DAY: i64 = 86_400;
+
+    /// Creates a timestamp from seconds since the Unix epoch.
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Creates a timestamp from fractional days since the Unix epoch.
+    #[inline]
+    pub fn from_days(days: f64) -> Self {
+        Timestamp((days * Self::SECS_PER_DAY as f64).round() as i64)
+    }
+
+    /// Returns the timestamp as seconds since the Unix epoch.
+    #[inline]
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the timestamp as fractional days since the Unix epoch.
+    #[inline]
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / Self::SECS_PER_DAY as f64
+    }
+
+    /// Saturating difference `self - other` in seconds.
+    #[inline]
+    pub const fn delta_secs(self, other: Timestamp) -> i64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+/// A geographic point in degrees.
+///
+/// Latitude is in `[-90, 90]`, longitude in `[-180, 180]`. The synthetic
+/// generator stays well inside those ranges so planar approximations hold.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GeoPoint {
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Mean Earth radius in meters (IUGG).
+    pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+    /// Creates a new geographic point.
+    ///
+    /// ```
+    /// use seeker_trace::GeoPoint;
+    /// let p = GeoPoint::new(31.23, 121.47);
+    /// assert_eq!(p.lat, 31.23);
+    /// ```
+    #[inline]
+    pub const fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle (haversine) distance to `other`, in meters.
+    ///
+    /// ```
+    /// use seeker_trace::GeoPoint;
+    /// let a = GeoPoint::new(0.0, 0.0);
+    /// let b = GeoPoint::new(0.0, 1.0);
+    /// let d = a.haversine_m(b);
+    /// // one degree of longitude at the equator is ~111.2 km
+    /// assert!((d - 111_195.0).abs() < 100.0);
+    /// ```
+    pub fn haversine_m(self, other: GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * Self::EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Fast planar (equirectangular) distance to `other`, in meters.
+    ///
+    /// Accurate for the small regional extents used by the trace generator;
+    /// used in hot loops where haversine would be wasteful.
+    pub fn planar_m(self, other: GeoPoint) -> f64 {
+        let mean_lat = ((self.lat + other.lat) / 2.0).to_radians();
+        let dx = (other.lon - self.lon).to_radians() * mean_lat.cos();
+        let dy = (other.lat - self.lat).to_radians();
+        Self::EARTH_RADIUS_M * (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// A point of interest (Definition 1): a place with a center and a radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poi {
+    /// Dense id of this POI.
+    pub id: PoiId,
+    /// Geographic center of the POI.
+    pub center: GeoPoint,
+    /// Geographic coverage radius, in meters.
+    pub radius_m: f64,
+}
+
+impl Poi {
+    /// Creates a POI with the given id, center and radius.
+    pub const fn new(id: PoiId, center: GeoPoint, radius_m: f64) -> Self {
+        Poi { id, center, radius_m }
+    }
+}
+
+/// A check-in (Definition 2): user `user` visited POI `poi` at time `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CheckIn {
+    /// The user who checked in.
+    pub user: UserId,
+    /// The POI visited.
+    pub poi: PoiId,
+    /// When the visit was reported.
+    pub time: Timestamp,
+}
+
+impl CheckIn {
+    /// Creates a check-in triple.
+    ///
+    /// ```
+    /// use seeker_trace::{CheckIn, PoiId, Timestamp, UserId};
+    /// let c = CheckIn::new(UserId::new(1), PoiId::new(2), Timestamp::from_secs(30));
+    /// assert_eq!(c.user.index(), 1);
+    /// ```
+    pub const fn new(user: UserId, poi: PoiId, time: Timestamp) -> Self {
+        CheckIn { user, poi, time }
+    }
+}
+
+/// An unordered user pair, stored in canonical `(min, max)` order.
+///
+/// Friendship is symmetric (Definition 5), so pairs are canonicalized on
+/// construction, which makes them usable as hash/set keys.
+///
+/// ```
+/// use seeker_trace::{UserId, UserPair};
+/// let p = UserPair::new(UserId::new(5), UserId::new(2));
+/// assert_eq!(p.lo().index(), 2);
+/// assert_eq!(p.hi().index(), 5);
+/// assert_eq!(p, UserPair::new(UserId::new(2), UserId::new(5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserPair {
+    lo: UserId,
+    hi: UserId,
+}
+
+impl UserPair {
+    /// Creates a canonical unordered pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`; self-pairs carry no friendship meaning.
+    #[inline]
+    pub fn new(a: UserId, b: UserId) -> Self {
+        assert!(a != b, "a user pair must consist of two distinct users");
+        if a < b {
+            UserPair { lo: a, hi: b }
+        } else {
+            UserPair { lo: b, hi: a }
+        }
+    }
+
+    /// The smaller user id of the pair.
+    #[inline]
+    pub const fn lo(self) -> UserId {
+        self.lo
+    }
+
+    /// The larger user id of the pair.
+    #[inline]
+    pub const fn hi(self) -> UserId {
+        self.hi
+    }
+
+    /// Returns the pair as a `(lo, hi)` tuple.
+    #[inline]
+    pub const fn as_tuple(self) -> (UserId, UserId) {
+        (self.lo, self.hi)
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not an endpoint of this pair.
+    #[inline]
+    pub fn other(self, u: UserId) -> UserId {
+        if u == self.lo {
+            self.hi
+        } else if u == self.hi {
+            self.lo
+        } else {
+            panic!("{u} is not an endpoint of {self:?}");
+        }
+    }
+
+    /// Whether `u` is one of the two endpoints.
+    #[inline]
+    pub fn contains(self, u: UserId) -> bool {
+        u == self.lo || u == self.hi
+    }
+}
+
+impl fmt::Display for UserPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_id_roundtrip() {
+        let u = UserId::new(42);
+        assert_eq!(u.index(), 42);
+        assert_eq!(u.raw(), 42);
+        assert_eq!(UserId::from(42u32), u);
+        assert_eq!(u.to_string(), "u42");
+    }
+
+    #[test]
+    fn poi_id_roundtrip() {
+        let p = PoiId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(PoiId::from(7u32), p);
+        assert_eq!(p.to_string(), "p7");
+    }
+
+    #[test]
+    fn timestamp_day_conversion() {
+        let t = Timestamp::from_days(1.5);
+        assert_eq!(t.as_secs(), 129_600);
+        assert!((t.as_days() - 1.5).abs() < 1e-12);
+        assert_eq!(Timestamp::from_secs(100).delta_secs(Timestamp::from_secs(40)), 60);
+    }
+
+    #[test]
+    fn timestamp_ordering() {
+        assert!(Timestamp::from_secs(1) < Timestamp::from_secs(2));
+        assert_eq!(Timestamp::default(), Timestamp::from_secs(0));
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Shanghai to Beijing is roughly 1,067 km.
+        let sh = GeoPoint::new(31.2304, 121.4737);
+        let bj = GeoPoint::new(39.9042, 116.4074);
+        let d = sh.haversine_m(bj);
+        assert!((d - 1_067_000.0).abs() < 10_000.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let p = GeoPoint::new(12.5, -7.25);
+        assert_eq!(p.haversine_m(p), 0.0);
+    }
+
+    #[test]
+    fn planar_matches_haversine_at_small_scale() {
+        let a = GeoPoint::new(31.0, 121.0);
+        let b = GeoPoint::new(31.01, 121.01);
+        let h = a.haversine_m(b);
+        let p = a.planar_m(b);
+        assert!((h - p).abs() / h < 1e-3, "haversine {h} vs planar {p}");
+    }
+
+    #[test]
+    fn pair_canonicalization() {
+        let p = UserPair::new(UserId::new(9), UserId::new(3));
+        assert_eq!(p.lo().index(), 3);
+        assert_eq!(p.hi().index(), 9);
+        assert_eq!(p.as_tuple(), (UserId::new(3), UserId::new(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn pair_rejects_self_pair() {
+        let _ = UserPair::new(UserId::new(1), UserId::new(1));
+    }
+
+    #[test]
+    fn pair_other_endpoint() {
+        let p = UserPair::new(UserId::new(1), UserId::new(2));
+        assert_eq!(p.other(UserId::new(1)), UserId::new(2));
+        assert_eq!(p.other(UserId::new(2)), UserId::new(1));
+        assert!(p.contains(UserId::new(1)));
+        assert!(!p.contains(UserId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn pair_other_panics_for_non_member() {
+        let p = UserPair::new(UserId::new(1), UserId::new(2));
+        let _ = p.other(UserId::new(3));
+    }
+}

@@ -1,0 +1,86 @@
+//! Hidden / cyber friends: the scenario motivating FriendSeeker's second
+//! phase. Cyber friends never co-locate — knowledge-based attacks cannot see
+//! them at all; FriendSeeker recovers them from the social structure of the
+//! graph it inferred in phase 1.
+//!
+//! ```sh
+//! cargo run --release --example cyber_friends
+//! ```
+
+use friendseeker::{pairs, FriendSeeker, FriendSeekerConfig};
+use seeker_ml::train_test_split;
+use seeker_trace::synth::{generate, SyntheticConfig};
+use seeker_trace::{UserId, UserPair};
+use std::collections::BTreeSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = generate(&SyntheticConfig::synth_brightkite(11))?;
+    let full = trace.dataset.clone();
+    println!(
+        "world: {} friendships, of which {} are cyber (never co-locate)",
+        full.n_links(),
+        trace.cyber_edges.len()
+    );
+
+    let (train_idx, target_idx) = train_test_split(full.n_users(), 0.3, 5);
+    let to_users = |idx: &[usize]| idx.iter().map(|&i| UserId::new(i as u32)).collect::<Vec<_>>();
+    let target_users = to_users(&target_idx);
+    let train = full.induced_subset(&to_users(&train_idx), "train")?;
+    let target = full.induced_subset(&target_users, "target")?;
+
+    // Remap the generator's cyber edges into the target's id space.
+    let mut remap = std::collections::BTreeMap::new();
+    for (new, &old) in target_users.iter().enumerate() {
+        remap.insert(old, UserId::new(new as u32));
+    }
+    let cyber: BTreeSet<UserPair> = trace
+        .cyber_edges
+        .iter()
+        .filter_map(|p| Some(UserPair::new(*remap.get(&p.lo())?, *remap.get(&p.hi())?)))
+        .collect();
+    println!("{} cyber friendships fall inside the target population", cyber.len());
+
+    let cfg = FriendSeekerConfig { sigma: 150, epochs: 15, ..FriendSeekerConfig::default() };
+    let trained = FriendSeeker::new(cfg).train(&train)?;
+    let lp = pairs::labeled_pairs(&target, 1.0, 3);
+    let result = trained.infer_pairs(&target, lp.pairs.clone());
+
+    // How many friendships with ZERO co-locations does the attack recover —
+    // split into phase-1 output (G0) and the final refined graph.
+    let g0 = &result.trace.graphs[0];
+    let g_final = result.final_graph();
+    let mut zero_colo = 0usize;
+    let mut zero_colo_hit0 = 0usize;
+    let mut zero_colo_hit = 0usize;
+    let mut cyber_in_eval = 0usize;
+    let mut cyber_hit = 0usize;
+    for (&pair, &label) in lp.pairs.iter().zip(lp.labels.iter()) {
+        if !label {
+            continue;
+        }
+        if target.colocation_count(pair.lo(), pair.hi()) == 0 {
+            zero_colo += 1;
+            zero_colo_hit0 += usize::from(g0.has_edge(pair));
+            zero_colo_hit += usize::from(g_final.has_edge(pair));
+        }
+        if cyber.contains(&pair) {
+            cyber_in_eval += 1;
+            cyber_hit += usize::from(g_final.has_edge(pair));
+        }
+    }
+    println!("\nfriends sharing no common location: {zero_colo}");
+    println!(
+        "  recovered by phase 1 alone:     {zero_colo_hit0} ({:.1}%)",
+        100.0 * zero_colo_hit0 as f64 / zero_colo.max(1) as f64
+    );
+    println!(
+        "  recovered after refinement:     {zero_colo_hit} ({:.1}%)",
+        100.0 * zero_colo_hit as f64 / zero_colo.max(1) as f64
+    );
+    println!(
+        "cyber friendships recovered:      {cyber_hit}/{cyber_in_eval} ({:.1}%)",
+        100.0 * cyber_hit as f64 / cyber_in_eval.max(1) as f64
+    );
+    println!("\noverall F1 on the target: {:.3}", result.evaluate(&target).f1());
+    Ok(())
+}

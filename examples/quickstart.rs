@@ -1,0 +1,60 @@
+//! Quickstart: generate a synthetic mobile-social-network trace, train the
+//! FriendSeeker attack on 70 % of the users, and unveil friendships among
+//! the held-out 30 %.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use friendseeker::{pairs, FriendSeeker, FriendSeekerConfig};
+use seeker_ml::train_test_split;
+use seeker_trace::synth::{generate, SyntheticConfig};
+use seeker_trace::UserId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic check-in world (the library also loads real SNAP dumps;
+    //    see the `real_snap_data` example).
+    let trace = generate(&SyntheticConfig::synth_gowalla(7))?;
+    let full = trace.dataset;
+    println!(
+        "generated {}: {} users, {} POIs, {} check-ins, {} friendships",
+        full.name(),
+        full.n_users(),
+        full.n_pois(),
+        full.n_checkins(),
+        full.n_links()
+    );
+
+    // 2. Split users 70/30 into the attacker's labeled data and the target.
+    let (train_idx, target_idx) = train_test_split(full.n_users(), 0.3, 1);
+    let to_users = |idx: &[usize]| idx.iter().map(|&i| UserId::new(i as u32)).collect::<Vec<_>>();
+    let train = full.induced_subset(&to_users(&train_idx), "train")?;
+    let target = full.induced_subset(&to_users(&target_idx), "target")?;
+
+    // 3. Train the two-phase attack.
+    let cfg = FriendSeekerConfig { sigma: 150, epochs: 15, ..FriendSeekerConfig::default() };
+    println!("training FriendSeeker (sigma={}, tau={}d, d={}) ...", cfg.sigma, cfg.tau_days, cfg.feature_dim);
+    let trained = FriendSeeker::new(cfg).train(&train)?;
+
+    // 4. Attack the target over a balanced candidate sample and evaluate
+    //    against the ground truth the attacker never saw.
+    let lp = pairs::labeled_pairs(&target, 1.0, 99);
+    let result = trained.infer_pairs(&target, lp.pairs);
+    let m = result.evaluate(&target);
+    println!(
+        "converged after {} refinement iterations",
+        result.trace.n_iterations()
+    );
+    println!(
+        "target-side results: F1 = {:.3}, precision = {:.3}, recall = {:.3}",
+        m.f1(),
+        m.precision(),
+        m.recall()
+    );
+    println!(
+        "final social graph: {} predicted friendships over {} users",
+        result.final_graph().n_edges(),
+        target.n_users()
+    );
+    Ok(())
+}

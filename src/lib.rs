@@ -1,0 +1,27 @@
+//! # friendseeker-repro
+//!
+//! Workspace umbrella for the FriendSeeker (ICDCS 2023) reproduction. The
+//! functionality lives in the member crates:
+//!
+//! - [`seeker_trace`] — check-in data model, SNAP loader, synthetic traces
+//! - [`seeker_spatial`] — quadtree STD and joint occurrence cuboids
+//! - [`seeker_graph`] — social graphs and k-hop reachable subgraphs
+//! - [`seeker_nn`] — supervised autoencoder and embedding substrate
+//! - [`seeker_ml`] — KNN / SVM / metrics substrate
+//! - [`friendseeker`] — the two-phase attack itself
+//! - [`seeker_baselines`] — the four comparison attacks
+//! - [`seeker_obfuscation`] — hiding / blurring countermeasures
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); see the README for a tour.
+
+#![forbid(unsafe_code)]
+
+pub use friendseeker;
+pub use seeker_baselines;
+pub use seeker_graph;
+pub use seeker_ml;
+pub use seeker_nn;
+pub use seeker_obfuscation;
+pub use seeker_spatial;
+pub use seeker_trace;

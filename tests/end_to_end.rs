@@ -1,0 +1,105 @@
+//! End-to-end integration tests across all workspace crates: generate →
+//! split → train → infer → evaluate, exactly as the experiment harness does.
+
+use friendseeker::{pairs, FriendSeeker, FriendSeekerConfig, InferenceResult};
+use seeker_ml::train_test_split;
+use seeker_trace::synth::{generate, SyntheticConfig};
+use seeker_trace::{Dataset, UserId};
+use std::sync::OnceLock;
+
+struct Fixture {
+    train: Dataset,
+    target: Dataset,
+    result: InferenceResult,
+}
+
+/// A mid-size world: big enough that the 30 % target split carries a
+/// statistically stable pair sample, small enough for CI.
+fn midsize_config(seed: u64) -> SyntheticConfig {
+    let mut cfg = SyntheticConfig::small(seed);
+    cfg.n_users = 140;
+    cfg.n_pois = 600;
+    cfg.n_communities = 6;
+    cfg
+}
+
+fn fixture() -> &'static Fixture {
+    static CELL: OnceLock<Fixture> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let full = generate(&midsize_config(201)).unwrap().dataset;
+        let (train_idx, target_idx) = train_test_split(full.n_users(), 0.3, 11);
+        let to_users =
+            |idx: &[usize]| idx.iter().map(|&i| UserId::new(i as u32)).collect::<Vec<_>>();
+        let train = full.induced_subset(&to_users(&train_idx), "train").unwrap();
+        let target = full.induced_subset(&to_users(&target_idx), "target").unwrap();
+        let trained = FriendSeeker::new(FriendSeekerConfig::fast()).train(&train).unwrap();
+        let lp = pairs::labeled_pairs(&target, 1.0, 5);
+        let result = trained.infer_pairs(&target, lp.pairs);
+        Fixture { train, target, result }
+    })
+}
+
+#[test]
+fn attack_transfers_to_disjoint_users() {
+    let f = fixture();
+    let m = f.result.evaluate(&f.target);
+    assert!(m.f1() > 0.55, "cross-population F1 {}", m.f1());
+    assert!(m.precision() > 0.5);
+    assert!(m.recall() > 0.4);
+}
+
+#[test]
+fn train_and_target_share_no_users_by_construction() {
+    let f = fixture();
+    // Disjointness is structural (induced subsets of a partition); verify
+    // sizes add up to the source world.
+    assert_eq!(f.train.n_users() + f.target.n_users(), 140);
+}
+
+#[test]
+fn refinement_never_leaves_the_candidate_universe() {
+    let f = fixture();
+    let universe: std::collections::BTreeSet<_> = f.result.pairs.iter().copied().collect();
+    for g in &f.result.trace.graphs {
+        for e in g.edges() {
+            assert!(universe.contains(&e), "edge {e} outside candidate pairs");
+        }
+    }
+}
+
+#[test]
+fn iteration_graphs_converge() {
+    let f = fixture();
+    let ratios = &f.result.trace.change_ratios;
+    assert!(!ratios.is_empty());
+    if f.result.trace.converged {
+        assert!(*ratios.last().unwrap() < FriendSeekerConfig::fast().convergence_threshold);
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let full = generate(&SyntheticConfig::small(202)).unwrap().dataset;
+    let (train_idx, target_idx) = train_test_split(full.n_users(), 0.3, 1);
+    let to_users = |idx: &[usize]| idx.iter().map(|&i| UserId::new(i as u32)).collect::<Vec<_>>();
+    let train = full.induced_subset(&to_users(&train_idx), "train").unwrap();
+    let target = full.induced_subset(&to_users(&target_idx), "target").unwrap();
+    let run = |seed: u64| {
+        let mut cfg = FriendSeekerConfig::fast();
+        cfg.seed = seed;
+        let trained = FriendSeeker::new(cfg).train(&train).unwrap();
+        let lp = pairs::labeled_pairs(&target, 1.0, 5);
+        let r = trained.infer_pairs(&target, lp.pairs);
+        r.predictions()
+    };
+    assert_eq!(run(42), run(42), "same seed, same predictions");
+}
+
+#[test]
+fn final_graph_is_a_valid_social_graph() {
+    let f = fixture();
+    let g = f.result.final_graph();
+    assert_eq!(g.n_vertices(), f.target.n_users());
+    let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+    assert_eq!(degree_sum, 2 * g.n_edges());
+}

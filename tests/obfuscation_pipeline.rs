@@ -1,0 +1,64 @@
+//! Integration of the obfuscation countermeasures with the full attack:
+//! perturbed data must still flow through STD / JOC / training, and stronger
+//! perturbation must not *improve* the attack.
+
+use friendseeker::{pairs, FriendSeeker, FriendSeekerConfig};
+use seeker_ml::train_test_split;
+use seeker_obfuscation::{blur_checkins, hide_checkins, BlurMode};
+use seeker_trace::synth::{generate, SyntheticConfig};
+use seeker_trace::{Dataset, UserId};
+
+fn split(full: &Dataset) -> (Dataset, Dataset) {
+    let (train_idx, target_idx) = train_test_split(full.n_users(), 0.3, 3);
+    let to_users = |idx: &[usize]| idx.iter().map(|&i| UserId::new(i as u32)).collect::<Vec<_>>();
+    (
+        full.induced_subset(&to_users(&train_idx), "train").unwrap(),
+        full.induced_subset(&to_users(&target_idx), "target").unwrap(),
+    )
+}
+
+fn attack_f1(train: &Dataset, target: &Dataset) -> f64 {
+    let trained = FriendSeeker::new(FriendSeekerConfig::fast()).train(train).unwrap();
+    let lp = pairs::labeled_pairs(target, 1.0, 5);
+    trained.infer_pairs(target, lp.pairs).evaluate(target).f1()
+}
+
+#[test]
+fn attack_survives_hiding() {
+    let full = generate(&SyntheticConfig::small(301)).unwrap().dataset;
+    let (train, target) = split(&full);
+    let h_train = hide_checkins(&train, 0.3, 1).unwrap();
+    let h_target = hide_checkins(&target, 0.3, 2).unwrap();
+    let f1 = attack_f1(&h_train, &h_target);
+    assert!(f1 > 0.45, "attack should survive 30% hiding, got F1 {f1}");
+}
+
+#[test]
+fn attack_survives_blurring() {
+    let full = generate(&SyntheticConfig::small(302)).unwrap().dataset;
+    let (train, target) = split(&full);
+    for mode in [BlurMode::InGrid, BlurMode::CrossGrid] {
+        let b_train = blur_checkins(&train, 0.3, mode, 60, 1).unwrap();
+        let b_target = blur_checkins(&target, 0.3, mode, 60, 2).unwrap();
+        let f1 = attack_f1(&b_train, &b_target);
+        assert!(f1 > 0.4, "attack should survive 30% {mode:?} blurring, got F1 {f1}");
+    }
+}
+
+#[test]
+fn obfuscated_datasets_remain_structurally_valid() {
+    let full = generate(&SyntheticConfig::small(303)).unwrap().dataset;
+    let hidden = hide_checkins(&full, 0.5, 9).unwrap();
+    assert_eq!(hidden.n_users(), full.n_users());
+    assert_eq!(hidden.n_links(), full.n_links());
+    for u in hidden.users() {
+        let traj = hidden.trajectory(u);
+        assert!(traj.windows(2).all(|w| w[0].time <= w[1].time), "trajectory unsorted");
+        assert!(traj.iter().all(|c| c.poi.index() < hidden.n_pois()));
+    }
+    let blurred = blur_checkins(&full, 0.5, BlurMode::CrossGrid, 60, 9).unwrap();
+    assert_eq!(blurred.n_checkins(), full.n_checkins());
+    for c in blurred.checkins() {
+        assert!(c.poi.index() < blurred.n_pois());
+    }
+}
