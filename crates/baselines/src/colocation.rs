@@ -138,6 +138,7 @@ impl FriendshipInference for ColocationBaseline {
             .iter()
             .map(|&p| {
                 let f = ctx.features(target, p);
+                // lint:allow(float-eq) -- exact-zero sentinel: feature untouched since init
                 if f[0] == 0.0 {
                     // No co-location: a knowledge-based method has nothing
                     // to reason from.
@@ -156,6 +157,7 @@ impl FriendshipInference for ColocationBaseline {
             .iter()
             .map(|&p| {
                 let mut row = ctx.features(target, p);
+                // lint:allow(float-eq) -- exact-zero sentinel: feature untouched since init
                 if row[0] == 0.0 {
                     return 0.0;
                 }
@@ -190,9 +192,8 @@ mod tests {
         let visited = ds.all_visited_pois();
         let preds = model.predict(&ds, &pairs);
         for (&pair, &pred) in pairs.iter().zip(preds.iter()) {
-            let shared = visited[pair.lo().index()]
-                .intersection(&visited[pair.hi().index()])
-                .count();
+            let shared =
+                visited[pair.lo().index()].intersection(&visited[pair.hi().index()]).count();
             if shared == 0 {
                 assert!(!pred, "predicted friendship without any co-location");
             }

@@ -58,7 +58,11 @@ pub fn best_f1_threshold(scores: &[f64], labels: &[bool]) -> (f64, f64) {
         }
         let fp = k - tp;
         let fn_ = total_pos - tp;
-        let f1 = if tp == 0 { 0.0 } else { 2.0 * tp as f64 / (2.0 * tp as f64 + fp as f64 + fn_ as f64) };
+        let f1 = if tp == 0 {
+            0.0
+        } else {
+            2.0 * tp as f64 / (2.0 * tp as f64 + fp as f64 + fn_ as f64)
+        };
         if f1 > best.1 {
             best = (score, f1);
         }

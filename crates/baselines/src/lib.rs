@@ -19,18 +19,25 @@
 //! them uniformly.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod colocation;
+/// Shared scoring/threshold plumbing used by every baseline.
 pub mod common;
 mod distance;
 mod pgt;
 mod user_graph;
 mod walk2friends;
 
+/// Co-location counting baseline (§V-B of the paper).
 pub use colocation::{ColocationBaseline, ColocationConfig};
+/// The trait every baseline attack implements.
 pub use common::FriendshipInference;
+/// Home/center distance baseline.
 pub use distance::{user_center, DistanceBaseline, DistanceConfig};
+/// PGT-style personal/global/temporal meeting-event baseline.
 pub use pgt::{PgtBaseline, PgtConfig};
+/// Meeting-graph embedding baseline.
 pub use user_graph::{meeting_graph, UserGraphConfig, UserGraphEmbedding};
+/// walk2friends random-walk mobility embedding baseline.
 pub use walk2friends::{Walk2Friends, Walk2FriendsConfig};

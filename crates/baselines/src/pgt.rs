@@ -93,10 +93,8 @@ impl Context {
                     if ui == uj {
                         continue;
                     }
-                    let pair = UserPair::new(
-                        seeker_trace::UserId::new(ui),
-                        seeker_trace::UserId::new(uj),
-                    );
+                    let pair =
+                        UserPair::new(seeker_trace::UserId::new(ui), seeker_trace::UserId::new(uj));
                     meetings.entry(pair).or_default().push(Meeting { time: ti.min(tj), poi });
                 }
             }

@@ -35,7 +35,14 @@ impl Default for UserGraphConfig {
             meeting_window_secs: 6 * 3_600,
             walks_per_user: 10,
             walk_length: 12,
-            skipgram: SkipGramConfig { dim: 64, window: 3, negatives: 5, epochs: 2, lr: 0.025, seed: 42 },
+            skipgram: SkipGramConfig {
+                dim: 64,
+                window: 3,
+                negatives: 5,
+                epochs: 2,
+                lr: 0.025,
+                seed: 42,
+            },
             negative_ratio: 1.0,
             seed: 42,
         }
@@ -87,7 +94,7 @@ pub fn meeting_graph(cfg: &UserGraphConfig, ds: &Dataset) -> Vec<Vec<(u32, f32)>
 }
 
 /// Embeds users by weighted random walks over the meeting graph.
-pub fn user_embeddings(cfg: &UserGraphConfig, ds: &Dataset) -> Vec<Vec<f32>> {
+pub(crate) fn user_embeddings(cfg: &UserGraphConfig, ds: &Dataset) -> Vec<Vec<f32>> {
     let adj = meeting_graph(cfg, ds);
     let n = ds.n_users();
     let mut rng = StdRng::seed_from_u64(cfg.seed);

@@ -31,7 +31,14 @@ impl Default for Walk2FriendsConfig {
         Walk2FriendsConfig {
             walks_per_user: 10,
             walk_length: 20,
-            skipgram: SkipGramConfig { dim: 64, window: 3, negatives: 5, epochs: 2, lr: 0.025, seed: 42 },
+            skipgram: SkipGramConfig {
+                dim: 64,
+                window: 3,
+                negatives: 5,
+                epochs: 2,
+                lr: 0.025,
+                seed: 42,
+            },
             negative_ratio: 1.0,
             seed: 42,
         }
@@ -48,14 +55,12 @@ pub struct Walk2Friends {
 /// Computes user embeddings on a dataset by bipartite random walks.
 ///
 /// Node index space: users `0..U`, then one index per *visited* POI.
-pub fn user_embeddings(cfg: &Walk2FriendsConfig, ds: &Dataset) -> Vec<Vec<f32>> {
+pub(crate) fn user_embeddings(cfg: &Walk2FriendsConfig, ds: &Dataset) -> Vec<Vec<f32>> {
     let n_users = ds.n_users();
     // user -> visited pois (with multiplicity = visit counts for natural
     // walk bias toward frequent places).
-    let user_pois: Vec<Vec<PoiId>> = ds
-        .users()
-        .map(|u| ds.trajectory(u).iter().map(|c| c.poi).collect())
-        .collect();
+    let user_pois: Vec<Vec<PoiId>> =
+        ds.users().map(|u| ds.trajectory(u).iter().map(|c| c.poi).collect()).collect();
     let mut poi_index: BTreeMap<PoiId, usize> = BTreeMap::new();
     let mut poi_users: Vec<Vec<u32>> = Vec::new();
     for (u, pois) in user_pois.iter().enumerate() {

@@ -19,9 +19,7 @@ fn dataset() -> Dataset {
 
 fn bench_quadtree(c: &mut Criterion) {
     let ds = dataset();
-    c.bench_function("quadtree_build_sigma20", |b| {
-        b.iter(|| Quadtree::build(ds.pois(), 20))
-    });
+    c.bench_function("quadtree_build_sigma20", |b| b.iter(|| Quadtree::build(ds.pois(), 20)));
 }
 
 fn bench_joc(c: &mut Criterion) {
@@ -83,13 +81,10 @@ fn bench_svm(c: &mut Criterion) {
 }
 
 fn bench_skipgram(c: &mut Criterion) {
-    let walks: Vec<Vec<usize>> = (0..100)
-        .map(|i| (0..20).map(|j| (i * 7 + j * 3) % 50).collect())
-        .collect();
+    let walks: Vec<Vec<usize>> =
+        (0..100).map(|i| (0..20).map(|j| (i * 7 + j * 3) % 50).collect()).collect();
     let cfg = SkipGramConfig { dim: 32, epochs: 1, ..Default::default() };
-    c.bench_function("skipgram_epoch_100walks", |b| {
-        b.iter(|| train_skipgram(&walks, 50, &cfg))
-    });
+    c.bench_function("skipgram_epoch_100walks", |b| b.iter(|| train_skipgram(&walks, 50, &cfg)));
 }
 
 criterion_group! {

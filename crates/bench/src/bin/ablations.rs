@@ -1,4 +1,6 @@
 //! Runs the ablation suite (design-choice studies from DESIGN.md §6).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     use seeker_bench::experiments::ablations as ab;

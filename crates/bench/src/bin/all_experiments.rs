@@ -1,4 +1,6 @@
 //! Runs every experiment of DESIGN.md §4 in order, timing each.
+
+#![deny(missing_docs, dead_code)]
 use std::time::Instant;
 
 fn main() {

@@ -1,4 +1,6 @@
 //! Standalone classifier-C ablation (MLP head vs KNN vs random forest).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit(

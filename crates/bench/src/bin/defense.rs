@@ -1,5 +1,10 @@
 //! Extension: targeted vs random hiding defense (the paper's future work).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
-    seeker_bench::report::emit("defense", &seeker_bench::experiments::defense::defense_comparison(seed));
+    seeker_bench::report::emit(
+        "defense",
+        &seeker_bench::experiments::defense::defense_comparison(seed),
+    );
 }

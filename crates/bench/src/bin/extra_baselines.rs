@@ -1,5 +1,10 @@
 //! Extension: PGT (the paper's reference [5]) as a fifth comparison method.
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
-    seeker_bench::report::emit("extra_baselines", &seeker_bench::experiments::extra::pgt_comparison(seed));
+    seeker_bench::report::emit(
+        "extra_baselines",
+        &seeker_bench::experiments::extra::pgt_comparison(seed),
+    );
 }

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 1 (co-location / common-friend CDFs).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("fig1", &seeker_bench::experiments::fig1::fig1(seed));

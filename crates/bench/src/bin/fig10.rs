@@ -1,4 +1,6 @@
 //! Regenerates Fig. 10 (performance vs refinement iterations).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("fig10", &seeker_bench::experiments::sweeps::fig10(seed));

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 11 (FriendSeeker vs baselines).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("fig11", &seeker_bench::experiments::comparison::fig11(seed));

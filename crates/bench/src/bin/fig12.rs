@@ -1,4 +1,6 @@
 //! Regenerates Fig. 12 (F1 vs number of co-locations) + hidden-friend recall.
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("fig12", &seeker_bench::experiments::comparison::fig12(seed));

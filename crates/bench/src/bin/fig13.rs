@@ -1,4 +1,6 @@
 //! Regenerates Fig. 13 (F1 vs pair check-in volume) + sparse-friend recall.
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("fig13", &seeker_bench::experiments::comparison::fig13(seed));

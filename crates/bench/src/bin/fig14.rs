@@ -1,4 +1,6 @@
 //! Regenerates Fig. 14 (F1 vs hiding ratio).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("fig14", &seeker_bench::experiments::obfuscation::fig14(seed));

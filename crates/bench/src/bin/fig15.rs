@@ -1,4 +1,6 @@
 //! Regenerates Fig. 15 (F1 vs in-grid blurring ratio).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("fig15", &seeker_bench::experiments::obfuscation::fig15(seed));

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 16 (F1 vs cross-grid blurring ratio).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("fig16", &seeker_bench::experiments::obfuscation::fig16(seed));

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 5 (length-k path count separation).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("fig5", &seeker_bench::experiments::fig5::fig5(seed));

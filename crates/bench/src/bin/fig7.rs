@@ -1,4 +1,6 @@
 //! Regenerates Fig. 7 (performance vs sigma).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("fig7", &seeker_bench::experiments::sweeps::fig7(seed));

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 8 (performance vs tau).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("fig8", &seeker_bench::experiments::sweeps::fig8(seed));

@@ -1,4 +1,6 @@
 //! Regenerates Fig. 9 (performance vs feature dimension d).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("fig9", &seeker_bench::experiments::sweeps::fig9(seed));

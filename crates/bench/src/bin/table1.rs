@@ -1,4 +1,6 @@
 //! Regenerates Table I (dataset statistics).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("table1", &seeker_bench::experiments::tables::table1(seed));

@@ -1,4 +1,6 @@
 //! Regenerates Table II (co-location x co-friend contingency).
+
+#![deny(missing_docs, dead_code)]
 fn main() {
     let seed = seeker_bench::seed_from_env();
     seeker_bench::report::emit("table2", &seeker_bench::experiments::tables::table2(seed));

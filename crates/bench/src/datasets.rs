@@ -59,14 +59,14 @@ pub struct World {
 
 /// Generates and splits a world. Deterministic in `seed`.
 pub fn world(preset: Preset, seed: u64) -> World {
-    let synth = generate(&preset.config(seed)).expect("preset configs are valid");
+    let synth = generate(&preset.config(seed)).expect("preset configs are valid"); // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
     let full = synth.dataset.clone();
     let (train_idx, target_idx) = train_test_split(full.n_users(), 0.3, seed ^ 0x7e57);
     let train_users: Vec<UserId> = train_idx.iter().map(|&i| UserId::new(i as u32)).collect();
     let target_users: Vec<UserId> = target_idx.iter().map(|&i| UserId::new(i as u32)).collect();
-    let train = full.induced_subset(&train_users, "train").expect("valid split");
-    let target = full.induced_subset(&target_users, "target").expect("valid split");
-    // Remap cyber edges into the target's dense id space.
+    let train = full.induced_subset(&train_users, "train").expect("valid split"); // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
+    let target = full.induced_subset(&target_users, "target").expect("valid split"); // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
+                                                                                     // Remap cyber edges into the target's dense id space.
     let mut remap = std::collections::BTreeMap::new();
     for (new, &old) in target_users.iter().enumerate() {
         remap.insert(old, UserId::new(new as u32));

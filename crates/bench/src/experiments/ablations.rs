@@ -22,16 +22,26 @@ use crate::report::{fmt3, Table};
 /// Ablation 1: α = 0 (plain autoencoder) vs α = 1 (supervised, the paper's
 /// default).
 pub fn alpha_ablation(seed: u64) -> Vec<Table> {
-    config_ablation(seed, "Ablation: supervised vs plain autoencoder", &["alpha=0 (plain)", "alpha=1 (supervised)"], |cfg, i| {
-        cfg.alpha = if i == 0 { 0.0 } else { 1.0 };
-    })
+    config_ablation(
+        seed,
+        "Ablation: supervised vs plain autoencoder",
+        &["alpha=0 (plain)", "alpha=1 (supervised)"],
+        |cfg, i| {
+            cfg.alpha = if i == 0 { 0.0 } else { 1.0 };
+        },
+    )
 }
 
 /// Ablation 2: the k of the k-hop reachable subgraph (paper argues k = 3).
 pub fn k_hop_ablation(seed: u64) -> Vec<Table> {
-    config_ablation(seed, "Ablation: k of the k-hop reachable subgraph", &["k=2", "k=3", "k=4", "k=5"], |cfg, i| {
-        cfg.k_hop = i + 2;
-    })
+    config_ablation(
+        seed,
+        "Ablation: k of the k-hop reachable subgraph",
+        &["k=2", "k=3", "k=4", "k=5"],
+        |cfg, i| {
+            cfg.k_hop = i + 2;
+        },
+    )
 }
 
 /// Ablation 3: classifier `C` — jointly-trained MLP head vs KNN.
@@ -53,14 +63,19 @@ pub fn classifier_ablation(seed: u64) -> Vec<Table> {
 /// Ablation 4: optimizer — the paper's plain SGD at β = 0.005 vs Adam at the
 /// same rate and epoch budget.
 pub fn optimizer_ablation(seed: u64) -> Vec<Table> {
-    config_ablation(seed, "Ablation: optimizer (equal epochs)", &["SGD (paper)", "Adam"], |cfg, i| {
-        cfg.optimizer = if i == 0 {
-            Optimizer::Sgd { lr: 0.005 }
-        } else {
-            Optimizer::Adam { lr: 0.005, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
-        };
-        cfg.epochs = 30;
-    })
+    config_ablation(
+        seed,
+        "Ablation: optimizer (equal epochs)",
+        &["SGD (paper)", "Adam"],
+        |cfg, i| {
+            cfg.optimizer = if i == 0 {
+                Optimizer::Sgd { lr: 0.005 }
+            } else {
+                Optimizer::Adam { lr: 0.005, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+            };
+            cfg.epochs = 30;
+        },
+    )
 }
 
 /// Ablation: adaptive quadtree STD vs uniform grids of comparable cell
@@ -136,7 +151,7 @@ pub fn feature_ablation(seed: u64) -> Vec<Table> {
     for preset in Preset::both() {
         let w = world(preset, seed);
         let cfg = default_config();
-        let p1 = train_phase1(&cfg, &w.train).expect("experiment training");
+        let p1 = train_phase1(&cfg, &w.train).expect("experiment training"); // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
         let variants: [(&str, FeatureSet, PathMode); 4] = [
             ("presence only (h)", FeatureSet::PresenceOnly, PathMode::Pruned),
             ("social only (s)", FeatureSet::SocialOnly, PathMode::Pruned),
@@ -168,7 +183,12 @@ pub fn feature_ablation(seed: u64) -> Vec<Table> {
             let target_x = assemble(&g0_target, &ep, &cfg, &target_store, set, mode);
             let preds = svm.predict(&scaler.transform(&target_x));
             let m = BinaryMetrics::from_predictions(&preds, &el);
-            t.push_row(vec![label.to_string(), fmt3(m.f1()), fmt3(m.precision()), fmt3(m.recall())]);
+            t.push_row(vec![
+                label.to_string(),
+                fmt3(m.f1()),
+                fmt3(m.precision()),
+                fmt3(m.recall()),
+            ]);
             eprintln!("  [features/{}] {label}: F1={:.3}", preset.name(), m.f1());
         }
         tables.push(t);
@@ -187,7 +207,7 @@ fn assemble(
     pairs
         .iter()
         .map(|&pair| {
-            let h = store.get(pair).expect("pair in store").to_vec();
+            let h = store.get(pair).expect("pair in store").to_vec(); // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
             let s = match mode {
                 PathMode::Pruned => {
                     let sub = KHopSubgraph::extract(graph, pair, cfg.k_hop);

@@ -37,14 +37,8 @@ fn push_metrics(t: &mut Table, name: &str, m: &BinaryMetrics) {
 }
 
 /// Buckets on the number of co-locations of a pair (Fig. 12 x-axis).
-const COLO_BUCKETS: [(usize, usize, &str); 6] = [
-    (0, 0, "0"),
-    (1, 1, "1"),
-    (2, 2, "2"),
-    (3, 3, "3"),
-    (4, 4, "4"),
-    (5, usize::MAX, ">=5"),
-];
+const COLO_BUCKETS: [(usize, usize, &str); 6] =
+    [(0, 0, "0"), (1, 1, "1"), (2, 2, "2"), (3, 3, "3"), (4, 4, "4"), (5, usize::MAX, ">=5")];
 
 /// Fig. 12: F1 vs the number of common locations, all methods.
 ///
@@ -55,10 +49,8 @@ pub fn fig12(seed: u64) -> Vec<Table> {
     for preset in Preset::both() {
         let w = world(preset, seed);
         let (pairs, labels) = eval_pairs(&w.target);
-        let colo: Vec<usize> = pairs
-            .iter()
-            .map(|p| w.target.colocation_count(p.lo(), p.hi()))
-            .collect();
+        let colo: Vec<usize> =
+            pairs.iter().map(|p| w.target.colocation_count(p.lo(), p.hi())).collect();
         let run = run_friendseeker(&default_config(), &w.train, &w.target);
         let seeker_preds = run.result.predictions();
         let methods = baseline_suite(&w.train);
@@ -70,12 +62,19 @@ pub fn fig12(seed: u64) -> Vec<Table> {
 
         let mut t = Table::new(
             format!("Fig. 12 ({}): F1 vs number of co-locations", preset.name()),
-            &["#co-locations", "n pairs", "FriendSeeker", "co-location", "distance", "walk2friends", "user-graph embedding"],
+            &[
+                "#co-locations",
+                "n pairs",
+                "FriendSeeker",
+                "co-location",
+                "distance",
+                "walk2friends",
+                "user-graph embedding",
+            ],
         );
         for &(lo, hi, label) in &COLO_BUCKETS {
-            let idx: Vec<usize> = (0..pairs.len())
-                .filter(|&i| colo[i] >= lo && colo[i] <= hi)
-                .collect();
+            let idx: Vec<usize> =
+                (0..pairs.len()).filter(|&i| colo[i] >= lo && colo[i] <= hi).collect();
             if idx.is_empty() {
                 continue;
             }
@@ -105,7 +104,10 @@ fn hidden_friend_claims(
     all_preds: &[(String, Vec<bool>)],
 ) -> Table {
     let mut t = Table::new(
-        format!("Hidden-friend recall ({}): friends with no co-location / cyber friends", w.preset.name()),
+        format!(
+            "Hidden-friend recall ({}): friends with no co-location / cyber friends",
+            w.preset.name()
+        ),
         &["method", "recall (friends, 0 co-locations)", "recall (cyber friends)"],
     );
     let no_colo_idx: Vec<usize> = (0..pairs.len())
@@ -154,7 +156,15 @@ pub fn fig13(seed: u64) -> Vec<Table> {
         }
         let mut t = Table::new(
             format!("Fig. 13 ({}): F1 vs number of check-ins of the pair", preset.name()),
-            &["#check-ins", "share of pairs", "FriendSeeker", "co-location", "distance", "walk2friends", "user-graph embedding"],
+            &[
+                "#check-ins",
+                "share of pairs",
+                "FriendSeeker",
+                "co-location",
+                "distance",
+                "walk2friends",
+                "user-graph embedding",
+            ],
         );
         for &(lo, hi, label) in &CHECKIN_BUCKETS {
             let idx: Vec<usize> =
@@ -188,7 +198,10 @@ fn sparse_friend_discovery(
     run: &crate::harness::SeekerRun,
 ) -> Table {
     let mut t = Table::new(
-        format!("Sparse-friend discovery ({}): FriendSeeker recall by check-in volume", w.preset.name()),
+        format!(
+            "Sparse-friend discovery ({}): FriendSeeker recall by check-in volume",
+            w.preset.name()
+        ),
         &["#check-ins of pair", "friend pairs", "recall"],
     );
     let preds = run.result.predictions();

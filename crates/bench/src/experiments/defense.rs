@@ -3,8 +3,8 @@
 //! the same budget?
 
 use seeker_ml::BinaryMetrics;
-use seeker_obfuscation::targeted::{targeted_hide, TargetedHidingConfig};
 use seeker_obfuscation::hide_checkins;
+use seeker_obfuscation::targeted::{targeted_hide, TargetedHidingConfig};
 
 use crate::datasets::{world, Preset};
 use crate::harness::{baseline_suite, default_config, eval_pairs, run_friendseeker};
@@ -21,10 +21,7 @@ pub fn defense_comparison(seed: u64) -> Vec<Table> {
     for preset in Preset::both() {
         let w = world(preset, seed);
         let mut t = Table::new(
-            format!(
-                "Targeted vs random hiding ({}): attack F1 after defense",
-                preset.name()
-            ),
+            format!("Targeted vs random hiding ({}): attack F1 after defense", preset.name()),
             &["budget", "defense", "FriendSeeker", "co-location", "user-graph embedding"],
         );
         for &budget in &BUDGETS {
@@ -32,14 +29,14 @@ pub fn defense_comparison(seed: u64) -> Vec<Table> {
                 let (train, target, label) = if targeted {
                     let d = TargetedHidingConfig { budget, ..Default::default() };
                     (
-                        targeted_hide(&w.train, &d).expect("valid budget"),
-                        targeted_hide(&w.target, &d).expect("valid budget"),
+                        targeted_hide(&w.train, &d).expect("valid budget"), // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
+                        targeted_hide(&w.target, &d).expect("valid budget"), // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
                         "targeted",
                     )
                 } else {
                     (
-                        hide_checkins(&w.train, budget, seed ^ 0xd1).expect("valid budget"),
-                        hide_checkins(&w.target, budget, seed ^ 0xd2).expect("valid budget"),
+                        hide_checkins(&w.train, budget, seed ^ 0xd1).expect("valid budget"), // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
+                        hide_checkins(&w.target, budget, seed ^ 0xd2).expect("valid budget"), // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
                         "random",
                     )
                 };

@@ -44,11 +44,13 @@ impl Mechanism {
 
     fn apply(self, ds: &Dataset, ratio: f64, sigma: usize, seed: u64) -> Dataset {
         match self {
-            Mechanism::Hiding => hide_checkins(ds, ratio, seed).expect("valid ratio"),
+            Mechanism::Hiding => hide_checkins(ds, ratio, seed).expect("valid ratio"), // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
             Mechanism::InGridBlur => {
+                // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
                 blur_checkins(ds, ratio, BlurMode::InGrid, sigma, seed).expect("valid ratio")
             }
             Mechanism::CrossGridBlur => {
+                // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
                 blur_checkins(ds, ratio, BlurMode::CrossGrid, sigma, seed).expect("valid ratio")
             }
         }
@@ -68,7 +70,14 @@ pub fn obfuscation_sweep(mechanism: Mechanism, seed: u64) -> Vec<Table> {
                 preset.name(),
                 mechanism.label()
             ),
-            &["ratio", "FriendSeeker", "co-location", "distance", "walk2friends", "user-graph embedding"],
+            &[
+                "ratio",
+                "FriendSeeker",
+                "co-location",
+                "distance",
+                "walk2friends",
+                "user-graph embedding",
+            ],
         );
         for &ratio in &RATIOS {
             let train = mechanism.apply(&w.train, ratio, cfg.sigma, seed ^ 0x0b5_0001);

@@ -65,11 +65,7 @@ fn sweep(
                 fmt3(run.metrics.recall()),
                 run.result.trace.n_iterations().to_string(),
             ]);
-            eprintln!(
-                "  [{figure}/{}] {param}={label}: F1={:.3}",
-                preset.name(),
-                run.metrics.f1()
-            );
+            eprintln!("  [{figure}/{}] {param}={label}: F1={:.3}", preset.name(), run.metrics.f1());
         }
         tables.push(t);
     }
@@ -88,11 +84,8 @@ pub fn fig10(seed: u64) -> Vec<Table> {
             &["iteration", "F1", "Precision", "Recall", "edge change ratio"],
         );
         for (i, m) in run.per_iteration.iter().enumerate() {
-            let change = if i == 0 {
-                "-".to_string()
-            } else {
-                fmt3(run.result.trace.change_ratios[i - 1])
-            };
+            let change =
+                if i == 0 { "-".to_string() } else { fmt3(run.result.trace.change_ratios[i - 1]) };
             t.push_row(vec![
                 if i == 0 { "G0 (phase 1)".to_string() } else { i.to_string() },
                 fmt3(m.f1()),

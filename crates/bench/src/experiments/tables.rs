@@ -41,10 +41,30 @@ pub fn table2(seed: u64) -> Vec<Table> {
             &["C-L", "C-F", "Friends", "Non-friends"],
         );
         let pct = |v: f64| format!("{:.2}%", v * 100.0);
-        t.push_row(vec!["Yes".into(), "Yes".into(), pct(c.friends.colo_and_cofriend), pct(c.non_friends.colo_and_cofriend)]);
-        t.push_row(vec!["Yes".into(), "No".into(), pct(c.friends.colo_only), pct(c.non_friends.colo_only)]);
-        t.push_row(vec!["No".into(), "Yes".into(), pct(c.friends.cofriend_only), pct(c.non_friends.cofriend_only)]);
-        t.push_row(vec!["No".into(), "No".into(), pct(c.friends.neither), pct(c.non_friends.neither)]);
+        t.push_row(vec![
+            "Yes".into(),
+            "Yes".into(),
+            pct(c.friends.colo_and_cofriend),
+            pct(c.non_friends.colo_and_cofriend),
+        ]);
+        t.push_row(vec![
+            "Yes".into(),
+            "No".into(),
+            pct(c.friends.colo_only),
+            pct(c.non_friends.colo_only),
+        ]);
+        t.push_row(vec![
+            "No".into(),
+            "Yes".into(),
+            pct(c.friends.cofriend_only),
+            pct(c.non_friends.cofriend_only),
+        ]);
+        t.push_row(vec![
+            "No".into(),
+            "No".into(),
+            pct(c.friends.neither),
+            pct(c.non_friends.neither),
+        ]);
         tables.push(t);
     }
     tables

@@ -37,7 +37,7 @@ pub struct SeekerRun {
 ///
 /// Panics if training fails (experiment configurations are pre-validated).
 pub fn run_friendseeker(cfg: &FriendSeekerConfig, train: &Dataset, target: &Dataset) -> SeekerRun {
-    let trained = FriendSeeker::new(cfg.clone()).train(train).expect("experiment training");
+    let trained = FriendSeeker::new(cfg.clone()).train(train).expect("experiment training"); // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
     let (ep, _) = eval_pairs(target);
     let result = trained.infer_pairs(target, ep);
     let metrics = result.evaluate(target);

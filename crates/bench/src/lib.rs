@@ -9,11 +9,15 @@
 //! saved under `results/`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+/// Shared synthetic worlds the experiment binaries run on.
 pub mod datasets;
+/// One module per figure/table of the paper's evaluation.
 pub mod experiments;
+/// Experiment orchestration: sweeps, repetitions, timing.
 pub mod harness;
+/// CSV/Markdown emitters for `results/`.
 pub mod report;
 
 /// The default seed used by the experiment binaries.

@@ -5,14 +5,14 @@ use std::collections::BTreeMap;
 
 /// Parsed command-line arguments: flags (`--key value`) and positionals.
 #[derive(Debug, Clone, Default, PartialEq)]
-pub struct Args {
+pub(crate) struct Args {
     flags: BTreeMap<String, String>,
     positionals: Vec<String>,
 }
 
 /// A user-facing argument error.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ArgError(pub String);
+pub(crate) struct ArgError(pub(crate) String);
 
 impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -28,7 +28,7 @@ impl Args {
     /// # Errors
     ///
     /// Returns [`ArgError`] for a trailing `--flag` without a value.
-    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+    pub(crate) fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
         let mut args = Args::default();
         let mut it = raw.into_iter();
         while let Some(a) = it.next() {
@@ -45,12 +45,12 @@ impl Args {
     }
 
     /// The positional arguments in order.
-    pub fn positionals(&self) -> &[String] {
+    pub(crate) fn positionals(&self) -> &[String] {
         &self.positionals
     }
 
     /// An optional string flag.
-    pub fn get(&self, key: &str) -> Option<&str> {
+    pub(crate) fn get(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
     }
 
@@ -59,7 +59,7 @@ impl Args {
     /// # Errors
     ///
     /// Returns [`ArgError`] when missing.
-    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+    pub(crate) fn require(&self, key: &str) -> Result<&str, ArgError> {
         self.get(key).ok_or_else(|| ArgError(format!("missing required flag --{key}")))
     }
 
@@ -68,7 +68,11 @@ impl Args {
     /// # Errors
     ///
     /// Returns [`ArgError`] when present but unparsable.
-    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+    pub(crate) fn get_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
             Some(s) => s

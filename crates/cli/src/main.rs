@@ -10,6 +10,8 @@
 //!                     --out-checkins h.txt --out-edges he.txt
 //! ```
 
+#![deny(missing_docs)]
+
 mod args;
 
 use std::process::ExitCode;
@@ -122,7 +124,10 @@ fn cmd_stats(raw: Vec<String>) -> CliResult {
     println!("  observation span: {:.1} days", d.span_days);
     let g = SocialGraph::from_dataset(&ds);
     if let Some(deg) = analysis::degree_stats(&g) {
-        println!("  degree: min {} / median {} / mean {:.1} / max {}", deg.min, deg.median, deg.mean, deg.max);
+        println!(
+            "  degree: min {} / median {} / mean {:.1} / max {}",
+            deg.min, deg.median, deg.mean, deg.max
+        );
     }
     let comps = analysis::Components::find(&g);
     println!("  components: {} (largest {})", comps.count(), comps.largest());
@@ -147,8 +152,7 @@ fn cmd_attack(raw: Vec<String>) -> CliResult {
         eprintln!("loading trained attack from {model_path} ...");
         friendseeker::persist::load(&std::fs::read(model_path)?)?
     } else {
-        let train =
-            load_dataset(a.require("train-checkins")?, a.require("train-edges")?, &opts)?;
+        let train = load_dataset(a.require("train-checkins")?, a.require("train-edges")?, &opts)?;
         let cfg = FriendSeekerConfig {
             sigma: a.get_or("sigma", 150)?,
             tau_days: a.get_or("tau", 7.0)?,
@@ -219,10 +223,9 @@ fn cmd_obfuscate(raw: Vec<String>) -> CliResult {
         "hide" => hide_checkins(&ds, ratio, seed)?,
         "blur-in" => blur_checkins(&ds, ratio, BlurMode::InGrid, sigma, seed)?,
         "blur-cross" => blur_checkins(&ds, ratio, BlurMode::CrossGrid, sigma, seed)?,
-        "targeted" => targeted_hide(
-            &ds,
-            &TargetedHidingConfig { budget: ratio, seed, ..Default::default() },
-        )?,
+        "targeted" => {
+            targeted_hide(&ds, &TargetedHidingConfig { budget: ratio, seed, ..Default::default() })?
+        }
         other => return Err(ArgError(format!("unknown mode {other:?}")).into()),
     };
     write_dataset(&defended, a.require("out-checkins")?, a.require("out-edges")?)?;

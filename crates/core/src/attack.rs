@@ -49,13 +49,9 @@ impl FriendSeeker {
     /// Propagates configuration and data errors from the two phases.
     pub fn train(&self, train: &Dataset) -> Result<TrainedAttack> {
         let p1 = train_phase1(&self.cfg, train)?;
-        let (p2, train_trace) = train_phase2(&self.cfg, &p1.model, train, &p1.train_pairs, &p1.holdout)?;
-        Ok(TrainedAttack {
-            cfg: self.cfg.clone(),
-            phase1: p1.model,
-            phase2: p2,
-            train_trace,
-        })
+        let (p2, train_trace) =
+            train_phase2(&self.cfg, &p1.model, train, &p1.train_pairs, &p1.holdout)?;
+        Ok(TrainedAttack { cfg: self.cfg.clone(), phase1: p1.model, phase2: p2, train_trace })
     }
 }
 

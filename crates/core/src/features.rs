@@ -90,12 +90,19 @@ pub fn social_proximity_feature(sub: &KHopSubgraph, k: usize, store: &FeatureSto
 }
 
 /// The composite feature `v = h ⊕ s` for one pair given the current graph.
+///
+/// # Panics
+///
+/// Panics if `pair` is outside the universe the [`FeatureStore`] was built
+/// over — the store and the candidate pairs always come from the same
+/// enumeration in phase 1/2, so this indicates a caller bug.
 pub fn composite_feature(
     graph: &SocialGraph,
     pair: UserPair,
     k: usize,
     store: &FeatureStore,
 ) -> Vec<f32> {
+    // lint:allow(no-panic) -- documented contract, see above
     let h = store.get(pair).expect("pair must belong to the feature store universe");
     let sub = KHopSubgraph::extract(graph, pair, k);
     let s = social_proximity_feature(&sub, k, store);

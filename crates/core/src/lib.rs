@@ -27,17 +27,25 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod attack;
 mod config;
 mod error;
+/// Pairwise feature extraction from JOC cuboids (§IV-B).
 pub mod features;
+/// Candidate-pair enumeration and labeling.
 pub mod pairs;
+/// Save/load of trained attack models.
 pub mod persist;
+/// Phase 1: supervised-autoencoder training (§IV-B).
 pub mod phase1;
+/// Phase 2: iterative k-hop refinement (§IV-C).
 pub mod phase2;
 
+/// The end-to-end two-phase attack entry points.
 pub use attack::{FriendSeeker, InferenceResult, TrainedAttack};
+/// Attack hyper-parameters.
 pub use config::{ClassifierKind, FriendSeekerConfig};
+/// Typed attack errors.
 pub use error::{AttackError, Result};

@@ -173,9 +173,11 @@ pub fn load(bytes: &[u8]) -> Result<TrainedAttack> {
         let blob = c.take(len)?;
         mlps.push(mlp_from_bytes(blob).map_err(|e| AttackError::Data(e.to_string()))?);
     }
-    let classifier_head = mlps.pop().expect("three blobs");
-    let decoder = mlps.pop().expect("three blobs");
-    let encoder = mlps.pop().expect("three blobs");
+    let (Some(classifier_head), Some(decoder), Some(encoder)) =
+        (mlps.pop(), mlps.pop(), mlps.pop())
+    else {
+        return Err(AttackError::Data("expected three network blobs".into()));
+    };
     let mut ae_cfg = SupervisedAutoencoderConfig::new(encoder.in_dim(), encoder.out_dim());
     ae_cfg.alpha = alpha;
     let feature_dim = ae_cfg.bottleneck;
@@ -288,7 +290,9 @@ impl<'a> Cursor<'a> {
 
     fn i64(&mut self) -> Result<i64> {
         let b = self.take(8)?;
-        Ok(i64::from_le_bytes(b.try_into().expect("eight bytes")))
+        let arr: [u8; 8] =
+            b.try_into().map_err(|_| AttackError::Data("truncated i64 field".into()))?;
+        Ok(i64::from_le_bytes(arr))
     }
 
     fn f32(&mut self) -> Result<f32> {
@@ -298,7 +302,9 @@ impl<'a> Cursor<'a> {
 
     fn f64(&mut self) -> Result<f64> {
         let b = self.take(8)?;
-        Ok(f64::from_le_bytes(b.try_into().expect("eight bytes")))
+        let arr: [u8; 8] =
+            b.try_into().map_err(|_| AttackError::Data("truncated f64 field".into()))?;
+        Ok(f64::from_le_bytes(arr))
     }
 
     fn f32s(&mut self, n: usize) -> Result<Vec<f32>> {
@@ -352,10 +358,7 @@ mod tests {
         assert_eq!(loaded.config().sigma, attack.config().sigma);
         assert_eq!(loaded.phase1().threshold(), attack.phase1().threshold());
         assert_eq!(loaded.phase2().n_iterations(), attack.phase2().n_iterations());
-        assert_eq!(
-            loaded.phase1().division().n_cells(),
-            attack.phase1().division().n_cells()
-        );
+        assert_eq!(loaded.phase1().division().n_cells(), attack.phase1().division().n_cells());
     }
 
     #[test]

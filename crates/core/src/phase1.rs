@@ -170,8 +170,7 @@ impl Phase1Model {
     /// Panics if `pairs` is empty.
     pub fn features(&self, ds: &Dataset, pairs: &[UserPair]) -> Matrix {
         assert!(!pairs.is_empty(), "no pairs to featurize");
-        let xs: Vec<SparseRow> =
-            pairs.iter().map(|&p| joc_row(&self.division, ds, p)).collect();
+        let xs: Vec<SparseRow> = pairs.iter().map(|&p| joc_row(&self.division, ds, p)).collect();
         self.autoencoder.encode(&xs)
     }
 
@@ -182,17 +181,14 @@ impl Phase1Model {
 
     /// Friend probability of each pair under classifier `C`.
     pub fn predict_proba(&self, ds: &Dataset, pairs: &[UserPair]) -> Vec<f64> {
-        let xs: Vec<SparseRow> =
-            pairs.iter().map(|&p| joc_row(&self.division, ds, p)).collect();
+        let xs: Vec<SparseRow> = pairs.iter().map(|&p| joc_row(&self.division, ds, p)).collect();
         if let Some(knn) = &self.knn {
             let encoded = self.autoencoder.encode(&xs);
             return (0..encoded.rows()).map(|r| knn.predict_proba_one(encoded.row(r))).collect();
         }
         if let Some(forest) = &self.forest {
             let encoded = self.autoencoder.encode(&xs);
-            return (0..encoded.rows())
-                .map(|r| forest.predict_proba_one(encoded.row(r)))
-                .collect();
+            return (0..encoded.rows()).map(|r| forest.predict_proba_one(encoded.row(r))).collect();
         }
         self.autoencoder.predict_proba(&xs).into_iter().map(f64::from).collect()
     }

@@ -83,7 +83,9 @@ pub fn bfs_distances(g: &SocialGraph, source: UserId) -> Vec<Option<u32>> {
     dist[source.index()] = Some(0);
     let mut queue = VecDeque::from([source]);
     while let Some(v) = queue.pop_front() {
-        let d = dist[v.index()].expect("enqueued vertices have distances");
+        // Every vertex gets its distance before being enqueued; an unset
+        // entry would be a bookkeeping bug, and skipping it is safe.
+        let Some(d) = dist[v.index()] else { continue };
         for &w in g.neighbors(v) {
             if dist[w.index()].is_none() {
                 dist[w.index()] = Some(d + 1);
@@ -153,7 +155,7 @@ pub fn degree_stats(g: &SocialGraph) -> Option<DegreeStats> {
     degrees.sort_unstable();
     Some(DegreeStats {
         min: degrees[0],
-        max: *degrees.last().expect("non-empty"),
+        max: degrees.last().copied().unwrap_or(0),
         mean: 2.0 * g.n_edges() as f64 / g.n_vertices() as f64,
         median: degrees[degrees.len() / 2],
     })
@@ -165,10 +167,8 @@ pub fn degree_stats(g: &SocialGraph) -> Option<DegreeStats> {
 pub fn mean_shortest_path(g: &SocialGraph, samples: usize) -> Option<f64> {
     let comps = Components::find(g);
     let largest_id = (0..comps.count() as u32).max_by_key(|&c| comps.sizes()[c as usize])?;
-    let members: Vec<UserId> = g
-        .vertices()
-        .filter(|&v| comps.component_of(v) == largest_id)
-        .collect();
+    let members: Vec<UserId> =
+        g.vertices().filter(|&v| comps.component_of(v) == largest_id).collect();
     if members.len() < 2 {
         return None;
     }

@@ -63,6 +63,7 @@ pub fn katz(g: &SocialGraph, pair: UserPair, beta: f64, max_len: usize) -> f64 {
         let mut next = vec![0.0f64; n];
         for v in g.vertices() {
             let w = walks[v.index()];
+            // lint:allow(float-eq) -- exact-zero guard before division, not a tolerance test
             if w == 0.0 {
                 continue;
             }
@@ -76,10 +77,7 @@ pub fn katz(g: &SocialGraph, pair: UserPair, beta: f64, max_len: usize) -> f64 {
     score
 }
 
-fn sorted_intersection<'a>(
-    a: &'a [UserId],
-    b: &'a [UserId],
-) -> impl Iterator<Item = UserId> + 'a {
+fn sorted_intersection<'a>(a: &'a [UserId], b: &'a [UserId]) -> impl Iterator<Item = UserId> + 'a {
     SortedIntersection { a, b, i: 0, j: 0 }
 }
 

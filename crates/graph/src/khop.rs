@@ -67,6 +67,22 @@ impl KHopSubgraph {
             }
             paths_by_len.insert(l, found);
         }
+        #[cfg(debug_assertions)]
+        {
+            // Theorem 1: interior vertices consumed at length l are disabled
+            // for every longer length, so batches of different lengths are
+            // internally vertex-disjoint.
+            let mut consumed = std::collections::BTreeSet::new();
+            for paths in paths_by_len.values() {
+                let batch: std::collections::BTreeSet<UserId> =
+                    paths.iter().flat_map(|p| p[1..p.len() - 1].iter().copied()).collect();
+                debug_assert!(
+                    batch.is_disjoint(&consumed),
+                    "Theorem 1 violated: interior vertex reused across path lengths for {pair}"
+                );
+                consumed.extend(batch);
+            }
+        }
         KHopSubgraph { pair, k, paths_by_len }
     }
 
@@ -135,7 +151,12 @@ pub fn count_paths_of_length(graph: &SocialGraph, a: UserId, b: UserId, l: usize
 /// without the shortest-first consumption of Theorem 1. This is the naive
 /// alternative the k-hop construction improves on; exposed for the ablation
 /// benches.
-pub fn all_paths_of_length(graph: &SocialGraph, a: UserId, b: UserId, l: usize) -> Vec<Vec<UserId>> {
+pub fn all_paths_of_length(
+    graph: &SocialGraph,
+    a: UserId,
+    b: UserId,
+    l: usize,
+) -> Vec<Vec<UserId>> {
     let alive = vec![true; graph.n_vertices()];
     paths_of_length(graph, &alive, a, b, l)
 }
@@ -166,7 +187,9 @@ fn dfs(
     on_path: &mut [bool],
     out: &mut Vec<Vec<UserId>>,
 ) {
-    let current = *stack.last().expect("stack never empty");
+    // Callers seed the stack with the source vertex; an empty stack means
+    // there is no path prefix to extend.
+    let Some(&current) = stack.last() else { return };
     let remaining = l + 1 - stack.len();
     if remaining == 0 {
         if current == target {
@@ -244,11 +267,8 @@ mod tests {
         assert_eq!(l2[0], vec![UserId::new(0), UserId::new(2), UserId::new(1)]);
         // Length 3: with c consumed, a-c-e-b is gone; a-f-h-b and a-d-e-b
         // remain.
-        let l3: BTreeSet<Vec<u32>> = sub
-            .paths_of_len(3)
-            .iter()
-            .map(|p| p.iter().map(|u| u.raw()).collect())
-            .collect();
+        let l3: BTreeSet<Vec<u32>> =
+            sub.paths_of_len(3).iter().map(|p| p.iter().map(|u| u.raw()).collect()).collect();
         let expected: BTreeSet<Vec<u32>> =
             [vec![0, 5, 7, 1], vec![0, 3, 4, 1]].into_iter().collect();
         assert_eq!(l3, expected);

@@ -16,14 +16,18 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+/// Degree/component/path statistics over social graphs.
 pub mod analysis;
 mod graph;
+/// Classic link-prediction scores (CN, Jaccard, AA, RA).
 pub mod heuristics;
 mod khop;
 
+/// Undirected friendship graph with O(1) edge tests.
 pub use graph::SocialGraph;
+/// k-hop reachable subgraphs (Definition 6, Theorem 1).
 pub use khop::{all_paths_of_length, count_paths_of_length, KHopSubgraph};
 
 #[cfg(test)]

@@ -1,0 +1,67 @@
+//! Command-line entry point for the workspace lint pass.
+//!
+//! Usage: `cargo run -p seeker-lint [-- <workspace-root>]`. With no argument
+//! the workspace root is discovered by walking up from the current directory
+//! to the first `Cargo.toml` containing a `[workspace]` section. Exits
+//! non-zero when violations are found, so CI can gate on it.
+
+#![deny(missing_docs)]
+
+use seeker_lint::lint_workspace;
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match env::args().nth(1).map(PathBuf::from) {
+        Some(path) => path,
+        None => match discover_workspace_root() {
+            Some(path) => path,
+            None => {
+                eprintln!("seeker-lint: no workspace Cargo.toml found above the current directory");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    // A mistyped root would otherwise lint zero files and report "clean",
+    // silently disarming the CI gate.
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!("seeker-lint: {} is not a workspace root (no Cargo.toml)", root.display());
+        return ExitCode::from(2);
+    }
+    match lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("seeker-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            eprintln!("seeker-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("seeker-lint: I/O error while linting {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring a
+/// `[workspace]` section.
+fn discover_workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(contents) = std::fs::read_to_string(&manifest) {
+            if contents.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Source masking: blanks out comments and string/char literal bodies while
+//! preserving byte offsets and line structure, so the rule matchers in
+//! [`crate::rules`] can use plain substring searches without being fooled by
+//! `panic!` appearing in a doc comment or `"=="` inside a string.
+
+/// Returns a same-length copy of `source` in which the contents of comments
+/// and string/char literals are replaced by spaces (newlines are kept so
+/// line numbers survive). String delimiters themselves are preserved so
+/// adjacent tokens do not merge.
+#[must_use]
+pub fn mask_source(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                // Line comment (also covers /// and //! doc comments).
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i = mask_block_comment(bytes, i, &mut out);
+            }
+            b'"' => {
+                let hashes = raw_string_hashes(bytes, i, &out);
+                match hashes {
+                    Some(n) => i = mask_raw_string(bytes, i, n, &mut out),
+                    None => i = mask_plain_string(bytes, i, &mut out),
+                }
+            }
+            b'\'' => {
+                i = mask_char_or_lifetime(bytes, i, &mut out);
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+
+    // The transformation only replaces ASCII bytes with ASCII spaces and
+    // copies everything else verbatim, so the result is valid UTF-8.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Masks a (possibly nested) block comment starting at `start`; returns the
+/// index just past it.
+fn mask_block_comment(bytes: &[u8], start: usize, out: &mut Vec<u8>) -> usize {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            depth += 1;
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+        } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            depth -= 1;
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+            i += 1;
+        }
+    }
+    i
+}
+
+/// If the `"` at `quote` opens a raw string (`r"…"`, `br#"…"#`, …), returns
+/// the number of `#`s; otherwise `None`. The prefix has already been copied
+/// to `out`, so it is inspected there.
+fn raw_string_hashes(_bytes: &[u8], _quote: usize, out: &[u8]) -> Option<usize> {
+    let mut j = out.len();
+    let mut hashes = 0usize;
+    while j > 0 && out[j - 1] == b'#' {
+        hashes += 1;
+        j -= 1;
+    }
+    if j == 0 || out[j - 1] != b'r' {
+        return None;
+    }
+    // `r` must itself start an identifier-like token (reject e.g. `var"`),
+    // optionally preceded by a byte-string `b`.
+    let mut k = j - 1;
+    if k > 0 && out[k - 1] == b'b' {
+        k -= 1;
+    }
+    if k > 0 && (out[k - 1].is_ascii_alphanumeric() || out[k - 1] == b'_') {
+        return None;
+    }
+    Some(hashes)
+}
+
+/// Masks a raw string with `hashes` `#`s, starting at the opening quote.
+fn mask_raw_string(bytes: &[u8], start: usize, hashes: usize, out: &mut Vec<u8>) -> usize {
+    out.push(b'"');
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes
+        {
+            out.push(b'"');
+            for _ in 0..hashes {
+                out.push(b'#');
+            }
+            return i + 1 + hashes;
+        }
+        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+        i += 1;
+    }
+    i
+}
+
+/// Masks an escaped (ordinary) string literal starting at the opening quote.
+fn mask_plain_string(bytes: &[u8], start: usize, out: &mut Vec<u8>) -> usize {
+    out.push(b'"');
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if i + 1 < bytes.len() => {
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+            }
+            b'"' => {
+                out.push(b'"');
+                return i + 1;
+            }
+            b'\n' => {
+                out.push(b'\n');
+                i += 1;
+            }
+            _ => {
+                out.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Distinguishes char literals (`'x'`, `'\n'`) from lifetimes/labels (`'a`)
+/// and masks only the former; returns the index just past what was consumed.
+fn mask_char_or_lifetime(bytes: &[u8], start: usize, out: &mut Vec<u8>) -> usize {
+    let i = start;
+    if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+        // Escaped char literal: the char after the backslash is consumed
+        // unconditionally (handles '\'' correctly), then scan to the close.
+        let mut j = (i + 3).min(bytes.len());
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        out.push(b'\'');
+        for _ in i + 1..j {
+            out.push(b' ');
+        }
+        if j < bytes.len() {
+            out.push(b'\'');
+            return j + 1;
+        }
+        return j;
+    }
+    if i + 2 < bytes.len() && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\'' {
+        // Single-char literal like 'x' (including '"').
+        out.push(b'\'');
+        out.push(b' ');
+        out.push(b'\'');
+        return i + 3;
+    }
+    // Lifetime or label: keep the quote, continue normally.
+    out.push(b'\'');
+    i + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mask_source;
+
+    #[test]
+    fn masks_line_and_doc_comments() {
+        let m = mask_source("let x = 1; // panic!(\"no\")\n/// .unwrap()\nfn f() {}\n");
+        assert!(!m.contains("panic!"));
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("fn f() {}"));
+        assert_eq!(m.lines().count(), 3);
+    }
+
+    #[test]
+    fn masks_block_comments_nested() {
+        let m = mask_source("a /* outer /* inner .expect( */ still */ b");
+        assert!(!m.contains("expect"));
+        assert!(m.starts_with('a'));
+        assert!(m.ends_with('b'));
+    }
+
+    #[test]
+    fn masks_string_contents_but_keeps_quotes() {
+        let m = mask_source(r#"let s = "x == 1.0 .unwrap()"; let t = 2;"#);
+        assert!(!m.contains("=="));
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains(&format!("\"{}\"", " ".repeat("x == 1.0 .unwrap()".len()))));
+        assert!(m.contains("let t = 2;"));
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let m = mask_source(r##"let s = r#"panic!( " inner "#; let u = 3;"##);
+        assert!(!m.contains("panic"));
+        assert!(m.contains("let u = 3;"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let m = mask_source(r#"let s = "a\"b.unwrap()"; let v = 4;"#);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let v = 4;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let m = mask_source("fn f<'a>(x: &'a str) -> char { '\"' }");
+        // The double-quote char literal must not open a string.
+        assert!(m.contains("fn f<'a>(x: &'a str) -> char"));
+        let m2 = mask_source("let c = 'x'; let d = '\\n'; panic!()");
+        assert!(m2.contains("panic!()"), "{m2:?}");
+        assert!(!m2.contains('x'));
+    }
+
+    #[test]
+    fn preserves_line_count_and_length() {
+        let src = "let a = \"multi\nline\nstring\"; // c\nfn g() {}\n";
+        let m = mask_source(src);
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+}

@@ -1,0 +1,609 @@
+//! The individual lint rules and the per-file analysis driver.
+
+use crate::mask::mask_source;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Identifier of a lint rule, usable in `// lint:allow(<rule>)` comments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in non-test
+    /// library code.
+    NoPanic,
+    /// Unjustified `as <integer>` casts in feature/metric code.
+    FloatCast,
+    /// `==`/`!=` against a floating-point literal.
+    FloatEq,
+    /// Public item in a crate-root `lib.rs` without a doc comment.
+    UndocumentedPub,
+    /// Crate root missing its mandatory `#![deny(...)]` header.
+    DenyHeader,
+}
+
+impl Rule {
+    /// The stable string id used in reports and allow comments.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::FloatCast => "float-cast",
+            Rule::FloatEq => "float-eq",
+            Rule::UndocumentedPub => "undocumented-pub",
+            Rule::DenyHeader => "deny-header",
+        }
+    }
+
+    /// Parses a rule id as written in an allow comment.
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Rule> {
+        match id {
+            "no-panic" => Some(Rule::NoPanic),
+            "float-cast" => Some(Rule::FloatCast),
+            "float-eq" => Some(Rule::FloatEq),
+            "undocumented-pub" => Some(Rule::UndocumentedPub),
+            "deny-header" => Some(Rule::DenyHeader),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// File the violation is in (as passed to the analysis).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// How a file participates in the lint pass (derived from its path by
+/// [`crate::walk`], or set explicitly in tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// `crates/*/src/lib.rs` or the workspace-root `src/lib.rs`.
+    LibraryRoot,
+    /// `crates/*/src/main.rs` or `crates/*/src/bin/*.rs`.
+    BinaryRoot,
+    /// Any other library source under a `src/` tree.
+    Library,
+    /// Test-only code: under `tests/`, or a file-level `#[cfg(test)]`
+    /// module. Exempt from every rule.
+    TestCode,
+}
+
+/// Tunable rule scoping.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Lints every crate root must `#![deny(...)]`.
+    pub required_deny: Vec<String>,
+    /// Additional lints required in experiment stub binaries
+    /// (`crates/bench/src/bin/*.rs`).
+    pub bench_bin_required_deny: Vec<String>,
+    /// File-name suffixes marking feature/metric code where `float-cast`
+    /// applies.
+    pub float_cast_files: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            required_deny: vec!["missing_docs".to_string()],
+            bench_bin_required_deny: vec!["dead_code".to_string()],
+            float_cast_files: vec!["features.rs".to_string(), "metrics.rs".to_string()],
+        }
+    }
+}
+
+const PANIC_PATTERNS: &[(&str, &str)] = &[
+    (".unwrap()", "call to `unwrap()`"),
+    (".expect(", "call to `expect()`"),
+    ("panic!(", "`panic!` invocation"),
+    ("todo!(", "`todo!` invocation"),
+    ("unimplemented!(", "`unimplemented!` invocation"),
+];
+
+const INT_TYPES: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+const ROUNDING_SUFFIXES: &[&str] = &[".round()", ".floor()", ".ceil()", ".trunc()"];
+
+/// Analyzes one source file and returns its violations.
+///
+/// `path` is used for reporting and for path-scoped rules; `class` controls
+/// which rules run.
+#[must_use]
+pub fn lint_source(path: &Path, class: FileClass, source: &str) -> Vec<Violation> {
+    lint_source_with(path, class, source, &Config::default())
+}
+
+/// [`lint_source`] with an explicit configuration.
+#[must_use]
+pub fn lint_source_with(
+    path: &Path,
+    class: FileClass,
+    source: &str,
+    config: &Config,
+) -> Vec<Violation> {
+    if class == FileClass::TestCode {
+        return Vec::new();
+    }
+    let masked = mask_source(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    let allows = collect_allows(&raw_lines);
+    let test_lines = test_region_lines(&masked_lines);
+
+    let mut out = Vec::new();
+    let allowed = |rule: Rule, line_idx: usize| -> bool {
+        allows.iter().any(|(l, r)| *r == rule && (*l == line_idx || *l + 1 == line_idx))
+    };
+    let mut push = |rule: Rule, line_idx: usize, message: String| {
+        if !allowed(rule, line_idx) {
+            out.push(Violation { file: path.to_path_buf(), line: line_idx + 1, rule, message });
+        }
+    };
+
+    let is_library = matches!(class, FileClass::Library | FileClass::LibraryRoot);
+
+    for (idx, line) in masked_lines.iter().enumerate() {
+        if test_lines.contains(&idx) {
+            continue;
+        }
+        if is_library {
+            for (pat, what) in PANIC_PATTERNS {
+                if line.contains(pat) {
+                    push(Rule::NoPanic, idx, format!("{what} in library code (return a typed error or add `// lint:allow(no-panic)`)"));
+                }
+            }
+            for (col, len) in float_eq_sites(line) {
+                let _ = (col, len);
+                push(Rule::FloatEq, idx, "`==`/`!=` against a floating-point literal (compare with an epsilon or add `// lint:allow(float-eq)`)".to_string());
+            }
+        }
+        if is_float_cast_scope(path, config) {
+            for msg in float_cast_sites(line) {
+                push(Rule::FloatCast, idx, msg);
+            }
+        }
+    }
+
+    if class == FileClass::LibraryRoot {
+        undocumented_pub(&raw_lines, &masked_lines, &test_lines, &mut push);
+    }
+    if matches!(class, FileClass::LibraryRoot | FileClass::BinaryRoot) {
+        deny_header(path, &masked_lines, config, &mut push);
+    }
+    out
+}
+
+/// Collects `(line, rule)` pairs from `// lint:allow(rule, …)` comments.
+fn collect_allows(raw_lines: &[&str]) -> Vec<(usize, Rule)> {
+    let mut allows = Vec::new();
+    for (idx, line) in raw_lines.iter().enumerate() {
+        let Some(pos) = line.find("lint:allow(") else { continue };
+        let rest = &line[pos + "lint:allow(".len()..];
+        let Some(end) = rest.find(')') else { continue };
+        for id in rest[..end].split(',') {
+            if let Some(rule) = Rule::from_id(id.trim()) {
+                allows.push((idx, rule));
+            }
+        }
+    }
+    allows
+}
+
+/// Returns the set of 0-based line indices inside `#[cfg(test)] mod … { }`
+/// blocks (computed on masked text via brace matching).
+fn test_region_lines(masked_lines: &[&str]) -> std::collections::BTreeSet<usize> {
+    let mut result = std::collections::BTreeSet::new();
+    let mut idx = 0usize;
+    while idx < masked_lines.len() {
+        let line = masked_lines[idx].trim_start();
+        if !(line.starts_with("#[cfg(") && line.contains("test")) {
+            idx += 1;
+            continue;
+        }
+        // Scan forward for the item's opening brace; a `;` first means this
+        // is a module *declaration* (handled at the file level by the
+        // walker), not an inline block.
+        let mut depth = 0usize;
+        let mut opened = false;
+        let start = idx;
+        let mut j = idx + 1;
+        'scan: while j < masked_lines.len() {
+            for b in masked_lines[j].bytes() {
+                match b {
+                    b'{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    b'}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            break 'scan;
+                        }
+                    }
+                    b';' if !opened => break 'scan,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if opened {
+            for l in start..=j.min(masked_lines.len() - 1) {
+                result.insert(l);
+            }
+        }
+        idx = j + 1;
+    }
+    result
+}
+
+/// Finds `==`/`!=` operators with a float literal on either side.
+fn float_eq_sites(masked_line: &str) -> Vec<(usize, usize)> {
+    let bytes = masked_line.as_bytes();
+    let mut sites = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &bytes[i..i + 2];
+        let is_op = two == b"==" || two == b"!=";
+        if !is_op {
+            i += 1;
+            continue;
+        }
+        // Exclude <=, >=, ===-like runs and pattern `=>`.
+        let before_ok = i == 0 || !matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!');
+        let after_ok = i + 2 >= bytes.len() || bytes[i + 2] != b'=';
+        if before_ok && after_ok {
+            let lhs = &masked_line[..i];
+            let rhs = &masked_line[i + 2..];
+            if trailing_token_is_float(lhs) || leading_token_is_float(rhs) {
+                sites.push((i, 2));
+            }
+        }
+        i += 2;
+    }
+    sites
+}
+
+/// Whether the token ending `s` is a float literal like `1.0` or `-3.5f64`.
+fn trailing_token_is_float(s: &str) -> bool {
+    let t = s.trim_end();
+    let bytes = t.as_bytes();
+    let mut end = bytes.len();
+    // Strip an f32/f64 suffix.
+    for suffix in ["f32", "f64"] {
+        if t.ends_with(suffix) {
+            end -= suffix.len();
+            break;
+        }
+    }
+    let digits_end = end;
+    let mut i = digits_end;
+    while i > 0 && bytes[i - 1].is_ascii_digit() {
+        i -= 1;
+    }
+    let frac_digits = digits_end - i;
+    if i == 0 || bytes[i - 1] != b'.' {
+        return false;
+    }
+    // Reject method calls / ranges: require at least the `.` plus digits on
+    // the left too (e.g. `1.` or `13.5`).
+    if frac_digits == 0 && end != bytes.len() {
+        return false;
+    }
+    let mut j = i - 1;
+    while j > 0 && bytes[j - 1].is_ascii_digit() {
+        j -= 1;
+    }
+    j < i - 1
+}
+
+/// Whether the token starting `s` is a float literal.
+fn leading_token_is_float(s: &str) -> bool {
+    let t = s.trim_start().trim_start_matches('-');
+    let bytes = t.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i == 0 || i >= bytes.len() || bytes[i] != b'.' {
+        return false;
+    }
+    // `1..4` is a range, not a float.
+    !(i + 1 < bytes.len() && bytes[i + 1] == b'.')
+}
+
+/// Whether `path` is feature/metric code in scope for `float-cast`.
+fn is_float_cast_scope(path: &Path, config: &Config) -> bool {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    config.float_cast_files.iter().any(|f| name == f)
+}
+
+/// Finds `as <integer>` casts not justified by an explicit rounding call.
+fn float_cast_sites(masked_line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut search_from = 0;
+    while let Some(rel) = masked_line[search_from..].find(" as ") {
+        let pos = search_from + rel;
+        search_from = pos + 4;
+        let after = &masked_line[pos + 4..];
+        let ty: String =
+            after.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+        if !INT_TYPES.contains(&ty.as_str()) {
+            continue;
+        }
+        let before = masked_line[..pos].trim_end();
+        if ROUNDING_SUFFIXES.iter().any(|s| before.ends_with(s)) {
+            continue;
+        }
+        out.push(format!(
+            "`as {ty}` cast in feature/metric code without explicit rounding \
+             (use `.round()`/`.floor()`/`.ceil()` first, a checked conversion, \
+             or add `// lint:allow(float-cast)`)"
+        ));
+    }
+    out
+}
+
+/// Requires a doc comment on every top-level `pub` item (including
+/// re-exports) in a crate-root `lib.rs`.
+fn undocumented_pub(
+    raw_lines: &[&str],
+    masked_lines: &[&str],
+    test_lines: &std::collections::BTreeSet<usize>,
+    push: &mut impl FnMut(Rule, usize, String),
+) {
+    const ITEMS: &[&str] = &[
+        "pub fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub use ",
+        "pub mod ",
+        "pub type ",
+        "pub const ",
+        "pub static ",
+        "pub unsafe ",
+    ];
+    for (idx, line) in masked_lines.iter().enumerate() {
+        if test_lines.contains(&idx) {
+            continue;
+        }
+        if !ITEMS.iter().any(|p| line.starts_with(p)) {
+            continue;
+        }
+        // Walk upward over attributes and attribute continuation lines.
+        let mut j = idx;
+        let mut documented = false;
+        while j > 0 {
+            j -= 1;
+            let above = raw_lines[j].trim_start();
+            if above.starts_with("///") || above.starts_with("#[doc") || above.starts_with("#![doc")
+            {
+                documented = true;
+                break;
+            }
+            // Skip attribute lines (single- or multi-line) between the doc
+            // comment and the item.
+            if above.starts_with("#[") || above.ends_with(']') || above.ends_with("]ated") {
+                continue;
+            }
+            break;
+        }
+        if !documented {
+            let item = masked_lines[idx].split('{').next().unwrap_or("").trim();
+            push(
+                Rule::UndocumentedPub,
+                idx,
+                format!("public item `{item}` in crate root has no doc comment"),
+            );
+        }
+    }
+}
+
+/// Requires the mandatory `#![deny(...)]` header in crate roots.
+fn deny_header(
+    path: &Path,
+    masked_lines: &[&str],
+    config: &Config,
+    push: &mut impl FnMut(Rule, usize, String),
+) {
+    let mut denied: Vec<String> = Vec::new();
+    for line in masked_lines {
+        let t = line.trim_start();
+        for prefix in ["#![deny(", "#![forbid("] {
+            if let Some(rest) = t.strip_prefix(prefix) {
+                if let Some(end) = rest.find(")]") {
+                    denied.extend(rest[..end].split(',').map(|s| s.trim().to_string()));
+                }
+            }
+        }
+    }
+    let path_str = path.to_string_lossy().replace('\\', "/");
+    let mut required: Vec<&String> = config.required_deny.iter().collect();
+    if path_str.contains("crates/bench/src/bin/") {
+        required.extend(config.bench_bin_required_deny.iter());
+    }
+    for need in required {
+        if !denied.iter().any(|d| d == need) {
+            push(
+                Rule::DenyHeader,
+                0,
+                format!("crate root is missing the mandatory `#![deny({need})]` header"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(class: FileClass, src: &str) -> Vec<Violation> {
+        lint_source(Path::new("crates/x/src/code.rs"), class, src)
+    }
+
+    fn rules_of(v: &[Violation]) -> Vec<Rule> {
+        v.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn flags_panic_constructs_in_library_code() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\nfn g() { panic!(\"boom\") }\nfn h() { todo!() }\n";
+        let v = lint(FileClass::Library, src);
+        assert_eq!(rules_of(&v), vec![Rule::NoPanic, Rule::NoPanic, Rule::NoPanic]);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn expect_matches_only_the_panicking_method() {
+        let v = lint(FileClass::Library, "fn f(r: Result<u8, u8>) { r.expect_err(\"e\"); }\n");
+        assert!(v.is_empty());
+        let v = lint(FileClass::Library, "fn f(r: Result<u8, u8>) { r.expect(\"e\"); }\n");
+        assert_eq!(rules_of(&v), vec![Rule::NoPanic]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(3).min(x.unwrap_or_default()) }\n";
+        assert!(lint(FileClass::Library, src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_on_same_or_next_line() {
+        let same = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(no-panic)\n";
+        assert!(lint(FileClass::Library, same).is_empty());
+        let above = "// lint:allow(no-panic)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint(FileClass::Library, above).is_empty());
+        let wrong_rule = "// lint:allow(float-eq)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(lint(FileClass::Library, wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn panics_in_strings_and_comments_are_ignored() {
+        let src = "// this mentions panic!(\"x\") and .unwrap()\nfn f() -> &'static str { \"panic!(no) .unwrap()\" }\n";
+        assert!(lint(FileClass::Library, src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); assert!(1.0 == 1.0); }\n}\n";
+        assert!(lint(FileClass::Library, src).is_empty());
+    }
+
+    #[test]
+    fn code_after_cfg_test_block_is_still_linted() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\nfn late(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let v = lint(FileClass::Library, src);
+        assert_eq!(rules_of(&v), vec![Rule::NoPanic]);
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn float_eq_flags_literal_comparisons() {
+        let v = lint(FileClass::Library, "fn f(x: f64) -> bool { x == 0.0 }\n");
+        assert_eq!(rules_of(&v), vec![Rule::FloatEq]);
+        let v = lint(FileClass::Library, "fn f(x: f32) -> bool { 1.5f32 != x }\n");
+        assert_eq!(rules_of(&v), vec![Rule::FloatEq]);
+    }
+
+    #[test]
+    fn float_eq_ignores_integers_ranges_and_order_comparisons() {
+        assert!(lint(FileClass::Library, "fn f(x: u32) -> bool { x == 10 }\n").is_empty());
+        assert!(
+            lint(FileClass::Library, "fn f(x: f64) -> bool { x <= 1.0 && x >= 0.0 }\n").is_empty()
+        );
+        assert!(
+            lint(FileClass::Library, "fn f(v: &[u8]) -> bool { v[1..4] == v[0..3] }\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn float_cast_scoped_to_feature_and_metric_files() {
+        let src = "fn f(x: f64) -> usize { x as usize }\n";
+        let in_scope =
+            lint_source(Path::new("crates/core/src/features.rs"), FileClass::Library, src);
+        assert_eq!(rules_of(&in_scope), vec![Rule::FloatCast]);
+        let out_of_scope =
+            lint_source(Path::new("crates/core/src/attack.rs"), FileClass::Library, src);
+        assert!(out_of_scope.is_empty());
+    }
+
+    #[test]
+    fn float_cast_accepts_explicit_rounding() {
+        let src = "fn f(x: f64) -> usize { x.round() as usize }\nfn g(x: f64) -> u32 { x.floor() as u32 }\n";
+        let v = lint_source(Path::new("crates/ml/src/metrics.rs"), FileClass::Library, src);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn undocumented_pub_in_crate_root() {
+        let src = "//! Crate docs.\n#![deny(missing_docs)]\n\n/// Documented.\npub fn ok() {}\n\npub fn bad() {}\n\n/// Re-export.\npub use std::fmt;\n\npub use std::io;\n";
+        let v = lint(FileClass::LibraryRoot, src);
+        assert_eq!(rules_of(&v), vec![Rule::UndocumentedPub, Rule::UndocumentedPub]);
+        assert_eq!(v[0].line, 7);
+        assert_eq!(v[1].line, 12);
+    }
+
+    #[test]
+    fn doc_comment_above_attributes_counts() {
+        let src = "//! Crate docs.\n#![deny(missing_docs)]\n\n/// Documented.\n#[derive(Debug, Clone)]\npub struct S;\n";
+        assert!(lint(FileClass::LibraryRoot, src).is_empty());
+    }
+
+    #[test]
+    fn deny_header_required_in_crate_roots() {
+        let src = "//! Docs.\npub fn x() {}\n// lint:allow(undocumented-pub)\n";
+        let v = lint(FileClass::LibraryRoot, "//! Docs.\n");
+        assert_eq!(rules_of(&v), vec![Rule::DenyHeader]);
+        let _ = src;
+        let ok = lint(FileClass::LibraryRoot, "//! Docs.\n#![deny(missing_docs)]\n");
+        assert!(ok.is_empty());
+        let forbid = lint(FileClass::LibraryRoot, "//! Docs.\n#![forbid(missing_docs)]\n");
+        assert!(forbid.is_empty());
+        let combined =
+            lint(FileClass::LibraryRoot, "//! Docs.\n#![deny(dead_code, missing_docs)]\n");
+        assert!(combined.is_empty());
+    }
+
+    #[test]
+    fn bench_bins_also_need_dead_code_denied() {
+        let path = Path::new("crates/bench/src/bin/fig1.rs");
+        let missing = lint_source(
+            path,
+            FileClass::BinaryRoot,
+            "//! Fig 1.\n#![deny(missing_docs)]\nfn main() {}\n",
+        );
+        assert_eq!(rules_of(&missing), vec![Rule::DenyHeader]);
+        let ok = lint_source(
+            path,
+            FileClass::BinaryRoot,
+            "//! Fig 1.\n#![deny(missing_docs, dead_code)]\nfn main() {}\n",
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_fully_exempt() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint(FileClass::TestCode, src).is_empty());
+    }
+}

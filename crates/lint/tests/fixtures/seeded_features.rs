@@ -1,0 +1,10 @@
+//! Lint fixture: feature code with a bare float→int cast. The file is named
+//! `features.rs` when planted, putting it in `float-cast` scope.
+
+fn bucketize(score: f64, buckets: usize) -> usize {
+    (score * buckets as f64) as usize // seeded: float-cast (line 5)
+}
+
+fn bucketize_rounded(score: f64, buckets: usize) -> usize {
+    (score * buckets as f64).floor() as usize // ok: explicit rounding
+}

@@ -1,0 +1,11 @@
+//! Lint fixture: a crate root missing its deny header and documentation on
+//! one public item.
+
+/// Documented and fine.
+pub fn documented() -> u32 {
+    7
+}
+
+pub fn undocumented() -> u32 {
+    8 // seeded: undocumented-pub (line 9); missing header: deny-header (line 1)
+}

@@ -1,0 +1,43 @@
+//! Lint fixture: a library file seeded with one violation per rule that
+//! applies to plain library code. Never compiled — consumed by
+//! `tests/gate.rs`, which plants it in a synthetic workspace and asserts
+//! the pass reports exactly the seeded lines.
+
+fn takes_first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // seeded: no-panic (line 7)
+}
+
+fn loud_failure() {
+    panic!("seeded: no-panic (line 11)");
+}
+
+fn not_written_yet() -> u32 {
+    todo!() // seeded: no-panic (line 15)
+}
+
+fn is_origin(x: f64) -> bool {
+    x == 0.0 // seeded: float-eq (line 19)
+}
+
+fn sanctioned(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(no-panic) -- fixture: suppressed, must NOT be reported
+}
+
+fn epsilon_ok(x: f64) -> bool {
+    (x - 1.0).abs() < 1e-9
+}
+
+fn mentions_in_text() -> &'static str {
+    // A panic!("...") or .unwrap() in comments and strings must not count.
+    "contains panic!(no) and .unwrap() but only as text"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_freely() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+        assert!(1.0f64 == 1.0f64);
+    }
+}

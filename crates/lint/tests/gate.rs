@@ -1,0 +1,95 @@
+//! Integration tests for the lint gate: plants the fixture sources in a
+//! synthetic workspace, runs the pass (library API and compiled binary),
+//! and asserts the seeded violations — and only those — are reported.
+
+use seeker_lint::{lint_workspace, Rule};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+/// Builds a throwaway workspace containing the seeded fixture files and a
+/// clean crate, returning its root.
+fn seeded_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("seeker-lint-gate-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let write = |rel: &str, content: &str| {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(path, content).expect("write fixture");
+    };
+    write("Cargo.toml", "[workspace]\nmembers = [\"crates/*\"]\n");
+    write(
+        "crates/dirty/src/lib.rs",
+        &format!(
+            "//! Dirty fixture crate.\n#![deny(missing_docs)]\nmod seeded;\nmod features;\n{}",
+            ""
+        ),
+    );
+    write("crates/dirty/src/seeded.rs", &fixture("seeded_violations.rs"));
+    write("crates/dirty/src/features.rs", &fixture("seeded_features.rs"));
+    write("crates/headless/src/lib.rs", &fixture("seeded_lib_root.rs"));
+    write(
+        "crates/clean/src/lib.rs",
+        "//! Clean fixture crate.\n#![deny(missing_docs)]\n\n/// Doubles.\npub fn double(x: u32) -> u32 { x * 2 }\n",
+    );
+    root
+}
+
+#[test]
+fn seeded_workspace_reports_exactly_the_planted_violations() {
+    let root = seeded_workspace("api");
+    let violations = lint_workspace(&root).expect("lint");
+    let got: Vec<(String, usize, Rule)> = violations
+        .iter()
+        .map(|v| (v.file.to_string_lossy().replace('\\', "/"), v.line, v.rule))
+        .collect();
+    let expected = vec![
+        ("crates/dirty/src/features.rs".to_string(), 5, Rule::FloatCast),
+        ("crates/dirty/src/seeded.rs".to_string(), 7, Rule::NoPanic),
+        ("crates/dirty/src/seeded.rs".to_string(), 11, Rule::NoPanic),
+        ("crates/dirty/src/seeded.rs".to_string(), 15, Rule::NoPanic),
+        ("crates/dirty/src/seeded.rs".to_string(), 19, Rule::FloatEq),
+        ("crates/headless/src/lib.rs".to_string(), 1, Rule::DenyHeader),
+        ("crates/headless/src/lib.rs".to_string(), 9, Rule::UndocumentedPub),
+    ];
+    assert_eq!(
+        got,
+        expected,
+        "full report:\n{}",
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn binary_exits_nonzero_on_violations_and_zero_on_clean_tree() {
+    let bin = env!("CARGO_BIN_EXE_seeker-lint");
+
+    let dirty = seeded_workspace("bin");
+    let out = Command::new(bin).arg(&dirty).output().expect("run seeker-lint");
+    assert!(!out.status.success(), "expected failure on seeded workspace");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[no-panic]"), "stdout: {stdout}");
+    assert!(stdout.contains("seeded.rs:7"), "stdout: {stdout}");
+    let _ = fs::remove_dir_all(&dirty);
+
+    // The real workspace (two levels above this crate) must be clean.
+    let real_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let out = Command::new(bin).arg(real_root).output().expect("run seeker-lint");
+    assert!(out.status.success(), "workspace not clean:\n{}", String::from_utf8_lossy(&out.stdout));
+
+    // A mistyped root must not report "clean": that would disarm the gate.
+    let out = Command::new(bin).arg("/no/such/workspace").output().expect("run seeker-lint");
+    assert_eq!(out.status.code(), Some(2), "expected exit 2 on a nonexistent root");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not a workspace root"), "stderr: {stderr}");
+}

@@ -24,8 +24,7 @@ impl PlattScaler {
         let n_neg = decisions.len() as f64 - n_pos;
         let t_pos = (n_pos + 1.0) / (n_pos + 2.0);
         let t_neg = 1.0 / (n_neg + 2.0);
-        let targets: Vec<f64> =
-            labels.iter().map(|&y| if y { t_pos } else { t_neg }).collect();
+        let targets: Vec<f64> = labels.iter().map(|&y| if y { t_pos } else { t_neg }).collect();
         let n = decisions.len() as f64;
 
         let mut a = -1.0f64; // negative slope: higher decision -> higher p
@@ -113,11 +112,7 @@ mod tests {
         let decisions = svm.decision(&xs);
         let scaler = PlattScaler::fit(&decisions, &ys);
         let probs = scaler.probabilities(&decisions);
-        let correct = probs
-            .iter()
-            .zip(ys.iter())
-            .filter(|(&p, &y)| (p > 0.5) == y)
-            .count();
+        let correct = probs.iter().zip(ys.iter()).filter(|(&p, &y)| (p > 0.5) == y).count();
         assert!(correct >= 55, "calibrated probabilities should classify well: {correct}");
     }
 

@@ -194,8 +194,8 @@ fn grow(
                 continue;
             }
             let rp = n_pos - lp;
-            let weighted = (ln as f64 * gini(lp, ln) + rn as f64 * gini(rp, rn))
-                / indices.len() as f64;
+            let weighted =
+                (ln as f64 * gini(lp, ln) + rn as f64 * gini(rp, rn)) / indices.len() as f64;
             let gain = parent_gini - weighted;
             if best.is_none_or(|(g, _, _)| gain > g) {
                 best = Some((gain, f, threshold));

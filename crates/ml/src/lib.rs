@@ -16,7 +16,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod calibrate;
 mod forest;
@@ -28,14 +28,23 @@ mod scaler;
 mod split;
 mod svm;
 
+/// Platt scaling: maps raw scores to probabilities.
 pub use calibrate::PlattScaler;
+/// Random-forest classifier (Gini CART ensemble).
 pub use forest::{ForestConfig, RandomForest};
+/// k-nearest-neighbour classifier.
 pub use knn::KnnClassifier;
+/// L2-regularised logistic regression.
 pub use logreg::{LogRegConfig, LogisticRegression};
+/// Precision/recall/F1/AUC for binary predictions.
 pub use metrics::BinaryMetrics;
+/// Ranking metrics (precision@k, AP) for scored pairs.
 pub use ranking::{average_precision, roc_auc};
+/// Per-feature standardisation.
 pub use scaler::StandardScaler;
+/// Train/test and stratified splitting helpers.
 pub use split::{kfold, stratified_split, train_test_split};
+/// SMO-trained support vector machine.
 pub use svm::{Kernel, Svm, SvmConfig};
 
 #[cfg(test)]

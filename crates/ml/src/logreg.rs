@@ -134,8 +134,10 @@ mod tests {
     fn l2_shrinks_weights() {
         let xs: Vec<Vec<f32>> = (0..20).map(|i| vec![if i < 10 { -1.0 } else { 1.0 }]).collect();
         let ys: Vec<bool> = (0..20).map(|i| i >= 10).collect();
-        let loose = LogisticRegression::fit(&LogRegConfig { l2: 0.0, ..Default::default() }, &xs, &ys);
-        let tight = LogisticRegression::fit(&LogRegConfig { l2: 1.0, ..Default::default() }, &xs, &ys);
+        let loose =
+            LogisticRegression::fit(&LogRegConfig { l2: 0.0, ..Default::default() }, &xs, &ys);
+        let tight =
+            LogisticRegression::fit(&LogRegConfig { l2: 1.0, ..Default::default() }, &xs, &ys);
         assert!(tight.weights()[0].abs() < loose.weights()[0].abs());
     }
 

@@ -65,6 +65,7 @@ impl BinaryMetrics {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
+        // lint:allow(float-eq) -- p + r is exactly 0.0 only when both counters are zero
         if p + r == 0.0 {
             0.0
         } else {

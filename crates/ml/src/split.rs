@@ -29,7 +29,11 @@ pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>,
 /// # Panics
 ///
 /// Panics if `test_fraction` is outside `(0, 1)`.
-pub fn stratified_split(labels: &[bool], test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+pub fn stratified_split(
+    labels: &[bool],
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
     assert!(
         test_fraction > 0.0 && test_fraction < 1.0,
         "test fraction must be in (0, 1), got {test_fraction}"

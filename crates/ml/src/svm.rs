@@ -155,10 +155,12 @@ impl Svm {
                 let ai = ai_old + ys[i] * ys[j] * (aj_old - aj);
                 alphas[i] = ai;
                 alphas[j] = aj;
-                let b1 = b - ei
+                let b1 = b
+                    - ei
                     - ys[i] * (ai - ai_old) * gram[i * n + i]
                     - ys[j] * (aj - aj_old) * gram[i * n + j];
-                let b2 = b - ej
+                let b2 = b
+                    - ej
                     - ys[i] * (ai - ai_old) * gram[i * n + j]
                     - ys[j] * (aj - aj_old) * gram[j * n + j];
                 let b_old = b;

@@ -162,6 +162,7 @@ impl SupervisedAutoencoder {
     pub fn fit(&mut self, xs: &[SparseRow], ys: &[f32]) -> TrainReport {
         assert_eq!(xs.len(), ys.len(), "sample/label count mismatch");
         assert!(!xs.is_empty(), "cannot train on an empty set");
+        // lint:allow(float-eq) -- labels are exact 0.0/1.0 sentinels, not measurements
         assert!(ys.iter().all(|&y| y == 0.0 || y == 1.0), "labels must be 0 or 1");
         assert!(
             (0.0..1.0).contains(&self.cfg.dropout),
@@ -231,9 +232,8 @@ impl SupervisedAutoencoder {
 
         let dim_norm = 1.0 / self.cfg.input_dim as f32;
         let recon_loss = mse_loss(dec_cache.output(), target) * dim_norm;
-        let probs: Vec<f32> = (0..cls_cache.output().rows())
-            .map(|i| cls_cache.output().get(i, 0))
-            .collect();
+        let probs: Vec<f32> =
+            (0..cls_cache.output().rows()).map(|i| cls_cache.output().get(i, 0)).collect();
         let cls_loss = bce_loss(&probs, labels);
 
         // Decoder path (Algorithm 1 lines 11–14): L_auto gradients at rate β.
@@ -241,16 +241,28 @@ impl SupervisedAutoencoder {
         d_recon.map_inplace(|g| g * dim_norm);
         let (dec_grads, d_h_recon) =
             self.decoder.compute_grads(Input::Dense(&h), &dec_cache, &d_recon);
-        self.decoder.apply_grads_decayed(&dec_grads, &self.cfg.optimizer, 1.0, self.cfg.weight_decay);
-        let d_h_recon = d_h_recon.expect("dense input yields input gradient");
+        self.decoder.apply_grads_decayed(
+            &dec_grads,
+            &self.cfg.optimizer,
+            1.0,
+            self.cfg.weight_decay,
+        );
+        // Invariant: `compute_grads` returns an input gradient for dense input.
+        let d_h_recon = d_h_recon.expect("dense input yields input gradient"); // lint:allow(no-panic)
 
         // Classifier path (lines 15–18): L_cla gradients at rate β.
         let g = bce_grad(&probs, labels);
         let d_cls = Matrix::from_vec(g.len(), 1, g);
         let (cls_grads, d_h_cls) =
             self.classifier.compute_grads(Input::Dense(&h), &cls_cache, &d_cls);
-        self.classifier.apply_grads_decayed(&cls_grads, &self.cfg.optimizer, 1.0, self.cfg.weight_decay);
-        let d_h_cls = d_h_cls.expect("dense input yields input gradient");
+        self.classifier.apply_grads_decayed(
+            &cls_grads,
+            &self.cfg.optimizer,
+            1.0,
+            self.cfg.weight_decay,
+        );
+        // Invariant: `compute_grads` returns an input gradient for dense input.
+        let d_h_cls = d_h_cls.expect("dense input yields input gradient"); // lint:allow(no-panic)
 
         // Encoder (lines 11–14 + 19–22): L_auto at β plus L_cla at α·β,
         // i.e. one pass with the combined bottleneck gradient.
@@ -262,7 +274,12 @@ impl SupervisedAutoencoder {
             }
         }
         let (enc_grads, _) = self.encoder.compute_grads(Input::Sparse(batch), &enc_cache, &d_h);
-        self.encoder.apply_grads_decayed(&enc_grads, &self.cfg.optimizer, 1.0, self.cfg.weight_decay);
+        self.encoder.apply_grads_decayed(
+            &enc_grads,
+            &self.cfg.optimizer,
+            1.0,
+            self.cfg.weight_decay,
+        );
 
         (recon_loss, cls_loss)
     }
@@ -403,9 +420,8 @@ mod tests {
             let friend = i % 2 == 0;
             let half = dim / 2;
             let base = if friend { 0 } else { half };
-            let mut row: SparseRow = (0..4)
-                .map(|_| (base + rng.gen_range(0..half), 1.0 + rng.gen::<f32>()))
-                .collect();
+            let mut row: SparseRow =
+                (0..4).map(|_| (base + rng.gen_range(0..half), 1.0 + rng.gen::<f32>())).collect();
             // noise dim anywhere
             row.push((rng.gen_range(0..dim), 0.5));
             xs.push(row);
@@ -450,11 +466,7 @@ mod tests {
         let mut model = SupervisedAutoencoder::new(quick_cfg(32, 8));
         model.fit(&xs, &ys);
         let probs = model.predict_proba(&xs);
-        let correct = probs
-            .iter()
-            .zip(ys.iter())
-            .filter(|(&p, &y)| (p > 0.5) == (y > 0.5))
-            .count();
+        let correct = probs.iter().zip(ys.iter()).filter(|(&p, &y)| (p > 0.5) == (y > 0.5)).count();
         assert!(correct as f64 / ys.len() as f64 > 0.85, "accuracy {correct}/{}", ys.len());
     }
 
@@ -609,9 +621,8 @@ mod decay_tests {
     #[test]
     fn weight_decay_shrinks_weight_norms() {
         // Same toy task with and without decay; decayed weights end smaller.
-        let xs: Vec<SparseRow> = (0..32)
-            .map(|i| vec![((i * 7) % 16, 1.0f32), (((i * 11) % 16), 0.5)])
-            .collect();
+        let xs: Vec<SparseRow> =
+            (0..32).map(|i| vec![((i * 7) % 16, 1.0f32), (((i * 11) % 16), 0.5)]).collect();
         let ys: Vec<f32> = (0..32).map(|i| (i % 2) as f32).collect();
         let run = |wd: f32| -> f32 {
             let mut cfg = SupervisedAutoencoderConfig::new(16, 4);
@@ -624,10 +635,7 @@ mod decay_tests {
         };
         let free = run(0.0);
         let decayed = run(0.05);
-        assert!(
-            decayed < free,
-            "decayed norm {decayed} should be below undecayed {free}"
-        );
+        assert!(decayed < free, "decayed norm {decayed} should be below undecayed {free}");
     }
 
     #[test]
@@ -653,9 +661,8 @@ mod dropout_tests {
     use super::*;
 
     fn toy() -> (Vec<SparseRow>, Vec<f32>) {
-        let xs: Vec<SparseRow> = (0..48)
-            .map(|i| vec![((i * 7) % 24, 1.0f32), (((i * 13) % 24), 0.8)])
-            .collect();
+        let xs: Vec<SparseRow> =
+            (0..48).map(|i| vec![((i * 7) % 24, 1.0f32), (((i * 13) % 24), 0.8)]).collect();
         let ys: Vec<f32> = (0..48).map(|i| (i % 2) as f32).collect();
         (xs, ys)
     }

@@ -42,8 +42,7 @@ pub fn train_skipgram(walks: &[Vec<usize>], n_nodes: usize, cfg: &SkipGramConfig
     assert!(cfg.dim > 0, "embedding dim must be positive");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let init = 0.5 / cfg.dim as f32;
-    let mut w_in: Vec<f32> =
-        (0..n_nodes * cfg.dim).map(|_| rng.gen_range(-init..init)).collect();
+    let mut w_in: Vec<f32> = (0..n_nodes * cfg.dim).map(|_| rng.gen_range(-init..init)).collect();
     let mut w_out: Vec<f32> = vec![0.0; n_nodes * cfg.dim];
 
     // Unigram^0.75 negative-sampling table.
@@ -119,12 +118,7 @@ fn build_negative_table(counts: &[u64]) -> Vec<usize> {
     }
     if table.is_empty() {
         // Degenerate rounding: fall back to the nonzero nodes.
-        table = counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(n, _)| n)
-            .collect();
+        table = counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(n, _)| n).collect();
     }
     table
 }
@@ -148,6 +142,7 @@ pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
         na += x * x;
         nb += y * y;
     }
+    // lint:allow(float-eq) -- exact-zero guard before division, not a tolerance test
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {

@@ -86,7 +86,13 @@ impl Dense {
         if b.len() != w.cols() {
             return Err(format!("bias length {} != output dim {}", b.len(), w.cols()));
         }
-        Ok(Dense { w, b, activation, w_state: ParamState::default(), b_state: ParamState::default() })
+        Ok(Dense {
+            w,
+            b,
+            activation,
+            w_state: ParamState::default(),
+            b_state: ParamState::default(),
+        })
     }
 
     /// Input dimension.
@@ -200,6 +206,7 @@ impl Dense {
         lr_scale: f32,
         weight_decay: f32,
     ) {
+        // lint:allow(float-eq) -- exact-zero fast path: decay disabled by configuration
         if weight_decay == 0.0 {
             self.w_state.apply(opt, self.w.as_mut_slice(), grads.dw.as_slice(), lr_scale);
         } else {
@@ -314,7 +321,11 @@ mod tests {
     fn sgd_update_reduces_simple_loss() {
         let mut r = rng();
         let mut layer = Dense::new(3, 1, Activation::Identity, &mut r);
-        let x = Matrix::from_vec(4, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]);
+        let x = Matrix::from_vec(
+            4,
+            3,
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0],
+        );
         let target = Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 6.0]);
         let opt = Optimizer::Sgd { lr: 0.1 };
         let mut last = f32::INFINITY;

@@ -21,26 +21,35 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod activation;
 mod autoencoder;
+/// Dense user/location embedding tables.
 pub mod embedding;
 mod layer;
 mod loss;
 mod matrix;
 mod mlp;
 mod optimizer;
+/// Save/load of network weights.
 pub mod persist;
 #[cfg(test)]
 mod proptests;
 
+/// Supported activation functions.
 pub use activation::Activation;
+/// The supervised autoencoder of §IV-B.
 pub use autoencoder::{
     EpochLosses, SupervisedAutoencoder, SupervisedAutoencoderConfig, TrainReport,
 };
+/// Fully-connected layer primitives.
 pub use layer::{Dense, DenseGrads, SparseRow};
+/// Reconstruction + classification loss terms.
 pub use loss::{bce_grad, bce_loss, mse_grad, mse_loss};
+/// Row-major f64 matrix with the GEMM kernels.
 pub use matrix::Matrix;
+/// Multi-layer perceptron built from dense layers.
 pub use mlp::{Input, Mlp, MlpCache};
+/// SGD/momentum/Adam parameter updates.
 pub use optimizer::{Optimizer, ParamState};

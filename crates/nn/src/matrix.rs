@@ -122,6 +122,7 @@ impl Matrix {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &aik) in a_row.iter().enumerate() {
+                // lint:allow(float-eq) -- exact-zero sparsity skip in the GEMM inner loop
                 if aik == 0.0 {
                     continue;
                 }
@@ -147,6 +148,7 @@ impl Matrix {
             let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
             let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
             for (i, &aki) in a_row.iter().enumerate() {
+                // lint:allow(float-eq) -- exact-zero sparsity skip in the GEMM inner loop
                 if aki == 0.0 {
                     continue;
                 }

@@ -38,7 +38,8 @@ pub struct MlpCache {
 impl MlpCache {
     /// The final layer's activated output.
     pub fn output(&self) -> &Matrix {
-        self.outputs.last().expect("cache of a forward pass is never empty")
+        // Invariant: `forward_cached` always pushes at least one output.
+        self.outputs.last().expect("cache of a forward pass is never empty") // lint:allow(no-panic)
     }
 }
 
@@ -90,12 +91,14 @@ impl Mlp {
 
     /// Input dimension.
     pub fn in_dim(&self) -> usize {
-        self.layers.first().expect("non-empty").in_dim()
+        // Invariant: the constructor rejects an empty layer stack.
+        self.layers.first().expect("non-empty").in_dim() // lint:allow(no-panic)
     }
 
     /// Output dimension.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().expect("non-empty").out_dim()
+        // Invariant: the constructor rejects an empty layer stack.
+        self.layers.last().expect("non-empty").out_dim() // lint:allow(no-panic)
     }
 
     /// Total trainable parameters.
@@ -113,7 +116,8 @@ impl Mlp {
     /// Forward pass returning only the final output.
     pub fn forward(&self, input: Input<'_>) -> Matrix {
         let mut cache = self.forward_cached(input);
-        cache.outputs.pop().expect("non-empty")
+        // Invariant: `forward_cached` always pushes at least one output.
+        cache.outputs.pop().expect("non-empty") // lint:allow(no-panic)
     }
 
     /// Forward pass retaining every layer's output for backprop.
@@ -129,7 +133,8 @@ impl Mlp {
         };
         outputs.push(first);
         for layer in &self.layers[1..] {
-            let next = layer.forward(outputs.last().expect("non-empty"));
+            // Invariant: the first layer's output was pushed above.
+            let next = layer.forward(outputs.last().expect("non-empty")); // lint:allow(no-panic)
             outputs.push(next);
         }
         MlpCache { outputs }
@@ -187,6 +192,8 @@ impl Mlp {
                 None
             }
         };
+        // Invariant: the backward loop above fills every slot exactly once.
+        // lint:allow(no-panic)
         (grads.into_iter().map(|g| g.expect("all layers visited")).collect(), d_input)
     }
 

@@ -43,7 +43,9 @@ impl Optimizer {
     /// The base learning rate.
     pub fn learning_rate(&self) -> f32 {
         match *self {
-            Optimizer::Sgd { lr } | Optimizer::Momentum { lr, .. } | Optimizer::Adam { lr, .. } => lr,
+            Optimizer::Sgd { lr } | Optimizer::Momentum { lr, .. } | Optimizer::Adam { lr, .. } => {
+                lr
+            }
         }
     }
 }
@@ -77,7 +79,9 @@ impl ParamState {
                     self.velocity = vec![0.0; params.len()];
                 }
                 let step = lr * lr_scale;
-                for ((p, &g), v) in params.iter_mut().zip(grads.iter()).zip(self.velocity.iter_mut()) {
+                for ((p, &g), v) in
+                    params.iter_mut().zip(grads.iter()).zip(self.velocity.iter_mut())
+                {
                     *v = beta * *v + g;
                     *p -= step * *v;
                 }

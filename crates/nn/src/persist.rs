@@ -135,7 +135,10 @@ pub fn mlp_from_bytes(bytes: &[u8]) -> Result<Mlp, PersistError> {
         let act = activation_from_tag(c.u8()?)?;
         let w = c.f32s(in_dim * out_dim)?;
         let b = c.f32s(out_dim)?;
-        layers.push(Dense::from_parts(Matrix::from_vec(in_dim, out_dim, w), b, act).map_err(PersistError::Invalid)?);
+        layers.push(
+            Dense::from_parts(Matrix::from_vec(in_dim, out_dim, w), b, act)
+                .map_err(PersistError::Invalid)?,
+        );
     }
     if c.pos != bytes.len() {
         return Err(PersistError::Invalid("trailing bytes after payload".into()));
@@ -150,7 +153,7 @@ pub fn roundtrip_for_test(seed: u64) -> (Mlp, Mlp) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mlp = Mlp::new(&[6, 4, 2], Activation::Relu, Activation::Sigmoid, &mut rng);
     let bytes = mlp_to_bytes(&mlp);
-    let back = mlp_from_bytes(&bytes).expect("roundtrip");
+    let back = mlp_from_bytes(&bytes).expect("roundtrip"); // lint:allow(no-panic) -- test-support helper
     (mlp, back)
 }
 

@@ -13,8 +13,9 @@
 //! what the attacker can see).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+/// Countermeasures aimed at specific sensitive edges.
 pub mod targeted;
 
 use rand::prelude::*;
@@ -63,13 +64,8 @@ pub fn hide_checkins(ds: &Dataset, proportion: f64, seed: u64) -> Result<Dataset
         remaining[user.index()] -= 1;
         removed += 1;
     }
-    let kept: Vec<CheckIn> = ds
-        .checkins()
-        .iter()
-        .zip(keep.iter())
-        .filter(|(_, &k)| k)
-        .map(|(&c, _)| c)
-        .collect();
+    let kept: Vec<CheckIn> =
+        ds.checkins().iter().zip(keep.iter()).filter(|(_, &k)| k).map(|(&c, _)| c).collect();
     ds.with_checkins(kept)
 }
 
@@ -89,7 +85,9 @@ pub fn blur_checkins(
     seed: u64,
 ) -> Result<Dataset> {
     if !(0.0..=1.0).contains(&proportion) {
-        return Err(TraceError::Invalid(format!("blurring proportion {proportion} outside [0, 1]")));
+        return Err(TraceError::Invalid(format!(
+            "blurring proportion {proportion} outside [0, 1]"
+        )));
     }
     if ds.n_pois() == 0 {
         return Err(TraceError::Invalid("no POIs to blur into".into()));

@@ -45,8 +45,7 @@ pub fn linkability_scores(ds: &Dataset, window_secs: i64) -> Vec<f64> {
     let mut scores = vec![0.0f64; ds.n_checkins()];
     for events in poi_events.values_mut() {
         events.sort_unstable();
-        let visitors: std::collections::BTreeSet<u32> =
-            events.iter().map(|&(_, u, _)| u).collect();
+        let visitors: std::collections::BTreeSet<u32> = events.iter().map(|&(_, u, _)| u).collect();
         let weight = 1.0 / (std::f64::consts::E + visitors.len() as f64).ln();
         for i in 0..events.len() {
             let (ti, ui, idx_i) = events[i];
@@ -98,13 +97,8 @@ pub fn targeted_hide(ds: &Dataset, cfg: &TargetedHidingConfig) -> Result<Dataset
         remaining[user.index()] -= 1;
         removed += 1;
     }
-    let kept: Vec<CheckIn> = ds
-        .checkins()
-        .iter()
-        .zip(keep.iter())
-        .filter(|(_, &k)| k)
-        .map(|(&c, _)| c)
-        .collect();
+    let kept: Vec<CheckIn> =
+        ds.checkins().iter().zip(keep.iter()).filter(|(_, &k)| k).map(|(&c, _)| c).collect();
     ds.with_checkins(kept)
 }
 

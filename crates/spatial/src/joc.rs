@@ -82,6 +82,13 @@ impl Joc {
                 }
             }
         }
+        // Definition 4 invariant: joint occurrences are bounded by each
+        // user's own activity in the cell (`n_ab` counts distinct shared
+        // POIs, which cannot exceed either side's check-in count).
+        debug_assert!(
+            cells.values().all(|c| c.n_ab <= c.n_a.min(c.n_b)),
+            "JOC invariant violated: n_ab > min(n_a, n_b)"
+        );
         Joc { n_grids: division.n_grids(), n_slots: division.n_slots(), cells }
     }
 

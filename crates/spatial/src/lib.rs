@@ -18,7 +18,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod joc;
 #[cfg(test)]
@@ -27,7 +27,11 @@ mod quadtree;
 mod std_division;
 mod timeslot;
 
+/// Joint occurrence cuboids over STD cells (Definition 4).
 pub use joc::{Joc, JocCell};
+/// Point-region quadtree with σ-capacity leaves.
 pub use quadtree::Quadtree;
+/// Spatio-temporal division built on the quadtree (§IV-A).
 pub use std_division::{SpatialParam, SpatialTemporalDivision};
+/// Uniform time slotting of the observation window.
 pub use timeslot::TimeSlots;

@@ -71,6 +71,52 @@ proptest! {
         prop_assert_eq!(slots.slot_of(e).is_some(), true, "end instant covered");
     }
 
+    /// σ-capacity (§IV-A): no leaf grid holds more than σ POIs. (The depth
+    /// cap only overrides this for exactly co-located points, which the
+    /// continuous coordinate strategy never produces.)
+    #[test]
+    fn quadtree_leaves_respect_sigma(pois in arb_pois(150), sigma in 1usize..30) {
+        let qt = Quadtree::build(&pois, sigma);
+        for g in 0..qt.n_grids() {
+            prop_assert!(
+                qt.grid_poi_count(g) <= sigma,
+                "grid {} holds {} POIs > sigma {}", g, qt.grid_poi_count(g), sigma
+            );
+        }
+    }
+
+    /// Definition 4: in every cell, joint occurrences cannot exceed either
+    /// side's own check-in count — `n_ab <= min(n_a, n_b)`.
+    #[test]
+    fn joc_cells_bounded_by_min_side(n_checkins in 2usize..80, split in 0usize..80, seed in any::<u64>()) {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = DatasetBuilder::new("prop");
+        let pois: Vec<_> = (0..8)
+            .map(|i| b.add_poi(GeoPoint::new(i as f64, -(i as f64)), 10.0))
+            .collect();
+        for i in 0..n_checkins {
+            let user = if i < split.min(n_checkins) { 1u64 } else { 2u64 };
+            let poi = pois[rng.gen_range(0..pois.len())];
+            b.add_checkin(user, poi, Timestamp::from_secs(rng.gen_range(0..86_400 * 30)));
+        }
+        b.min_checkins(0);
+        let ds = b.build().unwrap();
+        if ds.n_users() < 2 {
+            return Ok(());
+        }
+        let std = SpatialTemporalDivision::build(&ds, 4, 7.0).unwrap();
+        let ta = ds.trajectory(seeker_trace::UserId::new(0));
+        let tb = ds.trajectory(seeker_trace::UserId::new(1));
+        let joc = Joc::build(&std, ta, tb);
+        for ((g, s), c) in joc.iter() {
+            prop_assert!(
+                c.n_ab <= c.n_a.min(c.n_b),
+                "cell ({}, {}): n_ab {} > min(n_a {}, n_b {})", g, s, c.n_ab, c.n_a, c.n_b
+            );
+        }
+    }
+
     /// JOC totals equal trajectory lengths for arbitrary trajectory splits.
     #[test]
     fn joc_totals_match(n_checkins in 2usize..60, split in 0usize..60, seed in any::<u64>()) {

@@ -120,7 +120,13 @@ impl Quadtree {
         tree
     }
 
-    fn split_uniform(&mut self, pois: &[Poi], members: &[usize], bbox: BoundingBox, depth: usize) -> usize {
+    fn split_uniform(
+        &mut self,
+        pois: &[Poi],
+        members: &[usize],
+        bbox: BoundingBox,
+        depth: usize,
+    ) -> usize {
         if depth == 0 {
             let grid = self.n_grids;
             self.n_grids += 1;
@@ -134,10 +140,30 @@ impl Quadtree {
         let mid_lon = (bbox.min_lon + bbox.max_lon) / 2.0;
         let quadrant_bbox = |q: usize| -> BoundingBox {
             match q {
-                0 => BoundingBox { min_lat: bbox.min_lat, min_lon: bbox.min_lon, max_lat: mid_lat, max_lon: mid_lon },
-                1 => BoundingBox { min_lat: bbox.min_lat, min_lon: mid_lon, max_lat: mid_lat, max_lon: bbox.max_lon },
-                2 => BoundingBox { min_lat: mid_lat, min_lon: bbox.min_lon, max_lat: bbox.max_lat, max_lon: mid_lon },
-                _ => BoundingBox { min_lat: mid_lat, min_lon: mid_lon, max_lat: bbox.max_lat, max_lon: bbox.max_lon },
+                0 => BoundingBox {
+                    min_lat: bbox.min_lat,
+                    min_lon: bbox.min_lon,
+                    max_lat: mid_lat,
+                    max_lon: mid_lon,
+                },
+                1 => BoundingBox {
+                    min_lat: bbox.min_lat,
+                    min_lon: mid_lon,
+                    max_lat: mid_lat,
+                    max_lon: bbox.max_lon,
+                },
+                2 => BoundingBox {
+                    min_lat: mid_lat,
+                    min_lon: bbox.min_lon,
+                    max_lat: bbox.max_lat,
+                    max_lon: mid_lon,
+                },
+                _ => BoundingBox {
+                    min_lat: mid_lat,
+                    min_lon: mid_lon,
+                    max_lat: bbox.max_lat,
+                    max_lon: bbox.max_lon,
+                },
             }
         };
         let mut buckets: [Vec<usize>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
@@ -178,6 +204,11 @@ impl Quadtree {
         };
         let all: Vec<usize> = (0..pois.len()).collect();
         tree.split(pois, &all, bbox, sigma, 0);
+        debug_assert_eq!(
+            tree.grid_poi_counts.iter().sum::<usize>(),
+            pois.len(),
+            "every POI must land in exactly one leaf grid"
+        );
         tree
     }
 
@@ -190,6 +221,13 @@ impl Quadtree {
         depth: usize,
     ) -> usize {
         if members.len() <= sigma || depth >= MAX_DEPTH {
+            // σ-capacity invariant (§IV-A): an over-capacity leaf is only
+            // permitted when the depth cap stopped recursion on co-located
+            // points.
+            debug_assert!(
+                members.len() <= sigma || depth == MAX_DEPTH,
+                "quadtree recursed past the depth cap"
+            );
             let grid = self.n_grids;
             self.n_grids += 1;
             self.grid_poi_counts.push(members.len());
@@ -202,10 +240,30 @@ impl Quadtree {
         let mid_lon = (bbox.min_lon + bbox.max_lon) / 2.0;
         let quadrant_bbox = |q: usize| -> BoundingBox {
             match q {
-                0 => BoundingBox { min_lat: bbox.min_lat, min_lon: bbox.min_lon, max_lat: mid_lat, max_lon: mid_lon },
-                1 => BoundingBox { min_lat: bbox.min_lat, min_lon: mid_lon, max_lat: mid_lat, max_lon: bbox.max_lon },
-                2 => BoundingBox { min_lat: mid_lat, min_lon: bbox.min_lon, max_lat: bbox.max_lat, max_lon: mid_lon },
-                _ => BoundingBox { min_lat: mid_lat, min_lon: mid_lon, max_lat: bbox.max_lat, max_lon: bbox.max_lon },
+                0 => BoundingBox {
+                    min_lat: bbox.min_lat,
+                    min_lon: bbox.min_lon,
+                    max_lat: mid_lat,
+                    max_lon: mid_lon,
+                },
+                1 => BoundingBox {
+                    min_lat: bbox.min_lat,
+                    min_lon: mid_lon,
+                    max_lat: mid_lat,
+                    max_lon: bbox.max_lon,
+                },
+                2 => BoundingBox {
+                    min_lat: mid_lat,
+                    min_lon: bbox.min_lon,
+                    max_lat: bbox.max_lat,
+                    max_lon: mid_lon,
+                },
+                _ => BoundingBox {
+                    min_lat: mid_lat,
+                    min_lon: mid_lon,
+                    max_lat: bbox.max_lat,
+                    max_lon: bbox.max_lon,
+                },
             }
         };
         let quadrant_of = |p: GeoPoint| -> usize {

@@ -101,7 +101,11 @@ impl SpatialTemporalDivision {
     /// # Errors
     ///
     /// Same conditions as [`SpatialTemporalDivision::build`].
-    pub fn build_uniform(dataset: &Dataset, depth: usize, tau_days: f64) -> seeker_trace::Result<Self> {
+    pub fn build_uniform(
+        dataset: &Dataset,
+        depth: usize,
+        tau_days: f64,
+    ) -> seeker_trace::Result<Self> {
         if dataset.n_pois() == 0 {
             return Err(seeker_trace::TraceError::Invalid("no POIs to divide".into()));
         }
@@ -163,7 +167,10 @@ impl SpatialTemporalDivision {
     ///
     /// Panics if either coordinate is out of range.
     pub fn flat_index(&self, grid: usize, slot: usize) -> usize {
-        assert!(grid < self.n_grids() && slot < self.n_slots(), "cell ({grid},{slot}) out of range");
+        assert!(
+            grid < self.n_grids() && slot < self.n_slots(),
+            "cell ({grid},{slot}) out of range"
+        );
         grid * self.n_slots() + slot
     }
 }

@@ -35,7 +35,10 @@ fn main() {
         );
         println!(
             "  friends:     CL&CF={:.3} CL-only={:.3} CF-only={:.3} neither={:.3}",
-            c.friends.colo_and_cofriend, c.friends.colo_only, c.friends.cofriend_only, c.friends.neither
+            c.friends.colo_and_cofriend,
+            c.friends.colo_only,
+            c.friends.cofriend_only,
+            c.friends.neither
         );
         println!(
             "  non-friends: CL&CF={:.3} CL-only={:.3} CF-only={:.3} neither={:.3}",

@@ -27,7 +27,10 @@ pub struct BoundingBox {
 impl BoundingBox {
     /// Whether `p` lies within the box (inclusive).
     pub fn contains(&self, p: GeoPoint) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
     }
 
     /// Grows the box by a small epsilon so boundary points stay strictly
@@ -206,10 +209,16 @@ impl Dataset {
     pub fn with_checkins(&self, checkins: Vec<CheckIn>) -> Result<Dataset> {
         for c in &checkins {
             if c.user.index() >= self.n_users() {
-                return Err(TraceError::Invalid(format!("check-in references unknown user {}", c.user)));
+                return Err(TraceError::Invalid(format!(
+                    "check-in references unknown user {}",
+                    c.user
+                )));
             }
             if c.poi.index() >= self.n_pois() {
-                return Err(TraceError::Invalid(format!("check-in references unknown poi {}", c.poi)));
+                return Err(TraceError::Invalid(format!(
+                    "check-in references unknown poi {}",
+                    c.poi
+                )));
             }
         }
         let (checkins, user_spans) = sort_and_span(checkins, self.n_users());
@@ -389,7 +398,9 @@ impl DatasetBuilder {
     pub fn build(&self) -> Result<Dataset> {
         for &(_, poi, _) in &self.raw_checkins {
             if poi.index() >= self.pois.len() {
-                return Err(TraceError::Invalid(format!("check-in references unregistered poi {poi}")));
+                return Err(TraceError::Invalid(format!(
+                    "check-in references unregistered poi {poi}"
+                )));
             }
         }
         // Count check-ins per raw user, then keep users meeting the floor.

@@ -3,6 +3,7 @@
 use std::error::Error as StdError;
 use std::fmt;
 use std::io;
+use std::path::PathBuf;
 
 /// Errors produced while loading or assembling check-in datasets.
 #[derive(Debug)]
@@ -12,6 +13,9 @@ pub enum TraceError {
     Io(io::Error),
     /// A malformed line in a SNAP-format file.
     Parse {
+        /// The file the offending record came from, when known (loads from
+        /// in-memory readers have no path).
+        file: Option<PathBuf>,
         /// 1-based line number of the offending record.
         line: usize,
         /// What was wrong with the record.
@@ -22,11 +26,35 @@ pub enum TraceError {
     Invalid(String),
 }
 
+impl TraceError {
+    /// Constructs a parse error with no file context.
+    #[must_use]
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        TraceError::Parse { file: None, line, message: message.into() }
+    }
+
+    /// Attaches a file path to a [`TraceError::Parse`] that lacks one, so
+    /// loaders reading from disk report `file:line`. Other variants (and
+    /// parse errors that already carry a path) pass through unchanged.
+    #[must_use]
+    pub fn in_file(self, path: impl Into<PathBuf>) -> Self {
+        match self {
+            TraceError::Parse { file: None, line, message } => {
+                TraceError::Parse { file: Some(path.into()), line, message }
+            }
+            other => other,
+        }
+    }
+}
+
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::Io(e) => write!(f, "i/o error: {e}"),
-            TraceError::Parse { line, message } => {
+            TraceError::Parse { file: Some(path), line, message } => {
+                write!(f, "parse error at {}:{line}: {message}", path.display())
+            }
+            TraceError::Parse { file: None, line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
             TraceError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
@@ -58,12 +86,24 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        let e = TraceError::Parse { line: 3, message: "bad field".into() };
+        let e = TraceError::parse(3, "bad field");
         assert!(e.to_string().contains("line 3"));
         let e = TraceError::Invalid("dangling edge".into());
         assert!(e.to_string().contains("dangling edge"));
         let e = TraceError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
         assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn in_file_adds_path_context_once() {
+        let e = TraceError::parse(7, "bad ts").in_file("data/checkins.txt");
+        assert_eq!(e.to_string(), "parse error at data/checkins.txt:7: bad ts");
+        // A second attachment must not overwrite the original path.
+        let e = e.in_file("other.txt");
+        assert!(e.to_string().contains("data/checkins.txt:7"));
+        // Non-parse errors pass through untouched.
+        let e = TraceError::Invalid("x".into()).in_file("y.txt");
+        assert!(matches!(e, TraceError::Invalid(_)));
     }
 
     #[test]

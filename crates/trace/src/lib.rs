@@ -19,17 +19,25 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod dataset;
 mod error;
+/// GeoJSON export of traces for visual inspection.
 pub mod geojson;
+/// Per-user mobility summaries (radius of gyration, etc.).
 pub mod mobility;
+/// Loader for SNAP-format check-in/edge dumps.
 pub mod snap;
+/// Dataset statistics of §II-C.
 pub mod stats;
+/// Synthetic MSN trace generator.
 pub mod synth;
 mod types;
 
+/// The check-in dataset container.
 pub use dataset::{BoundingBox, Dataset, DatasetBuilder};
+/// Typed trace errors.
 pub use error::{Result, TraceError};
+/// Core identifiers and record types (Definitions 1–3).
 pub use types::{CheckIn, GeoPoint, Poi, PoiId, Timestamp, UserId, UserPair};

@@ -70,7 +70,7 @@ pub fn top_poi_share(ds: &Dataset, user: UserId) -> Option<f64> {
     for c in traj {
         *counts.entry(c.poi).or_insert(0) += 1;
     }
-    let max = *counts.values().max().expect("non-empty");
+    let max = counts.values().copied().max().unwrap_or(0);
     Some(max as f64 / traj.len() as f64)
 }
 
@@ -177,7 +177,7 @@ pub fn weekly_routine_score(ds: &Dataset, user: UserId, band_hours: u32) -> Opti
         let band = ((secs % 86_400) / (band_hours as i64 * 3_600)) as usize;
         bins[day * bands_per_day + band] += 1;
     }
-    let max = *bins.iter().max().expect("non-empty") as f64;
+    let max = bins.iter().copied().max().unwrap_or(0) as f64;
     let share = max / traj.len() as f64;
     Some((share - 1.0 / n_bins as f64).max(0.0))
 }

@@ -37,16 +37,21 @@ impl Default for SnapOptions {
 ///
 /// # Errors
 ///
-/// Returns [`TraceError::Io`] on file errors and [`TraceError::Parse`] on
-/// malformed records.
+/// Returns [`TraceError::Io`] on file errors and [`TraceError::Parse`] —
+/// carrying the offending `file:line` — on malformed records.
 pub fn load_dataset(
     checkins_path: impl AsRef<Path>,
     edges_path: impl AsRef<Path>,
     options: &SnapOptions,
 ) -> Result<Dataset> {
-    let checkins = File::open(checkins_path)?;
-    let edges = File::open(edges_path)?;
-    load_dataset_from(BufReader::new(checkins), BufReader::new(edges), options)
+    let checkins = File::open(&checkins_path)?;
+    let edges = File::open(&edges_path)?;
+    let mut loader = Loader::new(options);
+    loader
+        .read_checkins(BufReader::new(checkins))
+        .map_err(|e| e.in_file(checkins_path.as_ref()))?;
+    loader.read_edges(BufReader::new(edges)).map_err(|e| e.in_file(edges_path.as_ref()))?;
+    loader.finish()
 }
 
 /// Loads a dataset from any pair of readers in SNAP format.
@@ -54,54 +59,82 @@ pub fn load_dataset(
 /// # Errors
 ///
 /// Returns [`TraceError::Parse`] with the 1-based line number on malformed
-/// input.
-pub fn load_dataset_from<R1: Read, R2: Read>(checkins: R1, edges: R2, options: &SnapOptions) -> Result<Dataset> {
-    let mut builder = DatasetBuilder::new(options.name.clone());
-    builder.min_checkins(options.min_checkins);
-    // External location-id -> dense PoiId, first-seen coordinates win.
-    let mut poi_map: BTreeMap<u64, crate::types::PoiId> = BTreeMap::new();
+/// input (no file context — prefer [`load_dataset`] for on-disk files).
+pub fn load_dataset_from<R1: Read, R2: Read>(
+    checkins: R1,
+    edges: R2,
+    options: &SnapOptions,
+) -> Result<Dataset> {
+    let mut loader = Loader::new(options);
+    loader.read_checkins(checkins)?;
+    loader.read_edges(edges)?;
+    loader.finish()
+}
 
-    for (idx, line) in BufReader::new(checkins).lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let mut fields = trimmed.split_whitespace();
-        let user = parse_field::<u64>(fields.next(), lineno, "user id")?;
-        let time_str = fields
-            .next()
-            .ok_or_else(|| TraceError::Parse { line: lineno, message: "missing timestamp".into() })?;
-        let time = parse_iso8601(time_str).map_err(|m| TraceError::Parse { line: lineno, message: m })?;
-        let lat = parse_field::<f64>(fields.next(), lineno, "latitude")?;
-        let lon = parse_field::<f64>(fields.next(), lineno, "longitude")?;
-        let loc = parse_location_id(fields.next(), lineno)?;
-        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
-            // The public dumps contain a handful of (0,0)/garbage rows; the
-            // original study drops them, and so do we.
-            continue;
-        }
-        let poi = *poi_map
-            .entry(loc)
-            .or_insert_with(|| builder.add_poi(GeoPoint::new(lat, lon), options.poi_radius_m));
-        builder.add_checkin(user, poi, time);
+/// Incremental SNAP parser shared by the path- and reader-based loaders, so
+/// each input stream can get its own error context.
+struct Loader {
+    builder: DatasetBuilder,
+    /// External location-id -> dense PoiId, first-seen coordinates win.
+    poi_map: BTreeMap<u64, crate::types::PoiId>,
+    poi_radius_m: f64,
+}
+
+impl Loader {
+    fn new(options: &SnapOptions) -> Self {
+        let mut builder = DatasetBuilder::new(options.name.clone());
+        builder.min_checkins(options.min_checkins);
+        Loader { builder, poi_map: BTreeMap::new(), poi_radius_m: options.poi_radius_m }
     }
 
-    for (idx, line) in BufReader::new(edges).lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
+    fn read_checkins<R: Read>(&mut self, checkins: R) -> Result<()> {
+        for (idx, line) in BufReader::new(checkins).lines().enumerate() {
+            let line = line?;
+            let lineno = idx + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut fields = trimmed.split_whitespace();
+            let user = parse_field::<u64>(fields.next(), lineno, "user id")?;
+            let time_str =
+                fields.next().ok_or_else(|| TraceError::parse(lineno, "missing timestamp"))?;
+            let time = parse_iso8601(time_str).map_err(|m| TraceError::parse(lineno, m))?;
+            let lat = parse_field::<f64>(fields.next(), lineno, "latitude")?;
+            let lon = parse_field::<f64>(fields.next(), lineno, "longitude")?;
+            let loc = parse_location_id(fields.next(), lineno)?;
+            if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+                // The public dumps contain a handful of (0,0)/garbage rows;
+                // the original study drops them, and so do we.
+                continue;
+            }
+            let poi = *self.poi_map.entry(loc).or_insert_with(|| {
+                self.builder.add_poi(GeoPoint::new(lat, lon), self.poi_radius_m)
+            });
+            self.builder.add_checkin(user, poi, time);
         }
-        let mut fields = trimmed.split_whitespace();
-        let a = parse_field::<u64>(fields.next(), lineno, "edge endpoint")?;
-        let b = parse_field::<u64>(fields.next(), lineno, "edge endpoint")?;
-        builder.add_friendship(a, b);
+        Ok(())
     }
 
-    builder.build()
+    fn read_edges<R: Read>(&mut self, edges: R) -> Result<()> {
+        for (idx, line) in BufReader::new(edges).lines().enumerate() {
+            let line = line?;
+            let lineno = idx + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut fields = trimmed.split_whitespace();
+            let a = parse_field::<u64>(fields.next(), lineno, "edge endpoint")?;
+            let b = parse_field::<u64>(fields.next(), lineno, "edge endpoint")?;
+            self.builder.add_friendship(a, b);
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<Dataset> {
+        self.builder.build()
+    }
 }
 
 /// Writes a dataset back out in SNAP format (check-ins and edges).
@@ -140,12 +173,12 @@ pub fn write_dataset(
 }
 
 fn parse_field<T: std::str::FromStr>(field: Option<&str>, line: usize, what: &str) -> Result<T> {
-    let s = field.ok_or_else(|| TraceError::Parse { line, message: format!("missing {what}") })?;
-    s.parse::<T>().map_err(|_| TraceError::Parse { line, message: format!("invalid {what}: {s:?}") })
+    let s = field.ok_or_else(|| TraceError::parse(line, format!("missing {what}")))?;
+    s.parse::<T>().map_err(|_| TraceError::parse(line, format!("invalid {what}: {s:?}")))
 }
 
 fn parse_location_id(field: Option<&str>, line: usize) -> Result<u64> {
-    let s = field.ok_or_else(|| TraceError::Parse { line, message: "missing location id".into() })?;
+    let s = field.ok_or_else(|| TraceError::parse(line, "missing location id"))?;
     // Brightkite uses hex-ish hashes for some locations; fall back to hashing
     // any non-numeric token into a stable id.
     if let Ok(v) = s.parse::<u64>() {
@@ -165,8 +198,13 @@ fn parse_location_id(field: Option<&str>, line: usize) -> Result<u64> {
 /// dependency; only the exact layout used by the SNAP dumps is accepted.
 pub fn parse_iso8601(s: &str) -> std::result::Result<Timestamp, String> {
     let bytes = s.as_bytes();
-    if bytes.len() != 20 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b'T'
-        || bytes[13] != b':' || bytes[16] != b':' || bytes[19] != b'Z'
+    if bytes.len() != 20
+        || bytes[4] != b'-'
+        || bytes[7] != b'-'
+        || bytes[10] != b'T'
+        || bytes[13] != b':'
+        || bytes[16] != b':'
+        || bytes[19] != b'Z'
     {
         return Err(format!("timestamp {s:?} is not of the form YYYY-MM-DDTHH:MM:SSZ"));
     }
@@ -245,20 +283,38 @@ mod tests {
     #[test]
     fn iso8601_known_instants() {
         // Verified against `date -u -d @1287532527`.
-        assert_eq!(parse_iso8601("2010-10-19T23:55:27Z").unwrap(), Timestamp::from_secs(1_287_532_527));
-        assert_eq!(parse_iso8601("2000-03-01T00:00:00Z").unwrap(), Timestamp::from_secs(951_868_800));
+        assert_eq!(
+            parse_iso8601("2010-10-19T23:55:27Z").unwrap(),
+            Timestamp::from_secs(1_287_532_527)
+        );
+        assert_eq!(
+            parse_iso8601("2000-03-01T00:00:00Z").unwrap(),
+            Timestamp::from_secs(951_868_800)
+        );
     }
 
     #[test]
     fn iso8601_rejects_malformed() {
-        for bad in ["", "2010-10-19 23:55:27Z", "2010-13-19T23:55:27Z", "2010-10-19T25:55:27Z", "2010-10-19T23:55:27", "garbage"] {
+        for bad in [
+            "",
+            "2010-10-19 23:55:27Z",
+            "2010-13-19T23:55:27Z",
+            "2010-10-19T25:55:27Z",
+            "2010-10-19T23:55:27",
+            "garbage",
+        ] {
             assert!(parse_iso8601(bad).is_err(), "{bad:?} should fail");
         }
     }
 
     #[test]
     fn iso8601_roundtrip() {
-        for s in ["1970-01-01T00:00:00Z", "2009-03-21T12:34:56Z", "2011-11-02T01:02:03Z", "2024-02-29T23:59:59Z"] {
+        for s in [
+            "1970-01-01T00:00:00Z",
+            "2009-03-21T12:34:56Z",
+            "2011-11-02T01:02:03Z",
+            "2024-02-29T23:59:59Z",
+        ] {
             let t = parse_iso8601(s).unwrap();
             assert_eq!(format_iso8601(t), s);
         }
@@ -284,8 +340,8 @@ mod tests {
 3\t2010-10-23T09:00:00Z\t91.0\t0.0\t103
 ";
         let edges = "1\t2\n2\t3\n";
-        let ds =
-            load_dataset_from(checkins.as_bytes(), edges.as_bytes(), &SnapOptions::default()).unwrap();
+        let ds = load_dataset_from(checkins.as_bytes(), edges.as_bytes(), &SnapOptions::default())
+            .unwrap();
         // User 3's single check-in has out-of-range latitude -> dropped, so
         // user 3 is filtered (0 check-ins) and the 2-3 edge is dropped.
         assert_eq!(ds.n_users(), 2);
@@ -302,6 +358,22 @@ mod tests {
             Err(TraceError::Parse { line: 1, .. }) => {}
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn on_disk_parse_errors_report_file_and_line() {
+        let dir = std::env::temp_dir();
+        let cp = dir.join("seeker_snap_badrow_checkins.txt");
+        let ep = dir.join("seeker_snap_badrow_edges.txt");
+        std::fs::write(&cp, "1\t2010-10-19T23:55:27Z\t30.2\t-97.7\t101\n").unwrap();
+        std::fs::write(&ep, "1\t2\nnot-a-user\t3\n").unwrap();
+        let err = load_dataset(&cp, &ep, &SnapOptions::default()).unwrap_err();
+        let msg = err.to_string();
+        // The edge file (not the clean check-in file) must be named, with
+        // the 1-based line of the offending record.
+        assert!(msg.contains("seeker_snap_badrow_edges.txt:2"), "got: {msg}");
+        let _ = std::fs::remove_file(cp);
+        let _ = std::fs::remove_file(ep);
     }
 
     #[test]
@@ -323,8 +395,8 @@ mod tests {
 2\t2010-10-22T11:00:00Z\t30.2\t-97.7\t101
 ";
         let edges = "1\t2\n";
-        let ds =
-            load_dataset_from(checkins.as_bytes(), edges.as_bytes(), &SnapOptions::default()).unwrap();
+        let ds = load_dataset_from(checkins.as_bytes(), edges.as_bytes(), &SnapOptions::default())
+            .unwrap();
         let dir = std::env::temp_dir();
         let cp = dir.join("seeker_snap_test_checkins.txt");
         let ep = dir.join("seeker_snap_test_edges.txt");

@@ -72,10 +72,7 @@ pub struct Contingency {
 pub fn contingency(ds: &Dataset, non_friend_ratio: f64, seed: u64) -> Contingency {
     let pois = ds.all_visited_pois();
     let classify = |pair: UserPair| -> (bool, bool) {
-        let colo = pois[pair.lo().index()]
-            .intersection(&pois[pair.hi().index()])
-            .next()
-            .is_some();
+        let colo = pois[pair.lo().index()].intersection(&pois[pair.hi().index()]).next().is_some();
         let cofriend = common_friend_count(ds, pair) > 0;
         (colo, cofriend)
     };
@@ -429,17 +426,14 @@ pub fn distribution_summary(ds: &Dataset) -> DistributionSummary {
             return (0, 0, 0.0, 0);
         }
         let mean = v.iter().sum::<usize>() as f64 / v.len() as f64;
-        (v[0], v[v.len() / 2], mean, *v.last().expect("non-empty"))
+        (v[0], v[v.len() / 2], mean, v.last().copied().unwrap_or(0))
     };
     let sparse = if per_user.is_empty() {
         0.0
     } else {
         per_user.iter().filter(|&&c| c < 25).count() as f64 / per_user.len() as f64
     };
-    let span = ds
-        .time_range()
-        .map(|(lo, hi)| (hi.delta_secs(lo)) as f64 / 86_400.0)
-        .unwrap_or(0.0);
+    let span = ds.time_range().map(|(lo, hi)| (hi.delta_secs(lo)) as f64 / 86_400.0).unwrap_or(0.0);
     let mean_pois = if visited.is_empty() {
         0.0
     } else {

@@ -25,7 +25,7 @@ use rand::rngs::StdRng;
 use rand_distr::{Distribution, LogNormal, Normal, Poisson};
 
 use crate::dataset::{Dataset, DatasetBuilder};
-use crate::error::Result;
+use crate::error::{Result, TraceError};
 use crate::types::{GeoPoint, PoiId, Timestamp, UserId, UserPair};
 
 /// Degrees of latitude per kilometer (1 / 111.195).
@@ -245,20 +245,22 @@ pub fn generate(cfg: &SyntheticConfig) -> Result<SyntheticTrace> {
         .collect();
 
     // --- Communities and users ----------------------------------------------
-    let community_city: Vec<usize> =
-        (0..cfg.n_communities).map(|c| c % cfg.n_cities).collect();
+    let community_city: Vec<usize> = (0..cfg.n_communities).map(|c| c % cfg.n_cities).collect();
     let user_community: Vec<u32> =
         (0..cfg.n_users).map(|u| (u % cfg.n_communities) as u32).collect();
-    let home_noise = Normal::new(0.0, cfg.home_sigma_km * DEG_PER_KM).expect("valid sigma");
+    let home_noise = dist(Normal::new(0.0, cfg.home_sigma_km * DEG_PER_KM), "home_sigma_km")?;
     let homes: Vec<GeoPoint> = (0..cfg.n_users)
         .map(|u| {
             let city = cities[community_city[user_community[u] as usize]];
-            GeoPoint::new(city.lat + home_noise.sample(&mut rng), city.lon + home_noise.sample(&mut rng))
+            GeoPoint::new(
+                city.lat + home_noise.sample(&mut rng),
+                city.lon + home_noise.sample(&mut rng),
+            )
         })
         .collect();
 
     // --- POIs ---------------------------------------------------------------
-    let poi_noise = Normal::new(0.0, cfg.city_sigma_km * DEG_PER_KM).expect("valid sigma");
+    let poi_noise = dist(Normal::new(0.0, cfg.city_sigma_km * DEG_PER_KM), "city_sigma_km")?;
     let mut poi_city = Vec::with_capacity(cfg.n_pois);
     let mut poi_points = Vec::with_capacity(cfg.n_pois);
     for i in 0..cfg.n_pois {
@@ -379,14 +381,15 @@ pub fn generate(cfg: &SyntheticConfig) -> Result<SyntheticTrace> {
         .collect();
     // Weekly anchors: (day-of-week, hour).
     let anchors: Vec<Vec<(u32, u32)>> = (0..cfg.n_users)
-        .map(|_| {
-            (0..3).map(|_| (rng.gen_range(0..7u32), rng.gen_range(8..23u32))).collect()
-        })
+        .map(|_| (0..3).map(|_| (rng.gen_range(0..7u32), rng.gen_range(8..23u32))).collect())
         .collect();
+
+    let anchor_noise =
+        dist(Normal::new(0.0, cfg.anchor_sigma_hours * 3_600.0), "anchor_sigma_hours")?;
 
     // --- Check-in budgets ------------------------------------------------------
     let (mu, sigma) = cfg.checkins_lognormal;
-    let budget_dist = LogNormal::new(mu, sigma).expect("valid lognormal");
+    let budget_dist = dist(LogNormal::new(mu, sigma), "checkins_lognormal")?;
     let budgets: Vec<usize> = (0..cfg.n_users)
         .map(|_| {
             (budget_dist.sample(&mut rng).round() as usize)
@@ -402,7 +405,7 @@ pub fn generate(cfg: &SyntheticConfig) -> Result<SyntheticTrace> {
         debug_assert_eq!(id.index(), i);
     }
     let mut generated = vec![0usize; cfg.n_users];
-    let covisit_count = Poisson::new(cfg.covisit_lambda.max(1e-9)).expect("valid lambda");
+    let covisit_count = dist(Poisson::new(cfg.covisit_lambda.max(1e-9)), "covisit_lambda")?;
     for pair in edges.iter().copied().collect::<Vec<_>>() {
         if cyber_edges.contains(&pair) {
             continue; // cyber friends never co-locate by construction
@@ -418,14 +421,10 @@ pub fn generate(cfg: &SyntheticConfig) -> Result<SyntheticTrace> {
                 continue;
             }
             let poi = pools[host][rng.gen_range(0..pools[host].len())];
-            let t = sample_time(cfg, &anchors[host], &mut rng);
+            let t = sample_time(cfg, &anchors[host], &anchor_noise, &mut rng);
             let jitter = rng.gen_range(-cfg.covisit_jitter_secs..cfg.covisit_jitter_secs);
             builder.add_checkin(a as u64, PoiId::new(poi as u32), clamp_time(cfg, t));
-            builder.add_checkin(
-                b as u64,
-                PoiId::new(poi as u32),
-                clamp_time(cfg, t + jitter),
-            );
+            builder.add_checkin(b as u64, PoiId::new(poi as u32), clamp_time(cfg, t + jitter));
             generated[a] += 1;
             generated[b] += 1;
         }
@@ -437,7 +436,8 @@ pub fn generate(cfg: &SyntheticConfig) -> Result<SyntheticTrace> {
         city_users[community_city[user_community[u] as usize]].push(u);
     }
     let n_events = (cfg.event_rate * cfg.n_users as f64).round() as usize;
-    let attendee_count = Poisson::new(cfg.event_attendees_lambda.max(1e-9)).expect("valid lambda");
+    let attendee_count =
+        dist(Poisson::new(cfg.event_attendees_lambda.max(1e-9)), "event_attendees_lambda")?;
     for _ in 0..n_events {
         let city = rng.gen_range(0..cfg.n_cities);
         if city_users[city].len() < 2 || city_pois[city].is_empty() {
@@ -466,7 +466,7 @@ pub fn generate(cfg: &SyntheticConfig) -> Result<SyntheticTrace> {
             } else {
                 rng.gen_range(0..cfg.n_pois)
             };
-            let t = sample_time(cfg, &anchors[u], &mut rng);
+            let t = sample_time(cfg, &anchors[u], &anchor_noise, &mut rng);
             builder.add_checkin(u as u64, PoiId::new(poi as u32), clamp_time(cfg, t));
             generated[u] += 1;
         }
@@ -481,18 +481,27 @@ pub fn generate(cfg: &SyntheticConfig) -> Result<SyntheticTrace> {
     Ok(SyntheticTrace { dataset, cyber_edges, communities: user_community, homes })
 }
 
+/// Converts a distribution-construction failure (a non-finite or negative
+/// scale parameter in the user-supplied config) into a typed trace error.
+fn dist<D>(result: std::result::Result<D, rand_distr::Error>, param: &str) -> Result<D> {
+    result.map_err(|e| TraceError::Invalid(format!("synthetic config parameter `{param}`: {e}")))
+}
+
 /// Samples a check-in instant: usually near one of the user's weekly anchors
 /// (producing the weekly periodicity the paper exploits at τ = 7 days),
 /// otherwise uniform over the observation window.
-fn sample_time(cfg: &SyntheticConfig, anchors: &[(u32, u32)], rng: &mut StdRng) -> f64 {
+fn sample_time(
+    cfg: &SyntheticConfig,
+    anchors: &[(u32, u32)],
+    anchor_noise: &Normal,
+    rng: &mut StdRng,
+) -> f64 {
     let window_secs = cfg.observation_days * 86_400.0;
     if !anchors.is_empty() && rng.gen::<f64>() < cfg.p_anchor {
         let &(dow, hour) = &anchors[rng.gen_range(0..anchors.len())];
         let n_weeks = (cfg.observation_days / 7.0).floor().max(1.0) as u64;
         let week = rng.gen_range(0..n_weeks) as f64;
-        let noise = Normal::new(0.0, cfg.anchor_sigma_hours * 3_600.0)
-            .expect("valid sigma")
-            .sample(rng);
+        let noise = anchor_noise.sample(rng);
         week * 7.0 * 86_400.0 + dow as f64 * 86_400.0 + hour as f64 * 3_600.0 + noise
     } else {
         rng.gen_range(0.0..window_secs)
@@ -600,7 +609,10 @@ mod tests {
         let real_rate = real_with_colo as f64 / real_total.max(1) as f64;
         let cyber_rate = cyber_with_colo as f64 / t.cyber_edges.len().max(1) as f64;
         assert!(real_rate > 0.5, "real-world friends should usually co-locate, got {real_rate}");
-        assert!(cyber_rate < real_rate, "cyber friends must co-locate less: {cyber_rate} vs {real_rate}");
+        assert!(
+            cyber_rate < real_rate,
+            "cyber friends must co-locate less: {cyber_rate} vs {real_rate}"
+        );
     }
 
     #[test]

@@ -301,19 +301,33 @@ impl UserPair {
         (self.lo, self.hi)
     }
 
+    /// Given one endpoint, returns the other, or `None` when `u` is not an
+    /// endpoint of this pair.
+    #[inline]
+    pub fn try_other(self, u: UserId) -> Option<UserId> {
+        if u == self.lo {
+            Some(self.hi)
+        } else if u == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
     /// Given one endpoint, returns the other.
     ///
     /// # Panics
     ///
-    /// Panics if `u` is not an endpoint of this pair.
+    /// Panics if `u` is not an endpoint of this pair; callers that cannot
+    /// guarantee membership should use [`UserPair::try_other`].
     #[inline]
     pub fn other(self, u: UserId) -> UserId {
-        if u == self.lo {
-            self.hi
-        } else if u == self.hi {
-            self.lo
-        } else {
-            panic!("{u} is not an endpoint of {self:?}");
+        match self.try_other(u) {
+            Some(v) => v,
+            // Documented contract: proven-membership call sites only;
+            // everything else goes through `try_other`.
+            // lint:allow(no-panic)
+            None => panic!("{u} is not an endpoint of {self:?}"),
         }
     }
 

@@ -19,26 +19,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = full.induced_subset(&to_users(&target_idx), "target")?;
     let cfg = FriendSeekerConfig { sigma: 150, epochs: 12, ..FriendSeekerConfig::default() };
 
-    let attack_f1 = |train: &Dataset, target: &Dataset| -> Result<f64, Box<dyn std::error::Error>> {
-        let trained = FriendSeeker::new(cfg.clone()).train(train)?;
-        let lp = pairs::labeled_pairs(target, 1.0, 17);
-        Ok(trained.infer_pairs(target, lp.pairs).evaluate(target).f1())
-    };
+    let attack_f1 =
+        |train: &Dataset, target: &Dataset| -> Result<f64, Box<dyn std::error::Error>> {
+            let trained = FriendSeeker::new(cfg.clone()).train(train)?;
+            let lp = pairs::labeled_pairs(target, 1.0, 17);
+            Ok(trained.infer_pairs(target, lp.pairs).evaluate(target).f1())
+        };
 
     println!("baseline (no defense): F1 = {:.3}\n", attack_f1(&train, &target)?);
     println!("{:<22} {:>8} {:>8}", "defense", "ratio", "F1");
     for ratio in [0.25, 0.5] {
         let h_train = hide_checkins(&train, ratio, 1)?;
         let h_target = hide_checkins(&target, ratio, 2)?;
-        println!("{:<22} {:>7.0}% {:>8.3}", "hiding", ratio * 100.0, attack_f1(&h_train, &h_target)?);
+        println!(
+            "{:<22} {:>7.0}% {:>8.3}",
+            "hiding",
+            ratio * 100.0,
+            attack_f1(&h_train, &h_target)?
+        );
 
         let b_train = blur_checkins(&train, ratio, BlurMode::InGrid, cfg.sigma, 3)?;
         let b_target = blur_checkins(&target, ratio, BlurMode::InGrid, cfg.sigma, 4)?;
-        println!("{:<22} {:>7.0}% {:>8.3}", "in-grid blurring", ratio * 100.0, attack_f1(&b_train, &b_target)?);
+        println!(
+            "{:<22} {:>7.0}% {:>8.3}",
+            "in-grid blurring",
+            ratio * 100.0,
+            attack_f1(&b_train, &b_target)?
+        );
 
         let c_train = blur_checkins(&train, ratio, BlurMode::CrossGrid, cfg.sigma, 5)?;
         let c_target = blur_checkins(&target, ratio, BlurMode::CrossGrid, cfg.sigma, 6)?;
-        println!("{:<22} {:>7.0}% {:>8.3}", "cross-grid blurring", ratio * 100.0, attack_f1(&c_train, &c_target)?);
+        println!(
+            "{:<22} {:>7.0}% {:>8.3}",
+            "cross-grid blurring",
+            ratio * 100.0,
+            attack_f1(&c_train, &c_target)?
+        );
     }
     println!("\nAs in the paper: obfuscation degrades the attack but none of the");
     println!("mechanisms pushes a learning-based attacker anywhere near chance.");

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Train the two-phase attack.
     let cfg = FriendSeekerConfig { sigma: 150, epochs: 15, ..FriendSeekerConfig::default() };
-    println!("training FriendSeeker (sigma={}, tau={}d, d={}) ...", cfg.sigma, cfg.tau_days, cfg.feature_dim);
+    println!(
+        "training FriendSeeker (sigma={}, tau={}d, d={}) ...",
+        cfg.sigma, cfg.tau_days, cfg.feature_dim
+    );
     let trained = FriendSeeker::new(cfg).train(&train)?;
 
     // 4. Attack the target over a balanced candidate sample and evaluate
@@ -41,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lp = pairs::labeled_pairs(&target, 1.0, 99);
     let result = trained.infer_pairs(&target, lp.pairs);
     let m = result.evaluate(&target);
-    println!(
-        "converged after {} refinement iterations",
-        result.trace.n_iterations()
-    );
+    println!("converged after {} refinement iterations", result.trace.n_iterations());
     println!(
         "target-side results: F1 = {:.3}, precision = {:.3}, recall = {:.3}",
         m.f1(),

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset: Dataset = match args.as_slice() {
         [_, checkins, edges] => {
             println!("loading SNAP data from {checkins} + {edges} ...");
-            load_dataset(checkins, edges, &SnapOptions { name: "snap".into(), ..Default::default() })?
+            load_dataset(
+                checkins,
+                edges,
+                &SnapOptions { name: "snap".into(), ..Default::default() },
+            )?
         }
         _ => {
             println!("usage: real_snap_data <checkins.txt> <edges.txt>");

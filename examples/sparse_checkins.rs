@@ -35,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         let idx: Vec<usize> = (0..lp.pairs.len())
             .filter(|&i| {
-                let v = target.checkin_count(lp.pairs[i].lo()) + target.checkin_count(lp.pairs[i].hi());
+                let v =
+                    target.checkin_count(lp.pairs[i].lo()) + target.checkin_count(lp.pairs[i].hi());
                 v >= lo && v <= hi
             })
             .collect();

@@ -16,12 +16,21 @@
 //! cross-crate integration tests (`tests/`); see the README for a tour.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
+/// The two-phase FriendSeeker attack.
 pub use friendseeker;
+/// The four comparison attacks.
 pub use seeker_baselines;
+/// Social graphs and k-hop subgraphs.
 pub use seeker_graph;
+/// Classical ML substrate (KNN/SVM/metrics).
 pub use seeker_ml;
+/// Neural substrate (supervised autoencoder).
 pub use seeker_nn;
+/// Hiding/blurring countermeasures.
 pub use seeker_obfuscation;
+/// Quadtree STD and joint occurrence cuboids.
 pub use seeker_spatial;
+/// Check-in data model and trace generation.
 pub use seeker_trace;

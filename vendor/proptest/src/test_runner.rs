@@ -1,0 +1,90 @@
+//! Test execution: configuration, case errors and the runner loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was falsified.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A falsification with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection (assumption failure) with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Drives a property over its configured number of cases.
+///
+/// Case seeds follow a fixed deterministic schedule so failures reproduce
+/// across runs and machines; there is no shrinking.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner for the given configuration.
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Runs `case` once per configured case, panicking on the first
+    /// falsified case.
+    pub fn run<F>(&mut self, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let mut rejects = 0u32;
+        for i in 0..self.config.cases {
+            // Derived per-case seed: decorrelates cases while staying
+            // reproducible. The odd multiplier makes the mapping bijective.
+            let seed = 0x5eed_0000_0000_0000u64
+                .wrapping_add(u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut rng = StdRng::seed_from_u64(seed);
+            match case(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= 4 * self.config.cases,
+                        "property test {name}: too many prop_assume! rejections"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property test {name} failed at case #{i} (seed {seed:#x}): {msg}")
+                }
+            }
+        }
+    }
+}

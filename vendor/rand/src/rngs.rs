@@ -1,0 +1,45 @@
+//! Concrete RNG implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic RNG: xoshiro256++ with SplitMix64
+/// seed expansion.
+///
+/// Matches the upstream `StdRng` contract (seedable, reproducible, uniform)
+/// but **not** its exact output stream — upstream uses ChaCha12. Every
+/// consumer in this repository seeds explicitly via
+/// [`SeedableRng::seed_from_u64`], so only determinism matters.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 seed expansion, as recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step (Blackman & Vigna).
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}

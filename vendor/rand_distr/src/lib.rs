@@ -1,0 +1,181 @@
+//! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr)
+//! crate.
+//!
+//! Provides the three distributions the synthetic trace generator draws from
+//! — [`Normal`], [`LogNormal`] and [`Poisson`] — over `f64`, plus the
+//! [`Distribution`] trait re-exported from the vendored `rand`. Sampling uses
+//! textbook algorithms (Box–Muller, exp-of-normal, Knuth/normal-approx)
+//! rather than upstream's ziggurat tables; the resulting streams differ from
+//! upstream but have the correct distributions.
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+use std::fmt;
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error {
+    what: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Draws a standard normal deviate via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        // u1 in (0, 1] so the log is finite; u2 in [0, 1).
+        let u1 = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let v = r * (std::f64::consts::TAU * u2).cos();
+        if v.is_finite() {
+            return v;
+        }
+    }
+}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev^2)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be finite and `>= 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error { what: "std_dev must be finite and non-negative" });
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution; `sigma` must be finite and `>= 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error { what: "sigma must be finite and non-negative" });
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// The Poisson distribution with rate `lambda`, sampled as `f64` counts
+/// (matching upstream's `Poisson<f64>`).
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution; `lambda` must be finite and `> 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `lambda` is not finite or not strictly
+    /// positive.
+    pub fn new(lambda: f64) -> Result<Poisson, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error { what: "lambda must be finite and positive" });
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's multiplication method.
+            let limit = (-self.lambda).exp();
+            let mut product = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let mut count = 0.0;
+            while product > limit {
+                count += 1.0;
+                product *= (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            }
+            count
+        } else {
+            // Normal approximation, adequate for the large-lambda tail.
+            (self.lambda + self.lambda.sqrt() * standard_normal(rng)).round().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Normal::new(1.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Normal::new(3.0, 2.0).expect("valid");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for lambda in [0.5, 4.0, 40.0] {
+            let d = Poisson::new(lambda).expect("valid");
+            let n = 20_000;
+            let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!((mean - lambda).abs() < 0.15 * lambda.max(1.0), "lambda {lambda} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = LogNormal::new(0.0, 1.0).expect("valid");
+        assert!((0..1_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+}
