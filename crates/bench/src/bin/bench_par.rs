@@ -1,0 +1,121 @@
+//! Serial-vs-parallel benchmark for the `seeker-par` pool.
+//!
+//! Times every pipeline stage wired into the pool — batched feature
+//! encoding (`FeatureStore::build`), phase-1 graph prediction, batch SVM
+//! prediction, and the full refinement loop — once with 1 worker and once
+//! with the ambient worker count (`SEEKER_THREADS` or the core count), and
+//! checks the outputs are identical before reporting. Results go to
+//! `results/BENCH_par.json`.
+//!
+//! On a single-core runner serial and parallel are expected to tie (the
+//! pool's overhead is a few scope spawns per call); the ≥2× acceptance
+//! criterion applies to a 4-core machine.
+
+#![deny(missing_docs, dead_code)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use friendseeker::features::FeatureStore;
+use seeker_bench::datasets::{world, Preset};
+use seeker_bench::harness::{default_config, eval_pairs};
+use seeker_bench::report::results_dir;
+use seeker_par::{max_threads, with_threads};
+
+/// Timing repetitions per stage; the minimum is reported (standard
+/// steady-state benchmarking practice — the minimum is the least noisy
+/// location statistic for wall-clock timings).
+const REPS: usize = 3;
+
+fn time_min<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("REPS >= 1"))
+}
+
+struct Stage {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+fn main() {
+    let seed = seeker_bench::seed_from_env();
+    let threads = max_threads();
+    eprintln!("bench_par: 1 vs {threads} worker(s), seed {seed}");
+
+    let w = world(Preset::Gowalla, seed);
+    let cfg = default_config();
+    let trained =
+        friendseeker::FriendSeeker::new(cfg).train(&w.train).expect("experiment training");
+    let (ep, _) = eval_pairs(&w.target);
+
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut bench = |name: &'static str, f: &dyn Fn() -> u64| {
+        let (serial_ms, a) = time_min(|| with_threads(1, f));
+        let (parallel_ms, b) = time_min(|| with_threads(threads, f));
+        assert_eq!(a, b, "{name}: serial and parallel outputs diverge");
+        eprintln!("  {name}: serial {serial_ms:.1} ms, parallel {parallel_ms:.1} ms");
+        stages.push(Stage { name, serial_ms, parallel_ms });
+    };
+
+    // Stage outputs are reduced to a checksum-ish u64 so the closure stays
+    // cheap to compare while still catching any serial/parallel divergence.
+    bench("feature_store_build", &|| {
+        let store = FeatureStore::build(trained.phase1(), &w.target, &ep);
+        ep.iter()
+            .flat_map(|&p| store.get(p).expect("pair in store"))
+            .map(|f| f.to_bits() as u64)
+            .sum()
+    });
+    bench("phase1_predict_graph", &|| {
+        trained.phase1().predict_graph(&w.target, &ep).n_edges() as u64
+    });
+    bench("svm_batch_predict", &|| {
+        let store = FeatureStore::build(trained.phase1(), &w.target, &ep);
+        let g = trained.phase1().predict_graph(&w.target, &ep);
+        let k = trained.config().k_hop;
+        let x: Vec<Vec<f32>> = ep
+            .iter()
+            .map(|&p| friendseeker::features::composite_feature(&g, p, k, &store))
+            .collect();
+        let scaled = trained.phase2().scaler().transform(&x);
+        trained.phase2().svm().predict(&scaled).iter().filter(|&&p| p).count() as u64
+    });
+    bench("infer_full_refinement", &|| {
+        let r = trained.infer_pairs(&w.target, ep.clone());
+        r.predictions().iter().filter(|&&p| p).count() as u64 + r.trace.graphs.len() as u64
+    });
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"seeker-par serial vs parallel\",");
+    let _ = writeln!(json, "  \"preset\": \"{}\",", Preset::Gowalla.name());
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"stages\": [");
+    for (i, s) in stages.iter().enumerate() {
+        let speedup = s.serial_ms / s.parallel_ms.max(1e-9);
+        let comma = if i + 1 == stages.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"stage\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}{comma}",
+            s.name, s.serial_ms, s.parallel_ms, speedup
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_par.json");
+    std::fs::write(&path, json).expect("write BENCH_par.json");
+    eprintln!("saved {}", path.display());
+}

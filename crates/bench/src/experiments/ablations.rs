@@ -9,6 +9,7 @@
 
 use friendseeker::features::{social_proximity_feature, FeatureStore};
 use friendseeker::phase1::train_phase1;
+use friendseeker::phase2::train_phase2;
 use friendseeker::{ClassifierKind, FriendSeekerConfig};
 use seeker_graph::{all_paths_of_length, KHopSubgraph, SocialGraph};
 use seeker_ml::{BinaryMetrics, StandardScaler, Svm};
@@ -174,7 +175,12 @@ pub fn feature_ablation(seed: u64) -> Vec<Table> {
             (0..p1.train_pairs.len()).collect()
         };
         let cal_labels: Vec<bool> = cal_idx.iter().map(|&i| p1.train_pairs.labels[i]).collect();
-        let svm_cfg = friendseeker::phase2::effective_svm_config(&cfg);
+        // Benchmark the SVM configuration the real pipeline selects (the
+        // training grid search over {1,4,16,64}/dim γ), not the old fixed
+        // 1/dim heuristic the pipeline may never use.
+        let (p2, _) = train_phase2(&cfg, &p1.model, &w.train, &p1.train_pairs, &p1.holdout)
+            .expect("experiment training"); // lint:allow(no-panic) -- experiment harness: abort on misconfiguration
+        let svm_cfg = p2.svm_config().clone();
         for (label, set, mode) in variants {
             let train_x = assemble(&g0_train, &p1.train_pairs.pairs, &cfg, &train_store, set, mode);
             let cal_x: Vec<Vec<f32>> = cal_idx.iter().map(|&i| train_x[i].clone()).collect();

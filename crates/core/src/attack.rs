@@ -51,7 +51,12 @@ impl FriendSeeker {
         let p1 = train_phase1(&self.cfg, train)?;
         let (p2, train_trace) =
             train_phase2(&self.cfg, &p1.model, train, &p1.train_pairs, &p1.holdout)?;
-        Ok(TrainedAttack { cfg: self.cfg.clone(), phase1: p1.model, phase2: p2, train_trace })
+        Ok(TrainedAttack {
+            cfg: self.cfg.clone(),
+            phase1: p1.model,
+            phase2: p2,
+            train_trace: Some(train_trace),
+        })
     }
 }
 
@@ -61,23 +66,22 @@ pub struct TrainedAttack {
     cfg: FriendSeekerConfig,
     phase1: Phase1Model,
     phase2: Phase2Model,
-    train_trace: IterationTrace,
+    /// `None` for an attack reassembled from persistence: the training
+    /// trace is not persisted, and fabricating a stand-in (the old code
+    /// used a 0-vertex graph) silently hands callers a graph from the
+    /// wrong universe.
+    train_trace: Option<IterationTrace>,
 }
 
 impl TrainedAttack {
     /// Reassembles a trained attack from persisted parts. The training
-    /// trace is not persisted; a loaded attack reports an empty one.
+    /// trace is not persisted; a loaded attack reports none.
     pub(crate) fn from_parts(
         cfg: FriendSeekerConfig,
         phase1: Phase1Model,
         phase2: Phase2Model,
     ) -> TrainedAttack {
-        let train_trace = IterationTrace {
-            graphs: vec![seeker_graph::SocialGraph::new(0)],
-            change_ratios: Vec::new(),
-            converged: true,
-        };
-        TrainedAttack { cfg, phase1, phase2, train_trace }
+        TrainedAttack { cfg, phase1, phase2, train_trace: None }
     }
 
     /// The configuration used for training.
@@ -95,9 +99,11 @@ impl TrainedAttack {
         &self.phase2
     }
 
-    /// The refinement trace observed during training (convergence studies).
-    pub fn train_trace(&self) -> &IterationTrace {
-        &self.train_trace
+    /// The refinement trace observed during training (convergence studies),
+    /// or `None` for an attack loaded from persistence — the trace is not
+    /// part of the persisted payload.
+    pub fn train_trace(&self) -> Option<&IterationTrace> {
+        self.train_trace.as_ref()
     }
 
     /// Runs the attack over **all** pairs of the target dataset.
@@ -240,7 +246,8 @@ mod tests {
         assert_eq!(trained.config().k_hop, 3);
         assert!(trained.phase1().feature_dim() > 0);
         assert!(trained.phase2().svm().n_support_vectors() > 0);
-        assert!(trained.train_trace().n_iterations() >= 1);
+        let trace = trained.train_trace().expect("freshly trained attack keeps its trace");
+        assert!(trace.n_iterations() >= 1);
     }
 
     #[test]

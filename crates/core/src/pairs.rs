@@ -57,10 +57,14 @@ pub fn labeled_pairs(ds: &Dataset, negative_ratio: f64, seed: u64) -> LabeledPai
 /// Quadratic — intended for the inference stage over a target dataset, where
 /// the attacker must decide *every* pair (Definition 7).
 pub fn all_pairs(ds: &Dataset) -> Vec<UserPair> {
-    let n = ds.n_users() as u32;
-    let mut out = Vec::with_capacity((n as usize * (n as usize - 1)) / 2);
-    for a in 0..n {
-        for b in (a + 1)..n {
+    let n = ds.n_users();
+    if n == 0 {
+        // `n * (n - 1)` underflows in debug builds on an empty dataset.
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
             out.push(UserPair::new(UserId::new(a), UserId::new(b)));
         }
     }
@@ -114,6 +118,14 @@ mod tests {
         let ds = ds();
         let n = ds.n_users();
         assert_eq!(all_pairs(&ds).len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn all_pairs_of_empty_dataset_is_empty() {
+        // Regression: `n * (n - 1)` underflowed (debug panic) when n == 0.
+        let empty = seeker_trace::DatasetBuilder::new("empty").build().unwrap();
+        assert_eq!(empty.n_users(), 0);
+        assert!(all_pairs(&empty).is_empty());
     }
 
     #[test]

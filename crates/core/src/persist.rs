@@ -14,7 +14,7 @@
 //! Format: magic `SEEKAT01`, then little-endian fixed-width fields — see
 //! the `write_*`/`read_*` pairs. No serde format crate is required.
 
-use seeker_ml::{Kernel, StandardScaler, Svm};
+use seeker_ml::{Kernel, StandardScaler, Svm, SvmConfig};
 use seeker_nn::persist::{mlp_from_bytes, mlp_to_bytes};
 use seeker_nn::{SupervisedAutoencoder, SupervisedAutoencoderConfig};
 use seeker_spatial::{SpatialParam, SpatialTemporalDivision};
@@ -211,7 +211,10 @@ pub fn load(bytes: &[u8]) -> Result<TrainedAttack> {
     if c.pos != bytes.len() {
         return Err(AttackError::Data("trailing bytes after payload".into()));
     }
-    let phase2 = Phase2Model::from_parts(scaler, svm, n_iterations);
+    // The selected kernel (γ included) is persisted with the SVM; the SMO
+    // fitting hyper-parameters are training-time-only, so defaults suffice.
+    let svm_config = SvmConfig { kernel, ..SvmConfig::default() };
+    let phase2 = Phase2Model::from_parts(scaler, svm, svm_config, n_iterations);
 
     let cfg = FriendSeekerConfig {
         tau_days,
@@ -359,6 +362,23 @@ mod tests {
         assert_eq!(loaded.phase1().threshold(), attack.phase1().threshold());
         assert_eq!(loaded.phase2().n_iterations(), attack.phase2().n_iterations());
         assert_eq!(loaded.phase1().division().n_cells(), attack.phase1().division().n_cells());
+    }
+
+    #[test]
+    fn loaded_attack_has_no_fabricated_train_trace() {
+        // Regression: a loaded attack used to fabricate a trace holding a
+        // 0-vertex graph, so `train_trace().final_graph()` silently returned
+        // a graph from the wrong universe.
+        let (_, _, attack, bytes) = fixture();
+        assert!(attack.train_trace().is_some(), "fresh training keeps its trace");
+        let loaded = load(bytes).unwrap();
+        assert!(loaded.train_trace().is_none(), "persistence does not carry the trace");
+        // The selected kernel survives the roundtrip on the reported config.
+        assert_eq!(
+            loaded.phase2().svm_config().kernel,
+            attack.phase2().svm_config().kernel,
+            "persisted kernel must match the trained selection"
+        );
     }
 
     #[test]

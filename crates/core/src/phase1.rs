@@ -170,7 +170,9 @@ impl Phase1Model {
     /// Panics if `pairs` is empty.
     pub fn features(&self, ds: &Dataset, pairs: &[UserPair]) -> Matrix {
         assert!(!pairs.is_empty(), "no pairs to featurize");
-        let xs: Vec<SparseRow> = pairs.iter().map(|&p| joc_row(&self.division, ds, p)).collect();
+        // Per-pair JOC construction is the quadratic front half of phase 1;
+        // each cuboid only reads the (shared) division and trajectories.
+        let xs: Vec<SparseRow> = seeker_par::par_map(pairs, |&p| joc_row(&self.division, ds, p));
         self.autoencoder.encode(&xs)
     }
 
@@ -181,7 +183,7 @@ impl Phase1Model {
 
     /// Friend probability of each pair under classifier `C`.
     pub fn predict_proba(&self, ds: &Dataset, pairs: &[UserPair]) -> Vec<f64> {
-        let xs: Vec<SparseRow> = pairs.iter().map(|&p| joc_row(&self.division, ds, p)).collect();
+        let xs: Vec<SparseRow> = seeker_par::par_map(pairs, |&p| joc_row(&self.division, ds, p));
         if let Some(knn) = &self.knn {
             let encoded = self.autoencoder.encode(&xs);
             return (0..encoded.rows()).map(|r| knn.predict_proba_one(encoded.row(r))).collect();

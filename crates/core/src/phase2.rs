@@ -23,6 +23,10 @@ use crate::phase1::Phase1Model;
 pub struct Phase2Model {
     scaler: StandardScaler,
     svm: Svm,
+    /// The SVM configuration the grid search actually selected — what the
+    /// retained [`Phase2Model::svm`] was fitted with. Ablations must report
+    /// this, not a recomputed heuristic.
+    svm_config: seeker_ml::SvmConfig,
     /// How many refinement iterations to run at inference time: the
     /// iteration count at which calibration F1 peaked during training
     /// (0 = keep the phase-1 graph untouched).
@@ -182,7 +186,12 @@ fn refine(
         let preds = svm.predict(&scaler.transform(&features));
         let next = graph_from_predictions(train.n_users(), &train_pairs.pairs, &preds);
         let change = graph.change_ratio(&next);
-        model = Some(Phase2Model { scaler, svm, n_iterations: cfg.max_iterations });
+        model = Some(Phase2Model {
+            scaler,
+            svm,
+            svm_config: svm_cfg.clone(),
+            n_iterations: cfg.max_iterations,
+        });
         trace.graphs.push(next.clone());
         trace.change_ratios.push(change);
         graph = next;
@@ -237,6 +246,18 @@ impl Phase2Model {
         &self.svm
     }
 
+    /// The SVM configuration (kernel, γ, C, …) the training grid search
+    /// selected — the one [`Phase2Model::svm`] was actually fitted with.
+    ///
+    /// `train_phase2` tries a `{1, 4, 16, 64} / dim` γ grid when
+    /// `svm_auto_gamma` is set, so the selected γ generally differs from
+    /// the old fixed `1 / dim` heuristic; experiments that refit `C'`-style
+    /// classifiers (the feature ablations) must use this configuration to
+    /// benchmark what the real pipeline runs.
+    pub fn svm_config(&self) -> &seeker_ml::SvmConfig {
+        &self.svm_config
+    }
+
     /// The fitted feature scaler (persistence).
     pub fn scaler(&self) -> &StandardScaler {
         &self.scaler
@@ -248,31 +269,32 @@ impl Phase2Model {
     }
 
     /// Reassembles a phase-2 model from persisted parts.
-    pub(crate) fn from_parts(scaler: StandardScaler, svm: Svm, n_iterations: usize) -> Phase2Model {
-        Phase2Model { scaler, svm, n_iterations }
+    ///
+    /// `svm_config` carries the selected kernel; the SMO hyper-parameters
+    /// (`C`, tolerances, seed) are training-time-only and are restored as
+    /// defaults by the persistence layer.
+    pub(crate) fn from_parts(
+        scaler: StandardScaler,
+        svm: Svm,
+        svm_config: seeker_ml::SvmConfig,
+        n_iterations: usize,
+    ) -> Phase2Model {
+        Phase2Model { scaler, svm, svm_config, n_iterations }
     }
-}
-
-/// The SVM configuration phase 2 actually uses: the configured one, with γ
-/// replaced by the `1 / dim` heuristic when `svm_auto_gamma` is set.
-pub fn effective_svm_config(cfg: &FriendSeekerConfig) -> seeker_ml::SvmConfig {
-    let mut svm = cfg.svm.clone();
-    if cfg.svm_auto_gamma {
-        if let Kernel::Rbf { .. } = svm.kernel {
-            svm.kernel = Kernel::Rbf { gamma: 1.0 / cfg.composite_feature_dim() as f32 };
-        }
-    }
-    svm
 }
 
 /// Composite features of all pairs against the current graph.
+///
+/// Each pair's k-hop extraction + embedding reads only the shared graph and
+/// feature store, so the quadratic loop maps across the `seeker_par`
+/// workers with bit-identical output.
 fn composite_features(
     graph: &SocialGraph,
     pairs: &[UserPair],
     k: usize,
     store: &FeatureStore,
 ) -> Vec<Vec<f32>> {
-    pairs.iter().map(|&p| composite_feature(graph, p, k, store)).collect()
+    seeker_par::par_map(pairs, |&p| composite_feature(graph, p, k, store))
 }
 
 /// Builds the graph implied by per-pair predictions. If a pair is predicted
@@ -362,6 +384,66 @@ mod tests {
             target_pairs.pairs.iter().map(|&p| trace.final_graph().has_edge(p)).collect();
         let m = BinaryMetrics::from_predictions(&preds, &target_pairs.labels);
         assert!(m.f1() > 0.4, "held-out F1 {}", m.f1());
+    }
+
+    #[test]
+    fn trained_model_reports_selected_svm_config() {
+        let (ds, cfg, p1) = setup();
+        let (model, _) = train_phase2(cfg, &p1.model, ds, &p1.train_pairs, &p1.holdout).unwrap();
+        // The reported configuration must be one of the grid candidates and
+        // must be the configuration the retained SVM was fitted with.
+        let candidates = candidate_svm_configs(cfg);
+        assert!(
+            candidates.contains(model.svm_config()),
+            "svm_config {:?} not in candidate grid",
+            model.svm_config()
+        );
+        let dim = cfg.composite_feature_dim() as f32;
+        let Kernel::Rbf { gamma } = model.svm_config().kernel else {
+            panic!("auto-gamma grid only produces RBF kernels");
+        };
+        let grid: Vec<f32> = [1.0, 4.0, 16.0, 64.0].iter().map(|m| m / dim).collect();
+        assert!(grid.contains(&gamma), "gamma {gamma} not in {{1,4,16,64}}/dim grid");
+    }
+
+    #[test]
+    fn refinement_from_empty_g0_can_converge() {
+        // Regression for the change-ratio denominator: an inference run
+        // whose phase-1 graph is empty must produce *finite* change ratios
+        // (the old `diff / |G⁰|` formula yielded INFINITY on the first
+        // iteration, so convergence could never trigger there).
+        let (ds, cfg, p1) = setup();
+        let (model, _) = train_phase2(cfg, &p1.model, ds, &p1.train_pairs, &p1.holdout).unwrap();
+        // Force an empty G⁰ by raising the phase-1 decision threshold above
+        // any probability.
+        let strict_phase1 = crate::phase1::Phase1Model::from_parts(
+            p1.model.division().clone(),
+            p1.model.autoencoder().clone(),
+            2.0,
+        );
+        let pairs = &p1.train_pairs.pairs;
+        assert_eq!(strict_phase1.predict_graph(ds, pairs).n_edges(), 0, "G⁰ must be empty");
+        // Give the model a positive iteration budget even if early stopping
+        // chose 0 during training.
+        let forced = Phase2Model::from_parts(
+            model.scaler().clone(),
+            model.svm().clone(),
+            model.svm_config().clone(),
+            cfg.max_iterations,
+        );
+        let trace = forced.infer(cfg, &strict_phase1, ds, pairs);
+        assert!(trace.n_iterations() >= 1);
+        assert!(
+            trace.change_ratios.iter().all(|c| c.is_finite()),
+            "change ratios from an empty G⁰ must be finite: {:?}",
+            trace.change_ratios
+        );
+        // Once two consecutive graphs agree, the loop must stop converged.
+        if let Some(&last) = trace.change_ratios.last() {
+            if last < cfg.convergence_threshold {
+                assert!(trace.converged);
+            }
+        }
     }
 
     #[test]

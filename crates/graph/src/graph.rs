@@ -126,22 +126,21 @@ impl SocialGraph {
         self.edges.symmetric_difference(&other.edges).count()
     }
 
-    /// The paper's convergence measure: the edge difference relative to this
-    /// graph's edge count (the refinement loop stops below 1 %).
+    /// The paper's convergence measure: the edge difference relative to
+    /// `max(|G ∪ G'|, 1)` (the refinement loop stops below 1 %).
     ///
-    /// Returns `f64::INFINITY` when `self` has no edges but `other` does, and
-    /// `0.0` when both are empty.
+    /// Dividing by the union rather than by `|G|` keeps the ratio finite —
+    /// and in `[0, 1]` — when this graph is empty, so a refinement starting
+    /// from an empty `G⁰` can still converge. Identical graphs (including
+    /// two empty ones) give `0.0`; disjoint edge sets give `1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graphs have different vertex counts.
     pub fn change_ratio(&self, other: &SocialGraph) -> f64 {
         let diff = self.edge_difference(other);
-        if self.edges.is_empty() {
-            if diff == 0 {
-                0.0
-            } else {
-                f64::INFINITY
-            }
-        } else {
-            diff as f64 / self.edges.len() as f64
-        }
+        let union = self.edges.union(&other.edges).count();
+        diff as f64 / union.max(1) as f64
     }
 }
 
@@ -200,11 +199,23 @@ mod tests {
         let g1 = SocialGraph::from_edges(4, [pair(0, 1), pair(1, 2)]);
         let g2 = SocialGraph::from_edges(4, [pair(0, 1), pair(2, 3)]);
         assert_eq!(g1.edge_difference(&g2), 2);
-        assert_eq!(g1.change_ratio(&g2), 1.0);
+        // diff 2 over |union| 3.
+        assert!((g1.change_ratio(&g2) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(g1.change_ratio(&g1), 0.0);
+        let disjoint = SocialGraph::from_edges(4, [pair(0, 3)]);
+        assert_eq!(g1.change_ratio(&disjoint), 1.0);
+    }
+
+    #[test]
+    fn change_ratio_from_empty_graph_is_finite() {
+        // Regression: the old `diff / |self|` formula returned INFINITY
+        // whenever `self` was empty, so a refinement starting from an empty
+        // G⁰ could never satisfy `change < threshold` on its first step.
         let empty = SocialGraph::new(4);
+        let g1 = SocialGraph::from_edges(4, [pair(0, 1), pair(1, 2)]);
         assert_eq!(empty.change_ratio(&empty), 0.0);
-        assert!(empty.change_ratio(&g1).is_infinite());
+        assert_eq!(empty.change_ratio(&g1), 1.0);
+        assert_eq!(g1.change_ratio(&empty), 1.0);
     }
 
     #[test]

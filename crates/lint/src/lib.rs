@@ -12,7 +12,10 @@
 //! - [`undocumented-pub`](rules::Rule::UndocumentedPub): every public item
 //!   in a crate-root `lib.rs` carries a doc comment;
 //! - [`deny-header`](rules::Rule::DenyHeader): every crate root declares the
-//!   mandatory `#![deny(...)]` lints.
+//!   mandatory `#![deny(...)]` lints;
+//! - [`thread-spawn`](rules::Rule::ThreadSpawn): no raw `thread::spawn`/
+//!   `thread::scope` in library code — parallelism goes through the
+//!   `seeker-par` pool, whose output is deterministic by construction.
 //!
 //! Individual sites opt out with a `// lint:allow(<rule>)` comment on the
 //! same or the preceding line; the comment doubles as in-tree documentation

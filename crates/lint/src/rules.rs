@@ -19,6 +19,9 @@ pub enum Rule {
     UndocumentedPub,
     /// Crate root missing its mandatory `#![deny(...)]` header.
     DenyHeader,
+    /// Raw `std::thread::spawn`/`scope` in library code outside the
+    /// sanctioned `seeker-par` pool.
+    ThreadSpawn,
 }
 
 impl Rule {
@@ -31,6 +34,7 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::UndocumentedPub => "undocumented-pub",
             Rule::DenyHeader => "deny-header",
+            Rule::ThreadSpawn => "thread-spawn",
         }
     }
 
@@ -43,6 +47,7 @@ impl Rule {
             "float-eq" => Some(Rule::FloatEq),
             "undocumented-pub" => Some(Rule::UndocumentedPub),
             "deny-header" => Some(Rule::DenyHeader),
+            "thread-spawn" => Some(Rule::ThreadSpawn),
             _ => None,
         }
     }
@@ -124,6 +129,12 @@ const INT_TYPES: &[&str] =
 
 const ROUNDING_SUFFIXES: &[&str] = &[".round()", ".floor()", ".ceil()", ".trunc()"];
 
+/// Ad-hoc threading in library code bypasses the determinism contract the
+/// `seeker-par` pool guarantees (order-preserving chunked reassembly, worker
+/// count from one knob). Matches both the free function and scoped form.
+const THREAD_PATTERNS: &[(&str, &str)] =
+    &[("thread::spawn(", "raw `thread::spawn`"), ("thread::scope(", "raw `thread::scope`")];
+
 /// Analyzes one source file and returns its violations.
 ///
 /// `path` is used for reporting and for path-scoped rules; `class` controls
@@ -170,6 +181,11 @@ pub fn lint_source_with(
             for (pat, what) in PANIC_PATTERNS {
                 if line.contains(pat) {
                     push(Rule::NoPanic, idx, format!("{what} in library code (return a typed error or add `// lint:allow(no-panic)`)"));
+                }
+            }
+            for (pat, what) in THREAD_PATTERNS {
+                if line.contains(pat) {
+                    push(Rule::ThreadSpawn, idx, format!("{what} in library code (use the `seeker_par` pool, or add `// lint:allow(thread-spawn)` with a justification)"));
                 }
             }
             for (col, len) in float_eq_sites(line) {
@@ -599,6 +615,21 @@ mod tests {
             "//! Fig 1.\n#![deny(missing_docs, dead_code)]\nfn main() {}\n",
         );
         assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_flagged_in_library_code_only() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(rules_of(&lint(FileClass::Library, spawn)), vec![Rule::ThreadSpawn]);
+        let scope = "fn f() { std::thread::scope(|s| { let _ = s; }); }\n";
+        assert_eq!(rules_of(&lint(FileClass::Library, scope)), vec![Rule::ThreadSpawn]);
+        // The sanctioned-pool escape: a justified allow on the previous line.
+        let allowed =
+            "fn f() {\n    // lint:allow(thread-spawn) -- sanctioned pool\n    std::thread::scope(|s| { let _ = s; });\n}\n";
+        assert!(lint(FileClass::Library, allowed).is_empty());
+        // Binaries may thread however they like (only the header rule runs
+        // on a binary root, hence the rule-level check).
+        assert!(!rules_of(&lint(FileClass::BinaryRoot, spawn)).contains(&Rule::ThreadSpawn));
     }
 
     #[test]

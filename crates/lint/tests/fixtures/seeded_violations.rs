@@ -32,6 +32,15 @@ fn mentions_in_text() -> &'static str {
     "contains panic!(no) and .unwrap() but only as text"
 }
 
+fn fans_out_badly() {
+    std::thread::scope(|s| { let _ = s; }); // seeded: thread-spawn (line 36)
+}
+
+fn sanctioned_pool_shim() {
+    // lint:allow(thread-spawn) -- fixture: suppressed, must NOT be reported
+    std::thread::spawn(|| {}).join().ok();
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -55,6 +55,7 @@ fn seeded_workspace_reports_exactly_the_planted_violations() {
         ("crates/dirty/src/seeded.rs".to_string(), 11, Rule::NoPanic),
         ("crates/dirty/src/seeded.rs".to_string(), 15, Rule::NoPanic),
         ("crates/dirty/src/seeded.rs".to_string(), 19, Rule::FloatEq),
+        ("crates/dirty/src/seeded.rs".to_string(), 36, Rule::ThreadSpawn),
         ("crates/headless/src/lib.rs".to_string(), 1, Rule::DenyHeader),
         ("crates/headless/src/lib.rs".to_string(), 9, Rule::UndocumentedPub),
     ];

@@ -229,14 +229,16 @@ impl Svm {
         self.decision_one(x) >= 0.0
     }
 
-    /// Batch predictions.
+    /// Batch predictions. Rows are scored independently across the
+    /// `seeker_par` workers; the output order (and every bit of it) matches
+    /// the serial evaluation.
     pub fn predict(&self, xs: &[Vec<f32>]) -> Vec<bool> {
-        xs.iter().map(|x| self.predict_one(x)).collect()
+        seeker_par::par_map(xs, |x| self.predict_one(x))
     }
 
-    /// Batch decision values.
+    /// Batch decision values, parallelized like [`Svm::predict`].
     pub fn decision(&self, xs: &[Vec<f32>]) -> Vec<f32> {
-        xs.iter().map(|x| self.decision_one(x)).collect()
+        seeker_par::par_map(xs, |x| self.decision_one(x))
     }
 
     /// Decomposes the model into `(kernel, support vectors, coefficients

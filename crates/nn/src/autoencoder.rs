@@ -292,8 +292,12 @@ impl SupervisedAutoencoder {
     pub fn encode(&self, xs: &[SparseRow]) -> Matrix {
         assert!(!xs.is_empty(), "nothing to encode");
         let mut out = Matrix::zeros(xs.len(), self.cfg.bottleneck);
-        for (start, chunk) in xs.chunks(256).enumerate().map(|(i, c)| (i * 256, c)) {
-            let h = self.encoder.forward(Input::Sparse(chunk));
+        // The 256-row batches are independent forward passes, so they map
+        // across workers; the batch split is fixed regardless of worker
+        // count, keeping parallel output bit-identical to serial.
+        let chunks: Vec<&[SparseRow]> = xs.chunks(256).collect();
+        let encoded = seeker_par::par_map(&chunks, |c| self.encoder.forward(Input::Sparse(c)));
+        for (start, h) in encoded.iter().enumerate().map(|(i, h)| (i * 256, h)) {
             for r in 0..h.rows() {
                 out.row_mut(start + r).copy_from_slice(h.row(r));
             }

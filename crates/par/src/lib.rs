@@ -1,0 +1,250 @@
+//! # seeker-par
+//!
+//! A scoped, order-preserving chunked thread pool for the pair-quadratic
+//! hot paths of the FriendSeeker reproduction (JOC construction, encoder
+//! batching, k-hop extraction, SVM prediction — see docs/PARALLELISM.md).
+//!
+//! ## Determinism contract
+//!
+//! Every function in this crate guarantees that its output is **bit
+//! identical** to the serial evaluation, for any worker count and any chunk
+//! size: work is split into contiguous index chunks, each chunk is mapped by
+//! the same closure that the serial path would use, and the chunk results
+//! are reassembled in index order. Parallelism only changes *when* an item
+//! is computed, never *what* is computed or where its result lands. The
+//! workspace-level `tests/par_determinism.rs` suite asserts this end to end
+//! for every wired pipeline stage.
+//!
+//! ## Worker count
+//!
+//! The worker count comes from, in order of precedence:
+//!
+//! 1. a thread-local override installed by [`with_threads`] (tests and
+//!    benchmarks compare serial and parallel runs inside one process);
+//! 2. the `SEEKER_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! With 1 worker — or for inputs smaller than [`SERIAL_CUTOFF`] — no thread
+//! is ever spawned and the map runs inline on the caller.
+//!
+//! ```
+//! let squares = seeker_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! let serial = seeker_par::with_threads(1, || seeker_par::par_map_indexed(5, |i| i * 2));
+//! assert_eq!(serial, vec![0, 2, 4, 6, 8]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Inputs with fewer items than this run serially even when more workers
+/// are available: below it, thread spawn/join overhead dominates any win.
+pub const SERIAL_CUTOFF: usize = 32;
+
+thread_local! {
+    /// Per-thread worker-count override installed by [`with_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with the worker count forced to `threads` on the calling
+/// thread, restoring the previous override afterwards (also on panic).
+///
+/// This is how the determinism suite and the speedup benchmark compare a
+/// serial (`threads = 1`) and a parallel run inside one process without
+/// touching the global environment.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(threads.max(1)))));
+    f()
+}
+
+/// The effective worker count: the [`with_threads`] override if one is
+/// installed, else `SEEKER_THREADS`, else the machine's available
+/// parallelism (1 if that cannot be determined). Never 0.
+pub fn max_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("SEEKER_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items`, preserving order. Output is bit-identical to
+/// `items.iter().map(f).collect()`; see the crate-level determinism
+/// contract.
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Maps `f` over `0..n`, preserving index order. Output is bit-identical to
+/// `(0..n).map(f).collect()`.
+pub fn par_map_indexed<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    let threads = max_threads();
+    if threads <= 1 || n < SERIAL_CUTOFF {
+        return (0..n).map(f).collect();
+    }
+    // Four chunks per worker: coarse enough to amortize dispatch, fine
+    // enough that an uneven item (a dense pair's k-hop extraction, say)
+    // does not leave the other workers idle.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    par_map_chunked(threads, chunk, n, f)
+}
+
+/// The deterministic core: maps `f` over `0..n` on up to `threads` workers,
+/// handing out contiguous chunks of `chunk` indices from an atomic counter
+/// and reassembling the per-chunk results in index order.
+///
+/// Exposed (rather than private) so the proptest suite can drive it with
+/// adversarial `threads`/`chunk` combinations; `chunk == 0` is treated
+/// as 1.
+///
+/// # Panics
+///
+/// A panic inside `f` on a worker thread is resumed on the caller — the
+/// join handling forwards the original payload via
+/// [`std::panic::resume_unwind`] instead of unwrapping, so no panic ever
+/// originates here.
+pub fn par_map_chunked<U: Send>(
+    threads: usize,
+    chunk: usize,
+    n: usize,
+    f: impl Fn(usize) -> U + Sync,
+) -> Vec<U> {
+    if threads <= 1 || n == 0 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = chunk.max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let workers = threads.min(n_chunks);
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    // This is the sanctioned pool: scoped workers, order-preserving
+    // reassembly, panic payloads resumed verbatim.
+    // lint:allow(thread-spawn) -- the one place threads may be spawned
+    let per_worker: Vec<Vec<(usize, Vec<U>)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut acc: Vec<(usize, Vec<U>)> = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = ((c + 1) * chunk).min(n);
+                        acc.push((c, (lo..hi).map(f).collect()));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(acc) => acc,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut chunks: Vec<(usize, Vec<U>)> = per_worker.into_iter().flatten().collect();
+    chunks.sort_unstable_by_key(|&(c, _)| c);
+    debug_assert!(chunks.iter().enumerate().all(|(i, &(c, _))| i == c), "chunk index gap");
+    let mut out = Vec::with_capacity(n);
+    for (_, mut part) in chunks {
+        out.append(&mut part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod proptests;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x)).collect();
+        let par = with_threads(4, || par_map(&items, |&x| x.wrapping_mul(x)));
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn indexed_map_preserves_order_across_thread_counts() {
+        let expected: Vec<usize> = (0..500).map(|i| i * 7).collect();
+        for threads in [1, 2, 3, 8, 33] {
+            let got = with_threads(threads, || par_map_indexed(500, |i| i * 7));
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        // Below the cutoff the serial path runs regardless of workers; the
+        // output contract is identical either way.
+        let got = with_threads(16, || par_map_indexed(SERIAL_CUTOFF - 1, |i| i + 1));
+        assert_eq!(got.len(), SERIAL_CUTOFF - 1);
+        assert_eq!(got[0], 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u8> = with_threads(4, || par_map(&[] as &[u8], |&b| b));
+        assert!(got.is_empty());
+        let got: Vec<usize> = par_map_chunked(4, 3, 0, |i| i);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn chunk_zero_is_treated_as_one() {
+        let got = par_map_chunked(4, 0, 100, |i| i);
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_threads_restores_previous_override() {
+        with_threads(3, || {
+            assert_eq!(max_threads(), 3);
+            with_threads(7, || assert_eq!(max_threads(), 7));
+            assert_eq!(max_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map_indexed(1000, |i| {
+                    assert!(i != 613, "boom at 613");
+                    i
+                })
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn non_send_sync_free_of_captured_state_is_fine() {
+        // Borrowed captures work through the scoped pool.
+        let base = vec![10u32, 20, 30, 40];
+        let doubled = with_threads(2, || par_map_chunked(2, 1, base.len(), |i| base[i] * 2));
+        assert_eq!(doubled, vec![20, 40, 60, 80]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Property-based tests: order preservation and serial equivalence of the
+//! chunked pool under adversarial worker/chunk combinations.
+
+use proptest::prelude::*;
+
+use crate::{par_map_chunked, with_threads};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `par_map_chunked` preserves input order — the output equals the
+    /// serial map for every (threads, chunk) combination, including chunk
+    /// sizes larger than the input and degenerate chunk 0.
+    #[test]
+    fn chunked_map_equals_serial_map(
+        items in proptest::collection::vec(0i64..1_000_000, 0..300),
+        threads in 1usize..9,
+        chunk in 0usize..80,
+    ) {
+        let serial: Vec<i64> = items.iter().map(|x| x.wrapping_mul(31)).collect();
+        let par = par_map_chunked(threads, chunk, items.len(), |i| items[i].wrapping_mul(31));
+        prop_assert_eq!(serial, par);
+    }
+
+    /// The public entry points agree with the serial path for any forced
+    /// worker count.
+    #[test]
+    fn par_map_equals_serial_for_any_worker_count(
+        items in proptest::collection::vec(0u32..100_000, 0..200),
+        threads in 1usize..7,
+    ) {
+        let serial: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3 + 1).collect();
+        let par = with_threads(threads, || crate::par_map(&items, |&x| u64::from(x) * 3 + 1));
+        prop_assert_eq!(serial, par);
+    }
+}

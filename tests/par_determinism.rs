@@ -1,0 +1,97 @@
+//! Serial-vs-parallel determinism suite.
+//!
+//! Every pipeline stage wired into the `seeker-par` pool — per-pair JOC
+//! construction, encoder batching, k-hop composite-feature extraction
+//! inside refinement, and batch SVM prediction — must produce **bit
+//! identical** output with one worker and with several
+//! (docs/PARALLELISM.md's determinism contract). `seeker_par::with_threads`
+//! forces the worker count per run, so both sides execute in one process.
+
+use friendseeker::features::{composite_feature, FeatureStore};
+use friendseeker::pairs::labeled_pairs;
+use friendseeker::{FriendSeeker, FriendSeekerConfig, TrainedAttack};
+use seeker_par::with_threads;
+use seeker_trace::synth::{generate, SyntheticConfig};
+use seeker_trace::{Dataset, UserPair};
+use std::sync::OnceLock;
+
+/// Parallel worker count for the "many workers" side of each comparison.
+const PAR: usize = 4;
+
+fn fixture() -> &'static (Dataset, TrainedAttack, Vec<UserPair>) {
+    static CELL: OnceLock<(Dataset, TrainedAttack, Vec<UserPair>)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let train = generate(&SyntheticConfig::small(91)).unwrap().dataset;
+        let target = generate(&SyntheticConfig::small(92)).unwrap().dataset;
+        let attack = FriendSeeker::new(FriendSeekerConfig::fast()).train(&train).unwrap();
+        let pairs = labeled_pairs(&target, 1.0, 4242).pairs;
+        (target, attack, pairs)
+    })
+}
+
+/// Stage 1+2: per-pair JOC construction and batched encoding
+/// (`Phase1Model::features`).
+#[test]
+fn joc_and_encoder_batching_are_deterministic() {
+    let (target, attack, pairs) = fixture();
+    let serial = with_threads(1, || attack.phase1().features(target, pairs));
+    let parallel = with_threads(PAR, || attack.phase1().features(target, pairs));
+    assert_eq!(serial.rows(), parallel.rows());
+    assert_eq!(serial.as_slice(), parallel.as_slice(), "encoded features must be bit-identical");
+}
+
+/// Stage 2 (store form): `FeatureStore::build` over the pair universe.
+#[test]
+fn feature_store_build_is_deterministic() {
+    let (target, attack, pairs) = fixture();
+    let serial = with_threads(1, || FeatureStore::build(attack.phase1(), target, pairs));
+    let parallel = with_threads(PAR, || FeatureStore::build(attack.phase1(), target, pairs));
+    for &p in pairs {
+        assert_eq!(serial.get(p), parallel.get(p), "stored feature of {p} must match");
+    }
+}
+
+/// Phase-1 prediction (JOC + encode + classifier head) and the graph built
+/// from it.
+#[test]
+fn phase1_graph_is_deterministic() {
+    let (target, attack, pairs) = fixture();
+    let serial = with_threads(1, || attack.phase1().predict_graph(target, pairs));
+    let parallel = with_threads(PAR, || attack.phase1().predict_graph(target, pairs));
+    assert_eq!(serial, parallel, "phase-1 graphs must be identical");
+}
+
+/// Stage 3+4: the full refinement loop — k-hop composite features and batch
+/// SVM prediction every iteration.
+#[test]
+fn refinement_inference_is_deterministic() {
+    let (target, attack, pairs) = fixture();
+    let serial = with_threads(1, || attack.infer_pairs(target, pairs.clone()));
+    let parallel = with_threads(PAR, || attack.infer_pairs(target, pairs.clone()));
+    assert_eq!(serial.trace.graphs, parallel.trace.graphs, "graph sequences must be identical");
+    assert_eq!(
+        serial.trace.change_ratios, parallel.trace.change_ratios,
+        "change ratios must be bit-identical"
+    );
+    assert_eq!(serial.trace.converged, parallel.trace.converged);
+    assert_eq!(serial.predictions(), parallel.predictions());
+}
+
+/// Stage 4 in isolation: batch SVM prediction and decision values.
+#[test]
+fn svm_batch_predict_is_deterministic() {
+    let (target, attack, pairs) = fixture();
+    let store = FeatureStore::build(attack.phase1(), target, pairs);
+    let graph = attack.phase1().predict_graph(target, pairs);
+    let k = attack.config().k_hop;
+    let features: Vec<Vec<f32>> =
+        pairs.iter().map(|&p| composite_feature(&graph, p, k, &store)).collect();
+    let scaled = attack.phase2().scaler().transform(&features);
+    let svm = attack.phase2().svm();
+    let serial_preds = with_threads(1, || svm.predict(&scaled));
+    let parallel_preds = with_threads(PAR, || svm.predict(&scaled));
+    assert_eq!(serial_preds, parallel_preds);
+    let serial_dec = with_threads(1, || svm.decision(&scaled));
+    let parallel_dec = with_threads(PAR, || svm.decision(&scaled));
+    assert_eq!(serial_dec, parallel_dec, "decision values must be bit-identical");
+}
