@@ -118,6 +118,7 @@ impl Context {
 impl ColocationBaseline {
     /// Trains the baseline on a labeled dataset.
     pub fn fit(cfg: &ColocationConfig, train: &Dataset) -> Self {
+        let _span = seeker_obs::span!("baselines.colocation.fit");
         let ctx = Context::build(train);
         let (pairs, labels) = labeled_pairs(train, cfg.negative_ratio, cfg.seed);
         let features: Vec<Vec<f32>> = pairs.iter().map(|&p| ctx.features(train, p)).collect();

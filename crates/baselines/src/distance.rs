@@ -56,6 +56,7 @@ fn center_distance_m(centers: &[Option<GeoPoint>], pair: UserPair) -> f64 {
 impl DistanceBaseline {
     /// Calibrates the distance threshold on a labeled dataset.
     pub fn fit(cfg: &DistanceConfig, train: &Dataset) -> Self {
+        let _span = seeker_obs::span!("baselines.distance.fit");
         let centers: Vec<Option<GeoPoint>> = train.users().map(|u| user_center(train, u)).collect();
         let (pairs, labels) = labeled_pairs(train, cfg.negative_ratio, cfg.seed);
         // Score = −distance so that "higher = more likely friends".

@@ -147,6 +147,7 @@ impl Context {
 impl PgtBaseline {
     /// Calibrates the PGT score threshold on a labeled dataset.
     pub fn fit(cfg: &PgtConfig, train: &Dataset) -> Self {
+        let _span = seeker_obs::span!("baselines.pgt.fit");
         let ctx = Context::build(cfg, train);
         let (pairs, labels) = labeled_pairs(train, cfg.negative_ratio, cfg.seed);
         let scores: Vec<f64> = pairs.iter().map(|&p| ctx.score(cfg, p)).collect();

@@ -134,6 +134,7 @@ pub(crate) fn user_embeddings(cfg: &UserGraphConfig, ds: &Dataset) -> Vec<Vec<f3
 impl UserGraphEmbedding {
     /// Trains (calibrates) the baseline on a labeled dataset.
     pub fn fit(cfg: &UserGraphConfig, train: &Dataset) -> Self {
+        let _span = seeker_obs::span!("baselines.user_graph.fit");
         let emb = user_embeddings(cfg, train);
         let (pairs, labels) = labeled_pairs(train, cfg.negative_ratio, cfg.seed);
         let scores: Vec<f64> = pairs.iter().map(|&p| pair_score(&emb, p)).collect();

@@ -106,6 +106,7 @@ pub(crate) fn user_embeddings(cfg: &Walk2FriendsConfig, ds: &Dataset) -> Vec<Vec
 impl Walk2Friends {
     /// Trains (calibrates) walk2friends on a labeled dataset.
     pub fn fit(cfg: &Walk2FriendsConfig, train: &Dataset) -> Self {
+        let _span = seeker_obs::span!("baselines.walk2friends.fit");
         let emb = user_embeddings(cfg, train);
         let (pairs, labels) = labeled_pairs(train, cfg.negative_ratio, cfg.seed);
         let scores: Vec<f64> = pairs.iter().map(|&p| pair_score(&emb, p)).collect();

@@ -4,6 +4,7 @@
 use std::time::Instant;
 
 fn main() {
+    let _obs = seeker_obs::init_cli_sinks();
     let seed = seeker_bench::seed_from_env();
     use seeker_bench::experiments::*;
     use seeker_bench::report::emit;
@@ -30,4 +31,5 @@ fn main() {
         emit(name, &tables);
         eprintln!("=== {name} done in {:.1?} ===", t0.elapsed());
     }
+    seeker_obs::flush();
 }

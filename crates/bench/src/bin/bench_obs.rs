@@ -1,0 +1,146 @@
+//! Overhead benchmark for the `seeker-obs` instrumentation layer.
+//!
+//! Three measurements, written to `results/BENCH_obs.json`:
+//!
+//! 1. **Micro**: the per-operation cost of `span!`, `counter!`, and
+//!    `gauge!` at `Level::Off` (the disabled fast path: one relaxed atomic
+//!    load plus a branch, and for counters one relaxed `fetch_add`).
+//! 2. **Macro**: wall time of a full small-world train + infer run at
+//!    `Level::Off` versus `Level::Trace` (no sinks installed, so the trace
+//!    cost is event construction + registry check only).
+//! 3. **Estimated disabled overhead**: the number of instrumentation
+//!    operations one pipeline run performs (span closures from the span
+//!    table, plus a generous bound on counter/gauge call sites) times the
+//!    measured per-op disabled cost, relative to the disabled run time.
+//!
+//! The acceptance criterion is that the estimate in (3) stays below 2 % —
+//! instrumentation must be near-free when `SEEKER_LOG=off`.
+
+#![deny(missing_docs, dead_code)]
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use friendseeker::{pairs, FriendSeeker, FriendSeekerConfig};
+use seeker_bench::report::results_dir;
+use seeker_obs::Level;
+use seeker_trace::synth::{generate, SyntheticConfig};
+
+/// Micro-benchmark iterations per op kind.
+const MICRO_ITERS: u64 = 2_000_000;
+/// Macro repetitions per level; the minimum is reported.
+const MACRO_REPS: usize = 3;
+/// Acceptance ceiling for the estimated disabled overhead.
+const MAX_OFF_OVERHEAD_PCT: f64 = 2.0;
+
+fn ns_per_op(iters: u64, f: impl Fn(u64)) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..iters {
+        f(i);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn macro_run() -> usize {
+    let train = generate(&SyntheticConfig::small(61)).expect("synthesis").dataset;
+    let target = generate(&SyntheticConfig::small(62)).expect("synthesis").dataset;
+    let trained = FriendSeeker::new(FriendSeekerConfig::fast()).train(&train).expect("training");
+    let lp = pairs::labeled_pairs(&target, 1.0, 777);
+    let result = trained.infer_pairs(&target, lp.pairs);
+    result.final_graph().n_edges()
+}
+
+fn time_min_ms(mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut out = 0;
+    for _ in 0..MACRO_REPS {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+fn main() {
+    // The bench controls the level explicitly; the ambient SEEKER_LOG must
+    // not leak into the measurements.
+    let prev = seeker_obs::set_level(Level::Off);
+    eprintln!("bench_obs: ambient level {prev:?}, measuring Off vs Trace");
+
+    // -- 1. micro: disabled per-op cost ---------------------------------
+    let span_off_ns = ns_per_op(MICRO_ITERS, |_| {
+        let _span = seeker_obs::span!("bench.obs.micro.span");
+    });
+    let counter_off_ns = ns_per_op(MICRO_ITERS, |i| {
+        seeker_obs::counter!("bench.obs.micro.counter", black_box(i) & 1);
+    });
+    let gauge_off_ns = ns_per_op(MICRO_ITERS, |i| {
+        seeker_obs::gauge!("bench.obs.micro.gauge", black_box(i as usize));
+    });
+
+    // -- 2. macro: Off vs Trace (no sinks) ------------------------------
+    let _warmup = macro_run();
+    let spans_before: u64 = seeker_obs::span_stats().iter().map(|s| s.count).sum();
+    let khop_before = seeker_obs::counter_value("graph.khop.extractions");
+    let (off_ms, edges_off) = time_min_ms(macro_run);
+    let spans_after: u64 = seeker_obs::span_stats().iter().map(|s| s.count).sum();
+    let khop_after = seeker_obs::counter_value("graph.khop.extractions");
+
+    seeker_obs::set_level(Level::Trace);
+    let (trace_ms, edges_trace) = time_min_ms(macro_run);
+    seeker_obs::set_level(Level::Off);
+    assert_eq!(edges_off, edges_trace, "observability must not change results");
+
+    // -- 3. estimated disabled overhead ---------------------------------
+    // Ops per run: span enters+exits from the span table, plus counter and
+    // gauge call sites. The k-hop extraction counter fires once per pair
+    // per iteration and dominates every other counter site; gauges fire a
+    // handful of times per iteration. A 4x multiplier on the dominant
+    // count over-approximates all remaining sites.
+    let span_ops = (spans_after - spans_before) as f64 / MACRO_REPS as f64;
+    let khop_ops = (khop_after - khop_before) as f64 / MACRO_REPS as f64;
+    let counter_ops = 4.0 * khop_ops + 1_000.0;
+    let gauge_ops = 1_000.0;
+    let est_overhead_ms =
+        (span_ops * span_off_ns + counter_ops * counter_off_ns + gauge_ops * gauge_off_ns) / 1e6;
+    let overhead_pct = 100.0 * est_overhead_ms / off_ms;
+
+    eprintln!("  span(off)    {span_off_ns:.2} ns/op");
+    eprintln!("  counter(off) {counter_off_ns:.2} ns/op");
+    eprintln!("  gauge(off)   {gauge_off_ns:.2} ns/op");
+    eprintln!("  pipeline off   {off_ms:.1} ms, trace {trace_ms:.1} ms");
+    eprintln!(
+        "  est. disabled overhead {est_overhead_ms:.3} ms of {off_ms:.1} ms = {overhead_pct:.3}%"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"seeker-obs overhead\",");
+    let _ = writeln!(json, "  \"micro_iters\": {MICRO_ITERS},");
+    let _ = writeln!(json, "  \"span_off_ns_per_op\": {span_off_ns:.3},");
+    let _ = writeln!(json, "  \"counter_off_ns_per_op\": {counter_off_ns:.3},");
+    let _ = writeln!(json, "  \"gauge_off_ns_per_op\": {gauge_off_ns:.3},");
+    let _ = writeln!(json, "  \"pipeline_off_ms\": {off_ms:.3},");
+    let _ = writeln!(json, "  \"pipeline_trace_ms\": {trace_ms:.3},");
+    let _ = writeln!(json, "  \"ops_per_run\": {{");
+    let _ = writeln!(json, "    \"spans\": {span_ops:.0},");
+    let _ = writeln!(json, "    \"counters_bound\": {counter_ops:.0},");
+    let _ = writeln!(json, "    \"gauges_bound\": {gauge_ops:.0}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"estimated_off_overhead_ms\": {est_overhead_ms:.4},");
+    let _ = writeln!(json, "  \"estimated_off_overhead_pct\": {overhead_pct:.4},");
+    let _ = writeln!(json, "  \"max_allowed_pct\": {MAX_OFF_OVERHEAD_PCT}");
+    let _ = writeln!(json, "}}");
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_obs.json");
+    std::fs::write(&path, json).expect("write BENCH_obs.json");
+    eprintln!("saved {}", path.display());
+
+    assert!(
+        overhead_pct < MAX_OFF_OVERHEAD_PCT,
+        "disabled-instrumentation overhead {overhead_pct:.3}% exceeds {MAX_OFF_OVERHEAD_PCT}%"
+    );
+}

@@ -46,6 +46,7 @@ struct Stage {
 }
 
 fn main() {
+    let _obs = seeker_obs::init_cli_sinks();
     let seed = seeker_bench::seed_from_env();
     let threads = max_threads();
     eprintln!("bench_par: 1 vs {threads} worker(s), seed {seed}");
@@ -118,4 +119,5 @@ fn main() {
     let path = dir.join("BENCH_par.json");
     std::fs::write(&path, json).expect("write BENCH_par.json");
     eprintln!("saved {}", path.display());
+    seeker_obs::flush();
 }

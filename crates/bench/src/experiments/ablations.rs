@@ -120,7 +120,7 @@ fn config_ablation(
                 fmt3(run.metrics.precision()),
                 fmt3(run.metrics.recall()),
             ]);
-            eprintln!("  [ablation/{}] {label}: F1={:.3}", preset.name(), run.metrics.f1());
+            seeker_obs::info!("  [ablation/{}] {label}: F1={:.3}", preset.name(), run.metrics.f1());
         }
         tables.push(t);
     }
@@ -195,7 +195,7 @@ pub fn feature_ablation(seed: u64) -> Vec<Table> {
                 fmt3(m.precision()),
                 fmt3(m.recall()),
             ]);
-            eprintln!("  [features/{}] {label}: F1={:.3}", preset.name(), m.f1());
+            seeker_obs::info!("  [features/{}] {label}: F1={:.3}", preset.name(), m.f1());
         }
         tables.push(t);
     }

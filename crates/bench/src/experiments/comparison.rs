@@ -25,7 +25,7 @@ pub fn fig11(seed: u64) -> Vec<Table> {
             let preds = method.predict(&w.target, &pairs);
             let m = BinaryMetrics::from_predictions(&preds, &labels);
             push_metrics(&mut t, method.name(), &m);
-            eprintln!("  [fig11/{}] {}: F1={:.3}", preset.name(), method.name(), m.f1());
+            seeker_obs::info!("  [fig11/{}] {}: F1={:.3}", preset.name(), method.name(), m.f1());
         }
         tables.push(t);
     }

@@ -53,7 +53,7 @@ pub fn defense_comparison(seed: u64) -> Vec<Table> {
                         row.push(fmt3(BinaryMetrics::from_predictions(&preds, &labels).f1()));
                     }
                 }
-                eprintln!(
+                seeker_obs::info!(
                     "  [defense/{}] {label} {:.0}%: FriendSeeker F1={:.3}",
                     preset.name(),
                     budget * 100.0,

@@ -35,7 +35,7 @@ pub fn pgt_comparison(seed: u64) -> Vec<Table> {
             fmt3(m.precision()),
             fmt3(m.recall()),
         ]);
-        eprintln!("  [extra/{}] pgt: F1={:.3}", preset.name(), m.f1());
+        seeker_obs::info!("  [extra/{}] pgt: F1={:.3}", preset.name(), m.f1());
         for method in baseline_suite(&w.train) {
             let preds = method.predict(&w.target, &pairs);
             let m = BinaryMetrics::from_predictions(&preds, &labels);

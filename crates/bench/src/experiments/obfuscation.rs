@@ -89,7 +89,7 @@ pub fn obfuscation_sweep(mechanism: Mechanism, seed: u64) -> Vec<Table> {
                 let preds = method.predict(&target, &pairs);
                 row.push(fmt3(BinaryMetrics::from_predictions(&preds, &labels).f1()));
             }
-            eprintln!(
+            seeker_obs::info!(
                 "  [{}/{}] ratio={:.0}%: FriendSeeker F1={:.3}",
                 mechanism.figure(),
                 preset.name(),

@@ -65,7 +65,11 @@ fn sweep(
                 fmt3(run.metrics.recall()),
                 run.result.trace.n_iterations().to_string(),
             ]);
-            eprintln!("  [{figure}/{}] {param}={label}: F1={:.3}", preset.name(), run.metrics.f1());
+            seeker_obs::info!(
+                "  [{figure}/{}] {param}={label}: F1={:.3}",
+                preset.name(),
+                run.metrics.f1()
+            );
         }
         tables.push(t);
     }

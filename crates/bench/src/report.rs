@@ -50,7 +50,12 @@ impl Table {
     }
 
     /// Prints the markdown rendering to stdout.
+    ///
+    /// The tables *are* the program output of the experiment binaries, so
+    /// this writes to stdout directly rather than going through a
+    /// `seeker-obs` sink.
     pub fn print(&self) {
+        // lint:allow(no-print) -- tables are the experiment binaries' stdout
         println!("{}", self.to_markdown());
     }
 }
@@ -75,14 +80,16 @@ pub fn emit(name: &str, tables: &[Table]) {
     }
     let dir = results_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
+        // lint:allow(no-print) -- I/O failure warning must reach stderr
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.md"));
     if let Err(e) = fs::write(&path, combined) {
+        // lint:allow(no-print) -- I/O failure warning must reach stderr
         eprintln!("warning: cannot write {}: {e}", path.display());
     } else {
-        eprintln!("saved {}", path.display());
+        seeker_obs::info!("saved {}", path.display());
     }
 }
 

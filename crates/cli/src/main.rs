@@ -46,6 +46,7 @@ USAGE:
 ";
 
 fn main() -> ExitCode {
+    let _obs = seeker_obs::init_cli_sinks();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
         eprint!("{USAGE}");
@@ -64,6 +65,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
     };
+    seeker_obs::flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -48,6 +48,7 @@ impl FriendSeeker {
     ///
     /// Propagates configuration and data errors from the two phases.
     pub fn train(&self, train: &Dataset) -> Result<TrainedAttack> {
+        let _span = seeker_obs::span!("attack.train");
         let p1 = train_phase1(&self.cfg, train)?;
         let (p2, train_trace) =
             train_phase2(&self.cfg, &p1.model, train, &p1.train_pairs, &p1.holdout)?;
@@ -116,6 +117,8 @@ impl TrainedAttack {
 
     /// Runs the attack over an explicit candidate pair list.
     pub fn infer_pairs(&self, target: &Dataset, pairs: Vec<UserPair>) -> InferenceResult {
+        let _span = seeker_obs::span!("attack.infer");
+        seeker_obs::counter!("core.pairs_evaluated", pairs.len() as u64);
         let trace = self.phase2.infer(&self.cfg, &self.phase1, target, &pairs);
         InferenceResult { pairs, trace }
     }

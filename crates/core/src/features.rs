@@ -33,6 +33,7 @@ impl FeatureStore {
     ///
     /// Panics if `pairs` is empty or contains duplicates.
     pub fn build(model: &Phase1Model, ds: &Dataset, pairs: &[UserPair]) -> Self {
+        let _span = seeker_obs::span!("core.features.build");
         let features = model.features(ds, pairs);
         let mut index = HashMap::with_capacity(pairs.len());
         for (i, &p) in pairs.iter().enumerate() {

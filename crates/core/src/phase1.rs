@@ -54,6 +54,7 @@ pub struct Phase1Training {
 /// [`AttackError::Data`] if the dataset has no friend pairs to learn from,
 /// and propagates STD construction failures.
 pub fn train_phase1(cfg: &FriendSeekerConfig, train: &Dataset) -> Result<Phase1Training> {
+    let _span = seeker_obs::span!("phase1.train");
     cfg.validate().map_err(AttackError::Config)?;
     let division = match cfg.uniform_grid_depth {
         None => SpatialTemporalDivision::build(train, cfg.sigma, cfg.tau_days)?,
@@ -68,8 +69,10 @@ pub fn train_phase1(cfg: &FriendSeekerConfig, train: &Dataset) -> Result<Phase1T
     }
     let (fit_idx, holdout) =
         seeker_ml::stratified_split(&train_pairs.labels, cfg.oof_fraction, cfg.seed ^ 0x00f);
-    let xs: Vec<SparseRow> =
-        fit_idx.iter().map(|&i| joc_row(&division, train, train_pairs.pairs[i])).collect();
+    let xs: Vec<SparseRow> = {
+        let _span = seeker_obs::span!("phase1.joc");
+        fit_idx.iter().map(|&i| joc_row(&division, train, train_pairs.pairs[i])).collect()
+    };
     let ys: Vec<f32> =
         fit_idx.iter().map(|&i| if train_pairs.labels[i] { 1.0 } else { 0.0 }).collect();
 
@@ -170,6 +173,8 @@ impl Phase1Model {
     /// Panics if `pairs` is empty.
     pub fn features(&self, ds: &Dataset, pairs: &[UserPair]) -> Matrix {
         assert!(!pairs.is_empty(), "no pairs to featurize");
+        let _span = seeker_obs::span!("phase1.joc");
+        seeker_obs::counter!("core.pairs_evaluated", pairs.len() as u64);
         // Per-pair JOC construction is the quadratic front half of phase 1;
         // each cuboid only reads the (shared) division and trajectories.
         let xs: Vec<SparseRow> = seeker_par::par_map(pairs, |&p| joc_row(&self.division, ds, p));
@@ -183,6 +188,8 @@ impl Phase1Model {
 
     /// Friend probability of each pair under classifier `C`.
     pub fn predict_proba(&self, ds: &Dataset, pairs: &[UserPair]) -> Vec<f64> {
+        let _span = seeker_obs::span!("phase1.joc");
+        seeker_obs::counter!("core.pairs_evaluated", pairs.len() as u64);
         let xs: Vec<SparseRow> = seeker_par::par_map(pairs, |&p| joc_row(&self.division, ds, p));
         if let Some(knn) = &self.knn {
             let encoded = self.autoencoder.encode(&xs);

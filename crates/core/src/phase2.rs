@@ -76,6 +76,7 @@ pub fn train_phase2(
     train_pairs: &LabeledPairs,
     holdout: &[usize],
 ) -> Result<(Phase2Model, IterationTrace)> {
+    let _span = seeker_obs::span!("phase2.train");
     if train_pairs.is_empty() {
         return Err(AttackError::Data("no labeled pairs for phase-2 training".into()));
     }
@@ -179,6 +180,7 @@ fn refine(
         IterationTrace { graphs: vec![graph.clone()], change_ratios: Vec::new(), converged: false };
     let mut model: Option<Phase2Model> = None;
     for _ in 0..cfg.max_iterations {
+        let _iter_span = seeker_obs::span!("phase2.train.iter");
         let features = composite_features(&graph, &train_pairs.pairs, cfg.k_hop, store);
         let cal_features: Vec<Vec<f32>> = cal_idx.iter().map(|&i| features[i].clone()).collect();
         let (scaler, cal_scaled) = StandardScaler::fit_transform(&cal_features);
@@ -186,6 +188,9 @@ fn refine(
         let preds = svm.predict(&scaler.transform(&features));
         let next = graph_from_predictions(train.n_users(), &train_pairs.pairs, &preds);
         let change = graph.change_ratio(&next);
+        seeker_obs::counter!("phase2.edge_churn", graph.edge_difference(&next) as u64);
+        seeker_obs::gauge!("phase2.train.iter.edges", next.n_edges());
+        seeker_obs::gauge!("phase2.train.iter.change_ratio", change);
         model = Some(Phase2Model {
             scaler,
             svm,
@@ -217,19 +222,25 @@ impl Phase2Model {
         target: &Dataset,
         pairs: &[UserPair],
     ) -> IterationTrace {
+        let _span = seeker_obs::span!("phase2.infer");
         let store = FeatureStore::build(phase1, target, pairs);
         let mut graph = phase1.predict_graph(target, pairs);
+        seeker_obs::gauge!("phase2.infer.g0.edges", graph.n_edges());
         let mut trace = IterationTrace {
             graphs: vec![graph.clone()],
             change_ratios: Vec::new(),
             converged: self.n_iterations == 0,
         };
         for _ in 0..self.n_iterations.min(cfg.max_iterations) {
+            let _iter_span = seeker_obs::span!("phase2.infer.iter");
             let features = composite_features(&graph, pairs, cfg.k_hop, &store);
             let scaled = self.scaler.transform(&features);
             let preds = self.svm.predict(&scaled);
             let next = graph_from_predictions(target.n_users(), pairs, &preds);
             let change = graph.change_ratio(&next);
+            seeker_obs::counter!("phase2.edge_churn", graph.edge_difference(&next) as u64);
+            seeker_obs::gauge!("phase2.infer.iter.edges", next.n_edges());
+            seeker_obs::gauge!("phase2.infer.iter.change_ratio", change);
             trace.graphs.push(next.clone());
             trace.change_ratios.push(change);
             graph = next;

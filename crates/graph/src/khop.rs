@@ -43,6 +43,7 @@ impl KHopSubgraph {
     /// Panics if an endpoint of `pair` is outside `graph`'s vertex space, or
     /// if `k < 2`.
     pub fn extract(graph: &SocialGraph, pair: UserPair, k: usize) -> Self {
+        seeker_obs::counter!("graph.khop.extractions", 1);
         assert!(k >= 2, "k-hop subgraphs require k >= 2, got {k}");
         assert!(
             pair.hi().index() < graph.n_vertices(),

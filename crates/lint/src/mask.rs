@@ -127,8 +127,10 @@ fn mask_plain_string(bytes: &[u8], start: usize, out: &mut Vec<u8>) -> usize {
     while i < bytes.len() {
         match bytes[i] {
             b'\\' if i + 1 < bytes.len() => {
+                // A `\<newline>` line continuation must keep its newline or
+                // every following line number shifts by one.
                 out.push(b' ');
-                out.push(b' ');
+                out.push(if bytes[i + 1] == b'\n' { b'\n' } else { b' ' });
                 i += 2;
             }
             b'"' => {
@@ -184,6 +186,14 @@ fn mask_char_or_lifetime(bytes: &[u8], start: usize, out: &mut Vec<u8>) -> usize
 #[cfg(test)]
 mod tests {
     use super::mask_source;
+
+    #[test]
+    fn string_line_continuation_keeps_its_newline() {
+        let src = "let s = \"two \\\n    lines\";\nfn f() {}\n";
+        let m = mask_source(src);
+        assert_eq!(m.lines().count(), src.lines().count());
+        assert!(m.lines().nth(2).unwrap().contains("fn f() {}"));
+    }
 
     #[test]
     fn masks_line_and_doc_comments() {

@@ -22,6 +22,9 @@ pub enum Rule {
     /// Raw `std::thread::spawn`/`scope` in library code outside the
     /// sanctioned `seeker-par` pool.
     ThreadSpawn,
+    /// Raw `println!`/`eprintln!` (and the non-`ln` forms) in library code
+    /// outside the sanctioned `seeker-obs` sinks.
+    NoPrint,
 }
 
 impl Rule {
@@ -35,6 +38,7 @@ impl Rule {
             Rule::UndocumentedPub => "undocumented-pub",
             Rule::DenyHeader => "deny-header",
             Rule::ThreadSpawn => "thread-spawn",
+            Rule::NoPrint => "no-print",
         }
     }
 
@@ -48,6 +52,7 @@ impl Rule {
             "undocumented-pub" => Some(Rule::UndocumentedPub),
             "deny-header" => Some(Rule::DenyHeader),
             "thread-spawn" => Some(Rule::ThreadSpawn),
+            "no-print" => Some(Rule::NoPrint),
             _ => None,
         }
     }
@@ -135,6 +140,19 @@ const ROUNDING_SUFFIXES: &[&str] = &[".round()", ".floor()", ".ceil()", ".trunc(
 const THREAD_PATTERNS: &[(&str, &str)] =
     &[("thread::spawn(", "raw `thread::spawn`"), ("thread::scope(", "raw `thread::scope`")];
 
+/// Ad-hoc printing in library code bypasses the `seeker-obs` sinks, so
+/// `SEEKER_LOG=off` cannot silence it and test output cannot capture it.
+/// Binaries own their stdio and are exempt; the sanctioned sites inside
+/// the `seeker-obs` sinks carry `// lint:allow(no-print)` comments.
+const PRINT_PATTERNS: &[(&str, &str)] = &[
+    // Longest first: `print!(` is a substring of every other pattern, so
+    // the first match (the loop breaks after it) must be the precise one.
+    ("eprintln!(", "raw `eprintln!`"),
+    ("println!(", "raw `println!`"),
+    ("eprint!(", "raw `eprint!`"),
+    ("print!(", "raw `print!`"),
+];
+
 /// Analyzes one source file and returns its violations.
 ///
 /// `path` is used for reporting and for path-scoped rules; `class` controls
@@ -186,6 +204,12 @@ pub fn lint_source_with(
             for (pat, what) in THREAD_PATTERNS {
                 if line.contains(pat) {
                     push(Rule::ThreadSpawn, idx, format!("{what} in library code (use the `seeker_par` pool, or add `// lint:allow(thread-spawn)` with a justification)"));
+                }
+            }
+            for (pat, what) in PRINT_PATTERNS {
+                if line.contains(pat) {
+                    push(Rule::NoPrint, idx, format!("{what} in library code (route through `seeker_obs::info!` / a sink, or add `// lint:allow(no-print)` with a justification)"));
+                    break;
                 }
             }
             for (col, len) in float_eq_sites(line) {
@@ -630,6 +654,28 @@ mod tests {
         // Binaries may thread however they like (only the header rule runs
         // on a binary root, hence the rule-level check).
         assert!(!rules_of(&lint(FileClass::BinaryRoot, spawn)).contains(&Rule::ThreadSpawn));
+    }
+
+    #[test]
+    fn print_macros_flagged_in_library_code_only() {
+        let src = "fn f() { println!(\"x\"); }\nfn g() { eprintln!(\"y\"); }\n";
+        let v = lint(FileClass::Library, src);
+        assert_eq!(rules_of(&v), vec![Rule::NoPrint, Rule::NoPrint]);
+        assert!(v[0].message.contains("println!"));
+        assert!(v[1].message.contains("eprintln!"));
+        // One violation per line, with the precise macro named.
+        let eprint = lint(FileClass::Library, "fn f() { eprint!(\"z\"); }\n");
+        assert!(eprint[0].message.contains("`eprint!`"));
+        // Binaries own their stdio (only the header rule runs on a binary
+        // root, hence the rule-level check).
+        assert!(!rules_of(&lint(FileClass::BinaryRoot, src)).contains(&Rule::NoPrint));
+        // Sanctioned sink sites carry an allow comment.
+        let allowed =
+            "fn f() {\n    // lint:allow(no-print) -- sink output\n    eprintln!(\"e\");\n}\n";
+        assert!(lint(FileClass::Library, allowed).is_empty());
+        // Mentions in comments and strings are ignored.
+        let masked = "// println!(\"doc\")\nfn f() -> &'static str { \"println!(no)\" }\n";
+        assert!(lint(FileClass::Library, masked).is_empty());
     }
 
     #[test]

@@ -90,6 +90,7 @@ impl Svm {
     ///
     /// Panics if inputs are empty/mismatched/ragged, or `c <= 0`.
     pub fn fit(cfg: &SvmConfig, xs: &[Vec<f32>], labels: &[bool]) -> Self {
+        let _span = seeker_obs::span!("ml.svm.fit");
         assert_eq!(xs.len(), labels.len(), "sample/label count mismatch");
         assert!(!xs.is_empty(), "cannot train on an empty set");
         assert!(cfg.c > 0.0, "C must be positive");
@@ -110,6 +111,7 @@ impl Svm {
             }
             g
         };
+        seeker_obs::counter!("ml.svm.kernel_evals", (n * (n + 1) / 2) as u64);
 
         let mut alphas = vec![0.0f32; n];
         let mut b = 0.0f32;
@@ -217,6 +219,7 @@ impl Svm {
     /// Panics if `x.len() != dim()`.
     pub fn decision_one(&self, x: &[f32]) -> f32 {
         assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        seeker_obs::counter!("ml.svm.kernel_evals", self.support_x.len() as u64);
         let mut acc = self.bias;
         for (sv, &c) in self.support_x.iter().zip(self.coeffs.iter()) {
             acc += c * self.kernel.eval(sv, x);

@@ -160,6 +160,7 @@ impl SupervisedAutoencoder {
     /// Panics if `xs` and `ys` lengths differ, the set is empty, or a label
     /// is not 0/1.
     pub fn fit(&mut self, xs: &[SparseRow], ys: &[f32]) -> TrainReport {
+        let _span = seeker_obs::span!("nn.autoencoder.fit");
         assert_eq!(xs.len(), ys.len(), "sample/label count mismatch");
         assert!(!xs.is_empty(), "cannot train on an empty set");
         // lint:allow(float-eq) -- labels are exact 0.0/1.0 sentinels, not measurements
@@ -188,11 +189,15 @@ impl SupervisedAutoencoder {
                 cls_sum += cls;
                 n_batches += 1;
             }
-            report.epochs.push(EpochLosses {
+            let losses = EpochLosses {
                 reconstruction: recon_sum / n_batches as f32,
                 classification: cls_sum / n_batches as f32,
-            });
+            };
+            seeker_obs::gauge!("nn.autoencoder.epoch.reconstruction", losses.reconstruction);
+            seeker_obs::gauge!("nn.autoencoder.epoch.classification", losses.classification);
+            report.epochs.push(losses);
         }
+        seeker_obs::counter!("nn.autoencoder.epochs", self.cfg.epochs as u64);
         report
     }
 

@@ -42,6 +42,7 @@ pub enum BlurMode {
 ///
 /// Returns [`TraceError::Invalid`] if `proportion` is outside `[0, 1)`.
 pub fn hide_checkins(ds: &Dataset, proportion: f64, seed: u64) -> Result<Dataset> {
+    let _span = seeker_obs::span!("obfuscation.hide");
     if !(0.0..1.0).contains(&proportion) {
         return Err(TraceError::Invalid(format!("hiding proportion {proportion} outside [0, 1)")));
     }
@@ -84,6 +85,7 @@ pub fn blur_checkins(
     sigma: usize,
     seed: u64,
 ) -> Result<Dataset> {
+    let _span = seeker_obs::span!("obfuscation.blur");
     if !(0.0..=1.0).contains(&proportion) {
         return Err(TraceError::Invalid(format!(
             "blurring proportion {proportion} outside [0, 1]"

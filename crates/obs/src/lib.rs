@@ -1,0 +1,723 @@
+//! # seeker-obs
+//!
+//! The std-only, zero-dependency observability layer of the FriendSeeker
+//! reproduction: hierarchical timing spans, exact monotonic counters,
+//! deterministic gauges, and pluggable sinks. Every pipeline stage (trace
+//! synthesis, quadtree construction, JOC batching, encoder training, SVM
+//! fitting/prediction, the iterative refinement loop, the `seeker-par`
+//! pool) records through this crate, so an experiment run can be broken
+//! down stage by stage without attaching a profiler.
+//!
+//! ## Model
+//!
+//! - **Spans** ([`span!`]) measure wall-clock time of a stage. A span is an
+//!   RAII guard: it closes when dropped, *including during a panic unwind*.
+//!   Span durations exist only in what is reported to sinks — they never
+//!   feed back into any computed value, so instrumented runs stay
+//!   bit-deterministic.
+//! - **Counters** ([`counter!`]) are global monotonic `AtomicU64`s. They
+//!   are exact under concurrency: totals recorded through the `seeker-par`
+//!   pool equal the serial totals for any chunk size and worker count (the
+//!   workspace `tests/obs_counters.rs` proptest asserts this).
+//! - **Gauges** ([`gauge!`]) are point-in-time deterministic values (edge
+//!   counts, change ratios, epoch losses) delivered to sinks as ordered
+//!   events — the golden-trajectory regression test replays a refinement
+//!   run from them.
+//! - **Messages** ([`info!`]) are human progress lines, replacing ad-hoc
+//!   `eprintln!` in the experiment harness.
+//!
+//! ## Gating
+//!
+//! The `SEEKER_LOG` environment variable selects a [`Level`]:
+//! `off` (spans/gauges/messages disabled — one atomic load and a branch per
+//! call site; counters still count), `summary` (spans accumulate into a
+//! per-name table, gauges and messages flow to sinks), or `trace` (every
+//! span start/end is also delivered as an event). Invalid values fall back
+//! to `summary` with a warning — never a panic. Nothing is ever *printed*
+//! unless a sink is installed; see [`StderrSink`], [`JsonSink`],
+//! [`TestSink`].
+//!
+//! ```
+//! use seeker_obs::{Level, TestSink};
+//!
+//! let (sink, _guard) = TestSink::install(); // forces Level::Trace, exclusive
+//! {
+//!     let _span = seeker_obs::span!("demo.stage");
+//!     seeker_obs::counter!("demo.items", 3);
+//!     seeker_obs::gauge!("demo.edges", 17_usize);
+//! }
+//! let events = sink.events();
+//! assert_eq!(events.len(), 3); // span start, gauge, span end
+//! assert_eq!(sink.int_gauges("demo.edges"), vec![17]);
+//! assert!(seeker_obs::counter_value("demo.items") >= 3);
+//! assert_eq!(seeker_obs::level(), Level::Trace);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Minimal JSON tree: emitter + recursive-descent parser (sink payloads).
+pub mod json;
+mod sink;
+
+/// Sink plumbing: the [`Sink`] trait, registry, and the three shipped
+/// sinks (stderr, JSON file, test capture).
+pub use sink::{
+    add_sink, remove_sinks_for_test, JsonSink, Sink, SinkGuard, StderrSink, TestSink, TestSinkGuard,
+};
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// How much the observability layer records and forwards to sinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Spans, gauges and messages are disabled (counters still count).
+    Off,
+    /// Spans accumulate into the per-name summary table; gauges and
+    /// messages are delivered to sinks; span start/end events are not.
+    Summary,
+    /// Everything `summary` does, plus a start and end event per span.
+    Trace,
+}
+
+impl Level {
+    /// Parses a `SEEKER_LOG` value (case-insensitive). `None` for anything
+    /// that is not `off`, `summary` or `trace`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(Level::Off),
+            "summary" => Some(Level::Summary),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name (`off` / `summary` / `trace`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Summary => "summary",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Resolves a raw `SEEKER_LOG` value to a level. Unset means
+/// [`Level::Summary`] silently; an invalid value also falls back to
+/// `summary` but returns a warning describing the bad input. This function
+/// never panics.
+pub fn resolve_level(raw: Option<&str>) -> (Level, Option<String>) {
+    match raw {
+        None => (Level::Summary, None),
+        Some(v) => match Level::parse(v) {
+            Some(l) => (l, None),
+            None => (
+                Level::Summary,
+                Some(format!(
+                    "seeker-obs: invalid SEEKER_LOG value {v:?} (expected off|summary|trace); \
+                     falling back to summary"
+                )),
+            ),
+        },
+    }
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+fn level_to_u8(l: Level) -> u8 {
+    match l {
+        Level::Off => 0,
+        Level::Summary => 1,
+        Level::Trace => 2,
+    }
+}
+
+fn level_from_u8(v: u8) -> Level {
+    match v {
+        0 => Level::Off,
+        2 => Level::Trace,
+        _ => Level::Summary,
+    }
+}
+
+/// The current level, initializing from `SEEKER_LOG` on first use.
+pub fn level() -> Level {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != LEVEL_UNSET {
+        return level_from_u8(v);
+    }
+    let raw = std::env::var("SEEKER_LOG").ok();
+    let (resolved, warning) = resolve_level(raw.as_deref());
+    // First-use only; racing initializations resolve to the same value.
+    LEVEL.store(level_to_u8(resolved), Ordering::Relaxed);
+    if let Some(w) = warning {
+        // The one sanctioned direct stderr line outside the sinks: the env
+        // var is broken, so no sink configuration can be trusted to exist.
+        eprintln!("{w}"); // lint:allow(no-print)
+    }
+    resolved
+}
+
+/// Overrides the level (tests, benchmark harnesses). Returns the previous
+/// level so callers can restore it.
+pub fn set_level(l: Level) -> Level {
+    let prev = level();
+    LEVEL.store(level_to_u8(l), Ordering::Relaxed);
+    prev
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// A gauge reading: integers stay exact, measurements stay floating-point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GaugeValue {
+    /// An exact integer reading (edge counts, pair counts).
+    Int(i64),
+    /// A floating-point reading (change ratios, losses).
+    Float(f64),
+}
+
+impl From<i64> for GaugeValue {
+    fn from(v: i64) -> Self {
+        GaugeValue::Int(v)
+    }
+}
+
+impl From<u32> for GaugeValue {
+    fn from(v: u32) -> Self {
+        GaugeValue::Int(i64::from(v))
+    }
+}
+
+impl From<usize> for GaugeValue {
+    fn from(v: usize) -> Self {
+        GaugeValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<f64> for GaugeValue {
+    fn from(v: f64) -> Self {
+        GaugeValue::Float(v)
+    }
+}
+
+impl From<f32> for GaugeValue {
+    fn from(v: f32) -> Self {
+        GaugeValue::Float(f64::from(v))
+    }
+}
+
+impl fmt::Display for GaugeValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GaugeValue::Int(v) => write!(f, "{v}"),
+            GaugeValue::Float(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// One observability event as delivered to sinks, in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opened (emitted at [`Level::Trace`] only).
+    SpanStart {
+        /// Span name, e.g. `"phase1.joc"`.
+        name: &'static str,
+        /// Nesting depth on the emitting thread (0 = outermost).
+        depth: usize,
+    },
+    /// A span closed (emitted at [`Level::Trace`] only). Also emitted when
+    /// the span is unwound by a panic.
+    SpanEnd {
+        /// Span name.
+        name: &'static str,
+        /// Nesting depth on the emitting thread.
+        depth: usize,
+        /// Wall-clock duration. Lives only in this sink-facing event —
+        /// never in a recorded value.
+        nanos: u64,
+    },
+    /// A deterministic point-in-time reading.
+    Gauge {
+        /// Gauge name, e.g. `"phase2.infer.iter.edges"`.
+        name: &'static str,
+        /// The reading.
+        value: GaugeValue,
+    },
+    /// A human progress line (replacement for ad-hoc `eprintln!`).
+    Message {
+        /// The formatted text.
+        text: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// A registered monotonic counter. Obtain via [`Counter::register`] (or the
+/// [`counter!`] macro, which caches the registration per call site).
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+fn counter_registry() -> &'static Mutex<Vec<&'static Counter>> {
+    static REGISTRY: OnceLock<Mutex<Vec<&'static Counter>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+impl Counter {
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Two call sites using the same name share one counter.
+    pub fn register(name: &'static str) -> &'static Counter {
+        let mut reg = lock_ignore_poison(counter_registry());
+        if let Some(c) = reg.iter().find(|c| c.name == name) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter { name, value: AtomicU64::new(0) }));
+        reg.push(c);
+        c
+    }
+
+    /// Adds `delta` to the counter. Always on — counting is a relaxed
+    /// atomic add regardless of [`level`], which is what makes totals exact
+    /// under concurrency.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The counter's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// The current total of the counter registered under `name` (0 if no call
+/// site has registered it yet).
+pub fn counter_value(name: &str) -> u64 {
+    let reg = lock_ignore_poison(counter_registry());
+    reg.iter().find(|c| c.name == name).map_or(0, |c| c.get())
+}
+
+/// A snapshot of every registered counter, sorted by name.
+pub fn counters() -> Vec<(&'static str, u64)> {
+    let reg = lock_ignore_poison(counter_registry());
+    let mut out: Vec<(&'static str, u64)> = reg.iter().map(|c| (c.name, c.get())).collect();
+    out.sort_unstable_by_key(|&(n, _)| n);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static SPAN_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Accumulated statistics of one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: &'static str,
+    /// How many times the span closed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all closures.
+    pub total_nanos: u64,
+}
+
+fn span_stats_table() -> &'static Mutex<BTreeMap<&'static str, (u64, u64)>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<&'static str, (u64, u64)>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// A snapshot of the per-name span summary table, sorted by name.
+pub fn span_stats() -> Vec<SpanStat> {
+    let table = lock_ignore_poison(span_stats_table());
+    table
+        .iter()
+        .map(|(&name, &(count, total_nanos))| SpanStat { name, count, total_nanos })
+        .collect()
+}
+
+/// Everything a sink sees at flush time: the span summary table and the
+/// counter totals.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Per-name span statistics, sorted by name.
+    pub spans: Vec<SpanStat>,
+    /// Counter totals, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// The current [`Summary`] snapshot.
+pub fn summary() -> Summary {
+    Summary { spans: span_stats(), counters: counters() }
+}
+
+/// RAII guard of an open span; closes (and reports) the span on drop, even
+/// during a panic unwind. Created by [`span!`] / [`enter_span`].
+#[must_use = "a span closes when the guard drops; bind it with `let _span = ...`"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<OpenSpan>,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: &'static str,
+    depth: usize,
+    start: Instant,
+}
+
+/// Opens a span. Prefer the [`span!`] macro.
+pub fn enter_span(name: &'static str) -> SpanGuard {
+    if level() == Level::Off {
+        return SpanGuard { inner: None };
+    }
+    let depth = SPAN_DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    if level() == Level::Trace {
+        sink::emit(&Event::SpanStart { name, depth });
+    }
+    SpanGuard { inner: Some(OpenSpan { name, depth, start: Instant::now() }) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.inner.take() else { return };
+        let nanos = u64::try_from(open.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        {
+            let mut table = lock_ignore_poison(span_stats_table());
+            let cell = table.entry(open.name).or_insert((0, 0));
+            cell.0 += 1;
+            cell.1 = cell.1.saturating_add(nanos);
+        }
+        if level() == Level::Trace {
+            sink::emit(&Event::SpanEnd { name: open.name, depth: open.depth, nanos });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauges and messages
+// ---------------------------------------------------------------------------
+
+/// Records a gauge reading. Prefer the [`gauge!`] macro.
+pub fn record_gauge(name: &'static str, value: GaugeValue) {
+    if level() == Level::Off || !sink::has_sinks() {
+        return;
+    }
+    sink::emit(&Event::Gauge { name, value });
+}
+
+/// Records a progress message. Prefer the [`info!`] macro — it only
+/// formats when a sink will actually receive the text.
+pub fn log_message(args: fmt::Arguments<'_>) {
+    if level() == Level::Off || !sink::has_sinks() {
+        return;
+    }
+    sink::emit(&Event::Message { text: args.to_string() });
+}
+
+/// Flushes every installed sink with the current [`Summary`]. The
+/// [`JsonSink`] writes its file here; the [`StderrSink`] prints the span
+/// table at `summary` and `trace` levels.
+pub fn flush() {
+    sink::flush_all(&summary());
+}
+
+/// Installs the standard binary-entrypoint sinks: a [`StderrSink`] always,
+/// plus a [`JsonSink`] writing to `$SEEKER_OBS_JSON` when that variable is
+/// set to a non-empty path. The sinks stay installed while the returned
+/// guards are alive; call [`flush`] before they drop to emit the summary
+/// table and the JSON document.
+pub fn init_cli_sinks() -> Vec<SinkGuard> {
+    let mut guards = vec![sink::add_sink(StderrSink::new())];
+    if let Ok(path) = std::env::var("SEEKER_OBS_JSON") {
+        if !path.is_empty() {
+            guards.push(sink::add_sink(JsonSink::new(path)));
+        }
+    }
+    guards
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Opens a hierarchical timing span; returns the RAII [`SpanGuard`].
+///
+/// ```
+/// let _span = seeker_obs::span!("docs.example");
+/// // ... stage work ...
+/// drop(_span); // or let it fall out of scope
+/// assert!(seeker_obs::span_stats().iter().any(|s| s.name == "docs.example"));
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::enter_span($name)
+    };
+}
+
+/// Adds to a named monotonic counter. The registration is cached per call
+/// site, so steady-state cost is one relaxed atomic add.
+///
+/// ```
+/// let before = seeker_obs::counter_value("docs.pairs");
+/// seeker_obs::counter!("docs.pairs", 5);
+/// seeker_obs::counter!("docs.pairs", 2);
+/// assert_eq!(seeker_obs::counter_value("docs.pairs") - before, 7);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $delta:expr) => {{
+        static __SEEKER_OBS_COUNTER: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        __SEEKER_OBS_COUNTER.get_or_init(|| $crate::Counter::register($name)).add($delta);
+    }};
+}
+
+/// Records a deterministic point-in-time reading (integer or float).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        $crate::record_gauge($name, $crate::GaugeValue::from($value))
+    };
+}
+
+/// Logs a formatted progress message through the sinks (silent when
+/// `SEEKER_LOG=off` or no sink is installed).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log_message(::std::format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_accepts_canonical_values() {
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("OFF"), Some(Level::Off));
+        assert_eq!(Level::parse(" summary "), Some(Level::Summary));
+        assert_eq!(Level::parse("Trace"), Some(Level::Trace));
+        assert_eq!(Level::parse("verbose"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn invalid_level_falls_back_to_summary_with_warning() {
+        let (l, warn) = resolve_level(Some("loud"));
+        assert_eq!(l, Level::Summary);
+        let warn = warn.expect("invalid value warns");
+        assert!(warn.contains("loud"));
+        assert!(warn.contains("summary"));
+        // Unset: summary, silently.
+        assert_eq!(resolve_level(None), (Level::Summary, None));
+        // Valid values resolve without warnings.
+        assert_eq!(resolve_level(Some("trace")), (Level::Trace, None));
+        assert_eq!(resolve_level(Some("off")), (Level::Off, None));
+    }
+
+    #[test]
+    fn level_ordering_is_off_summary_trace() {
+        assert!(Level::Off < Level::Summary);
+        assert!(Level::Summary < Level::Trace);
+        assert_eq!(Level::Trace.name(), "trace");
+    }
+
+    #[test]
+    fn counters_are_shared_by_name_and_monotonic() {
+        let a = Counter::register("obs.test.shared");
+        let b = Counter::register("obs.test.shared");
+        let before = a.get();
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get() - before, 7);
+        assert_eq!(counter_value("obs.test.shared"), a.get());
+        assert!(counters().iter().any(|&(n, _)| n == "obs.test.shared"));
+        assert_eq!(counter_value("obs.test.never-registered"), 0);
+    }
+
+    #[test]
+    fn counter_macro_accumulates_across_call_sites() {
+        let before = counter_value("obs.test.macro");
+        counter!("obs.test.macro", 2);
+        counter!("obs.test.macro", 5);
+        assert_eq!(counter_value("obs.test.macro") - before, 7);
+    }
+
+    #[test]
+    fn gauge_values_convert_and_display() {
+        assert_eq!(GaugeValue::from(3usize), GaugeValue::Int(3));
+        assert_eq!(GaugeValue::from(7u32), GaugeValue::Int(7));
+        assert_eq!(GaugeValue::from(-2i64), GaugeValue::Int(-2));
+        assert_eq!(GaugeValue::from(0.5f64), GaugeValue::Float(0.5));
+        assert_eq!(GaugeValue::Int(42).to_string(), "42");
+        // Float display round-trips through parse.
+        let shown = GaugeValue::Float(0.1).to_string();
+        assert_eq!(shown.parse::<f64>().ok(), Some(0.1));
+    }
+
+    #[test]
+    fn span_summary_accumulates_without_sinks() {
+        let (_, _guard) = TestSink::install(); // serializes obs state access
+        {
+            let _a = span!("obs.test.stage");
+            let _b = span!("obs.test.stage");
+        }
+        let stats = span_stats();
+        let s = stats.iter().find(|s| s.name == "obs.test.stage").expect("stat recorded");
+        assert!(s.count >= 2);
+    }
+
+    #[test]
+    fn span_events_nest_and_close_in_order() {
+        let (sink, _guard) = TestSink::install();
+        {
+            let _outer = span!("obs.test.outer");
+            let _inner = span!("obs.test.inner");
+        }
+        let names: Vec<(String, bool, usize)> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanStart { name, depth } => Some((name.to_string(), true, *depth)),
+                Event::SpanEnd { name, depth, .. } => Some((name.to_string(), false, *depth)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("obs.test.outer".to_string(), true, 0),
+                ("obs.test.inner".to_string(), true, 1),
+                ("obs.test.inner".to_string(), false, 1),
+                ("obs.test.outer".to_string(), false, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn panic_inside_span_still_closes_it() {
+        let (sink, _guard) = TestSink::install();
+        let result = std::panic::catch_unwind(|| {
+            let _span = span!("obs.test.unwound");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        let closed = sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::SpanEnd { name: "obs.test.unwound", .. }));
+        assert!(closed, "unwound span must still emit SpanEnd");
+        // Depth bookkeeping survived the unwind: a fresh span sits at depth 0.
+        {
+            let _s = span!("obs.test.after-unwind");
+        }
+        let after_start = sink
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                Event::SpanStart { name: "obs.test.after-unwind", depth } => Some(*depth),
+                _ => None,
+            })
+            .expect("follow-up span recorded");
+        assert_eq!(after_start, 0);
+    }
+
+    #[test]
+    fn sink_fan_out_preserves_installation_order() {
+        let (first, _guard) = TestSink::install();
+        let second = TestSink::new();
+        let _second_guard = add_sink(second.clone());
+        gauge!("obs.test.fanout", 1usize);
+        gauge!("obs.test.fanout", 2usize);
+        // Both sinks saw both events, in the same order.
+        assert_eq!(first.int_gauges("obs.test.fanout"), vec![1, 2]);
+        assert_eq!(second.int_gauges("obs.test.fanout"), vec![1, 2]);
+    }
+
+    #[test]
+    fn removed_sink_stops_receiving() {
+        let (sink, _guard) = TestSink::install();
+        let extra = TestSink::new();
+        let extra_guard = add_sink(extra.clone());
+        gauge!("obs.test.removal", 1usize);
+        drop(extra_guard);
+        gauge!("obs.test.removal", 2usize);
+        assert_eq!(extra.int_gauges("obs.test.removal"), vec![1]);
+        assert_eq!(sink.int_gauges("obs.test.removal"), vec![1, 2]);
+    }
+
+    #[test]
+    fn off_level_disables_spans_gauges_messages() {
+        let (sink, _guard) = TestSink::install();
+        let prev = set_level(Level::Off);
+        {
+            let _span = span!("obs.test.disabled");
+            gauge!("obs.test.disabled", 1usize);
+            info!("invisible {}", 1);
+            counter!("obs.test.disabled.counter", 1); // counters still count
+        }
+        set_level(prev);
+        assert!(sink.events().is_empty(), "off level must emit nothing");
+        assert!(counter_value("obs.test.disabled.counter") >= 1);
+    }
+
+    #[test]
+    fn messages_flow_at_summary_level() {
+        let (sink, _guard) = TestSink::install();
+        let prev = set_level(Level::Summary);
+        info!("hello {}", 42);
+        // Span start/end events are trace-only.
+        {
+            let _s = span!("obs.test.summary-span");
+        }
+        set_level(prev);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0], Event::Message { text: "hello 42".to_string() });
+    }
+
+    #[test]
+    fn summary_snapshot_contains_counters_and_spans() {
+        let (_, _guard) = TestSink::install();
+        counter!("obs.test.summary.counter", 1);
+        {
+            let _s = span!("obs.test.summary.span");
+        }
+        let s = summary();
+        assert!(s.counters.iter().any(|&(n, _)| n == "obs.test.summary.counter"));
+        assert!(s.spans.iter().any(|st| st.name == "obs.test.summary.span"));
+    }
+}

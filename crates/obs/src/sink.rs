@@ -1,0 +1,455 @@
+//! Pluggable event sinks: stderr (human), JSON (machine), test (capture).
+//!
+//! Sinks receive every emitted [`Event`] in installation order; [`flush`]
+//! additionally hands each sink the current [`Summary`]. Installation is
+//! global — sinks are meant to be installed once near `main` (or through
+//! [`TestSink::install`], which serializes installing tests against each
+//! other).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
+
+use crate::json::JsonValue;
+use crate::{level, set_level, Event, GaugeValue, Level, Summary};
+
+/// An event consumer. Implementations must tolerate concurrent `record`
+/// calls (events can originate on `seeker-par` worker threads).
+pub trait Sink: Send + Sync {
+    /// Receives one event. Called in emission order per emitting thread.
+    fn record(&self, event: &Event);
+
+    /// Receives the end-of-run summary (span table + counter totals).
+    fn flush(&self, summary: &Summary) {
+        let _ = summary;
+    }
+}
+
+type SinkSlot = (u64, Arc<dyn Sink>);
+
+fn sinks() -> &'static RwLock<Vec<SinkSlot>> {
+    static SINKS: OnceLock<RwLock<Vec<SinkSlot>>> = OnceLock::new();
+    SINKS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+static SINK_COUNT: AtomicUsize = AtomicUsize::new(0);
+static NEXT_SINK_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Whether any sink is installed — the cheap pre-check before formatting
+/// or cloning anything for emission.
+pub(crate) fn has_sinks() -> bool {
+    SINK_COUNT.load(Ordering::Relaxed) > 0
+}
+
+/// Delivers `event` to every installed sink, in installation order.
+pub(crate) fn emit(event: &Event) {
+    if !has_sinks() {
+        return;
+    }
+    let guard = sinks().read().unwrap_or_else(PoisonError::into_inner);
+    for (_, sink) in guard.iter() {
+        sink.record(event);
+    }
+}
+
+/// Flushes every installed sink with `summary`.
+pub(crate) fn flush_all(summary: &Summary) {
+    let guard = sinks().read().unwrap_or_else(PoisonError::into_inner);
+    for (_, sink) in guard.iter() {
+        sink.flush(summary);
+    }
+}
+
+/// Keeps a sink installed; the sink is removed when the guard drops.
+#[must_use = "the sink is removed when this guard drops"]
+#[derive(Debug)]
+pub struct SinkGuard {
+    id: u64,
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        let mut guard = sinks().write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(pos) = guard.iter().position(|(id, _)| *id == self.id) {
+            guard.remove(pos);
+            SINK_COUNT.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Installs a sink; it receives events until the returned guard drops.
+pub fn add_sink(sink: Arc<dyn Sink>) -> SinkGuard {
+    let id = NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed);
+    let mut guard = sinks().write().unwrap_or_else(PoisonError::into_inner);
+    guard.push((id, sink));
+    SINK_COUNT.fetch_add(1, Ordering::Relaxed);
+    SinkGuard { id }
+}
+
+/// Removes **every** installed sink. Test escape hatch for cleaning up
+/// after a failure that leaked guards; not for library use.
+pub fn remove_sinks_for_test() {
+    let mut guard = sinks().write().unwrap_or_else(PoisonError::into_inner);
+    SINK_COUNT.fetch_sub(guard.len(), Ordering::Relaxed);
+    guard.clear();
+}
+
+// ---------------------------------------------------------------------------
+// StderrSink
+// ---------------------------------------------------------------------------
+
+/// Human-readable sink: progress messages at `summary` and above, indented
+/// span/gauge events at `trace`, and a span/counter table at flush. Each
+/// event is written as one atomic line, so concurrent experiment threads
+/// cannot interleave mid-line.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl StderrSink {
+    /// Creates the sink.
+    pub fn new() -> Arc<StderrSink> {
+        Arc::new(StderrSink)
+    }
+}
+
+fn write_stderr_line(line: &str) {
+    let stderr = std::io::stderr();
+    let mut handle = stderr.lock();
+    let _ = writeln!(handle, "{line}");
+}
+
+impl Sink for StderrSink {
+    fn record(&self, event: &Event) {
+        match event {
+            Event::Message { text } => write_stderr_line(text),
+            Event::SpanStart { name, depth } => {
+                if level() == Level::Trace {
+                    write_stderr_line(&format!("{:indent$}> {name}", "", indent = depth * 2));
+                }
+            }
+            Event::SpanEnd { name, depth, nanos } => {
+                if level() == Level::Trace {
+                    write_stderr_line(&format!(
+                        "{:indent$}< {name} ({:.3} ms)",
+                        "",
+                        *nanos as f64 / 1e6,
+                        indent = depth * 2
+                    ));
+                }
+            }
+            Event::Gauge { name, value } => {
+                if level() == Level::Trace {
+                    write_stderr_line(&format!("  {name} = {value}"));
+                }
+            }
+        }
+    }
+
+    fn flush(&self, summary: &Summary) {
+        if level() == Level::Off {
+            return;
+        }
+        write_stderr_line("--- seeker-obs summary ---");
+        for s in &summary.spans {
+            write_stderr_line(&format!(
+                "span {:<40} count {:>6}  total {:>10.3} ms",
+                s.name,
+                s.count,
+                s.total_nanos as f64 / 1e6
+            ));
+        }
+        for &(name, total) in &summary.counters {
+            write_stderr_line(&format!("counter {name:<37} total {total:>10}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JsonSink
+// ---------------------------------------------------------------------------
+
+/// Machine-readable sink: buffers every event and writes one JSON document
+/// (`results/OBS_run.json` by convention) at [`crate::flush`] time. The
+/// document shape is validated by the `check_obs_json` binary in CI; see
+/// docs/OBSERVABILITY.md for the schema.
+#[derive(Debug)]
+pub struct JsonSink {
+    path: PathBuf,
+    events: Mutex<Vec<Event>>,
+}
+
+impl JsonSink {
+    /// Creates a sink that writes to `path` on flush.
+    pub fn new(path: impl Into<PathBuf>) -> Arc<JsonSink> {
+        Arc::new(JsonSink { path: path.into(), events: Mutex::new(Vec::new()) })
+    }
+
+    /// The output path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn events_lock(&self) -> MutexGuard<'_, Vec<Event>> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Renders the buffered events plus `summary` as the OBS JSON document.
+    pub fn render(&self, summary: &Summary) -> String {
+        let events: Vec<JsonValue> = self.events_lock().iter().map(event_to_json).collect();
+        let spans: Vec<JsonValue> = summary
+            .spans
+            .iter()
+            .map(|s| {
+                JsonValue::object([
+                    ("name", JsonValue::from(s.name)),
+                    ("count", JsonValue::from(s.count)),
+                    ("total_nanos", JsonValue::from(s.total_nanos)),
+                ])
+            })
+            .collect();
+        let counters = JsonValue::Object(
+            summary
+                .counters
+                .iter()
+                .map(|&(name, total)| (name.to_string(), JsonValue::from(total)))
+                .collect(),
+        );
+        JsonValue::object([
+            ("format", JsonValue::from("seeker-obs/1")),
+            ("level", JsonValue::from(level().name())),
+            ("events", JsonValue::Array(events)),
+            ("spans", JsonValue::Array(spans)),
+            ("counters", counters),
+        ])
+        .to_pretty_string()
+    }
+}
+
+fn event_to_json(event: &Event) -> JsonValue {
+    match event {
+        Event::SpanStart { name, depth } => JsonValue::object([
+            ("type", JsonValue::from("span_start")),
+            ("name", JsonValue::from(*name)),
+            ("depth", JsonValue::from(*depth as u64)),
+        ]),
+        Event::SpanEnd { name, depth, nanos } => JsonValue::object([
+            ("type", JsonValue::from("span_end")),
+            ("name", JsonValue::from(*name)),
+            ("depth", JsonValue::from(*depth as u64)),
+            ("nanos", JsonValue::from(*nanos)),
+        ]),
+        Event::Gauge { name, value } => JsonValue::object([
+            ("type", JsonValue::from("gauge")),
+            ("name", JsonValue::from(*name)),
+            (
+                "value",
+                match *value {
+                    GaugeValue::Int(v) => JsonValue::Number(v as f64),
+                    GaugeValue::Float(v) => JsonValue::Number(v),
+                },
+            ),
+        ]),
+        Event::Message { text } => JsonValue::object([
+            ("type", JsonValue::from("message")),
+            ("text", JsonValue::from(text.as_str())),
+        ]),
+    }
+}
+
+impl Sink for JsonSink {
+    fn record(&self, event: &Event) {
+        self.events_lock().push(event.clone());
+    }
+
+    fn flush(&self, summary: &Summary) {
+        let doc = self.render(summary);
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = fs::create_dir_all(parent);
+            }
+        }
+        if let Err(e) = fs::write(&self.path, doc) {
+            write_stderr_line(&format!("seeker-obs: cannot write {}: {e}", self.path.display()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TestSink
+// ---------------------------------------------------------------------------
+
+/// Capturing sink for assertions: buffers every event in order.
+#[derive(Debug, Default)]
+pub struct TestSink {
+    events: Mutex<Vec<Event>>,
+}
+
+/// Serializes tests that install sinks or flip levels: obs state is global,
+/// so two such tests running on parallel test threads would cross-pollute.
+fn test_mutex() -> &'static Mutex<()> {
+    static M: OnceLock<Mutex<()>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(()))
+}
+
+/// Guard of an installed [`TestSink`]: holds the global obs test lock,
+/// keeps the sink registered, and restores the previous [`Level`] on drop.
+#[derive(Debug)]
+pub struct TestSinkGuard {
+    prev_level: Level,
+    _sink: SinkGuard,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for TestSinkGuard {
+    fn drop(&mut self) {
+        set_level(self.prev_level);
+    }
+}
+
+impl TestSink {
+    /// Creates an unregistered capturing sink (register with [`add_sink`]).
+    pub fn new() -> Arc<TestSink> {
+        Arc::new(TestSink::default())
+    }
+
+    /// Creates and installs a capturing sink, forcing [`Level::Trace`] for
+    /// the guard's lifetime. Takes the global obs test lock, so concurrent
+    /// installing tests serialize instead of polluting each other.
+    pub fn install() -> (Arc<TestSink>, TestSinkGuard) {
+        let lock = test_mutex().lock().unwrap_or_else(PoisonError::into_inner);
+        let sink = TestSink::new();
+        let sink_guard = add_sink(sink.clone());
+        let prev_level = set_level(Level::Trace);
+        (sink, TestSinkGuard { prev_level, _sink: sink_guard, _lock: lock })
+    }
+
+    /// A snapshot of the captured events, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Discards everything captured so far.
+    pub fn clear(&self) {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).clear();
+    }
+
+    /// The readings of every gauge event named `name`, in order.
+    pub fn gauges(&self, name: &str) -> Vec<GaugeValue> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Gauge { name: n, value } if n == name => Some(value),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The integer readings of gauge `name`, in order. Float readings of
+    /// the same name are skipped.
+    pub fn int_gauges(&self, name: &str) -> Vec<i64> {
+        self.gauges(name)
+            .into_iter()
+            .filter_map(|v| match v {
+                GaugeValue::Int(i) => Some(i),
+                GaugeValue::Float(_) => None,
+            })
+            .collect()
+    }
+
+    /// The float readings of gauge `name`, in order. Integer readings of
+    /// the same name are skipped.
+    pub fn float_gauges(&self, name: &str) -> Vec<f64> {
+        self.gauges(name)
+            .into_iter()
+            .filter_map(|v| match v {
+                GaugeValue::Float(f) => Some(f),
+                GaugeValue::Int(_) => None,
+            })
+            .collect()
+    }
+
+    /// How many spans named `name` closed.
+    pub fn span_closes(&self, name: &str) -> usize {
+        self.events()
+            .iter()
+            .filter(|e| matches!(e, Event::SpanEnd { name: n, .. } if *n == name))
+            .count()
+    }
+}
+
+impl Sink for TestSink {
+    fn record(&self, event: &Event) {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_sink_renders_parseable_document() {
+        let (_, _guard) = TestSink::install();
+        let json = JsonSink::new("unused.json");
+        let _json_guard = add_sink(json.clone());
+        {
+            let _span = crate::span!("obs.sink.test");
+            crate::gauge!("obs.sink.gauge", 5usize);
+            crate::gauge!("obs.sink.ratio", 0.25f64);
+            crate::info!("note {}", "x");
+        }
+        let doc = json.render(&crate::summary());
+        let parsed = crate::json::parse(&doc).expect("valid JSON");
+        let obj = parsed.as_object().expect("top-level object");
+        assert_eq!(
+            obj.iter().find(|(k, _)| k == "format").map(|(_, v)| v.as_str()),
+            Some(Some("seeker-obs/1"))
+        );
+        let events = obj
+            .iter()
+            .find(|(k, _)| k == "events")
+            .and_then(|(_, v)| v.as_array())
+            .expect("events array");
+        assert!(events.len() >= 5, "span start/end + 2 gauges + message");
+        // Every event carries a known type tag.
+        for e in events {
+            let ty = e
+                .as_object()
+                .and_then(|o| o.iter().find(|(k, _)| k == "type"))
+                .and_then(|(_, v)| v.as_str())
+                .expect("typed event");
+            assert!(matches!(ty, "span_start" | "span_end" | "gauge" | "message"), "{ty}");
+        }
+    }
+
+    #[test]
+    fn json_sink_writes_file_on_flush() {
+        let (_, _guard) = TestSink::install();
+        let dir = std::env::temp_dir().join(format!("seeker-obs-{}", std::process::id()));
+        let path = dir.join("OBS_test.json");
+        let json = JsonSink::new(&path);
+        let _json_guard = add_sink(json.clone());
+        crate::gauge!("obs.sink.file", 1usize);
+        crate::flush();
+        let content = fs::read_to_string(&path).expect("flushed file exists");
+        assert!(crate::json::parse(&content).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn test_sink_helpers_filter_by_name_and_kind() {
+        let sink = TestSink::new();
+        sink.record(&Event::Gauge { name: "a", value: GaugeValue::Int(1) });
+        sink.record(&Event::Gauge { name: "a", value: GaugeValue::Float(0.5) });
+        sink.record(&Event::Gauge { name: "b", value: GaugeValue::Int(9) });
+        sink.record(&Event::SpanEnd { name: "s", depth: 0, nanos: 10 });
+        assert_eq!(sink.int_gauges("a"), vec![1]);
+        assert_eq!(sink.float_gauges("a"), vec![0.5]);
+        assert_eq!(sink.int_gauges("b"), vec![9]);
+        assert_eq!(sink.span_closes("s"), 1);
+        sink.clear();
+        assert!(sink.events().is_empty());
+    }
+}

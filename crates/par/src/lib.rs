@@ -129,6 +129,10 @@ pub fn par_map_chunked<U: Send>(
     let chunk = chunk.max(1);
     let n_chunks = n.div_ceil(chunk);
     let workers = threads.min(n_chunks);
+    seeker_obs::counter!("par.dispatches", 1);
+    seeker_obs::counter!("par.chunks", n_chunks as u64);
+    seeker_obs::counter!("par.items", n as u64);
+    seeker_obs::gauge!("par.workers", workers);
     let next = AtomicUsize::new(0);
     let f = &f;
     let next = &next;

@@ -89,6 +89,8 @@ impl Joc {
             cells.values().all(|c| c.n_ab <= c.n_a.min(c.n_b)),
             "JOC invariant violated: n_ab > min(n_a, n_b)"
         );
+        seeker_obs::counter!("spatial.joc.builds", 1);
+        seeker_obs::counter!("spatial.joc.cells", cells.len() as u64);
         Joc { n_grids: division.n_grids(), n_slots: division.n_slots(), cells }
     }
 

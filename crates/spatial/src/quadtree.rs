@@ -62,6 +62,7 @@ impl Quadtree {
     ///
     /// Panics if `sigma == 0` or `pois` is empty.
     pub fn build(pois: &[Poi], sigma: usize) -> Self {
+        let _span = seeker_obs::span!("spatial.quadtree.build");
         assert!(sigma > 0, "sigma must be positive");
         assert!(!pois.is_empty(), "cannot build a quadtree over zero POIs");
         let mut bbox = BoundingBox {
@@ -93,6 +94,7 @@ impl Quadtree {
     /// Panics if `pois` is empty or `depth > 8` (65 536 cells are already
     /// far beyond anything useful here).
     pub fn build_uniform(pois: &[Poi], depth: usize) -> Self {
+        let _span = seeker_obs::span!("spatial.quadtree.build");
         assert!(!pois.is_empty(), "cannot build a quadtree over zero POIs");
         assert!(depth <= 8, "uniform depth {depth} is unreasonably deep");
         let mut bbox = BoundingBox {

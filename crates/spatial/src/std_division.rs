@@ -52,6 +52,7 @@ impl SpatialTemporalDivision {
     /// Returns [`seeker_trace::TraceError::Invalid`] if the dataset has no
     /// POIs or no check-ins (an STD over nothing is meaningless).
     pub fn build(dataset: &Dataset, sigma: usize, tau_days: f64) -> seeker_trace::Result<Self> {
+        let _span = seeker_obs::span!("spatial.std.build");
         if dataset.n_pois() == 0 {
             return Err(seeker_trace::TraceError::Invalid("no POIs to divide".into()));
         }
@@ -61,6 +62,8 @@ impl SpatialTemporalDivision {
         let quadtree = Quadtree::build(dataset.pois(), sigma);
         let slots = TimeSlots::new(t_lo, t_hi, tau_days);
         let poi_grids = quadtree.poi_grids(dataset.pois());
+        seeker_obs::gauge!("spatial.std.grids", quadtree.n_grids());
+        seeker_obs::gauge!("spatial.std.slots", slots.n_slots());
         Ok(SpatialTemporalDivision { quadtree, slots, poi_grids })
     }
 

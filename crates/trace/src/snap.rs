@@ -44,6 +44,7 @@ pub fn load_dataset(
     edges_path: impl AsRef<Path>,
     options: &SnapOptions,
 ) -> Result<Dataset> {
+    let _span = seeker_obs::span!("trace.load");
     let checkins = File::open(&checkins_path)?;
     let edges = File::open(&edges_path)?;
     let mut loader = Loader::new(options);
@@ -51,7 +52,9 @@ pub fn load_dataset(
         .read_checkins(BufReader::new(checkins))
         .map_err(|e| e.in_file(checkins_path.as_ref()))?;
     loader.read_edges(BufReader::new(edges)).map_err(|e| e.in_file(edges_path.as_ref()))?;
-    loader.finish()
+    let dataset = loader.finish()?;
+    seeker_obs::counter!("trace.checkins", dataset.n_checkins() as u64);
+    Ok(dataset)
 }
 
 /// Loads a dataset from any pair of readers in SNAP format.
@@ -65,10 +68,13 @@ pub fn load_dataset_from<R1: Read, R2: Read>(
     edges: R2,
     options: &SnapOptions,
 ) -> Result<Dataset> {
+    let _span = seeker_obs::span!("trace.load");
     let mut loader = Loader::new(options);
     loader.read_checkins(checkins)?;
     loader.read_edges(edges)?;
-    loader.finish()
+    let dataset = loader.finish()?;
+    seeker_obs::counter!("trace.checkins", dataset.n_checkins() as u64);
+    Ok(dataset)
 }
 
 /// Incremental SNAP parser shared by the path- and reader-based loaders, so

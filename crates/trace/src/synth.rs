@@ -231,6 +231,7 @@ impl SyntheticTrace {
 /// # Ok::<(), seeker_trace::TraceError>(())
 /// ```
 pub fn generate(cfg: &SyntheticConfig) -> Result<SyntheticTrace> {
+    let _span = seeker_obs::span!("trace.synthesize");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let deg_extent = cfg.region_extent_km * DEG_PER_KM;
 
@@ -478,6 +479,9 @@ pub fn generate(cfg: &SyntheticConfig) -> Result<SyntheticTrace> {
 
     let dataset = builder.build()?;
     debug_assert_eq!(dataset.n_users(), cfg.n_users, "every user must survive filtering");
+    seeker_obs::counter!("trace.checkins", dataset.n_checkins() as u64);
+    seeker_obs::gauge!("trace.synth.users", dataset.n_users());
+    seeker_obs::gauge!("trace.synth.links", dataset.n_links());
     Ok(SyntheticTrace { dataset, cyber_edges, communities: user_community, homes })
 }
 

@@ -1,0 +1,54 @@
+//! Property-based tests: `seeker-obs` counters stay *exact* under
+//! `seeker-par` concurrency — the total recorded through the pool equals
+//! the serial count for arbitrary worker counts and chunk sizes.
+//!
+//! Counters are global, so each property uses its own counter name and
+//! measures deltas; the two properties may then run concurrently in this
+//! binary without polluting each other.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every item increments the counter exactly once regardless of how
+    /// the pool splits the work: the delta equals `n * weight` — not one
+    /// increment lost, not one duplicated.
+    #[test]
+    fn counter_total_is_exact_through_the_pool(
+        n in 0usize..600,
+        threads in 1usize..9,
+        chunk in 0usize..64,
+        weight in 1u64..5,
+    ) {
+        let before = seeker_obs::counter_value("obs.proptest.pool_items");
+        let out = seeker_par::par_map_chunked(threads, chunk, n, |i| {
+            seeker_obs::counter!("obs.proptest.pool_items", weight);
+            i
+        });
+        prop_assert_eq!(out.len(), n);
+        let delta = seeker_obs::counter_value("obs.proptest.pool_items") - before;
+        prop_assert_eq!(delta, n as u64 * weight);
+    }
+
+    /// A parallel run records the same total as the identical serial run
+    /// (1 worker takes the inline path, which never spawns a thread).
+    #[test]
+    fn pool_total_equals_serial_total(
+        n in 0usize..400,
+        threads in 2usize..9,
+        chunk in 0usize..48,
+    ) {
+        let count = |workers: usize| {
+            let before = seeker_obs::counter_value("obs.proptest.vs_serial");
+            let _ = seeker_par::par_map_chunked(workers, chunk, n, |i| {
+                seeker_obs::counter!("obs.proptest.vs_serial", 1 + (i as u64) % 3);
+                i
+            });
+            seeker_obs::counter_value("obs.proptest.vs_serial") - before
+        };
+        let parallel = count(threads);
+        let serial = count(1);
+        prop_assert_eq!(parallel, serial);
+    }
+}
