@@ -11,7 +11,7 @@
 //!   walks on the user–location bipartite graph;
 //! - **user-graph embedding** (learning-based, Yu et al.): skip-gram over
 //!   weighted walks on a location-aware meeting graph;
-//! - **pgt** (knowledge-based, Wang et al. — the paper's reference [5]):
+//! - **pgt** (knowledge-based, Wang et al. — the paper's reference \[5\]):
 //!   personal × global × temporal meeting significance, provided as an
 //!   extra comparison point beyond the paper's four.
 //!

@@ -1,4 +1,4 @@
-//! PGT baseline (Wang, Li & Lee, ICDM 2014 — reference [5] of the paper):
+//! PGT baseline (Wang, Li & Lee, ICDM 2014 — reference \[5\] of the paper):
 //! scores each *meeting* of a user pair by **P**ersonal, **G**lobal and
 //! **T**emporal factors and sums them into a social-tie strength.
 //!

@@ -1,4 +1,4 @@
-//! Extension: PGT (the paper's reference [5]) as a fifth comparison method.
+//! Extension: PGT (the paper's reference \[5\]) as a fifth comparison method.
 
 #![deny(missing_docs, dead_code)]
 fn main() {

@@ -1,4 +1,4 @@
-//! Extension comparison: the PGT method (the paper's reference [5], not one
+//! Extension comparison: the PGT method (the paper's reference \[5\], not one
 //! of its four evaluated baselines) against FriendSeeker and the strongest
 //! paper baseline, on the standard evaluation sample.
 

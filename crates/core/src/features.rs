@@ -7,8 +7,6 @@
 //! `d`-block, and the blocks of lengths `2..=k` are concatenated. The
 //! composite feature `v = h_(a,b) ⊕ s_(a,b)` is what classifier `C'` sees.
 
-use std::collections::HashMap;
-
 use seeker_graph::{KHopSubgraph, SocialGraph};
 use seeker_nn::Matrix;
 use seeker_trace::{Dataset, UserPair};
@@ -22,7 +20,10 @@ use crate::phase1::Phase1Model;
 /// so one batched encoding pass up front serves all iterations.
 #[derive(Debug, Clone)]
 pub struct FeatureStore {
-    index: HashMap<UserPair, usize>,
+    // Sorted by pair for binary-search lookup. A hash index would be O(1)
+    // instead of O(log n), but its iteration order is nondeterministic
+    // (no-hash-iter) and lookup is nowhere near the phase-2 hot path.
+    index: Vec<(UserPair, usize)>,
     features: Matrix,
 }
 
@@ -35,10 +36,11 @@ impl FeatureStore {
     pub fn build(model: &Phase1Model, ds: &Dataset, pairs: &[UserPair]) -> Self {
         let _span = seeker_obs::span!("core.features.build");
         let features = model.features(ds, pairs);
-        let mut index = HashMap::with_capacity(pairs.len());
-        for (i, &p) in pairs.iter().enumerate() {
-            let prev = index.insert(p, i);
-            assert!(prev.is_none(), "duplicate pair {p} in feature store");
+        let mut index: Vec<(UserPair, usize)> =
+            pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        index.sort_unstable();
+        for w in index.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate pair {} in feature store", w[1].0);
         }
         FeatureStore { index, features }
     }
@@ -60,7 +62,10 @@ impl FeatureStore {
 
     /// The presence feature of `pair`, if it is part of the universe.
     pub fn get(&self, pair: UserPair) -> Option<&[f32]> {
-        self.index.get(&pair).map(|&i| self.features.row(i))
+        self.index
+            .binary_search_by_key(&pair, |&(p, _)| p)
+            .ok()
+            .map(|slot| self.features.row(self.index[slot].1))
     }
 }
 

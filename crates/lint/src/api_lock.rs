@@ -1,0 +1,398 @@
+//! Public-API lockfile: every `pub` item signature of every workspace crate
+//! is extracted (token-level, from the lossless lexer) into a checked-in
+//! snapshot at `api/<crate>.api`. CI regenerates the snapshots and fails on
+//! any diff, so an accidental public-API break — a renamed function, a
+//! changed argument type, a removed re-export — surfaces as a reviewable
+//! lockfile change instead of slipping through.
+//!
+//! The snapshot covers, per non-test library source file of a crate:
+//!
+//! - `pub` items (`fn`, `struct`, `enum`, `trait`, `type`, `const`,
+//!   `static`, `mod`, `use`, `macro`, `union`), captured from the `pub`
+//!   keyword through to the item's body/terminator;
+//! - `pub` struct fields (`pub name: Type`);
+//!
+//! with restricted visibility (`pub(crate)`, `pub(super)`, …) and
+//! `#[cfg(test)]` regions excluded. Signatures are whitespace-normalised so
+//! reformatting does not change the snapshot.
+//!
+//! Workflow: `cargo run -p seeker-lint -- --bless-api` regenerates the
+//! snapshots after an intentional API change; `--check-api` (the CI step)
+//! verifies them.
+
+use crate::lexer::lex;
+use crate::rules::{self, FileClass};
+use crate::tokens::{Token, TokenKind, TokenStream};
+use crate::walk::{workspace_crates, workspace_sources, SourceFile};
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory (relative to the workspace root) holding the snapshots.
+pub const API_DIR: &str = "api";
+
+/// Item keywords that can follow `pub` and start an API item.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "use", "mod", "type", "const", "static", "unsafe", "async",
+    "extern", "union", "macro",
+];
+
+/// One crate's API drift relative to its checked-in snapshot.
+#[derive(Debug, Clone)]
+pub struct ApiDrift {
+    /// The crate (package name).
+    pub crate_name: String,
+    /// The snapshot path relative to the workspace root.
+    pub snapshot: PathBuf,
+    /// Signatures present now but missing from the snapshot.
+    pub added: Vec<String>,
+    /// Signatures in the snapshot but no longer present.
+    pub removed: Vec<String>,
+    /// True when the snapshot file itself is missing.
+    pub missing_snapshot: bool,
+}
+
+impl fmt::Display for ApiDrift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.missing_snapshot {
+            return write!(
+                f,
+                "{}: [api-lock] missing snapshot for `{}` (run `cargo run -p seeker-lint -- --bless-api`)",
+                self.snapshot.display(),
+                self.crate_name
+            );
+        }
+        writeln!(
+            f,
+            "{}: [api-lock] public API of `{}` drifted from its snapshot \
+             (+{} / -{}; review, then `cargo run -p seeker-lint -- --bless-api`):",
+            self.snapshot.display(),
+            self.crate_name,
+            self.added.len(),
+            self.removed.len()
+        )?;
+        for line in &self.added {
+            writeln!(f, "  + {line}")?;
+        }
+        for line in &self.removed {
+            writeln!(f, "  - {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares every crate's current public API against `api/<crate>.api`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from source or snapshot reads.
+pub fn check_api(root: &Path) -> io::Result<Vec<ApiDrift>> {
+    let mut drifts = Vec::new();
+    for (name, current) in extract_workspace_api(root)? {
+        let snapshot_rel = Path::new(API_DIR).join(format!("{name}.api"));
+        let snapshot_path = root.join(&snapshot_rel);
+        let Ok(snapshot) = fs::read_to_string(&snapshot_path) else {
+            drifts.push(ApiDrift {
+                crate_name: name,
+                snapshot: snapshot_rel,
+                added: current.lines().map(str::to_string).collect(),
+                removed: Vec::new(),
+                missing_snapshot: true,
+            });
+            continue;
+        };
+        let now: BTreeSet<&str> = api_entries(&current).collect();
+        let locked: BTreeSet<&str> = api_entries(&snapshot).collect();
+        if now != locked {
+            drifts.push(ApiDrift {
+                crate_name: name,
+                snapshot: snapshot_rel,
+                added: now.difference(&locked).map(|s| (*s).to_string()).collect(),
+                removed: locked.difference(&now).map(|s| (*s).to_string()).collect(),
+                missing_snapshot: false,
+            });
+        }
+    }
+    Ok(drifts)
+}
+
+/// Regenerates every `api/<crate>.api` snapshot, removing stale ones.
+/// Returns the written snapshot paths (relative to the workspace root).
+///
+/// # Errors
+///
+/// Propagates I/O errors from source reads or snapshot writes.
+pub fn bless_api(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let api_dir = root.join(API_DIR);
+    fs::create_dir_all(&api_dir)?;
+    let mut written = Vec::new();
+    let mut expected = BTreeSet::new();
+    for (name, current) in extract_workspace_api(root)? {
+        let file_name = format!("{name}.api");
+        fs::write(api_dir.join(&file_name), &current)?;
+        written.push(Path::new(API_DIR).join(&file_name));
+        expected.insert(file_name);
+    }
+    // Remove snapshots for crates that no longer exist.
+    for entry in fs::read_dir(&api_dir)? {
+        let entry = entry?;
+        let file_name = entry.file_name().to_string_lossy().to_string();
+        if file_name.ends_with(".api") && !expected.contains(&file_name) {
+            fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(written)
+}
+
+/// The non-comment, non-empty entry lines of a snapshot document.
+fn api_entries(doc: &str) -> impl Iterator<Item = &str> {
+    doc.lines().map(str::trim_end).filter(|l| !l.is_empty() && !l.starts_with('#'))
+}
+
+/// Extracts `(crate name, snapshot document)` for every workspace crate.
+///
+/// # Errors
+///
+/// Propagates I/O errors from source reads.
+pub fn extract_workspace_api(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let sources = workspace_sources(root)?;
+    let mut out = Vec::new();
+    for info in workspace_crates(root)? {
+        let src_prefix = info.dir.join("src");
+        let crate_sources: Vec<&SourceFile> = sources
+            .iter()
+            .filter(|f| {
+                f.path.starts_with(&src_prefix)
+                    && matches!(f.class, FileClass::Library | FileClass::LibraryRoot)
+            })
+            .collect();
+        if crate_sources.is_empty() {
+            continue; // binary-only package: no public API surface
+        }
+        let mut doc = String::new();
+        doc.push_str(&format!(
+            "# Public-API snapshot of `{}` — generated by `cargo run -p seeker-lint -- --bless-api`.\n\
+             # CI fails when this file disagrees with the sources; regenerate after an intentional API change.\n",
+            info.name
+        ));
+        for file in crate_sources {
+            let source = fs::read_to_string(root.join(&file.path))?;
+            let rel_in_crate = file
+                .path
+                .strip_prefix(&info.dir)
+                .unwrap_or(&file.path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            for signature in extract_pub_signatures(&source) {
+                doc.push_str(&rel_in_crate);
+                doc.push_str(": ");
+                doc.push_str(&signature);
+                doc.push('\n');
+            }
+        }
+        out.push((info.name, doc));
+    }
+    Ok(out)
+}
+
+/// Extracts the normalised `pub` item signatures of one source file, in
+/// source order.
+#[must_use]
+pub fn extract_pub_signatures(source: &str) -> Vec<String> {
+    let stream = TokenStream::new(lex(source));
+    let test_lines = rules::test_region_lines(&stream);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < stream.code_len() {
+        let Some(t) = stream.code(i) else { break };
+        if !t.is_ident("pub") || test_lines.contains(&t.line) {
+            i += 1;
+            continue;
+        }
+        let Some(next) = stream.code(i + 1) else { break };
+        if next.is_punct("(") {
+            // Restricted visibility: skip past `pub(crate)` / `pub(in …)`.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while let Some(u) = stream.code(j) {
+                if u.is_punct("(") {
+                    depth += 1;
+                } else if u.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        let is_item = next.kind == TokenKind::Ident && ITEM_KEYWORDS.contains(&next.text);
+        let is_field =
+            next.kind == TokenKind::Ident && stream.code(i + 2).is_some_and(|u| u.is_punct(":"));
+        if !is_item && !is_field {
+            i += 1;
+            continue;
+        }
+        let (signature, end) = capture_signature(&stream, i, if is_item { next.text } else { ":" });
+        out.push(signature);
+        i = end;
+    }
+    out
+}
+
+/// Captures the signature starting at code position `i` and returns it with
+/// the code position to resume scanning from.
+fn capture_signature<'a>(stream: &TokenStream<'a>, i: usize, item_kind: &str) -> (String, usize) {
+    // Terminators, at bracket depth 0 relative to the item start:
+    // - `use`, `const`, `static`, `type`: `;` only (values and brace groups
+    //   belong to the signature);
+    // - fields (`:`): `,` or a closing `}`/`)` of the enclosing body;
+    // - everything else (`fn`, `struct`, …): `{` (body starts) or `;`.
+    let stop_at_brace = !matches!(item_kind, "use" | "const" | "static" | "type" | ":");
+    let is_field = item_kind == ":";
+    let mut tokens: Vec<&Token<'a>> = Vec::new();
+    let mut depth = 0isize;
+    let mut j = i;
+    while let Some(t) = stream.code(j) {
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                "(" | "[" => depth += 1,
+                "{" => {
+                    if depth == 0 && stop_at_brace {
+                        break;
+                    }
+                    depth += 1;
+                }
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        break; // closing of an enclosing body (field case)
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => {
+                    j += 1; // consume the terminator, not part of the text
+                    break;
+                }
+                "," if depth == 0 && is_field => break,
+                _ => {}
+            }
+        }
+        tokens.push(t);
+        j += 1;
+    }
+    (render_tokens(&tokens), j.max(i + 1))
+}
+
+/// Joins tokens with deterministic, readable spacing. Trailing commas
+/// before a closing bracket (rustfmt inserts them when wrapping) are
+/// dropped, so reformatting a signature does not change the snapshot.
+fn render_tokens(tokens: &[&Token<'_>]) -> String {
+    let mut out = String::new();
+    let mut prev: Option<&Token<'_>> = None;
+    for (idx, t) in tokens.iter().enumerate() {
+        if t.is_punct(",")
+            && tokens.get(idx + 1).is_some_and(|n| {
+                n.kind == TokenKind::Punct && matches!(n.text, ")" | "]" | "}" | ">")
+            })
+        {
+            continue;
+        }
+        if let Some(p) = prev {
+            if needs_space(p, t) {
+                out.push(' ');
+            }
+        }
+        out.push_str(t.text);
+        prev = Some(t);
+    }
+    out
+}
+
+/// Spacing heuristic for rendering signatures: path separators, brackets
+/// and angle brackets bind tight; keywords and operators get a space.
+fn needs_space(prev: &Token<'_>, next: &Token<'_>) -> bool {
+    const TIGHT_BEFORE: &[&str] =
+        &[",", ";", ":", "::", "(", ")", "]", "}", ">", ">>", "<", "?", "!", "."];
+    const TIGHT_AFTER: &[&str] = &["::", "(", "[", "{", "<", "&", "!", ".", "#"];
+    // The return arrow is always spaced on both sides, overriding the tight
+    // rule that glues an opening paren to whatever precedes it.
+    if prev.is_punct("->") || next.is_punct("->") {
+        return true;
+    }
+    if next.kind == TokenKind::Punct && TIGHT_BEFORE.contains(&next.text) {
+        return false;
+    }
+    if prev.kind == TokenKind::Punct && TIGHT_AFTER.contains(&prev.text) {
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_fn_and_struct_signatures() {
+        let src = "/// Doc.\npub fn add(a: u32, b: u32) -> u32 { a + b }\n\n/// S.\npub struct S {\n    /// F.\n    pub total: u64,\n    hidden: u8,\n}\n";
+        let sigs = extract_pub_signatures(src);
+        assert_eq!(
+            sigs,
+            vec![
+                "pub fn add(a: u32, b: u32) -> u32".to_string(),
+                "pub struct S".to_string(),
+                "pub total: u64".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn use_const_and_type_capture_to_semicolon() {
+        let src = "pub use std::collections::{BTreeMap, BTreeSet};\npub const LIMIT: usize = 10;\npub type Pairs = Vec<(u32, u32)>;\n";
+        let sigs = extract_pub_signatures(src);
+        assert_eq!(
+            sigs,
+            vec![
+                "pub use std::collections::{BTreeMap, BTreeSet}".to_string(),
+                "pub const LIMIT: usize = 10".to_string(),
+                "pub type Pairs = Vec<(u32, u32)>".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn restricted_visibility_and_test_code_excluded() {
+        let src = "pub(crate) fn internal() {}\n#[cfg(test)]\nmod tests {\n    pub fn helper() {}\n}\npub fn api() {}\n";
+        let sigs = extract_pub_signatures(src);
+        assert_eq!(sigs, vec!["pub fn api()".to_string()]);
+    }
+
+    #[test]
+    fn tuple_struct_inner_pub_not_double_counted() {
+        let src = "pub struct Wrapper(pub u32);\n";
+        let sigs = extract_pub_signatures(src);
+        assert_eq!(sigs, vec!["pub struct Wrapper(pub u32)".to_string()]);
+    }
+
+    #[test]
+    fn signatures_are_format_insensitive() {
+        let one = "pub fn f(a: u32, b: &[f64]) -> Vec<f64> { todo!() }";
+        let two = "pub fn f(\n    a: u32,\n    b: &[f64],\n) -> Vec<f64> {\n    todo!()\n}";
+        let a = extract_pub_signatures(one);
+        let b = extract_pub_signatures(two);
+        assert_eq!(a, b);
+        assert_eq!(a, vec!["pub fn f(a: u32, b: &[f64]) -> Vec<f64>".to_string()]);
+    }
+
+    #[test]
+    fn enum_and_trait_stop_at_body() {
+        let src = "pub enum E { A, B(u32) }\npub trait T: Clone {\n    fn m(&self);\n}\n";
+        let sigs = extract_pub_signatures(src);
+        assert_eq!(sigs, vec!["pub enum E".to_string(), "pub trait T: Clone".to_string()]);
+    }
+}

@@ -1,0 +1,392 @@
+//! Crate-layering enforcement: the workspace's dependency DAG is *declared*
+//! here and validated against reality, so layering violations fail CI
+//! instead of accreting.
+//!
+//! The intended architecture (see `DESIGN.md` and `docs/LINTING.md`):
+//!
+//! ```text
+//!             cli   bench   (binaries / harness — may use everything)
+//!               \   /
+//!         core (friendseeker)   baselines   obfuscation
+//!               |                    |           |
+//!     trace  spatial  graph  nn  ml  (substrate layer)
+//!               |
+//!         par  obs              (foundation: par uses only obs,
+//!                                obs depends on nothing)
+//! ```
+//!
+//! Two sources of truth are checked against the declared DAG:
+//!
+//! 1. every `seeker-*`/`friendseeker` entry in a crate's `[dependencies]`
+//!    table (dev-dependencies are exempt — tests may cross layers);
+//! 2. every `seeker_*`/`friendseeker` path mention in the crate's non-test
+//!    library sources (catches a dependency smuggled in through an existing
+//!    transitive edge).
+//!
+//! The declared DAG itself is validated to be acyclic, and every workspace
+//! crate must appear in it — adding a crate without declaring its layer is
+//! itself a violation.
+
+use crate::lexer::lex;
+use crate::rules::{self, FileClass};
+use crate::tokens::{TokenKind, TokenStream};
+use crate::walk::{workspace_crates, workspace_sources, CrateInfo};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The declared dependency DAG: `(crate, allowed direct seeker deps)`.
+///
+/// Order is layer order (foundations first) for readability; validation
+/// does not depend on it.
+pub const LAYER_DAG: &[(&str, &[&str])] = &[
+    ("seeker-obs", &[]),
+    ("seeker-par", &["seeker-obs"]),
+    ("seeker-trace", &["seeker-obs"]),
+    ("seeker-spatial", &["seeker-obs", "seeker-trace"]),
+    ("seeker-graph", &["seeker-obs", "seeker-trace"]),
+    ("seeker-nn", &["seeker-obs", "seeker-par"]),
+    ("seeker-ml", &["seeker-obs", "seeker-par"]),
+    (
+        "friendseeker",
+        &[
+            "seeker-obs",
+            "seeker-par",
+            "seeker-trace",
+            "seeker-spatial",
+            "seeker-graph",
+            "seeker-nn",
+            "seeker-ml",
+        ],
+    ),
+    (
+        "seeker-baselines",
+        &["seeker-obs", "seeker-trace", "seeker-spatial", "seeker-graph", "seeker-nn", "seeker-ml"],
+    ),
+    ("seeker-obfuscation", &["seeker-obs", "seeker-trace", "seeker-spatial"]),
+    (
+        "seeker-cli",
+        &[
+            "seeker-obs",
+            "seeker-trace",
+            "seeker-graph",
+            "seeker-ml",
+            "friendseeker",
+            "seeker-obfuscation",
+        ],
+    ),
+    (
+        "seeker-bench",
+        &[
+            "seeker-obs",
+            "seeker-par",
+            "seeker-trace",
+            "seeker-spatial",
+            "seeker-graph",
+            "seeker-nn",
+            "seeker-ml",
+            "friendseeker",
+            "seeker-baselines",
+            "seeker-obfuscation",
+        ],
+    ),
+    ("seeker-lint", &[]),
+    (
+        "friendseeker-repro",
+        &[
+            "seeker-obs",
+            "seeker-par",
+            "seeker-trace",
+            "seeker-spatial",
+            "seeker-graph",
+            "seeker-nn",
+            "seeker-ml",
+            "friendseeker",
+            "seeker-baselines",
+            "seeker-obfuscation",
+        ],
+    ),
+];
+
+/// One layering violation.
+#[derive(Debug, Clone)]
+pub struct LayerViolation {
+    /// The offending crate (package name).
+    pub crate_name: String,
+    /// Where the violation was observed (`Cargo.toml` or a source file),
+    /// relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line (0 when the location is the whole file).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LayerViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [layering] {}", self.file.display(), self.message)
+        } else {
+            write!(f, "{}:{}: [layering] {}", self.file.display(), self.line, self.message)
+        }
+    }
+}
+
+/// Validates the workspace rooted at `root` against [`LAYER_DAG`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from manifest/source reads.
+pub fn check_layering(root: &Path) -> io::Result<Vec<LayerViolation>> {
+    check_layering_with(root, LAYER_DAG)
+}
+
+/// [`check_layering`] against an explicit DAG (used by tests).
+///
+/// # Errors
+///
+/// Propagates I/O errors from manifest/source reads.
+pub fn check_layering_with(
+    root: &Path,
+    dag: &[(&str, &[&str])],
+) -> io::Result<Vec<LayerViolation>> {
+    let mut violations = Vec::new();
+    let allowed: BTreeMap<&str, BTreeSet<&str>> =
+        dag.iter().map(|(name, deps)| (*name, deps.iter().copied().collect())).collect();
+    let known: BTreeSet<&str> = allowed.keys().copied().collect();
+
+    if let Some(cycle) = find_cycle(dag) {
+        violations.push(LayerViolation {
+            crate_name: cycle.clone(),
+            file: PathBuf::from("crates/lint/src/layers.rs"),
+            line: 0,
+            message: format!("declared layer DAG contains a cycle through `{cycle}`"),
+        });
+    }
+
+    let crates = workspace_crates(root)?;
+    let sources = workspace_sources(root)?;
+    let by_lib_name: BTreeMap<String, String> =
+        crates.iter().map(|c| (c.lib_name.clone(), c.name.clone())).collect();
+
+    for info in &crates {
+        let Some(allowed_deps) = allowed.get(info.name.as_str()) else {
+            violations.push(LayerViolation {
+                crate_name: info.name.clone(),
+                file: info.manifest.clone(),
+                line: 0,
+                message: format!(
+                    "crate `{}` is not declared in the layering DAG (add it to LAYER_DAG in crates/lint/src/layers.rs)",
+                    info.name
+                ),
+            });
+            continue;
+        };
+        check_manifest(root, info, allowed_deps, &known, &mut violations)?;
+        check_sources(root, info, &sources, allowed_deps, &by_lib_name, &mut violations)?;
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(violations)
+}
+
+/// Checks the `[dependencies]` table of one crate against its allowed set.
+fn check_manifest(
+    root: &Path,
+    info: &CrateInfo,
+    allowed: &BTreeSet<&str>,
+    known: &BTreeSet<&str>,
+    violations: &mut Vec<LayerViolation>,
+) -> io::Result<()> {
+    let manifest = fs::read_to_string(root.join(&info.manifest))?;
+    for (line_no, dep) in manifest_dependencies(&manifest) {
+        if !known.contains(dep.as_str()) {
+            continue; // external (vendored) dependency; not layered
+        }
+        if !allowed.contains(dep.as_str()) {
+            violations.push(LayerViolation {
+                crate_name: info.name.clone(),
+                file: info.manifest.clone(),
+                line: line_no,
+                message: format!(
+                    "`{}` must not depend on `{dep}` (allowed: {})",
+                    info.name,
+                    format_allowed(allowed),
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Extracts `(line, package-name)` pairs from a manifest's `[dependencies]`
+/// section (dev/build dependency sections are skipped).
+fn manifest_dependencies(manifest: &str) -> Vec<(usize, String)> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for (idx, line) in manifest.lines().enumerate() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_deps = t == "[dependencies]";
+            continue;
+        }
+        if !in_deps || t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        // `name.workspace = true`, `name = { … }`, `name = "1.0"`.
+        let name: String =
+            t.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_').collect();
+        if !name.is_empty() {
+            deps.push((idx + 1, name));
+        }
+    }
+    deps
+}
+
+/// Scans one crate's non-test sources for `seeker_*`/`friendseeker` path
+/// mentions that escape the allowed dependency set.
+fn check_sources(
+    root: &Path,
+    info: &CrateInfo,
+    sources: &[crate::walk::SourceFile],
+    allowed: &BTreeSet<&str>,
+    by_lib_name: &BTreeMap<String, String>,
+    violations: &mut Vec<LayerViolation>,
+) -> io::Result<()> {
+    let src_prefix = info.dir.join("src");
+    for file in sources {
+        if !file.path.starts_with(&src_prefix) || file.class == FileClass::TestCode {
+            continue;
+        }
+        let source = fs::read_to_string(root.join(&file.path))?;
+        let stream = TokenStream::new(lex(&source));
+        let test_lines = rules::test_region_lines(&stream);
+        let mut reported: BTreeSet<&str> = BTreeSet::new();
+        for (i, t) in stream.code_iter() {
+            if t.kind != TokenKind::Ident || test_lines.contains(&t.line) {
+                continue;
+            }
+            let Some(dep_name) = by_lib_name.get(t.text) else { continue };
+            if dep_name == &info.name {
+                continue; // the crate's own name (e.g. in a doc link)
+            }
+            // Only path-position mentions count: `use seeker_x…` or
+            // `seeker_x::…`. A bare ident (variable named like a crate)
+            // does not.
+            let is_path = stream.code(i + 1).is_some_and(|n| n.is_punct("::"))
+                || (i > 0 && stream.code(i - 1).is_some_and(|p| p.is_ident("use")));
+            if !is_path {
+                continue;
+            }
+            if !allowed.contains(dep_name.as_str()) && reported.insert(t.text) {
+                violations.push(LayerViolation {
+                    crate_name: info.name.clone(),
+                    file: file.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` must not use `{dep_name}` (allowed: {})",
+                        info.name,
+                        format_allowed(allowed),
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn format_allowed(allowed: &BTreeSet<&str>) -> String {
+    if allowed.is_empty() {
+        "none".to_string()
+    } else {
+        allowed.iter().copied().collect::<Vec<_>>().join(", ")
+    }
+}
+
+/// Returns a crate on a cycle in `dag`, if any (DFS three-colour marking).
+fn find_cycle(dag: &[(&str, &[&str])]) -> Option<String> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let index: BTreeMap<&str, usize> =
+        dag.iter().enumerate().map(|(i, (name, _))| (*name, i)).collect();
+    let mut marks = vec![Mark::White; dag.len()];
+
+    fn visit(
+        node: usize,
+        dag: &[(&str, &[&str])],
+        index: &BTreeMap<&str, usize>,
+        marks: &mut [Mark],
+    ) -> Option<usize> {
+        marks[node] = Mark::Grey;
+        for dep in dag[node].1 {
+            let Some(&next) = index.get(dep) else { continue };
+            match marks[next] {
+                Mark::Grey => return Some(next),
+                Mark::White => {
+                    if let Some(hit) = visit(next, dag, index, marks) {
+                        return Some(hit);
+                    }
+                }
+                Mark::Black => {}
+            }
+        }
+        marks[node] = Mark::Black;
+        None
+    }
+
+    for start in 0..dag.len() {
+        if marks[start] == Mark::White {
+            if let Some(hit) = visit(start, dag, &index, &mut marks) {
+                return Some(dag[hit].0.to_string());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_declared_dag_is_acyclic() {
+        assert!(find_cycle(LAYER_DAG).is_none());
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let cyclic: &[(&str, &[&str])] = &[("a", &["b"]), ("b", &["c"]), ("c", &["a"]), ("d", &[])];
+        assert!(find_cycle(cyclic).is_some());
+    }
+
+    #[test]
+    fn manifest_dependency_parsing() {
+        let manifest = "[package]\nname = \"x\"\n\n[dependencies]\nseeker-obs.workspace = true\nrand = { path = \"../rand\" }\n# comment\n\n[dev-dependencies]\nproptest.workspace = true\n";
+        let deps = manifest_dependencies(manifest);
+        let names: Vec<&str> = deps.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(names, vec!["seeker-obs", "rand"]);
+        assert_eq!(deps[0].0, 5);
+    }
+
+    #[test]
+    fn every_workspace_crate_is_declared() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let declared: BTreeSet<&str> = LAYER_DAG.iter().map(|(n, _)| *n).collect();
+        for info in workspace_crates(root).expect("crates") {
+            assert!(
+                declared.contains(info.name.as_str()),
+                "crate `{}` missing from LAYER_DAG",
+                info.name
+            );
+        }
+    }
+}

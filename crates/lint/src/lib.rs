@@ -1,7 +1,12 @@
 //! `seeker-lint` — the FriendSeeker workspace's custom static-analysis pass.
 //!
 //! The repository enforces repo-specific correctness rules that `rustc` and
-//! Clippy cannot express (see `docs/LINTING.md`):
+//! Clippy cannot express (see `docs/LINTING.md`). Since v2 the pass runs on
+//! a lossless token stream from a small hand-rolled [`lexer`] (no syntax
+//! tree, std-only, milliseconds over the whole workspace) and has three
+//! parts:
+//!
+//! **Lexical rules** ([`rules`]), per source file:
 //!
 //! - [`no-panic`](rules::Rule::NoPanic): no `unwrap()`/`expect()`/`panic!`/
 //!   `todo!`/`unimplemented!` in non-test library code;
@@ -15,31 +20,61 @@
 //!   mandatory `#![deny(...)]` lints;
 //! - [`thread-spawn`](rules::Rule::ThreadSpawn): no raw `thread::spawn`/
 //!   `thread::scope` in library code — parallelism goes through the
-//!   `seeker-par` pool, whose output is deterministic by construction.
+//!   `seeker-par` pool;
+//! - [`no-print`](rules::Rule::NoPrint): no raw print macros in library
+//!   code — output goes through the `seeker-obs` sinks;
+//! - [`no-hash-iter`](rules::Rule::NoHashIter): no `HashMap`/`HashSet` in
+//!   library code — hash iteration order is nondeterministic and silently
+//!   breaks the refinement loop's reproducibility contracts;
+//! - [`no-system-time`](rules::Rule::NoSystemTime): no `SystemTime`/
+//!   `Instant::now` outside the observability layer and the bench harness;
+//! - [`no-unseeded-rng`](rules::Rule::NoUnseededRng): no RNG construction
+//!   without an explicit seed.
 //!
 //! Individual sites opt out with a `// lint:allow(<rule>)` comment on the
 //! same or the preceding line; the comment doubles as in-tree documentation
 //! of *why* the site is exempt.
 //!
-//! The pass is intentionally text-based (masked-source substring matching,
-//! no syntax tree): it is std-only, runs in milliseconds over the whole
-//! workspace, and the rules it enforces are all expressible on single
-//! lines. See [`mask`] for how comments and string literals are neutralised
-//! so the matchers cannot be fooled.
+//! **Crate-layering enforcement** ([`layers`]): the workspace dependency DAG
+//! is declared once ([`layers::LAYER_DAG`]) and validated against every
+//! `Cargo.toml` `[dependencies]` table and every `use seeker_*` statement.
+//!
+//! **Public-API lockfile** ([`api_lock`]): each crate's `pub` item
+//! signatures are snapshotted into `api/<crate>.api`; CI fails when the
+//! sources drift from the checked-in snapshots, and
+//! `cargo run -p seeker-lint -- --bless-api` regenerates them after an
+//! intentional change.
 
 #![deny(missing_docs)]
 
-/// Comment/string masking so matchers see only code.
+/// Public-API extraction and the `api/<crate>.api` lockfile.
+pub mod api_lock;
+/// The crate-layering DAG and its validation passes.
+pub mod layers;
+/// The hand-rolled lossless Rust lexer.
+pub mod lexer;
+/// Legacy comment/string masking (v1 engine), retained as the reference
+/// implementation for the token-vs-line rule-agreement tests.
 pub mod mask;
 /// The rule matchers and per-file driver.
 pub mod rules;
+/// The token model the lexer produces.
+pub mod tokens;
 /// Workspace traversal and file classification.
 pub mod walk;
 
+/// API-lockfile entry points.
+pub use api_lock::{bless_api, check_api, ApiDrift};
+/// Layering-pass entry points.
+pub use layers::{check_layering, LayerViolation, LAYER_DAG};
+/// The lexer entry point.
+pub use lexer::lex;
 /// Core rule types and the per-file entry points.
 pub use rules::{lint_source, lint_source_with, Config, FileClass, Rule, Violation};
+/// Token types.
+pub use tokens::{Token, TokenKind, TokenStream};
 /// Workspace traversal entry points.
-pub use walk::{workspace_sources, SourceFile};
+pub use walk::{workspace_crates, workspace_sources, CrateInfo, SourceFile};
 
 use std::fs;
 use std::io;
@@ -98,19 +133,43 @@ mod tests {
         let _ = fs::remove_dir_all(&root);
     }
 
-    #[test]
-    fn the_real_workspace_is_clean() {
-        // The crate's own CI gate, exercised as a unit test: walking up from
-        // this crate's manifest dir reaches the actual workspace root.
-        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+    fn real_workspace_root() -> &'static Path {
+        // Walking up from this crate's manifest dir reaches the actual
+        // workspace root.
+        Path::new(env!("CARGO_MANIFEST_DIR"))
             .parent()
             .and_then(Path::parent)
-            .expect("workspace root");
-        let violations = lint_workspace(root).expect("lint");
+            .expect("workspace root")
+    }
+
+    #[test]
+    fn the_real_workspace_is_clean() {
+        // The crate's own CI gate, exercised as a unit test.
+        let violations = lint_workspace(real_workspace_root()).expect("lint");
         assert!(
             violations.is_empty(),
             "workspace has lint violations:\n{}",
             violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+    }
+
+    #[test]
+    fn the_real_workspace_layering_is_clean() {
+        let violations = check_layering(real_workspace_root()).expect("layering");
+        assert!(
+            violations.is_empty(),
+            "workspace has layering violations:\n{}",
+            violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+    }
+
+    #[test]
+    fn the_real_workspace_api_snapshots_are_current() {
+        let drifts = check_api(real_workspace_root()).expect("api check");
+        assert!(
+            drifts.is_empty(),
+            "public-API snapshots drifted (run `cargo run -p seeker-lint -- --bless-api`):\n{}",
+            drifts.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
         );
     }
 }

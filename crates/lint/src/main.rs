@@ -1,28 +1,69 @@
-//! Command-line entry point for the workspace lint pass.
+//! Command-line entry point for the workspace static-analysis gate.
 //!
-//! Usage: `cargo run -p seeker-lint [-- <workspace-root>]`. With no argument
-//! the workspace root is discovered by walking up from the current directory
-//! to the first `Cargo.toml` containing a `[workspace]` section. Exits
-//! non-zero when violations are found, so CI can gate on it.
+//! Usage: `cargo run -p seeker-lint [-- [FLAGS] [<workspace-root>]]`.
+//!
+//! With no flags the full gate runs: all lexical rules, the crate-layering
+//! pass, and the public-API lockfile check. Flags select a subset or switch
+//! to snapshot regeneration:
+//!
+//! - `--rules`      lexical rules only;
+//! - `--layering`   crate-layering pass only;
+//! - `--check-api`  public-API lockfile check only;
+//! - `--bless-api`  regenerate the `api/<crate>.api` snapshots and exit.
+//!
+//! With no root argument the workspace root is discovered by walking up from
+//! the current directory to the first `Cargo.toml` containing a
+//! `[workspace]` section. Exits 0 when clean, 1 on violations/drift, 2 on
+//! usage or I/O errors, so CI can gate on it.
 
 #![deny(missing_docs)]
 
-use seeker_lint::lint_workspace;
+use seeker_lint::{bless_api, check_api, check_layering, lint_workspace};
 
 use std::env;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// Which passes a single invocation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Lexical rules + layering + API lockfile check (the default).
+    Full,
+    /// Lexical rules only.
+    Rules,
+    /// Crate-layering pass only.
+    Layering,
+    /// Public-API lockfile check only.
+    CheckApi,
+    /// Regenerate the API snapshots.
+    BlessApi,
+}
+
 fn main() -> ExitCode {
-    let root = match env::args().nth(1).map(PathBuf::from) {
-        Some(path) => path,
-        None => match discover_workspace_root() {
-            Some(path) => path,
-            None => {
-                eprintln!("seeker-lint: no workspace Cargo.toml found above the current directory");
+    let mut mode = Mode::Full;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--rules" => mode = Mode::Rules,
+            "--layering" => mode = Mode::Layering,
+            "--check-api" => mode = Mode::CheckApi,
+            "--bless-api" => mode = Mode::BlessApi,
+            other if other.starts_with("--") => {
+                eprintln!("seeker-lint: unknown flag {other}");
+                eprintln!(
+                    "usage: seeker-lint [--rules | --layering | --check-api | --bless-api] [root]"
+                );
                 return ExitCode::from(2);
             }
-        },
+            path => root_arg = Some(PathBuf::from(path)),
+        }
+    }
+    let root = match root_arg.or_else(discover_workspace_root) {
+        Some(path) => path,
+        None => {
+            eprintln!("seeker-lint: no workspace Cargo.toml found above the current directory");
+            return ExitCode::from(2);
+        }
     };
     // A mistyped root would otherwise lint zero files and report "clean",
     // silently disarming the CI gate.
@@ -30,21 +71,104 @@ fn main() -> ExitCode {
         eprintln!("seeker-lint: {} is not a workspace root (no Cargo.toml)", root.display());
         return ExitCode::from(2);
     }
-    match lint_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("seeker-lint: clean ({})", root.display());
-            ExitCode::SUCCESS
+
+    if mode == Mode::BlessApi {
+        return match bless_api(&root) {
+            Ok(written) => {
+                for path in &written {
+                    println!("seeker-lint: blessed {}", path.display());
+                }
+                println!("seeker-lint: {} API snapshot(s) written", written.len());
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("seeker-lint: I/O error while blessing {}: {err}", root.display());
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let mut reported = 0usize;
+    if matches!(mode, Mode::Full | Mode::Rules) {
+        match run_rules(&root) {
+            Ok(count) => reported += count,
+            Err(code) => return code,
         }
+    }
+    if matches!(mode, Mode::Full | Mode::Layering) {
+        match run_layering(&root) {
+            Ok(count) => reported += count,
+            Err(code) => return code,
+        }
+    }
+    if matches!(mode, Mode::Full | Mode::CheckApi) {
+        match run_api_check(&root) {
+            Ok(count) => reported += count,
+            Err(code) => return code,
+        }
+    }
+    if reported == 0 {
+        println!("seeker-lint: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("seeker-lint: {reported} violation(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs the lexical rules; returns the violation count or an exit code on
+/// I/O failure.
+fn run_rules(root: &Path) -> Result<usize, ExitCode> {
+    match lint_workspace(root) {
         Ok(violations) => {
             for v in &violations {
                 println!("{v}");
             }
-            eprintln!("seeker-lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+            Ok(violations.len())
         }
         Err(err) => {
             eprintln!("seeker-lint: I/O error while linting {}: {err}", root.display());
-            ExitCode::from(2)
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+/// Runs the crate-layering pass; returns the violation count or an exit code
+/// on I/O failure.
+fn run_layering(root: &Path) -> Result<usize, ExitCode> {
+    match check_layering(root) {
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            Ok(violations.len())
+        }
+        Err(err) => {
+            eprintln!("seeker-lint: I/O error in layering pass {}: {err}", root.display());
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+/// Runs the public-API lockfile check; returns the drift count or an exit
+/// code on I/O failure.
+fn run_api_check(root: &Path) -> Result<usize, ExitCode> {
+    match check_api(root) {
+        Ok(drifts) => {
+            for d in &drifts {
+                println!("{d}");
+            }
+            if !drifts.is_empty() {
+                eprintln!(
+                    "seeker-lint: API drift — run `cargo run -p seeker-lint -- --bless-api` \
+                     after reviewing the change"
+                );
+            }
+            Ok(drifts.len())
+        }
+        Err(err) => {
+            eprintln!("seeker-lint: I/O error in API check {}: {err}", root.display());
+            Err(ExitCode::from(2))
         }
     }
 }

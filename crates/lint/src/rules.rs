@@ -1,7 +1,16 @@
 //! The individual lint rules and the per-file analysis driver.
+//!
+//! Since the v2 rewrite every rule runs on the lossless token stream from
+//! [`crate::lexer`] instead of masked-line substring matching: an identifier
+//! token is matched whole (`expect` can no longer collide with
+//! `expect_err`), string/comment content is structurally invisible, and
+//! multi-line constructs (a call split across lines by rustfmt) match the
+//! same as single-line ones.
 
-use crate::mask::mask_source;
+use crate::lexer::lex;
+use crate::tokens::{TokenKind, TokenStream};
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -25,7 +34,33 @@ pub enum Rule {
     /// Raw `println!`/`eprintln!` (and the non-`ln` forms) in library code
     /// outside the sanctioned `seeker-obs` sinks.
     NoPrint,
+    /// `HashMap`/`HashSet` in library code: their iteration order is
+    /// nondeterministic, which silently breaks the refinement loop's
+    /// reproducibility contract (golden trajectory, serial==parallel).
+    NoHashIter,
+    /// `SystemTime`/`Instant::now` in library code outside `seeker-obs` and
+    /// the bench harness: wall-clock-dependent branches make runs
+    /// irreproducible.
+    NoSystemTime,
+    /// RNG construction without an explicit seed (`thread_rng`,
+    /// `from_entropy`, `OsRng`, `rand::random`): every random draw in the
+    /// pipeline must be replayable from a recorded seed.
+    NoUnseededRng,
 }
+
+/// All lexical rules, in report order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::NoPanic,
+    Rule::FloatCast,
+    Rule::FloatEq,
+    Rule::UndocumentedPub,
+    Rule::DenyHeader,
+    Rule::ThreadSpawn,
+    Rule::NoPrint,
+    Rule::NoHashIter,
+    Rule::NoSystemTime,
+    Rule::NoUnseededRng,
+];
 
 impl Rule {
     /// The stable string id used in reports and allow comments.
@@ -39,22 +74,16 @@ impl Rule {
             Rule::DenyHeader => "deny-header",
             Rule::ThreadSpawn => "thread-spawn",
             Rule::NoPrint => "no-print",
+            Rule::NoHashIter => "no-hash-iter",
+            Rule::NoSystemTime => "no-system-time",
+            Rule::NoUnseededRng => "no-unseeded-rng",
         }
     }
 
     /// Parses a rule id as written in an allow comment.
     #[must_use]
     pub fn from_id(id: &str) -> Option<Rule> {
-        match id {
-            "no-panic" => Some(Rule::NoPanic),
-            "float-cast" => Some(Rule::FloatCast),
-            "float-eq" => Some(Rule::FloatEq),
-            "undocumented-pub" => Some(Rule::UndocumentedPub),
-            "deny-header" => Some(Rule::DenyHeader),
-            "thread-spawn" => Some(Rule::ThreadSpawn),
-            "no-print" => Some(Rule::NoPrint),
-            _ => None,
-        }
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
     }
 }
 
@@ -109,6 +138,9 @@ pub struct Config {
     /// File-name suffixes marking feature/metric code where `float-cast`
     /// applies.
     pub float_cast_files: Vec<String>,
+    /// Path prefixes exempt from `no-system-time` (the observability layer
+    /// measures wall time by design; the bench harness times experiments).
+    pub time_exempt_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -117,41 +149,21 @@ impl Default for Config {
             required_deny: vec!["missing_docs".to_string()],
             bench_bin_required_deny: vec!["dead_code".to_string()],
             float_cast_files: vec!["features.rs".to_string(), "metrics.rs".to_string()],
+            time_exempt_paths: vec!["crates/obs/".to_string(), "crates/bench/".to_string()],
         }
     }
 }
 
-const PANIC_PATTERNS: &[(&str, &str)] = &[
-    (".unwrap()", "call to `unwrap()`"),
-    (".expect(", "call to `expect()`"),
-    ("panic!(", "`panic!` invocation"),
-    ("todo!(", "`todo!` invocation"),
-    ("unimplemented!(", "`unimplemented!` invocation"),
-];
-
 const INT_TYPES: &[&str] =
     &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
 
-const ROUNDING_SUFFIXES: &[&str] = &[".round()", ".floor()", ".ceil()", ".trunc()"];
+const ROUNDING_METHODS: &[&str] = &["round", "floor", "ceil", "trunc"];
 
-/// Ad-hoc threading in library code bypasses the determinism contract the
-/// `seeker-par` pool guarantees (order-preserving chunked reassembly, worker
-/// count from one knob). Matches both the free function and scoped form.
-const THREAD_PATTERNS: &[(&str, &str)] =
-    &[("thread::spawn(", "raw `thread::spawn`"), ("thread::scope(", "raw `thread::scope`")];
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
 
-/// Ad-hoc printing in library code bypasses the `seeker-obs` sinks, so
-/// `SEEKER_LOG=off` cannot silence it and test output cannot capture it.
-/// Binaries own their stdio and are exempt; the sanctioned sites inside
-/// the `seeker-obs` sinks carry `// lint:allow(no-print)` comments.
-const PRINT_PATTERNS: &[(&str, &str)] = &[
-    // Longest first: `print!(` is a substring of every other pattern, so
-    // the first match (the loop breaks after it) must be the precise one.
-    ("eprintln!(", "raw `eprintln!`"),
-    ("println!(", "raw `println!`"),
-    ("eprint!(", "raw `eprint!`"),
-    ("print!(", "raw `print!`"),
-];
+/// RNG constructors that draw entropy from the environment instead of an
+/// explicit seed. `StdRng::seed_from_u64(seed)` is the sanctioned pattern.
+const UNSEEDED_RNG_FNS: &[&str] = &["thread_rng", "from_entropy", "from_os_rng"];
 
 /// Analyzes one source file and returns its violations.
 ///
@@ -173,308 +185,470 @@ pub fn lint_source_with(
     if class == FileClass::TestCode {
         return Vec::new();
     }
-    let masked = mask_source(source);
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let masked_lines: Vec<&str> = masked.lines().collect();
-    let allows = collect_allows(&raw_lines);
-    let test_lines = test_region_lines(&masked_lines);
+    let stream = TokenStream::new(lex(source));
+    let allows = collect_allows(&stream);
+    let test_lines = test_region_lines(&stream);
 
     let mut out = Vec::new();
-    let allowed = |rule: Rule, line_idx: usize| -> bool {
-        allows.iter().any(|(l, r)| *r == rule && (*l == line_idx || *l + 1 == line_idx))
+    let allowed = |rule: Rule, line: usize| -> bool {
+        allows.iter().any(|(l, r)| *r == rule && (*l == line || *l + 1 == line))
     };
-    let mut push = |rule: Rule, line_idx: usize, message: String| {
-        if !allowed(rule, line_idx) {
-            out.push(Violation { file: path.to_path_buf(), line: line_idx + 1, rule, message });
+    let mut push = |rule: Rule, line: usize, message: String| {
+        if !allowed(rule, line) && !test_lines.contains(&line) {
+            out.push(Violation { file: path.to_path_buf(), line, rule, message });
         }
     };
 
     let is_library = matches!(class, FileClass::Library | FileClass::LibraryRoot);
-
-    for (idx, line) in masked_lines.iter().enumerate() {
-        if test_lines.contains(&idx) {
-            continue;
-        }
-        if is_library {
-            for (pat, what) in PANIC_PATTERNS {
-                if line.contains(pat) {
-                    push(Rule::NoPanic, idx, format!("{what} in library code (return a typed error or add `// lint:allow(no-panic)`)"));
-                }
-            }
-            for (pat, what) in THREAD_PATTERNS {
-                if line.contains(pat) {
-                    push(Rule::ThreadSpawn, idx, format!("{what} in library code (use the `seeker_par` pool, or add `// lint:allow(thread-spawn)` with a justification)"));
-                }
-            }
-            for (pat, what) in PRINT_PATTERNS {
-                if line.contains(pat) {
-                    push(Rule::NoPrint, idx, format!("{what} in library code (route through `seeker_obs::info!` / a sink, or add `// lint:allow(no-print)` with a justification)"));
-                    break;
-                }
-            }
-            for (col, len) in float_eq_sites(line) {
-                let _ = (col, len);
-                push(Rule::FloatEq, idx, "`==`/`!=` against a floating-point literal (compare with an epsilon or add `// lint:allow(float-eq)`)".to_string());
-            }
-        }
-        if is_float_cast_scope(path, config) {
-            for msg in float_cast_sites(line) {
-                push(Rule::FloatCast, idx, msg);
-            }
+    if is_library {
+        no_panic(&stream, &mut push);
+        thread_spawn(&stream, &mut push);
+        no_print(&stream, &mut push);
+        float_eq(&stream, &mut push);
+        no_hash_iter(&stream, &mut push);
+        no_unseeded_rng(&stream, &mut push);
+        if !is_time_exempt(path, config) {
+            no_system_time(&stream, &mut push);
         }
     }
-
+    if is_float_cast_scope(path, config) {
+        float_cast(&stream, &mut push);
+    }
     if class == FileClass::LibraryRoot {
-        undocumented_pub(&raw_lines, &masked_lines, &test_lines, &mut push);
+        undocumented_pub(&stream, &test_lines, &mut push);
     }
     if matches!(class, FileClass::LibraryRoot | FileClass::BinaryRoot) {
-        deny_header(path, &masked_lines, config, &mut push);
+        deny_header(path, &stream, config, &mut push);
     }
+    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.id().cmp(b.rule.id())));
     out
 }
 
-/// Collects `(line, rule)` pairs from `// lint:allow(rule, …)` comments.
-fn collect_allows(raw_lines: &[&str]) -> Vec<(usize, Rule)> {
+/// Collects `(line, rule)` pairs from `// lint:allow(rule, …)` comments
+/// (line or block); the allow applies to its own line and the next.
+pub(crate) fn collect_allows(stream: &TokenStream<'_>) -> Vec<(usize, Rule)> {
     let mut allows = Vec::new();
-    for (idx, line) in raw_lines.iter().enumerate() {
-        let Some(pos) = line.find("lint:allow(") else { continue };
-        let rest = &line[pos + "lint:allow(".len()..];
+    for token in stream.all() {
+        if !matches!(token.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let Some(pos) = token.text.find("lint:allow(") else { continue };
+        let rest = &token.text[pos + "lint:allow(".len()..];
         let Some(end) = rest.find(')') else { continue };
         for id in rest[..end].split(',') {
             if let Some(rule) = Rule::from_id(id.trim()) {
-                allows.push((idx, rule));
+                allows.push((token.line, rule));
             }
         }
     }
     allows
 }
 
-/// Returns the set of 0-based line indices inside `#[cfg(test)] mod … { }`
-/// blocks (computed on masked text via brace matching).
-fn test_region_lines(masked_lines: &[&str]) -> std::collections::BTreeSet<usize> {
-    let mut result = std::collections::BTreeSet::new();
-    let mut idx = 0usize;
-    while idx < masked_lines.len() {
-        let line = masked_lines[idx].trim_start();
-        if !(line.starts_with("#[cfg(") && line.contains("test")) {
-            idx += 1;
+/// Returns the set of 1-based line numbers inside `#[cfg(test)] mod … { }`
+/// blocks (token-level brace matching).
+pub(crate) fn test_region_lines(stream: &TokenStream<'_>) -> BTreeSet<usize> {
+    let mut result = BTreeSet::new();
+    let mut i = 0usize;
+    while i < stream.code_len() {
+        let Some(end_attr) = match_cfg_test_attr(stream, i) else {
+            i += 1;
             continue;
-        }
-        // Scan forward for the item's opening brace; a `;` first means this
-        // is a module *declaration* (handled at the file level by the
-        // walker), not an inline block.
+        };
+        // Scan forward for the attributed item's opening brace; a `;` first
+        // means this is a module *declaration* (handled at the file level by
+        // the walker), not an inline block.
+        let start_line = stream.code(i).map_or(1, |t| t.line);
         let mut depth = 0usize;
         let mut opened = false;
-        let start = idx;
-        let mut j = idx + 1;
-        'scan: while j < masked_lines.len() {
-            for b in masked_lines[j].bytes() {
-                match b {
-                    b'{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    b'}' => {
-                        depth = depth.saturating_sub(1);
-                        if opened && depth == 0 {
-                            break 'scan;
-                        }
-                    }
-                    b';' if !opened => break 'scan,
-                    _ => {}
+        let mut j = end_attr;
+        while let Some(t) = stream.code(j) {
+            match t.text {
+                "{" if t.kind == TokenKind::Punct => {
+                    depth += 1;
+                    opened = true;
                 }
+                "}" if t.kind == TokenKind::Punct => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        break;
+                    }
+                }
+                ";" if !opened => break,
+                _ => {}
             }
             j += 1;
         }
-        if opened {
-            for l in start..=j.min(masked_lines.len() - 1) {
-                result.insert(l);
-            }
+        let end_line =
+            stream.code(j.min(stream.code_len().saturating_sub(1))).map_or(start_line, |t| t.line);
+        for line in start_line..=end_line {
+            result.insert(line);
         }
-        idx = j + 1;
+        i = j + 1;
     }
     result
 }
 
-/// Finds `==`/`!=` operators with a float literal on either side.
-fn float_eq_sites(masked_line: &str) -> Vec<(usize, usize)> {
-    let bytes = masked_line.as_bytes();
-    let mut sites = Vec::new();
-    let mut i = 0;
-    while i + 1 < bytes.len() {
-        let two = &bytes[i..i + 2];
-        let is_op = two == b"==" || two == b"!=";
-        if !is_op {
-            i += 1;
-            continue;
-        }
-        // Exclude <=, >=, ===-like runs and pattern `=>`.
-        let before_ok = i == 0 || !matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!');
-        let after_ok = i + 2 >= bytes.len() || bytes[i + 2] != b'=';
-        if before_ok && after_ok {
-            let lhs = &masked_line[..i];
-            let rhs = &masked_line[i + 2..];
-            if trailing_token_is_float(lhs) || leading_token_is_float(rhs) {
-                sites.push((i, 2));
+/// If code position `i` starts a `#[cfg(…test…)]` attribute, returns the
+/// code position just past its closing `]`.
+fn match_cfg_test_attr(stream: &TokenStream<'_>, i: usize) -> Option<usize> {
+    if !stream.code(i)?.is_punct("#") || !stream.code(i + 1)?.is_punct("[") {
+        return None;
+    }
+    if !stream.code(i + 2)?.is_ident("cfg") {
+        return None;
+    }
+    let mut depth = 1usize; // the `[`
+    let mut saw_test = false;
+    let mut j = i + 2;
+    while let Some(t) = stream.code(j) {
+        match t.text {
+            "[" | "(" if t.kind == TokenKind::Punct => depth += 1,
+            "]" | ")" if t.kind == TokenKind::Punct => {
+                depth -= 1;
+                if depth == 0 {
+                    return if saw_test { Some(j + 1) } else { None };
+                }
             }
+            "test" if t.kind == TokenKind::Ident => saw_test = true,
+            _ => {}
         }
-        i += 2;
+        j += 1;
     }
-    sites
+    None
 }
 
-/// Whether the token ending `s` is a float literal like `1.0` or `-3.5f64`.
-fn trailing_token_is_float(s: &str) -> bool {
-    let t = s.trim_end();
-    let bytes = t.as_bytes();
-    let mut end = bytes.len();
-    // Strip an f32/f64 suffix.
-    for suffix in ["f32", "f64"] {
-        if t.ends_with(suffix) {
-            end -= suffix.len();
-            break;
-        }
-    }
-    let digits_end = end;
-    let mut i = digits_end;
-    while i > 0 && bytes[i - 1].is_ascii_digit() {
-        i -= 1;
-    }
-    let frac_digits = digits_end - i;
-    if i == 0 || bytes[i - 1] != b'.' {
-        return false;
-    }
-    // Reject method calls / ranges: require at least the `.` plus digits on
-    // the left too (e.g. `1.` or `13.5`).
-    if frac_digits == 0 && end != bytes.len() {
-        return false;
-    }
-    let mut j = i - 1;
-    while j > 0 && bytes[j - 1].is_ascii_digit() {
-        j -= 1;
-    }
-    j < i - 1
-}
-
-/// Whether the token starting `s` is a float literal.
-fn leading_token_is_float(s: &str) -> bool {
-    let t = s.trim_start().trim_start_matches('-');
-    let bytes = t.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() && bytes[i].is_ascii_digit() {
-        i += 1;
-    }
-    if i == 0 || i >= bytes.len() || bytes[i] != b'.' {
-        return false;
-    }
-    // `1..4` is a range, not a float.
-    !(i + 1 < bytes.len() && bytes[i + 1] == b'.')
-}
-
-/// Whether `path` is feature/metric code in scope for `float-cast`.
-fn is_float_cast_scope(path: &Path, config: &Config) -> bool {
-    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-    config.float_cast_files.iter().any(|f| name == f)
-}
-
-/// Finds `as <integer>` casts not justified by an explicit rounding call.
-fn float_cast_sites(masked_line: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut search_from = 0;
-    while let Some(rel) = masked_line[search_from..].find(" as ") {
-        let pos = search_from + rel;
-        search_from = pos + 4;
-        let after = &masked_line[pos + 4..];
-        let ty: String =
-            after.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
-        if !INT_TYPES.contains(&ty.as_str()) {
+fn no_panic(stream: &TokenStream<'_>, push: &mut impl FnMut(Rule, usize, String)) {
+    for (i, t) in stream.code_iter() {
+        let next_is =
+            |off: usize, text: &str| stream.code(i + off).is_some_and(|t| t.is_punct(text));
+        let prev_dot = i > 0 && stream.code(i - 1).is_some_and(|t| t.is_punct("."));
+        if t.kind != TokenKind::Ident {
             continue;
         }
-        let before = masked_line[..pos].trim_end();
-        if ROUNDING_SUFFIXES.iter().any(|s| before.ends_with(s)) {
-            continue;
-        }
-        out.push(format!(
-            "`as {ty}` cast in feature/metric code without explicit rounding \
-             (use `.round()`/`.floor()`/`.ceil()` first, a checked conversion, \
-             or add `// lint:allow(float-cast)`)"
-        ));
+        let what = match t.text {
+            "unwrap" if prev_dot && next_is(1, "(") && next_is(2, ")") => "call to `unwrap()`",
+            "expect" if prev_dot && next_is(1, "(") => "call to `expect()`",
+            "panic" if next_is(1, "!") => "`panic!` invocation",
+            "todo" if next_is(1, "!") => "`todo!` invocation",
+            "unimplemented" if next_is(1, "!") => "`unimplemented!` invocation",
+            _ => continue,
+        };
+        push(
+            Rule::NoPanic,
+            t.line,
+            format!(
+                "{what} in library code (return a typed error or add `// lint:allow(no-panic)`)"
+            ),
+        );
     }
-    out
 }
 
-/// Requires a doc comment on every top-level `pub` item (including
-/// re-exports) in a crate-root `lib.rs`.
+fn thread_spawn(stream: &TokenStream<'_>, push: &mut impl FnMut(Rule, usize, String)) {
+    for (i, t) in stream.code_iter() {
+        if !t.is_ident("thread") || !stream.code(i + 1).is_some_and(|t| t.is_punct("::")) {
+            continue;
+        }
+        let Some(method) = stream.code(i + 2) else { continue };
+        if matches!(method.text, "spawn" | "scope")
+            && method.kind == TokenKind::Ident
+            && stream.code(i + 3).is_some_and(|t| t.is_punct("("))
+        {
+            push(
+                Rule::ThreadSpawn,
+                t.line,
+                format!("raw `thread::{}` in library code (use the `seeker_par` pool, or add `// lint:allow(thread-spawn)` with a justification)", method.text),
+            );
+        }
+    }
+}
+
+fn no_print(stream: &TokenStream<'_>, push: &mut impl FnMut(Rule, usize, String)) {
+    for (i, t) in stream.code_iter() {
+        if t.kind == TokenKind::Ident
+            && PRINT_MACROS.contains(&t.text)
+            && stream.code(i + 1).is_some_and(|t| t.is_punct("!"))
+        {
+            push(
+                Rule::NoPrint,
+                t.line,
+                format!("raw `{}!` in library code (route through `seeker_obs::info!` / a sink, or add `// lint:allow(no-print)` with a justification)", t.text),
+            );
+        }
+    }
+}
+
+fn float_eq(stream: &TokenStream<'_>, push: &mut impl FnMut(Rule, usize, String)) {
+    for (i, t) in stream.code_iter() {
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let prev_float = i > 0 && stream.code(i - 1).is_some_and(|t| t.kind == TokenKind::Float);
+        let next_float = match stream.code(i + 1) {
+            Some(n) if n.kind == TokenKind::Float => true,
+            Some(n) if n.is_punct("-") => {
+                stream.code(i + 2).is_some_and(|t| t.kind == TokenKind::Float)
+            }
+            _ => false,
+        };
+        if prev_float || next_float {
+            push(
+                Rule::FloatEq,
+                t.line,
+                "`==`/`!=` against a floating-point literal (compare with an epsilon or add `// lint:allow(float-eq)`)".to_string(),
+            );
+        }
+    }
+}
+
+fn float_cast(stream: &TokenStream<'_>, push: &mut impl FnMut(Rule, usize, String)) {
+    for (i, t) in stream.code_iter() {
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(ty) = stream.code(i + 1) else { continue };
+        if ty.kind != TokenKind::Ident || !INT_TYPES.contains(&ty.text) {
+            continue;
+        }
+        // Exempt `x.round() as usize`-style casts: the four tokens before
+        // `as` are `. <rounding> ( )`.
+        let rounded = i >= 4
+            && stream.code(i - 1).is_some_and(|t| t.is_punct(")"))
+            && stream.code(i - 2).is_some_and(|t| t.is_punct("("))
+            && stream
+                .code(i - 3)
+                .is_some_and(|t| t.kind == TokenKind::Ident && ROUNDING_METHODS.contains(&t.text))
+            && stream.code(i - 4).is_some_and(|t| t.is_punct("."));
+        if !rounded {
+            push(
+                Rule::FloatCast,
+                t.line,
+                format!(
+                    "`as {}` cast in feature/metric code without explicit rounding \
+                     (use `.round()`/`.floor()`/`.ceil()` first, a checked conversion, \
+                     or add `// lint:allow(float-cast)`)",
+                    ty.text
+                ),
+            );
+        }
+    }
+}
+
+fn no_hash_iter(stream: &TokenStream<'_>, push: &mut impl FnMut(Rule, usize, String)) {
+    for (_, t) in stream.code_iter() {
+        if t.kind == TokenKind::Ident && matches!(t.text, "HashMap" | "HashSet") {
+            push(
+                Rule::NoHashIter,
+                t.line,
+                format!(
+                    "`{}` in library code: hash iteration order is nondeterministic and breaks \
+                     the reproducibility contract (use `BTreeMap`/`BTreeSet`, a sorted index, \
+                     or add `// lint:allow(no-hash-iter)` justifying why it is never iterated)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn no_system_time(stream: &TokenStream<'_>, push: &mut impl FnMut(Rule, usize, String)) {
+    for (i, t) in stream.code_iter() {
+        if t.is_ident("SystemTime") {
+            push(
+                Rule::NoSystemTime,
+                t.line,
+                "`SystemTime` in library code: wall-clock reads make runs irreproducible (thread a timestamp in, or add `// lint:allow(no-system-time)`)".to_string(),
+            );
+        } else if t.is_ident("Instant")
+            && stream.code(i + 1).is_some_and(|t| t.is_punct("::"))
+            && stream.code(i + 2).is_some_and(|t| t.is_ident("now"))
+        {
+            push(
+                Rule::NoSystemTime,
+                t.line,
+                "`Instant::now` in library code outside `seeker-obs`: timing belongs in the observability layer (use a span, or add `// lint:allow(no-system-time)`)".to_string(),
+            );
+        }
+    }
+}
+
+fn no_unseeded_rng(stream: &TokenStream<'_>, push: &mut impl FnMut(Rule, usize, String)) {
+    for (i, t) in stream.code_iter() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if UNSEEDED_RNG_FNS.contains(&t.text) && stream.code(i + 1).is_some_and(|t| t.is_punct("("))
+        {
+            push(
+                Rule::NoUnseededRng,
+                t.line,
+                format!("`{}()` constructs an unseeded RNG: every draw must replay from a recorded seed (use `StdRng::seed_from_u64`, or add `// lint:allow(no-unseeded-rng)`)", t.text),
+            );
+        } else if t.text == "OsRng" {
+            push(
+                Rule::NoUnseededRng,
+                t.line,
+                "`OsRng` draws OS entropy: every draw must replay from a recorded seed (use `StdRng::seed_from_u64`, or add `// lint:allow(no-unseeded-rng)`)".to_string(),
+            );
+        } else if t.text == "random"
+            && i > 0
+            && stream.code(i - 1).is_some_and(|t| t.is_punct("::"))
+            && stream.code(i.wrapping_sub(2)).is_some_and(|t| t.is_ident("rand"))
+        {
+            push(
+                Rule::NoUnseededRng,
+                t.line,
+                "`rand::random` is thread-RNG sugar: every draw must replay from a recorded seed (use `StdRng::seed_from_u64`, or add `// lint:allow(no-unseeded-rng)`)".to_string(),
+            );
+        }
+    }
+}
+
+/// Item keywords that can follow `pub` at the top level of a crate root.
+const PUB_ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "use", "mod", "type", "const", "static", "unsafe", "async",
+    "extern", "union", "macro",
+];
+
 fn undocumented_pub(
-    raw_lines: &[&str],
-    masked_lines: &[&str],
-    test_lines: &std::collections::BTreeSet<usize>,
+    stream: &TokenStream<'_>,
+    test_lines: &BTreeSet<usize>,
     push: &mut impl FnMut(Rule, usize, String),
 ) {
-    const ITEMS: &[&str] = &[
-        "pub fn ",
-        "pub struct ",
-        "pub enum ",
-        "pub trait ",
-        "pub use ",
-        "pub mod ",
-        "pub type ",
-        "pub const ",
-        "pub static ",
-        "pub unsafe ",
-    ];
-    for (idx, line) in masked_lines.iter().enumerate() {
-        if test_lines.contains(&idx) {
+    let mut depth = 0usize;
+    for (i, t) in stream.code_iter() {
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                "{" => depth += 1,
+                "}" => depth = depth.saturating_sub(1),
+                _ => {}
+            }
             continue;
         }
-        if !ITEMS.iter().any(|p| line.starts_with(p)) {
+        if depth != 0 || !t.is_ident("pub") || test_lines.contains(&t.line) {
             continue;
         }
-        // Walk upward over attributes and attribute continuation lines.
-        let mut j = idx;
-        let mut documented = false;
-        while j > 0 {
-            j -= 1;
-            let above = raw_lines[j].trim_start();
-            if above.starts_with("///") || above.starts_with("#[doc") || above.starts_with("#![doc")
-            {
-                documented = true;
-                break;
-            }
-            // Skip attribute lines (single- or multi-line) between the doc
-            // comment and the item.
-            if above.starts_with("#[") || above.ends_with(']') || above.ends_with("]ated") {
-                continue;
-            }
-            break;
+        let Some(next) = stream.code(i + 1) else { continue };
+        // `pub(crate)` / `pub(super)` visibility is not public API.
+        if next.is_punct("(") {
+            continue;
         }
-        if !documented {
-            let item = masked_lines[idx].split('{').next().unwrap_or("").trim();
+        if !(next.kind == TokenKind::Ident && PUB_ITEM_KEYWORDS.contains(&next.text)) {
+            continue;
+        }
+        if !has_doc_before(stream, i) {
+            let item = item_signature_preview(stream, i);
             push(
                 Rule::UndocumentedPub,
-                idx,
+                t.line,
                 format!("public item `{item}` in crate root has no doc comment"),
             );
         }
     }
 }
 
-/// Requires the mandatory `#![deny(...)]` header in crate roots.
+/// Whether the item whose first code token is at code position `i` is
+/// preceded by a doc comment (walking back over attributes).
+fn has_doc_before(stream: &TokenStream<'_>, i: usize) -> bool {
+    // Work on the full (lossless) token list so comments are visible.
+    let Some(full_idx) = stream.code_index(i) else { return false };
+    let all = stream.all();
+    let mut j = full_idx;
+    while j > 0 {
+        j -= 1;
+        let t = &all[j];
+        match t.kind {
+            TokenKind::Whitespace => continue,
+            TokenKind::LineComment => {
+                if t.text.starts_with("///") {
+                    return true;
+                }
+                // An ordinary comment between doc and item: keep walking.
+                continue;
+            }
+            TokenKind::BlockComment => {
+                if t.text.starts_with("/**") {
+                    return true;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // Attribute: tokens `… ]` — walk back to the matching `#[` and
+        // check for `#[doc…]`.
+        if t.is_punct("]") {
+            let mut depth = 1usize;
+            let mut saw_doc = false;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                let u = &all[j];
+                if u.is_punct("]") {
+                    depth += 1;
+                } else if u.is_punct("[") {
+                    depth -= 1;
+                } else if u.is_ident("doc") {
+                    saw_doc = true;
+                }
+            }
+            // Skip the `#` (and a possible `!`) introducing the attribute.
+            while j > 0 && (all[j - 1].is_punct("#") || all[j - 1].is_punct("!")) {
+                j -= 1;
+            }
+            if saw_doc {
+                return true;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// A short preview of the item starting at code position `i` (up to the
+/// body/terminator), for violation messages.
+fn item_signature_preview(stream: &TokenStream<'_>, i: usize) -> String {
+    let mut parts = Vec::new();
+    let mut j = i;
+    while let Some(t) = stream.code(j) {
+        if (t.is_punct("{") || t.is_punct(";") || t.is_punct("=")) && j > i {
+            break;
+        }
+        parts.push(t.text);
+        if parts.len() >= 12 {
+            break;
+        }
+        j += 1;
+    }
+    parts.join(" ")
+}
+
 fn deny_header(
     path: &Path,
-    masked_lines: &[&str],
+    stream: &TokenStream<'_>,
     config: &Config,
     push: &mut impl FnMut(Rule, usize, String),
 ) {
-    let mut denied: Vec<String> = Vec::new();
-    for line in masked_lines {
-        let t = line.trim_start();
-        for prefix in ["#![deny(", "#![forbid("] {
-            if let Some(rest) = t.strip_prefix(prefix) {
-                if let Some(end) = rest.find(")]") {
-                    denied.extend(rest[..end].split(',').map(|s| s.trim().to_string()));
-                }
+    // Collect every lint named in an inner `#![deny(...)]` / `#![forbid(...)]`.
+    let mut denied: Vec<&str> = Vec::new();
+    for (i, t) in stream.code_iter() {
+        if !t.is_punct("#")
+            || !stream.code(i + 1).is_some_and(|t| t.is_punct("!"))
+            || !stream.code(i + 2).is_some_and(|t| t.is_punct("["))
+        {
+            continue;
+        }
+        let Some(head) = stream.code(i + 3) else { continue };
+        if !(head.is_ident("deny") || head.is_ident("forbid")) {
+            continue;
+        }
+        let mut j = i + 4;
+        while let Some(u) = stream.code(j) {
+            if u.is_punct("]") {
+                break;
             }
+            if u.kind == TokenKind::Ident {
+                denied.push(u.text);
+            }
+            j += 1;
         }
     }
     let path_str = path.to_string_lossy().replace('\\', "/");
@@ -486,11 +660,23 @@ fn deny_header(
         if !denied.iter().any(|d| d == need) {
             push(
                 Rule::DenyHeader,
-                0,
+                1,
                 format!("crate root is missing the mandatory `#![deny({need})]` header"),
             );
         }
     }
+}
+
+/// Whether `path` is feature/metric code in scope for `float-cast`.
+fn is_float_cast_scope(path: &Path, config: &Config) -> bool {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    config.float_cast_files.iter().any(|f| name == f)
+}
+
+/// Whether `path` is under a `no-system-time` exempt prefix.
+fn is_time_exempt(path: &Path, config: &Config) -> bool {
+    let path_str = path.to_string_lossy().replace('\\', "/");
+    config.time_exempt_paths.iter().any(|p| path_str.starts_with(p.as_str()))
 }
 
 #[cfg(test)]
@@ -522,6 +708,15 @@ mod tests {
     }
 
     #[test]
+    fn multiline_calls_match_like_single_line_ones() {
+        // rustfmt can split `.unwrap()` across lines; the token matcher does
+        // not care (the old line matcher missed this).
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap(\n    )\n}\n";
+        let v = lint(FileClass::Library, src);
+        assert_eq!(rules_of(&v), vec![Rule::NoPanic]);
+    }
+
+    #[test]
     fn unwrap_or_variants_are_fine() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(3).min(x.unwrap_or_default()) }\n";
         assert!(lint(FileClass::Library, src).is_empty());
@@ -541,6 +736,8 @@ mod tests {
     fn panics_in_strings_and_comments_are_ignored() {
         let src = "// this mentions panic!(\"x\") and .unwrap()\nfn f() -> &'static str { \"panic!(no) .unwrap()\" }\n";
         assert!(lint(FileClass::Library, src).is_empty());
+        let raw = "fn f() -> &'static str { r#\"panic!(\"inner\") .unwrap()\"# }\n";
+        assert!(lint(FileClass::Library, raw).is_empty());
     }
 
     #[test]
@@ -562,6 +759,8 @@ mod tests {
         let v = lint(FileClass::Library, "fn f(x: f64) -> bool { x == 0.0 }\n");
         assert_eq!(rules_of(&v), vec![Rule::FloatEq]);
         let v = lint(FileClass::Library, "fn f(x: f32) -> bool { 1.5f32 != x }\n");
+        assert_eq!(rules_of(&v), vec![Rule::FloatEq]);
+        let v = lint(FileClass::Library, "fn f(x: f64) -> bool { x == -2.5 }\n");
         assert_eq!(rules_of(&v), vec![Rule::FloatEq]);
     }
 
@@ -607,14 +806,20 @@ mod tests {
     fn doc_comment_above_attributes_counts() {
         let src = "//! Crate docs.\n#![deny(missing_docs)]\n\n/// Documented.\n#[derive(Debug, Clone)]\npub struct S;\n";
         assert!(lint(FileClass::LibraryRoot, src).is_empty());
+        let multi = "//! Docs.\n#![deny(missing_docs)]\n\n/// Documented.\n#[derive(\n    Debug,\n    Clone,\n)]\npub struct S;\n";
+        assert!(lint(FileClass::LibraryRoot, multi).is_empty());
+    }
+
+    #[test]
+    fn pub_crate_items_are_not_public_api() {
+        let src = "//! Docs.\n#![deny(missing_docs)]\npub(crate) fn helper() {}\n";
+        assert!(lint(FileClass::LibraryRoot, src).is_empty());
     }
 
     #[test]
     fn deny_header_required_in_crate_roots() {
-        let src = "//! Docs.\npub fn x() {}\n// lint:allow(undocumented-pub)\n";
         let v = lint(FileClass::LibraryRoot, "//! Docs.\n");
         assert_eq!(rules_of(&v), vec![Rule::DenyHeader]);
-        let _ = src;
         let ok = lint(FileClass::LibraryRoot, "//! Docs.\n#![deny(missing_docs)]\n");
         assert!(ok.is_empty());
         let forbid = lint(FileClass::LibraryRoot, "//! Docs.\n#![forbid(missing_docs)]\n");
@@ -647,12 +852,9 @@ mod tests {
         assert_eq!(rules_of(&lint(FileClass::Library, spawn)), vec![Rule::ThreadSpawn]);
         let scope = "fn f() { std::thread::scope(|s| { let _ = s; }); }\n";
         assert_eq!(rules_of(&lint(FileClass::Library, scope)), vec![Rule::ThreadSpawn]);
-        // The sanctioned-pool escape: a justified allow on the previous line.
         let allowed =
             "fn f() {\n    // lint:allow(thread-spawn) -- sanctioned pool\n    std::thread::scope(|s| { let _ = s; });\n}\n";
         assert!(lint(FileClass::Library, allowed).is_empty());
-        // Binaries may thread however they like (only the header rule runs
-        // on a binary root, hence the rule-level check).
         assert!(!rules_of(&lint(FileClass::BinaryRoot, spawn)).contains(&Rule::ThreadSpawn));
     }
 
@@ -663,19 +865,77 @@ mod tests {
         assert_eq!(rules_of(&v), vec![Rule::NoPrint, Rule::NoPrint]);
         assert!(v[0].message.contains("println!"));
         assert!(v[1].message.contains("eprintln!"));
-        // One violation per line, with the precise macro named.
         let eprint = lint(FileClass::Library, "fn f() { eprint!(\"z\"); }\n");
         assert!(eprint[0].message.contains("`eprint!`"));
-        // Binaries own their stdio (only the header rule runs on a binary
-        // root, hence the rule-level check).
         assert!(!rules_of(&lint(FileClass::BinaryRoot, src)).contains(&Rule::NoPrint));
-        // Sanctioned sink sites carry an allow comment.
         let allowed =
             "fn f() {\n    // lint:allow(no-print) -- sink output\n    eprintln!(\"e\");\n}\n";
         assert!(lint(FileClass::Library, allowed).is_empty());
-        // Mentions in comments and strings are ignored.
         let masked = "// println!(\"doc\")\nfn f() -> &'static str { \"println!(no)\" }\n";
         assert!(lint(FileClass::Library, masked).is_empty());
+    }
+
+    #[test]
+    fn hash_containers_flagged_in_library_code() {
+        let src =
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> usize { m.len() }\n";
+        let v = lint(FileClass::Library, src);
+        assert_eq!(rules_of(&v), vec![Rule::NoHashIter, Rule::NoHashIter]);
+        let set = "fn f(s: &std::collections::HashSet<u32>) -> usize { s.len() }\n";
+        assert_eq!(rules_of(&lint(FileClass::Library, set)), vec![Rule::NoHashIter]);
+        // BTree containers are the sanctioned replacement.
+        let btree =
+            "use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, u32>) -> usize { m.len() }\n";
+        assert!(lint(FileClass::Library, btree).is_empty());
+        // A justified allow sanctions a lookup-only map.
+        let allowed = "// lint:allow(no-hash-iter) -- lookup-only, never iterated\nuse std::collections::HashMap;\n";
+        assert!(lint(FileClass::Library, allowed).is_empty());
+        // Mentions in comments/strings are invisible.
+        let comment = "// HashMap would be wrong here\nfn f() {}\n";
+        assert!(lint(FileClass::Library, comment).is_empty());
+    }
+
+    #[test]
+    fn system_time_flagged_outside_exempt_paths() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); let _ = t; }\n";
+        let v = lint(FileClass::Library, src);
+        assert_eq!(rules_of(&v), vec![Rule::NoSystemTime]);
+        assert_eq!(v[0].line, 2);
+        let st = "fn f() -> std::time::SystemTime { std::time::SystemTime::now() }\n";
+        assert_eq!(
+            rules_of(&lint(FileClass::Library, st)),
+            vec![Rule::NoSystemTime, Rule::NoSystemTime]
+        );
+        // The observability layer is exempt by path.
+        let obs = lint_source(Path::new("crates/obs/src/lib.rs"), FileClass::Library, src);
+        assert!(obs.is_empty());
+        let bench = lint_source(Path::new("crates/bench/src/harness.rs"), FileClass::Library, src);
+        assert!(bench.is_empty());
+        // `Instant` mentioned without `::now` (e.g. a struct field type) is fine.
+        let field = "struct S { start: std::time::Instant }\n";
+        assert!(lint(FileClass::Library, field).is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_construction_flagged() {
+        let v = lint(
+            FileClass::Library,
+            "fn f() { let mut rng = rand::thread_rng(); let _ = &mut rng; }\n",
+        );
+        assert_eq!(rules_of(&v), vec![Rule::NoUnseededRng]);
+        let v =
+            lint(FileClass::Library, "fn f() { let rng = StdRng::from_entropy(); let _ = rng; }\n");
+        assert_eq!(rules_of(&v), vec![Rule::NoUnseededRng]);
+        let v = lint(FileClass::Library, "fn f() -> f64 { rand::random() }\n");
+        assert_eq!(rules_of(&v), vec![Rule::NoUnseededRng]);
+        let v = lint(FileClass::Library, "fn f() { let rng = OsRng; let _ = rng; }\n");
+        assert_eq!(rules_of(&v), vec![Rule::NoUnseededRng]);
+        // The sanctioned seeded construction passes.
+        let seeded = "fn f(seed: u64) { let rng = StdRng::seed_from_u64(seed); let _ = rng; }\n";
+        assert!(lint(FileClass::Library, seeded).is_empty());
+        // A method merely named `random` on some struct is not flagged.
+        let method = "fn f(x: &Sampler) -> f64 { x.random() }\n";
+        assert!(lint(FileClass::Library, method).is_empty());
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! The token model produced by [`crate::lexer`].
+//!
+//! Tokens are *lossless*: every byte of the input, including whitespace and
+//! comments, belongs to exactly one token, and concatenating the token texts
+//! in order reproduces the source exactly. This is the foundation the rule
+//! matchers in [`crate::rules`] and the API extractor in [`crate::api_lock`]
+//! build on: a matcher that asks "is this identifier `unwrap`?" can never be
+//! fooled by `unwrap` appearing inside a string or a comment, because those
+//! bytes live in [`TokenKind::Str`] / [`TokenKind::LineComment`] tokens.
+
+use std::fmt;
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// A run of whitespace (spaces, tabs, newlines, carriage returns).
+    Whitespace,
+    /// A `//` comment up to (but not including) the terminating newline.
+    /// Covers `///` and `//!` doc comments.
+    LineComment,
+    /// A `/* … */` comment, including nested ones. An unterminated block
+    /// comment extends to the end of the file.
+    BlockComment,
+    /// An identifier or keyword (`fn`, `pub`, `unwrap`, `r#type`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// A floating-point literal (`1.0`, `2.5e-3`, `1f64`).
+    Float,
+    /// A string or byte-string literal (`"…"`, `b"…"`), escapes included.
+    Str,
+    /// A raw (byte-)string literal (`r"…"`, `r#"…"#`, `br##"…"##`).
+    RawStr,
+    /// A character or byte literal (`'x'`, `'\''`, `b'\n'`).
+    Char,
+    /// A punctuation token; multi-character operators (`::`, `==`, `..=`,
+    /// `->`) lex as one token.
+    Punct,
+    /// A byte sequence the lexer does not recognise (kept lossless; never
+    /// produced for valid Rust).
+    Unknown,
+}
+
+impl TokenKind {
+    /// Whether tokens of this kind are code (not whitespace or comments).
+    #[must_use]
+    pub fn is_code(self) -> bool {
+        !matches!(self, TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// One lexed token: a kind plus its exact byte span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The lexical class.
+    pub kind: TokenKind,
+    /// The exact source text (concatenating all token texts reproduces the
+    /// input byte-for-byte).
+    pub text: &'a str,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: usize,
+}
+
+impl<'a> Token<'a> {
+    /// Byte offset one past the last byte.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.start + self.text.len()
+    }
+
+    /// Whether this is an [`TokenKind::Ident`] with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this is a [`TokenKind::Punct`] with exactly this text.
+    #[must_use]
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+impl fmt::Display for Token<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}({:?})@{}:{}", self.kind, self.text, self.line, self.start)
+    }
+}
+
+/// A lexed file: the full lossless token list plus an index of the code
+/// tokens (everything except whitespace and comments), which is what most
+/// rule matchers iterate.
+#[derive(Debug, Clone)]
+pub struct TokenStream<'a> {
+    tokens: Vec<Token<'a>>,
+    code: Vec<usize>,
+}
+
+impl<'a> TokenStream<'a> {
+    /// Wraps a lossless token list (as produced by [`crate::lexer::lex`]).
+    #[must_use]
+    pub fn new(tokens: Vec<Token<'a>>) -> Self {
+        let code =
+            tokens.iter().enumerate().filter(|(_, t)| t.kind.is_code()).map(|(i, _)| i).collect();
+        TokenStream { tokens, code }
+    }
+
+    /// All tokens, including whitespace and comments, in source order.
+    #[must_use]
+    pub fn all(&self) -> &[Token<'a>] {
+        &self.tokens
+    }
+
+    /// The number of code tokens.
+    #[must_use]
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// The `i`-th code token (whitespace and comments skipped).
+    #[must_use]
+    pub fn code(&self, i: usize) -> Option<&Token<'a>> {
+        self.code.get(i).map(|&idx| &self.tokens[idx])
+    }
+
+    /// The index into [`Self::all`] of the `i`-th code token.
+    #[must_use]
+    pub fn code_index(&self, i: usize) -> Option<usize> {
+        self.code.get(i).copied()
+    }
+
+    /// Iterates `(code_position, token)` over the code tokens.
+    pub fn code_iter(&self) -> impl Iterator<Item = (usize, &Token<'a>)> {
+        self.code.iter().enumerate().map(move |(pos, &idx)| (pos, &self.tokens[idx]))
+    }
+}

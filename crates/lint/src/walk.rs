@@ -17,6 +17,81 @@ pub struct SourceFile {
     pub class: FileClass,
 }
 
+/// One workspace package, as discovered from its manifest.
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// The package name from `[package] name = "…"` (e.g. `seeker-obs`).
+    pub name: String,
+    /// The crate directory relative to the workspace root (empty for the
+    /// root package, `crates/<x>` for members).
+    pub dir: PathBuf,
+    /// The manifest path relative to the workspace root.
+    pub manifest: PathBuf,
+    /// The library target name as it appears in `use` paths (dashes
+    /// replaced by underscores).
+    pub lib_name: String,
+}
+
+/// Enumerates the workspace packages (the root package, if its manifest has
+/// a `[package]` section, plus every `crates/*` member), sorted by
+/// directory. Only packages with a `src/` tree are returned.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal or manifest reads.
+pub fn workspace_crates(root: &Path) -> io::Result<Vec<CrateInfo>> {
+    // The empty path stands for the root package: joining it is a no-op, so
+    // `dir.join("src")` is `src` and `dir.join("Cargo.toml")` is the root
+    // manifest.
+    let mut dirs = vec![PathBuf::new()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for entry in entries {
+            let rel = entry.strip_prefix(root).unwrap_or(&entry).to_path_buf();
+            dirs.push(rel);
+        }
+    }
+    let mut crates = Vec::new();
+    for dir in dirs {
+        let manifest_path = root.join(&dir).join("Cargo.toml");
+        if !manifest_path.is_file() || !root.join(&dir).join("src").is_dir() {
+            continue;
+        }
+        let manifest = fs::read_to_string(&manifest_path)?;
+        let Some(name) = package_name(&manifest) else { continue };
+        let lib_name = name.replace('-', "_");
+        crates.push(CrateInfo { name, manifest: dir.join("Cargo.toml"), dir, lib_name });
+    }
+    Ok(crates)
+}
+
+/// Extracts `name = "…"` from a manifest's `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_package = t == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix('=') {
+                return Some(value.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
 /// Walks the workspace rooted at `root` and returns every `.rs` file in
 /// scope, classified. Scope: `src/` and `crates/*/src/`. Vendored stand-in
 /// crates (`vendor/`), build output (`target/`), integration `tests/`,

@@ -1,0 +1,57 @@
+//! Lexer fixture: every edge case the v1 masker had to special-case, in one
+//! file. Never compiled — consumed by `tests/lexer_fixtures.rs`, which lexes
+//! it and asserts (a) the token stream is lossless and (b) none of the
+//! rule-bait spelled inside comments and literals is reported.
+
+// A panic!("no") or .unwrap() in a line comment must not count.
+/// Doc comments too: x.expect("nope") and thread::spawn(|| {}).
+fn comments() -> u32 {
+    /* block comment with todo!() inside */
+    /* nested /* deeper .unwrap() */ still outer == 1.0 */
+    0
+}
+
+fn strings() -> &'static str {
+    let plain = "contains panic!(no) and .unwrap() but only as text";
+    let escaped = "escaped quote \" then .expect(\"x\") stays inside";
+    let continued = "a line continuation \
+        keeps the string open across the newline: println!(oops)";
+    let raw = r#"raw string: unimplemented!( " inner quote "# ;
+    let raw_hashes = r##"two "# hashes: thread::scope( "##;
+    let byte = b"byte string with dbg!(1) inside";
+    let byte_raw = br#"raw byte string: panic!("x")"#;
+    let _ = (plain, escaped, continued, raw, raw_hashes, byte, byte_raw);
+    "ok"
+}
+
+fn chars_and_lifetimes<'a>(x: &'a str) -> char {
+    let quote = '"'; // a double-quote char must not open a string
+    let escaped_quote = '\''; // escaped single quote
+    let newline = '\n';
+    let byte_char = b'x';
+    let label = 'outer: loop {
+        break 'outer;
+    };
+    let _ = (quote, escaped_quote, newline, byte_char, label, x);
+    '?'
+}
+
+fn raw_identifiers() -> u32 {
+    // `r#type` is a raw identifier, not the start of a raw string.
+    let r#type = 1u32;
+    let r#fn = 2u32;
+    r#type + r#fn
+}
+
+fn numeric_soup() -> f64 {
+    let range: Vec<u32> = (1..4).collect(); // `1..4` is not a float
+    let method = 7u64.max(3); // `7u64.max` is not a float either
+    let float = 1.5_f64 + 2e3 + 0x_1f as f64 + 0b1010 as f64 + 0o77 as f64;
+    let suffixed = 1f64 + 3.0f32 as f64;
+    float + suffixed + range.len() as f64 + method as f64
+}
+
+fn unicode_identifiers() -> &'static str {
+    let größe = "utf-8 in idents and strings: ≠ ±";
+    größe
+}

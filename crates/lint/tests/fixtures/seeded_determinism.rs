@@ -1,0 +1,45 @@
+//! Lint fixture: a library file seeded with one violation per determinism
+//! rule. Never compiled — consumed by `tests/gate.rs`, which plants it in a
+//! synthetic workspace and asserts the pass reports exactly the seeded
+//! lines.
+
+use std::collections::HashMap; // seeded: no-hash-iter (line 6)
+
+fn wall_clock_ms() -> u128 {
+    let now = std::time::SystemTime::now(); // seeded: no-system-time (line 9)
+    now.elapsed().map(|d| d.as_millis()).unwrap_or(0)
+}
+
+fn stopwatch() -> std::time::Instant {
+    std::time::Instant::now() // seeded: no-system-time (line 14)
+}
+
+fn roll_unseeded() -> u64 {
+    let mut rng = rand::thread_rng(); // seeded: no-unseeded-rng (line 18)
+    rng.next_u64()
+}
+
+fn roll_seeded() -> u64 {
+    let mut rng = StdRng::seed_from_u64(42); // ok: explicitly seeded
+    rng.next_u64()
+}
+
+fn sanctioned_lookup_table() -> usize {
+    // lint:allow(no-hash-iter) -- fixture: suppressed, must NOT be reported
+    let table: HashMap<u32, u32> = HashMap::new();
+    table.len()
+}
+
+fn mentions_in_text() -> &'static str {
+    // HashMap, SystemTime and thread_rng() in comments/strings do not count.
+    "HashMap SystemTime Instant::now thread_rng OsRng"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_hash_and_clocks() {
+        let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let _ = (m, std::time::Instant::now());
+    }
+}

@@ -1,0 +1,157 @@
+//! Lexer regression tests over the fixture corpus, plus an agreement check
+//! between the token-based rule matchers and a reimplementation of the v1
+//! line-level engine (masked-substring search). The corpus deliberately
+//! contains every masker edge case — raw strings with hashes, nested block
+//! comments, `'\''` literals, `\`-newline continuations — so a lexer
+//! regression shows up as either a losslessness failure or a token/line
+//! disagreement.
+
+use seeker_lint::lex;
+use seeker_lint::mask::mask_source;
+use seeker_lint::rules::{lint_source, FileClass, Rule};
+use seeker_lint::tokens::TokenKind;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+const CORPUS: &[&str] = &[
+    "lexer_edges.rs",
+    "seeded_violations.rs",
+    "seeded_features.rs",
+    "seeded_lib_root.rs",
+    "seeded_determinism.rs",
+];
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+#[test]
+fn corpus_lexes_losslessly() {
+    for name in CORPUS {
+        let source = fixture(name);
+        let tokens = lex(&source);
+        let rebuilt: String = tokens.iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, source, "{name}: token concatenation must rebuild the source");
+        // Spans are contiguous and line numbers match the newline count.
+        let mut expected_start = 0usize;
+        for t in &tokens {
+            assert_eq!(t.start, expected_start, "{name}: gap before {t:?}");
+            expected_start = t.end();
+            let line = 1 + source[..t.start].matches('\n').count();
+            assert_eq!(t.line, line, "{name}: wrong line for {t:?}");
+        }
+        assert_eq!(expected_start, source.len(), "{name}: trailing gap");
+    }
+}
+
+#[test]
+fn lexer_edges_tokens_are_classified_correctly() {
+    let source = fixture("lexer_edges.rs");
+    let tokens = lex(&source);
+    let texts: Vec<(TokenKind, &str)> = tokens.iter().map(|t| (t.kind, t.text)).collect();
+
+    // Nested block comment is one token, rule-bait safely inside.
+    assert!(texts
+        .iter()
+        .any(|(k, x)| *k == TokenKind::BlockComment && x.contains("deeper .unwrap()")));
+    // Raw strings with zero, one and two hashes each stay one token.
+    assert!(texts.iter().any(|(k, x)| *k == TokenKind::RawStr && x.contains("unimplemented!")));
+    assert!(texts.iter().any(|(k, x)| *k == TokenKind::RawStr && x.contains(r##"two "# hashes"##)));
+    assert!(texts
+        .iter()
+        .any(|(k, x)| *k == TokenKind::RawStr && x.starts_with("br#") && x.contains("panic!")));
+    // The `\`-newline continuation stays inside one Str token.
+    assert!(texts
+        .iter()
+        .any(|(k, x)| *k == TokenKind::Str && x.contains("continuation") && x.contains('\n')));
+    // Char literals, including the escaped quote, and byte chars.
+    assert!(texts.iter().any(|(k, x)| *k == TokenKind::Char && *x == "'\"'"));
+    assert!(texts.iter().any(|(k, x)| *k == TokenKind::Char && *x == r"'\''"));
+    assert!(texts.iter().any(|(k, x)| *k == TokenKind::Char && *x == "b'x'"));
+    // Lifetimes and labels are not char literals.
+    assert!(texts.iter().any(|(k, x)| *k == TokenKind::Lifetime && *x == "'a"));
+    assert!(texts.iter().any(|(k, x)| *k == TokenKind::Lifetime && *x == "'outer"));
+    // Raw identifiers are idents, not raw strings.
+    assert!(texts.iter().any(|(k, x)| *k == TokenKind::Ident && *x == "r#type"));
+    // `1..4` splits into Int/Punct/Int; `1.5_f64` and `2e3` are floats.
+    assert!(texts.iter().any(|(k, x)| *k == TokenKind::Punct && *x == ".."));
+    assert!(texts.iter().any(|(k, x)| *k == TokenKind::Float && *x == "1.5_f64"));
+    assert!(texts.iter().any(|(k, x)| *k == TokenKind::Float && *x == "2e3"));
+    assert!(texts.iter().any(|(k, x)| *k == TokenKind::Int && *x == "0x_1f"));
+    // Unicode identifier survives as a single token.
+    assert!(texts.iter().any(|(k, x)| *k == TokenKind::Ident && *x == "größe"));
+}
+
+#[test]
+fn lexer_edges_fixture_is_rule_clean() {
+    // Everything suspicious in the file lives inside comments or literals,
+    // so the rules must report nothing.
+    let source = fixture("lexer_edges.rs");
+    let violations = lint_source(Path::new("crates/x/src/edges.rs"), FileClass::Library, &source);
+    assert!(
+        violations.is_empty(),
+        "expected no violations:\n{}",
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+/// The v1 engine, reconstructed: substring search over the masked source,
+/// line-based `lint:allow` escapes, and a trailing `#[cfg(test)]` region.
+/// Only rules whose v1 matcher was a plain substring test are modelled.
+fn legacy_rule_lines(source: &str, rule: Rule) -> BTreeSet<usize> {
+    let patterns: &[&str] = match rule {
+        Rule::NoPanic => &[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"],
+        Rule::ThreadSpawn => &["thread::spawn", "thread::scope"],
+        Rule::NoPrint => &["println!", "eprintln!", "print!", "eprint!"],
+        _ => panic!("no legacy model for {rule:?}"),
+    };
+    let masked = mask_source(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut test_region_start = usize::MAX;
+    for (idx, line) in raw_lines.iter().enumerate() {
+        let t = line.trim();
+        if t.starts_with("#[cfg(") && t.contains("test") {
+            test_region_start = idx;
+            break;
+        }
+    }
+    let allow_marker = format!("lint:allow({})", rule.id());
+    let mut hits = BTreeSet::new();
+    for (idx, line) in masked.lines().enumerate() {
+        if idx >= test_region_start {
+            continue;
+        }
+        if !patterns.iter().any(|p| line.contains(p)) {
+            continue;
+        }
+        let allowed = raw_lines.get(idx).is_some_and(|l| l.contains(&allow_marker))
+            || (idx > 0 && raw_lines.get(idx - 1).is_some_and(|l| l.contains(&allow_marker)));
+        if !allowed {
+            hits.insert(idx + 1);
+        }
+    }
+    hits
+}
+
+#[test]
+fn token_rules_agree_with_the_legacy_line_engine() {
+    for name in CORPUS {
+        let source = fixture(name);
+        let violations =
+            lint_source(Path::new("crates/x/src/planted.rs"), FileClass::Library, &source);
+        for rule in [Rule::NoPanic, Rule::ThreadSpawn, Rule::NoPrint] {
+            let token_lines: BTreeSet<usize> =
+                violations.iter().filter(|v| v.rule == rule).map(|v| v.line).collect();
+            let legacy_lines = legacy_rule_lines(&source, rule);
+            assert_eq!(
+                token_lines,
+                legacy_lines,
+                "{name}: token and legacy engines disagree on {}",
+                rule.id()
+            );
+        }
+    }
+}

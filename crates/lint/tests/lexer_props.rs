@@ -1,0 +1,102 @@
+//! Property tests for the lexer's losslessness contract: for *any* input —
+//! well-formed Rust assembled from snippets or outright byte soup — the
+//! lexed tokens tile the source exactly (concatenating their texts rebuilds
+//! the input, spans are contiguous, line numbers equal one plus the number
+//! of preceding newlines).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use seeker_lint::lex;
+
+/// Rust-ish fragments covering every token class the lexer distinguishes,
+/// including the masker edge cases (raw strings, nested comments, escaped
+/// quotes, continuations) and pathological partial tokens.
+const SNIPPETS: &[&str] = &[
+    "fn f() { x.unwrap() }",
+    "let s = \"a\\\"b\";",
+    "let s = \"two \\\n lines\";",
+    "// line comment panic!()\n",
+    "/// doc .expect(\"x\")\n",
+    "/* block == 1.0 */",
+    "/* nested /* deep */ outer */",
+    "r#\"raw \" string\"#",
+    "r##\"two \"# hashes\"##",
+    "b\"bytes\"",
+    "br#\"raw bytes\"#",
+    "'x'",
+    "'\\''",
+    "'\\n'",
+    "b'q'",
+    "'static",
+    "'outer: loop {}",
+    "r#type",
+    "1..4",
+    "1.5_f64",
+    "2e3",
+    "1f64",
+    "0x_1f",
+    "0b1010",
+    "7u64.max(3)",
+    "a <<= 1; b >>= 2; c ..= 3",
+    "x::<Vec<u8>>()",
+    "größe ≠ ±",
+    "#[cfg(test)]",
+    "\"unterminated",
+    "/* unterminated",
+    "r#\"unterminated",
+    "'",
+    "\\",
+];
+
+const SEPARATORS: &[&str] = &[" ", "\n", "", "\t", ";\n"];
+
+/// Checks the full losslessness contract for one input.
+fn assert_lossless(source: &str) -> Result<(), TestCaseError> {
+    let tokens = lex(source);
+    let rebuilt: String = tokens.iter().map(|t| t.text).collect();
+    prop_assert!(rebuilt == source, "token concatenation must rebuild {source:?}, got {rebuilt:?}");
+    let mut expected_start = 0usize;
+    for t in &tokens {
+        prop_assert_eq!(t.start, expected_start, "gap or overlap before {:?}", t);
+        expected_start = t.end();
+        let line = 1 + source[..t.start].matches('\n').count();
+        prop_assert_eq!(t.line, line, "wrong line number for {:?}", t);
+    }
+    prop_assert_eq!(expected_start, source.len(), "trailing gap");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn snippet_assemblies_lex_losslessly(
+        parts in vec((0usize..SNIPPETS.len(), 0usize..SEPARATORS.len()), 0..24),
+    ) {
+        let mut source = String::new();
+        for &(snippet, sep) in &parts {
+            source.push_str(SNIPPETS[snippet]);
+            source.push_str(SEPARATORS[sep]);
+        }
+        assert_lossless(&source)?;
+    }
+
+    #[test]
+    fn unicode_soup_lexes_losslessly(codes in vec(any::<u32>(), 0..120)) {
+        // Map arbitrary u32s onto the low planes (skipping the surrogate
+        // range), so multi-byte UTF-8 and controls are exercised.
+        let source: String = codes
+            .iter()
+            .map(|&c| char::from_u32(c % 0xD800).unwrap_or('\u{FFFD}'))
+            .collect();
+        assert_lossless(&source)?;
+    }
+
+    #[test]
+    fn ascii_soup_lexes_losslessly(bytes in vec(any::<u8>(), 0..160)) {
+        // Dense ASCII punctuation soup: maximizes operator/partial-token
+        // boundary coverage (quotes, backslashes, hash runs, dots).
+        let source: String = bytes.iter().map(|&b| char::from(b % 0x80)).collect();
+        assert_lossless(&source)?;
+    }
+}
