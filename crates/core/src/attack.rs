@@ -5,6 +5,7 @@ use seeker_graph::SocialGraph;
 use seeker_ml::BinaryMetrics;
 use seeker_trace::{Dataset, UserPair};
 
+use crate::candidates::{candidate_universe, CandidateUniverse};
 use crate::config::FriendSeekerConfig;
 use crate::error::Result;
 use crate::pairs::{all_pairs, ground_truth_labels};
@@ -21,7 +22,7 @@ use crate::phase2::{train_phase2, IterationTrace, Phase2Model};
 /// let target = generate(&SyntheticConfig::synth_gowalla(2))?.dataset;
 /// let attack = FriendSeeker::new(FriendSeekerConfig::default());
 /// let trained = attack.train(&train)?;
-/// let result = trained.infer(&target);
+/// let result = trained.infer(&target)?;
 /// println!("predicted {} friendships", result.final_graph().n_edges());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -107,20 +108,85 @@ impl TrainedAttack {
         self.train_trace.as_ref()
     }
 
-    /// Runs the attack over **all** pairs of the target dataset.
+    /// Runs the attack over the target dataset's pair universe.
     ///
-    /// Quadratic in users; for large targets prefer
-    /// [`TrainedAttack::infer_pairs`] with a candidate list.
-    pub fn infer(&self, target: &Dataset) -> InferenceResult {
-        self.infer_pairs(target, all_pairs(target))
+    /// By default the quadratic universe is pruned to co-occurrence
+    /// candidates (pairs sharing ≥ 1 STD cell); the never-co-located
+    /// residue is counted and covered by classifier `C`'s cached all-zero
+    /// JOC prediction (see [`crate::candidates`]). If that prediction
+    /// clears the decision threshold, pruning would flip real decisions,
+    /// so the run logs the event and falls back to the full universe.
+    /// `SEEKER_FULL_REFINE=1` forces the full universe *and* full
+    /// per-iteration recomputation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::AttackError::PairUniverse`] if the universe size
+    /// does not fit the platform.
+    pub fn infer(&self, target: &Dataset) -> Result<InferenceResult> {
+        if crate::phase2::full_refine_from_env() {
+            return self.infer_full(target);
+        }
+        let universe = candidate_universe(&self.phase1, target)?;
+        if universe.residue_predicted_friend {
+            seeker_obs::counter!("attack.candidates.fallback_full", 1);
+            seeker_obs::info!(
+                "attack.candidates: zero-JOC probability {:.4} >= threshold {:.4}; residue pruning unsound, using full universe",
+                universe.residue_probability,
+                self.phase1.threshold()
+            );
+            let mut result = self.infer_pairs(target, all_pairs(target)?);
+            result.candidates = Some(universe);
+            return Ok(result);
+        }
+        if universe.pairs.is_empty() {
+            // No pair ever co-occupies a cell and the zero-JOC prediction
+            // is "not friends": the answer is the empty graph, no classifier
+            // run needed.
+            return Ok(InferenceResult {
+                pairs: Vec::new(),
+                trace: IterationTrace {
+                    graphs: vec![SocialGraph::new(target.n_users())],
+                    change_ratios: Vec::new(),
+                    converged: true,
+                },
+                candidates: Some(universe),
+            });
+        }
+        let pairs = universe.pairs.clone();
+        let mut result = self.infer_pairs(target, pairs);
+        result.candidates = Some(universe);
+        Ok(result)
     }
 
-    /// Runs the attack over an explicit candidate pair list.
+    /// Runs the attack over the **full** quadratic universe with full
+    /// per-iteration recomputation — the reference path the candidate +
+    /// incremental mode is contract-tested against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::AttackError::PairUniverse`] if the universe size
+    /// does not fit the platform.
+    pub fn infer_full(&self, target: &Dataset) -> Result<InferenceResult> {
+        Ok(self.infer_pairs_full(target, all_pairs(target)?))
+    }
+
+    /// Runs the attack over an explicit candidate pair list, reusing clean
+    /// pair features (and predictions) across refinement iterations.
     pub fn infer_pairs(&self, target: &Dataset, pairs: Vec<UserPair>) -> InferenceResult {
         let _span = seeker_obs::span!("attack.infer");
         seeker_obs::counter!("core.pairs_evaluated", pairs.len() as u64);
         let trace = self.phase2.infer(&self.cfg, &self.phase1, target, &pairs);
-        InferenceResult { pairs, trace }
+        InferenceResult { pairs, trace, candidates: None }
+    }
+
+    /// Runs the attack over an explicit pair list with full per-iteration
+    /// recomputation (no feature reuse) — the incremental path's reference.
+    pub fn infer_pairs_full(&self, target: &Dataset, pairs: Vec<UserPair>) -> InferenceResult {
+        let _span = seeker_obs::span!("attack.infer");
+        seeker_obs::counter!("core.pairs_evaluated", pairs.len() as u64);
+        let trace = self.phase2.infer_impl(&self.cfg, &self.phase1, target, &pairs, true);
+        InferenceResult { pairs, trace, candidates: None }
     }
 }
 
@@ -131,6 +197,9 @@ pub struct InferenceResult {
     pub pairs: Vec<UserPair>,
     /// The graph sequence `G⁰ … Gᶠⁱⁿᵃˡ`.
     pub trace: IterationTrace,
+    /// The universe split behind a candidate-mode run ([`TrainedAttack::infer`]);
+    /// `None` when the caller supplied the pair list explicitly.
+    pub candidates: Option<CandidateUniverse>,
 }
 
 impl InferenceResult {
@@ -254,18 +323,31 @@ mod tests {
     }
 
     #[test]
-    fn infer_all_pairs_has_quadratic_universe() {
+    fn infer_full_has_quadratic_universe() {
         let train = generate(&SyntheticConfig::small(64)).unwrap().dataset;
         let attack = FriendSeeker::new(FriendSeekerConfig::fast());
         let trained = attack.train(&train).unwrap();
         let target = generate(&SyntheticConfig::small(65)).unwrap().dataset;
-        let result = trained.infer(&target);
+        let full = trained.infer_full(&target).unwrap();
         let n = target.n_users();
-        assert_eq!(result.pairs.len(), n * (n - 1) / 2);
+        assert_eq!(full.pairs.len(), n * (n - 1) / 2);
         // Sanity: every predicted edge is a valid user pair.
-        for e in result.final_graph().edges() {
+        for e in full.final_graph().edges() {
             assert!(e.hi().index() < n);
             assert_ne!(e.lo(), UserId::new(e.hi().raw()));
+        }
+        // Candidate mode accounts for every pair of the same universe:
+        // scored candidates plus the counted zero-JOC residue — or, when
+        // the zero-JOC prediction is "friend" (pruning would flip real
+        // decisions), the documented fallback to the full universe.
+        let result = trained.infer(&target).unwrap();
+        let u = result.candidates.as_ref().expect("infer records its universe split");
+        assert_eq!(u.n_total, (n * (n - 1) / 2) as u64);
+        assert_eq!(u.pairs.len() as u64 + u.n_residue, u.n_total);
+        if u.residue_predicted_friend {
+            assert_eq!(result.pairs.len() as u64, u.n_total, "fallback must cover the universe");
+        } else {
+            assert_eq!(result.pairs.len() as u64 + u.n_residue, u.n_total);
         }
     }
 }

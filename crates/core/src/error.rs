@@ -12,6 +12,12 @@ pub enum AttackError {
     /// The dataset cannot support the requested operation (e.g. no labeled
     /// pairs to train on).
     Data(String),
+    /// The pair universe `n·(n−1)/2` does not fit the platform's address
+    /// space (or the `u32` user-id range), so enumerating it would overflow.
+    PairUniverse {
+        /// The offending user count.
+        n_users: usize,
+    },
     /// An error from the trace substrate.
     Trace(seeker_trace::TraceError),
 }
@@ -21,6 +27,9 @@ impl fmt::Display for AttackError {
         match self {
             AttackError::Config(m) => write!(f, "invalid configuration: {m}"),
             AttackError::Data(m) => write!(f, "unusable data: {m}"),
+            AttackError::PairUniverse { n_users } => {
+                write!(f, "pair universe overflow: {n_users} users imply more pairs than the platform can index")
+            }
             AttackError::Trace(e) => write!(f, "trace error: {e}"),
         }
     }

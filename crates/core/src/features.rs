@@ -134,7 +134,7 @@ mod tests {
             let ds = generate(&SyntheticConfig::small(41)).unwrap().dataset;
             let cfg = FriendSeekerConfig::fast();
             let training = train_phase1(&cfg, &ds).unwrap();
-            let pairs = all_pairs(&ds);
+            let pairs = all_pairs(&ds).unwrap();
             (ds, training.model, pairs)
         })
     }

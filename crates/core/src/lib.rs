@@ -20,7 +20,7 @@
 //! let train = generate(&SyntheticConfig::synth_brightkite(1))?.dataset;
 //! let target = generate(&SyntheticConfig::synth_brightkite(2))?.dataset;
 //! let trained = FriendSeeker::new(FriendSeekerConfig::default()).train(&train)?;
-//! let result = trained.infer(&target);
+//! let result = trained.infer(&target)?;
 //! let metrics = result.evaluate(&target);
 //! println!("F1 = {:.3}", metrics.f1());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -30,6 +30,8 @@
 #![deny(missing_docs)]
 
 mod attack;
+/// Co-occurrence candidate generation over the STD cell index.
+pub mod candidates;
 mod config;
 mod error;
 /// Pairwise feature extraction from JOC cuboids (§IV-B).
@@ -42,9 +44,13 @@ pub mod persist;
 pub mod phase1;
 /// Phase 2: iterative k-hop refinement (§IV-C).
 pub mod phase2;
+#[cfg(test)]
+mod proptests;
 
 /// The end-to-end two-phase attack entry points.
 pub use attack::{FriendSeeker, InferenceResult, TrainedAttack};
+/// Co-occurrence candidate universe split.
+pub use candidates::{candidate_universe, CandidateUniverse};
 /// Attack hyper-parameters.
 pub use config::{ClassifierKind, FriendSeekerConfig};
 /// Typed attack errors.

@@ -7,6 +7,8 @@
 
 use seeker_trace::{stats, Dataset, UserId, UserPair};
 
+use crate::error::{AttackError, Result};
+
 /// A labeled pair set.
 #[derive(Debug, Clone, Default)]
 pub struct LabeledPairs {
@@ -41,6 +43,11 @@ impl LabeledPairs {
 /// Builds a labeled pair set from the dataset's ground truth: every friend
 /// pair, plus `negative_ratio` × as many uniformly sampled non-friend pairs.
 /// Deterministic in `seed`.
+///
+/// The negative sample can fall short of the requested count only when the
+/// dataset has fewer than `negative_ratio × n_links` distinct non-friend
+/// pairs; [`stats::sample_non_friend_pairs`] otherwise completes the sample
+/// with a deterministic sweep, so near-exhaustion no longer truncates it.
 pub fn labeled_pairs(ds: &Dataset, negative_ratio: f64, seed: u64) -> LabeledPairs {
     let mut pairs: Vec<UserPair> = ds.friendships().collect();
     let n_pos = pairs.len();
@@ -52,23 +59,37 @@ pub fn labeled_pairs(ds: &Dataset, negative_ratio: f64, seed: u64) -> LabeledPai
     LabeledPairs { pairs, labels }
 }
 
+/// The size of the pair universe `n·(n−1)/2`, checked against the platform.
+///
+/// Returns [`AttackError::PairUniverse`] when the count does not fit a
+/// `usize` or when `n_users` exceeds the `u32` user-id range — previously
+/// `all_pairs` silently truncated ids through `n as u32` and could overflow
+/// its `Vec::with_capacity` arithmetic in release builds.
+pub fn pair_universe_size(n_users: usize) -> Result<usize> {
+    let n = n_users as u128;
+    let total = n * (n.saturating_sub(1)) / 2;
+    if n_users > u32::MAX as usize || total > usize::MAX as u128 {
+        return Err(AttackError::PairUniverse { n_users });
+    }
+    Ok(total as usize)
+}
+
 /// Every unordered pair of users in the dataset, in canonical order.
 ///
 /// Quadratic — intended for the inference stage over a target dataset, where
-/// the attacker must decide *every* pair (Definition 7).
-pub fn all_pairs(ds: &Dataset) -> Vec<UserPair> {
+/// the attacker must decide *every* pair (Definition 7). Fails with
+/// [`AttackError::PairUniverse`] if the universe cannot be indexed on this
+/// platform (see [`pair_universe_size`]).
+pub fn all_pairs(ds: &Dataset) -> Result<Vec<UserPair>> {
     let n = ds.n_users();
-    if n == 0 {
-        // `n * (n - 1)` underflows in debug builds on an empty dataset.
-        return Vec::new();
-    }
-    let mut out = Vec::with_capacity(n * (n - 1) / 2);
+    let total = pair_universe_size(n)?;
+    let mut out = Vec::with_capacity(total);
     for a in 0..n as u32 {
         for b in (a + 1)..n as u32 {
             out.push(UserPair::new(UserId::new(a), UserId::new(b)));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Ground-truth labels for an arbitrary pair list.
@@ -117,7 +138,7 @@ mod tests {
     fn all_pairs_count_is_choose_two() {
         let ds = ds();
         let n = ds.n_users();
-        assert_eq!(all_pairs(&ds).len(), n * (n - 1) / 2);
+        assert_eq!(all_pairs(&ds).unwrap().len(), n * (n - 1) / 2);
     }
 
     #[test]
@@ -125,16 +146,53 @@ mod tests {
         // Regression: `n * (n - 1)` underflowed (debug panic) when n == 0.
         let empty = seeker_trace::DatasetBuilder::new("empty").build().unwrap();
         assert_eq!(empty.n_users(), 0);
-        assert!(all_pairs(&empty).is_empty());
+        assert!(all_pairs(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pair_universe_size_rejects_overflow() {
+        // Regression: `all_pairs` used `Vec::with_capacity(n * (n - 1) / 2)`
+        // in usize and truncated ids through `n as u32`; both now surface as
+        // a typed error instead of release-mode wraparound.
+        assert_eq!(pair_universe_size(0).unwrap(), 0);
+        assert_eq!(pair_universe_size(1).unwrap(), 0);
+        assert_eq!(pair_universe_size(5).unwrap(), 10);
+        let beyond_u32 = u32::MAX as usize + 1;
+        assert!(matches!(
+            pair_universe_size(beyond_u32),
+            Err(AttackError::PairUniverse { n_users }) if n_users == beyond_u32
+        ));
+        assert!(matches!(pair_universe_size(usize::MAX), Err(AttackError::PairUniverse { .. })));
     }
 
     #[test]
     fn ground_truth_labels_match() {
         let ds = ds();
-        let pairs = all_pairs(&ds);
+        let pairs = all_pairs(&ds).unwrap();
         let labels = ground_truth_labels(&ds, &pairs);
         let positives = labels.iter().filter(|&&y| y).count();
         assert_eq!(positives, ds.n_links());
+    }
+
+    #[test]
+    fn labeled_pairs_alignment_survives_shortfall() {
+        // Regression: when the negative sampler returns fewer pairs than
+        // requested, the label vector must still align 1:1 with the pairs
+        // (`repeat_n(false, negatives.len())`, not `n_neg`).
+        let ds = ds();
+        let lp = labeled_pairs(&ds, 1e6, 11);
+        assert_eq!(lp.pairs.len(), lp.labels.len());
+        assert!(lp.len() < ds.n_users() * (ds.n_users() - 1) / 2 + 1);
+        for (pair, &label) in lp.pairs.iter().zip(lp.labels.iter()) {
+            assert_eq!(label, ds.are_friends(pair.lo(), pair.hi()));
+        }
+        // With an absurd ratio the sampler exhausts the non-friend universe:
+        // every non-friend pair appears exactly once.
+        let n_neg = lp.len() - lp.n_positive();
+        let universe = ds.n_users() * (ds.n_users() - 1) / 2;
+        assert_eq!(n_neg, universe - ds.n_links());
+        let uniq: std::collections::BTreeSet<_> = lp.pairs.iter().collect();
+        assert_eq!(uniq.len(), lp.pairs.len(), "duplicate pair in labeled set");
     }
 
     #[test]

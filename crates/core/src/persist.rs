@@ -242,13 +242,11 @@ fn spatial_param(cfg: &FriendSeekerConfig) -> SpatialParam {
     }
 }
 
-/// The last instant covered by the division's slots, chosen so rebuilding
-/// with `TimeSlots::new(origin, end, tau)` reproduces the slot count.
+/// The last instant covered by the division's slots. `TimeSlots` records
+/// its exact span, so rebuilding with `TimeSlots::new(origin, end, tau)`
+/// reproduces the slot count (and the out-of-range boundary) verbatim.
 fn end_of(division: &SpatialTemporalDivision) -> Timestamp {
-    let slots = division.slots();
-    Timestamp::from_secs(
-        slots.origin().as_secs() + slots.slot_secs() * (slots.n_slots() as i64 - 1),
-    )
+    division.slots().end()
 }
 
 fn write_u32(out: &mut Vec<u8>, v: u32) {

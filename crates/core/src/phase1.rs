@@ -207,6 +207,28 @@ impl Phase1Model {
         self.predict_proba(ds, pairs).into_iter().map(|p| p >= self.threshold).collect()
     }
 
+    /// Friend probability classifier `C` assigns to the **all-zero** JOC —
+    /// the presence input of a pair with no check-ins inside the division.
+    ///
+    /// Candidate-mode inference scores the never-co-located residue with a
+    /// single cached prediction; this is that prediction, computed through
+    /// whichever classifier variant the model carries.
+    pub fn zero_joc_proba(&self) -> f64 {
+        let zero: SparseRow = Vec::new();
+        if let Some(knn) = &self.knn {
+            return knn.predict_proba_one(&self.autoencoder.encode_one(&zero));
+        }
+        if let Some(forest) = &self.forest {
+            return forest.predict_proba_one(&self.autoencoder.encode_one(&zero));
+        }
+        self.autoencoder
+            .predict_proba(std::slice::from_ref(&zero))
+            .first()
+            .copied()
+            .map(f64::from)
+            .unwrap_or(0.0)
+    }
+
     /// The calibrated decision threshold of classifier `C`.
     pub fn threshold(&self) -> f64 {
         self.threshold

@@ -6,6 +6,16 @@
 //! composite vector to classifier `C'` (an RBF SVM). The classifier's
 //! decisions form the next graph; iteration stops when fewer than the
 //! convergence threshold of edges change (1 % in the paper).
+//!
+//! Refinement is *delta-driven*: a pair's composite feature reads only its
+//! k-hop reachable subgraph, and every vertex of a length-≤k simple path
+//! between the endpoints lies within distance `k − 1` of each endpoint. So
+//! after the edge diff `Gⁱ Δ Gⁱ⁻¹` is known, only pairs with **both**
+//! endpoints inside the BFS-`(k − 1)` influence set of a changed edge can
+//! change features; everything else is reused from the previous iteration
+//! bit-for-bit (the crate-private `FeatureCache`). `SEEKER_FULL_REFINE=1` forces the
+//! original full recompute per iteration as an escape hatch; the
+//! `incremental_refine` contract test pins both paths to identical output.
 
 use seeker_graph::SocialGraph;
 use seeker_ml::{Kernel, StandardScaler, Svm};
@@ -58,6 +68,82 @@ impl IterationTrace {
     }
 }
 
+/// Whether the given `SEEKER_FULL_REFINE` value requests the full-recompute
+/// escape hatch. Split from the env read so tests need no `set_var` races.
+pub(crate) fn full_refine_requested(value: Option<&str>) -> bool {
+    matches!(value, Some("1") | Some("true"))
+}
+
+/// Reads the `SEEKER_FULL_REFINE` escape hatch from the environment.
+pub(crate) fn full_refine_from_env() -> bool {
+    full_refine_requested(std::env::var("SEEKER_FULL_REFINE").ok().as_deref())
+}
+
+/// Composite features of a fixed pair list, kept in sync with a refinement
+/// graph sequence by recomputing only *dirty* pairs.
+///
+/// Soundness of the reuse: `composite_feature` reads the pair's k-hop
+/// reachable subgraph, whose every vertex sits within distance `k − 1` of
+/// either endpoint. If neither endpoint is within BFS depth `k − 1` (in the
+/// union of the old and new graph) of a changed-edge endpoint, no vertex the
+/// extraction can visit — in either graph — has changed adjacency, so the
+/// entire DFS trace, and with it the feature, is identical.
+pub(crate) struct FeatureCache {
+    features: Vec<Vec<f32>>,
+    /// The graph the cached features were computed against.
+    graph: SocialGraph,
+}
+
+impl FeatureCache {
+    /// Computes every pair's feature against `graph` (the quadratic path).
+    pub(crate) fn full<F>(graph: &SocialGraph, pairs: &[UserPair], compute: &F) -> Self
+    where
+        F: Fn(&SocialGraph, UserPair) -> Vec<f32> + Sync,
+    {
+        let features = seeker_par::par_map(pairs, |&p| compute(graph, p));
+        FeatureCache { features, graph: graph.clone() }
+    }
+
+    /// Brings the cache up to date with `graph`, recomputing only pairs
+    /// whose k-hop subgraph can see an edge of `graph Δ cached`. Returns the
+    /// sorted indices of the recomputed (dirty) pairs.
+    pub(crate) fn refresh<F>(
+        &mut self,
+        graph: &SocialGraph,
+        pairs: &[UserPair],
+        k: usize,
+        compute: &F,
+    ) -> Vec<usize>
+    where
+        F: Fn(&SocialGraph, UserPair) -> Vec<f32> + Sync,
+    {
+        let diff = seeker_graph::changed_edges(&self.graph, graph);
+        if diff.is_empty() {
+            self.graph = graph.clone();
+            return Vec::new();
+        }
+        let radius = k.saturating_sub(1);
+        let reach = seeker_graph::influence_set(&self.graph, graph, &diff, radius);
+        let dirty: Vec<usize> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| reach[p.lo().index()] && reach[p.hi().index()])
+            .map(|(i, _)| i)
+            .collect();
+        let fresh = seeker_par::par_map(&dirty, |&i| compute(graph, pairs[i]));
+        for (&i, f) in dirty.iter().zip(fresh) {
+            self.features[i] = f;
+        }
+        self.graph = graph.clone();
+        dirty
+    }
+
+    /// The cached feature matrix, aligned with the pair list.
+    pub(crate) fn features(&self) -> &[Vec<f32>] {
+        &self.features
+    }
+}
+
 /// Trains `C'` by iterative refinement on the labeled training pairs.
 ///
 /// Each candidate SVM configuration runs a full refinement loop (a fresh
@@ -100,6 +186,7 @@ pub fn train_phase2(
     // labeled data, so this is free — and it guarantees the refinement
     // never degrades the graph it can measure.
     let mut best: Option<(f64, Phase2Model, IterationTrace)> = None;
+    let force_full = full_refine_from_env();
     for svm_cfg in candidate_svm_configs(cfg) {
         let (mut model, mut trace) = refine(
             cfg,
@@ -111,6 +198,7 @@ pub fn train_phase2(
             &cal_labels,
             g0.clone(),
             true,
+            force_full,
         )?;
         let f1_at: Vec<f64> =
             trace.graphs.iter().map(|g| graph_f1(g, train_pairs, &cal_idx, &cal_labels)).collect();
@@ -162,7 +250,8 @@ fn graph_f1(
 
 /// One full refinement loop. With `fit = true` the scaler + SVM are refit
 /// each iteration on the calibration subset (training); the returned model
-/// is the last iteration's.
+/// is the last iteration's. With `force_full` the composite features are
+/// recomputed from scratch each iteration instead of delta-refreshed.
 #[allow(clippy::too_many_arguments)]
 fn refine(
     cfg: &FriendSeekerConfig,
@@ -174,18 +263,35 @@ fn refine(
     cal_labels: &[bool],
     mut graph: SocialGraph,
     fit: bool,
+    force_full: bool,
 ) -> Result<(Phase2Model, IterationTrace)> {
     debug_assert!(fit, "training-side refinement always refits");
     let mut trace =
         IterationTrace { graphs: vec![graph.clone()], change_ratios: Vec::new(), converged: false };
     let mut model: Option<Phase2Model> = None;
+    let compute = |g: &SocialGraph, p: UserPair| composite_feature(g, p, cfg.k_hop, store);
+    let mut cache = FeatureCache::full(&graph, &train_pairs.pairs, &compute);
+    let mut first = true;
     for _ in 0..cfg.max_iterations {
         let _iter_span = seeker_obs::span!("phase2.train.iter");
-        let features = composite_features(&graph, &train_pairs.pairs, cfg.k_hop, store);
+        if first {
+            // The cache was just built against G⁰.
+            first = false;
+            seeker_obs::counter!("phase2.refine.dirty_pairs", train_pairs.len() as u64);
+        } else if force_full {
+            cache = FeatureCache::full(&graph, &train_pairs.pairs, &compute);
+            seeker_obs::counter!("phase2.refine.dirty_pairs", train_pairs.len() as u64);
+        } else {
+            let dirty = cache.refresh(&graph, &train_pairs.pairs, cfg.k_hop, &compute);
+            seeker_obs::counter!("phase2.refine.dirty_pairs", dirty.len() as u64);
+        }
+        let features = cache.features();
         let cal_features: Vec<Vec<f32>> = cal_idx.iter().map(|&i| features[i].clone()).collect();
         let (scaler, cal_scaled) = StandardScaler::fit_transform(&cal_features);
         let svm = Svm::fit(svm_cfg, &cal_scaled, cal_labels);
-        let preds = svm.predict(&scaler.transform(&features));
+        // The SVM is refit above, so predictions must cover every pair even
+        // when only a few features changed.
+        let preds = svm.predict(&scaler.transform(features));
         let next = graph_from_predictions(train.n_users(), &train_pairs.pairs, &preds);
         let change = graph.change_ratio(&next);
         seeker_obs::counter!("phase2.edge_churn", graph.edge_difference(&next) as u64);
@@ -215,12 +321,28 @@ impl Phase2Model {
     /// Runs the iterative inference procedure on a target dataset: phase-1
     /// features and graph, then repeated `C'` refinement with the *trained*
     /// scaler and SVM (no further fitting), until convergence or the cap.
+    ///
+    /// Iterations after the first recompute features — and, since `C'` is
+    /// frozen here, predictions — only for dirty pairs. The result is
+    /// bit-identical to a full per-iteration recompute (forced via the
+    /// `SEEKER_FULL_REFINE=1` environment variable).
     pub fn infer(
         &self,
         cfg: &FriendSeekerConfig,
         phase1: &Phase1Model,
         target: &Dataset,
         pairs: &[UserPair],
+    ) -> IterationTrace {
+        self.infer_impl(cfg, phase1, target, pairs, full_refine_from_env())
+    }
+
+    pub(crate) fn infer_impl(
+        &self,
+        cfg: &FriendSeekerConfig,
+        phase1: &Phase1Model,
+        target: &Dataset,
+        pairs: &[UserPair],
+        force_full: bool,
     ) -> IterationTrace {
         let _span = seeker_obs::span!("phase2.infer");
         let store = FeatureStore::build(phase1, target, pairs);
@@ -231,11 +353,36 @@ impl Phase2Model {
             change_ratios: Vec::new(),
             converged: self.n_iterations == 0,
         };
+        let compute = |g: &SocialGraph, p: UserPair| composite_feature(g, p, cfg.k_hop, &store);
+        let mut cache: Option<FeatureCache> = None;
+        let mut preds: Vec<bool> = Vec::new();
         for _ in 0..self.n_iterations.min(cfg.max_iterations) {
             let _iter_span = seeker_obs::span!("phase2.infer.iter");
-            let features = composite_features(&graph, pairs, cfg.k_hop, &store);
-            let scaled = self.scaler.transform(&features);
-            let preds = self.svm.predict(&scaled);
+            match cache.as_mut() {
+                None => {
+                    let c = FeatureCache::full(&graph, pairs, &compute);
+                    preds = self.svm.predict(&self.scaler.transform(c.features()));
+                    seeker_obs::counter!("phase2.refine.dirty_pairs", pairs.len() as u64);
+                    cache = Some(c);
+                }
+                Some(c) if force_full => {
+                    *c = FeatureCache::full(&graph, pairs, &compute);
+                    preds = self.svm.predict(&self.scaler.transform(c.features()));
+                    seeker_obs::counter!("phase2.refine.dirty_pairs", pairs.len() as u64);
+                }
+                Some(c) => {
+                    let dirty = c.refresh(&graph, pairs, cfg.k_hop, &compute);
+                    seeker_obs::counter!("phase2.refine.dirty_pairs", dirty.len() as u64);
+                    // C' is frozen at inference time, so a clean feature row
+                    // implies a clean prediction; re-score only dirty rows.
+                    let rows: Vec<Vec<f32>> =
+                        dirty.iter().map(|&i| c.features()[i].clone()).collect();
+                    let fresh = self.svm.predict(&self.scaler.transform(&rows));
+                    for (&i, p) in dirty.iter().zip(fresh) {
+                        preds[i] = p;
+                    }
+                }
+            }
             let next = graph_from_predictions(target.n_users(), pairs, &preds);
             let change = graph.change_ratio(&next);
             seeker_obs::counter!("phase2.edge_churn", graph.edge_difference(&next) as u64);
@@ -292,20 +439,6 @@ impl Phase2Model {
     ) -> Phase2Model {
         Phase2Model { scaler, svm, svm_config, n_iterations }
     }
-}
-
-/// Composite features of all pairs against the current graph.
-///
-/// Each pair's k-hop extraction + embedding reads only the shared graph and
-/// feature store, so the quadratic loop maps across the `seeker_par`
-/// workers with bit-identical output.
-fn composite_features(
-    graph: &SocialGraph,
-    pairs: &[UserPair],
-    k: usize,
-    store: &FeatureStore,
-) -> Vec<Vec<f32>> {
-    seeker_par::par_map(pairs, |&p| composite_feature(graph, p, k, store))
 }
 
 /// Builds the graph implied by per-pair predictions. If a pair is predicted

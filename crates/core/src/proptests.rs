@@ -1,0 +1,76 @@
+//! Property-based tests of the incremental-refinement contract: a
+//! delta-refreshed [`crate::phase2::FeatureCache`] must stay bit-identical
+//! to a full recompute across arbitrary graph/diff sequences.
+
+use proptest::prelude::*;
+use seeker_graph::SocialGraph;
+use seeker_trace::{UserId, UserPair};
+
+use crate::phase2::{path_count_profile, FeatureCache};
+
+/// A structure-reading feature standing in for the composite feature: it
+/// depends on exactly the pair's k-hop subgraph (path counts per length),
+/// so any unsound reuse in the cache shows up as a mismatch.
+fn path_feature(k: usize) -> impl Fn(&SocialGraph, UserPair) -> Vec<f32> + Sync {
+    move |g, p| path_count_profile(g, p, k).iter().map(|&c| c as f32).collect()
+}
+
+fn all_pairs_of(n: usize) -> Vec<UserPair> {
+    let mut out = Vec::new();
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            out.push(UserPair::new(UserId::new(a), UserId::new(b)));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Incremental refresh == full recompute over a random sequence of
+    /// graph mutations, for every pair and every k in the paper's range.
+    #[test]
+    fn feature_cache_refresh_matches_full(
+        n in 3usize..10,
+        k in 2usize..5,
+        init_edges in proptest::collection::vec((0u32..10, 0u32..10), 0..20),
+        steps in proptest::collection::vec(
+            proptest::collection::vec((0u32..10, 0u32..10), 1..5),
+            1..5,
+        ),
+    ) {
+        let compute = path_feature(k);
+        let mut graph = SocialGraph::new(n);
+        for (a, b) in init_edges {
+            let (a, b) = (a % n as u32, b % n as u32);
+            if a != b {
+                graph.add_edge(UserPair::new(UserId::new(a), UserId::new(b)));
+            }
+        }
+        let pairs = all_pairs_of(n);
+        let mut cache = FeatureCache::full(&graph, &pairs, &compute);
+        for flips in steps {
+            // Mutate: toggle a handful of edges (diffs of the kind the
+            // refinement loop produces, including no-op steps).
+            for (a, b) in flips {
+                let (a, b) = (a % n as u32, b % n as u32);
+                if a == b {
+                    continue;
+                }
+                let e = UserPair::new(UserId::new(a), UserId::new(b));
+                if !graph.add_edge(e) {
+                    graph.remove_edge(e);
+                }
+            }
+            let dirty = cache.refresh(&graph, &pairs, k, &compute);
+            prop_assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty indices sorted");
+            let full = FeatureCache::full(&graph, &pairs, &compute);
+            prop_assert_eq!(
+                cache.features(),
+                full.features(),
+                "incremental refresh diverged from full recompute"
+            );
+        }
+    }
+}

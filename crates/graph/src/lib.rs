@@ -20,11 +20,14 @@
 
 /// Degree/component/path statistics over social graphs.
 pub mod analysis;
+mod delta;
 mod graph;
 /// Classic link-prediction scores (CN, Jaccard, AA, RA).
 pub mod heuristics;
 mod khop;
 
+/// Edge-set diffs and dirty-vertex influence sets for incremental refinement.
+pub use delta::{changed_edges, influence_set};
 /// Undirected friendship graph with O(1) edge tests.
 pub use graph::SocialGraph;
 /// k-hop reachable subgraphs (Definition 6, Theorem 1).

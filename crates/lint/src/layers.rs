@@ -12,7 +12,8 @@
 //!     trace  spatial  graph  nn  ml  (substrate layer)
 //!               |
 //!         par  obs              (foundation: par uses only obs,
-//!                                obs depends on nothing)
+//!                                obs depends on nothing; substrate
+//!                                crates may use both)
 //! ```
 //!
 //! Two sources of truth are checked against the declared DAG:
@@ -46,7 +47,7 @@ pub const LAYER_DAG: &[(&str, &[&str])] = &[
     ("seeker-obs", &[]),
     ("seeker-par", &["seeker-obs"]),
     ("seeker-trace", &["seeker-obs"]),
-    ("seeker-spatial", &["seeker-obs", "seeker-trace"]),
+    ("seeker-spatial", &["seeker-obs", "seeker-trace", "seeker-par"]),
     ("seeker-graph", &["seeker-obs", "seeker-trace"]),
     ("seeker-nn", &["seeker-obs", "seeker-par"]),
     ("seeker-ml", &["seeker-obs", "seeker-par"]),

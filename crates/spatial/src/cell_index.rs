@@ -1,0 +1,227 @@
+//! Inverted STD cell index and co-occurrence candidate-pair generation.
+//!
+//! The inference stage of the attack must decide every user pair of the
+//! target dataset (Definition 7), but materializing and scoring all
+//! `n·(n−1)/2` pairs is a hard wall long before production scale. The
+//! empirical studies behind the attack (walk2friends; the co-location
+//! modeling literature) show that pairs who never share a spatial-temporal
+//! cell carry essentially no direct co-occurrence signal: their JOC has
+//! `n_ab = 0` in every cell. [`CellIndex`] inverts the STD — cell → the
+//! sorted set of users checking in there — so the pairs sharing at least
+//! one cell (the *candidate pairs*) can be enumerated in time proportional
+//! to the co-occupancy structure instead of the pair universe. The
+//! complement (the *residue class*) is counted, never materialized; the
+//! attack layer scores it once through a cached zero-feature prediction so
+//! no pair is silently dropped.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use seeker_trace::{Dataset, UserId, UserPair};
+
+use crate::std_division::SpatialTemporalDivision;
+
+/// An inverted index over the STD: for every occupied cell, the sorted set
+/// of users with at least one check-in mapping to it.
+///
+/// Only occupied cells are stored — the index is sized by the data, not by
+/// `I × J`.
+///
+/// ```
+/// use seeker_spatial::{CellIndex, SpatialTemporalDivision};
+/// use seeker_trace::synth::{generate, SyntheticConfig};
+///
+/// let ds = generate(&SyntheticConfig::small(1))?.dataset;
+/// let std = SpatialTemporalDivision::build(&ds, 40, 7.0)?;
+/// let index = CellIndex::build(&ds, &std);
+/// assert!(index.n_occupied_cells() > 0);
+/// let candidates = index.candidate_pairs();
+/// assert!(candidates.len() < ds.n_users() * (ds.n_users() - 1) / 2);
+/// # Ok::<(), seeker_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellIndex {
+    /// `(flat cell index, sorted distinct users)`, sorted by cell.
+    cells: Vec<(usize, Vec<UserId>)>,
+}
+
+impl CellIndex {
+    /// Builds the inverted index of `ds` over `division`.
+    ///
+    /// Check-ins falling outside the division (possible when a target
+    /// dataset is cast into a division built on training data, or after
+    /// obfuscation) are skipped — exactly as JOC construction skips them.
+    pub fn build(ds: &Dataset, division: &SpatialTemporalDivision) -> Self {
+        let _span = seeker_obs::span!("spatial.cell_index.build");
+        let mut map: BTreeMap<usize, BTreeSet<UserId>> = BTreeMap::new();
+        for c in ds.checkins() {
+            if let Some((grid, slot)) = division.cell_of(c) {
+                map.entry(division.flat_index(grid, slot)).or_default().insert(c.user);
+            }
+        }
+        let cells: Vec<(usize, Vec<UserId>)> =
+            map.into_iter().map(|(cell, users)| (cell, users.into_iter().collect())).collect();
+        seeker_obs::counter!("spatial.cell_index.cells", cells.len() as u64);
+        CellIndex { cells }
+    }
+
+    /// Number of occupied cells.
+    pub fn n_occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The sorted users of a flat cell index (empty when unoccupied).
+    pub fn users_in(&self, flat_cell: usize) -> &[UserId] {
+        self.cells
+            .binary_search_by_key(&flat_cell, |&(c, _)| c)
+            .map(|i| self.cells[i].1.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterator over `(flat cell index, sorted users)` in cell order.
+    pub fn cells(&self) -> impl Iterator<Item = (usize, &[UserId])> {
+        self.cells.iter().map(|(c, users)| (*c, users.as_slice()))
+    }
+
+    /// All user pairs sharing at least one cell, in canonical order without
+    /// duplicates — the co-occurrence candidate universe.
+    ///
+    /// Per-cell pair enumeration fans out across the `seeker-par` workers
+    /// (each cell's pair list depends only on that cell); the merge is a
+    /// deterministic sort + dedup, so the output is identical for any
+    /// worker count.
+    pub fn candidate_pairs(&self) -> Vec<UserPair> {
+        let _span = seeker_obs::span!("spatial.cell_index.candidates");
+        let per_cell: Vec<Vec<UserPair>> = seeker_par::par_map(&self.cells, |(_, users)| {
+            let mut out = Vec::with_capacity(users.len().saturating_sub(1) * users.len() / 2);
+            for (i, &a) in users.iter().enumerate() {
+                for &b in &users[i + 1..] {
+                    out.push(UserPair::new(a, b));
+                }
+            }
+            out
+        });
+        let mut pairs: Vec<UserPair> = per_cell.into_iter().flatten().collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        seeker_obs::counter!("spatial.cell_index.candidate_pairs", pairs.len() as u64);
+        pairs
+    }
+}
+
+/// The pairs of users of `ds` sharing at least one cell of `division` — the
+/// co-occurrence candidate universe, in canonical order without duplicates.
+///
+/// Every pair *not* in the returned list has `n_ab = 0` in every cell of
+/// its JOC (the two trajectories never co-occupy a cell).
+pub fn candidate_pairs(ds: &Dataset, division: &SpatialTemporalDivision) -> Vec<UserPair> {
+    CellIndex::build(ds, division).candidate_pairs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+    use seeker_trace::{DatasetBuilder, GeoPoint, Timestamp};
+
+    fn fixture() -> (Dataset, SpatialTemporalDivision) {
+        let ds = generate(&SyntheticConfig::small(17)).unwrap().dataset;
+        let std = SpatialTemporalDivision::build(&ds, 40, 7.0).unwrap();
+        (ds, std)
+    }
+
+    /// Ground truth by definition: the per-user sets of occupied cells.
+    fn user_cells(ds: &Dataset, division: &SpatialTemporalDivision) -> Vec<BTreeSet<usize>> {
+        let mut cells = vec![BTreeSet::new(); ds.n_users()];
+        for c in ds.checkins() {
+            if let Some((g, s)) = division.cell_of(c) {
+                cells[c.user.index()].insert(division.flat_index(g, s));
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn index_matches_per_user_cells() {
+        let (ds, std) = fixture();
+        let index = CellIndex::build(&ds, &std);
+        let cells = user_cells(&ds, &std);
+        for (flat, users) in index.cells() {
+            assert!(users.windows(2).all(|w| w[0] < w[1]), "users sorted and distinct");
+            for &u in users {
+                assert!(cells[u.index()].contains(&flat));
+            }
+        }
+        // Every (user, cell) incidence is indexed.
+        for (u, set) in cells.iter().enumerate() {
+            for &flat in set {
+                assert!(
+                    index
+                        .users_in(flat)
+                        .binary_search(&seeker_trace::UserId::new(u as u32))
+                        .is_ok(),
+                    "user {u} missing from cell {flat}"
+                );
+            }
+        }
+        assert_eq!(index.users_in(usize::MAX), &[] as &[UserId]);
+    }
+
+    #[test]
+    fn candidates_are_exactly_the_cell_sharing_pairs() {
+        let (ds, std) = fixture();
+        let candidates = candidate_pairs(&ds, &std);
+        assert!(candidates.windows(2).all(|w| w[0] < w[1]), "sorted, no dupes");
+        let cells = user_cells(&ds, &std);
+        let candidate_set: BTreeSet<UserPair> = candidates.iter().copied().collect();
+        let n = ds.n_users() as u32;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let share = cells[a as usize].intersection(&cells[b as usize]).next().is_some();
+                let pair = UserPair::new(UserId::new(a), UserId::new(b));
+                assert_eq!(candidate_set.contains(&pair), share, "pair {pair}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_prune_the_universe() {
+        let (ds, std) = fixture();
+        let candidates = candidate_pairs(&ds, &std);
+        let n = ds.n_users();
+        assert!(!candidates.is_empty());
+        assert!(candidates.len() < n * (n - 1) / 2, "co-occurrence must prune something");
+    }
+
+    #[test]
+    fn empty_dataset_has_no_candidates() {
+        // A division needs data, so borrow one from a real dataset and
+        // index a user-disjoint empty-ish dataset against it.
+        let (ds, std) = fixture();
+        let mut b = DatasetBuilder::new("lonely");
+        let p = b.add_poi(GeoPoint::new(0.0, 0.0), 1.0);
+        b.add_checkin(7, p, Timestamp::from_secs(10));
+        b.add_checkin(7, p, Timestamp::from_secs(20));
+        let lonely = b.build().unwrap();
+        let index = CellIndex::build(&lonely, &std);
+        assert!(index.candidate_pairs().is_empty(), "one user cannot form a pair");
+        drop(ds);
+    }
+
+    #[test]
+    fn two_users_one_shared_cell() {
+        let mut b = DatasetBuilder::new("pairworld");
+        let p0 = b.add_poi(GeoPoint::new(0.0, 0.0), 1.0);
+        let p1 = b.add_poi(GeoPoint::new(10.0, 10.0), 1.0);
+        // Users 0 and 1 share p0 at the same time; user 2 is far away.
+        b.add_checkin(0, p0, Timestamp::from_secs(100));
+        b.add_checkin(0, p0, Timestamp::from_secs(200));
+        b.add_checkin(1, p0, Timestamp::from_secs(150));
+        b.add_checkin(1, p0, Timestamp::from_secs(250));
+        b.add_checkin(2, p1, Timestamp::from_secs(100));
+        b.add_checkin(2, p1, Timestamp::from_secs(200));
+        let ds = b.build().unwrap();
+        let std = SpatialTemporalDivision::build(&ds, 1, 7.0).unwrap();
+        let candidates = candidate_pairs(&ds, &std);
+        assert_eq!(candidates, vec![UserPair::new(UserId::new(0), UserId::new(1))]);
+    }
+}

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod cell_index;
 mod joc;
 #[cfg(test)]
 mod proptests;
@@ -27,6 +28,8 @@ mod quadtree;
 mod std_division;
 mod timeslot;
 
+/// Inverted STD cell index and co-occurrence candidate generation.
+pub use cell_index::{candidate_pairs, CellIndex};
 /// Joint occurrence cuboids over STD cells (Definition 4).
 pub use joc::{Joc, JocCell};
 /// Point-region quadtree with σ-capacity leaves.

@@ -1,9 +1,11 @@
 //! Property-based tests of the spatial substrate invariants.
 
+use std::collections::BTreeSet;
+
 use proptest::prelude::*;
 
-use crate::{Joc, Quadtree, SpatialTemporalDivision, TimeSlots};
-use seeker_trace::{DatasetBuilder, GeoPoint, Poi, PoiId, Timestamp};
+use crate::{CellIndex, Joc, Quadtree, SpatialTemporalDivision, TimeSlots};
+use seeker_trace::{DatasetBuilder, GeoPoint, Poi, PoiId, Timestamp, UserId, UserPair};
 
 fn arb_pois(max: usize) -> impl Strategy<Value = Vec<Poi>> {
     proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..max).prop_map(|pts| {
@@ -152,5 +154,64 @@ proptest! {
         // Dense and sparse encodings agree in nnz.
         let nnz_dense = joc.to_dense().iter().filter(|&&v| v != 0.0).count();
         prop_assert_eq!(nnz_dense, joc.sparse_log1p().len());
+    }
+
+    /// Candidate pairs ∪ residue partitions the pair universe *exactly*:
+    /// the candidate list is sorted and duplicate-free, contains precisely
+    /// the pairs sharing ≥ 1 STD cell, and its complement (the residue)
+    /// covers everything else — no pair is lost or double-counted.
+    #[test]
+    fn candidate_pairs_partition_universe(
+        n_users in 2usize..10,
+        n_checkins in 2usize..60,
+        seed in any::<u64>(),
+    ) {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = DatasetBuilder::new("prop");
+        let pois: Vec<_> = (0..6)
+            .map(|i| b.add_poi(GeoPoint::new(i as f64 * 5.0, -(i as f64) * 5.0), 10.0))
+            .collect();
+        for _ in 0..n_checkins {
+            let user = rng.gen_range(0..n_users) as u64;
+            let poi = pois[rng.gen_range(0..pois.len())];
+            b.add_checkin(user, poi, Timestamp::from_secs(rng.gen_range(0..86_400 * 30)));
+        }
+        b.min_checkins(0);
+        let ds = b.build().unwrap();
+        if ds.n_checkins() == 0 || ds.n_users() < 2 {
+            return Ok(());
+        }
+        let std = SpatialTemporalDivision::build(&ds, 2, 3.0).unwrap();
+        let candidates = CellIndex::build(&ds, &std).candidate_pairs();
+
+        // Sorted, duplicate-free.
+        prop_assert!(candidates.windows(2).all(|w| w[0] < w[1]));
+
+        // Ground truth straight from the definition.
+        let mut cells: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); ds.n_users()];
+        for c in ds.checkins() {
+            if let Some((g, s)) = std.cell_of(c) {
+                cells[c.user.index()].insert(std.flat_index(g, s));
+            }
+        }
+        let candidate_set: BTreeSet<UserPair> = candidates.iter().copied().collect();
+        prop_assert_eq!(candidate_set.len(), candidates.len());
+        let n = ds.n_users() as u32;
+        let mut covered = 0usize;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let pair = UserPair::new(UserId::new(a), UserId::new(b));
+                let share = cells[a as usize].intersection(&cells[b as usize]).next().is_some();
+                // Membership is exact, so candidates ∪ complement is the
+                // whole universe with an empty intersection.
+                prop_assert_eq!(candidate_set.contains(&pair), share);
+                covered += 1;
+            }
+        }
+        let total = ds.n_users() * (ds.n_users() - 1) / 2;
+        prop_assert_eq!(covered, total);
+        let residue = total - candidates.len();
+        prop_assert_eq!(candidates.len() + residue, total);
     }
 }

@@ -146,16 +146,21 @@ fn sorted_intersection_count(a: &[UserId], b: &[UserId]) -> usize {
 /// Samples up to `count` distinct non-friend pairs uniformly at random.
 ///
 /// Deterministic in `seed`. Returns fewer pairs than requested only if the
-/// dataset is too small to contain that many non-friend pairs.
+/// dataset genuinely contains fewer non-friend pairs. Rejection sampling is
+/// bounded by an attempt cap; if the cap trips before the sample is full —
+/// which happens near exhaustion, where almost every draw is a duplicate —
+/// the sample is completed by a deterministic sweep of the pair universe in
+/// canonical order, so the documented contract holds for every input.
 pub fn sample_non_friend_pairs(ds: &Dataset, count: usize, seed: u64) -> Vec<UserPair> {
     let n = ds.n_users();
-    let mut out = Vec::with_capacity(count);
     if n < 2 {
-        return out;
+        return Vec::new();
     }
-    let total_pairs = n * (n - 1) / 2;
-    let max_available = total_pairs.saturating_sub(ds.n_links());
-    let count = count.min(max_available);
+    // u128 so huge user counts cannot wrap the availability arithmetic.
+    let total_pairs = (n as u128) * (n as u128 - 1) / 2;
+    let max_available = total_pairs.saturating_sub(ds.n_links() as u128);
+    let count = (count as u128).min(max_available) as usize;
+    let mut out = Vec::with_capacity(count);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen: BTreeSet<UserPair> = BTreeSet::new();
     let mut attempts = 0usize;
@@ -172,6 +177,23 @@ pub fn sample_non_friend_pairs(ds: &Dataset, count: usize, seed: u64) -> Vec<Use
             continue;
         }
         out.push(pair);
+    }
+    // Deterministic completion: the cap tripping means the rejection loop
+    // was thrashing on duplicates, so the remainder is a small fraction of
+    // the universe — sweep it in canonical order.
+    if out.len() < count {
+        'sweep: for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                let pair = UserPair::new(UserId::new(a), UserId::new(b));
+                if ds.are_friends(pair.lo(), pair.hi()) || seen.contains(&pair) {
+                    continue;
+                }
+                out.push(pair);
+                if out.len() == count {
+                    break 'sweep;
+                }
+            }
+        }
     }
     out
 }
@@ -346,6 +368,45 @@ mod tests {
         // 3 users -> 3 pairs, 1 friendship -> 2 non-friend pairs available.
         let pairs = sample_non_friend_pairs(&ds, 100, 3);
         assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn sampling_near_exhaustion_completes_via_sweep() {
+        // Regression: with ~20k pairs and only 20 of them non-friends, the
+        // rejection loop needs ~70k expected attempts to find them all but
+        // was capped at 20·200 + 10 000 = 14 010 — so it silently returned a
+        // short sample despite the doc contract. The deterministic sweep now
+        // completes it.
+        let mut b = DatasetBuilder::new("dense");
+        let p = b.add_poi(GeoPoint::new(0.0, 0.0), 1.0);
+        let n = 200u64;
+        for u in 0..n {
+            b.add_checkin(u, p, Timestamp::from_secs(u as i64));
+            b.add_checkin(u, p, Timestamp::from_secs(1000 + u as i64));
+        }
+        // Friend everyone with everyone, except pairs involving user 0 and
+        // users 180..200 (20 non-friend pairs survive).
+        for a in 0..n {
+            for bb in (a + 1)..n {
+                if a == 0 && bb >= 180 {
+                    continue;
+                }
+                b.add_friendship(a, bb);
+            }
+        }
+        let ds = b.build().unwrap();
+        let expect = 20;
+        let pairs = sample_non_friend_pairs(&ds, 1_000, 5);
+        assert_eq!(pairs.len(), expect, "sampler must exhaust the non-friend universe");
+        let set: BTreeSet<_> = pairs.iter().collect();
+        assert_eq!(set.len(), pairs.len(), "sweep must not duplicate rejection draws");
+        for p in &pairs {
+            assert!(!ds.are_friends(p.lo(), p.hi()));
+            assert_eq!(p.lo(), UserId::new(0));
+            assert!(p.hi().index() >= 180);
+        }
+        // Still deterministic in the seed.
+        assert_eq!(pairs, sample_non_friend_pairs(&ds, 1_000, 5));
     }
 
     #[test]
