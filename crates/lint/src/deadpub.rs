@@ -1,0 +1,256 @@
+//! Dead-`pub` reporting: cross-references the public-API surface (the same
+//! extraction that feeds `api/*.api`) against identifier mentions across
+//! the whole workspace — sources, tests, benches, examples — and lists
+//! `pub` items that nothing outside their defining file refers to.
+//!
+//! Report-only: the output goes to `results/DEADPUB.md` for a human to
+//! review, not to a CI gate. Token-level mention counting cannot see macro
+//! expansion or downstream consumers of a published library, so every entry
+//! is a *candidate* corpse — "demote to `pub(crate)` or delete" is a
+//! judgment call, and the report says which of the two looks right
+//! (internal mentions exist → demote; none anywhere → delete).
+
+use crate::api_lock::extract_workspace_api;
+use crate::lexer::lex;
+use crate::tokens::TokenKind;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Where the report is written, relative to the workspace root.
+pub const DEADPUB_REPORT: &str = "results/DEADPUB.md";
+
+/// One unreferenced `pub` item.
+#[derive(Debug, Clone)]
+pub struct DeadPub {
+    /// The owning crate (package name).
+    pub crate_name: String,
+    /// The defining file, as recorded in the API snapshot.
+    pub file: String,
+    /// The item's signature line from the snapshot.
+    pub signature: String,
+    /// The item's name (the identifier mention counting keyed on).
+    pub name: String,
+    /// Mentions in the item's own file (besides the definition itself:
+    /// `0` means not even self-referenced — likely deletable; `> 0` means
+    /// internally used — a `pub(crate)` candidate).
+    pub own_file_mentions: usize,
+}
+
+/// Extracts the item name from an API-snapshot signature (the identifier
+/// after the item keyword), or `None` for signatures that have no
+/// standalone name (e.g. `impl` headers, tuple fields).
+fn signature_name(signature: &str) -> Option<String> {
+    let mut words = signature.split_whitespace().peekable();
+    while let Some(word) = words.next() {
+        let keyword = matches!(
+            word,
+            "fn" | "struct"
+                | "enum"
+                | "union"
+                | "trait"
+                | "type"
+                | "const"
+                | "static"
+                | "mod"
+                | "macro"
+        );
+        if !keyword {
+            continue;
+        }
+        let name = words.peek()?;
+        let name: String = name.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        if name.is_empty() || name == "r" {
+            return None;
+        }
+        return Some(name);
+    }
+    // Field signatures: `pub total: u64`.
+    let field = signature.strip_prefix("pub ")?;
+    let name: String = field.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if name.is_empty() || field[name.len()..].trim_start().starts_with(':') {
+        if name.is_empty() {
+            return None;
+        }
+        return Some(name);
+    }
+    None
+}
+
+/// Computes the dead-`pub` candidates for the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from traversal or file reads.
+pub fn dead_pub_items(root: &Path) -> io::Result<Vec<DeadPub>> {
+    // The API snapshots give (crate, file, signature) for every pub item.
+    let api = extract_workspace_api(root)?;
+
+    // Count identifier mentions per (name, file) across every Rust source
+    // in the workspace — src, tests, benches, examples — excluding
+    // generated/vendored trees.
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs_files(root, Path::new(""), &mut files)?;
+    let mut mentions: BTreeMap<String, BTreeMap<PathBuf, usize>> = BTreeMap::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        for t in lex(&source) {
+            if t.kind == TokenKind::Ident {
+                *mentions.entry(t.text.to_string()).or_default().entry(rel.clone()).or_insert(0) +=
+                    1;
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for (crate_name, doc) in &api {
+        let crate_dir = doc_crate_dir(root, crate_name);
+        for line in doc.lines() {
+            if line.starts_with('#') || line.trim().is_empty() {
+                continue;
+            }
+            let Some((file, signature)) = line.split_once(": ") else { continue };
+            let Some(name) = signature_name(signature) else { continue };
+            if !seen.insert((crate_name.clone(), name.clone())) {
+                continue;
+            }
+            let def_file = crate_dir.join(file);
+            let by_file = mentions.get(&name);
+            let own =
+                by_file.and_then(|m| m.get(&def_file)).copied().unwrap_or(0).saturating_sub(1); // the definition itself
+            let elsewhere: usize = by_file
+                .map(|m| m.iter().filter(|(f, _)| **f != def_file).map(|(_, c)| c).sum())
+                .unwrap_or(0);
+            if elsewhere == 0 {
+                out.push(DeadPub {
+                    crate_name: crate_name.clone(),
+                    file: file.to_string(),
+                    signature: signature.to_string(),
+                    name,
+                    own_file_mentions: own,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The crate directory an API snapshot's file paths are relative to.
+fn doc_crate_dir(root: &Path, crate_name: &str) -> PathBuf {
+    for info in crate::walk::workspace_crates(root).unwrap_or_default() {
+        if info.name == crate_name {
+            return info.dir;
+        }
+    }
+    PathBuf::new()
+}
+
+/// Recursively collects workspace `.rs` files (relative paths), skipping
+/// vendored/generated trees.
+fn collect_rs_files(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let dir = root.join(rel);
+    let mut entries: Vec<_> = fs::read_dir(&dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let child = rel.join(name.as_ref());
+        if entry.file_type()?.is_dir() {
+            if matches!(name.as_ref(), "target" | "vendor" | "fixtures" | ".git" | "results") {
+                continue;
+            }
+            collect_rs_files(root, &child, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(child);
+        }
+    }
+    Ok(())
+}
+
+/// Renders the report and writes it to [`DEADPUB_REPORT`]; returns the
+/// report path and the number of candidates.
+///
+/// # Errors
+///
+/// Propagates I/O errors from analysis or the report write.
+pub fn write_dead_pub_report(root: &Path) -> io::Result<(PathBuf, usize)> {
+    let items = dead_pub_items(root)?;
+    let path = root.join(DEADPUB_REPORT);
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut doc = String::from(
+        "# Dead-`pub` report\n\n\
+         Generated by `cargo run -p seeker-lint -- --deadpub`. Each entry is a `pub`\n\
+         item no identifier outside its defining file mentions (token-level count\n\
+         over src/tests/benches/examples; macros and external consumers are\n\
+         invisible, so review before acting). *Internal mentions* counts uses\n\
+         within the defining file itself — `> 0` suggests demoting to\n\
+         `pub(crate)`, `0` suggests deleting.\n\n",
+    );
+    if items.is_empty() {
+        doc.push_str("No candidates — every `pub` item is referenced somewhere.\n");
+    } else {
+        doc.push_str("| Crate | File | Item | Internal mentions |\n");
+        doc.push_str("|---|---|---|---|\n");
+        for item in &items {
+            doc.push_str(&format!(
+                "| `{}` | `{}` | `{}` | {} |\n",
+                item.crate_name, item.file, item.signature, item.own_file_mentions
+            ));
+        }
+    }
+    let count = items.len();
+    fs::write(&path, doc)?;
+    Ok((path, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_names_are_extracted() {
+        assert_eq!(signature_name("pub fn add(a: u32, b: u32) -> u32"), Some("add".to_string()));
+        assert_eq!(signature_name("pub struct S"), Some("S".to_string()));
+        assert_eq!(signature_name("pub const LIMIT: usize"), Some("LIMIT".to_string()));
+        assert_eq!(signature_name("pub total: u64"), Some("total".to_string()));
+        assert_eq!(signature_name("pub unsafe fn f()"), Some("f".to_string()));
+    }
+
+    #[test]
+    fn unreferenced_pub_is_reported_and_referenced_is_not() {
+        let root = std::env::temp_dir().join(format!("seeker-lint-dead-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/alpha/src")).expect("mkdir");
+        fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n")
+            .expect("write");
+        fs::write(
+            root.join("crates/alpha/Cargo.toml"),
+            "[package]\nname = \"alpha\"\nversion = \"0.0.0\"\n",
+        )
+        .expect("write");
+        fs::write(
+            root.join("crates/alpha/src/lib.rs"),
+            "//! A.\n#![deny(missing_docs)]\n\n/// Used internally only.\npub fn semi(x: u32) -> u32 { x }\n\n/// Truly dead.\npub fn corpse() {}\n\n/// Live: calls semi.\npub fn live(x: u32) -> u32 { semi(x) }\n",
+        )
+        .expect("write");
+        fs::create_dir_all(root.join("tests")).expect("mkdir");
+        fs::write(root.join("tests/it.rs"), "#[test]\nfn t() { alpha::live(1); }\n")
+            .expect("write");
+        let items = dead_pub_items(&root).expect("deadpub");
+        let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["semi", "corpse"]);
+        // `semi` is used in its own file → pub(crate) candidate; `corpse`
+        // is untouched → delete candidate.
+        assert!(items[0].own_file_mentions > 0);
+        assert_eq!(items[1].own_file_mentions, 0);
+        let (path, count) = write_dead_pub_report(&root).expect("report");
+        assert_eq!(count, 2);
+        assert!(fs::read_to_string(path).expect("read").contains("corpse"));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

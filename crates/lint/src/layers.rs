@@ -94,7 +94,9 @@ pub const LAYER_DAG: &[(&str, &[&str])] = &[
             "seeker-obfuscation",
         ],
     ),
-    ("seeker-lint", &[]),
+    // The lint binary fans per-file lex/parse out over the pool — the only
+    // production crate it may touch (dogfooding seeker-par on coarse units).
+    ("seeker-lint", &["seeker-par"]),
     (
         "friendseeker-repro",
         &[
@@ -174,6 +176,9 @@ pub fn check_layering_with(
         crates.iter().map(|c| (c.lib_name.clone(), c.name.clone())).collect();
 
     for info in &crates {
+        // Independent of DAG membership: a declared-but-unreferenced
+        // dependency is dead weight whether or not the crate is layered.
+        check_unused_deps(root, info, &sources, &mut violations)?;
         let Some(allowed_deps) = allowed.get(info.name.as_str()) else {
             violations.push(LayerViolation {
                 crate_name: info.name.clone(),
@@ -293,6 +298,69 @@ fn check_sources(
                     ),
                 });
             }
+        }
+    }
+    Ok(())
+}
+
+/// Flags `[dependencies]` entries whose library name never appears as an
+/// identifier in the crate's non-test sources (the `unused-dep` rule). A
+/// `# lint:allow(unused-dep)` comment on the entry's line or the line above
+/// sanctions a deliberate keep (e.g. a dependency used only behind a
+/// feature the lint cannot see).
+fn check_unused_deps(
+    root: &Path,
+    info: &CrateInfo,
+    sources: &[crate::walk::SourceFile],
+    violations: &mut Vec<LayerViolation>,
+) -> io::Result<()> {
+    let manifest = fs::read_to_string(root.join(&info.manifest))?;
+    let deps = manifest_dependencies(&manifest);
+    if deps.is_empty() {
+        return Ok(());
+    }
+    // One scan over the crate's non-test sources collects every identifier;
+    // each dependency's lib name is then a set lookup.
+    let src_prefix = info.dir.join("src");
+    let mut idents: BTreeSet<String> = BTreeSet::new();
+    for file in sources {
+        if !file.path.starts_with(&src_prefix) || file.class == FileClass::TestCode {
+            continue;
+        }
+        let source = fs::read_to_string(root.join(&file.path))?;
+        let stream = TokenStream::new(lex(&source));
+        let test_lines = rules::test_region_lines(&stream);
+        for (_, t) in stream.code_iter() {
+            if t.kind == TokenKind::Ident && !test_lines.contains(&t.line) {
+                idents.insert(t.text.to_string());
+            }
+        }
+    }
+    let manifest_lines: Vec<&str> = manifest.lines().collect();
+    for (line_no, dep) in deps {
+        let lib = dep.replace('-', "_");
+        if idents.contains(&lib) {
+            continue;
+        }
+        let allowed = manifest_lines
+            .get(line_no.saturating_sub(1))
+            .is_some_and(|l| l.contains("lint:allow(unused-dep)"))
+            || (line_no >= 2
+                && manifest_lines
+                    .get(line_no - 2)
+                    .is_some_and(|l| l.contains("lint:allow(unused-dep)")));
+        if !allowed {
+            violations.push(LayerViolation {
+                crate_name: info.name.clone(),
+                file: info.manifest.clone(),
+                line: line_no,
+                message: format!(
+                    "[unused-dep] `{dep}` is declared in [dependencies] but `{lib}` never \
+                     appears in `{}`'s non-test sources (remove it, or sanction with \
+                     `# lint:allow(unused-dep)`)",
+                    info.name
+                ),
+            });
         }
     }
     Ok(())

@@ -49,6 +49,12 @@
 
 /// Public-API extraction and the `api/<crate>.api` lockfile.
 pub mod api_lock;
+/// The workspace function call graph.
+pub mod callgraph;
+/// The dead-`pub` report (report-only pass).
+pub mod deadpub;
+/// Hot-path allocation analysis (call-graph pass).
+pub mod hotpath;
 /// The crate-layering DAG and its validation passes.
 pub mod layers;
 /// The hand-rolled lossless Rust lexer.
@@ -56,8 +62,12 @@ pub mod lexer;
 /// Legacy comment/string masking (v1 engine), retained as the reference
 /// implementation for the token-vs-line rule-agreement tests.
 pub mod mask;
+/// Panic-reachability analysis and its lockfile gate (call-graph pass).
+pub mod panics;
 /// The rule matchers and per-file driver.
 pub mod rules;
+/// The item-tree parser over the lossless token stream.
+pub mod syntax;
 /// The token model the lexer produces.
 pub mod tokens;
 /// Workspace traversal and file classification.
@@ -65,12 +75,22 @@ pub mod walk;
 
 /// API-lockfile entry points.
 pub use api_lock::{bless_api, check_api, ApiDrift};
+/// Call-graph construction and core types.
+pub use callgraph::{build_call_graph, CallGraph, CallTarget};
+/// Dead-`pub` report entry points.
+pub use deadpub::{dead_pub_items, write_dead_pub_report, DeadPub};
+/// Hot-path analysis entry points.
+pub use hotpath::{check_hotpath, hot_findings, HotFinding, HOT_PATHS};
 /// Layering-pass entry points.
 pub use layers::{check_layering, LayerViolation, LAYER_DAG};
 /// The lexer entry point.
 pub use lexer::lex;
+/// Panic-reachability entry points.
+pub use panics::{bless_panics, check_panics, panic_entries, PanicDrift, PANICS_LOCK};
 /// Core rule types and the per-file entry points.
 pub use rules::{lint_source, lint_source_with, Config, FileClass, Rule, Violation};
+/// Item-tree parser entry points.
+pub use syntax::{parse_source, Item, ItemKind, ItemTree};
 /// Token types.
 pub use tokens::{Token, TokenKind, TokenStream};
 /// Workspace traversal entry points.
@@ -96,11 +116,20 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
 ///
 /// Propagates I/O errors from traversal or file reads.
 pub fn lint_workspace_with(root: &Path, config: &Config) -> io::Result<Vec<Violation>> {
-    let mut violations = Vec::new();
-    for file in workspace_sources(root)? {
-        let source = fs::read_to_string(root.join(&file.path))?;
-        violations.extend(rules::lint_source_with(&file.path, file.class, &source, config));
-    }
+    // Reads stay serial (I/O-bound, ordering matters for error reporting);
+    // the per-file lex+match work fans out over the pool on coarse
+    // file-sized units. Output order is restored by the final sort either
+    // way, so serial and parallel runs report identically.
+    let sources: Vec<(walk::SourceFile, String)> = workspace_sources(root)?
+        .into_iter()
+        .map(|file| fs::read_to_string(root.join(&file.path)).map(|s| (file, s)))
+        .collect::<io::Result<_>>()?;
+    let mut violations: Vec<Violation> = seeker_par::par_map(&sources, |(file, source)| {
+        rules::lint_source_with(&file.path, file.class, source, config)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     Ok(violations)
 }

@@ -3,13 +3,19 @@
 //! Usage: `cargo run -p seeker-lint [-- [FLAGS] [<workspace-root>]]`.
 //!
 //! With no flags the full gate runs: all lexical rules, the crate-layering
-//! pass, and the public-API lockfile check. Flags select a subset or switch
-//! to snapshot regeneration:
+//! pass (including the unused-dependency check), the public-API lockfile
+//! check, the panic-reachability lock check, and the hot-path allocation
+//! analysis. Flags select a subset or switch to snapshot regeneration:
 //!
-//! - `--rules`      lexical rules only;
-//! - `--layering`   crate-layering pass only;
-//! - `--check-api`  public-API lockfile check only;
-//! - `--bless-api`  regenerate the `api/<crate>.api` snapshots and exit.
+//! - `--rules`         lexical rules only;
+//! - `--layering`      crate-layering pass only;
+//! - `--check-api`     public-API lockfile check only;
+//! - `--bless-api`     regenerate the `api/<crate>.api` snapshots and exit;
+//! - `--check-panics`  panic-reachability lock check only;
+//! - `--bless-panics`  regenerate `api/panics.lock` and exit;
+//! - `--hotpath`       hot-path allocation analysis only;
+//! - `--deadpub`       write the dead-`pub` report to `results/DEADPUB.md`
+//!   (report-only: always exits 0 on success).
 //!
 //! With no root argument the workspace root is discovered by walking up from
 //! the current directory to the first `Cargo.toml` containing a
@@ -18,7 +24,10 @@
 
 #![deny(missing_docs)]
 
-use seeker_lint::{bless_api, check_api, check_layering, lint_workspace};
+use seeker_lint::{
+    bless_api, bless_panics, build_call_graph, check_api, check_layering, hot_findings,
+    lint_workspace, panics,
+};
 
 use std::env;
 use std::path::{Path, PathBuf};
@@ -27,7 +36,7 @@ use std::process::ExitCode;
 /// Which passes a single invocation runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
-    /// Lexical rules + layering + API lockfile check (the default).
+    /// Rules + layering + API lock + panic lock + hot-path (the default).
     Full,
     /// Lexical rules only.
     Rules,
@@ -37,6 +46,14 @@ enum Mode {
     CheckApi,
     /// Regenerate the API snapshots.
     BlessApi,
+    /// Panic-reachability lock check only.
+    CheckPanics,
+    /// Regenerate the panic lock.
+    BlessPanics,
+    /// Hot-path allocation analysis only.
+    Hotpath,
+    /// Write the dead-`pub` report (report-only).
+    DeadPub,
 }
 
 fn main() -> ExitCode {
@@ -48,10 +65,15 @@ fn main() -> ExitCode {
             "--layering" => mode = Mode::Layering,
             "--check-api" => mode = Mode::CheckApi,
             "--bless-api" => mode = Mode::BlessApi,
+            "--check-panics" => mode = Mode::CheckPanics,
+            "--bless-panics" => mode = Mode::BlessPanics,
+            "--hotpath" => mode = Mode::Hotpath,
+            "--deadpub" => mode = Mode::DeadPub,
             other if other.starts_with("--") => {
                 eprintln!("seeker-lint: unknown flag {other}");
                 eprintln!(
-                    "usage: seeker-lint [--rules | --layering | --check-api | --bless-api] [root]"
+                    "usage: seeker-lint [--rules | --layering | --check-api | --bless-api | \
+                     --check-panics | --bless-panics | --hotpath | --deadpub] [root]"
                 );
                 return ExitCode::from(2);
             }
@@ -72,20 +94,50 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    if mode == Mode::BlessApi {
-        return match bless_api(&root) {
-            Ok(written) => {
-                for path in &written {
-                    println!("seeker-lint: blessed {}", path.display());
+    match mode {
+        Mode::BlessApi => {
+            return match bless_api(&root) {
+                Ok(written) => {
+                    for path in &written {
+                        println!("seeker-lint: blessed {}", path.display());
+                    }
+                    println!("seeker-lint: {} API snapshot(s) written", written.len());
+                    ExitCode::SUCCESS
                 }
-                println!("seeker-lint: {} API snapshot(s) written", written.len());
-                ExitCode::SUCCESS
-            }
-            Err(err) => {
-                eprintln!("seeker-lint: I/O error while blessing {}: {err}", root.display());
-                ExitCode::from(2)
-            }
-        };
+                Err(err) => {
+                    eprintln!("seeker-lint: I/O error while blessing {}: {err}", root.display());
+                    ExitCode::from(2)
+                }
+            };
+        }
+        Mode::BlessPanics => {
+            return match bless_panics(&root) {
+                Ok(path) => {
+                    println!("seeker-lint: blessed {}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("seeker-lint: I/O error while blessing {}: {err}", root.display());
+                    ExitCode::from(2)
+                }
+            };
+        }
+        Mode::DeadPub => {
+            return match seeker_lint::write_dead_pub_report(&root) {
+                Ok((path, count)) => {
+                    println!(
+                        "seeker-lint: wrote {} ({count} dead-pub candidate(s))",
+                        path.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("seeker-lint: I/O error in dead-pub report: {err}");
+                    ExitCode::from(2)
+                }
+            };
+        }
+        _ => {}
     }
 
     let mut reported = 0usize;
@@ -105,6 +157,50 @@ fn main() -> ExitCode {
         match run_api_check(&root) {
             Ok(count) => reported += count,
             Err(code) => return code,
+        }
+    }
+    if matches!(mode, Mode::Full | Mode::CheckPanics | Mode::Hotpath) {
+        // Both semantic passes share one call graph.
+        let graph = match build_call_graph(&root) {
+            Ok(graph) => graph,
+            Err(err) => {
+                eprintln!("seeker-lint: I/O error building call graph: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        if matches!(mode, Mode::Full | Mode::CheckPanics) {
+            match panics::check_panics_graph(&root, &graph) {
+                Ok(drifts) => {
+                    for d in &drifts {
+                        println!("{d}");
+                    }
+                    if !drifts.is_empty() {
+                        eprintln!(
+                            "seeker-lint: panic-reachability drift — fix the panic path, add \
+                             `// lint:allow(panic-reach)` at the definition, or re-bless with \
+                             `cargo run -p seeker-lint -- --bless-panics`"
+                        );
+                    }
+                    reported += drifts.len();
+                }
+                Err(err) => {
+                    eprintln!("seeker-lint: I/O error in panic check: {err}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if matches!(mode, Mode::Full | Mode::Hotpath) {
+            let findings = hot_findings(&graph);
+            for f in &findings {
+                println!("{f}");
+            }
+            if !findings.is_empty() {
+                eprintln!(
+                    "seeker-lint: hot-path allocation(s) — hoist the allocation out of the \
+                     loop or sanction with `// lint:allow(hot-alloc)`"
+                );
+            }
+            reported += findings.len();
         }
     }
     if reported == 0 {

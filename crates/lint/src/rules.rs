@@ -46,9 +46,23 @@ pub enum Rule {
     /// `from_entropy`, `OsRng`, `rand::random`): every random draw in the
     /// pipeline must be replayable from a recorded seed.
     NoUnseededRng,
+    /// Semantic (call-graph) rule: a `pub` function transitively reaches a
+    /// panic site. Enforced by [`crate::panics`], not the lexical driver;
+    /// listed here so `lint:allow(panic-reach)` parses.
+    PanicReach,
+    /// Semantic (call-graph) rule: an allocation inside a loop body on a
+    /// declared hot path. Enforced by [`crate::hotpath`], not the lexical
+    /// driver; listed here so `lint:allow(hot-alloc)` parses.
+    HotAlloc,
+    /// Manifest rule: a `[dependencies]` entry never mentioned in the
+    /// crate's non-test sources. Enforced by [`crate::layers`], not the
+    /// lexical driver; listed here so `lint:allow(unused-dep)` parses.
+    UnusedDep,
 }
 
-/// All lexical rules, in report order.
+/// All lexical rules, in report order. The semantic rules
+/// ([`Rule::PanicReach`], [`Rule::HotAlloc`], [`Rule::UnusedDep`]) are
+/// driven by their own passes and deliberately absent.
 pub const ALL_RULES: &[Rule] = &[
     Rule::NoPanic,
     Rule::FloatCast,
@@ -77,13 +91,17 @@ impl Rule {
             Rule::NoHashIter => "no-hash-iter",
             Rule::NoSystemTime => "no-system-time",
             Rule::NoUnseededRng => "no-unseeded-rng",
+            Rule::PanicReach => "panic-reach",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::UnusedDep => "unused-dep",
         }
     }
 
     /// Parses a rule id as written in an allow comment.
     #[must_use]
     pub fn from_id(id: &str) -> Option<Rule> {
-        ALL_RULES.iter().copied().find(|r| r.id() == id)
+        const SEMANTIC: &[Rule] = &[Rule::PanicReach, Rule::HotAlloc, Rule::UnusedDep];
+        ALL_RULES.iter().chain(SEMANTIC).copied().find(|r| r.id() == id)
     }
 }
 

@@ -38,11 +38,6 @@ impl DenseGrads {
         self.dw.as_slice()
     }
 
-    /// The bias gradient.
-    pub fn db_slice(&self) -> &[f32] {
-        &self.db
-    }
-
     /// Accumulates `other * scale` into this gradient.
     ///
     /// # Panics

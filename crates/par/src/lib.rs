@@ -151,6 +151,9 @@ pub fn par_map_chunked<U: Send>(
                         }
                         let lo = c * chunk;
                         let hi = ((c + 1) * chunk).min(n);
+                        // One output buffer per *chunk*, amortized over its
+                        // items — this collect is the pool's product, not
+                        // per-element overhead. lint:allow(hot-alloc)
                         acc.push((c, (lo..hi).map(f).collect()));
                     }
                     acc

@@ -33,8 +33,8 @@ use crate::std_division::SpatialTemporalDivision;
 /// let ds = generate(&SyntheticConfig::small(1))?.dataset;
 /// let std = SpatialTemporalDivision::build(&ds, 40, 7.0)?;
 /// let index = CellIndex::build(&ds, &std);
-/// assert!(index.n_occupied_cells() > 0);
 /// let candidates = index.candidate_pairs();
+/// assert!(!candidates.is_empty());
 /// assert!(candidates.len() < ds.n_users() * (ds.n_users() - 1) / 2);
 /// # Ok::<(), seeker_trace::TraceError>(())
 /// ```
@@ -62,11 +62,6 @@ impl CellIndex {
             map.into_iter().map(|(cell, users)| (cell, users.into_iter().collect())).collect();
         seeker_obs::counter!("spatial.cell_index.cells", cells.len() as u64);
         CellIndex { cells }
-    }
-
-    /// Number of occupied cells.
-    pub fn n_occupied_cells(&self) -> usize {
-        self.cells.len()
     }
 
     /// The sorted users of a flat cell index (empty when unoccupied).

@@ -154,16 +154,6 @@ impl SpatialTemporalDivision {
         Some((grid, slot))
     }
 
-    /// The spatial grid of a POI (by dense id), if inside the region.
-    pub fn grid_of_poi(&self, poi: seeker_trace::PoiId) -> Option<usize> {
-        self.poi_grids.get(poi.index()).copied().flatten()
-    }
-
-    /// The time slot of a timestamp, if inside the covered interval.
-    pub fn slot_of_time(&self, t: Timestamp) -> Option<usize> {
-        self.slots.slot_of(t)
-    }
-
     /// Flat index of cell `(grid, slot)`, row-major over grids.
     ///
     /// # Panics

@@ -207,19 +207,16 @@ impl Dataset {
     /// Returns [`TraceError::Invalid`] if any check-in references an unknown
     /// user or POI.
     pub fn with_checkins(&self, checkins: Vec<CheckIn>) -> Result<Dataset> {
-        for c in &checkins {
-            if c.user.index() >= self.n_users() {
-                return Err(TraceError::Invalid(format!(
-                    "check-in references unknown user {}",
-                    c.user
-                )));
-            }
-            if c.poi.index() >= self.n_pois() {
-                return Err(TraceError::Invalid(format!(
-                    "check-in references unknown poi {}",
-                    c.poi
-                )));
-            }
+        // Validate first, format after: the scan loops stay allocation-free
+        // and the error message is built once, outside them.
+        if let Some(c) = checkins.iter().find(|c| c.user.index() >= self.n_users()) {
+            return Err(TraceError::Invalid(format!(
+                "check-in references unknown user {}",
+                c.user
+            )));
+        }
+        if let Some(c) = checkins.iter().find(|c| c.poi.index() >= self.n_pois()) {
+            return Err(TraceError::Invalid(format!("check-in references unknown poi {}", c.poi)));
         }
         let (checkins, user_spans) = sort_and_span(checkins, self.n_users());
         Ok(Dataset {
