@@ -1,15 +1,25 @@
-//! Serial-vs-parallel benchmark for the `seeker-par` pool.
+//! Serial-vs-parallel benchmark for the `seeker-par` persistent pool.
 //!
 //! Times every pipeline stage wired into the pool — batched feature
 //! encoding (`FeatureStore::build`), phase-1 graph prediction, batch SVM
-//! prediction, and the full refinement loop — once with 1 worker and once
-//! with the ambient worker count (`SEEKER_THREADS` or the core count), and
-//! checks the outputs are identical before reporting. Results go to
-//! `results/BENCH_par.json`.
+//! prediction, the full refinement loop, and a dense blocked GEMM — once
+//! with 1 worker and once with the ambient worker count (`SEEKER_THREADS`
+//! or the core count), and checks the outputs are identical before
+//! reporting. Results go to `results/BENCH_par.json`.
 //!
-//! On a single-core runner serial and parallel are expected to tie (the
-//! pool's overhead is a few scope spawns per call); the ≥2× acceptance
-//! criterion applies to a 4-core machine.
+//! Methodology: `WARMUP` untimed repetitions bring the pool, allocator,
+//! and caches to steady state, then `REPS` timed repetitions are reduced
+//! to their minimum (least-noise location statistic) and median
+//! (robustness check — a median far above the minimum flags an unquiet
+//! machine). Each stage records the dispatch geometry actually used: item
+//! count, declared cost class, and the `seeker_par::plan` worker/chunk
+//! decision at the benchmark's worker count.
+//!
+//! Gate mode: when `SEEKER_BENCH_GATE` is set to a float, the process
+//! exits nonzero if any stage's min-time speedup falls below it. CI runs
+//! this with `SEEKER_THREADS=4 SEEKER_BENCH_GATE=0.9` as a regression
+//! tripwire: even on a saturated single-core runner the persistent pool
+//! must stay within 10% of serial.
 
 #![deny(missing_docs, dead_code)]
 
@@ -20,36 +30,61 @@ use friendseeker::features::FeatureStore;
 use seeker_bench::datasets::{world, Preset};
 use seeker_bench::harness::{default_config, eval_pairs};
 use seeker_bench::report::results_dir;
-use seeker_par::{max_threads, with_threads};
+use seeker_nn::Matrix;
+use seeker_par::{max_threads, plan, with_threads, Cost};
 
-/// Timing repetitions per stage; the minimum is reported (standard
-/// steady-state benchmarking practice — the minimum is the least noisy
-/// location statistic for wall-clock timings).
-const REPS: usize = 3;
+/// Untimed repetitions before measurement begins.
+const WARMUP: usize = 2;
+/// Timed repetitions per stage; the minimum and median are reported.
+const REPS: usize = 5;
 
-fn time_min<R>(mut f: impl FnMut() -> R) -> (f64, R) {
-    let mut best = f64::INFINITY;
+/// Runs `f` `WARMUP + REPS` times and returns `(min_ms, median_ms, last)`.
+fn time_stats<R>(mut f: impl FnMut() -> R) -> (f64, f64, R) {
+    for _ in 0..WARMUP {
+        let _ = f();
+    }
+    let mut times = [0.0f64; REPS];
     let mut out = None;
-    for _ in 0..REPS {
+    for t in &mut times {
         let t0 = Instant::now();
         let r = f();
-        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        *t = t0.elapsed().as_secs_f64() * 1e3;
         out = Some(r);
     }
-    (best, out.expect("REPS >= 1"))
+    times.sort_by(f64::total_cmp);
+    (times[0], times[REPS / 2], out.expect("REPS >= 1"))
 }
 
+/// One benchmarked stage with its dispatch geometry and timings.
 struct Stage {
     name: &'static str,
-    serial_ms: f64,
-    parallel_ms: f64,
+    /// Items handed to the dominant pool dispatch of this stage.
+    items: usize,
+    /// Declared cost class of that dispatch.
+    cost: Cost,
+    serial_min_ms: f64,
+    serial_median_ms: f64,
+    parallel_min_ms: f64,
+    parallel_median_ms: f64,
+}
+
+impl Stage {
+    fn speedup_min(&self) -> f64 {
+        self.serial_min_ms / self.parallel_min_ms.max(1e-9)
+    }
 }
 
 fn main() {
     let _obs = seeker_obs::init_cli_sinks();
     let seed = seeker_bench::seed_from_env();
     let threads = max_threads();
-    eprintln!("bench_par: 1 vs {threads} worker(s), seed {seed}");
+    let effective_cores =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let gate: Option<f64> = std::env::var("SEEKER_BENCH_GATE").ok().and_then(|g| g.parse().ok());
+    eprintln!(
+        "bench_par: 1 vs {threads} worker(s) on {effective_cores} core(s), \
+         seed {seed}, warmup {WARMUP}, reps {REPS}"
+    );
 
     let w = world(Preset::Gowalla, seed);
     let cfg = default_config();
@@ -58,27 +93,38 @@ fn main() {
     let (ep, _) = eval_pairs(&w.target);
 
     let mut stages: Vec<Stage> = Vec::new();
-    let mut bench = |name: &'static str, f: &dyn Fn() -> u64| {
-        let (serial_ms, a) = time_min(|| with_threads(1, f));
-        let (parallel_ms, b) = time_min(|| with_threads(threads, f));
+    let mut bench = |name: &'static str, items: usize, cost: Cost, f: &dyn Fn() -> u64| {
+        let (serial_min_ms, serial_median_ms, a) = time_stats(|| with_threads(1, f));
+        let (parallel_min_ms, parallel_median_ms, b) = time_stats(|| with_threads(threads, f));
         assert_eq!(a, b, "{name}: serial and parallel outputs diverge");
-        eprintln!("  {name}: serial {serial_ms:.1} ms, parallel {parallel_ms:.1} ms");
-        stages.push(Stage { name, serial_ms, parallel_ms });
+        eprintln!(
+            "  {name}: serial {serial_min_ms:.1}/{serial_median_ms:.1} ms, \
+             parallel {parallel_min_ms:.1}/{parallel_median_ms:.1} ms (min/median)"
+        );
+        stages.push(Stage {
+            name,
+            items,
+            cost,
+            serial_min_ms,
+            serial_median_ms,
+            parallel_min_ms,
+            parallel_median_ms,
+        });
     };
 
     // Stage outputs are reduced to a checksum-ish u64 so the closure stays
     // cheap to compare while still catching any serial/parallel divergence.
-    bench("feature_store_build", &|| {
+    bench("feature_store_build", ep.len(), Cost::Heavy, &|| {
         let store = FeatureStore::build(trained.phase1(), &w.target, &ep);
         ep.iter()
             .flat_map(|&p| store.get(p).expect("pair in store"))
             .map(|f| f.to_bits() as u64)
             .sum()
     });
-    bench("phase1_predict_graph", &|| {
+    bench("phase1_predict_graph", ep.len(), Cost::Heavy, &|| {
         trained.phase1().predict_graph(&w.target, &ep).n_edges() as u64
     });
-    bench("svm_batch_predict", &|| {
+    bench("svm_batch_predict", ep.len(), Cost::Medium, &|| {
         let store = FeatureStore::build(trained.phase1(), &w.target, &ep);
         let g = trained.phase1().predict_graph(&w.target, &ep);
         let k = trained.config().k_hop;
@@ -89,9 +135,27 @@ fn main() {
         let scaled = trained.phase2().scaler().transform(&x);
         trained.phase2().svm().predict(&scaled).iter().filter(|&&p| p).count() as u64
     });
-    bench("infer_full_refinement", &|| {
+    bench("infer_full_refinement", ep.len(), Cost::Heavy, &|| {
         let r = trained.infer_pairs(&w.target, ep.clone());
         r.predictions().iter().filter(|&&p| p).count() as u64 + r.trace.graphs.len() as u64
+    });
+
+    // Dense blocked GEMM (square f32 matmul). Band parallelism dispatches
+    // over row bands of 64, so `items` is the band count.
+    const GEMM_N: usize = 256;
+    let gemm_a = Matrix::from_vec(
+        GEMM_N,
+        GEMM_N,
+        (0..GEMM_N * GEMM_N).map(|i| ((i * 2_654_435_761) % 1000) as f32 * 1e-3).collect(),
+    );
+    let gemm_b = Matrix::from_vec(
+        GEMM_N,
+        GEMM_N,
+        (0..GEMM_N * GEMM_N).map(|i| ((i * 2_246_822_519) % 1000) as f32 * 1e-3 - 0.5).collect(),
+    );
+    bench("nn_dense_matmul", GEMM_N.div_ceil(64), Cost::Heavy, &|| {
+        let c = gemm_a.matmul(&gemm_b);
+        c.as_slice().iter().map(|f| f.to_bits() as u64).sum()
     });
 
     let mut json = String::new();
@@ -100,15 +164,33 @@ fn main() {
     let _ = writeln!(json, "  \"preset\": \"{}\",", Preset::Gowalla.name());
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"effective_cores\": {effective_cores},");
+    let _ = writeln!(json, "  \"warmup\": {WARMUP},");
     let _ = writeln!(json, "  \"reps\": {REPS},");
     let _ = writeln!(json, "  \"stages\": [");
     for (i, s) in stages.iter().enumerate() {
-        let speedup = s.serial_ms / s.parallel_ms.max(1e-9);
+        // The worker/chunk decision the pool actually makes for this
+        // stage's dominant dispatch at the benchmarked worker count.
+        let p = with_threads(threads, || plan(s.items, s.cost));
         let comma = if i + 1 == stages.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"stage\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}{comma}",
-            s.name, s.serial_ms, s.parallel_ms, speedup
+            "    {{\"stage\": \"{}\", \"items\": {}, \"cost\": \"{}\", \
+             \"workers\": {}, \"chunk\": {}, \
+             \"serial_min_ms\": {:.3}, \"serial_median_ms\": {:.3}, \
+             \"parallel_min_ms\": {:.3}, \"parallel_median_ms\": {:.3}, \
+             \"speedup_min\": {:.3}, \"speedup_median\": {:.3}}}{comma}",
+            s.name,
+            s.items,
+            s.cost.name(),
+            p.workers,
+            p.chunk,
+            s.serial_min_ms,
+            s.serial_median_ms,
+            s.parallel_min_ms,
+            s.parallel_median_ms,
+            s.speedup_min(),
+            s.serial_median_ms / s.parallel_median_ms.max(1e-9),
         );
     }
     let _ = writeln!(json, "  ]");
@@ -120,4 +202,24 @@ fn main() {
     std::fs::write(&path, json).expect("write BENCH_par.json");
     eprintln!("saved {}", path.display());
     seeker_obs::flush();
+
+    if let Some(gate) = gate {
+        let worst = stages
+            .iter()
+            .min_by(|a, b| a.speedup_min().total_cmp(&b.speedup_min()))
+            .expect("at least one stage");
+        if worst.speedup_min() < gate {
+            eprintln!(
+                "bench_par GATE FAILED: stage `{}` speedup {:.3} < {gate} \
+                 (parallel dispatch is costing wall-clock)",
+                worst.name,
+                worst.speedup_min()
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_par gate passed: worst stage speedup {:.3} >= {gate}",
+            worst.speedup_min()
+        );
+    }
 }

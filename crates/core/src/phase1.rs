@@ -177,7 +177,9 @@ impl Phase1Model {
         seeker_obs::counter!("core.pairs_evaluated", pairs.len() as u64);
         // Per-pair JOC construction is the quadratic front half of phase 1;
         // each cuboid only reads the (shared) division and trajectories.
-        let xs: Vec<SparseRow> = seeker_par::par_map(pairs, |&p| joc_row(&self.division, ds, p));
+        let xs: Vec<SparseRow> = seeker_par::par_map_cost(pairs, seeker_par::Cost::Heavy, |&p| {
+            joc_row(&self.division, ds, p)
+        });
         self.autoencoder.encode(&xs)
     }
 
@@ -190,7 +192,9 @@ impl Phase1Model {
     pub fn predict_proba(&self, ds: &Dataset, pairs: &[UserPair]) -> Vec<f64> {
         let _span = seeker_obs::span!("phase1.joc");
         seeker_obs::counter!("core.pairs_evaluated", pairs.len() as u64);
-        let xs: Vec<SparseRow> = seeker_par::par_map(pairs, |&p| joc_row(&self.division, ds, p));
+        let xs: Vec<SparseRow> = seeker_par::par_map_cost(pairs, seeker_par::Cost::Heavy, |&p| {
+            joc_row(&self.division, ds, p)
+        });
         if let Some(knn) = &self.knn {
             let encoded = self.autoencoder.encode(&xs);
             return (0..encoded.rows()).map(|r| knn.predict_proba_one(encoded.row(r))).collect();

@@ -100,7 +100,8 @@ impl FeatureCache {
     where
         F: Fn(&SocialGraph, UserPair) -> Vec<f32> + Sync,
     {
-        let features = seeker_par::par_map(pairs, |&p| compute(graph, p));
+        let features =
+            seeker_par::par_map_cost(pairs, seeker_par::Cost::Heavy, |&p| compute(graph, p));
         FeatureCache { features, graph: graph.clone() }
     }
 
@@ -130,7 +131,9 @@ impl FeatureCache {
             .filter(|(_, p)| reach[p.lo().index()] && reach[p.hi().index()])
             .map(|(i, _)| i)
             .collect();
-        let fresh = seeker_par::par_map(&dirty, |&i| compute(graph, pairs[i]));
+        let fresh = seeker_par::par_map_cost(&dirty, seeker_par::Cost::Heavy, |&i| {
+            compute(graph, pairs[i])
+        });
         for (&i, f) in dirty.iter().zip(fresh) {
             self.features[i] = f;
         }

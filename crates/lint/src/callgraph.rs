@@ -194,10 +194,11 @@ pub fn build_call_graph(root: &Path) -> io::Result<CallGraph> {
         .collect::<io::Result<_>>()?;
     // Parsing and body scanning are per-file independent: fan out over the
     // pool (coarse file-sized units, same shape as the rule driver).
-    let parsed: Vec<(FileCtx, Vec<ProtoNode>)> = seeker_par::par_map_indexed(sources.len(), |i| {
-        let (path, source) = &sources[i];
-        collect_file(&crates, path, source, i)
-    });
+    let parsed: Vec<(FileCtx, Vec<ProtoNode>)> =
+        seeker_par::par_map_indexed_cost(sources.len(), seeker_par::Cost::Heavy, |i| {
+            let (path, source) = &sources[i];
+            collect_file(&crates, path, source, i)
+        });
 
     let mut protos: Vec<ProtoNode> = Vec::new();
     let mut contexts: Vec<FileCtx> = Vec::new();

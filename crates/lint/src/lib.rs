@@ -124,12 +124,13 @@ pub fn lint_workspace_with(root: &Path, config: &Config) -> io::Result<Vec<Viola
         .into_iter()
         .map(|file| fs::read_to_string(root.join(&file.path)).map(|s| (file, s)))
         .collect::<io::Result<_>>()?;
-    let mut violations: Vec<Violation> = seeker_par::par_map(&sources, |(file, source)| {
-        rules::lint_source_with(&file.path, file.class, source, config)
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+    let mut violations: Vec<Violation> =
+        seeker_par::par_map_cost(&sources, seeker_par::Cost::Heavy, |(file, source)| {
+            rules::lint_source_with(&file.path, file.class, source, config)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     Ok(violations)
 }

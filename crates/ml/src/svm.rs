@@ -72,6 +72,122 @@ impl Default for SvmConfig {
     }
 }
 
+/// Memory budget for the SMO kernel-row cache: enough to hold the full
+/// Gram matrix for the few-thousand-sample training sets of this
+/// reproduction, while capping resident kernel rows at Gowalla scale
+/// (100k samples would need 40 GB for a full Gram).
+const ROW_CACHE_BUDGET_BYTES: usize = 64 << 20;
+
+/// The least-recently-used slot index sentinel.
+const NO_SLOT: usize = usize::MAX;
+
+/// Lazy LRU cache of kernel (Gram) rows for the SMO loop.
+///
+/// PR 1's solver materialized the full `n × n` Gram matrix up front —
+/// `O(n²)` memory and `n(n+1)/2` kernel evaluations even when SMO touches a
+/// small working set. This cache computes rows on demand and evicts by
+/// recency under a fixed byte budget.
+///
+/// Bit-exactness: a recomputed row is identical to the old symmetric Gram
+/// fill because `Kernel::eval(a, b) == Kernel::eval(b, a)` **bitwise** —
+/// RBF squares `(x − y)` where IEEE negation is exact and the per-dimension
+/// accumulation order is the same either way; Linear multiplies, and IEEE
+/// multiplication is commutative at the bit level. Training trajectories
+/// therefore do not depend on the cache capacity (pinned by the
+/// `tiny_row_cache_reproduces_default_training_bitwise` test).
+struct KernelRowCache<'a> {
+    kernel: Kernel,
+    xs: &'a [Vec<f32>],
+    n: usize,
+    cap: usize,
+    /// Resident rows, grown lazily up to `cap` slots of `n` values.
+    rows: Vec<Vec<f32>>,
+    /// slot → resident sample index (or `NO_SLOT`).
+    row_of_slot: Vec<usize>,
+    /// sample index → slot (or `NO_SLOT`).
+    slot_of_row: Vec<usize>,
+    /// slot → last-touch tick, for LRU eviction.
+    stamp: Vec<u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<'a> KernelRowCache<'a> {
+    fn new(kernel: Kernel, xs: &'a [Vec<f32>], cap: usize) -> Self {
+        let n = xs.len();
+        // At least 2 slots so an (i, j) working pair is always resident.
+        let cap = cap.clamp(2, n.max(2));
+        KernelRowCache {
+            kernel,
+            xs,
+            n,
+            cap,
+            rows: Vec::new(),
+            row_of_slot: Vec::new(),
+            slot_of_row: vec![NO_SLOT; n],
+            stamp: Vec::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn touch(&mut self, slot: usize) {
+        self.tick += 1;
+        self.stamp[slot] = self.tick;
+    }
+
+    /// Makes row `r` resident and returns its slot, never evicting
+    /// `pinned` (the other half of the working pair).
+    fn ensure(&mut self, r: usize, pinned: usize) -> usize {
+        let cached = self.slot_of_row[r];
+        if cached != NO_SLOT {
+            self.hits += 1;
+            self.touch(cached);
+            return cached;
+        }
+        self.misses += 1;
+        let slot = if self.rows.len() < self.cap {
+            self.rows.push(vec![0.0f32; self.n]);
+            self.row_of_slot.push(NO_SLOT);
+            self.stamp.push(0);
+            self.rows.len() - 1
+        } else {
+            let mut victim = NO_SLOT;
+            for s in 0..self.rows.len() {
+                if s != pinned && (victim == NO_SLOT || self.stamp[s] < self.stamp[victim]) {
+                    victim = s;
+                }
+            }
+            self.evictions += 1;
+            let old = self.row_of_slot[victim];
+            if old != NO_SLOT {
+                self.slot_of_row[old] = NO_SLOT;
+            }
+            victim
+        };
+        let xr = &self.xs[r];
+        let row = &mut self.rows[slot];
+        for (p, sample) in self.xs.iter().enumerate() {
+            row[p] = self.kernel.eval(xr, sample);
+        }
+        self.row_of_slot[slot] = r;
+        self.slot_of_row[r] = slot;
+        self.touch(slot);
+        slot
+    }
+
+    /// Both Gram rows of the SMO working pair, resident simultaneously.
+    fn pair(&mut self, i: usize, j: usize) -> (&[f32], &[f32]) {
+        let si = self.ensure(i, NO_SLOT);
+        let sj = self.ensure(j, si);
+        (&self.rows[si], &self.rows[sj])
+    }
+}
+
 /// A trained support-vector machine (binary).
 #[derive(Debug, Clone)]
 pub struct Svm {
@@ -81,7 +197,29 @@ pub struct Svm {
     coeffs: Vec<f32>,
     bias: f32,
     dim: usize,
+    /// Support vectors transposed into `[dim][n_sv]` lanes so the blocked
+    /// decision kernel streams contiguous per-dimension blocks.
+    sv_t: Vec<f32>,
 }
+
+/// Flattens support vectors into the `[dim][n_sv]` lane layout used by the
+/// blocked decision kernel.
+fn transpose_svs(support_x: &[Vec<f32>], dim: usize) -> Vec<f32> {
+    let ns = support_x.len();
+    let mut t = vec![0.0f32; dim * ns];
+    for (s, sv) in support_x.iter().enumerate() {
+        for (d, &v) in sv.iter().enumerate() {
+            t[d * ns + s] = v;
+        }
+    }
+    t
+}
+
+/// Support vectors evaluated per lane block in the blocked decision kernel;
+/// 8 lanes of independent sequential sums keep the serial accumulation
+/// order of each support vector while letting the auto-vectorizer work
+/// across lanes.
+const SV_LANES: usize = 8;
 
 impl Svm {
     /// Trains an SVM on `xs` with boolean labels (`true` = friend).
@@ -90,6 +228,14 @@ impl Svm {
     ///
     /// Panics if inputs are empty/mismatched/ragged, or `c <= 0`.
     pub fn fit(cfg: &SvmConfig, xs: &[Vec<f32>], labels: &[bool]) -> Self {
+        let cache_rows = ROW_CACHE_BUDGET_BYTES / (4 * xs.len().max(1));
+        Self::fit_impl(cfg, xs, labels, cache_rows)
+    }
+
+    /// [`Svm::fit`] with an explicit kernel-row cache capacity. Training is
+    /// bitwise independent of the capacity (see [`KernelRowCache`]); the
+    /// knob exists so tests can force heavy eviction.
+    fn fit_impl(cfg: &SvmConfig, xs: &[Vec<f32>], labels: &[bool], cache_rows: usize) -> Self {
         let _span = seeker_obs::span!("ml.svm.fit");
         assert_eq!(xs.len(), labels.len(), "sample/label count mismatch");
         assert!(!xs.is_empty(), "cannot train on an empty set");
@@ -99,19 +245,10 @@ impl Svm {
         assert!(xs.iter().all(|r| r.len() == dim), "inconsistent feature dimensions");
         let ys: Vec<f32> = labels.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
 
-        // Precomputed Gram matrix (n ≤ a few thousand in this repo).
-        let gram: Vec<f32> = {
-            let mut g = vec![0.0f32; n * n];
-            for i in 0..n {
-                for j in i..n {
-                    let v = cfg.kernel.eval(&xs[i], &xs[j]);
-                    g[i * n + j] = v;
-                    g[j * n + i] = v;
-                }
-            }
-            g
-        };
-        seeker_obs::counter!("ml.svm.kernel_evals", (n * (n + 1) / 2) as u64);
+        // Diagonal up front (always hot: every eta and bias update reads
+        // it); full rows come from the LRU cache on demand.
+        let diag: Vec<f32> = xs.iter().map(|x| cfg.kernel.eval(x, x)).collect();
+        let mut cache = KernelRowCache::new(cfg.kernel, xs, cache_rows);
 
         let mut alphas = vec![0.0f32; n];
         let mut b = 0.0f32;
@@ -145,7 +282,8 @@ impl Svm {
                 if lo >= hi - 1e-12 {
                     continue;
                 }
-                let eta = 2.0 * gram[i * n + j] - gram[i * n + i] - gram[j * n + j];
+                let (row_i, row_j) = cache.pair(i, j);
+                let eta = 2.0 * row_i[j] - diag[i] - diag[j];
                 if eta >= 0.0 {
                     continue;
                 }
@@ -157,14 +295,10 @@ impl Svm {
                 let ai = ai_old + ys[i] * ys[j] * (aj_old - aj);
                 alphas[i] = ai;
                 alphas[j] = aj;
-                let b1 = b
-                    - ei
-                    - ys[i] * (ai - ai_old) * gram[i * n + i]
-                    - ys[j] * (aj - aj_old) * gram[i * n + j];
-                let b2 = b
-                    - ej
-                    - ys[i] * (ai - ai_old) * gram[i * n + j]
-                    - ys[j] * (aj - aj_old) * gram[j * n + j];
+                let b1 =
+                    b - ei - ys[i] * (ai - ai_old) * diag[i] - ys[j] * (aj - aj_old) * row_i[j];
+                let b2 =
+                    b - ej - ys[i] * (ai - ai_old) * row_i[j] - ys[j] * (aj - aj_old) * diag[j];
                 let b_old = b;
                 b = if ai > 0.0 && ai < cfg.c {
                     b1
@@ -178,8 +312,8 @@ impl Svm {
                 let di = ys[i] * (ai - ai_old);
                 let dj = ys[j] * (aj - aj_old);
                 let db = b - b_old;
-                for p in 0..n {
-                    errs[p] += di * gram[i * n + p] + dj * gram[j * n + p] + db;
+                for (p, e) in errs.iter_mut().enumerate() {
+                    *e += di * row_i[p] + dj * row_j[p] + db;
                 }
                 changed += 1;
             }
@@ -190,6 +324,13 @@ impl Svm {
             }
         }
 
+        // One hoisted add per fit: the diagonal pass plus `n` evaluations
+        // per cache miss (each miss fills a full row).
+        seeker_obs::counter!("ml.svm.kernel_evals", cache.misses * n as u64 + n as u64);
+        seeker_obs::counter!("ml.svm.row_cache.hits", cache.hits);
+        seeker_obs::counter!("ml.svm.row_cache.misses", cache.misses);
+        seeker_obs::counter!("ml.svm.row_cache.evictions", cache.evictions);
+
         // Keep only support vectors.
         let mut support_x = Vec::new();
         let mut coeffs = Vec::new();
@@ -199,7 +340,8 @@ impl Svm {
                 coeffs.push(alphas[i] * ys[i]);
             }
         }
-        Svm { kernel: cfg.kernel, support_x, coeffs, bias: b, dim }
+        let sv_t = transpose_svs(&support_x, dim);
+        Svm { kernel: cfg.kernel, support_x, coeffs, bias: b, dim, sv_t }
     }
 
     /// Number of support vectors retained.
@@ -212,19 +354,68 @@ impl Svm {
         self.dim
     }
 
+    /// The blocked decision kernel: evaluates all support vectors in
+    /// [`SV_LANES`]-wide blocks over the transposed `sv_t` layout, so the
+    /// per-dimension inner loop streams one contiguous block of support
+    /// vector components.
+    ///
+    /// Bit-identical to the per-row formula `bias + Σ cᵢ K(xᵢ, x)`: each
+    /// lane accumulates its own support vector's distance/dot sequentially
+    /// over dimensions (the same single chain as `Kernel::eval`, with
+    /// `(x−y)² == (y−x)²` and `x·y == y·x` exact in IEEE), and lane results
+    /// fold into the accumulator in support-vector order.
+    fn decision_uncounted(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        let ns = self.coeffs.len();
+        let mut acc = self.bias;
+        let mut s0 = 0usize;
+        while s0 < ns {
+            let w = SV_LANES.min(ns - s0);
+            let mut lane = [0.0f32; SV_LANES];
+            match self.kernel {
+                Kernel::Rbf { .. } => {
+                    for (d, &xd) in x.iter().enumerate() {
+                        let col = &self.sv_t[d * ns + s0..d * ns + s0 + w];
+                        for (l, &sv) in col.iter().enumerate() {
+                            let diff = xd - sv;
+                            lane[l] += diff * diff;
+                        }
+                    }
+                }
+                Kernel::Linear => {
+                    for (d, &xd) in x.iter().enumerate() {
+                        let col = &self.sv_t[d * ns + s0..d * ns + s0 + w];
+                        for (l, &sv) in col.iter().enumerate() {
+                            lane[l] += xd * sv;
+                        }
+                    }
+                }
+            }
+            match self.kernel {
+                Kernel::Rbf { gamma } => {
+                    for (l, &c) in self.coeffs[s0..s0 + w].iter().enumerate() {
+                        acc += c * (-gamma * lane[l]).exp();
+                    }
+                }
+                Kernel::Linear => {
+                    for (l, &c) in self.coeffs[s0..s0 + w].iter().enumerate() {
+                        acc += c * lane[l];
+                    }
+                }
+            }
+            s0 += w;
+        }
+        acc
+    }
+
     /// Signed decision value `Σ αᵢyᵢ K(xᵢ, x) + b`.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != dim()`.
     pub fn decision_one(&self, x: &[f32]) -> f32 {
-        assert_eq!(x.len(), self.dim, "query dimension mismatch");
-        seeker_obs::counter!("ml.svm.kernel_evals", self.support_x.len() as u64);
-        let mut acc = self.bias;
-        for (sv, &c) in self.support_x.iter().zip(self.coeffs.iter()) {
-            acc += c * self.kernel.eval(sv, x);
-        }
-        acc
+        seeker_obs::counter!("ml.svm.kernel_evals", self.coeffs.len() as u64);
+        self.decision_uncounted(x)
     }
 
     /// Class prediction (`true` = friend).
@@ -236,12 +427,16 @@ impl Svm {
     /// `seeker_par` workers; the output order (and every bit of it) matches
     /// the serial evaluation.
     pub fn predict(&self, xs: &[Vec<f32>]) -> Vec<bool> {
-        seeker_par::par_map(xs, |x| self.predict_one(x))
+        self.decision(xs).iter().map(|&d| d >= 0.0).collect()
     }
 
-    /// Batch decision values, parallelized like [`Svm::predict`].
+    /// Batch decision values, parallelized like [`Svm::predict`]. The
+    /// kernel-evaluation counter is bumped **once per batch** (a relaxed
+    /// `fetch_add` per row inside the hot loop was measurable in
+    /// `svm_batch_predict`).
     pub fn decision(&self, xs: &[Vec<f32>]) -> Vec<f32> {
-        seeker_par::par_map(xs, |x| self.decision_one(x))
+        seeker_obs::counter!("ml.svm.kernel_evals", (xs.len() * self.coeffs.len()) as u64);
+        seeker_par::par_map_cost(xs, seeker_par::Cost::Medium, |x| self.decision_uncounted(x))
     }
 
     /// Decomposes the model into `(kernel, support vectors, coefficients
@@ -273,7 +468,8 @@ impl Svm {
         if support_x.iter().any(|v| v.len() != dim) {
             return Err("support vector dimension mismatch".into());
         }
-        Ok(Svm { kernel, support_x, coeffs, bias, dim })
+        let sv_t = transpose_svs(&support_x, dim);
+        Ok(Svm { kernel, support_x, coeffs, bias, dim, sv_t })
     }
 }
 
@@ -381,6 +577,67 @@ mod tests {
         let svm = Svm::fit(&SvmConfig::default(), &xs, &ys);
         // Everything should be classified positive.
         assert!(svm.predict(&xs).iter().all(|&p| p));
+    }
+
+    /// The blocked lane kernel must reproduce the naive per-support-vector
+    /// formula bit for bit, for both kernels and for support-vector counts
+    /// that are not multiples of the lane width.
+    #[test]
+    fn blocked_decision_matches_naive_reference_bitwise() {
+        let configs = [
+            SvmConfig { kernel: Kernel::Linear, ..Default::default() },
+            SvmConfig { kernel: Kernel::Rbf { gamma: 1.0 }, c: 5.0, ..Default::default() },
+        ];
+        for cfg in configs {
+            let (xs, ys) = xor_data(150, 23);
+            let svm = Svm::fit(&cfg, &xs, &ys);
+            let (kernel, svs, coeffs, bias) = svm.to_parts();
+            for x in &xs {
+                let mut naive = bias;
+                for (sv, &c) in svs.iter().zip(coeffs.iter()) {
+                    naive += c * kernel.eval(sv, x);
+                }
+                assert_eq!(
+                    naive.to_bits(),
+                    svm.decision_one(x).to_bits(),
+                    "blocked decision diverges from the naive reference ({kernel:?})"
+                );
+            }
+        }
+    }
+
+    /// Training must be bitwise independent of the kernel-row cache
+    /// capacity: a 2-slot cache (maximal eviction pressure) reproduces the
+    /// default (no-eviction) model exactly.
+    #[test]
+    fn tiny_row_cache_reproduces_default_training_bitwise() {
+        let (xs, ys) = xor_data(120, 17);
+        let cfg = SvmConfig { kernel: Kernel::Rbf { gamma: 1.0 }, c: 5.0, ..Default::default() };
+        let full = Svm::fit(&cfg, &xs, &ys);
+        let tiny = Svm::fit_impl(&cfg, &xs, &ys, 2);
+        let (_, sv_f, co_f, b_f) = full.to_parts();
+        let (_, sv_t, co_t, b_t) = tiny.to_parts();
+        assert_eq!(sv_f, sv_t, "support vectors must match");
+        assert!(
+            co_f.iter().zip(co_t.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "coefficients must be bit-identical"
+        );
+        assert_eq!(b_f.to_bits(), b_t.to_bits(), "bias must be bit-identical");
+        for x in &xs {
+            assert_eq!(full.decision_one(x).to_bits(), tiny.decision_one(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn from_parts_rebuilds_the_blocked_layout() {
+        let (xs, ys) = linearly_separable(60, 31);
+        let svm = Svm::fit(&SvmConfig::default(), &xs, &ys);
+        let (kernel, svs, coeffs, bias) = svm.to_parts();
+        let rebuilt =
+            Svm::from_parts(kernel, svs.to_vec(), coeffs.to_vec(), bias, svm.dim()).unwrap();
+        for x in &xs {
+            assert_eq!(svm.decision_one(x).to_bits(), rebuilt.decision_one(x).to_bits());
+        }
     }
 
     #[test]

@@ -301,7 +301,9 @@ impl SupervisedAutoencoder {
         // across workers; the batch split is fixed regardless of worker
         // count, keeping parallel output bit-identical to serial.
         let chunks: Vec<&[SparseRow]> = xs.chunks(256).collect();
-        let encoded = seeker_par::par_map(&chunks, |c| self.encoder.forward(Input::Sparse(c)));
+        let encoded = seeker_par::par_map_cost(&chunks, seeker_par::Cost::Heavy, |c| {
+            self.encoder.forward(Input::Sparse(c))
+        });
         for (start, h) in encoded.iter().enumerate().map(|(i, h)| (i * 256, h)) {
             for r in 0..h.rows() {
                 out.row_mut(start + r).copy_from_slice(h.row(r));

@@ -1,10 +1,68 @@
 //! A minimal dense `f32` matrix with the operations the network stack needs.
 //!
-//! Row-major storage; the multiply kernels use an `i-k-j` loop order so the
-//! inner loop streams both operands, which auto-vectorizes well — ample for
-//! the scaled-down experiment sizes of this reproduction.
+//! Row-major storage. The multiply kernels are cache-blocked: fixed-size
+//! register accumulator tiles with a `k`-inner loop (the classic GEMM
+//! micro-kernel shape the auto-vectorizer handles well), parallelized over
+//! fixed-size row bands through `seeker-par` when the multiply is large
+//! enough to amortize a dispatch.
+//!
+//! ## Bit-exactness
+//!
+//! Every kernel preserves the accumulation chain of the original naive
+//! loops exactly: each output element is a single sequential sum over
+//! ascending `k`, with the same exact-zero sparsity skip. Tiling only
+//! changes *which order elements are visited across* `(i, j)`, never the
+//! order *within* one element's sum — and the row-band split is a fixed
+//! 64-row partition independent of the worker count, so serial and
+//! parallel products are bit-identical (asserted by
+//! `tests/par_determinism.rs`).
 
 use std::fmt;
+
+/// Row-tile height of the register micro-kernels.
+const MR: usize = 4;
+/// Column-tile width of the `matmul` micro-kernel.
+const NR: usize = 8;
+/// Rows per parallel band. Fixed — never derived from the worker count —
+/// so the band partition (and therefore every float) is identical for any
+/// number of workers.
+const BAND_ROWS: usize = 64;
+/// Multiply-accumulate count below which a product stays serial: small
+/// multiplies finish before a pool dispatch would even wake a worker.
+const PAR_MADD_CUTOFF: usize = 1 << 21;
+
+/// Runs `band_fn(lo, hi, dst)` over fixed 64-row bands of an
+/// `out_rows × out_cols` product, in parallel when `total_madds` is large
+/// enough. `band_fn` must fill `dst` (zero-initialized, `(hi-lo)*out_cols`
+/// values) using only row-local reads, so the band split cannot change any
+/// output bit.
+fn banded_rows(
+    out_rows: usize,
+    out_cols: usize,
+    total_madds: usize,
+    band_fn: impl Fn(usize, usize, &mut [f32]) + Sync,
+) -> Vec<f32> {
+    let n_bands = out_rows.div_ceil(BAND_ROWS);
+    if total_madds < PAR_MADD_CUTOFF || n_bands < 2 {
+        let mut data = vec![0.0f32; out_rows * out_cols];
+        band_fn(0, out_rows, &mut data);
+        return data;
+    }
+    let bands = seeker_par::par_map_indexed_cost(n_bands, seeker_par::Cost::Heavy, |bi| {
+        let lo = bi * BAND_ROWS;
+        let hi = ((bi + 1) * BAND_ROWS).min(out_rows);
+        // One buffer per band — amortized over BAND_ROWS * out_cols
+        // outputs. lint:allow(hot-alloc)
+        let mut buf = vec![0.0f32; (hi - lo) * out_cols];
+        band_fn(lo, hi, &mut buf);
+        buf
+    });
+    let mut data = Vec::with_capacity(out_rows * out_cols);
+    for mut band in bands {
+        data.append(&mut band);
+    }
+    data
+}
 
 /// A dense row-major `f32` matrix.
 #[derive(Clone, PartialEq)]
@@ -110,29 +168,69 @@ impl Matrix {
         &mut self.data
     }
 
-    /// `self @ other` (`rows×k` times `k×cols`).
+    /// `self @ other` (`rows×k` times `k×cols`): blocked MR×NR register
+    /// micro-kernel over parallel row bands, bit-identical to the naive
+    /// `i-k-j` product (module docs).
     ///
     /// # Panics
     ///
     /// Panics on an inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &aik) in a_row.iter().enumerate() {
-                // lint:allow(float-eq) -- exact-zero sparsity skip in the GEMM inner loop
-                if aik == 0.0 {
-                    continue;
+        let (m, kk, n) = (self.rows, self.cols, other.cols);
+        let a = &self.data;
+        let b = &other.data;
+        let data = banded_rows(m, n, m * kk * n, |lo, hi, dst| {
+            let mut i0 = lo;
+            while i0 < hi {
+                let ih = (i0 + MR).min(hi);
+                let mut j0 = 0;
+                while j0 < n {
+                    let jh = (j0 + NR).min(n);
+                    if ih - i0 == MR && jh - j0 == NR {
+                        // Full tile: k-inner with an MR×NR accumulator
+                        // block held in registers.
+                        let mut acc = [[0.0f32; NR]; MR];
+                        for k in 0..kk {
+                            let b_blk = &b[k * n + j0..k * n + j0 + NR];
+                            for (mi, acc_row) in acc.iter_mut().enumerate() {
+                                let aik = a[(i0 + mi) * kk + k];
+                                // lint:allow(float-eq) -- exact-zero sparsity skip in the GEMM inner loop
+                                if aik == 0.0 {
+                                    continue;
+                                }
+                                for (o, &bv) in acc_row.iter_mut().zip(b_blk.iter()) {
+                                    *o += aik * bv;
+                                }
+                            }
+                        }
+                        for (mi, acc_row) in acc.iter().enumerate() {
+                            let at = (i0 + mi - lo) * n + j0;
+                            dst[at..at + NR].copy_from_slice(acc_row);
+                        }
+                    } else {
+                        // Edge tile: scalar, same ascending-k chain.
+                        for i in i0..ih {
+                            for j in j0..jh {
+                                let mut acc = 0.0f32;
+                                for k in 0..kk {
+                                    let aik = a[i * kk + k];
+                                    // lint:allow(float-eq) -- exact-zero sparsity skip in the GEMM inner loop
+                                    if aik == 0.0 {
+                                        continue;
+                                    }
+                                    acc += aik * b[k * n + j];
+                                }
+                                dst[(i - lo) * n + j] = acc;
+                            }
+                        }
+                    }
+                    j0 = jh;
                 }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += aik * b;
-                }
+                i0 = ih;
             }
-        }
-        out
+        });
+        Matrix { rows: m, cols: n, data }
     }
 
     /// `selfᵀ @ other` (`k×rows`ᵀ times `k×cols`), without materializing the
@@ -143,22 +241,29 @@ impl Matrix {
     /// Panics if the row counts disagree.
     pub fn matmul_transpose_self(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "row counts must agree for AᵀB");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-            for (i, &aki) in a_row.iter().enumerate() {
-                // lint:allow(float-eq) -- exact-zero sparsity skip in the GEMM inner loop
-                if aki == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += aki * b;
+        let (kk, ca, n) = (self.rows, self.cols, other.cols);
+        let a = &self.data;
+        let b = &other.data;
+        // Output rows are A's columns; each band streams both operands
+        // top-to-bottom (k ascending) and touches only its own output rows.
+        let data = banded_rows(ca, n, kk * ca * n, |lo, hi, dst| {
+            for k in 0..kk {
+                let a_row = &a[k * ca..(k + 1) * ca];
+                let b_row = &b[k * n..(k + 1) * n];
+                for i in lo..hi {
+                    let aki = a_row[i];
+                    // lint:allow(float-eq) -- exact-zero sparsity skip in the GEMM inner loop
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let o_row = &mut dst[(i - lo) * n..(i - lo + 1) * n];
+                    for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                        *o += aki * bv;
+                    }
                 }
             }
-        }
-        out
+        });
+        Matrix { rows: ca, cols: n, data }
     }
 
     /// `self @ otherᵀ` (`rows×k` times `cols×k`ᵀ), without materializing the
@@ -169,19 +274,42 @@ impl Matrix {
     /// Panics if the column counts disagree.
     pub fn matmul_transpose_other(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "column counts must agree for ABᵀ");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
+        let (m, kk, n) = (self.rows, self.cols, other.rows);
+        let a = &self.data;
+        let b = &other.data;
+        // Dot-product form: MR rows share one streamed `b` row, giving MR
+        // independent sequential sums (k-inner, fixed accumulator tile).
+        let data = banded_rows(m, n, m * kk * n, |lo, hi, dst| {
+            let mut i0 = lo;
+            while i0 < hi {
+                let ih = (i0 + MR).min(hi);
+                for j in 0..n {
+                    let b_row = &b[j * kk..(j + 1) * kk];
+                    if ih - i0 == MR {
+                        let mut acc = [0.0f32; MR];
+                        for (k, &bv) in b_row.iter().enumerate() {
+                            for (mi, o) in acc.iter_mut().enumerate() {
+                                *o += a[(i0 + mi) * kk + k] * bv;
+                            }
+                        }
+                        for (mi, &v) in acc.iter().enumerate() {
+                            dst[(i0 + mi - lo) * n + j] = v;
+                        }
+                    } else {
+                        for i in i0..ih {
+                            let a_row = &a[i * kk..(i + 1) * kk];
+                            let mut acc = 0.0f32;
+                            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                                acc += av * bv;
+                            }
+                            dst[(i - lo) * n + j] = acc;
+                        }
+                    }
                 }
-                out.data[i * other.rows + j] = acc;
+                i0 = ih;
             }
-        }
-        out
+        });
+        Matrix { rows: m, cols: n, data }
     }
 
     /// Adds `vec` to every row in place (bias addition).
@@ -313,6 +441,135 @@ mod tests {
         assert_eq!(a.row(1), &[0.0, 0.0, 7.0]);
         a.row_mut(0)[0] = 5.0;
         assert_eq!(a.get(0, 0), 5.0);
+    }
+
+    /// Deterministic pseudo-random matrix with exact zeros sprinkled in, to
+    /// exercise the sparsity skip.
+    fn synth(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state % 7 == 0 {
+                    0.0
+                } else {
+                    ((state >> 16) as i32 % 1000) as f32 / 250.0 - 2.0
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// The naive reference products with the documented accumulation chain
+    /// (single sequential sum over ascending k, exact-zero skip) — what
+    /// the pre-blocking kernels computed.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Vec<f32> {
+        let (m, kk, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..kk {
+                    let aik = a.get(i, k);
+                    // lint:allow(float-eq) -- mirrors the kernel's sparsity skip
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    acc += aik * b.get(k, j);
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Blocked kernels must be bitwise identical to the naive chains for
+    /// shapes that hit full tiles, edge tiles, and multiple bands.
+    #[test]
+    fn blocked_kernels_match_naive_reference_bitwise() {
+        for &(m, k, n) in
+            &[(1usize, 1usize, 1usize), (4, 8, 8), (5, 7, 9), (67, 33, 13), (130, 17, 70)]
+        {
+            let a = synth(m, k, 1 + (m * 31 + n) as u64);
+            let b = synth(k, n, 2 + (k * 17 + n) as u64);
+            let naive = naive_matmul(&a, &b);
+            let blocked = a.matmul(&b);
+            assert!(
+                naive.iter().zip(blocked.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "matmul {m}x{k}x{n} diverges from the naive chain"
+            );
+
+            // AᵀB via the explicit transpose through the (verified) matmul.
+            let at = {
+                let mut t = Matrix::zeros(k, m);
+                for r in 0..m {
+                    for c in 0..k {
+                        t.set(c, r, a.get(r, c));
+                    }
+                }
+                t
+            };
+            let tself = at.matmul_transpose_self(&b); // (Aᵀ)ᵀ B = A @ B
+            assert!(
+                naive.iter().zip(tself.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "matmul_transpose_self {m}x{k}x{n} diverges"
+            );
+
+            // ABᵀ against its own naive dot-product chain.
+            let bt = {
+                let mut t = Matrix::zeros(n, k);
+                for r in 0..k {
+                    for c in 0..n {
+                        t.set(c, r, b.get(r, c));
+                    }
+                }
+                t
+            };
+            let tother = a.matmul_transpose_other(&bt); // A @ (Bᵀ)ᵀ = A @ B
+            let mut naive_dot = vec![0.0f32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kx in 0..k {
+                        acc += a.get(i, kx) * bt.get(j, kx);
+                    }
+                    naive_dot[i * n + j] = acc;
+                }
+            }
+            assert!(
+                naive_dot.iter().zip(tother.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "matmul_transpose_other {m}x{k}x{n} diverges"
+            );
+        }
+    }
+
+    /// The parallel band path must produce the serial bits — driven above
+    /// the dispatch cutoff explicitly.
+    #[test]
+    fn parallel_bands_match_serial_bitwise() {
+        let a = synth(160, 96, 3);
+        let b = synth(96, 160, 4);
+        let serial = seeker_par::with_threads(1, || a.matmul(&b));
+        let parallel = seeker_par::with_threads(4, || a.matmul(&b));
+        assert!(
+            serial
+                .as_slice()
+                .iter()
+                .zip(parallel.as_slice().iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "parallel matmul bands diverge from serial"
+        );
+        let tall = synth(256, 96, 7);
+        let wide = synth(256, 128, 8);
+        let st = seeker_par::with_threads(1, || tall.matmul_transpose_self(&wide));
+        let pt = seeker_par::with_threads(4, || tall.matmul_transpose_self(&wide));
+        assert_eq!(st.as_slice(), pt.as_slice());
+        let c = synth(160, 96, 5);
+        let so = seeker_par::with_threads(1, || a.matmul_transpose_other(&c));
+        let po = seeker_par::with_threads(4, || a.matmul_transpose_other(&c));
+        assert_eq!(so.as_slice(), po.as_slice());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! # seeker-par
 //!
-//! A scoped, order-preserving chunked thread pool for the pair-quadratic
+//! A persistent, order-preserving chunked thread pool for the pair-quadratic
 //! hot paths of the FriendSeeker reproduction (JOC construction, encoder
-//! batching, k-hop extraction, SVM prediction — see docs/PARALLELISM.md).
+//! batching, k-hop extraction, SVM prediction, GEMM row bands — see
+//! docs/PARALLELISM.md).
 //!
 //! ## Determinism contract
 //!
@@ -15,17 +16,30 @@
 //! workspace-level `tests/par_determinism.rs` suite asserts this end to end
 //! for every wired pipeline stage.
 //!
+//! ## Dispatch model
+//!
+//! Worker threads are spawned lazily, once, and live for the rest of the
+//! process (see `src/pool.rs`); a dispatch costs a queue push and a condvar
+//! notify instead of PR 2's per-call `thread::scope` spawn/join. Whether a
+//! call dispatches at all — and how coarse its chunks are — is decided by
+//! the caller-declared per-item [`Cost`] class via [`plan`]: cheap items
+//! need thousands of instances to amortize a dispatch, expensive items only
+//! a handful. A `par_map` issued from inside a pool worker runs inline
+//! serially (same bits, no deadlock).
+//!
 //! ## Worker count
 //!
 //! The worker count comes from, in order of precedence:
 //!
 //! 1. a thread-local override installed by [`with_threads`] (tests and
 //!    benchmarks compare serial and parallel runs inside one process);
-//! 2. the `SEEKER_THREADS` environment variable;
+//! 2. the `SEEKER_THREADS` environment variable (read **once** per process
+//!    and cached — it is immutable configuration, not a live knob);
 //! 3. [`std::thread::available_parallelism`].
 //!
-//! With 1 worker — or for inputs smaller than [`SERIAL_CUTOFF`] — no thread
-//! is ever spawned and the map runs inline on the caller.
+//! With 1 worker — or for inputs below the cost class's
+//! [`Cost::serial_cutoff`] — no dispatch happens and the map runs inline on
+//! the caller.
 //!
 //! ```
 //! let squares = seeker_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
@@ -34,16 +48,100 @@
 //! assert_eq!(serial, vec![0, 2, 4, 6, 8]);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // not `forbid`: pool.rs holds the one sanctioned unsafe block
 #![deny(missing_docs)]
+
+mod pool;
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::thread;
 
-/// Inputs with fewer items than this run serially even when more workers
-/// are available: below it, thread spawn/join overhead dominates any win.
-pub const SERIAL_CUTOFF: usize = 32;
+/// Approximate per-item cost class, declared by the caller so chunking can
+/// amortize dispatch overhead instead of shipping fixed-size crumbs.
+///
+/// The classes are deliberately coarse — an order-of-magnitude bucket, not
+/// a measurement. Misclassifying costs throughput, never correctness: the
+/// determinism contract holds for every class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cost {
+    /// Sub-microsecond items (integer mixing, a few float ops): only worth
+    /// dispatching in the thousands, in chunks of hundreds.
+    Light,
+    /// Items around 1–30 µs (a kernel evaluation over a feature vector, a
+    /// cell's candidate-pair scan). The default for [`par_map`].
+    Medium,
+    /// Items of 30 µs and up (a pair's k-hop feature extraction, a JOC
+    /// build, a GEMM row band): a handful already amortizes a dispatch.
+    Heavy,
+}
+
+impl Cost {
+    /// Inputs with fewer items than this run serially inline: below it the
+    /// queue push + condvar wakeup costs more than the work.
+    pub fn serial_cutoff(self) -> usize {
+        match self {
+            Cost::Light => 2048,
+            Cost::Medium => 64,
+            Cost::Heavy => 4,
+        }
+    }
+
+    /// Chunks never shrink below this many items, so per-chunk bookkeeping
+    /// (claim, result slot, buffer) stays amortized.
+    pub fn min_chunk(self) -> usize {
+        match self {
+            Cost::Light => 512,
+            Cost::Medium => 16,
+            Cost::Heavy => 1,
+        }
+    }
+
+    /// Lower-case class name for reports and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cost::Light => "light",
+            Cost::Medium => "medium",
+            Cost::Heavy => "heavy",
+        }
+    }
+}
+
+/// The dispatch decision [`plan`] makes for an input length and cost class
+/// at the current worker count. Exposed so benchmarks can attribute
+/// regressions to the exact chunking a stage used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Participating workers (the caller counts as one); 1 means serial
+    /// inline.
+    pub workers: usize,
+    /// Items per contiguous chunk.
+    pub chunk: usize,
+    /// Total chunk count (`n.div_ceil(chunk)`, 0 for an empty input).
+    pub n_chunks: usize,
+}
+
+impl ChunkPlan {
+    /// True when the plan runs inline on the caller without dispatching.
+    pub fn is_serial(&self) -> bool {
+        self.workers <= 1
+    }
+}
+
+/// Computes the dispatch plan for `n` items of class `cost` at the current
+/// [`max_threads`] count: serial below the class cutoff, otherwise four
+/// chunks per worker (stragglers rebalance) floored at the class's minimum
+/// chunk size.
+pub fn plan(n: usize, cost: Cost) -> ChunkPlan {
+    let threads = max_threads();
+    if threads <= 1 || n < cost.serial_cutoff() {
+        return ChunkPlan { workers: 1, chunk: n.max(1), n_chunks: usize::from(n > 0) };
+    }
+    let chunk = n.div_ceil(threads * 4).max(cost.min_chunk());
+    let n_chunks = n.div_ceil(chunk);
+    ChunkPlan { workers: threads.min(n_chunks), chunk, n_chunks }
+}
 
 thread_local! {
     /// Per-thread worker-count override installed by [`with_threads`].
@@ -67,115 +165,112 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// `SEEKER_THREADS`, parsed once per process. Counting the reads lets the
+/// regression test pin "once" exactly without racing on the global
+/// environment.
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+static ENV_READS: AtomicUsize = AtomicUsize::new(0);
+
+/// Parses a raw `SEEKER_THREADS` value; split from the env read so the
+/// parse rules are testable without touching the process environment.
+fn parse_threads(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok()).map(|n| n.max(1))
+}
+
+fn env_threads() -> Option<usize> {
+    *ENV_THREADS.get_or_init(|| {
+        ENV_READS.fetch_add(1, Ordering::Relaxed);
+        parse_threads(std::env::var("SEEKER_THREADS").ok().as_deref())
+    })
+}
+
 /// The effective worker count: the [`with_threads`] override if one is
-/// installed, else `SEEKER_THREADS`, else the machine's available
-/// parallelism (1 if that cannot be determined). Never 0.
+/// installed, else `SEEKER_THREADS` (cached after the first read — this
+/// sits on every dispatch path and must not cost a syscall per call), else
+/// the machine's available parallelism (1 if that cannot be determined).
+/// Never 0.
 pub fn max_threads() -> usize {
     if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
         return n.max(1);
     }
-    if let Ok(v) = std::env::var("SEEKER_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    if let Some(n) = env_threads() {
+        return n;
     }
-    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    static AMBIENT: OnceLock<usize> = OnceLock::new();
+    *AMBIENT.get_or_init(|| thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
 }
 
-/// Maps `f` over `items`, preserving order. Output is bit-identical to
-/// `items.iter().map(f).collect()`; see the crate-level determinism
-/// contract.
+/// Maps `f` over `items`, preserving order, assuming [`Cost::Medium`]
+/// items. Output is bit-identical to `items.iter().map(f).collect()`; see
+/// the crate-level determinism contract.
 pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
-    par_map_indexed(items.len(), |i| f(&items[i]))
+    par_map_cost(items, Cost::Medium, f)
 }
 
-/// Maps `f` over `0..n`, preserving index order. Output is bit-identical to
-/// `(0..n).map(f).collect()`.
+/// [`par_map`] with an explicit per-item cost class.
+pub fn par_map_cost<T: Sync, U: Send>(
+    items: &[T],
+    cost: Cost,
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
+    par_map_indexed_cost(items.len(), cost, |i| f(&items[i]))
+}
+
+/// Maps `f` over `0..n`, preserving index order, assuming [`Cost::Medium`]
+/// items. Output is bit-identical to `(0..n).map(f).collect()`.
 pub fn par_map_indexed<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
-    let threads = max_threads();
-    if threads <= 1 || n < SERIAL_CUTOFF {
+    par_map_indexed_cost(n, Cost::Medium, f)
+}
+
+/// [`par_map_indexed`] with an explicit per-item cost class.
+pub fn par_map_indexed_cost<U: Send>(
+    n: usize,
+    cost: Cost,
+    f: impl Fn(usize) -> U + Sync,
+) -> Vec<U> {
+    let p = plan(n, cost);
+    if p.is_serial() {
         return (0..n).map(f).collect();
     }
-    // Four chunks per worker: coarse enough to amortize dispatch, fine
-    // enough that an uneven item (a dense pair's k-hop extraction, say)
-    // does not leave the other workers idle.
-    let chunk = n.div_ceil(threads * 4).max(1);
-    par_map_chunked(threads, chunk, n, f)
+    par_map_chunked(p.workers, p.chunk, n, f)
 }
 
-/// The deterministic core: maps `f` over `0..n` on up to `threads` workers,
-/// handing out contiguous chunks of `chunk` indices from an atomic counter
-/// and reassembling the per-chunk results in index order.
+/// The deterministic core: maps `f` over `0..n` on up to `threads` workers
+/// of the persistent pool, handing out contiguous chunks of `chunk` indices
+/// from an atomic counter and reassembling the per-chunk results in index
+/// order.
 ///
 /// Exposed (rather than private) so the proptest suite can drive it with
 /// adversarial `threads`/`chunk` combinations; `chunk == 0` is treated
-/// as 1.
+/// as 1. Called from inside a pool worker it runs inline serially (same
+/// bits — see the crate docs on nesting).
 ///
 /// # Panics
 ///
-/// A panic inside `f` on a worker thread is resumed on the caller — the
-/// join handling forwards the original payload via
-/// [`std::panic::resume_unwind`] instead of unwrapping, so no panic ever
-/// originates here.
+/// A panic inside `f` on a worker thread is resumed on the caller with the
+/// original payload via [`std::panic::resume_unwind`], and the pool remains
+/// fully usable afterwards; no panic ever originates here.
 pub fn par_map_chunked<U: Send>(
     threads: usize,
     chunk: usize,
     n: usize,
     f: impl Fn(usize) -> U + Sync,
 ) -> Vec<U> {
-    if threads <= 1 || n == 0 {
+    if threads <= 1 || n == 0 || pool::on_worker_thread() {
         return (0..n).map(f).collect();
     }
     let chunk = chunk.max(1);
     let n_chunks = n.div_ceil(chunk);
     let workers = threads.min(n_chunks);
+    if workers <= 1 {
+        // A single chunk: the caller would do all the work anyway.
+        return (0..n).map(f).collect();
+    }
     seeker_obs::counter!("par.dispatches", 1);
     seeker_obs::counter!("par.chunks", n_chunks as u64);
     seeker_obs::counter!("par.items", n as u64);
     seeker_obs::gauge!("par.workers", workers);
-    let next = AtomicUsize::new(0);
-    let f = &f;
-    let next = &next;
-    // This is the sanctioned pool: scoped workers, order-preserving
-    // reassembly, panic payloads resumed verbatim.
-    // lint:allow(thread-spawn) -- the one place threads may be spawned
-    let per_worker: Vec<Vec<(usize, Vec<U>)>> = thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(move || {
-                    let mut acc: Vec<(usize, Vec<U>)> = Vec::new();
-                    loop {
-                        let c = next.fetch_add(1, Ordering::Relaxed);
-                        if c >= n_chunks {
-                            break;
-                        }
-                        let lo = c * chunk;
-                        let hi = ((c + 1) * chunk).min(n);
-                        // One output buffer per *chunk*, amortized over its
-                        // items — this collect is the pool's product, not
-                        // per-element overhead. lint:allow(hot-alloc)
-                        acc.push((c, (lo..hi).map(f).collect()));
-                    }
-                    acc
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(acc) => acc,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    let mut chunks: Vec<(usize, Vec<U>)> = per_worker.into_iter().flatten().collect();
-    chunks.sort_unstable_by_key(|&(c, _)| c);
-    debug_assert!(chunks.iter().enumerate().all(|(i, &(c, _))| i == c), "chunk index gap");
-    let mut out = Vec::with_capacity(n);
-    for (_, mut part) in chunks {
-        out.append(&mut part);
-    }
-    out
+    pool::run_chunked(workers, chunk, n, f)
 }
 
 #[cfg(test)]
@@ -204,10 +299,11 @@ mod tests {
 
     #[test]
     fn small_inputs_run_inline() {
-        // Below the cutoff the serial path runs regardless of workers; the
-        // output contract is identical either way.
-        let got = with_threads(16, || par_map_indexed(SERIAL_CUTOFF - 1, |i| i + 1));
-        assert_eq!(got.len(), SERIAL_CUTOFF - 1);
+        // Below the class cutoff the serial path runs regardless of
+        // workers; the output contract is identical either way.
+        let n = Cost::Medium.serial_cutoff() - 1;
+        let got = with_threads(16, || par_map_indexed(n, |i| i + 1));
+        assert_eq!(got.len(), n);
         assert_eq!(got[0], 1);
     }
 
@@ -238,7 +334,7 @@ mod tests {
     fn worker_panic_propagates_to_caller() {
         let result = std::panic::catch_unwind(|| {
             with_threads(4, || {
-                par_map_indexed(1000, |i| {
+                par_map_chunked(4, 8, 1000, |i| {
                     assert!(i != 613, "boom at 613");
                     i
                 })
@@ -248,8 +344,111 @@ mod tests {
     }
 
     #[test]
+    fn pool_stays_usable_after_repeated_panics() {
+        let expected: Vec<usize> = (0..512).map(|i| i * 2).collect();
+        for round in 0..3usize {
+            let poison = 100 + round;
+            let r = std::panic::catch_unwind(|| {
+                with_threads(4, || {
+                    par_map_chunked(4, 8, 512, |i| {
+                        assert!(i != poison, "boom at {poison}");
+                        i
+                    })
+                })
+            });
+            assert!(r.is_err(), "round {round}: panic must propagate");
+            // The very next call on the same pool must succeed, in order.
+            let ok = with_threads(4, || par_map_chunked(4, 8, 512, |i| i * 2));
+            assert_eq!(ok, expected, "round {round}: pool must stay usable");
+        }
+    }
+
+    #[test]
+    fn nested_par_map_matches_serial() {
+        // The outer map dispatches; inner maps run both on the caller
+        // thread (real nested dispatch) and on pool workers (inline
+        // serial). All variants must agree with the plain nested loop.
+        let expected: Vec<usize> =
+            (0..200).map(|i| (0..20).map(|j| i * j).sum::<usize>()).collect();
+        let got = with_threads(4, || {
+            par_map_chunked(4, 4, 200, |i| {
+                par_map_chunked(4, 2, 20, |j| i * j).iter().sum::<usize>()
+            })
+        });
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn worker_count_changes_between_calls_reuse_the_pool() {
+        let expected: Vec<u64> = (0..5000u64).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        for &t in &[2usize, 8, 3, 16, 5] {
+            let got = with_threads(t, || {
+                par_map_indexed_cost(5000, Cost::Light, |i| (i as u64).wrapping_mul(2_654_435_761))
+            });
+            assert_eq!(got, expected, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn env_var_is_read_at_most_once_per_process() {
+        let _ = max_threads();
+        let before = ENV_READS.load(Ordering::Relaxed);
+        assert!(before <= 1, "env read before first max_threads call");
+        for _ in 0..100 {
+            let _ = max_threads();
+        }
+        assert_eq!(
+            ENV_READS.load(Ordering::Relaxed),
+            before,
+            "max_threads must not re-read SEEKER_THREADS"
+        );
+    }
+
+    #[test]
+    fn parse_threads_rules() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("garbage")), None);
+        assert_eq!(parse_threads(Some(" 6 ")), Some(6));
+        assert_eq!(parse_threads(Some("0")), Some(1), "0 clamps to 1");
+    }
+
+    #[test]
+    fn plan_respects_cutoffs_and_floors() {
+        with_threads(8, || {
+            for cost in [Cost::Light, Cost::Medium, Cost::Heavy] {
+                let below = plan(cost.serial_cutoff() - 1, cost);
+                assert!(below.is_serial(), "{}: below cutoff must be serial", cost.name());
+                let at = plan(cost.serial_cutoff(), cost);
+                assert!(!at.is_serial(), "{}: at cutoff must dispatch", cost.name());
+                assert!(at.chunk >= cost.min_chunk(), "{}: chunk floor", cost.name());
+                assert!(at.workers <= 8);
+            }
+        });
+        with_threads(1, || {
+            assert!(plan(1_000_000, Cost::Light).is_serial(), "1 worker is always serial");
+        });
+        let empty = plan(0, Cost::Heavy);
+        assert!(empty.is_serial());
+        assert_eq!(empty.n_chunks, 0);
+    }
+
+    #[test]
+    fn plan_covers_all_items() {
+        with_threads(6, || {
+            for n in [4usize, 64, 100, 2048, 10_000, 28_680] {
+                for cost in [Cost::Light, Cost::Medium, Cost::Heavy] {
+                    let p = plan(n, cost);
+                    assert_eq!(p.n_chunks, n.div_ceil(p.chunk), "n={n} {}", cost.name());
+                    assert!(p.workers >= 1 && p.workers <= p.n_chunks.max(1));
+                }
+            }
+        });
+    }
+
+    #[test]
     fn non_send_sync_free_of_captured_state_is_fine() {
-        // Borrowed captures work through the scoped pool.
+        // Borrowed captures work through the persistent pool.
         let base = vec![10u32, 20, 30, 40];
         let doubled = with_threads(2, || par_map_chunked(2, 1, base.len(), |i| base[i] * 2));
         assert_eq!(doubled, vec![20, 40, 60, 80]);

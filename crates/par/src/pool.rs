@@ -1,0 +1,269 @@
+//! The persistent worker pool behind [`crate::par_map_chunked`].
+//!
+//! PR 2's pool spawned fresh scoped threads on every call, which made every
+//! dispatch pay a `thread::scope` spawn/join round trip — measured at
+//! 0.75–0.97× *slowdowns* across the wired stages in `BENCH_par.json`. This
+//! module replaces it with a lazily-initialized, process-long pool: workers
+//! are spawned once (detached, parked on a condvar) and calls hand them
+//! borrowed jobs through a shared queue.
+//!
+//! ## Soundness protocol
+//!
+//! Workers outlive any single call, so a job referencing the caller's stack
+//! needs its lifetime erased (the one sanctioned `unsafe` in the workspace,
+//! in [`erase`]). The erasure is sound because `run_chunked` enforces a
+//! strict happens-before between the last helper touch and the caller's
+//! return:
+//!
+//! 1. The caller enqueues `helpers` copies of a job reference, each tagged
+//!    with a fresh `job_id`, and seeds an `outstanding` counter with that
+//!    count *before* any copy becomes visible to a worker.
+//! 2. After finishing its own share of the chunk loop, the caller removes
+//!    every still-queued copy of its `job_id` from the queue and subtracts
+//!    the removed count from `outstanding`.
+//! 3. Every copy a worker *did* pop decrements `outstanding` as its final
+//!    action; the caller blocks on a condvar until `outstanding == 0`.
+//!
+//! After step 3 no queued or running copy of the job exists anywhere, so no
+//! reference into the caller's frame survives the call.
+//!
+//! ## Panics
+//!
+//! The chunk loop wraps the user closure in `catch_unwind`; the first panic
+//! payload is stashed and resumed **verbatim** on the caller (the PR 2
+//! contract), remaining chunks drain without running the closure, and the
+//! worker thread itself never unwinds — a panicking map leaves the pool
+//! fully reusable.
+//!
+//! ## Nesting
+//!
+//! A `par_map` issued *from a worker thread* runs inline (serially) on that
+//! worker: the thread-local [`on_worker_thread`] flag short-circuits
+//! dispatch. Output is bit-identical either way — inline is the serial
+//! reference evaluation — and the pool never deadlocks waiting on itself.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread;
+
+thread_local! {
+    /// True on pool worker threads; nested maps run inline there.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is a pool worker. Nested `par_map` calls
+/// check this and run serially inline instead of re-entering the queue.
+pub(crate) fn on_worker_thread() -> bool {
+    IS_WORKER.with(Cell::get)
+}
+
+/// Locks a mutex, continuing through poisoning: the pool's own state stays
+/// consistent across user-closure panics (they are caught before any lock
+/// here is held), so a poisoned flag carries no information.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A borrowed job with its lifetime erased so it can sit in the
+/// process-long queue. Only [`erase`] creates these, and only
+/// [`run_chunked`]'s cancel-and-wait protocol (module docs) makes holding
+/// one sound.
+#[derive(Clone, Copy)]
+struct TaskRef(&'static (dyn Fn() + Sync));
+
+/// Erases the lifetime of a borrowed job closure.
+///
+/// This is the single sanctioned `unsafe` in the workspace (the crate is
+/// `deny(unsafe_code)`, not `forbid`, exactly for this function — see
+/// `Cargo.toml`).
+#[allow(unsafe_code)]
+fn erase(task: &(dyn Fn() + Sync)) -> TaskRef {
+    // SAFETY: purely a lifetime transmute between identical fat-pointer
+    // types. The produced `TaskRef` is only ever dereferenced by pool
+    // workers between `enqueue` and the end of `run_chunked`'s
+    // cancel-and-wait sequence, which proves (module docs) that every copy
+    // is either executed to completion or removed from the queue before
+    // the borrowed frame is released.
+    TaskRef(unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(task) })
+}
+
+/// One queued copy of a call's helper job.
+struct Job {
+    id: u64,
+    task: TaskRef,
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Worker threads spawned so far (they never exit).
+    workers: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+static NEXT_JOB_ID: AtomicU64 = AtomicU64::new(0);
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState { queue: VecDeque::new(), workers: 0 }),
+        work: Condvar::new(),
+    })
+}
+
+/// Body of every pool worker: park on the condvar, pop a job, run it.
+/// Workers are detached and live for the rest of the process; they hold no
+/// state besides the popped `Job`, so process exit while parked is clean.
+fn worker_main() {
+    IS_WORKER.with(|w| w.set(true));
+    let p = pool();
+    let mut st = lock(&p.state);
+    loop {
+        if let Some(job) = st.queue.pop_front() {
+            drop(st);
+            (job.task.0)();
+            st = lock(&p.state);
+        } else {
+            st = p.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Pushes `copies` copies of `task` tagged with `id`, lazily growing the
+/// pool so at least `copies` workers exist. Spawn failure is tolerated:
+/// un-popped copies are reclaimed by [`cancel`] after the caller finishes
+/// its own share.
+fn enqueue(id: u64, task: &(dyn Fn() + Sync), copies: usize) {
+    let p = pool();
+    let t = erase(task);
+    let mut st = lock(&p.state);
+    while st.workers < copies {
+        // Once per worker ever spawned (workers are process-long), not per
+        // dispatch. lint:allow(hot-alloc)
+        let name = format!("seeker-par-{}", st.workers);
+        // lint:allow(thread-spawn) -- the one place worker threads are created
+        match thread::Builder::new().name(name).spawn(worker_main) {
+            Ok(_) => {
+                st.workers += 1;
+                seeker_obs::counter!("par.pool.workers_spawned", 1);
+            }
+            Err(_) => break,
+        }
+    }
+    for _ in 0..copies {
+        st.queue.push_back(Job { id, task: t });
+    }
+    drop(st);
+    p.work.notify_all();
+}
+
+/// Removes every still-queued copy of job `id`, returning how many were
+/// removed (they will never run, so the caller deducts them from its
+/// outstanding count).
+fn cancel(id: u64) -> usize {
+    let mut st = lock(&pool().state);
+    let before = st.queue.len();
+    st.queue.retain(|j| j.id != id);
+    before - st.queue.len()
+}
+
+/// The deterministic chunked map on the persistent pool. `workers >= 2`,
+/// `chunk >= 1`, `n >= 1` (the serial short-circuits live in the caller).
+///
+/// Identical output contract to the serial map: chunk `c` covers indices
+/// `[c*chunk, min((c+1)*chunk, n))`, each chunk is mapped by `f` into its
+/// own slot, and slots are concatenated in index order.
+pub(crate) fn run_chunked<U: Send>(
+    workers: usize,
+    chunk: usize,
+    n: usize,
+    f: impl Fn(usize) -> U + Sync,
+) -> Vec<U> {
+    let n_chunks = n.div_ceil(chunk);
+    let helpers = workers.min(n_chunks).saturating_sub(1);
+
+    // Per-chunk result slots and the shared claim counter. Allocating the
+    // slot vector is one allocation per *call*, amortized over all items.
+    // lint:allow(hot-alloc)
+    let slots: Vec<Mutex<Option<Vec<U>>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let failure: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+    // The chunk loop every participant (caller + helpers) runs.
+    let work = || loop {
+        let c = next.fetch_add(1, Ordering::Relaxed);
+        if c >= n_chunks {
+            break;
+        }
+        if lock(&failure).is_some() {
+            // A sibling panicked: claim-and-skip the remaining chunks so
+            // everyone exits quickly without running `f` again.
+            continue;
+        }
+        let lo = c * chunk;
+        let hi = ((c + 1) * chunk).min(n);
+        let part = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            // One output buffer per chunk — the pool's product, not
+            // per-element overhead. lint:allow(hot-alloc)
+            (lo..hi).map(&f).collect::<Vec<U>>()
+        }));
+        match part {
+            Ok(part) => *lock(&slots[c]) = Some(part),
+            Err(payload) => {
+                let mut first = lock(&failure);
+                if first.is_none() {
+                    *first = Some(payload);
+                }
+            }
+        }
+    };
+
+    // Completion tracking for the helper copies (module docs, steps 1–3).
+    let outstanding = Mutex::new(helpers);
+    let done = Condvar::new();
+    let helper = || {
+        work();
+        let mut left = lock(&outstanding);
+        *left -= 1;
+        if *left == 0 {
+            done.notify_all();
+        }
+    };
+
+    let job_id = NEXT_JOB_ID.fetch_add(1, Ordering::Relaxed);
+    if helpers > 0 {
+        enqueue(job_id, &helper, helpers);
+    }
+    work(); // the caller is participant 0
+
+    if helpers > 0 {
+        let cancelled = cancel(job_id);
+        let mut left = lock(&outstanding);
+        *left -= cancelled;
+        while *left > 0 {
+            left = done.wait(left).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    // From here no queued or running copy of `helper` exists: the borrow
+    // erased in `enqueue` is dead and the frame may be released.
+
+    if let Some(payload) = lock(&failure).take() {
+        std::panic::resume_unwind(payload);
+    }
+    let mut out = Vec::with_capacity(n);
+    for slot in &slots {
+        let part = lock(slot).take();
+        debug_assert!(part.is_some(), "completed call is missing a chunk result");
+        if let Some(mut part) = part {
+            out.append(&mut part);
+        }
+    }
+    out
+}

@@ -33,4 +33,44 @@ proptest! {
         let par = with_threads(threads, || crate::par_map(&items, |&x| u64::from(x) * 3 + 1));
         prop_assert_eq!(serial, par);
     }
+
+    /// Every cost class produces the serial bits for any worker count —
+    /// the class only moves the serial/parallel decision and the chunk
+    /// size, never the output.
+    #[test]
+    fn cost_classes_preserve_serial_bits(
+        n in 0usize..3000,
+        threads in 1usize..9,
+        which in 0usize..3,
+    ) {
+        let cost = [crate::Cost::Light, crate::Cost::Medium, crate::Cost::Heavy][which];
+        let serial: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E37_79B9)).collect();
+        let par = with_threads(threads, || {
+            crate::par_map_indexed_cost(n, cost, |i| (i as u64).wrapping_mul(0x9E37_79B9))
+        });
+        prop_assert_eq!(serial, par);
+    }
+
+    /// A panic at an arbitrary index propagates to the caller for any
+    /// (threads, chunk) combination, and the pool immediately serves the
+    /// next call correctly — the adversarial persistent-pool property.
+    #[test]
+    fn panic_mid_chunk_propagates_and_pool_recovers(
+        n in 1usize..400,
+        poison_frac in 0.0f64..1.0,
+        threads in 2usize..7,
+        chunk in 1usize..40,
+    ) {
+        let poison = ((n as f64 * poison_frac) as usize).min(n - 1);
+        let r = std::panic::catch_unwind(|| {
+            par_map_chunked(threads, chunk, n, |i| {
+                assert!(i != poison, "poisoned index");
+                i
+            })
+        });
+        prop_assert!(r.is_err(), "panic at {} of {} must propagate", poison, n);
+        let after = par_map_chunked(threads, chunk, n, |i| i + 1);
+        let expected: Vec<usize> = (1..=n).collect();
+        prop_assert_eq!(after, expected);
+    }
 }

@@ -86,15 +86,16 @@ impl CellIndex {
     /// worker count.
     pub fn candidate_pairs(&self) -> Vec<UserPair> {
         let _span = seeker_obs::span!("spatial.cell_index.candidates");
-        let per_cell: Vec<Vec<UserPair>> = seeker_par::par_map(&self.cells, |(_, users)| {
-            let mut out = Vec::with_capacity(users.len().saturating_sub(1) * users.len() / 2);
-            for (i, &a) in users.iter().enumerate() {
-                for &b in &users[i + 1..] {
-                    out.push(UserPair::new(a, b));
+        let per_cell: Vec<Vec<UserPair>> =
+            seeker_par::par_map_cost(&self.cells, seeker_par::Cost::Medium, |(_, users)| {
+                let mut out = Vec::with_capacity(users.len().saturating_sub(1) * users.len() / 2);
+                for (i, &a) in users.iter().enumerate() {
+                    for &b in &users[i + 1..] {
+                        out.push(UserPair::new(a, b));
+                    }
                 }
-            }
-            out
-        });
+                out
+            });
         let mut pairs: Vec<UserPair> = per_cell.into_iter().flatten().collect();
         pairs.sort_unstable();
         pairs.dedup();

@@ -2,7 +2,8 @@
 //!
 //! Every pipeline stage wired into the `seeker-par` pool — per-pair JOC
 //! construction, encoder batching, k-hop composite-feature extraction
-//! inside refinement, and batch SVM prediction — must produce **bit
+//! inside refinement, batch SVM prediction, and the blocked GEMM's
+//! row-band dispatch — must produce **bit
 //! identical** output with one worker and with several
 //! (docs/PARALLELISM.md's determinism contract). `seeker_par::with_threads`
 //! forces the worker count per run, so both sides execute in one process.
@@ -10,6 +11,7 @@
 use friendseeker::features::{composite_feature, FeatureStore};
 use friendseeker::pairs::labeled_pairs;
 use friendseeker::{FriendSeeker, FriendSeekerConfig, TrainedAttack};
+use seeker_nn::Matrix;
 use seeker_par::with_threads;
 use seeker_trace::synth::{generate, SyntheticConfig};
 use seeker_trace::{Dataset, UserPair};
@@ -94,4 +96,74 @@ fn svm_batch_predict_is_deterministic() {
     let serial_dec = with_threads(1, || svm.decision(&scaled));
     let parallel_dec = with_threads(PAR, || svm.decision(&scaled));
     assert_eq!(serial_dec, parallel_dec, "decision values must be bit-identical");
+}
+
+/// Batch `decision` agrees bitwise with per-row `decision_one` on the
+/// trained attack's SVM: the blocked lane kernel and the dispatch layer
+/// must both be transparent to the decision values.
+#[test]
+fn svm_batch_decision_matches_decision_one_bitwise() {
+    let (target, attack, pairs) = fixture();
+    let store = FeatureStore::build(attack.phase1(), target, pairs);
+    let graph = attack.phase1().predict_graph(target, pairs);
+    let k = attack.config().k_hop;
+    let features: Vec<Vec<f32>> =
+        pairs.iter().map(|&p| composite_feature(&graph, p, k, &store)).collect();
+    let scaled = attack.phase2().scaler().transform(&features);
+    let svm = attack.phase2().svm();
+    let batch = with_threads(PAR, || svm.decision(&scaled));
+    for (row, &d) in scaled.iter().zip(&batch) {
+        assert_eq!(
+            d.to_bits(),
+            svm.decision_one(row).to_bits(),
+            "batch decision must equal decision_one bitwise"
+        );
+    }
+}
+
+/// Deterministic matrix with exact zeros sprinkled in (zero-skip paths in
+/// the GEMM micro-kernels are part of the bit-exactness contract).
+fn synth_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    let data = (0..rows * cols)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state % 7 == 0 {
+                0.0
+            } else {
+                ((state % 2000) as f32 - 1000.0) * 1e-3
+            }
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Blocked GEMM: all three product variants, at sizes above the parallel
+/// dispatch cutoff, produce the serial bits with several workers.
+#[test]
+fn blocked_gemm_is_deterministic() {
+    // 160*160*96 and 96*128*256 madds both exceed the ~2.1M parallel
+    // dispatch cutoff, so the PAR side really runs on the pool.
+    let a = synth_matrix(160, 96, 11);
+    let b = synth_matrix(96, 160, 22);
+    let tall = synth_matrix(256, 96, 33);
+    let wide = synth_matrix(256, 128, 44);
+    let other = synth_matrix(160, 96, 55);
+
+    let cases: [(&str, &dyn Fn() -> Matrix); 3] = [
+        ("matmul", &|| a.matmul(&b)),
+        ("matmul_transpose_self", &|| tall.matmul_transpose_self(&wide)),
+        ("matmul_transpose_other", &|| a.matmul_transpose_other(&other)),
+    ];
+    for (name, f) in cases {
+        let serial = with_threads(1, f);
+        let parallel = with_threads(PAR, f);
+        assert_eq!(serial.rows(), parallel.rows(), "{name}: row counts must match");
+        assert_eq!(serial.cols(), parallel.cols(), "{name}: col counts must match");
+        let s_bits: Vec<u32> = serial.as_slice().iter().map(|v| v.to_bits()).collect();
+        let p_bits: Vec<u32> = parallel.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(s_bits, p_bits, "{name}: blocked GEMM must be bit-identical across workers");
+    }
 }
