@@ -1,0 +1,316 @@
+//! The 1k → 1M scale harness: wall time and peak memory per pipeline stage
+//! on streaming-generated worlds, written to `results/BENCH_scale.json`.
+//!
+//! Per size (default 1k / 10k / 100k users; `--smoke` runs 1k only) the
+//! harness times each stage of the sharded pipeline — streaming world
+//! emission, dataset materialization, sharded candidate enumeration, and
+//! sharded two-phase inference — and records the process peak RSS
+//! (`seeker_obs::peak_rss_bytes`, the `VmHWM` high-water mark) after each
+//! stage. The attack is trained **once**, on a 1000-user world whose region
+//! is widened to cover every target's terrain: the spatial division is
+//! frozen at training time, so a target check-in outside the trained
+//! bounding box would silently fall out of the universe.
+//!
+//! Peak RSS is process-cumulative (the kernel high-water mark never
+//! decreases), so sizes run ascending and the marginal growth between sizes
+//! is the attributable cost of the larger world.
+//!
+//! The never-co-located residue gate is asserted *sound* here: on every
+//! world of ≥ 10 000 users the zero-JOC fallback
+//! (`attack.candidates.fallback_full`) must NOT engage — the scale preset
+//! trains classifier `C` against enough zero-JOC negatives to reject the
+//! residue, and this harness is the regression net for that property.
+//!
+//! The 1M point is extrapolated from the measured sizes by a log-log fit
+//! unless `SEEKER_BENCH_1M=1` opts into measuring it. Gate mode: when
+//! `SEEKER_BENCH_GATE` is set to a float (MiB), the process exits non-zero
+//! if the final peak RSS exceeds it.
+
+#![deny(missing_docs, dead_code)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use friendseeker::{candidate_universe_sharded, FriendSeeker, FriendSeekerConfig, TrainedAttack};
+use seeker_bench::report::results_dir;
+use seeker_trace::stream::StreamingWorld;
+use seeker_trace::synth::SyntheticConfig;
+use seeker_trace::Dataset;
+
+/// Measured world sizes (ascending — see the peak-RSS note above).
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+/// The extrapolated (or measured, with `SEEKER_BENCH_1M=1`) headline size.
+const ONE_MILLION: usize = 1_000_000;
+
+/// Shard count policy: chunks of ~500 users' worth of work, at least 4.
+fn shard_policy(n_users: usize) -> usize {
+    (n_users / 500).max(4)
+}
+
+fn peak_mib() -> f64 {
+    seeker_obs::peak_rss_bytes().map_or(f64::NAN, |b| b as f64 / (1024.0 * 1024.0))
+}
+
+/// One measured size's record.
+struct SizeReport {
+    users: usize,
+    checkins: usize,
+    n_shards: usize,
+    build_ms: f64,
+    stream_ms: f64,
+    materialize_ms: f64,
+    candidates_ms: f64,
+    infer_ms: f64,
+    all_pairs: u64,
+    candidates: u64,
+    retained_fraction: f64,
+    fallback_full: bool,
+    edges_predicted: usize,
+    iterations: usize,
+    peak_after_world_bytes: u64,
+    peak_after_candidates_bytes: u64,
+    peak_after_infer_bytes: u64,
+}
+
+fn run_size(attack: &TrainedAttack, cfg: &SyntheticConfig, n_shards: usize) -> SizeReport {
+    // Stage 1: the O(users) skeleton (no check-in is materialized yet).
+    let t0 = Instant::now();
+    let world = StreamingWorld::build(cfg).expect("world skeleton");
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Stage 2: one full streaming pass, counting only — this is the memory
+    // floor of consuming the world without a dataset.
+    let t0 = Instant::now();
+    let mut checkins = 0usize;
+    world.for_each_checkin(|_, _, _| checkins += 1);
+    let stream_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Stage 3: the attack needs random trajectory access, so materialize.
+    let t0 = Instant::now();
+    let target: Dataset = world.materialize().expect("materialize").dataset;
+    let materialize_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(world);
+    let peak_after_world_bytes = seeker_obs::peak_rss_bytes().unwrap_or(0);
+
+    // Stage 4: sharded candidate enumeration.
+    let t0 = Instant::now();
+    let universe = candidate_universe_sharded(attack.phase1(), &target, n_shards)
+        .expect("universe fits the platform");
+    let candidates_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let peak_after_candidates_bytes = seeker_obs::peak_rss_bytes().unwrap_or(0);
+    if target.n_users() >= 10_000 {
+        assert!(
+            !universe.residue_predicted_friend,
+            "degenerate pruning gate: zero-JOC p={:.4} >= threshold on a {}-user world — \
+             the scale-trained classifier must reject the never-co-located residue",
+            universe.residue_probability,
+            target.n_users()
+        );
+    }
+
+    // Stage 5: sharded two-phase inference over the candidate universe
+    // (enumeration is timed separately above, so call phase 2 directly).
+    let t0 = Instant::now();
+    let trace = attack.phase2().infer_sharded(
+        attack.config(),
+        attack.phase1(),
+        &target,
+        &universe.pairs,
+        n_shards,
+    );
+    let infer_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let peak_after_infer_bytes = seeker_obs::peak_rss_bytes().unwrap_or(0);
+    seeker_obs::gauge!("attack.scale.peak_bytes", peak_after_infer_bytes as f64);
+
+    eprintln!(
+        "  {} users / {checkins} check-ins / {n_shards} shards: build {build_ms:.0} ms, \
+         stream {stream_ms:.0} ms, materialize {materialize_ms:.0} ms, candidates \
+         {candidates_ms:.0} ms, infer {infer_ms:.0} ms; {} of {} pairs retained \
+         ({:.4} %), {} edges, {} iteration(s); peak RSS {:.0} MiB",
+        target.n_users(),
+        universe.pairs.len(),
+        universe.n_total,
+        100.0 * universe.retained_fraction(),
+        trace.final_graph().n_edges(),
+        trace.n_iterations(),
+        peak_mib()
+    );
+
+    SizeReport {
+        users: target.n_users(),
+        checkins,
+        n_shards,
+        build_ms,
+        stream_ms,
+        materialize_ms,
+        candidates_ms,
+        infer_ms,
+        all_pairs: universe.n_total,
+        candidates: universe.pairs.len() as u64,
+        retained_fraction: universe.retained_fraction(),
+        fallback_full: universe.residue_predicted_friend,
+        edges_predicted: trace.final_graph().n_edges(),
+        iterations: trace.n_iterations(),
+        peak_after_world_bytes,
+        peak_after_candidates_bytes,
+        peak_after_infer_bytes,
+    }
+}
+
+/// Log-log slope through the two largest measured points, evaluated at `x`.
+fn extrapolate(points: &[(f64, f64)], x: f64) -> Option<f64> {
+    let [.., (x1, y1), (x2, y2)] = points else { return None };
+    if *y1 <= 0.0 || *y2 <= 0.0 || x1 == x2 {
+        return None;
+    }
+    let slope = (y2 / y1).ln() / (x2 / x1).ln();
+    Some(y2 * (x / x2).powf(slope))
+}
+
+fn main() {
+    let _obs = seeker_obs::init_cli_sinks();
+    let seed = seeker_bench::seed_from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let measure_1m = std::env::var("SEEKER_BENCH_1M").is_ok_and(|v| v == "1");
+    let gate_mib: Option<f64> =
+        std::env::var("SEEKER_BENCH_GATE").ok().and_then(|g| g.parse().ok());
+    let sizes: Vec<usize> = if smoke { vec![SIZES[0]] } else { SIZES.to_vec() };
+    eprintln!(
+        "bench_scale: seed {seed}, sizes {sizes:?}{}{}",
+        if measure_1m { " + measured 1M" } else { " + extrapolated 1M" },
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Train once on a 1000-user world whose region is widened to the
+    // largest target's extent (and whose cities are spread out so the
+    // division's bounding box reaches the target terrain). The division is
+    // frozen at training time; a region mismatch would silently drop every
+    // out-of-box target check-in from the universe.
+    // The training geometry is held fixed across smoke and full runs (the
+    // full sweep's largest size, or 1M when measured): smoke mode must
+    // train the exact model the full run would, so a calibration
+    // regression that would break the ≥ 10k pruning gate fails the CI
+    // smoke too.
+    let largest = if measure_1m { ONE_MILLION } else { SIZES[SIZES.len() - 1] };
+    let mut train_cfg = SyntheticConfig::scale(1_000, seed);
+    train_cfg.region_extent_km = SyntheticConfig::scale(largest, seed).region_extent_km;
+    train_cfg.n_cities = 24;
+    let t0 = Instant::now();
+    let train = StreamingWorld::build(&train_cfg)
+        .expect("train world")
+        .materialize()
+        .expect("train world")
+        .dataset;
+    let attack =
+        FriendSeeker::new(FriendSeekerConfig::scale()).train(&train).expect("scale training");
+    let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "  trained on {} users in {train_ms:.0} ms (zero-JOC p={:.4}, threshold {:.4})",
+        train.n_users(),
+        attack.phase1().zero_joc_proba(),
+        attack.phase1().threshold()
+    );
+    // Model-level form of the ≥ 10k pruning gate, checked up front (and in
+    // smoke mode, where no ≥ 10k world runs): candidate pruning is sound
+    // iff the zero-JOC probability calibrates below the threshold.
+    assert!(
+        attack.phase1().zero_joc_proba() < attack.phase1().threshold(),
+        "degenerate pruning gate: the scale() preset no longer rejects the residue"
+    );
+
+    let mut reports: Vec<SizeReport> = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let cfg = SyntheticConfig::scale(n, seed + 1 + i as u64);
+        reports.push(run_size(&attack, &cfg, shard_policy(n)));
+    }
+    if measure_1m {
+        let cfg = SyntheticConfig::scale(ONE_MILLION, seed + 99);
+        reports.push(run_size(&attack, &cfg, shard_policy(ONE_MILLION)));
+    }
+
+    // 1M projection from the measured curve (total wall and peak RSS).
+    let wall: Vec<(f64, f64)> = reports
+        .iter()
+        .map(|r| {
+            let total = r.build_ms + r.stream_ms + r.materialize_ms + r.candidates_ms + r.infer_ms;
+            (r.users as f64, total)
+        })
+        .collect();
+    let mem: Vec<(f64, f64)> =
+        reports.iter().map(|r| (r.users as f64, r.peak_after_infer_bytes as f64)).collect();
+    let projected_wall_ms = extrapolate(&wall, ONE_MILLION as f64);
+    let projected_peak_bytes = extrapolate(&mem, ONE_MILLION as f64);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"streaming + sharded pipeline scale harness\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"train_users\": {},", train.n_users());
+    let _ = writeln!(json, "  \"train_ms\": {train_ms:.1},");
+    let _ = writeln!(json, "  \"shard_policy\": \"max(4, users / 500)\",");
+    let _ = writeln!(json, "  \"sizes\": [");
+    for (i, r) in reports.iter().enumerate() {
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"users\": {},", r.users);
+        let _ = writeln!(json, "      \"checkins\": {},", r.checkins);
+        let _ = writeln!(json, "      \"n_shards\": {},", r.n_shards);
+        let _ = writeln!(json, "      \"stages_ms\": {{");
+        let _ = writeln!(json, "        \"world_build\": {:.3},", r.build_ms);
+        let _ = writeln!(json, "        \"stream_count\": {:.3},", r.stream_ms);
+        let _ = writeln!(json, "        \"materialize\": {:.3},", r.materialize_ms);
+        let _ = writeln!(json, "        \"candidates\": {:.3},", r.candidates_ms);
+        let _ = writeln!(json, "        \"infer\": {:.3}", r.infer_ms);
+        let _ = writeln!(json, "      }},");
+        let _ = writeln!(json, "      \"peak_rss_bytes\": {{");
+        let _ = writeln!(json, "        \"after_world\": {},", r.peak_after_world_bytes);
+        let _ = writeln!(json, "        \"after_candidates\": {},", r.peak_after_candidates_bytes);
+        let _ = writeln!(json, "        \"after_infer\": {}", r.peak_after_infer_bytes);
+        let _ = writeln!(json, "      }},");
+        let _ = writeln!(json, "      \"universe\": {{");
+        let _ = writeln!(json, "        \"all_pairs\": {},", r.all_pairs);
+        let _ = writeln!(json, "        \"candidates\": {},", r.candidates);
+        let _ = writeln!(json, "        \"retained_fraction\": {:.8},", r.retained_fraction);
+        let _ = writeln!(json, "        \"fallback_full\": {}", r.fallback_full);
+        let _ = writeln!(json, "      }},");
+        let _ = writeln!(json, "      \"edges_predicted\": {},", r.edges_predicted);
+        let _ = writeln!(json, "      \"iterations\": {}", r.iterations);
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"one_million\": {{");
+    let _ = writeln!(json, "    \"users\": {ONE_MILLION},");
+    let _ = writeln!(json, "    \"measured\": {measure_1m},");
+    match (projected_wall_ms, projected_peak_bytes) {
+        (Some(w), Some(m)) if !measure_1m => {
+            let _ = writeln!(json, "    \"extrapolated_wall_ms\": {w:.1},");
+            let _ = writeln!(json, "    \"extrapolated_peak_bytes\": {m:.0},");
+        }
+        _ => {
+            let _ = writeln!(json, "    \"extrapolated_wall_ms\": null,");
+            let _ = writeln!(json, "    \"extrapolated_peak_bytes\": null,");
+        }
+    }
+    let _ =
+        writeln!(json, "    \"basis\": \"log-log slope through the two largest measured sizes\"");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_scale.json");
+    std::fs::write(&path, json).expect("write BENCH_scale.json");
+    eprintln!("saved {}", path.display());
+
+    if let Some(limit_mib) = gate_mib {
+        let peak = peak_mib();
+        if !(peak <= limit_mib) {
+            eprintln!("bench_scale: GATE FAILED — peak RSS {peak:.0} MiB > {limit_mib:.0} MiB");
+            seeker_obs::flush();
+            std::process::exit(1);
+        }
+        eprintln!("bench_scale: gate ok — peak RSS {peak:.0} MiB <= {limit_mib:.0} MiB");
+    }
+    seeker_obs::flush();
+}

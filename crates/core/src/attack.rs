@@ -5,7 +5,7 @@ use seeker_graph::SocialGraph;
 use seeker_ml::BinaryMetrics;
 use seeker_trace::{Dataset, UserPair};
 
-use crate::candidates::{candidate_universe, CandidateUniverse};
+use crate::candidates::{candidate_universe, candidate_universe_sharded, CandidateUniverse};
 use crate::config::FriendSeekerConfig;
 use crate::error::Result;
 use crate::pairs::{all_pairs, ground_truth_labels};
@@ -117,7 +117,9 @@ impl TrainedAttack {
     /// clears the decision threshold, pruning would flip real decisions,
     /// so the run logs the event and falls back to the full universe.
     /// `SEEKER_FULL_REFINE=1` forces the full universe *and* full
-    /// per-iteration recomputation.
+    /// per-iteration recomputation. `SEEKER_SHARDS=<n>` routes the run
+    /// through [`TrainedAttack::infer_sharded`] with `n` shards (both set:
+    /// the full-refine hatch wins).
     ///
     /// # Errors
     ///
@@ -126,6 +128,9 @@ impl TrainedAttack {
     pub fn infer(&self, target: &Dataset) -> Result<InferenceResult> {
         if crate::phase2::full_refine_from_env() {
             return self.infer_full(target);
+        }
+        if let Some(n_shards) = crate::phase2::shards_from_env() {
+            return self.infer_sharded(target, n_shards);
         }
         let universe = candidate_universe(&self.phase1, target)?;
         if universe.residue_predicted_friend {
@@ -157,6 +162,51 @@ impl TrainedAttack {
         let mut result = self.infer_pairs(target, pairs);
         result.candidates = Some(universe);
         Ok(result)
+    }
+
+    /// Runs the attack shard-by-shard: candidate enumeration, phase-1
+    /// scoring, and phase-2 refinement all process `n_shards` chunks at a
+    /// time, so no full-universe intermediate (per-cell pair lists, feature
+    /// store, composite-feature cache, or SVM batch) is ever materialized —
+    /// peak memory is `O(users + candidate pairs + universe/n_shards)`.
+    ///
+    /// The output is bit-identical to [`TrainedAttack::infer`] on the same
+    /// target (pinned by the shard contract tests); the universe split,
+    /// residue accounting, and unsound-pruning fallback behave identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::AttackError::PairUniverse`] if the universe size
+    /// does not fit the platform.
+    pub fn infer_sharded(&self, target: &Dataset, n_shards: usize) -> Result<InferenceResult> {
+        let universe = candidate_universe_sharded(&self.phase1, target, n_shards)?;
+        if universe.residue_predicted_friend {
+            seeker_obs::counter!("attack.candidates.fallback_full", 1);
+            seeker_obs::info!(
+                "attack.candidates: zero-JOC probability {:.4} >= threshold {:.4}; residue pruning unsound, using full universe",
+                universe.residue_probability,
+                self.phase1.threshold()
+            );
+            let mut result = self.infer_pairs(target, all_pairs(target)?);
+            result.candidates = Some(universe);
+            return Ok(result);
+        }
+        if universe.pairs.is_empty() {
+            return Ok(InferenceResult {
+                pairs: Vec::new(),
+                trace: IterationTrace {
+                    graphs: vec![SocialGraph::new(target.n_users())],
+                    change_ratios: Vec::new(),
+                    converged: true,
+                },
+                candidates: Some(universe),
+            });
+        }
+        let _span = seeker_obs::span!("attack.infer");
+        seeker_obs::counter!("core.pairs_evaluated", universe.pairs.len() as u64);
+        let trace =
+            self.phase2.infer_sharded(&self.cfg, &self.phase1, target, &universe.pairs, n_shards);
+        Ok(InferenceResult { pairs: universe.pairs.clone(), trace, candidates: Some(universe) })
     }
 
     /// Runs the attack over the **full** quadratic universe with full

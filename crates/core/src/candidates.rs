@@ -82,6 +82,43 @@ pub fn candidate_universe(phase1: &Phase1Model, target: &Dataset) -> Result<Cand
     })
 }
 
+/// [`candidate_universe`] computed shard-by-shard: the [`seeker_spatial`]
+/// cell index enumerates co-located pairs over `n_shards` contiguous cell
+/// ranges (each pair owned by exactly one shard) instead of materializing
+/// per-cell pair lists for the whole index at once.
+///
+/// The result is bit-identical to [`candidate_universe`] — the shard
+/// contract tests pin this for shard counts {1, 2, 7, 64} — so the two are
+/// interchangeable; the sharded form caps transient memory on large worlds.
+///
+/// # Errors
+///
+/// Returns [`crate::AttackError::PairUniverse`] if the universe size does
+/// not fit the platform.
+pub fn candidate_universe_sharded(
+    phase1: &Phase1Model,
+    target: &Dataset,
+    n_shards: usize,
+) -> Result<CandidateUniverse> {
+    let _span = seeker_obs::span!("attack.candidates");
+    let n_total = pair_universe_size(target.n_users())? as u64;
+    let index = seeker_spatial::CellIndex::build(target, phase1.division());
+    let pairs = index.candidate_pairs_sharded(n_shards);
+    let n_residue = n_total - pairs.len() as u64;
+    let residue_probability = phase1.zero_joc_proba();
+    let residue_predicted_friend = residue_probability >= phase1.threshold();
+    seeker_obs::counter!("attack.candidates.pairs", pairs.len() as u64);
+    seeker_obs::counter!("attack.candidates.residue", n_residue);
+    seeker_obs::gauge!("attack.candidates.zero_joc_proba", residue_probability);
+    Ok(CandidateUniverse {
+        pairs,
+        n_total,
+        n_residue,
+        residue_probability,
+        residue_predicted_friend,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +145,25 @@ mod tests {
         let all = all_pairs(&target).unwrap();
         let set: std::collections::BTreeSet<_> = all.iter().collect();
         assert!(u.pairs.iter().all(|p| set.contains(p)));
+    }
+
+    #[test]
+    fn sharded_universe_matches_reference() {
+        let train = generate(&SyntheticConfig::small(61)).unwrap().dataset;
+        let target = generate(&SyntheticConfig::small(62)).unwrap().dataset;
+        let cfg = FriendSeekerConfig::fast();
+        let p1 = train_phase1(&cfg, &train).unwrap();
+        let reference = candidate_universe(&p1.model, &target).unwrap();
+        for n_shards in [1usize, 2, 7, 64] {
+            let sharded = candidate_universe_sharded(&p1.model, &target, n_shards).unwrap();
+            assert_eq!(sharded.pairs, reference.pairs, "{n_shards} shards");
+            assert_eq!(sharded.n_total, reference.n_total);
+            assert_eq!(sharded.n_residue, reference.n_residue);
+            assert_eq!(
+                sharded.residue_probability.to_bits(),
+                reference.residue_probability.to_bits()
+            );
+            assert_eq!(sharded.residue_predicted_friend, reference.residue_predicted_friend);
+        }
     }
 }

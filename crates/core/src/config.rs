@@ -65,6 +65,16 @@ pub struct FriendSeekerConfig {
     pub convergence_threshold: f64,
     /// Non-friend training pairs sampled per friend pair.
     pub negative_ratio: f64,
+    /// Synthetic all-zero JOC rows appended to phase-1 training as
+    /// negatives (0 = off, the default). Real pairs always carry solo
+    /// `n_a`/`n_b` presence counts, so the all-zero row that stands in for
+    /// the never-co-located residue (see `candidates`) is otherwise *out
+    /// of distribution* and its prediction is calibration luck — observed
+    /// anywhere from 0.02 to 0.95 across otherwise-equivalent worlds.
+    /// Training the exact residue representative as a negative pins it
+    /// near zero, which keeps candidate pruning sound (`fallback_full`
+    /// disengaged) regardless of world geometry.
+    pub zero_joc_negatives: usize,
     /// Fraction of the labeled pairs held out from autoencoder training and
     /// used to fit classifier `C'`. Training `C'` on pairs the phase-1
     /// model never saw gives it realistically *noisy* graph features — the
@@ -101,6 +111,7 @@ impl Default for FriendSeekerConfig {
             max_iterations: 8,
             convergence_threshold: 0.01,
             negative_ratio: 1.0,
+            zero_joc_negatives: 0,
             oof_fraction: 0.3,
             uniform_grid_depth: None,
             seed: 42,
@@ -118,6 +129,36 @@ impl FriendSeekerConfig {
             epochs: 15,
             max_iterations: 3,
             ..Default::default()
+        }
+    }
+
+    /// The scale-harness configuration: [`FriendSeekerConfig::fast`]'s
+    /// small feature dimension, plus explicit zero-JOC negatives so
+    /// classifier `C` *provably* rejects the all-zero row that scores the
+    /// never-co-located residue — the property that keeps candidate
+    /// pruning sound (no `fallback_full`) on large sparse worlds
+    /// (see [`FriendSeekerConfig::zero_joc_negatives`]).
+    ///
+    /// Training cost must stay minutes-bounded on 1000-user worlds even on
+    /// a single core, and the dominant term is the autoencoder GEMM volume
+    /// `rows × hidden × n_cells × epochs`. Scale worlds have ~10× the POIs
+    /// of the toy worlds, so the two spatial levers matter most: a coarse
+    /// quadtree (σ = 160 caps the STD at a few thousand cells instead of
+    /// tens of thousands) and a narrow first hidden layer (128). The SMO
+    /// fit of `C'` is quadratic in calibration rows, so the out-of-fold
+    /// slice shrinks and the γ grid is disabled.
+    pub fn scale() -> Self {
+        FriendSeekerConfig {
+            sigma: 160,
+            max_hidden: 128,
+            negative_ratio: 2.0,
+            zero_joc_negatives: 256,
+            svm_auto_gamma: false,
+            oof_fraction: 0.15,
+            max_iterations: 2,
+            batch_size: 256,
+            epochs: 10,
+            ..Self::fast()
         }
     }
 

@@ -67,6 +67,53 @@ impl FeatureStore {
             .ok()
             .map(|slot| self.features.row(self.index[slot].1))
     }
+
+    /// Merges two stores built from the same model and dataset into one
+    /// lookup universe (the shard-by-shard inference path joins a per-chunk
+    /// store with the current graph's edge store).
+    ///
+    /// A pair present in both keeps `self`'s row — the rows are identical by
+    /// construction, because `h` is a pure per-pair function of the model
+    /// and dataset and encoding a row does not depend on its batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two stores disagree on the feature dimension.
+    pub fn merged(&self, other: &FeatureStore) -> FeatureStore {
+        assert_eq!(self.dim(), other.dim(), "feature stores must share one dimension");
+        let d = self.dim();
+        let mut index: Vec<(UserPair, usize)> = Vec::with_capacity(self.len() + other.len());
+        let mut data: Vec<f32> = Vec::with_capacity((self.len() + other.len()) * d);
+        let mut push = |pair: UserPair, row: &[f32]| {
+            index.push((pair, index.len()));
+            data.extend_from_slice(row);
+        };
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.index.len() || j < other.index.len() {
+            match (self.index.get(i), other.index.get(j)) {
+                (Some(&(pa, ra)), Some(&(pb, _))) if pa < pb => {
+                    push(pa, self.features.row(ra));
+                    i += 1;
+                }
+                (Some(&(pa, ra)), Some(&(pb, _))) if pa == pb => {
+                    push(pa, self.features.row(ra));
+                    i += 1;
+                    j += 1;
+                }
+                (_, Some(&(pb, rb))) => {
+                    push(pb, other.features.row(rb));
+                    j += 1;
+                }
+                (Some(&(pa, ra)), None) => {
+                    push(pa, self.features.row(ra));
+                    i += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        let rows = index.len();
+        FeatureStore { index, features: Matrix::from_vec(rows, d, data) }
+    }
 }
 
 /// Embeds a k-hop reachable subgraph into the social-proximity feature
@@ -194,6 +241,31 @@ mod tests {
         let d = store.dim();
         assert_eq!(v.len(), 3 * d);
         assert_eq!(&v[..d], store.get(pairs[0]).unwrap());
+    }
+
+    #[test]
+    fn merged_store_is_a_sorted_union() {
+        let (ds, model, pairs) = setup();
+        let sub = &pairs[..200];
+        let full = FeatureStore::build(model, ds, sub);
+        // Overlapping halves: the union must dedup and keep bit-identical rows.
+        let a = FeatureStore::build(model, ds, &sub[..120]);
+        let b = FeatureStore::build(model, ds, &sub[80..]);
+        let merged = a.merged(&b);
+        assert_eq!(merged.len(), sub.len());
+        assert_eq!(merged.dim(), full.dim());
+        for &p in sub {
+            assert_eq!(merged.get(p).unwrap(), full.get(p).unwrap());
+        }
+        // Disjoint merge commutes on lookups.
+        let c = FeatureStore::build(model, ds, &sub[..100]);
+        let d = FeatureStore::build(model, ds, &sub[100..]);
+        let cd = c.merged(&d);
+        let dc = d.merged(&c);
+        assert_eq!(cd.len(), sub.len());
+        for &p in sub {
+            assert_eq!(cd.get(p).unwrap(), dc.get(p).unwrap());
+        }
     }
 
     #[test]

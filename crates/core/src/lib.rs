@@ -50,7 +50,7 @@ mod proptests;
 /// The end-to-end two-phase attack entry points.
 pub use attack::{FriendSeeker, InferenceResult, TrainedAttack};
 /// Co-occurrence candidate universe split.
-pub use candidates::{candidate_universe, CandidateUniverse};
+pub use candidates::{candidate_universe, candidate_universe_sharded, CandidateUniverse};
 /// Attack hyper-parameters.
 pub use config::{ClassifierKind, FriendSeekerConfig};
 /// Typed attack errors.

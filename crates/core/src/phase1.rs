@@ -69,12 +69,18 @@ pub fn train_phase1(cfg: &FriendSeekerConfig, train: &Dataset) -> Result<Phase1T
     }
     let (fit_idx, holdout) =
         seeker_ml::stratified_split(&train_pairs.labels, cfg.oof_fraction, cfg.seed ^ 0x00f);
-    let xs: Vec<SparseRow> = {
+    let mut xs: Vec<SparseRow> = {
         let _span = seeker_obs::span!("phase1.joc");
         fit_idx.iter().map(|&i| joc_row(&division, train, train_pairs.pairs[i])).collect()
     };
-    let ys: Vec<f32> =
+    let mut ys: Vec<f32> =
         fit_idx.iter().map(|&i| if train_pairs.labels[i] { 1.0 } else { 0.0 }).collect();
+    // Sampled pairs always carry solo presence counts, so the all-zero row
+    // that later stands in for the never-co-located residue is out of
+    // distribution unless trained explicitly (see
+    // `FriendSeekerConfig::zero_joc_negatives`).
+    xs.extend(std::iter::repeat_with(SparseRow::new).take(cfg.zero_joc_negatives));
+    ys.extend(std::iter::repeat(0.0).take(cfg.zero_joc_negatives));
 
     let mut ae_cfg =
         SupervisedAutoencoderConfig::new(division.n_cells() * Joc::CHANNELS, cfg.feature_dim);
@@ -95,14 +101,14 @@ pub fn train_phase1(cfg: &FriendSeekerConfig, train: &Dataset) -> Result<Phase1T
             let encoded = autoencoder.encode(&xs);
             let rows: Vec<Vec<f32>> =
                 (0..encoded.rows()).map(|r| encoded.row(r).to_vec()).collect();
-            let labels: Vec<bool> = fit_idx.iter().map(|&i| train_pairs.labels[i]).collect();
+            let labels: Vec<bool> = fit_labels(&fit_idx, &train_pairs, cfg.zero_joc_negatives);
             knn = Some(KnnClassifier::fit(k, rows, labels));
         }
         ClassifierKind::RandomForest { n_trees } => {
             let encoded = autoencoder.encode(&xs);
             let rows: Vec<Vec<f32>> =
                 (0..encoded.rows()).map(|r| encoded.row(r).to_vec()).collect();
-            let labels: Vec<bool> = fit_idx.iter().map(|&i| train_pairs.labels[i]).collect();
+            let labels: Vec<bool> = fit_labels(&fit_idx, &train_pairs, cfg.zero_joc_negatives);
             let fcfg = seeker_ml::ForestConfig { n_trees, seed: cfg.seed, ..Default::default() };
             forest = Some(seeker_ml::RandomForest::fit(&fcfg, &rows, &labels));
         }
@@ -117,6 +123,14 @@ pub fn train_phase1(cfg: &FriendSeekerConfig, train: &Dataset) -> Result<Phase1T
     }
 
     Ok(Phase1Training { model, report, train_pairs, holdout })
+}
+
+/// Boolean fit-set labels: the sampled pairs' labels followed by the
+/// synthetic zero-JOC negatives (matching the row order of `xs`).
+fn fit_labels(fit_idx: &[usize], train_pairs: &LabeledPairs, n_zero: usize) -> Vec<bool> {
+    let mut labels: Vec<bool> = fit_idx.iter().map(|&i| train_pairs.labels[i]).collect();
+    labels.extend(std::iter::repeat(false).take(n_zero));
+    labels
 }
 
 /// The F1-maximizing decision threshold over scored labels (ties grouped).

@@ -79,6 +79,18 @@ pub(crate) fn full_refine_from_env() -> bool {
     full_refine_requested(std::env::var("SEEKER_FULL_REFINE").ok().as_deref())
 }
 
+/// Parses a `SEEKER_SHARDS` value: a positive shard count routes
+/// [`crate::TrainedAttack::infer`] through the shard-by-shard pipeline.
+/// Split from the env read so tests need no `set_var` races.
+pub(crate) fn shards_requested(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+/// Reads the `SEEKER_SHARDS` opt-in from the environment.
+pub(crate) fn shards_from_env() -> Option<usize> {
+    shards_requested(std::env::var("SEEKER_SHARDS").ok().as_deref())
+}
+
 /// Composite features of a fixed pair list, kept in sync with a refinement
 /// graph sequence by recomputing only *dirty* pairs.
 ///
@@ -402,6 +414,124 @@ impl Phase2Model {
         trace
     }
 
+    /// Shard-by-shard variant of [`Phase2Model::infer`]: no full-universe
+    /// intermediate — neither the whole-universe presence-feature store,
+    /// nor the composite-feature cache, nor one giant SVM batch — is ever
+    /// materialized. Per-iteration state is `O(pairs)` booleans plus one
+    /// chunk of features at a time.
+    ///
+    /// Output is bit-identical to [`Phase2Model::infer`] (pinned by the
+    /// shard contract tests for shard counts {1, 2, 7, 64}): presence
+    /// encoding, scaling, SVM decisions, and composite features are all
+    /// per-row pure, so chunked batches produce the reference rows, and the
+    /// dirty set is derived by the same influence-set rule the incremental
+    /// `FeatureCache` uses. Each chunk's composite features read a store
+    /// joining the chunk's own presence rows with the current graph's edge
+    /// rows — besides its own pair, a k-hop path embedding can only ever
+    /// look up edges of the graph it walks, and every such edge is a member
+    /// of the candidate universe.
+    pub fn infer_sharded(
+        &self,
+        cfg: &FriendSeekerConfig,
+        phase1: &Phase1Model,
+        target: &Dataset,
+        pairs: &[UserPair],
+        n_shards: usize,
+    ) -> IterationTrace {
+        let _span = seeker_obs::span!("phase2.infer");
+        seeker_obs::gauge!("phase2.infer.shards", n_shards);
+        // G⁰ chunk-by-chunk: classifier C is per-row pure, so concatenating
+        // chunk predictions reproduces the batched reference graph.
+        let mut graph = SocialGraph::new(target.n_users());
+        for range in seeker_spatial::shard_ranges(pairs.len(), n_shards) {
+            let chunk = &pairs[range];
+            if chunk.is_empty() {
+                continue;
+            }
+            for (&pair, friend) in chunk.iter().zip(phase1.predict(target, chunk)) {
+                if friend {
+                    graph.add_edge(pair);
+                }
+            }
+        }
+        seeker_obs::gauge!("phase2.infer.g0.edges", graph.n_edges());
+        let mut trace = IterationTrace {
+            graphs: vec![graph.clone()],
+            change_ratios: Vec::new(),
+            converged: self.n_iterations == 0,
+        };
+        let mut preds: Vec<bool> = Vec::new();
+        // The graph the current `preds` were scored against (None before
+        // the first iteration) — the role `FeatureCache::graph` plays in
+        // the reference path.
+        let mut feat_graph: Option<SocialGraph> = None;
+        for _ in 0..self.n_iterations.min(cfg.max_iterations) {
+            let _iter_span = seeker_obs::span!("phase2.infer.iter");
+            let dirty: Vec<usize> = match feat_graph.as_ref() {
+                None => {
+                    preds = vec![false; pairs.len()];
+                    (0..pairs.len()).collect()
+                }
+                Some(prev) => {
+                    let diff = seeker_graph::changed_edges(prev, &graph);
+                    if diff.is_empty() {
+                        Vec::new()
+                    } else {
+                        let radius = cfg.k_hop.saturating_sub(1);
+                        let reach = seeker_graph::influence_set(prev, &graph, &diff, radius);
+                        pairs
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, p)| reach[p.lo().index()] && reach[p.hi().index()])
+                            .map(|(i, _)| i)
+                            .collect()
+                    }
+                }
+            };
+            seeker_obs::counter!("phase2.refine.dirty_pairs", dirty.len() as u64);
+            if !dirty.is_empty() {
+                // Presence rows for the scoring graph's edges: the only
+                // rows a composite feature reads besides its own pair's.
+                let edge_pairs: Vec<UserPair> = graph.edges().collect();
+                let edge_store = (!edge_pairs.is_empty())
+                    .then(|| FeatureStore::build(phase1, target, &edge_pairs));
+                for range in seeker_spatial::shard_ranges(dirty.len(), n_shards) {
+                    let chunk_idx = &dirty[range];
+                    if chunk_idx.is_empty() {
+                        continue;
+                    }
+                    let chunk: Vec<UserPair> = chunk_idx.iter().map(|&i| pairs[i]).collect();
+                    let chunk_store = FeatureStore::build(phase1, target, &chunk);
+                    let store = match edge_store.as_ref() {
+                        Some(es) => es.merged(&chunk_store),
+                        None => chunk_store,
+                    };
+                    let rows = seeker_par::par_map_cost(&chunk, seeker_par::Cost::Heavy, |&p| {
+                        composite_feature(&graph, p, cfg.k_hop, &store)
+                    });
+                    let fresh = self.svm.predict(&self.scaler.transform(&rows));
+                    for (&i, p) in chunk_idx.iter().zip(fresh) {
+                        preds[i] = p;
+                    }
+                }
+            }
+            feat_graph = Some(graph.clone());
+            let next = graph_from_predictions(target.n_users(), pairs, &preds);
+            let change = graph.change_ratio(&next);
+            seeker_obs::counter!("phase2.edge_churn", graph.edge_difference(&next) as u64);
+            seeker_obs::gauge!("phase2.infer.iter.edges", next.n_edges());
+            seeker_obs::gauge!("phase2.infer.iter.change_ratio", change);
+            trace.graphs.push(next.clone());
+            trace.change_ratios.push(change);
+            graph = next;
+            if change < cfg.convergence_threshold {
+                trace.converged = true;
+                break;
+            }
+        }
+        trace
+    }
+
     /// The underlying SVM (ablation inspection).
     pub fn svm(&self) -> &Svm {
         &self.svm
@@ -589,6 +719,45 @@ mod tests {
         if let Some(&last) = trace.change_ratios.last() {
             if last < cfg.convergence_threshold {
                 assert!(trace.converged);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_env_parsers() {
+        assert!(full_refine_requested(Some("1")));
+        assert!(full_refine_requested(Some("true")));
+        assert!(!full_refine_requested(Some("0")));
+        assert!(!full_refine_requested(None));
+        assert_eq!(shards_requested(None), None);
+        assert_eq!(shards_requested(Some("0")), None);
+        assert_eq!(shards_requested(Some("8")), Some(8));
+        assert_eq!(shards_requested(Some(" 16 ")), Some(16));
+        assert_eq!(shards_requested(Some("many")), None);
+    }
+
+    #[test]
+    fn sharded_inference_matches_reference_bitwise() {
+        let (ds, cfg, p1) = setup();
+        let (model, _) = train_phase2(cfg, &p1.model, ds, &p1.train_pairs, &p1.holdout).unwrap();
+        // Give the model a positive iteration budget even if early stopping
+        // chose 0 during training, so the refinement loop actually runs.
+        let model = Phase2Model::from_parts(
+            model.scaler().clone(),
+            model.svm().clone(),
+            model.svm_config().clone(),
+            cfg.max_iterations,
+        );
+        let pairs = &p1.train_pairs.pairs;
+        let reference = model.infer(cfg, &p1.model, ds, pairs);
+        assert!(reference.n_iterations() >= 1);
+        for n_shards in [1usize, 2, 7, 64] {
+            let sharded = model.infer_sharded(cfg, &p1.model, ds, pairs, n_shards);
+            assert_eq!(sharded.converged, reference.converged, "{n_shards} shards");
+            assert_eq!(sharded.graphs, reference.graphs, "{n_shards} shards");
+            assert_eq!(sharded.change_ratios.len(), reference.change_ratios.len());
+            for (a, b) in sharded.change_ratios.iter().zip(&reference.change_ratios) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{n_shards} shards");
             }
         }
     }

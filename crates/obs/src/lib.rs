@@ -466,6 +466,28 @@ pub fn init_cli_sinks() -> Vec<SinkGuard> {
     guards
 }
 
+/// Peak resident-set size of this process in bytes (the memory high-water
+/// mark), read from the `VmHWM` line of `/proc/self/status`.
+///
+/// Returns `None` on platforms without procfs or when the line is absent —
+/// callers (the scale bench, memory-ceiling gates) must treat the reading as
+/// best-effort. The value is monotonic over the process lifetime: it reports
+/// the highest RSS *so far*, not the current one.
+///
+/// This is an environment probe, not a measurement of deterministic state,
+/// so it lives here with the other wall-clock-adjacent machinery that the
+/// determinism lint exempts for this crate.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
 // ---------------------------------------------------------------------------
 // Macros
 // ---------------------------------------------------------------------------
@@ -523,6 +545,19 @@ macro_rules! info {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peak_rss_reads_a_plausible_high_water_mark() {
+        // Linux CI always has procfs; on other platforms the probe must
+        // degrade to None rather than panic (exercised by calling it at all).
+        if let Some(bytes) = peak_rss_bytes() {
+            assert!(bytes > 0, "a live process has touched at least one page");
+            assert!(bytes < 1 << 46, "implausible HWM: {bytes}");
+            // Monotonic: a second reading never goes down.
+            let again = peak_rss_bytes().unwrap();
+            assert!(again >= bytes);
+        }
+    }
 
     #[test]
     fn level_parsing_accepts_canonical_values() {

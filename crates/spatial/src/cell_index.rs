@@ -64,6 +64,57 @@ impl CellIndex {
         CellIndex { cells }
     }
 
+    /// Builds the index restricted to the flat cells in `flat_range` — one
+    /// shard of a range partition of the division's cell domain.
+    ///
+    /// Concatenating the shards of a partition (see
+    /// [`crate::shard_ranges`] over `division.n_cells()`) via
+    /// [`CellIndex::merge`] reproduces [`CellIndex::build`] exactly: each
+    /// check-in maps to exactly one flat cell, so it lands in exactly one
+    /// shard.
+    pub fn build_range(
+        ds: &Dataset,
+        division: &SpatialTemporalDivision,
+        flat_range: std::ops::Range<usize>,
+    ) -> Self {
+        let _span = seeker_obs::span!("spatial.shard.index_build");
+        let mut map: BTreeMap<usize, BTreeSet<UserId>> = BTreeMap::new();
+        for c in ds.checkins() {
+            if let Some((grid, slot)) = division.cell_of(c) {
+                let flat = division.flat_index(grid, slot);
+                if flat_range.contains(&flat) {
+                    map.entry(flat).or_default().insert(c.user);
+                }
+            }
+        }
+        let cells: Vec<(usize, Vec<UserId>)> =
+            map.into_iter().map(|(cell, users)| (cell, users.into_iter().collect())).collect();
+        seeker_obs::counter!("spatial.shard.index_builds", 1);
+        CellIndex { cells }
+    }
+
+    /// Merges shard indices over *disjoint* cell domains into one index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two shards contain the same cell (the inputs were not a
+    /// partition).
+    pub fn merge(shards: impl IntoIterator<Item = CellIndex>) -> CellIndex {
+        let mut cells: Vec<(usize, Vec<UserId>)> =
+            shards.into_iter().flat_map(|s| s.cells).collect();
+        cells.sort_unstable_by_key(|&(c, _)| c);
+        assert!(
+            cells.windows(2).all(|w| w[0].0 < w[1].0),
+            "shard indices must cover disjoint cell ranges"
+        );
+        CellIndex { cells }
+    }
+
+    /// Number of occupied cells in the index.
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
     /// The sorted users of a flat cell index (empty when unoccupied).
     pub fn users_in(&self, flat_cell: usize) -> &[UserId] {
         self.cells
@@ -100,6 +151,78 @@ impl CellIndex {
         pairs.sort_unstable();
         pairs.dedup();
         seeker_obs::counter!("spatial.cell_index.candidate_pairs", pairs.len() as u64);
+        pairs
+    }
+
+    /// [`CellIndex::candidate_pairs`] computed shard-by-shard over a range
+    /// partition of the occupied-cell list, without ever materializing the
+    /// duplicated per-cell pair lists.
+    ///
+    /// Each pair sharing ≥ 1 cell is *owned* by exactly one cell — the first
+    /// common entry of the two users' sorted occupied-cell lists — and a
+    /// shard emits a pair only from its owning cell. The shard outputs are
+    /// therefore disjoint, their union is exactly the sharing pairs, and one
+    /// deterministic sort of the concatenation reproduces the reference
+    /// output for **any** shard count and worker count. Peak memory is the
+    /// candidate set itself plus the `O(incidences)` per-user transpose,
+    /// instead of the reference's duplicated per-cell enumeration.
+    pub fn candidate_pairs_sharded(&self, n_shards: usize) -> Vec<UserPair> {
+        let _span = seeker_obs::span!("spatial.shard.candidates");
+        // Transpose: user → ascending positions into `self.cells`. Scanning
+        // cells in position order pushes positions in ascending order.
+        let n_users = self
+            .cells
+            .iter()
+            .flat_map(|(_, users)| users.iter())
+            .map(|u| u.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut positions: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+        for (pos, (_, users)) in self.cells.iter().enumerate() {
+            for u in users {
+                positions[u.index()].push(pos as u32);
+            }
+        }
+        // First common element of two ascending position lists == `c`?
+        // Both lists contain `c`, so the merge always terminates by `c`.
+        let owns = |pa: &[u32], pb: &[u32], c: u32| -> bool {
+            let (mut i, mut j) = (0usize, 0usize);
+            loop {
+                let (a, b) = (pa[i], pb[j]);
+                if a == b {
+                    return a == c;
+                }
+                if a < b {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+        };
+        let ranges = crate::shard_ranges(self.cells.len(), n_shards);
+        seeker_obs::gauge!("spatial.shard.count", ranges.len());
+        let per_shard: Vec<Vec<UserPair>> =
+            seeker_par::par_map_cost(&ranges, seeker_par::Cost::Heavy, |range| {
+                let mut out = Vec::new();
+                for c in range.clone() {
+                    let users = &self.cells[c].1;
+                    for (i, &a) in users.iter().enumerate() {
+                        for &b in &users[i + 1..] {
+                            if owns(&positions[a.index()], &positions[b.index()], c as u32) {
+                                out.push(UserPair::new(a, b));
+                            }
+                        }
+                    }
+                }
+                out
+            });
+        let mut pairs: Vec<UserPair> = per_shard.into_iter().flatten().collect();
+        pairs.sort_unstable();
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0] < w[1]),
+            "cell ownership must emit every pair exactly once"
+        );
+        seeker_obs::counter!("spatial.shard.candidate_pairs", pairs.len() as u64);
         pairs
     }
 }
@@ -186,6 +309,42 @@ mod tests {
         let n = ds.n_users();
         assert!(!candidates.is_empty());
         assert!(candidates.len() < n * (n - 1) / 2, "co-occurrence must prune something");
+    }
+
+    #[test]
+    fn sharded_candidates_match_reference_for_all_shard_counts() {
+        let (ds, std) = fixture();
+        let index = CellIndex::build(&ds, &std);
+        let reference = index.candidate_pairs();
+        for n_shards in [1usize, 2, 7, 64, 1000] {
+            let sharded = index.candidate_pairs_sharded(n_shards);
+            assert_eq!(sharded, reference, "shard count {n_shards}");
+        }
+    }
+
+    #[test]
+    fn range_built_shards_merge_to_full_index() {
+        let (ds, std) = fixture();
+        let full = CellIndex::build(&ds, &std);
+        for n_shards in [1usize, 2, 7, 64] {
+            let shards = crate::shard_ranges(std.n_cells(), n_shards)
+                .into_iter()
+                .map(|r| CellIndex::build_range(&ds, &std, r));
+            let merged = CellIndex::merge(shards);
+            assert_eq!(merged.n_cells(), full.n_cells(), "shard count {n_shards}");
+            for ((ca, ua), (cb, ub)) in merged.cells().zip(full.cells()) {
+                assert_eq!((ca, ua), (cb, ub), "shard count {n_shards}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn merging_overlapping_shards_panics() {
+        let (ds, std) = fixture();
+        let a = CellIndex::build_range(&ds, &std, 0..std.n_cells());
+        let b = CellIndex::build_range(&ds, &std, 0..std.n_cells());
+        let _ = CellIndex::merge([a, b]);
     }
 
     #[test]

@@ -94,6 +94,86 @@ impl Joc {
         Joc { n_grids: division.n_grids(), n_slots: division.n_slots(), cells }
     }
 
+    /// Builds the JOC restricted to the flat cells in `flat_range` — one
+    /// shard of a range partition of the division's cell domain.
+    ///
+    /// Every check-in maps to exactly one flat cell, so over a partition of
+    /// `0..division.n_cells()` (see [`crate::shard_ranges`]) the shard JOCs
+    /// have disjoint occupied cells and [`Joc::merge`] of all shards equals
+    /// [`Joc::build`] exactly.
+    pub fn build_in(
+        division: &SpatialTemporalDivision,
+        traj_a: &[CheckIn],
+        traj_b: &[CheckIn],
+        flat_range: std::ops::Range<usize>,
+    ) -> Joc {
+        // Per-cell count and POI set for one user, restricted to the shard:
+        // out-of-range check-ins never enter the accumulator, so a shard
+        // build's working set is bounded by its own cell range.
+        fn accumulate_in(
+            division: &SpatialTemporalDivision,
+            traj: &[CheckIn],
+            flat_range: &std::ops::Range<usize>,
+        ) -> BTreeMap<(u32, u32), (u32, BTreeSet<PoiId>)> {
+            let mut m: BTreeMap<(u32, u32), (u32, BTreeSet<PoiId>)> = BTreeMap::new();
+            for c in traj {
+                if let Some((g, s)) = division.cell_of(c) {
+                    if flat_range.contains(&division.flat_index(g, s)) {
+                        let e = m.entry((g as u32, s as u32)).or_default();
+                        e.0 += 1;
+                        e.1.insert(c.poi);
+                    }
+                }
+            }
+            m
+        }
+        let ma = accumulate_in(division, traj_a, &flat_range);
+        let mb = accumulate_in(division, traj_b, &flat_range);
+        let mut cells: BTreeMap<(u32, u32), JocCell> = BTreeMap::new();
+        for (&cell, &(n_a, ref pois_a)) in &ma {
+            let entry = cells.entry(cell).or_default();
+            entry.n_a = n_a;
+            if let Some((_, pois_b)) = mb.get(&cell) {
+                entry.n_ab = pois_a.intersection(pois_b).count() as u32;
+            }
+        }
+        for (&cell, &(n_b, _)) in &mb {
+            match cells.entry(cell) {
+                Entry::Occupied(mut e) => e.get_mut().n_b = n_b,
+                Entry::Vacant(v) => {
+                    v.insert(JocCell { n_a: 0, n_b, n_ab: 0 });
+                }
+            }
+        }
+        seeker_obs::counter!("spatial.shard.joc_builds", 1);
+        Joc { n_grids: division.n_grids(), n_slots: division.n_slots(), cells }
+    }
+
+    /// Merges shard JOCs over *disjoint* cell domains into one JOC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shards disagree on the division shape, if two shards
+    /// contain the same cell (the inputs were not a partition), or if the
+    /// iterator is empty.
+    pub fn merge(shards: impl IntoIterator<Item = Joc>) -> Joc {
+        let mut iter = shards.into_iter();
+        // lint:allow(no-panic) -- documented precondition, see # Panics above
+        let mut merged = iter.next().expect("Joc::merge needs at least one shard");
+        for shard in iter {
+            assert_eq!(
+                (merged.n_grids, merged.n_slots),
+                (shard.n_grids, shard.n_slots),
+                "shard JOCs must share one division shape"
+            );
+            for (cell, value) in shard.cells {
+                let prev = merged.cells.insert(cell, value);
+                assert!(prev.is_none(), "shard JOCs must cover disjoint cell ranges");
+            }
+        }
+        merged
+    }
+
     /// Number of spatial grids `I`.
     pub fn n_grids(&self) -> usize {
         self.n_grids
@@ -244,6 +324,29 @@ mod tests {
             let expected = pois_in_cell(a).intersection(&pois_in_cell(b)).count() as u32;
             assert_eq!(c.n_ab, expected, "cell ({g},{s})");
         }
+    }
+
+    #[test]
+    fn shard_jocs_merge_to_full_build() {
+        let (ds, std) = setup();
+        let (a, b) = (UserId::new(0), UserId::new(1));
+        let full = Joc::build(&std, ds.trajectory(a), ds.trajectory(b));
+        for n_shards in [1usize, 2, 7, 64] {
+            let shards = crate::shard_ranges(std.n_cells(), n_shards)
+                .into_iter()
+                .map(|r| Joc::build_in(&std, ds.trajectory(a), ds.trajectory(b), r));
+            let merged = Joc::merge(shards);
+            assert_eq!(merged, full, "shard count {n_shards}");
+            assert_eq!(merged.sparse_log1p(), full.sparse_log1p(), "shard count {n_shards}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn merging_overlapping_jocs_panics() {
+        let (ds, std) = setup();
+        let joc = Joc::build(&std, ds.trajectory(UserId::new(0)), ds.trajectory(UserId::new(1)));
+        let _ = Joc::merge([joc.clone(), joc]);
     }
 
     #[test]

@@ -25,6 +25,7 @@ mod joc;
 #[cfg(test)]
 mod proptests;
 mod quadtree;
+mod shard;
 mod std_division;
 mod timeslot;
 
@@ -34,6 +35,8 @@ pub use cell_index::{candidate_pairs, CellIndex};
 pub use joc::{Joc, JocCell};
 /// Point-region quadtree with σ-capacity leaves.
 pub use quadtree::Quadtree;
+/// Contiguous range sharding of cell domains.
+pub use shard::shard_ranges;
 /// Spatio-temporal division built on the quadtree (§IV-A).
 pub use std_division::{SpatialParam, SpatialTemporalDivision};
 /// Uniform time slotting of the observation window.

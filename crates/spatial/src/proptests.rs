@@ -214,4 +214,66 @@ proptest! {
         let residue = total - candidates.len();
         prop_assert_eq!(candidates.len() + residue, total);
     }
+
+    /// Shard ranges partition the index domain: contiguous, in order, every
+    /// index covered exactly once, balanced to within one item.
+    #[test]
+    fn shard_ranges_partition_domain(n_items in 0usize..5000, n_shards in 0usize..200) {
+        let ranges = crate::shard_ranges(n_items, n_shards);
+        prop_assert_eq!(ranges.len(), n_shards.max(1));
+        let mut next = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next);
+            prop_assert!(r.end >= r.start);
+            next = r.end;
+        }
+        prop_assert_eq!(next, n_items);
+        let min = ranges.iter().map(std::ops::Range::len).min().unwrap();
+        let max = ranges.iter().map(std::ops::Range::len).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Sharded candidate enumeration emits every cell-sharing pair exactly
+    /// once (strictly sorted output ⇒ no pair came from two shards) and
+    /// matches the unsharded reference for any shard count.
+    #[test]
+    fn sharded_candidates_match_reference(
+        n_users in 2usize..12,
+        n_checkins in 2usize..80,
+        n_shards in 1usize..70,
+        seed in any::<u64>(),
+    ) {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = DatasetBuilder::new("prop");
+        let pois: Vec<_> = (0..6)
+            .map(|i| b.add_poi(GeoPoint::new(i as f64 * 5.0, -(i as f64) * 5.0), 10.0))
+            .collect();
+        for _ in 0..n_checkins {
+            let user = rng.gen_range(0..n_users) as u64;
+            let poi = pois[rng.gen_range(0..pois.len())];
+            b.add_checkin(user, poi, Timestamp::from_secs(rng.gen_range(0..86_400 * 30)));
+        }
+        b.min_checkins(0);
+        let ds = b.build().unwrap();
+        if ds.n_checkins() == 0 || ds.n_users() < 2 {
+            return Ok(());
+        }
+        let std = SpatialTemporalDivision::build(&ds, 2, 3.0).unwrap();
+        let index = CellIndex::build(&ds, &std);
+        let reference = index.candidate_pairs();
+        let sharded = index.candidate_pairs_sharded(n_shards);
+        // No pair emitted by two shards: the sharded path never dedups, so a
+        // double emission would survive the final sort as a duplicate.
+        prop_assert!(sharded.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(sharded, reference);
+        // Range-built shard indices merge back to the full index.
+        let merged = CellIndex::merge(
+            crate::shard_ranges(std.n_cells(), n_shards)
+                .into_iter()
+                .map(|r| CellIndex::build_range(&ds, &std, r)),
+        );
+        prop_assert_eq!(merged.n_cells(), index.n_cells());
+        prop_assert_eq!(merged.candidate_pairs(), index.candidate_pairs());
+    }
 }

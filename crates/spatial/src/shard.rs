@@ -1,0 +1,79 @@
+//! Contiguous range sharding of cell domains.
+//!
+//! The scale tier (see `docs/SCALING.md`) never materializes whole-world
+//! intermediates: the STD cell domain is split into contiguous ranges and
+//! each shard is built, scored, and discarded independently. This module
+//! holds the one primitive everything shards over — [`shard_ranges`] — whose
+//! contract (every index covered exactly once, shard order = index order) is
+//! what makes sharded results bit-identical to the unsharded reference:
+//! per-item work is pure, and deterministic concatenation in shard order is
+//! just a re-bracketing of the reference loop.
+
+use std::ops::Range;
+
+/// Splits `0..n_items` into `n_shards` contiguous ranges covering every index
+/// exactly once, in order, with sizes differing by at most one (the first
+/// `n_items % n_shards` shards are one longer).
+///
+/// `n_shards` is clamped to at least 1; when `n_shards > n_items` the excess
+/// trailing shards are empty. The concatenation of the returned ranges is
+/// always exactly `0..n_items`.
+///
+/// ```
+/// let r = seeker_spatial::shard_ranges(10, 3);
+/// assert_eq!(r, vec![0..4, 4..7, 7..10]);
+/// assert_eq!(seeker_spatial::shard_ranges(2, 4), vec![0..1, 1..2, 2..2, 2..2]);
+/// ```
+pub fn shard_ranges(n_items: usize, n_shards: usize) -> Vec<Range<usize>> {
+    let n_shards = n_shards.max(1);
+    let base = n_items / n_shards;
+    let extra = n_items % n_shards;
+    let mut out = Vec::with_capacity(n_shards);
+    let mut start = 0usize;
+    for s in 0..n_shards {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n_items);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_partition(n_items: usize, n_shards: usize) {
+        let ranges = shard_ranges(n_items, n_shards);
+        assert_eq!(ranges.len(), n_shards.max(1));
+        let mut next = 0usize;
+        for r in &ranges {
+            assert_eq!(r.start, next, "ranges must be contiguous");
+            assert!(r.end >= r.start);
+            next = r.end;
+        }
+        assert_eq!(next, n_items, "ranges must cover the full domain");
+        let sizes: Vec<usize> = ranges.iter().map(Range::len).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "shard sizes must be balanced: {sizes:?}");
+    }
+
+    #[test]
+    fn partitions_cover_exactly_once() {
+        for n_items in [0usize, 1, 2, 7, 64, 100, 1023] {
+            for n_shards in [0usize, 1, 2, 7, 64, 128] {
+                assert_partition(n_items, n_shards);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(shard_ranges(5, 0), vec![0..5]);
+    }
+
+    #[test]
+    fn larger_shards_first() {
+        assert_eq!(shard_ranges(7, 3), vec![0..3, 3..5, 5..7]);
+    }
+}

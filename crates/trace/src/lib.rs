@@ -31,6 +31,8 @@ pub mod mobility;
 pub mod snap;
 /// Dataset statistics of §II-C.
 pub mod stats;
+/// Streaming synthetic-world generation (O(users)-memory emission).
+pub mod stream;
 /// Synthetic MSN trace generator.
 pub mod synth;
 mod types;

@@ -1,0 +1,549 @@
+//! Streaming synthetic-world generation in O(users) memory.
+//!
+//! [`synth::generate`](crate::synth::generate) materializes the full check-in
+//! trace into a [`Dataset`] — fine at hundreds of users, a wall at hundreds of
+//! thousands, and fatally wasteful for consumers (sharded index construction,
+//! scale benchmarks) that only need to *observe* each check-in once. This
+//! module splits generation into two phases:
+//!
+//! 1. a **skeleton** phase ([`StreamingWorld::build`](crate::stream::StreamingWorld::build)) that runs every
+//!    generation step up to (and including) the per-user check-in budgets —
+//!    cities, homes, POIs, the social graph, personal pools, weekly anchors.
+//!    Its state is `O(users + POIs + edges)`;
+//! 2. an **emission** phase ([`StreamingWorld::for_each_checkin`](crate::stream::StreamingWorld::for_each_checkin)) that replays
+//!    the co-visit / social-event / solo loops from a snapshot of the
+//!    post-skeleton RNG, handing each check-in to a callback instead of
+//!    pushing it into a builder. The only extra state is the `O(users)`
+//!    per-user emitted-count vector.
+//!
+//! Emission is *internal iteration* (a callback, not an `Iterator`): the loops
+//! run exactly as written in the materializing generator, consuming the RNG in
+//! exactly the same order, so the streamed sequence is bit-identical to the
+//! materialized one — `generate` is now literally a drain of this stream into
+//! a [`DatasetBuilder`], and the golden trajectory test pins that no drift
+//! ever sneaks in. Replaying is cheap: the RNG snapshot is cloned per call, so
+//! the same [`StreamingWorld`](crate::stream::StreamingWorld) can be drained any number of times and always
+//! yields the same sequence.
+
+use std::collections::BTreeSet;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, LogNormal, Normal, Poisson};
+
+use crate::dataset::DatasetBuilder;
+use crate::error::Result;
+use crate::synth::{
+    clamp_time, dist, sample_time, weighted_sample_without_replacement, SyntheticConfig,
+    SyntheticTrace, DEG_PER_KM,
+};
+use crate::types::{GeoPoint, PoiId, Timestamp, UserId, UserPair};
+
+/// The frozen skeleton of a synthetic world: everything the generator decides
+/// *before* emitting check-ins, plus an RNG snapshot positioned exactly at the
+/// start of the emission phase.
+///
+/// ```
+/// use seeker_trace::stream::StreamingWorld;
+/// use seeker_trace::synth::SyntheticConfig;
+///
+/// let world = StreamingWorld::build(&SyntheticConfig::small(7))?;
+/// let mut n = 0usize;
+/// world.for_each_checkin(|_user, _poi, _time| n += 1);
+/// assert_eq!(n, world.materialize()?.dataset.n_checkins());
+/// # Ok::<(), seeker_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingWorld {
+    cfg: SyntheticConfig,
+    /// Position of every POI, by raw POI index.
+    poi_points: Vec<GeoPoint>,
+    /// POI indices of each city.
+    city_pois: Vec<Vec<usize>>,
+    /// City index of each community.
+    community_city: Vec<usize>,
+    /// Community index of each user.
+    user_community: Vec<u32>,
+    /// Home location of each user.
+    homes: Vec<GeoPoint>,
+    /// The full friendship edge set (real-world plus cyber).
+    edges: BTreeSet<UserPair>,
+    /// The cyber (structure-only, never co-locating) subset of `edges`.
+    cyber_edges: BTreeSet<UserPair>,
+    /// Personal POI pool of each user.
+    pools: Vec<Vec<usize>>,
+    /// Weekly `(day-of-week, hour)` anchors of each user.
+    anchors: Vec<Vec<(u32, u32)>>,
+    /// Clamped per-user check-in budgets.
+    budgets: Vec<usize>,
+    /// Users of each city (ascending user index).
+    city_users: Vec<Vec<usize>>,
+    /// RNG state snapshot taken right after the skeleton phase; every
+    /// emission replay starts from a clone of this.
+    rng: StdRng,
+    anchor_noise: Normal,
+    covisit_count: Poisson,
+    attendee_count: Poisson,
+}
+
+impl StreamingWorld {
+    /// Runs the skeleton phase of generation for `cfg`.
+    ///
+    /// Consumes the seeded RNG in exactly the order the materializing
+    /// generator does, then snapshots it for emission replays.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution-construction failures from degenerate config
+    /// parameters (non-finite or negative scales).
+    pub fn build(cfg: &SyntheticConfig) -> Result<StreamingWorld> {
+        let _span = seeker_obs::span!("trace.stream.build");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let deg_extent = cfg.region_extent_km * DEG_PER_KM;
+
+        // --- Cities --------------------------------------------------------
+        let cities: Vec<GeoPoint> = (0..cfg.n_cities)
+            .map(|_| {
+                GeoPoint::new(
+                    cfg.region_center.lat + rng.gen_range(-deg_extent * 0.7..deg_extent * 0.7),
+                    cfg.region_center.lon + rng.gen_range(-deg_extent * 0.7..deg_extent * 0.7),
+                )
+            })
+            .collect();
+
+        // --- Communities and users -----------------------------------------
+        let community_city: Vec<usize> = (0..cfg.n_communities).map(|c| c % cfg.n_cities).collect();
+        let user_community: Vec<u32> =
+            (0..cfg.n_users).map(|u| (u % cfg.n_communities) as u32).collect();
+        let home_noise = dist(Normal::new(0.0, cfg.home_sigma_km * DEG_PER_KM), "home_sigma_km")?;
+        let homes: Vec<GeoPoint> = (0..cfg.n_users)
+            .map(|u| {
+                let city = cities[community_city[user_community[u] as usize]];
+                GeoPoint::new(
+                    city.lat + home_noise.sample(&mut rng),
+                    city.lon + home_noise.sample(&mut rng),
+                )
+            })
+            .collect();
+
+        // --- POIs ----------------------------------------------------------
+        let poi_noise = dist(Normal::new(0.0, cfg.city_sigma_km * DEG_PER_KM), "city_sigma_km")?;
+        let mut poi_city = Vec::with_capacity(cfg.n_pois);
+        let mut poi_points = Vec::with_capacity(cfg.n_pois);
+        for i in 0..cfg.n_pois {
+            let c = i % cfg.n_cities;
+            let center = cities[c];
+            poi_city.push(c);
+            poi_points.push(GeoPoint::new(
+                center.lat + poi_noise.sample(&mut rng),
+                center.lon + poi_noise.sample(&mut rng),
+            ));
+        }
+        // Zipf popularity rank within each city (by arrival order per city).
+        let mut city_rank = vec![0usize; cfg.n_pois];
+        let mut per_city_count = vec![0usize; cfg.n_cities];
+        for i in 0..cfg.n_pois {
+            city_rank[i] = per_city_count[poi_city[i]];
+            per_city_count[poi_city[i]] += 1;
+        }
+        let popularity: Vec<f64> =
+            city_rank.iter().map(|&r| 1.0 / ((r + 1) as f64).powf(cfg.zipf_exponent)).collect();
+        let mut city_pois: Vec<Vec<usize>> = vec![Vec::new(); cfg.n_cities];
+        for i in 0..cfg.n_pois {
+            city_pois[poi_city[i]].push(i);
+        }
+
+        // --- Social graph --------------------------------------------------
+        let mut edges: BTreeSet<UserPair> = BTreeSet::new();
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); cfg.n_communities];
+        for (u, &c) in user_community.iter().enumerate() {
+            members[c as usize].push(u as u32);
+        }
+        for comm in &members {
+            let n = comm.len();
+            if n < 2 {
+                continue;
+            }
+            let p = (cfg.mean_intra_degree / (n as f64 - 1.0)).min(1.0);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen::<f64>() < p {
+                        edges.insert(UserPair::new(UserId::new(comm[i]), UserId::new(comm[j])));
+                    }
+                }
+            }
+        }
+        let n_intra = edges.len();
+        let n_bridges = (cfg.bridge_fraction * n_intra as f64).round() as usize;
+        let mut attempts = 0usize;
+        let mut added = 0usize;
+        while added < n_bridges && attempts < n_bridges * 200 + 1000 {
+            attempts += 1;
+            let a = rng.gen_range(0..cfg.n_users) as u32;
+            let b = rng.gen_range(0..cfg.n_users) as u32;
+            if a == b || user_community[a as usize] == user_community[b as usize] {
+                continue;
+            }
+            if edges.insert(UserPair::new(UserId::new(a), UserId::new(b))) {
+                added += 1;
+            }
+        }
+        // Adjacency of the real-world graph, used for triadic cyber closure.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); cfg.n_users];
+        for pair in &edges {
+            adj[pair.lo().index()].push(pair.hi().raw());
+            adj[pair.hi().index()].push(pair.lo().raw());
+        }
+        let n_real = edges.len();
+        let target_cyber = if cfg.cyber_fraction > 0.0 && cfg.cyber_fraction < 1.0 {
+            ((cfg.cyber_fraction / (1.0 - cfg.cyber_fraction)) * n_real as f64).round() as usize
+        } else {
+            0
+        };
+        let mut cyber_edges: BTreeSet<UserPair> = BTreeSet::new();
+        attempts = 0;
+        while cyber_edges.len() < target_cyber && attempts < target_cyber * 500 + 1000 {
+            attempts += 1;
+            let u = rng.gen_range(0..cfg.n_users);
+            if adj[u].is_empty() {
+                continue;
+            }
+            let w = adj[u][rng.gen_range(0..adj[u].len())] as usize;
+            if adj[w].is_empty() {
+                continue;
+            }
+            let v = adj[w][rng.gen_range(0..adj[w].len())] as usize;
+            if v == u {
+                continue;
+            }
+            // Cyber friends live in different cities: real-world strangers.
+            let cu = community_city[user_community[u] as usize];
+            let cv = community_city[user_community[v] as usize];
+            if cu == cv {
+                continue;
+            }
+            let pair = UserPair::new(UserId::new(u as u32), UserId::new(v as u32));
+            if edges.contains(&pair) {
+                continue;
+            }
+            if cyber_edges.insert(pair) {
+                edges.insert(pair);
+            }
+        }
+
+        // --- Personal pools and anchors ------------------------------------
+        let pools: Vec<Vec<usize>> = (0..cfg.n_users)
+            .map(|u| {
+                let city = community_city[user_community[u] as usize];
+                let candidates = &city_pois[city];
+                let weights: Vec<f64> = candidates
+                    .iter()
+                    .map(|&p| {
+                        let d_km = homes[u].planar_m(poi_points[p]) / 1000.0;
+                        popularity[p] * (-d_km / cfg.pool_decay_km).exp()
+                    })
+                    .collect();
+                weighted_sample_without_replacement(candidates, &weights, cfg.pool_size, &mut rng)
+            })
+            .collect();
+        // Weekly anchors: (day-of-week, hour).
+        let anchors: Vec<Vec<(u32, u32)>> = (0..cfg.n_users)
+            .map(|_| (0..3).map(|_| (rng.gen_range(0..7u32), rng.gen_range(8..23u32))).collect())
+            .collect();
+
+        let anchor_noise =
+            dist(Normal::new(0.0, cfg.anchor_sigma_hours * 3_600.0), "anchor_sigma_hours")?;
+
+        // --- Check-in budgets ----------------------------------------------
+        let (mu, sigma) = cfg.checkins_lognormal;
+        let budget_dist = dist(LogNormal::new(mu, sigma), "checkins_lognormal")?;
+        let budgets: Vec<usize> = (0..cfg.n_users)
+            .map(|_| {
+                (budget_dist.sample(&mut rng).round() as usize)
+                    .clamp(cfg.checkins_range.0, cfg.checkins_range.1)
+            })
+            .collect();
+
+        let mut city_users: Vec<Vec<usize>> = vec![Vec::new(); cfg.n_cities];
+        for u in 0..cfg.n_users {
+            city_users[community_city[user_community[u] as usize]].push(u);
+        }
+
+        let covisit_count = dist(Poisson::new(cfg.covisit_lambda.max(1e-9)), "covisit_lambda")?;
+        let attendee_count =
+            dist(Poisson::new(cfg.event_attendees_lambda.max(1e-9)), "event_attendees_lambda")?;
+
+        seeker_obs::counter!("trace.stream.worlds", 1);
+        seeker_obs::gauge!("trace.stream.users", cfg.n_users);
+        seeker_obs::gauge!("trace.stream.links", edges.len());
+
+        Ok(StreamingWorld {
+            cfg: cfg.clone(),
+            poi_points,
+            city_pois,
+            community_city,
+            user_community,
+            homes,
+            edges,
+            cyber_edges,
+            pools,
+            anchors,
+            budgets,
+            city_users,
+            rng,
+            anchor_noise,
+            covisit_count,
+            attendee_count,
+        })
+    }
+
+    /// Replays the emission phase, handing every check-in to `emit` as
+    /// `(raw user id, POI, clamped timestamp)` in generation order.
+    ///
+    /// The RNG snapshot is cloned per call, so successive replays of the same
+    /// world yield the same sequence. Peak additional memory is the
+    /// `O(users)` emitted-count vector.
+    pub fn for_each_checkin<F: FnMut(u64, PoiId, Timestamp)>(&self, mut emit: F) {
+        let _span = seeker_obs::span!("trace.stream.emit");
+        let cfg = &self.cfg;
+        let mut rng = self.rng.clone();
+        let mut generated = vec![0usize; cfg.n_users];
+        let mut emitted = 0u64;
+
+        // --- Co-visit events for real-world friend pairs -------------------
+        for pair in self.edges.iter().copied() {
+            if self.cyber_edges.contains(&pair) {
+                continue; // cyber friends never co-locate by construction
+            }
+            if rng.gen::<f64>() >= cfg.p_covisit {
+                continue;
+            }
+            let n_events = 1 + self.covisit_count.sample(&mut rng) as usize;
+            let (a, b) = (pair.lo().index(), pair.hi().index());
+            for _ in 0..n_events {
+                let host = if rng.gen::<bool>() { a } else { b };
+                if self.pools[host].is_empty() {
+                    continue;
+                }
+                let poi = self.pools[host][rng.gen_range(0..self.pools[host].len())];
+                let t = sample_time(cfg, &self.anchors[host], &self.anchor_noise, &mut rng);
+                let jitter = rng.gen_range(-cfg.covisit_jitter_secs..cfg.covisit_jitter_secs);
+                emit(a as u64, PoiId::new(poi as u32), clamp_time(cfg, t));
+                emit(b as u64, PoiId::new(poi as u32), clamp_time(cfg, t + jitter));
+                emitted += 2;
+                generated[a] += 1;
+                generated[b] += 1;
+            }
+        }
+
+        // --- Social events: same-city users (friends or strangers) ---------
+        let n_events = (cfg.event_rate * cfg.n_users as f64).round() as usize;
+        for _ in 0..n_events {
+            let city = rng.gen_range(0..cfg.n_cities);
+            if self.city_users[city].len() < 2 || self.city_pois[city].is_empty() {
+                continue;
+            }
+            let poi = self.city_pois[city][rng.gen_range(0..self.city_pois[city].len())];
+            let t = rng.gen_range(0.0..cfg.observation_days * 86_400.0);
+            let m = (2 + self.attendee_count.sample(&mut rng) as usize)
+                .min(self.city_users[city].len());
+            // Sample m distinct attendees from the city.
+            let mut pool = self.city_users[city].clone();
+            for _ in 0..m {
+                let pick = rng.gen_range(0..pool.len());
+                let u = pool.swap_remove(pick);
+                let jitter = rng.gen_range(-cfg.event_jitter_secs..cfg.event_jitter_secs);
+                emit(u as u64, PoiId::new(poi as u32), clamp_time(cfg, t + jitter));
+                emitted += 1;
+                generated[u] += 1;
+            }
+        }
+
+        // --- Solo check-ins up to each user's budget -----------------------
+        for u in 0..cfg.n_users {
+            let want = self.budgets[u].max(2);
+            while generated[u] < want {
+                let poi = if !self.pools[u].is_empty() && rng.gen::<f64>() < cfg.p_pool {
+                    self.pools[u][rng.gen_range(0..self.pools[u].len())]
+                } else {
+                    rng.gen_range(0..cfg.n_pois)
+                };
+                let t = sample_time(cfg, &self.anchors[u], &self.anchor_noise, &mut rng);
+                emit(u as u64, PoiId::new(poi as u32), clamp_time(cfg, t));
+                emitted += 1;
+                generated[u] += 1;
+            }
+        }
+
+        seeker_obs::counter!("trace.stream.replays", 1);
+        seeker_obs::counter!("trace.stream.checkins", emitted);
+    }
+
+    /// Drains the stream into a [`DatasetBuilder`] and returns the complete
+    /// [`SyntheticTrace`] — the materializing path used by
+    /// [`synth::generate`](crate::synth::generate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-construction errors (degenerate configurations
+    /// only, e.g. zero users).
+    pub fn materialize(&self) -> Result<SyntheticTrace> {
+        let mut builder = DatasetBuilder::new(self.cfg.name.clone());
+        builder.min_checkins(0);
+        for (i, &pt) in self.poi_points.iter().enumerate() {
+            let id = builder.add_poi(pt, 100.0);
+            debug_assert_eq!(id.index(), i);
+        }
+        self.for_each_checkin(|user, poi, time| {
+            builder.add_checkin(user, poi, time);
+        });
+        for pair in &self.edges {
+            builder.add_friendship(pair.lo().raw() as u64, pair.hi().raw() as u64);
+        }
+        let dataset = builder.build()?;
+        debug_assert_eq!(dataset.n_users(), self.cfg.n_users, "every user must survive filtering");
+        seeker_obs::counter!("trace.checkins", dataset.n_checkins() as u64);
+        seeker_obs::gauge!("trace.synth.users", dataset.n_users());
+        seeker_obs::gauge!("trace.synth.links", dataset.n_links());
+        Ok(SyntheticTrace {
+            dataset,
+            cyber_edges: self.cyber_edges.clone(),
+            communities: self.user_community.clone(),
+            homes: self.homes.clone(),
+        })
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.cfg
+    }
+
+    /// Position of every POI, indexed by raw POI id.
+    pub fn poi_points(&self) -> &[GeoPoint] {
+        &self.poi_points
+    }
+
+    /// The full friendship edge set (real-world plus cyber).
+    pub fn friendships(&self) -> &BTreeSet<UserPair> {
+        &self.edges
+    }
+
+    /// The cyber (structure-only) subset of [`Self::friendships`].
+    pub fn cyber_edges(&self) -> &BTreeSet<UserPair> {
+        &self.cyber_edges
+    }
+
+    /// Community index of each user.
+    pub fn communities(&self) -> &[u32] {
+        &self.user_community
+    }
+
+    /// Home location of each user.
+    pub fn homes(&self) -> &[GeoPoint] {
+        &self.homes
+    }
+
+    /// Clamped per-user check-in budgets (lower bound on solo check-ins; the
+    /// emitted count can exceed it through co-visits and events).
+    pub fn budgets(&self) -> &[usize] {
+        &self.budgets
+    }
+
+    /// City index of each user (via their community).
+    pub fn user_city(&self, user: usize) -> usize {
+        self.community_city[self.user_community[user] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::generate;
+
+    #[test]
+    fn stream_matches_materialized_generation() {
+        let cfg = SyntheticConfig::small(42);
+        let world = StreamingWorld::build(&cfg).unwrap();
+        let mut streamed: Vec<(u64, PoiId, Timestamp)> = Vec::new();
+        world.for_each_checkin(|u, p, t| streamed.push((u, p, t)));
+        // Rebuild a dataset from the streamed sequence by hand…
+        let mut builder = DatasetBuilder::new(cfg.name.clone());
+        builder.min_checkins(0);
+        for &pt in world.poi_points() {
+            builder.add_poi(pt, 100.0);
+        }
+        for &(u, p, t) in &streamed {
+            builder.add_checkin(u, p, t);
+        }
+        for pair in world.friendships() {
+            builder.add_friendship(pair.lo().raw() as u64, pair.hi().raw() as u64);
+        }
+        let rebuilt = builder.build().unwrap();
+        // …and it must equal the materialized path exactly.
+        let reference = generate(&cfg).unwrap();
+        assert_eq!(rebuilt.checkins(), reference.dataset.checkins());
+        assert_eq!(rebuilt.n_links(), reference.dataset.n_links());
+        assert_eq!(world.cyber_edges(), &reference.cyber_edges);
+        assert_eq!(world.communities(), &reference.communities[..]);
+    }
+
+    #[test]
+    fn replays_are_identical() {
+        let world = StreamingWorld::build(&SyntheticConfig::small(9)).unwrap();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        world.for_each_checkin(|u, p, t| a.push((u, p, t)));
+        world.for_each_checkin(|u, p, t| b.push((u, p, t)));
+        assert_eq!(a, b, "emission must replay bit-identically from the RNG snapshot");
+        assert!(!a.is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// For any user count and seed, the streamed check-in sequence is
+        /// bit-identical to the materialized generator's: rebuilding a
+        /// dataset from the raw emitted triples reproduces
+        /// [`generate`]'s output exactly (timestamps, POIs, friendships).
+        #[test]
+        fn streaming_equals_materialized_for_any_user_count(
+            n_users in 2usize..48,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let mut cfg = SyntheticConfig::small(seed);
+            cfg.n_users = n_users;
+            cfg.n_communities = cfg.n_communities.min(n_users);
+            let world = StreamingWorld::build(&cfg).unwrap();
+            let mut builder = DatasetBuilder::new(cfg.name.clone());
+            builder.min_checkins(0);
+            for &pt in world.poi_points() {
+                builder.add_poi(pt, 100.0);
+            }
+            world.for_each_checkin(|u, p, t| {
+                builder.add_checkin(u, p, t);
+            });
+            for pair in world.friendships() {
+                builder.add_friendship(pair.lo().raw() as u64, pair.hi().raw() as u64);
+            }
+            let rebuilt = builder.build().unwrap();
+            let reference = generate(&cfg).unwrap();
+            proptest::prop_assert_eq!(rebuilt.checkins(), reference.dataset.checkins());
+            proptest::prop_assert_eq!(
+                rebuilt.friendships().collect::<Vec<_>>(),
+                reference.dataset.friendships().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn emission_respects_budgets() {
+        let cfg = SyntheticConfig::small(5);
+        let world = StreamingWorld::build(&cfg).unwrap();
+        let mut per_user = vec![0usize; cfg.n_users];
+        world.for_each_checkin(|u, _, _| per_user[u as usize] += 1);
+        for (u, (&got, &budget)) in per_user.iter().zip(world.budgets()).enumerate() {
+            assert!(got >= budget.max(2).min(2), "user {u} below the hard floor");
+            assert!(got >= 2, "user {u} must emit at least two check-ins");
+        }
+    }
+}

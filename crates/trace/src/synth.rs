@@ -22,14 +22,15 @@ use std::collections::BTreeSet;
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use rand_distr::{Distribution, LogNormal, Normal, Poisson};
+use rand_distr::{Distribution, Normal};
 
-use crate::dataset::{Dataset, DatasetBuilder};
+use crate::dataset::Dataset;
 use crate::error::{Result, TraceError};
-use crate::types::{GeoPoint, PoiId, Timestamp, UserId, UserPair};
+use crate::stream::StreamingWorld;
+use crate::types::{GeoPoint, Timestamp, UserPair};
 
 /// Degrees of latitude per kilometer (1 / 111.195).
-const DEG_PER_KM: f64 = 1.0 / 111.195;
+pub(crate) const DEG_PER_KM: f64 = 1.0 / 111.195;
 
 /// Configuration of the synthetic trace generator.
 ///
@@ -192,6 +193,49 @@ impl SyntheticConfig {
         cfg.event_rate = 0.5;
         cfg
     }
+
+    /// A scale-tier preset: a *sparse* world of `n_users` users whose
+    /// geography grows with the population (constant density), shaped so the
+    /// co-occurrence structure stays near-linear in `n_users`.
+    ///
+    /// Three properties matter at scale (see `docs/SCALING.md`):
+    ///
+    /// - **sparsity** — the per-user check-in budget is low (median ≈ 9), the
+    ///   regime the paper targets and the reason most non-friend pairs never
+    ///   share an STD cell;
+    /// - **constant density** — cities and POIs grow linearly with users and
+    ///   the region extent grows with √cities, so per-cell occupancy (and
+    ///   with it the candidate-pair count per user) stays bounded as
+    ///   `n_users` grows;
+    /// - **honest negatives** — with most sampled non-friend pairs having an
+    ///   all-zero JOC, a classifier trained here learns to *reject* the
+    ///   zero-feature residue, which un-degenerates the candidate-pruning
+    ///   fallback gate that always engages on the dense toy worlds.
+    pub fn scale(n_users: usize, seed: u64) -> Self {
+        let n_cities = (n_users / 250).max(2);
+        let mut cfg = Self::synth_gowalla(seed);
+        cfg.name = format!("synth-scale-{n_users}");
+        cfg.n_users = n_users;
+        cfg.n_pois = n_users * 8;
+        cfg.n_cities = n_cities;
+        cfg.n_communities = (n_users / 25).max(4);
+        cfg.region_extent_km = 60.0 * (n_cities as f64).sqrt();
+        cfg.city_sigma_km = 5.0;
+        cfg.home_sigma_km = 3.0;
+        cfg.mean_intra_degree = 4.0;
+        cfg.bridge_fraction = 0.05;
+        cfg.cyber_fraction = 0.15;
+        cfg.checkins_lognormal = (2.2, 0.6);
+        cfg.checkins_range = (2, 60);
+        cfg.pool_size = 8;
+        cfg.p_covisit = 0.7;
+        cfg.covisit_lambda = 1.5;
+        // Events are the main stranger-co-location noise source; at scale
+        // they would also densify the cell index, so keep them rare.
+        cfg.event_rate = 0.2;
+        cfg.event_attendees_lambda = 2.0;
+        cfg
+    }
 }
 
 /// The output of the generator: the dataset plus generator-side ground truth
@@ -232,269 +276,23 @@ impl SyntheticTrace {
 /// ```
 pub fn generate(cfg: &SyntheticConfig) -> Result<SyntheticTrace> {
     let _span = seeker_obs::span!("trace.synthesize");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let deg_extent = cfg.region_extent_km * DEG_PER_KM;
-
-    // --- Cities ------------------------------------------------------------
-    let cities: Vec<GeoPoint> = (0..cfg.n_cities)
-        .map(|_| {
-            GeoPoint::new(
-                cfg.region_center.lat + rng.gen_range(-deg_extent * 0.7..deg_extent * 0.7),
-                cfg.region_center.lon + rng.gen_range(-deg_extent * 0.7..deg_extent * 0.7),
-            )
-        })
-        .collect();
-
-    // --- Communities and users ----------------------------------------------
-    let community_city: Vec<usize> = (0..cfg.n_communities).map(|c| c % cfg.n_cities).collect();
-    let user_community: Vec<u32> =
-        (0..cfg.n_users).map(|u| (u % cfg.n_communities) as u32).collect();
-    let home_noise = dist(Normal::new(0.0, cfg.home_sigma_km * DEG_PER_KM), "home_sigma_km")?;
-    let homes: Vec<GeoPoint> = (0..cfg.n_users)
-        .map(|u| {
-            let city = cities[community_city[user_community[u] as usize]];
-            GeoPoint::new(
-                city.lat + home_noise.sample(&mut rng),
-                city.lon + home_noise.sample(&mut rng),
-            )
-        })
-        .collect();
-
-    // --- POIs ---------------------------------------------------------------
-    let poi_noise = dist(Normal::new(0.0, cfg.city_sigma_km * DEG_PER_KM), "city_sigma_km")?;
-    let mut poi_city = Vec::with_capacity(cfg.n_pois);
-    let mut poi_points = Vec::with_capacity(cfg.n_pois);
-    for i in 0..cfg.n_pois {
-        let c = i % cfg.n_cities;
-        let center = cities[c];
-        poi_city.push(c);
-        poi_points.push(GeoPoint::new(
-            center.lat + poi_noise.sample(&mut rng),
-            center.lon + poi_noise.sample(&mut rng),
-        ));
-    }
-    // Zipf popularity rank within each city (by arrival order per city).
-    let mut city_rank = vec![0usize; cfg.n_pois];
-    let mut per_city_count = vec![0usize; cfg.n_cities];
-    for i in 0..cfg.n_pois {
-        city_rank[i] = per_city_count[poi_city[i]];
-        per_city_count[poi_city[i]] += 1;
-    }
-    let popularity: Vec<f64> =
-        city_rank.iter().map(|&r| 1.0 / ((r + 1) as f64).powf(cfg.zipf_exponent)).collect();
-    let mut city_pois: Vec<Vec<usize>> = vec![Vec::new(); cfg.n_cities];
-    for i in 0..cfg.n_pois {
-        city_pois[poi_city[i]].push(i);
-    }
-
-    // --- Social graph --------------------------------------------------------
-    let mut edges: BTreeSet<UserPair> = BTreeSet::new();
-    let mut members: Vec<Vec<u32>> = vec![Vec::new(); cfg.n_communities];
-    for (u, &c) in user_community.iter().enumerate() {
-        members[c as usize].push(u as u32);
-    }
-    for comm in &members {
-        let n = comm.len();
-        if n < 2 {
-            continue;
-        }
-        let p = (cfg.mean_intra_degree / (n as f64 - 1.0)).min(1.0);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if rng.gen::<f64>() < p {
-                    edges.insert(UserPair::new(UserId::new(comm[i]), UserId::new(comm[j])));
-                }
-            }
-        }
-    }
-    let n_intra = edges.len();
-    let n_bridges = (cfg.bridge_fraction * n_intra as f64).round() as usize;
-    let mut attempts = 0usize;
-    let mut added = 0usize;
-    while added < n_bridges && attempts < n_bridges * 200 + 1000 {
-        attempts += 1;
-        let a = rng.gen_range(0..cfg.n_users) as u32;
-        let b = rng.gen_range(0..cfg.n_users) as u32;
-        if a == b || user_community[a as usize] == user_community[b as usize] {
-            continue;
-        }
-        if edges.insert(UserPair::new(UserId::new(a), UserId::new(b))) {
-            added += 1;
-        }
-    }
-    // Adjacency of the real-world graph, used for triadic cyber closure.
-    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); cfg.n_users];
-    for pair in &edges {
-        adj[pair.lo().index()].push(pair.hi().raw());
-        adj[pair.hi().index()].push(pair.lo().raw());
-    }
-    let n_real = edges.len();
-    let target_cyber = if cfg.cyber_fraction > 0.0 && cfg.cyber_fraction < 1.0 {
-        ((cfg.cyber_fraction / (1.0 - cfg.cyber_fraction)) * n_real as f64).round() as usize
-    } else {
-        0
-    };
-    let mut cyber_edges: BTreeSet<UserPair> = BTreeSet::new();
-    attempts = 0;
-    while cyber_edges.len() < target_cyber && attempts < target_cyber * 500 + 1000 {
-        attempts += 1;
-        let u = rng.gen_range(0..cfg.n_users);
-        if adj[u].is_empty() {
-            continue;
-        }
-        let w = adj[u][rng.gen_range(0..adj[u].len())] as usize;
-        if adj[w].is_empty() {
-            continue;
-        }
-        let v = adj[w][rng.gen_range(0..adj[w].len())] as usize;
-        if v == u {
-            continue;
-        }
-        // Cyber friends live in different cities: strangers in the real world.
-        let cu = community_city[user_community[u] as usize];
-        let cv = community_city[user_community[v] as usize];
-        if cu == cv {
-            continue;
-        }
-        let pair = UserPair::new(UserId::new(u as u32), UserId::new(v as u32));
-        if edges.contains(&pair) {
-            continue;
-        }
-        if cyber_edges.insert(pair) {
-            edges.insert(pair);
-        }
-    }
-
-    // --- Personal pools and anchors ------------------------------------------
-    let pools: Vec<Vec<usize>> = (0..cfg.n_users)
-        .map(|u| {
-            let city = community_city[user_community[u] as usize];
-            let candidates = &city_pois[city];
-            let weights: Vec<f64> = candidates
-                .iter()
-                .map(|&p| {
-                    let d_km = homes[u].planar_m(poi_points[p]) / 1000.0;
-                    popularity[p] * (-d_km / cfg.pool_decay_km).exp()
-                })
-                .collect();
-            weighted_sample_without_replacement(candidates, &weights, cfg.pool_size, &mut rng)
-        })
-        .collect();
-    // Weekly anchors: (day-of-week, hour).
-    let anchors: Vec<Vec<(u32, u32)>> = (0..cfg.n_users)
-        .map(|_| (0..3).map(|_| (rng.gen_range(0..7u32), rng.gen_range(8..23u32))).collect())
-        .collect();
-
-    let anchor_noise =
-        dist(Normal::new(0.0, cfg.anchor_sigma_hours * 3_600.0), "anchor_sigma_hours")?;
-
-    // --- Check-in budgets ------------------------------------------------------
-    let (mu, sigma) = cfg.checkins_lognormal;
-    let budget_dist = dist(LogNormal::new(mu, sigma), "checkins_lognormal")?;
-    let budgets: Vec<usize> = (0..cfg.n_users)
-        .map(|_| {
-            (budget_dist.sample(&mut rng).round() as usize)
-                .clamp(cfg.checkins_range.0, cfg.checkins_range.1)
-        })
-        .collect();
-
-    // --- Co-visit events for real-world friend pairs ----------------------------
-    let mut builder = DatasetBuilder::new(cfg.name.clone());
-    builder.min_checkins(0);
-    for (i, &pt) in poi_points.iter().enumerate() {
-        let id = builder.add_poi(pt, 100.0);
-        debug_assert_eq!(id.index(), i);
-    }
-    let mut generated = vec![0usize; cfg.n_users];
-    let covisit_count = dist(Poisson::new(cfg.covisit_lambda.max(1e-9)), "covisit_lambda")?;
-    for pair in edges.iter().copied().collect::<Vec<_>>() {
-        if cyber_edges.contains(&pair) {
-            continue; // cyber friends never co-locate by construction
-        }
-        if rng.gen::<f64>() >= cfg.p_covisit {
-            continue;
-        }
-        let n_events = 1 + covisit_count.sample(&mut rng) as usize;
-        let (a, b) = (pair.lo().index(), pair.hi().index());
-        for _ in 0..n_events {
-            let host = if rng.gen::<bool>() { a } else { b };
-            if pools[host].is_empty() {
-                continue;
-            }
-            let poi = pools[host][rng.gen_range(0..pools[host].len())];
-            let t = sample_time(cfg, &anchors[host], &anchor_noise, &mut rng);
-            let jitter = rng.gen_range(-cfg.covisit_jitter_secs..cfg.covisit_jitter_secs);
-            builder.add_checkin(a as u64, PoiId::new(poi as u32), clamp_time(cfg, t));
-            builder.add_checkin(b as u64, PoiId::new(poi as u32), clamp_time(cfg, t + jitter));
-            generated[a] += 1;
-            generated[b] += 1;
-        }
-    }
-
-    // --- Social events: same-city users (friends or strangers) co-occur ----------
-    let mut city_users: Vec<Vec<usize>> = vec![Vec::new(); cfg.n_cities];
-    for u in 0..cfg.n_users {
-        city_users[community_city[user_community[u] as usize]].push(u);
-    }
-    let n_events = (cfg.event_rate * cfg.n_users as f64).round() as usize;
-    let attendee_count =
-        dist(Poisson::new(cfg.event_attendees_lambda.max(1e-9)), "event_attendees_lambda")?;
-    for _ in 0..n_events {
-        let city = rng.gen_range(0..cfg.n_cities);
-        if city_users[city].len() < 2 || city_pois[city].is_empty() {
-            continue;
-        }
-        let poi = city_pois[city][rng.gen_range(0..city_pois[city].len())];
-        let t = rng.gen_range(0.0..cfg.observation_days * 86_400.0);
-        let m = (2 + attendee_count.sample(&mut rng) as usize).min(city_users[city].len());
-        // Sample m distinct attendees from the city.
-        let mut pool = city_users[city].clone();
-        for _ in 0..m {
-            let pick = rng.gen_range(0..pool.len());
-            let u = pool.swap_remove(pick);
-            let jitter = rng.gen_range(-cfg.event_jitter_secs..cfg.event_jitter_secs);
-            builder.add_checkin(u as u64, PoiId::new(poi as u32), clamp_time(cfg, t + jitter));
-            generated[u] += 1;
-        }
-    }
-
-    // --- Solo check-ins up to each user's budget ---------------------------------
-    for u in 0..cfg.n_users {
-        let want = budgets[u].max(2);
-        while generated[u] < want {
-            let poi = if !pools[u].is_empty() && rng.gen::<f64>() < cfg.p_pool {
-                pools[u][rng.gen_range(0..pools[u].len())]
-            } else {
-                rng.gen_range(0..cfg.n_pois)
-            };
-            let t = sample_time(cfg, &anchors[u], &anchor_noise, &mut rng);
-            builder.add_checkin(u as u64, PoiId::new(poi as u32), clamp_time(cfg, t));
-            generated[u] += 1;
-        }
-    }
-
-    for pair in &edges {
-        builder.add_friendship(pair.lo().raw() as u64, pair.hi().raw() as u64);
-    }
-
-    let dataset = builder.build()?;
-    debug_assert_eq!(dataset.n_users(), cfg.n_users, "every user must survive filtering");
-    seeker_obs::counter!("trace.checkins", dataset.n_checkins() as u64);
-    seeker_obs::gauge!("trace.synth.users", dataset.n_users());
-    seeker_obs::gauge!("trace.synth.links", dataset.n_links());
-    Ok(SyntheticTrace { dataset, cyber_edges, communities: user_community, homes })
+    // Generation is literally "drain the stream into a builder": the
+    // skeleton + emission split in [`crate::stream`] produces check-ins in
+    // the exact order (and RNG consumption) this function always had, so the
+    // two paths cannot drift apart.
+    StreamingWorld::build(cfg)?.materialize()
 }
 
 /// Converts a distribution-construction failure (a non-finite or negative
 /// scale parameter in the user-supplied config) into a typed trace error.
-fn dist<D>(result: std::result::Result<D, rand_distr::Error>, param: &str) -> Result<D> {
+pub(crate) fn dist<D>(result: std::result::Result<D, rand_distr::Error>, param: &str) -> Result<D> {
     result.map_err(|e| TraceError::Invalid(format!("synthetic config parameter `{param}`: {e}")))
 }
 
 /// Samples a check-in instant: usually near one of the user's weekly anchors
 /// (producing the weekly periodicity the paper exploits at τ = 7 days),
 /// otherwise uniform over the observation window.
-fn sample_time(
+pub(crate) fn sample_time(
     cfg: &SyntheticConfig,
     anchors: &[(u32, u32)],
     anchor_noise: &Normal,
@@ -512,14 +310,14 @@ fn sample_time(
     }
 }
 
-fn clamp_time(cfg: &SyntheticConfig, secs: f64) -> Timestamp {
+pub(crate) fn clamp_time(cfg: &SyntheticConfig, secs: f64) -> Timestamp {
     let max = cfg.observation_days * 86_400.0 - 1.0;
     Timestamp::from_secs(secs.clamp(0.0, max) as i64)
 }
 
 /// Weighted sampling of `k` distinct items (A-Res would be overkill at these
 /// sizes; repeated weighted picks with removal are exact and simple).
-fn weighted_sample_without_replacement(
+pub(crate) fn weighted_sample_without_replacement(
     items: &[usize],
     weights: &[f64],
     k: usize,

@@ -1,0 +1,96 @@
+//! Golden scale-world regression test: runs the sharded end-to-end attack
+//! on a fixed-seed 1000-user world — the first size past the old 240-user
+//! fixture ceiling — and asserts the candidate universe and the entire
+//! refinement trajectory against a checked-in golden file.
+//!
+//! This pins the *scale pipeline* the same way `golden_trajectory` pins
+//! the toy pipeline: streaming world generation, the `scale()` training
+//! preset, sharded candidate enumeration, and `infer_sharded`. Any change
+//! that alters a float anywhere in that path shows up as a golden diff
+//! instead of silent drift. It also regression-tests the pruning gate:
+//! the scale-trained classifier must keep the zero-JOC fallback
+//! disengaged, otherwise the candidate count printed here jumps to the
+//! full n·(n−1)/2.
+//!
+//! To regenerate after an intentional pipeline change:
+//!
+//! ```text
+//! SEEKER_BLESS=1 cargo test --release --test golden_scale
+//! ```
+//!
+//! (The golden content is identical under debug and release — the whole
+//! pipeline is bit-deterministic — but release is minutes faster.)
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use friendseeker::{FriendSeeker, FriendSeekerConfig};
+use seeker_trace::stream::StreamingWorld;
+use seeker_trace::synth::SyntheticConfig;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/scale_1k.txt")
+}
+
+#[test]
+fn scale_world_attack_matches_golden() {
+    // The bench_scale training recipe: a 1000-user world whose region is
+    // widened to the target's extent (the division is frozen at training
+    // time) and whose cities are spread so the POI bounding box covers the
+    // target terrain.
+    let target_cfg = SyntheticConfig::scale(1000, 9300);
+    let mut train_cfg = SyntheticConfig::scale(1000, 9200);
+    train_cfg.region_extent_km = target_cfg.region_extent_km;
+    train_cfg.n_cities = 24;
+
+    let train = StreamingWorld::build(&train_cfg).unwrap().materialize().unwrap().dataset;
+    let world = StreamingWorld::build(&target_cfg).unwrap();
+    let mut checkins = 0usize;
+    world.for_each_checkin(|_, _, _| checkins += 1);
+    let target = world.materialize().unwrap().dataset;
+
+    let attack = FriendSeeker::new(FriendSeekerConfig::scale()).train(&train).unwrap();
+    let result = attack.infer_sharded(&target, 4).unwrap();
+
+    // Candidate pruning must stay sound on the scale world: a fallback to
+    // the full universe would show up as candidates == all_pairs.
+    let all_pairs = target.n_users() * (target.n_users() - 1) / 2;
+    assert!(
+        result.pairs.len() < all_pairs,
+        "zero-JOC fallback engaged: the scale() preset no longer rejects the residue"
+    );
+
+    let mut doc = String::new();
+    doc.push_str("# Golden scale-world attack (sharded end to end).\n");
+    doc.push_str("# World: scale(1000, 9200) train (region widened, 24 cities),\n");
+    doc.push_str("# scale(1000, 9300) target; config scale(); 4 shards.\n");
+    doc.push_str("# Regenerate: SEEKER_BLESS=1 cargo test --release --test golden_scale\n");
+    let _ = writeln!(doc, "users={} checkins={checkins}", target.n_users());
+    let _ = writeln!(doc, "all_pairs={all_pairs}");
+    let _ = writeln!(doc, "candidates={}", result.pairs.len());
+    let _ = writeln!(doc, "g0 edges={}", result.trace.graphs[0].n_edges());
+    for (i, (g, r)) in
+        result.trace.graphs[1..].iter().zip(result.trace.change_ratios.iter()).enumerate()
+    {
+        let _ = writeln!(doc, "iter {} edges={} change_ratio={r:?}", i + 1, g.n_edges());
+    }
+    let _ = writeln!(doc, "converged={}", result.trace.converged);
+    let _ = writeln!(doc, "final edges={}", result.final_graph().n_edges());
+
+    let path = golden_path();
+    if std::env::var("SEEKER_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &doc).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read {} ({e}); run with SEEKER_BLESS=1", path.display())
+    });
+    assert_eq!(
+        doc,
+        golden,
+        "scale trajectory drifted from {}; if the change is intentional, regenerate \
+         with SEEKER_BLESS=1 cargo test --release --test golden_scale",
+        path.display()
+    );
+}
