@@ -148,7 +148,7 @@ fn main() {
     eprintln!("  dense-G0 worst case: {dense_dirty} of {} pairs dirty", pairs.len());
 
     // -- 3. End-to-end infer vs infer_full (secondary, opt-in) ----------
-    let run_e2e = std::env::var("SEEKER_BENCH_E2E").is_ok_and(|v| v == "1");
+    let run_e2e = seeker_obs::env::flag("SEEKER_BENCH_E2E");
     let e2e = if run_e2e {
         let (e2e_fast_ms, fast) = time_min(|| trained.infer(&target).expect("infer"));
         let (e2e_full_ms, full) = time_min(|| trained.infer_full(&target).expect("infer_full"));

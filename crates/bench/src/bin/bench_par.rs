@@ -80,7 +80,7 @@ fn main() {
     let threads = max_threads();
     let effective_cores =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let gate: Option<f64> = std::env::var("SEEKER_BENCH_GATE").ok().and_then(|g| g.parse().ok());
+    let gate: Option<f64> = seeker_obs::env::raw("SEEKER_BENCH_GATE").and_then(|g| g.parse().ok());
     eprintln!(
         "bench_par: 1 vs {threads} worker(s) on {effective_cores} core(s), \
          seed {seed}, warmup {WARMUP}, reps {REPS}"

@@ -171,9 +171,9 @@ fn main() {
     let _obs = seeker_obs::init_cli_sinks();
     let seed = seeker_bench::seed_from_env();
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let measure_1m = std::env::var("SEEKER_BENCH_1M").is_ok_and(|v| v == "1");
+    let measure_1m = seeker_obs::env::flag("SEEKER_BENCH_1M");
     let gate_mib: Option<f64> =
-        std::env::var("SEEKER_BENCH_GATE").ok().and_then(|g| g.parse().ok());
+        seeker_obs::env::raw("SEEKER_BENCH_GATE").and_then(|g| g.parse().ok());
     let sizes: Vec<usize> = if smoke { vec![SIZES[0]] } else { SIZES.to_vec() };
     eprintln!(
         "bench_scale: seed {seed}, sizes {sizes:?}{}{}",

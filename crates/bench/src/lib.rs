@@ -23,8 +23,8 @@ pub mod report;
 /// The default seed used by the experiment binaries.
 pub const DEFAULT_SEED: u64 = 20230701;
 
-/// Reads the experiment seed from the `SEEKER_SEED` env var, falling back to
-/// [`DEFAULT_SEED`].
+/// Reads the experiment seed from the `SEEKER_SEED` env var (through the
+/// cached `seeker_obs::env` registry), falling back to [`DEFAULT_SEED`].
 pub fn seed_from_env() -> u64 {
-    std::env::var("SEEKER_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
+    seeker_obs::env::raw("SEEKER_SEED").and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
 }

@@ -63,6 +63,8 @@ impl Table {
 /// The directory experiment results are written into (`results/` under the
 /// workspace root, falling back to the current directory).
 pub fn results_dir() -> PathBuf {
+    // Not a SEEKER_ knob: a cargo-provided build-time path, so it stays a
+    // direct read instead of a registry row. lint:allow(env-read)
     let root = std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| PathBuf::from(d).join("../.."))
         .unwrap_or_else(|_| PathBuf::from("."));

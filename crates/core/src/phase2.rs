@@ -74,9 +74,10 @@ pub(crate) fn full_refine_requested(value: Option<&str>) -> bool {
     matches!(value, Some("1") | Some("true"))
 }
 
-/// Reads the `SEEKER_FULL_REFINE` escape hatch from the environment.
+/// Reads the `SEEKER_FULL_REFINE` escape hatch through the cached
+/// `seeker_obs::env` registry (configuration is immutable process state).
 pub(crate) fn full_refine_from_env() -> bool {
-    full_refine_requested(std::env::var("SEEKER_FULL_REFINE").ok().as_deref())
+    full_refine_requested(seeker_obs::env::raw("SEEKER_FULL_REFINE"))
 }
 
 /// Parses a `SEEKER_SHARDS` value: a positive shard count routes
@@ -86,9 +87,10 @@ pub(crate) fn shards_requested(value: Option<&str>) -> Option<usize> {
     value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0)
 }
 
-/// Reads the `SEEKER_SHARDS` opt-in from the environment.
+/// Reads the `SEEKER_SHARDS` opt-in through the cached `seeker_obs::env`
+/// registry.
 pub(crate) fn shards_from_env() -> Option<usize> {
-    shards_requested(std::env::var("SEEKER_SHARDS").ok().as_deref())
+    shards_requested(seeker_obs::env::raw("SEEKER_SHARDS"))
 }
 
 /// Composite features of a fixed pair list, kept in sync with a refinement

@@ -563,7 +563,11 @@ fn skip_turbofish(stream: &TokenStream<'_>, lt: usize, end: usize) -> usize {
 
 /// The code-token index ranges of all loop bodies (for/while/loop) inside
 /// `[start, end)`, outermost and nested alike.
-fn loop_ranges(stream: &TokenStream<'_>, start: usize, end: usize) -> Vec<(usize, usize)> {
+pub(crate) fn loop_ranges(
+    stream: &TokenStream<'_>,
+    start: usize,
+    end: usize,
+) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = start;
     while i < end {
@@ -600,7 +604,7 @@ fn loop_ranges(stream: &TokenStream<'_>, start: usize, end: usize) -> Vec<(usize
 
 /// Brace matching over code tokens: index of the `}` matching the `{` at
 /// `open`.
-fn match_brace(stream: &TokenStream<'_>, open: usize, end: usize) -> usize {
+pub(crate) fn match_brace(stream: &TokenStream<'_>, open: usize, end: usize) -> usize {
     let mut depth = 1usize;
     let mut j = open + 1;
     while j < end {

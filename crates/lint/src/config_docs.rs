@@ -1,0 +1,110 @@
+//! The generated `docs/CONFIGURATION.md` cross-check.
+//!
+//! Every `SEEKER_*` environment knob lives in the `seeker_obs::env`
+//! registry ([`seeker_obs::env::VARS`]) — the `env-read` lexical rule bans
+//! raw `std::env::var` reads in library code, so the registry *is* the
+//! complete configuration surface. This pass keeps the human-facing table
+//! in `docs/CONFIGURATION.md` generated from that single source of truth:
+//! the full gate fails when the doc drifts from the registry, and
+//! `--bless-config` regenerates it.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The generated doc path, relative to the workspace root.
+pub const CONFIG_DOC: &str = "docs/CONFIGURATION.md";
+
+/// Renders the full generated document (prose header + registry table).
+#[must_use]
+pub fn render_config_doc() -> String {
+    let mut doc = String::from(
+        "# Configuration\n\n\
+         Every runtime knob of the workspace is a `SEEKER_*` environment variable,\n\
+         declared once in the `seeker_obs::env` registry and read exactly once per\n\
+         process (values are cached in a `OnceLock` snapshot; changes after the\n\
+         first read are not observed). Raw `std::env::var` reads in library code\n\
+         are banned by the `env-read` lint rule, so this table is the complete\n\
+         configuration surface.\n\n\
+         **Generated file** — edit `crates/obs/src/env.rs` and run\n\
+         `cargo run -p seeker-lint -- --bless-config`; CI fails on drift.\n\n",
+    );
+    doc.push_str(&seeker_obs::env::markdown_table());
+    doc
+}
+
+/// Checks `docs/CONFIGURATION.md` against the registry. Returns a drift
+/// description, or `None` when the doc is current.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than the doc not existing (reported as
+/// drift, not error).
+pub fn check_config(root: &Path) -> io::Result<Option<String>> {
+    let path = root.join(CONFIG_DOC);
+    let on_disk = match fs::read_to_string(&path) {
+        Ok(doc) => doc,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(Some(format!(
+                "{CONFIG_DOC}: [config-doc] missing — run \
+                 `cargo run -p seeker-lint -- --bless-config`"
+            )));
+        }
+        Err(e) => return Err(e),
+    };
+    if on_disk == render_config_doc() {
+        Ok(None)
+    } else {
+        Ok(Some(format!(
+            "{CONFIG_DOC}: [config-doc] stale — the `seeker_obs::env` registry changed; \
+             run `cargo run -p seeker-lint -- --bless-config`"
+        )))
+    }
+}
+
+/// Regenerates `docs/CONFIGURATION.md` from the registry.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the write.
+pub fn bless_config(root: &Path) -> io::Result<PathBuf> {
+    let rel = PathBuf::from(CONFIG_DOC);
+    if let Some(parent) = root.join(&rel).parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(root.join(&rel), render_config_doc())?;
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bless_then_check_roundtrip_and_drift() {
+        let root =
+            std::env::temp_dir().join(format!("seeker-lint-configdoc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("mkdir");
+        // Missing doc is drift.
+        assert!(check_config(&root).expect("check").is_some());
+        // Bless → clean.
+        let rel = bless_config(&root).expect("bless");
+        assert_eq!(rel, PathBuf::from(CONFIG_DOC));
+        assert!(check_config(&root).expect("check").is_none());
+        // Any edit is drift.
+        let path = root.join(CONFIG_DOC);
+        let doc = fs::read_to_string(&path).expect("read");
+        fs::write(&path, doc.replace("SEEKER_THREADS", "SEEKER_TREADS")).expect("write");
+        assert!(check_config(&root).expect("check").is_some());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn the_doc_has_one_row_per_registry_var() {
+        let doc = render_config_doc();
+        for var in seeker_obs::env::VARS {
+            assert!(doc.contains(var.name), "{} missing from the doc", var.name);
+        }
+    }
+}

@@ -3,12 +3,19 @@
 //! the whole workspace — sources, tests, benches, examples — and lists
 //! `pub` items that nothing outside their defining file refers to.
 //!
-//! Report-only: the output goes to `results/DEADPUB.md` for a human to
-//! review, not to a CI gate. Token-level mention counting cannot see macro
-//! expansion or downstream consumers of a published library, so every entry
-//! is a *candidate* corpse — "demote to `pub(crate)` or delete" is a
+//! The human-facing report goes to `results/DEADPUB.md` (`--deadpub`,
+//! always exits 0). Token-level mention counting cannot see macro
+//! expansion or downstream consumers of a published library, so every
+//! entry is a *candidate* corpse — "demote to `pub(crate)` or delete" is a
 //! judgment call, and the report says which of the two looks right
 //! (internal mentions exist → demote; none anywhere → delete).
+//!
+//! Since v4 the candidate counts are additionally **growth-gated**: the
+//! blessed per-crate counts in `api/deadpub.lock` are a ratchet, and
+//! `--check-deadpub` fails when any crate's candidate count *increases*
+//! over its blessed value — new dead surface cannot land silently, while
+//! existing candidates are paid down at leisure (decreases pass, and
+//! `--bless-deadpub` records the improvement).
 
 use crate::api_lock::extract_workspace_api;
 use crate::lexer::lex;
@@ -21,6 +28,9 @@ use std::path::{Path, PathBuf};
 
 /// Where the report is written, relative to the workspace root.
 pub const DEADPUB_REPORT: &str = "results/DEADPUB.md";
+
+/// The blessed per-crate candidate counts, relative to the workspace root.
+pub const DEADPUB_LOCK: &str = "api/deadpub.lock";
 
 /// One unreferenced `pub` item.
 #[derive(Debug, Clone)]
@@ -208,6 +218,79 @@ pub fn write_dead_pub_report(root: &Path) -> io::Result<(PathBuf, usize)> {
     Ok((path, count))
 }
 
+/// The current per-crate candidate counts, sorted by crate name.
+fn per_crate_counts(items: &[DeadPub]) -> BTreeMap<String, usize> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for item in items {
+        *counts.entry(item.crate_name.clone()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Checks the dead-`pub` ratchet: fails (returns messages) when any
+/// crate's candidate count exceeds its blessed count in
+/// `api/deadpub.lock`, or when the lock is missing. Decreases pass.
+///
+/// # Errors
+///
+/// Propagates I/O errors from analysis or the lock read.
+pub fn check_deadpub(root: &Path) -> io::Result<Vec<String>> {
+    let counts = per_crate_counts(&dead_pub_items(root)?);
+    let lock_path = root.join(DEADPUB_LOCK);
+    let Ok(doc) = fs::read_to_string(&lock_path) else {
+        return Ok(vec![format!(
+            "{DEADPUB_LOCK}: [deadpub-ratchet] missing lock \
+             (run `cargo run -p seeker-lint -- --bless-deadpub`)"
+        )]);
+    };
+    let blessed: BTreeMap<&str, usize> = doc
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (name, count) = l.split_once('\t')?;
+            Some((name, count.parse().ok()?))
+        })
+        .collect();
+    let mut failures = Vec::new();
+    for (name, &count) in &counts {
+        let ceiling = blessed.get(name.as_str()).copied().unwrap_or(0);
+        if count > ceiling {
+            failures.push(format!(
+                "{DEADPUB_LOCK}: [deadpub-ratchet] crate `{name}` has {count} dead-pub \
+                 candidate(s), blessed ceiling is {ceiling} — remove the new dead surface \
+                 (see `--deadpub` report) or consciously re-bless with `--bless-deadpub`"
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+/// Regenerates `api/deadpub.lock` with the current per-crate counts.
+/// Returns the written path (relative) and the total candidate count.
+///
+/// # Errors
+///
+/// Propagates I/O errors from analysis or the lock write.
+pub fn bless_deadpub(root: &Path) -> io::Result<(PathBuf, usize)> {
+    let items = dead_pub_items(root)?;
+    let counts = per_crate_counts(&items);
+    let mut doc = String::from(
+        "# Dead-pub ratchet — blessed per-crate candidate counts, generated by\n\
+         # `cargo run -p seeker-lint -- --bless-deadpub`. CI fails when a crate's\n\
+         # count *increases*; decreases are improvements — re-bless to lock them in.\n",
+    );
+    for (name, count) in &counts {
+        doc.push_str(&format!("{name}\t{count}\n"));
+    }
+    let rel = PathBuf::from(DEADPUB_LOCK);
+    if let Some(parent) = root.join(&rel).parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(root.join(&rel), doc)?;
+    Ok((rel, items.len()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +334,29 @@ mod tests {
         let (path, count) = write_dead_pub_report(&root).expect("report");
         assert_eq!(count, 2);
         assert!(fs::read_to_string(path).expect("read").contains("corpse"));
+
+        // Ratchet lifecycle: missing lock → bless → clean → growth fails,
+        // shrinkage passes.
+        assert_eq!(check_deadpub(&root).expect("check").len(), 1, "missing lock must fail");
+        let (rel, blessed) = bless_deadpub(&root).expect("bless");
+        assert_eq!(rel, PathBuf::from(DEADPUB_LOCK));
+        assert_eq!(blessed, 2);
+        assert!(check_deadpub(&root).expect("check").is_empty());
+        // A new dead pub item raises the count past the ceiling.
+        let lib = root.join("crates/alpha/src/lib.rs");
+        let source = fs::read_to_string(&lib).expect("read");
+        fs::write(&lib, format!("{source}\n/// Also dead.\npub fn corpse2() {{}}\n"))
+            .expect("write");
+        let failures = check_deadpub(&root).expect("check");
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("alpha"), "{failures:?}");
+        // Removing dead surface below the ceiling passes without re-bless.
+        fs::write(
+            &lib,
+            "//! A.\n#![deny(missing_docs)]\n\n/// Live: used by tests.\npub fn live(x: u32) -> u32 { x }\n",
+        )
+        .expect("write");
+        assert!(check_deadpub(&root).expect("check").is_empty());
         let _ = fs::remove_dir_all(&root);
     }
 }

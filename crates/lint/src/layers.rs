@@ -96,7 +96,7 @@ pub const LAYER_DAG: &[(&str, &[&str])] = &[
     ),
     // The lint binary fans per-file lex/parse out over the pool — the only
     // production crate it may touch (dogfooding seeker-par on coarse units).
-    ("seeker-lint", &["seeker-par"]),
+    ("seeker-lint", &["seeker-par", "seeker-obs"]),
     (
         "friendseeker-repro",
         &[

@@ -49,8 +49,12 @@
 
 /// Public-API extraction and the `api/<crate>.api` lockfile.
 pub mod api_lock;
+/// The atomics-ordering audit.
+pub mod atomics;
 /// The workspace function call graph.
 pub mod callgraph;
+/// The generated `docs/CONFIGURATION.md` cross-check.
+pub mod config_docs;
 /// The dead-`pub` report (report-only pass).
 pub mod deadpub;
 /// Hot-path allocation analysis (call-graph pass).
@@ -59,6 +63,8 @@ pub mod hotpath;
 pub mod layers;
 /// The hand-rolled lossless Rust lexer.
 pub mod lexer;
+/// Lock-order and condvar-protocol analysis (call-graph pass).
+pub mod locks;
 /// Legacy comment/string masking (v1 engine), retained as the reference
 /// implementation for the token-vs-line rule-agreement tests.
 pub mod mask;
@@ -70,21 +76,33 @@ pub mod rules;
 pub mod syntax;
 /// The token model the lexer produces.
 pub mod tokens;
+/// The unsafe ledger and its `api/unsafe.lock` gate.
+pub mod unsafe_audit;
 /// Workspace traversal and file classification.
 pub mod walk;
 
 /// API-lockfile entry points.
 pub use api_lock::{bless_api, check_api, ApiDrift};
+/// Atomics-audit entry points.
+pub use atomics::{atomic_sites, render_inventory, AtomicSite, AtomicViolation};
 /// Call-graph construction and core types.
 pub use callgraph::{build_call_graph, CallGraph, CallTarget};
-/// Dead-`pub` report entry points.
-pub use deadpub::{dead_pub_items, write_dead_pub_report, DeadPub};
+/// Configuration-doc entry points.
+pub use config_docs::{bless_config, check_config, render_config_doc, CONFIG_DOC};
+/// Dead-`pub` report and ratchet entry points.
+pub use deadpub::{
+    bless_deadpub, check_deadpub, dead_pub_items, write_dead_pub_report, DeadPub, DEADPUB_LOCK,
+};
 /// Hot-path analysis entry points.
 pub use hotpath::{check_hotpath, hot_findings, HotFinding, HOT_PATHS};
 /// Layering-pass entry points.
 pub use layers::{check_layering, LayerViolation, LAYER_DAG};
 /// The lexer entry point.
 pub use lexer::lex;
+/// Lock-order analysis entry points.
+pub use locks::{
+    acquire_closure, lock_order, render_lock_graph, LockEdge, LockFinding, LockOrderReport,
+};
 /// Panic-reachability entry points.
 pub use panics::{bless_panics, check_panics, panic_entries, PanicDrift, PANICS_LOCK};
 /// Core rule types and the per-file entry points.
@@ -93,6 +111,11 @@ pub use rules::{lint_source, lint_source_with, Config, FileClass, Rule, Violatio
 pub use syntax::{parse_source, Item, ItemKind, ItemTree};
 /// Token types.
 pub use tokens::{Token, TokenKind, TokenStream};
+/// Unsafe-ledger entry points.
+pub use unsafe_audit::{
+    bless_unsafe, check_unsafe, unsafe_sites, UnsafeDrift, UnsafeKind, UnsafeSite, UnsafeViolation,
+    UNSAFE_LOCK,
+};
 /// Workspace traversal entry points.
 pub use walk::{workspace_crates, workspace_sources, CrateInfo, SourceFile};
 

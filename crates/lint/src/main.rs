@@ -4,17 +4,27 @@
 //!
 //! With no flags the full gate runs: all lexical rules, the crate-layering
 //! pass (including the unused-dependency check), the public-API lockfile
-//! check, the panic-reachability lock check, and the hot-path allocation
-//! analysis. Flags select a subset or switch to snapshot regeneration:
+//! check, the panic-reachability lock check, the hot-path allocation
+//! analysis, the unsafe ledger check, the lock-order/condvar analysis, the
+//! atomics-ordering audit, and the generated-configuration-doc check.
+//! Flags select a subset or switch to snapshot regeneration:
 //!
-//! - `--rules`         lexical rules only;
-//! - `--layering`      crate-layering pass only;
-//! - `--check-api`     public-API lockfile check only;
-//! - `--bless-api`     regenerate the `api/<crate>.api` snapshots and exit;
-//! - `--check-panics`  panic-reachability lock check only;
-//! - `--bless-panics`  regenerate `api/panics.lock` and exit;
-//! - `--hotpath`       hot-path allocation analysis only;
-//! - `--deadpub`       write the dead-`pub` report to `results/DEADPUB.md`
+//! - `--rules`          lexical rules only;
+//! - `--layering`       crate-layering pass only;
+//! - `--check-api`      public-API lockfile check only;
+//! - `--bless-api`      regenerate the `api/<crate>.api` snapshots and exit;
+//! - `--check-panics`   panic-reachability lock check only;
+//! - `--bless-panics`   regenerate `api/panics.lock` and exit;
+//! - `--hotpath`        hot-path allocation analysis only;
+//! - `--check-unsafe`   unsafe ledger check only (`api/unsafe.lock`);
+//! - `--bless-unsafe`   regenerate `api/unsafe.lock` and exit;
+//! - `--lock-order`     lock-order/condvar analysis only (prints the graph);
+//! - `--atomics`        atomics audit only (prints the ordering inventory);
+//! - `--check-config`   generated `docs/CONFIGURATION.md` check only;
+//! - `--bless-config`   regenerate `docs/CONFIGURATION.md` and exit;
+//! - `--check-deadpub`  dead-`pub` growth ratchet (`api/deadpub.lock`);
+//! - `--bless-deadpub`  regenerate `api/deadpub.lock` and exit;
+//! - `--deadpub`        write the dead-`pub` report to `results/DEADPUB.md`
 //!   (report-only: always exits 0 on success).
 //!
 //! With no root argument the workspace root is discovered by walking up from
@@ -25,8 +35,9 @@
 #![deny(missing_docs)]
 
 use seeker_lint::{
-    bless_api, bless_panics, build_call_graph, check_api, check_layering, hot_findings,
-    lint_workspace, panics,
+    bless_api, bless_config, bless_deadpub, bless_panics, bless_unsafe, build_call_graph,
+    check_api, check_config, check_deadpub, check_layering, check_unsafe, hot_findings,
+    lint_workspace, lock_order, panics, render_inventory, render_lock_graph,
 };
 
 use std::env;
@@ -36,7 +47,7 @@ use std::process::ExitCode;
 /// Which passes a single invocation runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
-    /// Rules + layering + API lock + panic lock + hot-path (the default).
+    /// Every check pass (the default; see the module docs).
     Full,
     /// Lexical rules only.
     Rules,
@@ -52,6 +63,22 @@ enum Mode {
     BlessPanics,
     /// Hot-path allocation analysis only.
     Hotpath,
+    /// Unsafe ledger check only.
+    CheckUnsafe,
+    /// Regenerate the unsafe ledger.
+    BlessUnsafe,
+    /// Lock-order/condvar analysis only (with graph output).
+    LockOrder,
+    /// Atomics audit only (with inventory output).
+    Atomics,
+    /// Configuration-doc check only.
+    CheckConfig,
+    /// Regenerate the configuration doc.
+    BlessConfig,
+    /// Dead-`pub` growth ratchet check.
+    CheckDeadPub,
+    /// Regenerate the dead-`pub` ratchet lock.
+    BlessDeadPub,
     /// Write the dead-`pub` report (report-only).
     DeadPub,
 }
@@ -68,12 +95,22 @@ fn main() -> ExitCode {
             "--check-panics" => mode = Mode::CheckPanics,
             "--bless-panics" => mode = Mode::BlessPanics,
             "--hotpath" => mode = Mode::Hotpath,
+            "--check-unsafe" => mode = Mode::CheckUnsafe,
+            "--bless-unsafe" => mode = Mode::BlessUnsafe,
+            "--lock-order" => mode = Mode::LockOrder,
+            "--atomics" => mode = Mode::Atomics,
+            "--check-config" => mode = Mode::CheckConfig,
+            "--bless-config" => mode = Mode::BlessConfig,
+            "--check-deadpub" => mode = Mode::CheckDeadPub,
+            "--bless-deadpub" => mode = Mode::BlessDeadPub,
             "--deadpub" => mode = Mode::DeadPub,
             other if other.starts_with("--") => {
                 eprintln!("seeker-lint: unknown flag {other}");
                 eprintln!(
                     "usage: seeker-lint [--rules | --layering | --check-api | --bless-api | \
-                     --check-panics | --bless-panics | --hotpath | --deadpub] [root]"
+                     --check-panics | --bless-panics | --hotpath | --check-unsafe | \
+                     --bless-unsafe | --lock-order | --atomics | --check-config | \
+                     --bless-config | --check-deadpub | --bless-deadpub | --deadpub] [root]"
                 );
                 return ExitCode::from(2);
             }
@@ -104,10 +141,7 @@ fn main() -> ExitCode {
                     println!("seeker-lint: {} API snapshot(s) written", written.len());
                     ExitCode::SUCCESS
                 }
-                Err(err) => {
-                    eprintln!("seeker-lint: I/O error while blessing {}: {err}", root.display());
-                    ExitCode::from(2)
-                }
+                Err(err) => io_error("blessing", &root, &err),
             };
         }
         Mode::BlessPanics => {
@@ -116,10 +150,37 @@ fn main() -> ExitCode {
                     println!("seeker-lint: blessed {}", path.display());
                     ExitCode::SUCCESS
                 }
-                Err(err) => {
-                    eprintln!("seeker-lint: I/O error while blessing {}: {err}", root.display());
-                    ExitCode::from(2)
+                Err(err) => io_error("blessing", &root, &err),
+            };
+        }
+        Mode::BlessUnsafe => {
+            return match bless_unsafe(&root) {
+                Ok((path, count)) => {
+                    println!("seeker-lint: blessed {} ({count} unsafe site(s))", path.display());
+                    ExitCode::SUCCESS
                 }
+                Err(err) => io_error("blessing", &root, &err),
+            };
+        }
+        Mode::BlessConfig => {
+            return match bless_config(&root) {
+                Ok(path) => {
+                    println!("seeker-lint: blessed {}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(err) => io_error("blessing", &root, &err),
+            };
+        }
+        Mode::BlessDeadPub => {
+            return match bless_deadpub(&root) {
+                Ok((path, count)) => {
+                    println!(
+                        "seeker-lint: blessed {} ({count} dead-pub candidate(s))",
+                        path.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(err) => io_error("blessing", &root, &err),
             };
         }
         Mode::DeadPub => {
@@ -131,10 +192,24 @@ fn main() -> ExitCode {
                     );
                     ExitCode::SUCCESS
                 }
-                Err(err) => {
-                    eprintln!("seeker-lint: I/O error in dead-pub report: {err}");
-                    ExitCode::from(2)
+                Err(err) => io_error("dead-pub report for", &root, &err),
+            };
+        }
+        Mode::CheckDeadPub => {
+            return match check_deadpub(&root) {
+                Ok(failures) => {
+                    for f in &failures {
+                        println!("{f}");
+                    }
+                    if failures.is_empty() {
+                        println!("seeker-lint: dead-pub ratchet holds ({})", root.display());
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("seeker-lint: {} ratchet failure(s)", failures.len());
+                        ExitCode::FAILURE
+                    }
                 }
+                Err(err) => io_error("dead-pub ratchet for", &root, &err),
             };
         }
         _ => {}
@@ -159,14 +234,56 @@ fn main() -> ExitCode {
             Err(code) => return code,
         }
     }
-    if matches!(mode, Mode::Full | Mode::CheckPanics | Mode::Hotpath) {
-        // Both semantic passes share one call graph.
+    if matches!(mode, Mode::Full | Mode::CheckUnsafe) {
+        match check_unsafe(&root) {
+            Ok((violations, drift)) => {
+                for v in &violations {
+                    println!("{v}");
+                }
+                for d in &drift {
+                    println!("{d}");
+                }
+                if !(violations.is_empty() && drift.is_empty()) {
+                    eprintln!(
+                        "seeker-lint: unsafe-ledger failure — write the SAFETY obligation \
+                         and/or re-bless with `cargo run -p seeker-lint -- --bless-unsafe`"
+                    );
+                }
+                reported += violations.len() + drift.len();
+            }
+            Err(err) => return io_error("unsafe ledger for", &root, &err),
+        }
+    }
+    if matches!(mode, Mode::Full | Mode::Atomics) {
+        match seeker_lint::atomic_sites(&root) {
+            Ok((sites, violations)) => {
+                if mode == Mode::Atomics {
+                    print!("{}", render_inventory(&sites));
+                }
+                for v in &violations {
+                    println!("{v}");
+                }
+                reported += violations.len();
+            }
+            Err(err) => return io_error("atomics audit for", &root, &err),
+        }
+    }
+    if matches!(mode, Mode::Full | Mode::CheckConfig) {
+        match check_config(&root) {
+            Ok(drift) => {
+                if let Some(message) = drift {
+                    println!("{message}");
+                    reported += 1;
+                }
+            }
+            Err(err) => return io_error("configuration-doc check for", &root, &err),
+        }
+    }
+    if matches!(mode, Mode::Full | Mode::CheckPanics | Mode::Hotpath | Mode::LockOrder) {
+        // The semantic passes share one call graph.
         let graph = match build_call_graph(&root) {
             Ok(graph) => graph,
-            Err(err) => {
-                eprintln!("seeker-lint: I/O error building call graph: {err}");
-                return ExitCode::from(2);
-            }
+            Err(err) => return io_error("building call graph for", &root, &err),
         };
         if matches!(mode, Mode::Full | Mode::CheckPanics) {
             match panics::check_panics_graph(&root, &graph) {
@@ -183,10 +300,7 @@ fn main() -> ExitCode {
                     }
                     reported += drifts.len();
                 }
-                Err(err) => {
-                    eprintln!("seeker-lint: I/O error in panic check: {err}");
-                    return ExitCode::from(2);
-                }
+                Err(err) => return io_error("panic check for", &root, &err),
             }
         }
         if matches!(mode, Mode::Full | Mode::Hotpath) {
@@ -202,6 +316,26 @@ fn main() -> ExitCode {
             }
             reported += findings.len();
         }
+        if matches!(mode, Mode::Full | Mode::LockOrder) {
+            match lock_order(&root, &graph) {
+                Ok(report) => {
+                    if mode == Mode::LockOrder {
+                        print!("{}", render_lock_graph(&report));
+                    }
+                    for f in &report.findings {
+                        println!("{f}");
+                    }
+                    if !report.findings.is_empty() {
+                        eprintln!(
+                            "seeker-lint: lock/condvar finding(s) — restructure the protocol \
+                             or sanction with `// lint:allow(lock-order)`"
+                        );
+                    }
+                    reported += report.findings.len();
+                }
+                Err(err) => return io_error("lock-order analysis for", &root, &err),
+            }
+        }
     }
     if reported == 0 {
         println!("seeker-lint: clean ({})", root.display());
@@ -210,6 +344,12 @@ fn main() -> ExitCode {
         eprintln!("seeker-lint: {reported} violation(s)");
         ExitCode::FAILURE
     }
+}
+
+/// Reports an I/O failure uniformly and returns the usage exit code.
+fn io_error(what: &str, root: &Path, err: &std::io::Error) -> ExitCode {
+    eprintln!("seeker-lint: I/O error {what} {}: {err}", root.display());
+    ExitCode::from(2)
 }
 
 /// Runs the lexical rules; returns the violation count or an exit code on
@@ -222,10 +362,7 @@ fn run_rules(root: &Path) -> Result<usize, ExitCode> {
             }
             Ok(violations.len())
         }
-        Err(err) => {
-            eprintln!("seeker-lint: I/O error while linting {}: {err}", root.display());
-            Err(ExitCode::from(2))
-        }
+        Err(err) => Err(io_error("while linting", root, &err)),
     }
 }
 
@@ -239,10 +376,7 @@ fn run_layering(root: &Path) -> Result<usize, ExitCode> {
             }
             Ok(violations.len())
         }
-        Err(err) => {
-            eprintln!("seeker-lint: I/O error in layering pass {}: {err}", root.display());
-            Err(ExitCode::from(2))
-        }
+        Err(err) => Err(io_error("in layering pass", root, &err)),
     }
 }
 
@@ -262,10 +396,7 @@ fn run_api_check(root: &Path) -> Result<usize, ExitCode> {
             }
             Ok(drifts.len())
         }
-        Err(err) => {
-            eprintln!("seeker-lint: I/O error in API check {}: {err}", root.display());
-            Err(ExitCode::from(2))
-        }
+        Err(err) => Err(io_error("in API check", root, &err)),
     }
 }
 

@@ -46,6 +46,10 @@ pub enum Rule {
     /// `from_entropy`, `OsRng`, `rand::random`): every random draw in the
     /// pipeline must be replayable from a recorded seed.
     NoUnseededRng,
+    /// Raw `std::env::var`/`var_os` in library code outside the
+    /// `seeker_obs::env` registry: configuration is read once per process
+    /// through the registry, never scattered per call site.
+    EnvRead,
     /// Semantic (call-graph) rule: a `pub` function transitively reaches a
     /// panic site. Enforced by [`crate::panics`], not the lexical driver;
     /// listed here so `lint:allow(panic-reach)` parses.
@@ -58,6 +62,21 @@ pub enum Rule {
     /// crate's non-test sources. Enforced by [`crate::layers`], not the
     /// lexical driver; listed here so `lint:allow(unused-dep)` parses.
     UnusedDep,
+    /// Semantic rule: an `unsafe` construct without a `SAFETY:` comment or
+    /// out of sync with `api/unsafe.lock`. Enforced by
+    /// [`crate::unsafe_audit`]; listed here so `lint:allow(unsafe-ledger)`
+    /// parses.
+    UnsafeLedger,
+    /// Semantic (call-graph) rule: a lock-acquisition-order cycle, a
+    /// condvar wait outside a predicate loop, or a lock held across a
+    /// `par_map`-family dispatch. Enforced by [`crate::locks`]; listed here
+    /// so `lint:allow(lock-order)` parses.
+    LockOrder,
+    /// Semantic rule: an atomic operation using `Ordering::Relaxed` without
+    /// an adjacent `// ordering:` justification comment. Enforced by
+    /// [`crate::atomics`]; listed here so `lint:allow(atomic-ordering)`
+    /// parses.
+    AtomicOrdering,
 }
 
 /// All lexical rules, in report order. The semantic rules
@@ -74,6 +93,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::NoHashIter,
     Rule::NoSystemTime,
     Rule::NoUnseededRng,
+    Rule::EnvRead,
 ];
 
 impl Rule {
@@ -91,16 +111,27 @@ impl Rule {
             Rule::NoHashIter => "no-hash-iter",
             Rule::NoSystemTime => "no-system-time",
             Rule::NoUnseededRng => "no-unseeded-rng",
+            Rule::EnvRead => "env-read",
             Rule::PanicReach => "panic-reach",
             Rule::HotAlloc => "hot-alloc",
             Rule::UnusedDep => "unused-dep",
+            Rule::UnsafeLedger => "unsafe-ledger",
+            Rule::LockOrder => "lock-order",
+            Rule::AtomicOrdering => "atomic-ordering",
         }
     }
 
     /// Parses a rule id as written in an allow comment.
     #[must_use]
     pub fn from_id(id: &str) -> Option<Rule> {
-        const SEMANTIC: &[Rule] = &[Rule::PanicReach, Rule::HotAlloc, Rule::UnusedDep];
+        const SEMANTIC: &[Rule] = &[
+            Rule::PanicReach,
+            Rule::HotAlloc,
+            Rule::UnusedDep,
+            Rule::UnsafeLedger,
+            Rule::LockOrder,
+            Rule::AtomicOrdering,
+        ];
         ALL_RULES.iter().chain(SEMANTIC).copied().find(|r| r.id() == id)
     }
 }
@@ -225,6 +256,7 @@ pub fn lint_source_with(
         float_eq(&stream, &mut push);
         no_hash_iter(&stream, &mut push);
         no_unseeded_rng(&stream, &mut push);
+        env_read(&stream, &mut push);
         if !is_time_exempt(path, config) {
             no_system_time(&stream, &mut push);
         }
@@ -462,6 +494,37 @@ fn no_hash_iter(stream: &TokenStream<'_>, push: &mut impl FnMut(Rule, usize, Str
                      the reproducibility contract (use `BTreeMap`/`BTreeSet`, a sorted index, \
                      or add `// lint:allow(no-hash-iter)` justifying why it is never iterated)",
                     t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Flags raw environment reads (`env::var`, `env::var_os`, and the
+/// iterating `env::vars`/`vars_os` forms) in library code. Configuration is
+/// read once per process through the `seeker_obs::env` registry; a
+/// scattered read re-samples mutable process state per call and hides the
+/// knob from `docs/CONFIGURATION.md`. A `use std::env::var;` alias would
+/// evade the triple-token match, so the import form is flagged too.
+fn env_read(stream: &TokenStream<'_>, push: &mut impl FnMut(Rule, usize, String)) {
+    const READERS: &[&str] = &["var", "var_os", "vars", "vars_os"];
+    for (i, t) in stream.code_iter() {
+        if !t.is_ident("env") {
+            continue;
+        }
+        let path_read = stream.code(i + 1).is_some_and(|u| u.is_punct("::"))
+            && stream
+                .code(i + 2)
+                .is_some_and(|u| u.kind == TokenKind::Ident && READERS.contains(&u.text));
+        if path_read {
+            let what = stream.code(i + 2).map_or("var", |u| u.text);
+            push(
+                Rule::EnvRead,
+                t.line,
+                format!(
+                    "raw `env::{what}` in library code: read configuration through the \
+                     `seeker_obs::env` registry (cached once per process, spec-checked \
+                     against docs/CONFIGURATION.md), or add `// lint:allow(env-read)`"
                 ),
             );
         }

@@ -1,0 +1,606 @@
+//! The unsafe ledger: every `unsafe` construct in library code must sit
+//! under a `// SAFETY:` comment **and** be recorded in the blessed lockfile
+//! `api/unsafe.lock` — one line per construct with its crate-qualified item
+//! path, construct kind, span-normalized body hash, and one-line obligation
+//! (the first `SAFETY:` line).
+//!
+//! The lifecycle mirrors `api/panics.lock`: `--check-unsafe` (and the
+//! default full gate) fails on *both* directions of drift — a new or
+//! changed `unsafe` construct must be consciously blessed, and a removed
+//! one must be re-blessed away so the ledger shrinks with the unsafe
+//! surface. `--bless-unsafe` regenerates the lock. A missing `SAFETY:`
+//! comment is a hard violation regardless of lock state: the ledger records
+//! *reviewed* obligations, it cannot substitute for writing one down.
+//!
+//! The body hash is computed over the construct's **code tokens only**
+//! (whitespace and comments excluded, FNV-1a 64-bit), so reformatting never
+//! churns the ledger but any semantic edit inside an `unsafe` region —
+//! however small — forces a conscious re-bless of its entry.
+
+use crate::lexer::lex;
+use crate::rules::{self, FileClass, Rule};
+use crate::syntax::{parse_stream, Item};
+use crate::tokens::{TokenKind, TokenStream};
+use crate::walk::{workspace_crates, workspace_sources};
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The checked-in ledger path, relative to the workspace root.
+pub const UNSAFE_LOCK: &str = "api/unsafe.lock";
+
+/// The syntactic class of an `unsafe` construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// An `unsafe { … }` block expression.
+    Block,
+    /// An `unsafe fn` (or an `unsafe` trait-method signature).
+    Fn,
+    /// An `unsafe impl … { … }` block.
+    Impl,
+    /// An `unsafe trait … { … }` declaration.
+    Trait,
+    /// Anything else (`unsafe extern { … }`, future syntax).
+    Other,
+}
+
+impl UnsafeKind {
+    /// The stable lowercase name used in the lockfile.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "block",
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::Trait => "trait",
+            UnsafeKind::Other => "other",
+        }
+    }
+}
+
+/// One `unsafe` construct found in library code.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Stable ledger id: `crate::module::item#ordinal` (ordinal counts the
+    /// unsafe constructs inside one item, in source order).
+    pub id: String,
+    /// The construct kind.
+    pub kind: UnsafeKind,
+    /// Source file, relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: usize,
+    /// FNV-1a 64 hash over the construct's code-token texts.
+    pub hash: u64,
+    /// The one-line obligation: the text after `SAFETY:` on the first
+    /// matching comment line, `None` when no SAFETY comment was found.
+    pub obligation: Option<String>,
+}
+
+/// A `SAFETY:`-comment violation (reported independently of ledger drift).
+#[derive(Debug, Clone)]
+pub struct UnsafeViolation {
+    /// Source file, relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for UnsafeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [unsafe-ledger] {}", self.file.display(), self.line, self.message)
+    }
+}
+
+/// One direction of drift between the workspace and `api/unsafe.lock`.
+#[derive(Debug, Clone)]
+pub enum UnsafeDrift {
+    /// The lockfile does not exist yet.
+    MissingLock,
+    /// An `unsafe` construct exists that the ledger does not record.
+    Added(UnsafeSite),
+    /// A ledger entry whose construct no longer exists.
+    Removed(String),
+    /// A recorded construct whose body hash or obligation changed.
+    Changed {
+        /// The ledger id.
+        id: String,
+        /// What changed (`body hash` / `obligation`).
+        what: String,
+    },
+}
+
+impl fmt::Display for UnsafeDrift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnsafeDrift::MissingLock => write!(
+                f,
+                "{UNSAFE_LOCK}: [unsafe-ledger] missing ledger \
+                 (run `cargo run -p seeker-lint -- --bless-unsafe`)"
+            ),
+            UnsafeDrift::Added(site) => write!(
+                f,
+                "{}:{}: [unsafe-ledger] unrecorded `unsafe` {} `{}` — review its SAFETY \
+                 obligation, then `cargo run -p seeker-lint -- --bless-unsafe`",
+                site.file.display(),
+                site.line,
+                site.kind.as_str(),
+                site.id
+            ),
+            UnsafeDrift::Removed(id) => write!(
+                f,
+                "{UNSAFE_LOCK}: [unsafe-ledger] stale entry `{id}` — the construct is gone; \
+                 re-bless so the ledger shrinks with the unsafe surface"
+            ),
+            UnsafeDrift::Changed { id, what } => write!(
+                f,
+                "{UNSAFE_LOCK}: [unsafe-ledger] `{id}` drifted ({what}) — re-review the \
+                 obligation, then `cargo run -p seeker-lint -- --bless-unsafe`"
+            ),
+        }
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` folded into `hash` (stable across platforms
+/// and toolchains, unlike `DefaultHasher`).
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Collects every `unsafe` construct in non-test library code, plus the
+/// missing-`SAFETY:` violations. Sites are sorted by id.
+///
+/// # Errors
+///
+/// Propagates I/O errors from source reads.
+pub fn unsafe_sites(root: &Path) -> io::Result<(Vec<UnsafeSite>, Vec<UnsafeViolation>)> {
+    let crates = workspace_crates(root)?;
+    let sources = workspace_sources(root)?;
+    let mut sites = Vec::new();
+    let mut violations = Vec::new();
+    for file in &sources {
+        if !matches!(file.class, FileClass::Library | FileClass::LibraryRoot) {
+            continue;
+        }
+        let Some(info) = crates.iter().find(|c| file.path.starts_with(c.dir.join("src"))) else {
+            continue;
+        };
+        let source = fs::read_to_string(root.join(&file.path))?;
+        collect_file(
+            &info.name,
+            &module_path(&info.dir, &file.path),
+            &file.path,
+            &source,
+            |site| {
+                sites.push(site);
+            },
+            |v| violations.push(v),
+        );
+    }
+    sites.sort_by(|a, b| a.id.cmp(&b.id));
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok((sites, violations))
+}
+
+/// The `::`-joined module path of `file` inside crate dir `crate_dir`
+/// (`src/pool.rs` → `pool`, `src/lib.rs` → empty, `src/a/mod.rs` → `a`).
+fn module_path(crate_dir: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(crate_dir.join("src")).unwrap_or(file);
+    let mut segments: Vec<String> = rel
+        .with_extension("")
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().to_string())
+        .collect();
+    if segments.last().is_some_and(|s| s == "lib" || s == "mod") {
+        segments.pop();
+    }
+    segments.join("::")
+}
+
+/// Scans one file's token stream for `unsafe` constructs.
+fn collect_file(
+    crate_name: &str,
+    module: &str,
+    rel_path: &Path,
+    source: &str,
+    mut on_site: impl FnMut(UnsafeSite),
+    mut on_violation: impl FnMut(UnsafeViolation),
+) {
+    let stream = TokenStream::new(lex(source));
+    let tree = parse_stream(&stream, source.len());
+    let test_lines = rules::test_region_lines(&stream);
+    let allows = rules::collect_allows(&stream);
+    let lines: Vec<&str> = source.lines().collect();
+    let mut per_item_ordinal: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+
+    for (i, t) in stream.code_iter() {
+        if !t.is_ident("unsafe") || test_lines.contains(&t.line) {
+            continue;
+        }
+        let kind = match stream.code(i + 1) {
+            Some(n) if n.is_punct("{") => UnsafeKind::Block,
+            Some(n) if n.is_ident("fn") => UnsafeKind::Fn,
+            Some(n) if n.is_ident("impl") => UnsafeKind::Impl,
+            Some(n) if n.is_ident("trait") => UnsafeKind::Trait,
+            _ => UnsafeKind::Other,
+        };
+        let end = construct_end(&stream, i);
+        let mut hash = FNV_OFFSET;
+        for j in i..end {
+            if let Some(u) = stream.code(j) {
+                hash = fnv1a(hash, u.text.as_bytes());
+                hash = fnv1a(hash, &[0x1F]);
+            }
+        }
+        let item_chain = enclosing_chain(&tree.items, i);
+        let mut id = String::from(crate_name);
+        if !module.is_empty() {
+            id.push_str("::");
+            id.push_str(module);
+        }
+        for name in &item_chain {
+            id.push_str("::");
+            id.push_str(name);
+        }
+        let ordinal = per_item_ordinal.entry(id.clone()).or_insert(0);
+        id.push('#');
+        id.push_str(&ordinal.to_string());
+        *ordinal += 1;
+
+        let obligation = safety_obligation(&lines, t.line);
+        let allowed = allows
+            .iter()
+            .any(|(l, r)| *r == Rule::UnsafeLedger && (*l == t.line || *l + 1 == t.line));
+        if obligation.is_none() && !allowed {
+            on_violation(UnsafeViolation {
+                file: rel_path.to_path_buf(),
+                line: t.line,
+                message: format!(
+                    "`unsafe` {} without a `// SAFETY:` comment on the preceding lines — \
+                     write the obligation down (or `lint:allow(unsafe-ledger)` with a reason)",
+                    kind.as_str()
+                ),
+            });
+        }
+        on_site(UnsafeSite {
+            id,
+            kind,
+            file: rel_path.to_path_buf(),
+            line: t.line,
+            hash,
+            obligation,
+        });
+    }
+}
+
+/// One past the last code-token index of the `unsafe` construct starting at
+/// code index `i`: the matching `}` of the construct's brace group, or the
+/// terminating `;` for a body-less `unsafe fn` signature.
+fn construct_end(stream: &TokenStream<'_>, i: usize) -> usize {
+    // Find the first `{` at bracket depth 0 after `unsafe` (the block's own
+    // `{` when the next token already opens one).
+    let mut j = i + 1;
+    let mut depth = 0isize;
+    while let Some(t) = stream.code(j) {
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                ";" if depth == 0 => return j + 1,
+                // A closing brace of the *enclosing* body: malformed input,
+                // stop before it.
+                "}" if depth == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    // Match the brace group.
+    let mut brace = 0isize;
+    while let Some(t) = stream.code(j) {
+        if t.is_punct("{") {
+            brace += 1;
+        } else if t.is_punct("}") {
+            brace -= 1;
+            if brace == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// The chain of named-item names (modules, impls, traits, fns) enclosing
+/// code-token index `i`, outermost first.
+fn enclosing_chain(items: &[Item], i: usize) -> Vec<String> {
+    for item in items {
+        if item.code_start <= i && i < item.code_end {
+            let mut chain = Vec::new();
+            if !item.name.is_empty() {
+                chain.push(item.name.clone());
+            }
+            chain.extend(enclosing_chain(&item.children, i));
+            return chain;
+        }
+    }
+    Vec::new()
+}
+
+/// Looks for a `SAFETY:` comment adjacent to `line` (1-based): on the line
+/// itself, or on the contiguous run of comment/attribute lines directly
+/// above it. Returns the text after the first `SAFETY:` marker, trimmed
+/// (empty string when the marker has no same-line text).
+fn safety_obligation(lines: &[&str], line: usize) -> Option<String> {
+    let extract = |text: &str| -> Option<String> {
+        let idx = text.find("SAFETY:")?;
+        Some(text[idx + "SAFETY:".len()..].trim().to_string())
+    };
+    // Same line (trailing comment).
+    if let Some(l) = lines.get(line - 1) {
+        if let Some(comment_start) = l.find("//") {
+            if let Some(o) = extract(&l[comment_start..]) {
+                return Some(o);
+            }
+        }
+    }
+    // Contiguous comment / attribute lines above. The obligation is the
+    // *first* SAFETY line of the block, so scan the block top-down.
+    let mut first = line - 1; // 0-based index one past the block's top
+    while first > 0 {
+        let trimmed = lines[first - 1].trim_start();
+        if trimmed.starts_with("//") || trimmed.starts_with("#[") || trimmed.starts_with("#![") {
+            first -= 1;
+        } else {
+            break;
+        }
+    }
+    for l in &lines[first..line - 1] {
+        let trimmed = l.trim_start();
+        if trimmed.starts_with("//") {
+            if let Some(o) = extract(trimmed) {
+                return Some(o);
+            }
+        }
+    }
+    None
+}
+
+/// Parses the ledger into `(id, kind, hash, obligation)` rows.
+fn parse_lock(doc: &str) -> Vec<(String, String, String, String)> {
+    doc.lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut parts = l.splitn(4, '\t');
+            Some((
+                parts.next()?.to_string(),
+                parts.next()?.to_string(),
+                parts.next()?.to_string(),
+                parts.next().unwrap_or("").to_string(),
+            ))
+        })
+        .collect()
+}
+
+/// Checks the workspace against `api/unsafe.lock`. Returns the
+/// missing-`SAFETY:` violations and the ledger drift; both empty means the
+/// gate passes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from source reads.
+pub fn check_unsafe(root: &Path) -> io::Result<(Vec<UnsafeViolation>, Vec<UnsafeDrift>)> {
+    let (sites, violations) = unsafe_sites(root)?;
+    let lock_path = root.join(UNSAFE_LOCK);
+    let Ok(doc) = fs::read_to_string(&lock_path) else {
+        return Ok((violations, vec![UnsafeDrift::MissingLock]));
+    };
+    let locked = parse_lock(&doc);
+    let mut drift = Vec::new();
+    for site in &sites {
+        match locked.iter().find(|(id, ..)| *id == site.id) {
+            None => drift.push(UnsafeDrift::Added(site.clone())),
+            Some((_, _, hash, obligation)) => {
+                if *hash != format!("{:016x}", site.hash) {
+                    drift.push(UnsafeDrift::Changed {
+                        id: site.id.clone(),
+                        what: "body hash".to_string(),
+                    });
+                } else if site.obligation.as_deref().unwrap_or("") != obligation {
+                    drift.push(UnsafeDrift::Changed {
+                        id: site.id.clone(),
+                        what: "obligation".to_string(),
+                    });
+                }
+            }
+        }
+    }
+    for (id, ..) in &locked {
+        if !sites.iter().any(|s| &s.id == id) {
+            drift.push(UnsafeDrift::Removed(id.clone()));
+        }
+    }
+    Ok((violations, drift))
+}
+
+/// Regenerates `api/unsafe.lock` from the current workspace. Returns the
+/// written path (relative to the workspace root) and the entry count.
+///
+/// # Errors
+///
+/// Propagates I/O errors from source reads or the lock write.
+pub fn bless_unsafe(root: &Path) -> io::Result<(PathBuf, usize)> {
+    let (sites, _) = unsafe_sites(root)?;
+    let mut doc = String::from(
+        "# Unsafe ledger — every `unsafe` construct in library code, generated by\n\
+         # `cargo run -p seeker-lint -- --bless-unsafe`.\n\
+         # One tab-separated row per construct: id, kind, span-normalized body hash,\n\
+         # one-line SAFETY obligation. CI fails on any drift in either direction.\n",
+    );
+    for site in &sites {
+        doc.push_str(&format!(
+            "{}\t{}\t{:016x}\t{}\n",
+            site.id,
+            site.kind.as_str(),
+            site.hash,
+            site.obligation.as_deref().unwrap_or("")
+        ));
+    }
+    let rel = PathBuf::from(UNSAFE_LOCK);
+    if let Some(parent) = root.join(&rel).parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(root.join(&rel), doc)?;
+    Ok((rel, sites.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace(lib: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!(
+            "seeker-lint-unsafe-{}-{}",
+            std::process::id(),
+            lib.len()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/alpha/src")).expect("mkdir");
+        fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n")
+            .expect("write");
+        fs::write(
+            root.join("crates/alpha/Cargo.toml"),
+            "[package]\nname = \"alpha\"\nversion = \"0.0.0\"\n",
+        )
+        .expect("write");
+        fs::write(root.join("crates/alpha/src/lib.rs"), lib).expect("write");
+        root
+    }
+
+    const ANNOTATED: &str = "//! A.\n#![deny(missing_docs)]\n\n/// Reads one byte.\npub fn peek(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid for reads.\n    unsafe { *p }\n}\n";
+
+    #[test]
+    fn annotated_unsafe_block_is_recorded_without_violation() {
+        let root = workspace(ANNOTATED);
+        let (sites, violations) = unsafe_sites(&root).expect("scan");
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].id, "alpha::peek#0");
+        assert_eq!(sites[0].kind, UnsafeKind::Block);
+        assert_eq!(sites[0].obligation.as_deref(), Some("caller guarantees p is valid for reads."));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_safety_comment_is_a_violation() {
+        let root = workspace(
+            "//! A.\n#![deny(missing_docs)]\n\n/// Reads one byte.\npub fn peek(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+        );
+        let (sites, violations) = unsafe_sites(&root).expect("scan");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("SAFETY"), "{}", violations[0].message);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn test_region_unsafe_is_exempt() {
+        let root = workspace(
+            "//! A.\n#![deny(missing_docs)]\n\n#[cfg(test)]\nmod tests {\n    fn f(p: *const u8) -> u8 { unsafe { *p } }\n}\n",
+        );
+        let (sites, violations) = unsafe_sites(&root).expect("scan");
+        assert!(sites.is_empty());
+        assert!(violations.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bless_then_check_roundtrip_added_changed_and_stale_drift() {
+        let root = workspace(ANNOTATED);
+        // Missing lock is drift.
+        let (_, drift) = check_unsafe(&root).expect("check");
+        assert!(matches!(drift.as_slice(), [UnsafeDrift::MissingLock]));
+        // Bless → clean.
+        let (rel, n) = bless_unsafe(&root).expect("bless");
+        assert_eq!(rel, PathBuf::from(UNSAFE_LOCK));
+        assert_eq!(n, 1);
+        let (violations, drift) = check_unsafe(&root).expect("check");
+        assert!(violations.is_empty() && drift.is_empty(), "{drift:?}");
+        // Editing the unsafe body is Changed drift.
+        let lib = root.join("crates/alpha/src/lib.rs");
+        fs::write(&lib, ANNOTATED.replace("*p", "*p.offset(0)")).expect("write");
+        let (_, drift) = check_unsafe(&root).expect("check");
+        assert!(
+            matches!(drift.as_slice(), [UnsafeDrift::Changed { what, .. }] if what == "body hash"),
+            "{drift:?}"
+        );
+        // A second unsafe construct is Added drift.
+        fs::write(
+            &lib,
+            format!("{ANNOTATED}\n/// W.\npub fn poke(p: *mut u8) {{\n    // SAFETY: caller guarantees p is valid for writes.\n    unsafe {{ *p = 0 }}\n}}\n"),
+        )
+        .expect("write");
+        let (_, drift) = check_unsafe(&root).expect("check");
+        assert!(
+            matches!(drift.as_slice(), [UnsafeDrift::Added(site)] if site.id == "alpha::poke#0"),
+            "{drift:?}"
+        );
+        // Removing every unsafe construct leaves a stale entry.
+        fs::write(
+            &lib,
+            "//! A.\n#![deny(missing_docs)]\n\n/// Safe now.\npub fn peek() -> u8 { 0 }\n",
+        )
+        .expect("write");
+        let (_, drift) = check_unsafe(&root).expect("check");
+        assert!(matches!(drift.as_slice(), [UnsafeDrift::Removed(id)] if id == "alpha::peek#0"));
+        // Re-bless shrinks the ledger back to clean.
+        let (_, n) = bless_unsafe(&root).expect("bless");
+        assert_eq!(n, 0);
+        assert!(check_unsafe(&root).expect("check").1.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reformatting_does_not_change_the_hash() {
+        let root = workspace(ANNOTATED);
+        let (a, _) = unsafe_sites(&root).expect("scan");
+        let reformatted = ANNOTATED.replace("unsafe { *p }", "unsafe {\n        *p\n    }");
+        fs::write(root.join("crates/alpha/src/lib.rs"), reformatted).expect("write");
+        let (b, _) = unsafe_sites(&root).expect("scan");
+        assert_eq!(a[0].hash, b[0].hash, "whitespace must not churn the ledger");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unsafe_fn_and_impl_kinds_are_classified() {
+        let root = workspace(
+            "//! A.\n#![deny(missing_docs)]\n\n/// Raw slot.\npub struct Slot(u8);\n\n// SAFETY: Slot is a plain byte, no shared mutation.\nunsafe impl Sync for Slot {}\n\n/// Unchecked read.\n///\n// SAFETY: caller upholds the index bound.\npub unsafe fn get(s: &[u8], i: usize) -> u8 {\n    // SAFETY: forwarded from the caller contract.\n    unsafe { *s.get_unchecked(i) }\n}\n",
+        );
+        let (sites, violations) = unsafe_sites(&root).expect("scan");
+        assert!(violations.is_empty(), "{violations:?}");
+        let kinds: Vec<(&str, UnsafeKind)> =
+            sites.iter().map(|s| (s.id.as_str(), s.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("alpha::Slot#0", UnsafeKind::Impl),
+                ("alpha::get#0", UnsafeKind::Fn),
+                ("alpha::get#1", UnsafeKind::Block),
+            ],
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+}

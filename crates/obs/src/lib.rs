@@ -56,6 +56,9 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+/// The `SEEKER_*` configuration registry: declared variable specs and the
+/// once-per-process cached environment snapshot.
+pub mod env;
 /// Minimal JSON tree: emitter + recursive-descent parser (sink payloads).
 pub mod json;
 mod sink;
@@ -149,13 +152,15 @@ fn level_from_u8(v: u8) -> Level {
 
 /// The current level, initializing from `SEEKER_LOG` on first use.
 pub fn level() -> Level {
+    // ordering: lone u8 flag, no other memory is published through it;
+    // racing first-use initializations store the same resolved value.
     let v = LEVEL.load(Ordering::Relaxed);
     if v != LEVEL_UNSET {
         return level_from_u8(v);
     }
-    let raw = std::env::var("SEEKER_LOG").ok();
-    let (resolved, warning) = resolve_level(raw.as_deref());
+    let (resolved, warning) = resolve_level(env::raw("SEEKER_LOG"));
     // First-use only; racing initializations resolve to the same value.
+    // ordering: idempotent-init store of the flag read above.
     LEVEL.store(level_to_u8(resolved), Ordering::Relaxed);
     if let Some(w) = warning {
         // The one sanctioned direct stderr line outside the sinks: the env
@@ -169,6 +174,8 @@ pub fn level() -> Level {
 /// level so callers can restore it.
 pub fn set_level(l: Level) -> Level {
     let prev = level();
+    // ordering: the level gates reporting only; a stale read in another
+    // thread drops or emits one borderline event, never corrupts state.
     LEVEL.store(level_to_u8(l), Ordering::Relaxed);
     prev
 }
@@ -298,11 +305,16 @@ impl Counter {
     /// atomic add regardless of [`level`], which is what makes totals exact
     /// under concurrency.
     pub fn add(&self, delta: u64) {
+        // ordering: monotonic counter; fetch_add commutes, so the final
+        // total is exact under any interleaving and no reader is ordered
+        // against other memory through it.
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// The current total.
     pub fn get(&self) -> u64 {
+        // ordering: point-in-time snapshot of a monotonic counter; callers
+        // derive no cross-thread ordering from the value.
         self.value.load(Ordering::Relaxed)
     }
 
@@ -458,7 +470,7 @@ pub fn flush() {
 /// table and the JSON document.
 pub fn init_cli_sinks() -> Vec<SinkGuard> {
     let mut guards = vec![sink::add_sink(StderrSink::new())];
-    if let Ok(path) = std::env::var("SEEKER_OBS_JSON") {
+    if let Some(path) = env::raw("SEEKER_OBS_JSON") {
         if !path.is_empty() {
             guards.push(sink::add_sink(JsonSink::new(path)));
         }

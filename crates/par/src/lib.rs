@@ -165,8 +165,9 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// `SEEKER_THREADS`, parsed once per process. Counting the reads lets the
-/// regression test pin "once" exactly without racing on the global
+/// `SEEKER_THREADS`, parsed once per process (the raw read itself goes
+/// through the cached `seeker_obs::env` registry). Counting the parses lets
+/// the regression test pin "once" exactly without racing on the global
 /// environment.
 static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
 static ENV_READS: AtomicUsize = AtomicUsize::new(0);
@@ -179,8 +180,10 @@ fn parse_threads(raw: Option<&str>) -> Option<usize> {
 
 fn env_threads() -> Option<usize> {
     *ENV_THREADS.get_or_init(|| {
+        // ordering: diagnostic read counter for the read-once regression
+        // test; no memory is published through it.
         ENV_READS.fetch_add(1, Ordering::Relaxed);
-        parse_threads(std::env::var("SEEKER_THREADS").ok().as_deref())
+        parse_threads(seeker_obs::env::raw("SEEKER_THREADS"))
     })
 }
 

@@ -63,9 +63,14 @@ pub(crate) fn on_worker_thread() -> bool {
 
 /// Locks a mutex, continuing through poisoning: the pool's own state stays
 /// consistent across user-closure panics (they are caught before any lock
-/// here is held), so a poisoned flag carries no information.
+/// here is held), so a poisoned flag carries no information. Poisoning is
+/// still *counted* (`par.pool.poisoned`) — it would mean a panic escaped
+/// the catch_unwind fence, which must be observable, not silent.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+    m.lock().unwrap_or_else(|e| {
+        seeker_obs::counter!("par.pool.poisoned", 1);
+        e.into_inner()
+    })
 }
 
 /// A borrowed job with its lifetime erased so it can sit in the
@@ -198,6 +203,9 @@ pub(crate) fn run_chunked<U: Send>(
 
     // The chunk loop every participant (caller + helpers) runs.
     let work = || loop {
+        // ordering: pure claim token — each participant gets a distinct
+        // chunk index under any ordering, and a chunk's *result* is
+        // published through its slot Mutex, not through this counter.
         let c = next.fetch_add(1, Ordering::Relaxed);
         if c >= n_chunks {
             break;
@@ -237,6 +245,8 @@ pub(crate) fn run_chunked<U: Send>(
         }
     };
 
+    // ordering: uniqueness token only; fetch_add never hands two calls the
+    // same id, and job visibility is ordered by the queue Mutex.
     let job_id = NEXT_JOB_ID.fetch_add(1, Ordering::Relaxed);
     if helpers > 0 {
         enqueue(job_id, &helper, helpers);
@@ -266,4 +276,33 @@ pub(crate) fn run_chunked<U: Send>(
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisoned_lock_is_counted_not_swallowed_silently() {
+        let before = seeker_obs::counter_value("par.pool.poisoned");
+        let m: Mutex<u32> = Mutex::new(7);
+        // Poison the mutex: panic while holding its guard.
+        let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("poison");
+        }));
+        assert!(poisoner.is_err());
+        assert!(m.is_poisoned(), "the guard-holding panic must poison the mutex");
+        // The helper still hands out the guard, but the event is counted.
+        assert_eq!(*lock(&m), 7);
+        assert_eq!(
+            seeker_obs::counter_value("par.pool.poisoned"),
+            before + 1,
+            "recovering from a poisoned pool mutex must increment par.pool.poisoned"
+        );
+        // The mutex stays poisoned, so every later recovery counts too:
+        // the counter tracks recoveries, not distinct poison events.
+        drop(lock(&m));
+        assert_eq!(seeker_obs::counter_value("par.pool.poisoned"), before + 2);
+    }
 }
