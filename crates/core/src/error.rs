@@ -18,6 +18,13 @@ pub enum AttackError {
         /// The offending user count.
         n_users: usize,
     },
+    /// A persisted artifact (attack blob, serve snapshot) failed framing
+    /// validation: bad magic, truncation, trailing bytes, or a checksum
+    /// mismatch.
+    Persist(String),
+    /// An ingest batch was rejected before mutating any state (out-of-span
+    /// timestamp, unknown user or POI).
+    Ingest(String),
     /// An error from the trace substrate.
     Trace(seeker_trace::TraceError),
 }
@@ -30,6 +37,8 @@ impl fmt::Display for AttackError {
             AttackError::PairUniverse { n_users } => {
                 write!(f, "pair universe overflow: {n_users} users imply more pairs than the platform can index")
             }
+            AttackError::Persist(m) => write!(f, "corrupt persisted artifact: {m}"),
+            AttackError::Ingest(m) => write!(f, "rejected ingest batch: {m}"),
             AttackError::Trace(e) => write!(f, "trace error: {e}"),
         }
     }
@@ -62,6 +71,10 @@ mod tests {
         let e = AttackError::Config("bad sigma".into());
         assert!(e.to_string().contains("bad sigma"));
         assert!(e.source().is_none());
+        let e = AttackError::Persist("checksum mismatch".into());
+        assert!(e.to_string().contains("checksum mismatch"));
+        let e = AttackError::Ingest("timestamp past span".into());
+        assert!(e.to_string().contains("timestamp past span"));
         let e = AttackError::from(seeker_trace::TraceError::Invalid("x".into()));
         assert!(e.to_string().contains("trace error"));
         assert!(e.source().is_some());

@@ -1,0 +1,662 @@
+//! A long-lived incremental attack session: streaming check-in ingestion
+//! with delta-driven re-inference.
+//!
+//! [`IncrementalAttack`] owns a trained attack and a growing target
+//! dataset. Each [`IncrementalAttack::ingest`] call appends a check-in
+//! batch and brings the inference result up to date by recomputing only
+//! what the batch could have changed:
+//!
+//! 1. the batch's STD footprint ([`seeker_spatial::DataDelta`]) names the
+//!    dirtied cells and users;
+//! 2. the inverted cell index absorbs the batch in place
+//!    ([`seeker_spatial::CellIndex::apply`]) and surfaces the pairs that
+//!    newly co-locate — the only way the candidate universe can grow
+//!    (check-ins are only ever added, so co-location is monotone);
+//! 3. presence features and phase-1 probabilities are re-encoded for
+//!    exactly the pairs with a dirtied endpoint — per-pair purity of the
+//!    encoder makes the partial batch bitwise equal to a full re-encode —
+//!    and `G⁰` is re-thresholded from the cached probabilities;
+//! 4. phase-2 refinement resumes from the previous run's feature cache
+//!    (the [`crate::phase2`] warm-resume path), seeding the influence BFS
+//!    with the dirty users.
+//!
+//! The contract — pinned by the `serve_contract` append==rebuild proptest —
+//! is that after any sequence of ingests the session's result is
+//! **bit-identical** to rerunning [`TrainedAttack::infer`] on the
+//! equivalent rebuilt dataset. `SEEKER_FULL_INGEST=1` (or
+//! [`IncrementalOptions::full_ingest`]) is the escape hatch that performs
+//! exactly that rebuild on every batch.
+
+use seeker_graph::SocialGraph;
+use seeker_spatial::{CellIndex, DataDelta};
+use seeker_trace::{CheckIn, Dataset, UserId, UserPair};
+
+use crate::attack::{InferenceResult, TrainedAttack};
+use crate::candidates::CandidateUniverse;
+use crate::error::{AttackError, Result};
+use crate::features::FeatureStore;
+use crate::pairs::{all_pairs, pair_universe_size};
+use crate::phase2::{IterationTrace, ResumeState};
+
+/// Construction options for an [`IncrementalAttack`] session.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalOptions {
+    /// Route the initial candidate enumeration through the sharded cell
+    /// index (`CellIndex::candidate_pairs_sharded`) with this many shards,
+    /// capping transient memory on large worlds. Output is bit-identical
+    /// either way (shard contract).
+    pub n_shards: Option<usize>,
+    /// Escape hatch: discard all incremental state and rerun the reference
+    /// [`TrainedAttack::infer`] from scratch on every ingest. Also enabled
+    /// by `SEEKER_FULL_INGEST=1` via [`IncrementalOptions::from_env`].
+    pub full_ingest: bool,
+}
+
+impl IncrementalOptions {
+    /// Reads `SEEKER_SHARDS` and the `SEEKER_FULL_INGEST` escape hatch from
+    /// the cached [`seeker_obs::env`] registry.
+    pub fn from_env() -> Self {
+        IncrementalOptions {
+            n_shards: crate::phase2::shards_from_env(),
+            full_ingest: seeker_obs::env::flag("SEEKER_FULL_INGEST"),
+        }
+    }
+}
+
+/// A friendship verdict for one queried pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairVerdict {
+    /// Whether the final refined graph contains the pair.
+    pub friend: bool,
+    /// Classifier `C`'s friend probability for the pair: the cached
+    /// per-pair score for co-location candidates, the zero-JOC stand-in for
+    /// the never-co-located residue, or `None` in full-ingest mode (no
+    /// probability cache is maintained there).
+    pub probability: Option<f64>,
+}
+
+/// A long-lived attack session over a growing target dataset.
+///
+/// See the [module docs](crate::incremental) for the delta pipeline and the
+/// append==rebuild contract.
+pub struct IncrementalAttack {
+    attack: TrainedAttack,
+    opts: IncrementalOptions,
+    dataset: Dataset,
+    /// Inverted STD cell index of `dataset` (kept in sync by
+    /// `CellIndex::apply`); unused in full-ingest mode.
+    index: CellIndex,
+    /// Co-location candidate pairs, canonical order — the universe record.
+    candidates: Vec<UserPair>,
+    /// Whether refinement runs over the full quadratic universe (zero-JOC
+    /// fallback or the `SEEKER_FULL_REFINE` hatch) instead of `candidates`.
+    full_universe: bool,
+    /// Mirror of the `SEEKER_FULL_REFINE` hatch: full per-iteration feature
+    /// recomputation inside the refinement loop.
+    force_full_refine: bool,
+    /// The pair list actually classified (`candidates`, or the quadratic
+    /// universe when `full_universe`).
+    pairs: Vec<UserPair>,
+    /// Classifier `C`'s cached friend probability per pair, aligned with
+    /// `pairs` — thresholding reproduces `Phase1Model::predict_graph`
+    /// bit-for-bit.
+    p1_proba: Vec<f64>,
+    /// Presence features for `pairs` (None while the universe is empty).
+    store: Option<FeatureStore>,
+    resume: ResumeState,
+    n_total: u64,
+    residue_probability: f64,
+    residue_predicted_friend: bool,
+    last: InferenceResult,
+    n_ingested_batches: u64,
+    n_ingested_checkins: u64,
+}
+
+impl IncrementalAttack {
+    /// Opens a session: runs one reference-equivalent inference over
+    /// `initial` and retains every intermediate needed to absorb future
+    /// batches incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::PairUniverse`] if the universe size does not
+    /// fit the platform.
+    pub fn new(
+        attack: TrainedAttack,
+        initial: Dataset,
+        opts: IncrementalOptions,
+    ) -> Result<IncrementalAttack> {
+        let _span = seeker_obs::span!("incremental.open");
+        let n_total = pair_universe_size(initial.n_users())? as u64;
+        let residue_probability = attack.phase1().zero_joc_proba();
+        let residue_predicted_friend = residue_probability >= attack.phase1().threshold();
+        let force_full_refine = crate::phase2::full_refine_from_env();
+        let full_universe = force_full_refine || residue_predicted_friend;
+        let index = CellIndex::build(&initial, attack.phase1().division());
+        let candidates = match opts.n_shards {
+            Some(n) => index.candidate_pairs_sharded(n),
+            None => index.candidate_pairs(),
+        };
+        let pairs = if full_universe { all_pairs(&initial)? } else { candidates.clone() };
+        let mut session = IncrementalAttack {
+            attack,
+            opts,
+            dataset: initial,
+            index,
+            candidates,
+            full_universe,
+            force_full_refine,
+            pairs,
+            p1_proba: Vec::new(),
+            store: None,
+            resume: ResumeState::default(),
+            n_total,
+            residue_probability,
+            residue_predicted_friend,
+            last: InferenceResult {
+                pairs: Vec::new(),
+                trace: IterationTrace {
+                    graphs: vec![SocialGraph::new(0)],
+                    change_ratios: Vec::new(),
+                    converged: true,
+                },
+                candidates: None,
+            },
+            n_ingested_batches: 0,
+            n_ingested_checkins: 0,
+        };
+        if session.opts.full_ingest {
+            session.recompute_reference()?;
+        } else {
+            let every: Vec<usize> = (0..session.pairs.len()).collect();
+            session.refresh_phase1(&every);
+            session.run_refinement(&[], &[]);
+        }
+        Ok(session)
+    }
+
+    /// Appends a check-in batch and brings the inference result up to date.
+    ///
+    /// Validation is atomic: a batch containing any check-in with an
+    /// unknown user, an unknown POI, or a timestamp outside the trained
+    /// observation span `[origin, end]` is rejected with
+    /// [`AttackError::Ingest`] before anything mutates — rejected check-ins
+    /// are never silently dropped or aliased into the nearest slot.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::Ingest`] on validation failure (state unchanged).
+    pub fn ingest(&mut self, batch: &[CheckIn]) -> Result<&InferenceResult> {
+        let _span = seeker_obs::span!("incremental.ingest");
+        self.validate_batch(batch)?;
+        if batch.is_empty() {
+            return Ok(&self.last);
+        }
+        self.n_ingested_batches += 1;
+        self.n_ingested_checkins += batch.len() as u64;
+        seeker_obs::counter!("incremental.ingest.batches", 1);
+        seeker_obs::counter!("incremental.ingest.checkins", batch.len() as u64);
+        if self.opts.full_ingest {
+            self.dataset = self.dataset.append_batch(batch)?;
+            self.recompute_reference()?;
+            return Ok(&self.last);
+        }
+        let delta = DataDelta::compute(self.attack.phase1().division(), batch);
+        self.dataset = self.dataset.append_batch(batch)?;
+        // Superset of the genuinely new co-location pairs; the splice
+        // filters against the existing sorted universe.
+        let fresh = self.index.apply(self.attack.phase1().division(), batch);
+        let cand_inserted = splice_sorted(&mut self.candidates, &fresh);
+        let inserted = if self.full_universe {
+            Vec::new() // the quadratic universe is fixed
+        } else {
+            debug_assert_eq!(self.candidates.len(), self.pairs.len() + cand_inserted.len());
+            let _ = std::mem::replace(&mut self.pairs, self.candidates.clone());
+            cand_inserted
+        };
+        for &pos in &inserted {
+            self.p1_proba.insert(pos, 0.0);
+        }
+        // Pairs whose presence feature the batch dirtied: a freshly
+        // inserted pair, or an endpoint among the delta's users.
+        let dirty_rows: Vec<usize> = if self.store.is_none() {
+            // The universe was empty before this batch; everything is new.
+            (0..self.pairs.len()).collect()
+        } else {
+            let endpoint_dirty = self.pairs.iter().enumerate().filter_map(|(i, p)| {
+                (delta.touches_user(p.lo()) || delta.touches_user(p.hi())).then_some(i)
+            });
+            let mut v: Vec<usize> = inserted.iter().copied().chain(endpoint_dirty).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        seeker_obs::counter!("incremental.ingest.dirty_pairs", dirty_rows.len() as u64);
+        self.refresh_phase1(&dirty_rows);
+        self.run_refinement(&inserted, delta.users());
+        Ok(&self.last)
+    }
+
+    /// The last inference result (reference-equivalent at every point).
+    pub fn result(&self) -> &InferenceResult {
+        &self.last
+    }
+
+    /// The current (post-append) target dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The trained attack backing the session.
+    pub fn attack(&self) -> &TrainedAttack {
+        &self.attack
+    }
+
+    /// The options this session was opened with.
+    pub fn options(&self) -> &IncrementalOptions {
+        &self.opts
+    }
+
+    /// Batches ingested so far (excluding the initial dataset).
+    pub fn n_ingested_batches(&self) -> u64 {
+        self.n_ingested_batches
+    }
+
+    /// Check-ins ingested so far (excluding the initial dataset).
+    pub fn n_ingested_checkins(&self) -> u64 {
+        self.n_ingested_checkins
+    }
+
+    /// Friendship verdict for one user pair against the current result.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::Ingest`] if either id is unknown or the two are equal.
+    pub fn query_pair(&self, a: UserId, b: UserId) -> Result<PairVerdict> {
+        let n = self.dataset.n_users();
+        if a.index() >= n || b.index() >= n {
+            return Err(AttackError::Ingest(format!(
+                "query for unknown user (ids {} and {}, world has {n})",
+                a.raw(),
+                b.raw()
+            )));
+        }
+        if a == b {
+            return Err(AttackError::Ingest(format!("query for self-pair of user {}", a.raw())));
+        }
+        let pair = UserPair::new(a, b);
+        let probability = if self.opts.full_ingest {
+            None
+        } else {
+            match self.pairs.binary_search(&pair) {
+                Ok(i) => Some(self.p1_proba[i]),
+                // Never-co-located residue: classifier C's zero-JOC
+                // stand-in, exactly what candidate pruning scored it as.
+                Err(_) => Some(self.residue_probability),
+            }
+        };
+        Ok(PairVerdict { friend: self.last.final_graph().has_edge(pair), probability })
+    }
+
+    /// The `k` predicted friendships ranked by classifier `C`'s probability
+    /// (descending, ties broken by canonical pair order). In full-ingest
+    /// mode the probabilities are recomputed on demand for the predicted
+    /// edges only.
+    pub fn top_k(&self, k: usize) -> Vec<(UserPair, f64)> {
+        let edges: Vec<UserPair> = self.last.final_graph().edges().collect();
+        let mut scored: Vec<(UserPair, f64)> = if self.opts.full_ingest {
+            if edges.is_empty() {
+                Vec::new()
+            } else {
+                let proba = self.attack.phase1().predict_proba(&self.dataset, &edges);
+                edges.into_iter().zip(proba).collect()
+            }
+        } else {
+            edges
+                .into_iter()
+                .map(|e| {
+                    let p = match self.pairs.binary_search(&e) {
+                        Ok(i) => self.p1_proba[i],
+                        Err(_) => self.residue_probability,
+                    };
+                    (e, p)
+                })
+                .collect()
+        };
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// Rejects any batch member the trained division cannot place in time,
+    /// or that names an unknown user or POI. [`IncrementalAttack::ingest`]
+    /// runs this before mutating anything; front-ends that coalesce batches
+    /// from several clients call it per client batch so one bad batch
+    /// cannot poison a staged flush.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::Ingest`] naming the first offending check-in.
+    pub fn validate_batch(&self, batch: &[CheckIn]) -> Result<()> {
+        let slots = self.attack.phase1().division().slots();
+        let (n_users, n_pois) = (self.dataset.n_users(), self.dataset.n_pois());
+        for c in batch {
+            if c.user.index() >= n_users {
+                return Err(AttackError::Ingest(format!(
+                    "check-in names unknown user {} (world has {n_users})",
+                    c.user.raw()
+                )));
+            }
+            if c.poi.index() >= n_pois {
+                return Err(AttackError::Ingest(format!(
+                    "check-in names unknown poi {} (world has {n_pois})",
+                    c.poi.raw()
+                )));
+            }
+            if slots.slot_of(c.time).is_none() {
+                return Err(AttackError::Ingest(format!(
+                    "check-in at t={}s lies outside the trained observation span [{}s, {}s]",
+                    c.time.as_secs(),
+                    slots.origin().as_secs(),
+                    slots.end().as_secs()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-encodes presence features and re-scores classifier `C` for the
+    /// given rows (indices into `pairs`), merging over the retained state.
+    /// Per-pair purity of both makes the result bitwise equal to a full
+    /// rebuild over the current dataset.
+    fn refresh_phase1(&mut self, dirty_rows: &[usize]) {
+        if self.pairs.is_empty() {
+            self.store = None;
+            self.p1_proba.clear();
+            return;
+        }
+        if dirty_rows.is_empty() {
+            return;
+        }
+        let dirty_pairs: Vec<UserPair> = dirty_rows.iter().map(|&i| self.pairs[i]).collect();
+        let fresh_store = FeatureStore::build(self.attack.phase1(), &self.dataset, &dirty_pairs);
+        self.store = Some(match self.store.take() {
+            Some(old) => fresh_store.merged(&old),
+            None => fresh_store,
+        });
+        let fresh_proba = self.attack.phase1().predict_proba(&self.dataset, &dirty_pairs);
+        if self.p1_proba.len() != self.pairs.len() {
+            self.p1_proba = vec![0.0; self.pairs.len()];
+        }
+        for (&i, p) in dirty_rows.iter().zip(fresh_proba) {
+            self.p1_proba[i] = p;
+        }
+    }
+
+    /// Runs phase-2 refinement from the warm resume state and stores the
+    /// new reference-equivalent [`InferenceResult`].
+    fn run_refinement(&mut self, inserted: &[usize], dirty_users: &[UserId]) {
+        if self.pairs.is_empty() {
+            // Reference behavior for an empty candidate universe: the
+            // answer is the empty graph, no classifier run needed.
+            self.last = InferenceResult {
+                pairs: Vec::new(),
+                trace: IterationTrace {
+                    graphs: vec![SocialGraph::new(self.dataset.n_users())],
+                    change_ratios: Vec::new(),
+                    converged: true,
+                },
+                candidates: Some(self.universe_record()),
+            };
+            return;
+        }
+        let _span = seeker_obs::span!("attack.infer");
+        seeker_obs::counter!("core.pairs_evaluated", self.pairs.len() as u64);
+        // G⁰ from the cached probabilities: `predict` is defined as
+        // `predict_proba(..) >= threshold`, so re-thresholding reproduces
+        // `predict_graph` bit-for-bit.
+        let threshold = self.attack.phase1().threshold();
+        let mut g0 = SocialGraph::new(self.dataset.n_users());
+        for (&pair, &p) in self.pairs.iter().zip(self.p1_proba.iter()) {
+            if p >= threshold {
+                g0.add_edge(pair);
+            }
+        }
+        // Structural invariant: `refresh_phase1` built the store for any
+        // non-empty pair list before this runs.
+        let store = self.store.as_ref().expect("store exists for a non-empty universe"); // lint:allow(no-panic)
+        let trace = self.attack.phase2().infer_warm(
+            self.attack.config(),
+            store,
+            self.dataset.n_users(),
+            &self.pairs,
+            g0,
+            &mut self.resume,
+            inserted,
+            dirty_users,
+            self.force_full_refine,
+        );
+        self.last = InferenceResult {
+            pairs: self.pairs.clone(),
+            trace,
+            candidates: Some(self.universe_record()),
+        };
+    }
+
+    /// The current universe split, mirroring what a reference
+    /// [`TrainedAttack::infer`] run would record.
+    fn universe_record(&self) -> CandidateUniverse {
+        CandidateUniverse {
+            pairs: self.candidates.clone(),
+            n_total: self.n_total,
+            n_residue: self.n_total - self.candidates.len() as u64,
+            residue_probability: self.residue_probability,
+            residue_predicted_friend: self.residue_predicted_friend,
+        }
+    }
+
+    /// Full-ingest escape hatch: rerun the reference attack end-to-end on
+    /// the current dataset (no incremental state is consulted or kept).
+    fn recompute_reference(&mut self) -> Result<()> {
+        self.last = match self.opts.n_shards {
+            Some(n) if !self.force_full_refine => self.attack.infer_sharded(&self.dataset, n)?,
+            _ => self.attack.infer(&self.dataset)?,
+        };
+        Ok(())
+    }
+}
+
+/// Merges the sorted unique `fresh` list into the sorted unique `base`,
+/// skipping members already present, and returns the positions of the
+/// inserted elements in the merged list (ascending).
+fn splice_sorted(base: &mut Vec<UserPair>, fresh: &[UserPair]) -> Vec<usize> {
+    let new_items: Vec<UserPair> =
+        fresh.iter().copied().filter(|p| base.binary_search(p).is_err()).collect();
+    if new_items.is_empty() {
+        return Vec::new();
+    }
+    let mut merged = Vec::with_capacity(base.len() + new_items.len());
+    let mut positions = Vec::with_capacity(new_items.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < base.len() || j < new_items.len() {
+        let take_new = match (base.get(i), new_items.get(j)) {
+            (Some(b), Some(n)) => n < b,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if take_new {
+            positions.push(merged.len());
+            merged.push(new_items[j]);
+            j += 1;
+        } else {
+            merged.push(base[i]);
+            i += 1;
+        }
+    }
+    *base = merged;
+    positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::FriendSeeker;
+    use crate::config::FriendSeekerConfig;
+    use seeker_trace::synth::{generate, SyntheticConfig};
+    use seeker_trace::{PoiId, Timestamp};
+
+    /// One trained attack + one target world, split 70/30 into an initial
+    /// dataset and an append tail. Shared across tests (deterministic).
+    fn setup() -> &'static (TrainedAttack, Dataset, Dataset, Vec<CheckIn>) {
+        use std::sync::OnceLock;
+        static CELL: OnceLock<(TrainedAttack, Dataset, Dataset, Vec<CheckIn>)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let train = generate(&SyntheticConfig::small(81)).unwrap().dataset;
+            let target = generate(&SyntheticConfig::small(82)).unwrap().dataset;
+            let trained = FriendSeeker::new(FriendSeekerConfig::fast()).train(&train).unwrap();
+            let cut = target.n_checkins() * 7 / 10;
+            let initial = target.with_checkins(target.checkins()[..cut].to_vec()).unwrap();
+            let tail = target.checkins()[cut..].to_vec();
+            (trained, target, initial, tail)
+        })
+    }
+
+    fn assert_same_result(a: &InferenceResult, b: &InferenceResult) {
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.trace.graphs.len(), b.trace.graphs.len());
+        for (ga, gb) in a.trace.graphs.iter().zip(&b.trace.graphs) {
+            let ea: Vec<UserPair> = ga.edges().collect();
+            let eb: Vec<UserPair> = gb.edges().collect();
+            assert_eq!(ea, eb);
+        }
+        assert_eq!(a.trace.converged, b.trace.converged);
+        for (ra, rb) in a.trace.change_ratios.iter().zip(&b.trace.change_ratios) {
+            assert_eq!(ra.to_bits(), rb.to_bits());
+        }
+    }
+
+    #[test]
+    fn ingest_matches_rebuild_bitwise() {
+        let (trained, target, initial, tail) = setup();
+        let mut session =
+            IncrementalAttack::new(trained.clone(), initial.clone(), IncrementalOptions::default())
+                .unwrap();
+        // Two batches, then compare against one cold reference run.
+        let mid = tail.len() / 2;
+        session.ingest(&tail[..mid]).unwrap();
+        session.ingest(&tail[mid..]).unwrap();
+        let reference = trained.infer(target).unwrap();
+        assert_same_result(session.result(), &reference);
+        assert_eq!(session.n_ingested_batches(), 2);
+        assert_eq!(session.n_ingested_checkins(), tail.len() as u64);
+    }
+
+    #[test]
+    fn full_ingest_hatch_matches_incremental() {
+        let (trained, target, initial, tail) = setup();
+        let mut hatch = IncrementalAttack::new(
+            trained.clone(),
+            initial.clone(),
+            IncrementalOptions { full_ingest: true, ..Default::default() },
+        )
+        .unwrap();
+        hatch.ingest(tail).unwrap();
+        let reference = trained.infer(target).unwrap();
+        assert_same_result(hatch.result(), &reference);
+    }
+
+    #[test]
+    fn out_of_span_boundary_is_exact() {
+        let (trained, _, initial, _) = setup();
+        let mut session =
+            IncrementalAttack::new(trained.clone(), initial.clone(), IncrementalOptions::default())
+                .unwrap();
+        let end = trained.phase1().division().slots().end();
+        // Exactly `end` is the closed right edge of the trained span.
+        let at_end = CheckIn::new(UserId::new(0), PoiId::new(0), end);
+        session.ingest(&[at_end]).unwrap();
+        // One second past `end` must be rejected atomically, not aliased
+        // into the final slot or silently dropped.
+        let past =
+            CheckIn::new(UserId::new(1), PoiId::new(0), Timestamp::from_secs(end.as_secs() + 1));
+        let n_before = session.dataset().n_checkins();
+        let err = session.ingest(&[at_end.clone(), past]).unwrap_err();
+        assert!(matches!(err, AttackError::Ingest(_)), "got {err}");
+        assert!(err.to_string().contains("observation span"));
+        assert_eq!(session.dataset().n_checkins(), n_before, "rejected batch must not mutate");
+        // Unknown ids are rejected with the same typed error.
+        let n = session.dataset().n_users() as u32;
+        let ghost = CheckIn::new(UserId::new(n), PoiId::new(0), end);
+        assert!(matches!(session.ingest(&[ghost]).unwrap_err(), AttackError::Ingest(_)));
+        let ghost_poi =
+            CheckIn::new(UserId::new(0), PoiId::new(session.dataset().n_pois() as u32), end);
+        assert!(matches!(session.ingest(&[ghost_poi]).unwrap_err(), AttackError::Ingest(_)));
+    }
+
+    #[test]
+    fn queries_follow_the_result() {
+        let (trained, _, initial, tail) = setup();
+        let mut session =
+            IncrementalAttack::new(trained.clone(), initial.clone(), IncrementalOptions::default())
+                .unwrap();
+        session.ingest(tail).unwrap();
+        let g = session.result().final_graph().clone();
+        for pair in g.edges().take(5) {
+            let v = session.query_pair(pair.lo(), pair.hi()).unwrap();
+            assert!(v.friend);
+            assert!(v.probability.is_some());
+        }
+        let top = session.top_k(5);
+        assert!(top.len() <= 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1, "top-k must be sorted by probability");
+        }
+        for (pair, _) in &top {
+            assert!(g.has_edge(*pair));
+        }
+        // Self-pairs and unknown users are typed errors, not panics.
+        assert!(session.query_pair(UserId::new(0), UserId::new(0)).is_err());
+        let n = session.dataset().n_users() as u32;
+        assert!(session.query_pair(UserId::new(0), UserId::new(n)).is_err());
+    }
+
+    #[test]
+    fn stale_feature_cache_is_invalidated_by_data_dirt() {
+        // Regression for the FeatureCache-only-sees-graph-deltas bug: the
+        // cache must also refresh pairs whose *data* changed. Appending
+        // co-visits for a pair must flip its refreshed state to exactly
+        // what a cold rebuild computes — a stale cache would keep serving
+        // the old feature row.
+        let (trained, _, initial, tail) = setup();
+        let mut session =
+            IncrementalAttack::new(trained.clone(), initial.clone(), IncrementalOptions::default())
+                .unwrap();
+        session.ingest(tail).unwrap();
+        // Pick a non-friend candidate pair and hammer it with co-visits at
+        // one POI across many slots — maximal joint-occurrence mass.
+        let g = session.result().final_graph().clone();
+        let Some(&pair) = session.pairs.iter().find(|p| !g.has_edge(**p)) else {
+            return; // degenerate world: everything already predicted friend
+        };
+        let slots = trained.phase1().division().slots();
+        let mut covisits = Vec::new();
+        for j in 0..slots.n_slots() {
+            let t = slots.slot_start(j);
+            covisits.push(CheckIn::new(pair.lo(), PoiId::new(0), t));
+            covisits.push(CheckIn::new(pair.hi(), PoiId::new(0), t));
+        }
+        let before = session.query_pair(pair.lo(), pair.hi()).unwrap();
+        session.ingest(&covisits).unwrap();
+        let after = session.query_pair(pair.lo(), pair.hi()).unwrap();
+        // The refreshed probability must match a cold rebuild bit-for-bit…
+        let rebuilt = trained.infer(session.dataset()).unwrap();
+        assert_same_result(session.result(), &rebuilt);
+        // …and must have actually moved: the co-visit mass changes the
+        // pair's JOC, so a stale cached row cannot survive.
+        let (pb, pa) = (before.probability.unwrap(), after.probability.unwrap());
+        assert_ne!(pb.to_bits(), pa.to_bits(), "probability must react to appended co-visits");
+        assert!(pa > pb, "joint-occurrence mass must raise the friend probability");
+    }
+}

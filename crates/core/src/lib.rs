@@ -36,6 +36,8 @@ mod config;
 mod error;
 /// Pairwise feature extraction from JOC cuboids (§IV-B).
 pub mod features;
+/// Streaming ingestion with delta-driven re-inference.
+pub mod incremental;
 /// Candidate-pair enumeration and labeling.
 pub mod pairs;
 /// Save/load of trained attack models.
@@ -55,3 +57,5 @@ pub use candidates::{candidate_universe, candidate_universe_sharded, CandidateUn
 pub use config::{ClassifierKind, FriendSeekerConfig};
 /// Typed attack errors.
 pub use error::{AttackError, Result};
+/// Long-lived incremental attack sessions.
+pub use incremental::{IncrementalAttack, IncrementalOptions, PairVerdict};

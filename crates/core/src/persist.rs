@@ -11,8 +11,19 @@
 //! random-forest ablation variants memorize training rows and are cheap to
 //! refit).
 //!
-//! Format: magic `SEEKAT01`, then little-endian fixed-width fields — see
-//! the `write_*`/`read_*` pairs. No serde format crate is required.
+//! Format: magic `SEEKAT02`, then little-endian fixed-width fields — see
+//! the `write_*`/`read_*` pairs — closed by a 16-byte integrity footer:
+//! the protected length (`u64` LE, everything before the footer) followed
+//! by the FNV-1a hash (`u64` LE) of those bytes. No serde format crate is
+//! required. [`load`](crate::persist::load) still reads footer-less legacy
+//! `SEEKAT01` blobs; [`save`](crate::persist::save) only emits `SEEKAT02`.
+//! The footer is what lets snapshots travel over sockets: truncation, bit
+//! corruption and trailing garbage all surface as typed
+//! [`AttackError::Persist`] errors instead of being accepted silently (or
+//! worse, parsed into a plausible model). The same
+//! [`append_footer`](crate::persist::append_footer)/
+//! [`verify_footer`](crate::persist::verify_footer) pair seals the serving
+//! layer's snapshot envelope.
 
 use seeker_ml::{Kernel, StandardScaler, Svm, SvmConfig};
 use seeker_nn::persist::{mlp_from_bytes, mlp_to_bytes};
@@ -26,7 +37,69 @@ use crate::error::{AttackError, Result};
 use crate::phase1::Phase1Model;
 use crate::phase2::Phase2Model;
 
-const MAGIC: &[u8; 8] = b"SEEKAT01";
+const MAGIC: &[u8; 8] = b"SEEKAT02";
+const LEGACY_MAGIC: &[u8; 8] = b"SEEKAT01";
+
+/// Size in bytes of the integrity footer: protected length + FNV-1a hash.
+pub const FOOTER_LEN: usize = 16;
+
+/// 64-bit FNV-1a hash of `bytes`.
+///
+/// FNV-1a is not cryptographic — the footer guards against transport
+/// faults (truncation, bit flips, concatenation), not adversaries. It is
+/// dependency-free, byte-order-independent and fast enough to hash
+/// megabyte snapshots without showing up in profiles.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends the 16-byte integrity footer over everything currently in
+/// `buf`: the protected length (`u64` LE) then [`fnv1a`] of those bytes.
+pub fn append_footer(buf: &mut Vec<u8>) {
+    let len = buf.len() as u64;
+    let hash = fnv1a(buf);
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(&hash.to_le_bytes());
+}
+
+/// Verifies the trailing integrity footer and returns the protected
+/// payload (everything before the footer).
+///
+/// # Errors
+///
+/// Returns [`AttackError::Persist`] if the input is shorter than a footer,
+/// the recorded length disagrees with the actual payload length (truncation
+/// or trailing bytes), or the checksum does not match (corruption).
+pub fn verify_footer(bytes: &[u8]) -> Result<&[u8]> {
+    if bytes.len() < FOOTER_LEN {
+        return Err(AttackError::Persist("input shorter than the integrity footer".into()));
+    }
+    let (payload, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&footer[..8]);
+    let recorded_len = u64::from_le_bytes(len_bytes);
+    if recorded_len != payload.len() as u64 {
+        return Err(AttackError::Persist(format!(
+            "length mismatch: footer records {recorded_len} bytes, payload has {}",
+            payload.len()
+        )));
+    }
+    let mut hash_bytes = [0u8; 8];
+    hash_bytes.copy_from_slice(&footer[8..]);
+    let recorded_hash = u64::from_le_bytes(hash_bytes);
+    let actual = fnv1a(payload);
+    if recorded_hash != actual {
+        return Err(AttackError::Persist(format!(
+            "checksum mismatch: footer records {recorded_hash:#018x}, payload hashes to {actual:#018x}"
+        )));
+    }
+    Ok(payload)
+}
 
 /// Serializes a trained attack.
 ///
@@ -129,20 +202,31 @@ pub fn save(attack: &TrainedAttack, pois: &[Poi]) -> Result<Vec<u8>> {
         }
     }
     write_u32(&mut out, attack.phase2().n_iterations() as u32);
+    append_footer(&mut out);
     Ok(out)
 }
 
 /// Deserializes a trained attack saved by [`save`].
 ///
+/// Current `SEEKAT02` blobs are checksum- and length-validated through
+/// [`verify_footer`] before a single field is parsed; legacy `SEEKAT01`
+/// blobs (no footer) are still accepted, protected only by the structural
+/// field checks.
+///
 /// # Errors
 ///
-/// Returns [`AttackError::Data`] for wrong magic, truncation or structural
-/// inconsistencies.
+/// Returns [`AttackError::Persist`] for wrong magic, truncation, trailing
+/// bytes or checksum mismatch, and [`AttackError::Data`] for structural
+/// inconsistencies inside a well-framed payload.
 pub fn load(bytes: &[u8]) -> Result<TrainedAttack> {
-    let mut c = Cursor { buf: bytes, pos: 0 };
-    if c.take(8)? != MAGIC {
-        return Err(AttackError::Data("not a persisted FriendSeeker attack".into()));
-    }
+    let payload = if bytes.len() >= 8 && &bytes[..8] == MAGIC {
+        verify_footer(bytes)?
+    } else if bytes.len() >= 8 && &bytes[..8] == LEGACY_MAGIC {
+        bytes
+    } else {
+        return Err(AttackError::Persist("not a persisted FriendSeeker attack".into()));
+    };
+    let mut c = Cursor { buf: payload, pos: 8 };
     let tau_days = c.f64()?;
     let k_hop = c.u32()? as usize;
     let max_iterations = c.u32()? as usize;
@@ -155,6 +239,11 @@ pub fn load(bytes: &[u8]) -> Result<TrainedAttack> {
     let t_lo = Timestamp::from_secs(c.i64()?);
     let t_hi = Timestamp::from_secs(c.i64()?);
     let n_pois = c.u32()? as usize;
+    // Pre-allocation guard: a corrupt count must fail as truncation before
+    // `with_capacity` can request an absurd allocation.
+    if c.remaining() < n_pois.saturating_mul(24) {
+        return Err(AttackError::Persist("persisted attack is truncated".into()));
+    }
     let mut pois = Vec::with_capacity(n_pois);
     for i in 0..n_pois {
         let lat = c.f64()?;
@@ -200,6 +289,9 @@ pub fn load(bytes: &[u8]) -> Result<TrainedAttack> {
     let svm_dim = c.u32()? as usize;
     let n_sv = c.u32()? as usize;
     let bias = c.f32()?;
+    if c.remaining() < n_sv.saturating_mul(4 + svm_dim.saturating_mul(4)) {
+        return Err(AttackError::Persist("persisted attack is truncated".into()));
+    }
     let mut coeffs = Vec::with_capacity(n_sv);
     let mut svs = Vec::with_capacity(n_sv);
     for _ in 0..n_sv {
@@ -208,8 +300,8 @@ pub fn load(bytes: &[u8]) -> Result<TrainedAttack> {
     }
     let svm = Svm::from_parts(kernel, svs, coeffs, bias, svm_dim).map_err(AttackError::Data)?;
     let n_iterations = c.u32()? as usize;
-    if c.pos != bytes.len() {
-        return Err(AttackError::Data("trailing bytes after payload".into()));
+    if c.pos != payload.len() {
+        return Err(AttackError::Persist("trailing bytes after payload".into()));
     }
     // The selected kernel (γ included) is persisted with the SVM; the SMO
     // fitting hyper-parameters are training-time-only, so defaults suffice.
@@ -273,11 +365,15 @@ struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.pos + n > self.buf.len() {
-            return Err(AttackError::Data("persisted attack is truncated".into()));
+            return Err(AttackError::Persist("persisted attack is truncated".into()));
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
     }
 
     fn u8(&mut self) -> Result<u8> {
@@ -292,7 +388,7 @@ impl<'a> Cursor<'a> {
     fn i64(&mut self) -> Result<i64> {
         let b = self.take(8)?;
         let arr: [u8; 8] =
-            b.try_into().map_err(|_| AttackError::Data("truncated i64 field".into()))?;
+            b.try_into().map_err(|_| AttackError::Persist("truncated i64 field".into()))?;
         Ok(i64::from_le_bytes(arr))
     }
 
@@ -304,7 +400,7 @@ impl<'a> Cursor<'a> {
     fn f64(&mut self) -> Result<f64> {
         let b = self.take(8)?;
         let arr: [u8; 8] =
-            b.try_into().map_err(|_| AttackError::Data("truncated f64 field".into()))?;
+            b.try_into().map_err(|_| AttackError::Persist("truncated f64 field".into()))?;
         Ok(f64::from_le_bytes(arr))
     }
 
@@ -394,6 +490,97 @@ mod tests {
         let mut long = bytes.clone();
         long.push(7);
         assert!(load(&long).is_err());
+    }
+
+    #[test]
+    fn legacy_seekat01_blobs_still_load() {
+        let (_, target, attack, bytes) = fixture();
+        // A legacy blob is the v2 payload without its footer, under the old
+        // magic (the field layout never changed).
+        let mut legacy = bytes[..bytes.len() - FOOTER_LEN].to_vec();
+        legacy[..8].copy_from_slice(LEGACY_MAGIC);
+        let loaded = load(&legacy).unwrap();
+        let lp = pairs::labeled_pairs(target, 1.0, 5);
+        let a = attack.infer_pairs(target, lp.pairs.clone());
+        let b = loaded.infer_pairs(target, lp.pairs);
+        assert_eq!(a.predictions(), b.predictions(), "legacy read path must agree");
+    }
+
+    #[test]
+    fn framing_errors_are_typed_persist() {
+        let (_, _, _, bytes) = fixture();
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(load(&bad), Err(AttackError::Persist(_))));
+        // Too short for a footer.
+        assert!(matches!(load(&bytes[..4]), Err(AttackError::Persist(_))));
+        // Truncation breaks the footer length check.
+        assert!(matches!(load(&bytes[..bytes.len() - 1]), Err(AttackError::Persist(_))));
+        // Trailing garbage likewise.
+        let mut long = bytes.clone();
+        long.push(7);
+        assert!(matches!(load(&long), Err(AttackError::Persist(_))));
+        // A flipped payload byte fails the checksum.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(load(&flipped), Err(AttackError::Persist(_))));
+    }
+
+    #[test]
+    fn footer_helpers_roundtrip_and_reject() {
+        let mut buf = b"snapshot payload".to_vec();
+        append_footer(&mut buf);
+        assert_eq!(verify_footer(&buf).unwrap(), b"snapshot payload");
+        // Every single-byte truncation of the sealed buffer is rejected.
+        for cut in 0..buf.len() {
+            assert!(verify_footer(&buf[..cut]).is_err(), "cut {cut}");
+        }
+        // Every single-bit flip is rejected.
+        let mut flipped = buf.clone();
+        for i in 0..flipped.len() {
+            flipped[i] ^= 1;
+            assert!(verify_footer(&flipped).is_err(), "flip at {i}");
+            flipped[i] ^= 1;
+        }
+        // Trailing garbage is rejected.
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(verify_footer(&long).is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 64, ..proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// Byte-flip fuzz over the full blob: any corrupted byte (payload or
+        /// footer) must surface as a typed error — never a panic, never a
+        /// silently-loaded model.
+        #[test]
+        fn byte_flips_are_rejected(pos in 0usize..1 << 24, mask in 0u8..255) {
+            let (_, _, _, bytes) = fixture();
+            let mut bad = bytes.clone();
+            let i = pos % bad.len();
+            // `mask + 1` keeps the flip non-zero (0 would be a no-op).
+            bad[i] ^= mask.wrapping_add(1);
+            proptest::prop_assert!(matches!(
+                load(&bad),
+                Err(AttackError::Persist(_) | AttackError::Data(_))
+            ));
+        }
+
+        /// Truncation fuzz: every strict prefix must be rejected.
+        #[test]
+        fn truncations_are_rejected(cut in 0usize..1 << 24) {
+            let (_, _, _, bytes) = fixture();
+            let cut = cut % bytes.len();
+            proptest::prop_assert!(matches!(
+                load(&bytes[..cut]),
+                Err(AttackError::Persist(_))
+            ));
+        }
     }
 
     #[test]

@@ -132,19 +132,52 @@ impl FeatureCache {
     where
         F: Fn(&SocialGraph, UserPair) -> Vec<f32> + Sync,
     {
+        self.refresh_seeded(graph, pairs, k, compute, &[], &[])
+    }
+
+    /// [`FeatureCache::refresh`] extended with *data* dirt: `seed_vertices`
+    /// join the BFS frontier at depth 0 (users whose presence rows changed
+    /// — any composite feature reading one of their incident edges must
+    /// recompute), and `force_dirty` row indices recompute unconditionally
+    /// (pairs whose own presence row changed, and placeholder rows for
+    /// newly inserted pairs).
+    ///
+    /// Soundness of the extension: a composite feature reads, besides its
+    /// own pair's presence row (covered by `force_dirty`), only presence
+    /// rows of edges `(i, j)` on length-≤k paths between its endpoints. If
+    /// such a path vertex `i` is data-dirty and is not itself an endpoint
+    /// of the pair (endpoint dirt is again `force_dirty`), both endpoints
+    /// lie within distance `k − 1` of `i`, so seeding the BFS with the
+    /// dirty users marks every such pair.
+    pub(crate) fn refresh_seeded<F>(
+        &mut self,
+        graph: &SocialGraph,
+        pairs: &[UserPair],
+        k: usize,
+        compute: &F,
+        seed_vertices: &[seeker_trace::UserId],
+        force_dirty: &[usize],
+    ) -> Vec<usize>
+    where
+        F: Fn(&SocialGraph, UserPair) -> Vec<f32> + Sync,
+    {
         let diff = seeker_graph::changed_edges(&self.graph, graph);
-        if diff.is_empty() {
+        if diff.is_empty() && seed_vertices.is_empty() && force_dirty.is_empty() {
             self.graph = graph.clone();
             return Vec::new();
         }
         let radius = k.saturating_sub(1);
-        let reach = seeker_graph::influence_set(&self.graph, graph, &diff, radius);
-        let dirty: Vec<usize> = pairs
+        let reach =
+            seeker_graph::influence_set_seeded(&self.graph, graph, &diff, seed_vertices, radius);
+        let mut dirty: Vec<usize> = pairs
             .iter()
             .enumerate()
             .filter(|(_, p)| reach[p.lo().index()] && reach[p.hi().index()])
             .map(|(i, _)| i)
             .collect();
+        dirty.extend_from_slice(force_dirty);
+        dirty.sort_unstable();
+        dirty.dedup();
         let fresh = seeker_par::par_map_cost(&dirty, seeker_par::Cost::Heavy, |&i| {
             compute(graph, pairs[i])
         });
@@ -155,10 +188,39 @@ impl FeatureCache {
         dirty
     }
 
+    /// Inserts empty placeholder rows at `positions` — indices into the
+    /// *post-insert* pair list, strictly ascending. The caller must pass
+    /// the same positions as `force_dirty` to the next
+    /// [`FeatureCache::refresh_seeded`] call so the placeholders are
+    /// computed before anything reads them.
+    pub(crate) fn insert_rows(&mut self, positions: &[usize]) {
+        debug_assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "insert positions must be strictly ascending"
+        );
+        for &i in positions {
+            self.features.insert(i, Vec::new());
+        }
+    }
+
     /// The cached feature matrix, aligned with the pair list.
     pub(crate) fn features(&self) -> &[Vec<f32>] {
         &self.features
     }
+}
+
+/// Cross-run refinement state carried by the incremental attack engine
+/// (`crate::incremental`): the composite-feature cache and frozen-`C'`
+/// predictions left behind by the last completed
+/// [`Phase2Model::infer_warm`] run. `preds.len()` equals the pair-universe
+/// length whenever `cache` is `Some`.
+#[derive(Default)]
+pub(crate) struct ResumeState {
+    /// Feature cache of the last run's final iteration (None before the
+    /// first refinement iteration ever runs, or when `n_iterations == 0`).
+    pub(crate) cache: Option<FeatureCache>,
+    /// The frozen-SVM decisions aligned with the cached feature rows.
+    pub(crate) preds: Vec<bool>,
 }
 
 /// Trains `C'` by iterative refinement on the labeled training pairs.
@@ -531,6 +593,121 @@ impl Phase2Model {
                 break;
             }
         }
+        trace
+    }
+
+    /// Warm-resume variant of [`Phase2Model::infer`] for the incremental
+    /// attack engine: refinement restarts from the feature cache and
+    /// predictions the *previous* run left in `state` instead of a full
+    /// first-iteration recompute.
+    ///
+    /// The caller supplies the post-ingest presence store and phase-1 graph
+    /// `g0`, the sorted positions (`inserted`) at which new pairs entered
+    /// the universe this ingest, and the sorted users whose trajectories
+    /// the ingest touched (`dirty_users`). Bit-identity with a cold
+    /// [`Phase2Model::infer`] on the rebuilt dataset holds because the warm
+    /// first iteration recomputes exactly the rows a full recompute could
+    /// change: rows whose own presence feature changed (an endpoint in
+    /// `dirty_users`, or a freshly inserted pair) are force-dirty, and rows
+    /// whose k-hop trace could differ — via a graph edit between the cached
+    /// graph and `g0`, or via a dirty user on one of its ≤k-length paths —
+    /// are caught by the seeded influence BFS
+    /// ([`FeatureCache::refresh_seeded`]). Every other row's feature
+    /// extraction reads only unchanged presence rows over an unchanged
+    /// subgraph, so reuse is exact; `C'` is frozen, so clean features imply
+    /// clean predictions.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn infer_warm(
+        &self,
+        cfg: &FriendSeekerConfig,
+        store: &FeatureStore,
+        n_users: usize,
+        pairs: &[UserPair],
+        g0: SocialGraph,
+        state: &mut ResumeState,
+        inserted: &[usize],
+        dirty_users: &[seeker_trace::UserId],
+        force_full: bool,
+    ) -> IterationTrace {
+        let _span = seeker_obs::span!("phase2.infer");
+        let mut graph = g0;
+        seeker_obs::gauge!("phase2.infer.g0.edges", graph.n_edges());
+        let mut trace = IterationTrace {
+            graphs: vec![graph.clone()],
+            change_ratios: Vec::new(),
+            converged: self.n_iterations == 0,
+        };
+        let compute = |g: &SocialGraph, p: UserPair| composite_feature(g, p, cfg.k_hop, store);
+        // Splice placeholder rows for pairs that entered the universe this
+        // ingest; they join `force_rows` below, so nothing reads them stale.
+        let mut preds = std::mem::take(&mut state.preds);
+        let mut cache = if force_full { None } else { state.cache.take() };
+        if let Some(c) = cache.as_mut() {
+            c.insert_rows(inserted);
+            for &i in inserted {
+                preds.insert(i, false);
+            }
+        } else {
+            preds.clear();
+        }
+        let force_rows: Vec<usize> = {
+            let endpoint_dirty = pairs.iter().enumerate().filter_map(|(i, p)| {
+                (dirty_users.binary_search(&p.lo()).is_ok()
+                    || dirty_users.binary_search(&p.hi()).is_ok())
+                .then_some(i)
+            });
+            let mut v: Vec<usize> = inserted.iter().copied().chain(endpoint_dirty).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        // Data dirt applies to the first refresh only: once the cache has
+        // been reconciled with the post-ingest store, later iterations see
+        // pure graph churn, exactly as in `infer_impl`.
+        let mut data_dirt_pending = cache.is_some();
+        for _ in 0..self.n_iterations.min(cfg.max_iterations) {
+            let _iter_span = seeker_obs::span!("phase2.infer.iter");
+            match cache.as_mut() {
+                None => {
+                    let c = FeatureCache::full(&graph, pairs, &compute);
+                    preds = self.svm.predict(&self.scaler.transform(c.features()));
+                    seeker_obs::counter!("phase2.refine.dirty_pairs", pairs.len() as u64);
+                    cache = Some(c);
+                }
+                Some(c) if force_full => {
+                    *c = FeatureCache::full(&graph, pairs, &compute);
+                    preds = self.svm.predict(&self.scaler.transform(c.features()));
+                    seeker_obs::counter!("phase2.refine.dirty_pairs", pairs.len() as u64);
+                }
+                Some(c) => {
+                    let (seeds, force): (&[seeker_trace::UserId], &[usize]) =
+                        if data_dirt_pending { (dirty_users, &force_rows) } else { (&[], &[]) };
+                    let dirty = c.refresh_seeded(&graph, pairs, cfg.k_hop, &compute, seeds, force);
+                    seeker_obs::counter!("phase2.refine.dirty_pairs", dirty.len() as u64);
+                    let rows: Vec<Vec<f32>> =
+                        dirty.iter().map(|&i| c.features()[i].clone()).collect();
+                    let fresh = self.svm.predict(&self.scaler.transform(&rows));
+                    for (&i, p) in dirty.iter().zip(fresh) {
+                        preds[i] = p;
+                    }
+                }
+            }
+            data_dirt_pending = false;
+            let next = graph_from_predictions(n_users, pairs, &preds);
+            let change = graph.change_ratio(&next);
+            seeker_obs::counter!("phase2.edge_churn", graph.edge_difference(&next) as u64);
+            seeker_obs::gauge!("phase2.infer.iter.edges", next.n_edges());
+            seeker_obs::gauge!("phase2.infer.iter.change_ratio", change);
+            trace.graphs.push(next.clone());
+            trace.change_ratios.push(change);
+            graph = next;
+            if change < cfg.convergence_threshold {
+                trace.converged = true;
+                break;
+            }
+        }
+        state.cache = cache;
+        state.preds = preds;
         trace
     }
 

@@ -108,6 +108,56 @@ pub fn influence_set(
     depth.into_iter().map(|d| d.is_some()).collect()
 }
 
+/// [`influence_set`] with additional vertex seeds at depth 0.
+///
+/// Incremental ingestion dirties pairs two ways: edges that changed between
+/// the previous run's final graph and the new `G⁰`, and users whose own
+/// check-ins changed (their presence rows feed every composite feature that
+/// reads an incident edge). Both kinds of dirt propagate the same way —
+/// BFS over the union adjacency — so this variant seeds the frontier with
+/// the changed-edge endpoints *and* the data-dirty vertices.
+///
+/// # Panics
+///
+/// Panics if the graphs have different vertex counts, or if a vertex seed
+/// is out of range.
+pub fn influence_set_seeded(
+    old: &SocialGraph,
+    new: &SocialGraph,
+    edge_seeds: &[UserPair],
+    vertex_seeds: &[seeker_trace::UserId],
+    radius: usize,
+) -> Vec<bool> {
+    assert_eq!(
+        old.n_vertices(),
+        new.n_vertices(),
+        "influence set requires graphs over the same vertex set"
+    );
+    let n = old.n_vertices();
+    let mut depth: Vec<Option<usize>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    let edge_endpoints = edge_seeds.iter().flat_map(|p| [p.lo(), p.hi()]);
+    for u in edge_endpoints.chain(vertex_seeds.iter().copied()) {
+        if depth[u.index()].is_none() {
+            depth[u.index()] = Some(0);
+            queue.push_back(u);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let d = depth[u.index()].unwrap_or(0);
+        if d == radius {
+            continue;
+        }
+        for &v in old.neighbors(u).iter().chain(new.neighbors(u)) {
+            if depth[v.index()].is_none() {
+                depth[v.index()] = Some(d + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    depth.into_iter().map(|d| d.is_some()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +207,33 @@ mod tests {
     fn empty_seeds_mark_nothing() {
         let g = SocialGraph::from_edges(3, [pair(0, 1)]);
         assert_eq!(influence_set(&g, &g, &[], 5), vec![false; 3]);
+    }
+
+    #[test]
+    fn vertex_seeds_join_the_frontier() {
+        // Path 0-1-2-3-4-5; no changed edges, vertex 3 is data-dirty.
+        let g = SocialGraph::from_edges(
+            6,
+            [pair(0, 1), pair(1, 2), pair(2, 3), pair(3, 4), pair(4, 5)],
+        );
+        let r0 = influence_set_seeded(&g, &g, &[], &[UserId::new(3)], 0);
+        assert_eq!(r0, vec![false, false, false, true, false, false]);
+        let r1 = influence_set_seeded(&g, &g, &[], &[UserId::new(3)], 1);
+        assert_eq!(r1, vec![false, false, true, true, true, false]);
+        // Edge and vertex seeds combine into one frontier.
+        let both = influence_set_seeded(&g, &g, &[pair(0, 1)], &[UserId::new(5)], 1);
+        assert_eq!(both, vec![true, true, true, false, true, true]);
+    }
+
+    #[test]
+    fn seeded_matches_unseeded_without_vertex_seeds() {
+        let g = SocialGraph::from_edges(4, [pair(0, 1), pair(1, 2), pair(2, 3)]);
+        let seeds = [pair(1, 2)];
+        for radius in 0..3 {
+            assert_eq!(
+                influence_set_seeded(&g, &g, &seeds, &[], radius),
+                influence_set(&g, &g, &seeds, radius)
+            );
+        }
     }
 }

@@ -79,6 +79,10 @@ pub const LAYER_DAG: &[(&str, &[&str])] = &[
             "seeker-obfuscation",
         ],
     ),
+    // The serve I/O plane deliberately does NOT depend on seeker-par: its
+    // connection threads must stay off the pool the engine's refinement
+    // fans out over (see the seeker-serve crate docs).
+    ("seeker-serve", &["seeker-obs", "seeker-trace", "friendseeker"]),
     (
         "seeker-bench",
         &[
@@ -92,6 +96,7 @@ pub const LAYER_DAG: &[(&str, &[&str])] = &[
             "friendseeker",
             "seeker-baselines",
             "seeker-obfuscation",
+            "seeker-serve",
         ],
     ),
     // The lint binary fans per-file lex/parse out over the pool — the only
@@ -110,6 +115,7 @@ pub const LAYER_DAG: &[(&str, &[&str])] = &[
             "friendseeker",
             "seeker-baselines",
             "seeker-obfuscation",
+            "seeker-serve",
         ],
     ),
 ];

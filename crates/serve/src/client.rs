@@ -1,0 +1,154 @@
+//! A blocking client for the serve wire protocol.
+
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use seeker_trace::CheckIn;
+
+use crate::error::{Result, ServeError};
+use crate::protocol::{self, Request, Response, ServeStats};
+
+/// A synchronous connection to a [`crate::Server`]. One request is in
+/// flight at a time; responses arrive in request order.
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+}
+
+/// A pair verdict as reported over the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireVerdict {
+    /// Whether the final refined graph contains the pair.
+    pub friend: bool,
+    /// Classifier `C`'s friend probability, when the session caches one.
+    pub probability: Option<f64>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Client { reader, writer: BufWriter::new(stream) })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response> {
+        protocol::write_frame(&mut self.writer, &request.encode())?;
+        let payload = protocol::read_frame(&mut self.reader)?;
+        let response = Response::decode(&payload)?;
+        if let Response::Error { code, message } = response {
+            return Err(ServeError::Remote { code, message });
+        }
+        Ok(response)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// I/O, protocol, or remote errors.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            r => Err(unexpected(&r)),
+        }
+    }
+
+    /// Streams a check-in batch; returns how many check-ins were accepted.
+    /// Acceptance means *staged*: the server applies staged batches on its
+    /// flush deadline, but every later query from any client reads them.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] with [`crate::protocol::ERR_INGEST`] when the
+    /// batch fails validation (nothing is applied).
+    pub fn ingest(&mut self, batch: Vec<CheckIn>) -> Result<u32> {
+        match self.call(&Request::Ingest(batch))? {
+            Response::IngestOk { accepted } => Ok(accepted),
+            r => Err(unexpected(&r)),
+        }
+    }
+
+    /// Friendship verdict for one user pair.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] on unknown ids or a self-pair.
+    pub fn query_pair(&mut self, a: u32, b: u32) -> Result<WireVerdict> {
+        match self.call(&Request::QueryPair { a, b })? {
+            Response::Pair { friend, probability } => Ok(WireVerdict { friend, probability }),
+            r => Err(unexpected(&r)),
+        }
+    }
+
+    /// The `k` highest-probability predicted friendships, as
+    /// `(lo, hi, probability)` rows in descending probability order.
+    ///
+    /// # Errors
+    ///
+    /// I/O, protocol, or remote errors.
+    pub fn top_k(&mut self, k: u32) -> Result<Vec<(u32, u32, f64)>> {
+        match self.call(&Request::QueryTopK { k })? {
+            Response::TopK(rows) => Ok(rows),
+            r => Err(unexpected(&r)),
+        }
+    }
+
+    /// Serializes the whole remote session to a self-validating blob.
+    ///
+    /// # Errors
+    ///
+    /// I/O, protocol, or remote errors.
+    pub fn snapshot(&mut self) -> Result<Vec<u8>> {
+        match self.call(&Request::Snapshot)? {
+            Response::Snapshot(blob) => Ok(blob),
+            r => Err(unexpected(&r)),
+        }
+    }
+
+    /// Replaces the remote session with one restored from `blob`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] with [`crate::protocol::ERR_PERSIST`] on a
+    /// corrupt blob; the remote session is untouched in that case.
+    pub fn restore(&mut self, blob: Vec<u8>) -> Result<()> {
+        match self.call(&Request::Restore(blob))? {
+            Response::RestoreOk => Ok(()),
+            r => Err(unexpected(&r)),
+        }
+    }
+
+    /// Serving statistics.
+    ///
+    /// # Errors
+    ///
+    /// I/O, protocol, or remote errors.
+    pub fn stats(&mut self) -> Result<ServeStats> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            r => Err(unexpected(&r)),
+        }
+    }
+
+    /// Asks the server to stop; returns once the shutdown is acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// I/O, protocol, or remote errors.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownOk => Ok(()),
+            r => Err(unexpected(&r)),
+        }
+    }
+}
+
+fn unexpected(r: &Response) -> ServeError {
+    ServeError::Protocol(format!("unexpected response variant: {r:?}"))
+}

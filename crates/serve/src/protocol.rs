@@ -1,0 +1,487 @@
+//! The wire format: little-endian, length-prefixed frames.
+//!
+//! A frame is a `u32` little-endian payload length followed by the payload;
+//! the payload's first byte is a tag, the rest is the tag-specific body
+//! (fixed-width little-endian integers, `f64` as IEEE-754 bits, strings and
+//! blobs as `u32` length + bytes). The format is documented normatively in
+//! `docs/SERVING.md`; the round-trip tests below pin it.
+
+use std::io::{Read, Write};
+
+use seeker_trace::{CheckIn, PoiId, Timestamp, UserId};
+
+use crate::error::{Result, ServeError};
+
+/// Hard ceiling on a frame payload (64 MiB): a corrupt or malicious length
+/// prefix must not trigger an unbounded allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Error code: an ingest batch failed validation (nothing was applied).
+pub const ERR_INGEST: u8 = 1;
+/// Error code: a snapshot blob failed framing or checksum validation.
+pub const ERR_PERSIST: u8 = 2;
+/// Error code: the request itself was malformed.
+pub const ERR_BAD_REQUEST: u8 = 3;
+/// Error code: an internal engine failure.
+pub const ERR_INTERNAL: u8 = 4;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Append a batch of check-ins to the target dataset.
+    Ingest(Vec<CheckIn>),
+    /// Friendship verdict for one user pair.
+    QueryPair {
+        /// First user id.
+        a: u32,
+        /// Second user id.
+        b: u32,
+    },
+    /// The k highest-probability predicted friendships.
+    QueryTopK {
+        /// How many pairs to return.
+        k: u32,
+    },
+    /// Serialize the whole session (attack + dataset) to a blob.
+    Snapshot,
+    /// Replace the session with one restored from a snapshot blob.
+    Restore(Vec<u8>),
+    /// Serving statistics.
+    Stats,
+    /// Stop accepting connections and exit the serving loop.
+    Shutdown,
+}
+
+/// Serving statistics reported by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Users in the target world.
+    pub n_users: u64,
+    /// Check-ins currently in the dataset.
+    pub n_checkins: u64,
+    /// Co-location candidate pairs in the universe.
+    pub n_candidate_pairs: u64,
+    /// Edges in the final refined graph.
+    pub n_edges: u64,
+    /// Ingest batches accepted since the session opened.
+    pub ingested_batches: u64,
+    /// Check-ins accepted since the session opened.
+    pub ingested_checkins: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness answer.
+    Pong,
+    /// The batch was accepted and applied (possibly coalesced with others).
+    IngestOk {
+        /// Check-ins accepted from this client's batch.
+        accepted: u32,
+    },
+    /// Verdict for a queried pair.
+    Pair {
+        /// Whether the final refined graph contains the pair.
+        friend: bool,
+        /// Classifier `C`'s friend probability, when the session caches one.
+        probability: Option<f64>,
+    },
+    /// Ranked predicted friendships `(lo, hi, probability)`.
+    TopK(Vec<(u32, u32, f64)>),
+    /// A session snapshot blob.
+    Snapshot(Vec<u8>),
+    /// The session was replaced by the restored snapshot.
+    RestoreOk,
+    /// Serving statistics.
+    Stats(ServeStats),
+    /// The server acknowledges shutdown; the connection closes after this.
+    ShutdownOk,
+    /// The request failed; see the `ERR_*` codes.
+    Error {
+        /// Machine-readable failure class.
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(ServeError::Protocol(format!("frame of {} bytes exceeds cap", payload.len())));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including clean EOF as `UnexpectedEof`); rejects
+/// length prefixes over [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(ServeError::Protocol(format!("frame length {len} exceeds cap")));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Little-endian reader over a frame payload (also reused by the snapshot
+/// envelope parser).
+pub(crate) struct Cursor<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ServeError::Protocol("frame body is truncated".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    pub(crate) fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(ServeError::Protocol("trailing bytes in frame".into()));
+        }
+        Ok(())
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+impl Request {
+    /// Encodes the request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(0x01),
+            Request::Ingest(batch) => {
+                out.push(0x02);
+                out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+                for c in batch {
+                    out.extend_from_slice(&c.user.raw().to_le_bytes());
+                    out.extend_from_slice(&c.poi.raw().to_le_bytes());
+                    out.extend_from_slice(&c.time.as_secs().to_le_bytes());
+                }
+            }
+            Request::QueryPair { a, b } => {
+                out.push(0x03);
+                out.extend_from_slice(&a.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+            Request::QueryTopK { k } => {
+                out.push(0x04);
+                out.extend_from_slice(&k.to_le_bytes());
+            }
+            Request::Snapshot => out.push(0x05),
+            Request::Restore(blob) => {
+                out.push(0x06);
+                put_bytes(&mut out, blob);
+            }
+            Request::Stats => out.push(0x07),
+            Request::Shutdown => out.push(0x08),
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] on unknown tags, truncation, or trailing
+    /// bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut c = Cursor { buf: payload, pos: 0 };
+        let req = match c.u8()? {
+            0x01 => Request::Ping,
+            0x02 => {
+                let n = c.u32()? as usize;
+                // 16 bytes per check-in: bound the allocation by the frame.
+                if n > payload.len() / 16 + 1 {
+                    return Err(ServeError::Protocol("ingest count exceeds frame".into()));
+                }
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let user = UserId::new(c.u32()?);
+                    let poi = PoiId::new(c.u32()?);
+                    let time = Timestamp::from_secs(c.i64()?);
+                    batch.push(CheckIn::new(user, poi, time));
+                }
+                Request::Ingest(batch)
+            }
+            0x03 => Request::QueryPair { a: c.u32()?, b: c.u32()? },
+            0x04 => Request::QueryTopK { k: c.u32()? },
+            0x05 => Request::Snapshot,
+            0x06 => Request::Restore(c.bytes()?),
+            0x07 => Request::Stats,
+            0x08 => Request::Shutdown,
+            t => return Err(ServeError::Protocol(format!("unknown request tag {t:#04x}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong => out.push(0x80),
+            Response::IngestOk { accepted } => {
+                out.push(0x81);
+                out.extend_from_slice(&accepted.to_le_bytes());
+            }
+            Response::Pair { friend, probability } => {
+                out.push(0x82);
+                out.push(u8::from(*friend));
+                match probability {
+                    Some(p) => {
+                        out.push(1);
+                        out.extend_from_slice(&p.to_bits().to_le_bytes());
+                    }
+                    None => out.push(0),
+                }
+            }
+            Response::TopK(rows) => {
+                out.push(0x83);
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for (lo, hi, p) in rows {
+                    out.extend_from_slice(&lo.to_le_bytes());
+                    out.extend_from_slice(&hi.to_le_bytes());
+                    out.extend_from_slice(&p.to_bits().to_le_bytes());
+                }
+            }
+            Response::Snapshot(blob) => {
+                out.push(0x84);
+                put_bytes(&mut out, blob);
+            }
+            Response::RestoreOk => out.push(0x85),
+            Response::Stats(s) => {
+                out.push(0x86);
+                for v in [
+                    s.n_users,
+                    s.n_checkins,
+                    s.n_candidate_pairs,
+                    s.n_edges,
+                    s.ingested_batches,
+                    s.ingested_checkins,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Response::ShutdownOk => out.push(0x87),
+            Response::Error { code, message } => {
+                out.push(0xFF);
+                out.push(*code);
+                put_bytes(&mut out, message.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] on unknown tags, truncation, trailing
+    /// bytes, or invalid UTF-8 in an error message.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let mut c = Cursor { buf: payload, pos: 0 };
+        let resp = match c.u8()? {
+            0x80 => Response::Pong,
+            0x81 => Response::IngestOk { accepted: c.u32()? },
+            0x82 => {
+                let friend = c.u8()? != 0;
+                let probability = match c.u8()? {
+                    0 => None,
+                    1 => Some(c.f64()?),
+                    t => {
+                        return Err(ServeError::Protocol(format!("bad probability flag {t}")));
+                    }
+                };
+                Response::Pair { friend, probability }
+            }
+            0x83 => {
+                let n = c.u32()? as usize;
+                if n > payload.len() / 16 + 1 {
+                    return Err(ServeError::Protocol("top-k count exceeds frame".into()));
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push((c.u32()?, c.u32()?, c.f64()?));
+                }
+                Response::TopK(rows)
+            }
+            0x84 => Response::Snapshot(c.bytes()?),
+            0x85 => Response::RestoreOk,
+            0x86 => Response::Stats(ServeStats {
+                n_users: c.u64()?,
+                n_checkins: c.u64()?,
+                n_candidate_pairs: c.u64()?,
+                n_edges: c.u64()?,
+                ingested_batches: c.u64()?,
+                ingested_checkins: c.u64()?,
+            }),
+            0x87 => Response::ShutdownOk,
+            0xFF => {
+                let code = c.u8()?;
+                let message = String::from_utf8(c.bytes()?)
+                    .map_err(|_| ServeError::Protocol("error message is not UTF-8".into()))?;
+                Response::Error { code, message }
+            }
+            t => return Err(ServeError::Protocol(format!("unknown response tag {t:#04x}"))),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(r: Request) {
+        let bytes = r.encode();
+        assert_eq!(Request::decode(&bytes).unwrap(), r);
+    }
+
+    fn roundtrip_response(r: Response) {
+        let bytes = r.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Ingest(vec![
+            CheckIn::new(UserId::new(3), PoiId::new(9), Timestamp::from_secs(1234)),
+            CheckIn::new(UserId::new(0), PoiId::new(0), Timestamp::from_secs(-7)),
+        ]));
+        roundtrip_request(Request::Ingest(Vec::new()));
+        roundtrip_request(Request::QueryPair { a: 1, b: 2 });
+        roundtrip_request(Request::QueryTopK { k: 10 });
+        roundtrip_request(Request::Snapshot);
+        roundtrip_request(Request::Restore(vec![1, 2, 3]));
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::IngestOk { accepted: 42 });
+        roundtrip_response(Response::Pair { friend: true, probability: Some(0.75) });
+        roundtrip_response(Response::Pair { friend: false, probability: None });
+        roundtrip_response(Response::TopK(vec![(0, 1, 0.9), (2, 5, 0.5)]));
+        roundtrip_response(Response::TopK(Vec::new()));
+        roundtrip_response(Response::Snapshot(vec![9; 100]));
+        roundtrip_response(Response::RestoreOk);
+        roundtrip_response(Response::Stats(ServeStats {
+            n_users: 1,
+            n_checkins: 2,
+            n_candidate_pairs: 3,
+            n_edges: 4,
+            ingested_batches: 5,
+            ingested_checkins: 6,
+        }));
+        roundtrip_response(Response::ShutdownOk);
+        roundtrip_response(Response::Error { code: ERR_INGEST, message: "too late".into() });
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0x99]).is_err());
+        assert!(Response::decode(&[0x42]).is_err());
+        // Trailing bytes are rejected.
+        let mut ping = Request::Ping.encode();
+        ping.push(0);
+        assert!(Request::decode(&ping).is_err());
+        // Truncated ingest body.
+        let batch = Request::Ingest(vec![CheckIn::new(
+            UserId::new(1),
+            PoiId::new(1),
+            Timestamp::from_secs(5),
+        )])
+        .encode();
+        assert!(Request::decode(&batch[..batch.len() - 1]).is_err());
+        // A lying ingest count cannot drive a huge allocation.
+        let mut lying = vec![0x02];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&lying).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_stream() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::QueryTopK { k: 3 }.encode()).unwrap();
+        write_frame(&mut buf, &Request::Ping.encode()).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            Request::decode(&read_frame(&mut r).unwrap()).unwrap(),
+            Request::QueryTopK { k: 3 }
+        );
+        assert_eq!(Request::decode(&read_frame(&mut r).unwrap()).unwrap(), Request::Ping);
+        // EOF mid-prefix surfaces as an I/O error.
+        let mut empty: &[u8] = &[];
+        assert!(read_frame(&mut empty).is_err());
+        // An oversized length prefix is rejected before allocating.
+        let mut huge = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0; 4]);
+        let mut r = &huge[..];
+        assert!(matches!(read_frame(&mut r), Err(ServeError::Protocol(_))));
+    }
+}

@@ -1,0 +1,188 @@
+//! The TCP front-end: acceptor, per-connection framing loops, lifecycle.
+
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use friendseeker::IncrementalAttack;
+use seeker_trace::Poi;
+
+use crate::error::Result;
+use crate::protocol::{self, Request, Response, ERR_BAD_REQUEST};
+use crate::state::{self, Job, JobQueue};
+use crate::ServeError;
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind; port `0` picks an ephemeral port (read it back via
+    /// [`Server::addr`]).
+    pub bind: SocketAddr,
+    /// How long accepted check-ins may sit staged before they are flushed
+    /// into the engine, absent any other trigger.
+    pub flush_deadline: Duration,
+    /// Flush immediately once this many check-ins are staged.
+    pub max_staged_checkins: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
+            flush_deadline: Duration::from_millis(5),
+            max_staged_checkins: 10_000,
+        }
+    }
+}
+
+/// A running attack service.
+///
+/// Dropping the handle does **not** stop the server; send
+/// [`Request::Shutdown`] (e.g. [`crate::Client::shutdown`]) and then
+/// [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    state: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the state thread and the acceptor, and returns once
+    /// the socket is listening.
+    ///
+    /// `train_pois` is the **training** world's POI table — the attack
+    /// persistence layer needs it to serialize the session (snapshots
+    /// rebuild the STD division from it on restore).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(
+        engine: IncrementalAttack,
+        train_pois: Vec<Poi>,
+        cfg: ServeConfig,
+    ) -> Result<Server> {
+        let listener = TcpListener::bind(cfg.bind)?;
+        let addr = listener.local_addr()?;
+        let queue = Arc::new(JobQueue::new());
+        let shutting_down = Arc::new(AtomicBool::new(false));
+
+        let state_queue = Arc::clone(&queue);
+        let state_cfg = cfg.clone();
+        // lint:allow(thread-spawn) -- the engine's single-owner thread; hosting it on the
+        // seeker-par pool would deadlock against the engine's own par_map fan-out.
+        let state = std::thread::Builder::new()
+            .name("seeker-serve-state".into())
+            .spawn(move || state::run(&state_queue, engine, train_pois, state_cfg))
+            .map_err(ServeError::Io)?;
+
+        let accept_queue = Arc::clone(&queue);
+        let accept_flag = Arc::clone(&shutting_down);
+        // lint:allow(thread-spawn) -- blocking accept loop; connection I/O must stay off
+        // the seeker-par pool (see crate docs) so plain threads are the correct tool.
+        let acceptor = std::thread::Builder::new()
+            .name("seeker-serve-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_queue = Arc::clone(&accept_queue);
+                    let conn_flag = Arc::clone(&accept_flag);
+                    // lint:allow(thread-spawn) -- one blocking framing loop per connection
+                    let _ = std::thread::Builder::new()
+                        .name("seeker-serve-conn".into())
+                        .spawn(move || serve_connection(stream, &conn_queue, &conn_flag));
+                }
+            })
+            .map_err(ServeError::Io)?;
+
+        Ok(Server { addr, acceptor: Some(acceptor), state: Some(state) })
+    }
+
+    /// The bound address (resolves an ephemeral port request).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the state thread and the acceptor to exit. Call after a
+    /// client has sent [`Request::Shutdown`].
+    pub fn join(mut self) {
+        if let Some(h) = self.state.take() {
+            let _ = h.join();
+        }
+        // The shutdown path already woke the acceptor; joining it here
+        // just reaps the thread.
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One connection's framing loop: read a request frame, enqueue the job,
+/// relay the state thread's response. Exits on EOF, protocol violation, or
+/// shutdown.
+fn serve_connection(stream: TcpStream, queue: &JobQueue, shutting_down: &Arc<AtomicBool>) {
+    let peer_shutdown = match serve_frames(&stream, queue) {
+        Ok(peer_shutdown) => peer_shutdown,
+        Err(_) => false, // EOF / broken pipe / malformed peer: drop quietly
+    };
+    if peer_shutdown {
+        shutting_down.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() so the acceptor observes the flag; an
+        // error just means the listener is already gone.
+        if let Ok(local) = stream.local_addr() {
+            let _ = TcpStream::connect_timeout(&local, Duration::from_secs(1));
+        }
+    }
+}
+
+/// Returns `Ok(true)` iff the peer requested (and was acknowledged) a
+/// server shutdown.
+fn serve_frames(stream: &TcpStream, queue: &JobQueue) -> Result<bool> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    loop {
+        let payload = protocol::read_frame(&mut reader)?;
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // A malformed frame poisons the stream position; answer
+                // once, then close.
+                let resp = Response::Error { code: ERR_BAD_REQUEST, message: e.to_string() };
+                protocol::write_frame(&mut writer, &resp.encode())?;
+                return Ok(false);
+            }
+        };
+        if matches!(request, Request::Ping) {
+            protocol::write_frame(&mut writer, &Response::Pong.encode())?;
+            continue;
+        }
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let (tx, rx) = mpsc::channel();
+        let job = match request {
+            Request::Ping => unreachable!("answered above"),
+            Request::Ingest(batch) => Job::Ingest(batch, tx),
+            Request::QueryPair { a, b } => Job::QueryPair { a, b, reply: tx },
+            Request::QueryTopK { k } => Job::QueryTopK { k, reply: tx },
+            Request::Snapshot => Job::Snapshot(tx),
+            Request::Restore(blob) => Job::Restore(blob, tx),
+            Request::Stats => Job::Stats(tx),
+            Request::Shutdown => Job::Shutdown(tx),
+        };
+        queue.push(job)?;
+        // The state thread answers every job it dequeues; a dropped sender
+        // (queue closed mid-flight) surfaces as RecvError.
+        let response = rx.recv().map_err(|_| ServeError::ShuttingDown)?;
+        let acknowledged_shutdown = is_shutdown && matches!(response, Response::ShutdownOk);
+        protocol::write_frame(&mut writer, &response.encode())?;
+        if acknowledged_shutdown {
+            return Ok(true);
+        }
+    }
+}

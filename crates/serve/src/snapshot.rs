@@ -1,0 +1,222 @@
+//! Session snapshot/restore: one self-validating blob holding the trained
+//! attack and the current target dataset.
+//!
+//! The envelope reuses the hardened [`friendseeker::persist`] framing: the
+//! attack itself is the `SEEKAT02` blob produced by
+//! [`friendseeker::persist::save`] (checksummed on its own), and the whole
+//! envelope is sealed with the same length + FNV-1a footer
+//! ([`friendseeker::persist::append_footer`]), so truncation, bit flips and
+//! trailing bytes anywhere in the snapshot surface as typed
+//! [`friendseeker::AttackError::Persist`] errors before any state is
+//! replaced.
+//!
+//! Restore rebuilds the dataset via [`seeker_trace::Dataset::from_parts`]
+//! and reopens the session with [`friendseeker::IncrementalAttack::new`] —
+//! a cold rebuild, which the append==rebuild contract guarantees is
+//! bit-identical to the session state that was snapshotted.
+
+use friendseeker::persist::{append_footer, verify_footer};
+use friendseeker::{AttackError, IncrementalAttack, IncrementalOptions};
+use seeker_trace::{CheckIn, Dataset, GeoPoint, Poi, PoiId, Timestamp, UserId, UserPair};
+
+use crate::error::{Result, ServeError};
+use crate::protocol::Cursor;
+
+/// Envelope magic: serve snapshot, version 1.
+const MAGIC: &[u8; 8] = b"SEEKSRV1";
+
+fn persist_err(msg: impl Into<String>) -> ServeError {
+    ServeError::Attack(AttackError::Persist(msg.into()))
+}
+
+/// Serializes the session: the trained attack (through
+/// [`friendseeker::persist::save`], which needs the *training* world's POI
+/// table to rebuild the division on load) plus the full current target
+/// dataset.
+///
+/// # Errors
+///
+/// Propagates [`AttackError`] from the attack persistence layer (e.g. a
+/// non-persistable classifier variant).
+pub fn save_session(engine: &IncrementalAttack, train_pois: &[Poi]) -> Result<Vec<u8>> {
+    let _span = seeker_obs::span!("serve.snapshot.save");
+    let attack_blob = friendseeker::persist::save(engine.attack(), train_pois)?;
+    let ds = engine.dataset();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(attack_blob.len() as u32).to_le_bytes());
+    out.extend_from_slice(&attack_blob);
+    out.extend_from_slice(&(train_pois.len() as u32).to_le_bytes());
+    for p in train_pois {
+        put_poi(&mut out, p);
+    }
+    let name = ds.name().as_bytes();
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&(ds.n_users() as u32).to_le_bytes());
+    out.extend_from_slice(&(ds.n_pois() as u32).to_le_bytes());
+    for p in ds.pois() {
+        put_poi(&mut out, p);
+    }
+    out.extend_from_slice(&(ds.n_checkins() as u32).to_le_bytes());
+    for c in ds.checkins() {
+        out.extend_from_slice(&c.user.raw().to_le_bytes());
+        out.extend_from_slice(&c.poi.raw().to_le_bytes());
+        out.extend_from_slice(&c.time.as_secs().to_le_bytes());
+    }
+    let friendships: Vec<UserPair> = ds.friendships().collect();
+    out.extend_from_slice(&(friendships.len() as u32).to_le_bytes());
+    for f in &friendships {
+        out.extend_from_slice(&f.lo().raw().to_le_bytes());
+        out.extend_from_slice(&f.hi().raw().to_le_bytes());
+    }
+    append_footer(&mut out);
+    seeker_obs::gauge!("serve.snapshot.bytes", out.len());
+    Ok(out)
+}
+
+/// Reopens a session from a snapshot blob. Returns the engine and the
+/// training POI table (needed to snapshot the restored session again).
+///
+/// # Errors
+///
+/// [`AttackError::Persist`]-typed errors on any framing, checksum, or
+/// structural violation; nothing is partially applied.
+pub fn restore_session(
+    blob: &[u8],
+    opts: IncrementalOptions,
+) -> Result<(IncrementalAttack, Vec<Poi>)> {
+    let _span = seeker_obs::span!("serve.snapshot.restore");
+    let payload = verify_footer(blob)?;
+    if payload.len() < 8 || &payload[..8] != MAGIC {
+        return Err(persist_err("not a serve session snapshot"));
+    }
+    let mut c = Cursor { buf: payload, pos: 8 };
+    let map_trunc = |_: ServeError| persist_err("snapshot is truncated");
+    let attack_len = c.u32().map_err(map_trunc)? as usize;
+    let attack_blob = c.take(attack_len).map_err(map_trunc)?;
+    let attack = friendseeker::persist::load(attack_blob)?;
+    let train_pois = read_pois(&mut c)?;
+    let name_len = c.u32().map_err(map_trunc)? as usize;
+    let name = String::from_utf8(c.take(name_len).map_err(map_trunc)?.to_vec())
+        .map_err(|_| persist_err("dataset name is not UTF-8"))?;
+    let n_users = c.u32().map_err(map_trunc)? as usize;
+    let pois = read_pois(&mut c)?;
+    let n_checkins = c.u32().map_err(map_trunc)? as usize;
+    if c.buf.len().saturating_sub(c.pos) < n_checkins.saturating_mul(16) {
+        return Err(persist_err("snapshot is truncated"));
+    }
+    let mut checkins = Vec::with_capacity(n_checkins);
+    for _ in 0..n_checkins {
+        let user = UserId::new(c.u32().map_err(map_trunc)?);
+        let poi = PoiId::new(c.u32().map_err(map_trunc)?);
+        let time = Timestamp::from_secs(c.i64().map_err(map_trunc)?);
+        checkins.push(CheckIn::new(user, poi, time));
+    }
+    let n_friendships = c.u32().map_err(map_trunc)? as usize;
+    if c.buf.len().saturating_sub(c.pos) < n_friendships.saturating_mul(8) {
+        return Err(persist_err("snapshot is truncated"));
+    }
+    let mut friendships = Vec::with_capacity(n_friendships);
+    for _ in 0..n_friendships {
+        let lo = UserId::new(c.u32().map_err(map_trunc)?);
+        let hi = UserId::new(c.u32().map_err(map_trunc)?);
+        if lo == hi || lo.index() >= n_users || hi.index() >= n_users {
+            return Err(persist_err("snapshot friendship references an invalid pair"));
+        }
+        friendships.push(UserPair::new(lo, hi));
+    }
+    c.finish().map_err(|_| persist_err("trailing bytes after snapshot payload"))?;
+    let dataset = Dataset::from_parts(name, n_users, pois, checkins, friendships)
+        .map_err(|e| persist_err(format!("snapshot dataset is inconsistent: {e}")))?;
+    let engine = IncrementalAttack::new(attack, dataset, opts)?;
+    Ok((engine, train_pois))
+}
+
+fn put_poi(out: &mut Vec<u8>, p: &Poi) {
+    out.extend_from_slice(&p.center.lat.to_bits().to_le_bytes());
+    out.extend_from_slice(&p.center.lon.to_bits().to_le_bytes());
+    out.extend_from_slice(&p.radius_m.to_bits().to_le_bytes());
+}
+
+fn read_pois(c: &mut Cursor<'_>) -> Result<Vec<Poi>> {
+    let map_trunc = |_: ServeError| persist_err("snapshot is truncated");
+    let n = c.u32().map_err(map_trunc)? as usize;
+    if c.buf.len().saturating_sub(c.pos) < n.saturating_mul(24) {
+        return Err(persist_err("snapshot is truncated"));
+    }
+    let mut pois = Vec::with_capacity(n);
+    for i in 0..n {
+        let lat = c.f64().map_err(map_trunc)?;
+        let lon = c.f64().map_err(map_trunc)?;
+        let radius = c.f64().map_err(map_trunc)?;
+        pois.push(Poi::new(PoiId::new(i as u32), GeoPoint::new(lat, lon), radius));
+    }
+    Ok(pois)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use friendseeker::{FriendSeeker, FriendSeekerConfig};
+    use seeker_trace::synth::{generate, SyntheticConfig};
+
+    fn fixture() -> &'static (IncrementalAttack, Vec<Poi>) {
+        use std::sync::OnceLock;
+        static CELL: OnceLock<(IncrementalAttack, Vec<Poi>)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let train = generate(&SyntheticConfig::small(91)).unwrap().dataset;
+            let target = generate(&SyntheticConfig::small(92)).unwrap().dataset;
+            let trained = FriendSeeker::new(FriendSeekerConfig::fast()).train(&train).unwrap();
+            let pois = train.pois().to_vec();
+            let engine =
+                IncrementalAttack::new(trained, target, IncrementalOptions::default()).unwrap();
+            (engine, pois)
+        })
+    }
+
+    #[test]
+    fn snapshot_roundtrips_the_session() {
+        let (engine, train_pois) = fixture();
+        let blob = save_session(engine, train_pois).unwrap();
+        let (restored, pois2) = restore_session(&blob, IncrementalOptions::default()).unwrap();
+        assert_eq!(pois2.len(), train_pois.len());
+        assert_eq!(restored.dataset().n_checkins(), engine.dataset().n_checkins());
+        assert_eq!(restored.dataset().n_users(), engine.dataset().n_users());
+        assert_eq!(restored.dataset().name(), engine.dataset().name());
+        // The restored session must answer exactly like the original: the
+        // cold rebuild is bit-identical by the append==rebuild contract.
+        let (ga, gb) = (engine.result().final_graph(), restored.result().final_graph());
+        let ea: Vec<UserPair> = ga.edges().collect();
+        let eb: Vec<UserPair> = gb.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected_with_typed_errors() {
+        let (engine, train_pois) = fixture();
+        let blob = save_session(engine, train_pois).unwrap();
+        // Every truncation fails closed.
+        for cut in [0, 7, 8, blob.len() / 2, blob.len() - 1] {
+            match restore_session(&blob[..cut], IncrementalOptions::default()) {
+                Err(ServeError::Attack(AttackError::Persist(_))) => {}
+                Err(other) => panic!("cut {cut}: wrong error type: {other}"),
+                Ok(_) => panic!("cut {cut}: truncated snapshot restored"),
+            }
+        }
+        // Bit flips anywhere fail closed (footer checksum).
+        let mut bad = blob.clone();
+        for pos in [0usize, 9, blob.len() / 3, blob.len() - 9] {
+            bad[pos] ^= 0x40;
+            assert!(restore_session(&bad, IncrementalOptions::default()).is_err(), "flip at {pos}");
+            bad[pos] ^= 0x40;
+        }
+        // Trailing bytes fail closed.
+        let mut long = blob.clone();
+        long.push(0);
+        assert!(restore_session(&long, IncrementalOptions::default()).is_err());
+        // A foreign magic (e.g. a bare attack blob) is refused.
+        let foreign = friendseeker::persist::save(engine.attack(), train_pois).unwrap();
+        assert!(restore_session(&foreign, IncrementalOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,427 @@
+//! The engine state thread: a single-consumer job queue in front of one
+//! [`IncrementalAttack`] owner.
+//!
+//! Connection threads never touch the engine; they enqueue a [`Job`]
+//! carrying a reply channel and block on the answer. The state thread is
+//! the sole consumer, so the engine needs no lock at all — the queue's one
+//! `Mutex<VecDeque>` is the only shared state, which makes lock-order
+//! cycles structurally impossible.
+//!
+//! Ingest batches are validated on arrival (and acknowledged or rejected
+//! immediately — validation is against the fixed user/POI tables and
+//! observation span, which staging cannot change) but *applied* lazily:
+//! accepted check-ins accumulate in a staging buffer that is flushed as a
+//! single engine append when the flush deadline expires, the buffer
+//! exceeds its size threshold, or any read (query, stats, snapshot,
+//! shutdown) arrives. Reads therefore always observe their own preceding
+//! writes, while bursty writers amortize the delta pipeline across many
+//! frames.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use friendseeker::{AttackError, IncrementalAttack};
+use seeker_trace::{CheckIn, Poi, UserId};
+
+use crate::protocol::{
+    Response, ServeStats, ERR_BAD_REQUEST, ERR_INGEST, ERR_INTERNAL, ERR_PERSIST,
+};
+use crate::server::ServeConfig;
+use crate::snapshot;
+use crate::ServeError;
+
+/// Reply channel back to the connection thread that enqueued the job.
+pub(crate) type Reply = Sender<Response>;
+
+/// One unit of work for the state thread.
+pub(crate) enum Job {
+    /// Validate + stage a check-in batch.
+    Ingest(Vec<CheckIn>, Reply),
+    /// Friendship verdict for one pair (flushes staged ingest first).
+    QueryPair {
+        /// First user id.
+        a: u32,
+        /// Second user id.
+        b: u32,
+        /// Reply channel.
+        reply: Reply,
+    },
+    /// Top-k ranked predicted friendships (flushes staged ingest first).
+    QueryTopK {
+        /// How many pairs.
+        k: u32,
+        /// Reply channel.
+        reply: Reply,
+    },
+    /// Serialize the session.
+    Snapshot(Reply),
+    /// Replace the session from a snapshot blob.
+    Restore(Vec<u8>, Reply),
+    /// Serving statistics.
+    Stats(Reply),
+    /// Flush, acknowledge, and exit the serving loop.
+    Shutdown(Reply),
+}
+
+impl Job {
+    /// The job's reply channel (consumed when draining a closed queue).
+    fn reply(&self) -> &Reply {
+        match self {
+            Job::Ingest(_, r)
+            | Job::Snapshot(r)
+            | Job::Restore(_, r)
+            | Job::Stats(r)
+            | Job::Shutdown(r) => r,
+            Job::QueryPair { reply, .. } | Job::QueryTopK { reply, .. } => reply,
+        }
+    }
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// MPSC job queue: connection threads push, the state thread pops.
+pub(crate) struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    pub(crate) fn new() -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner { jobs: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job; fails with [`ServeError::ShuttingDown`] once the
+    /// state thread has closed the queue.
+    pub(crate) fn push(&self, job: Job) -> crate::error::Result<()> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if g.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        g.jobs.push_back(job);
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops the next job, blocking at most until `deadline`. `None` means
+    /// the deadline expired with the queue still empty (time to flush).
+    fn pop(&self, deadline: Option<Instant>) -> Option<Job> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        while g.jobs.is_empty() {
+            match deadline {
+                None => g = self.ready.wait(g).unwrap_or_else(|e| e.into_inner()),
+                Some(d) => {
+                    // lint:allow(no-system-time) -- flush-deadline pacing is inherently wall-clock
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    let (guard, _) =
+                        self.ready.wait_timeout(g, d - now).unwrap_or_else(|e| e.into_inner());
+                    g = guard;
+                }
+            }
+        }
+        g.jobs.pop_front()
+    }
+
+    /// Closes the queue (future pushes fail) and drains whatever raced in.
+    fn close(&self) -> Vec<Job> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.closed = true;
+        g.jobs.drain(..).collect()
+    }
+}
+
+/// Fixed-size ring of query latencies feeding the `serve.query.p{50,99}_us`
+/// gauges.
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+    recorded: u64,
+}
+
+impl LatencyRing {
+    const CAP: usize = 1024;
+    /// Republish the percentile gauges every this many samples.
+    const PUBLISH_EVERY: u64 = 32;
+
+    fn new() -> LatencyRing {
+        LatencyRing { samples: Vec::with_capacity(Self::CAP), next: 0, recorded: 0 }
+    }
+
+    fn record(&mut self, micros: u64) {
+        if self.samples.len() < Self::CAP {
+            self.samples.push(micros);
+        } else {
+            self.samples[self.next] = micros;
+        }
+        self.next = (self.next + 1) % Self::CAP;
+        self.recorded += 1;
+        if self.recorded % Self::PUBLISH_EVERY == 0 {
+            self.publish();
+        }
+    }
+
+    fn publish(&self) {
+        if self.samples.is_empty() {
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let pick = |p: usize| sorted[(sorted.len() - 1) * p / 100] as usize;
+        seeker_obs::gauge!("serve.query.p50_us", pick(50));
+        seeker_obs::gauge!("serve.query.p99_us", pick(99));
+    }
+}
+
+/// Maps an engine error on the write path to a protocol error frame.
+fn attack_error_response(e: &AttackError) -> Response {
+    let code = match e {
+        AttackError::Ingest(_) => ERR_INGEST,
+        AttackError::Persist(_) => ERR_PERSIST,
+        _ => ERR_INTERNAL,
+    };
+    Response::Error { code, message: e.to_string() }
+}
+
+/// Maps a serve-layer error (snapshot envelope, …) to an error frame.
+fn serve_error_response(e: &ServeError) -> Response {
+    match e {
+        ServeError::Attack(a) => attack_error_response(a),
+        other => Response::Error { code: ERR_INTERNAL, message: other.to_string() },
+    }
+}
+
+/// The state thread's working set: the engine, the training POI table the
+/// snapshot envelope needs, and the ingest staging buffer.
+struct State {
+    engine: IncrementalAttack,
+    train_pois: Vec<Poi>,
+    staged: Vec<CheckIn>,
+    flush_due: Option<Instant>,
+    latency: LatencyRing,
+    cfg: ServeConfig,
+    /// Client batches accepted (before coalescing — the engine's own count
+    /// is per *flush*, which merges many client batches into one append).
+    accepted_batches: u64,
+    /// Check-ins accepted across all client batches.
+    accepted_checkins: u64,
+}
+
+impl State {
+    /// Applies the staging buffer as one engine append.
+    fn flush(&mut self) {
+        self.flush_due = None;
+        if self.staged.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.staged);
+        seeker_obs::counter!("serve.ingest.flushes", 1);
+        if let Err(e) = self.engine.ingest(&batch) {
+            // Unreachable in practice: every staged batch already passed
+            // `validate_batch` against the immutable tables, and staging
+            // cannot invalidate it. Keep serving rather than crash.
+            seeker_obs::info!("serve: staged flush failed: {e}");
+        }
+    }
+
+    fn handle_ingest(&mut self, batch: Vec<CheckIn>) -> Response {
+        match self.engine.validate_batch(&batch) {
+            Ok(()) => {
+                seeker_obs::counter!("serve.ingest.batches", 1);
+                let accepted = batch.len() as u32;
+                self.accepted_batches += 1;
+                self.accepted_checkins += u64::from(accepted);
+                self.staged.extend_from_slice(&batch);
+                if !self.staged.is_empty() && self.flush_due.is_none() {
+                    // lint:allow(no-system-time) -- flush-deadline pacing is inherently wall-clock
+                    self.flush_due = Some(Instant::now() + self.cfg.flush_deadline);
+                }
+                if self.staged.len() >= self.cfg.max_staged_checkins {
+                    self.flush();
+                }
+                Response::IngestOk { accepted }
+            }
+            Err(e) => {
+                seeker_obs::counter!("serve.ingest.rejected", 1);
+                attack_error_response(&e)
+            }
+        }
+    }
+
+    fn handle_query_pair(&mut self, a: u32, b: u32) -> Response {
+        self.flush();
+        // lint:allow(no-system-time) -- client-visible latency gauge
+        let t0 = Instant::now();
+        let resp = match self.engine.query_pair(UserId::new(a), UserId::new(b)) {
+            Ok(v) => {
+                seeker_obs::counter!("serve.query.hits", 1);
+                Response::Pair { friend: v.friend, probability: v.probability }
+            }
+            Err(e) => Response::Error { code: ERR_BAD_REQUEST, message: e.to_string() },
+        };
+        self.latency.record(t0.elapsed().as_micros() as u64);
+        resp
+    }
+
+    fn handle_top_k(&mut self, k: u32) -> Response {
+        self.flush();
+        // lint:allow(no-system-time) -- client-visible latency gauge
+        let t0 = Instant::now();
+        seeker_obs::counter!("serve.query.hits", 1);
+        let rows = self
+            .engine
+            .top_k(k as usize)
+            .into_iter()
+            .map(|(p, proba)| (p.lo().raw(), p.hi().raw(), proba))
+            .collect();
+        self.latency.record(t0.elapsed().as_micros() as u64);
+        Response::TopK(rows)
+    }
+
+    fn handle_snapshot(&mut self) -> Response {
+        self.flush();
+        match snapshot::save_session(&self.engine, &self.train_pois) {
+            Ok(blob) => Response::Snapshot(blob),
+            Err(e) => serve_error_response(&e),
+        }
+    }
+
+    fn handle_restore(&mut self, blob: Vec<u8>) -> Response {
+        // A restore replaces the whole session; staged-but-unapplied
+        // check-ins belong to the state being discarded, so drop them.
+        self.staged.clear();
+        self.flush_due = None;
+        match snapshot::restore_session(&blob, self.engine.options().clone()) {
+            Ok((engine, train_pois)) => {
+                self.engine = engine;
+                self.train_pois = train_pois;
+                Response::RestoreOk
+            }
+            // The old session is untouched on any restore failure.
+            Err(e) => serve_error_response(&e),
+        }
+    }
+
+    fn handle_stats(&mut self) -> Response {
+        self.flush();
+        let ds = self.engine.dataset();
+        let result = self.engine.result();
+        Response::Stats(ServeStats {
+            n_users: ds.n_users() as u64,
+            n_checkins: ds.n_checkins() as u64,
+            n_candidate_pairs: result.pairs.len() as u64,
+            n_edges: result.final_graph().n_edges() as u64,
+            ingested_batches: self.accepted_batches,
+            ingested_checkins: self.accepted_checkins,
+        })
+    }
+}
+
+/// The state thread's serving loop. Exits after a [`Job::Shutdown`], having
+/// closed the queue and answered every job that raced in.
+pub(crate) fn run(
+    queue: &JobQueue,
+    engine: IncrementalAttack,
+    train_pois: Vec<Poi>,
+    cfg: ServeConfig,
+) {
+    let mut st = State {
+        engine,
+        train_pois,
+        staged: Vec::new(),
+        flush_due: None,
+        latency: LatencyRing::new(),
+        cfg,
+        accepted_batches: 0,
+        accepted_checkins: 0,
+    };
+    loop {
+        let Some(job) = queue.pop(st.flush_due) else {
+            st.flush();
+            continue;
+        };
+        match job {
+            Job::Ingest(batch, reply) => {
+                let resp = st.handle_ingest(batch);
+                let _ = reply.send(resp);
+            }
+            Job::QueryPair { a, b, reply } => {
+                let resp = st.handle_query_pair(a, b);
+                let _ = reply.send(resp);
+            }
+            Job::QueryTopK { k, reply } => {
+                let resp = st.handle_top_k(k);
+                let _ = reply.send(resp);
+            }
+            Job::Snapshot(reply) => {
+                let resp = st.handle_snapshot();
+                let _ = reply.send(resp);
+            }
+            Job::Restore(blob, reply) => {
+                let resp = st.handle_restore(blob);
+                let _ = reply.send(resp);
+            }
+            Job::Stats(reply) => {
+                let resp = st.handle_stats();
+                let _ = reply.send(resp);
+            }
+            Job::Shutdown(reply) => {
+                st.flush();
+                let _ = reply.send(Response::ShutdownOk);
+                for job in queue.close() {
+                    let _ = job.reply().send(Response::Error {
+                        code: ERR_INTERNAL,
+                        message: "server is shutting down".into(),
+                    });
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn latency_ring_wraps_and_publishes() {
+        let mut r = LatencyRing::new();
+        for i in 0..(LatencyRing::CAP as u64 * 2 + 5) {
+            r.record(i);
+        }
+        assert_eq!(r.samples.len(), LatencyRing::CAP);
+        r.publish(); // must not panic on a full ring
+        let empty = LatencyRing::new();
+        empty.publish(); // nor on an empty one
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_and_drains() {
+        let q = JobQueue::new();
+        let (tx, _rx) = std::sync::mpsc::channel();
+        q.push(Job::Stats(tx.clone())).unwrap();
+        let drained = q.close();
+        assert_eq!(drained.len(), 1);
+        assert!(matches!(q.push(Job::Stats(tx)), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn pop_honors_an_expired_deadline() {
+        let q = JobQueue::new();
+        // lint:allow(no-system-time) -- testing the deadline path itself
+        let past = Instant::now() - Duration::from_millis(1);
+        assert!(q.pop(Some(past)).is_none());
+    }
+}

@@ -16,7 +16,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use seeker_trace::{Dataset, UserId, UserPair};
+use seeker_trace::{CheckIn, Dataset, UserId, UserPair};
 
 use crate::std_division::SpatialTemporalDivision;
 
@@ -108,6 +108,55 @@ impl CellIndex {
             "shard indices must cover disjoint cell ranges"
         );
         CellIndex { cells }
+    }
+
+    /// Applies a batch of appended check-ins to the index, in place.
+    ///
+    /// After `apply`, the index equals [`CellIndex::build`] over the
+    /// appended dataset: each in-division check-in inserts its `(cell,
+    /// user)` incidence, keeping cells and per-cell user lists sorted and
+    /// distinct. Out-of-division check-ins are skipped, exactly as at build
+    /// time.
+    ///
+    /// Returns the pairs newly co-located in a dirtied cell, sorted and
+    /// deduplicated: for every user newly entering a cell, that user paired
+    /// with every user already (or simultaneously) present there. This is a
+    /// *superset* of the pairs genuinely new to the candidate universe — a
+    /// returned pair may already share some other cell — so callers
+    /// maintaining a candidate list filter against it.
+    pub fn apply(
+        &mut self,
+        division: &SpatialTemporalDivision,
+        batch: &[CheckIn],
+    ) -> Vec<UserPair> {
+        let _span = seeker_obs::span!("spatial.cell_index.apply");
+        let mut fresh = Vec::new();
+        for c in batch {
+            let Some((grid, slot)) = division.cell_of(c) else { continue };
+            let flat = division.flat_index(grid, slot);
+            let cell_pos = match self.cells.binary_search_by_key(&flat, |&(f, _)| f) {
+                Ok(i) => i,
+                Err(i) => {
+                    // Runs once per *newly occupied* cell, not per check-in;
+                    // steady-state batches hit the binary-search Ok arm and
+                    // never allocate here.
+                    // lint:allow(hot-alloc) -- amortized: once per new cell
+                    self.cells.insert(i, (flat, Vec::new()));
+                    i
+                }
+            };
+            let users = &mut self.cells[cell_pos].1;
+            if let Err(user_pos) = users.binary_search(&c.user) {
+                for &other in users.iter() {
+                    fresh.push(UserPair::new(other, c.user));
+                }
+                users.insert(user_pos, c.user);
+            }
+        }
+        fresh.sort_unstable();
+        fresh.dedup();
+        seeker_obs::counter!("spatial.cell_index.applied_pairs", fresh.len() as u64);
+        fresh
     }
 
     /// Number of occupied cells in the index.
@@ -336,6 +385,46 @@ mod tests {
                 assert_eq!((ca, ua), (cb, ub), "shard count {n_shards}");
             }
         }
+    }
+
+    #[test]
+    fn apply_equals_rebuild() {
+        let (ds, std) = fixture();
+        // Split the check-ins: index the prefix, apply the suffix as a batch.
+        let all = ds.checkins().to_vec();
+        for split in [0usize, 1, all.len() / 3, all.len() - 1, all.len()] {
+            let prefix = ds.with_checkins(all[..split].to_vec()).unwrap();
+            let mut index = CellIndex::build(&prefix, &std);
+            let before: BTreeSet<UserPair> = index.candidate_pairs().into_iter().collect();
+            let fresh = index.apply(&std, &all[split..]);
+            let full = CellIndex::build(&ds, &std);
+            assert_eq!(index.n_cells(), full.n_cells(), "split {split}");
+            for ((ca, ua), (cb, ub)) in index.cells().zip(full.cells()) {
+                assert_eq!((ca, ua), (cb, ub), "split {split}");
+            }
+            // Fresh pairs are sorted, distinct, and cover every pair that is
+            // a candidate after but not before.
+            assert!(fresh.windows(2).all(|w| w[0] < w[1]), "split {split}");
+            let after: BTreeSet<UserPair> = index.candidate_pairs().into_iter().collect();
+            let fresh_set: BTreeSet<UserPair> = fresh.iter().copied().collect();
+            for pair in after.difference(&before) {
+                assert!(fresh_set.contains(pair), "split {split}: {pair} missed");
+            }
+            // And every fresh pair is a candidate afterwards.
+            assert!(fresh_set.is_subset(&after), "split {split}");
+        }
+    }
+
+    #[test]
+    fn apply_skips_out_of_division_checkins() {
+        let (ds, std) = fixture();
+        let mut index = CellIndex::build(&ds, &std);
+        let n_before = index.n_cells();
+        let late = Timestamp::from_secs(std.slots().end().as_secs() + 86_400);
+        let c = ds.checkins()[0];
+        let fresh = index.apply(&std, &[seeker_trace::CheckIn::new(c.user, c.poi, late)]);
+        assert!(fresh.is_empty());
+        assert_eq!(index.n_cells(), n_before);
     }
 
     #[test]

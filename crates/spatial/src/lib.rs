@@ -21,6 +21,7 @@
 #![deny(missing_docs)]
 
 mod cell_index;
+mod delta;
 mod joc;
 #[cfg(test)]
 mod proptests;
@@ -31,6 +32,8 @@ mod timeslot;
 
 /// Inverted STD cell index and co-occurrence candidate generation.
 pub use cell_index::{candidate_pairs, CellIndex};
+/// STD footprint of an appended check-in batch (incremental ingestion).
+pub use delta::DataDelta;
 /// Joint occurrence cuboids over STD cells (Definition 4).
 pub use joc::{Joc, JocCell};
 /// Point-region quadtree with σ-capacity leaves.

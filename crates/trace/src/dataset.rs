@@ -229,6 +229,115 @@ impl Dataset {
         })
     }
 
+    /// Returns a copy of this dataset with `batch` appended to the check-in
+    /// collection.
+    ///
+    /// The result is *defined* to equal `with_checkins(existing ++ batch)` —
+    /// appending is a pure dataset-growth operation; users, POIs and
+    /// friendships are untouched. The merge is a linear sorted merge (the
+    /// existing check-ins are already sorted by `(user, time, poi)`), so
+    /// repeated small appends avoid a full re-sort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Invalid`] if any check-in in `batch` references
+    /// an unknown user or POI. On error the dataset is unchanged (the method
+    /// takes `&self`).
+    pub fn append_batch(&self, batch: &[CheckIn]) -> Result<Dataset> {
+        if let Some(c) = batch.iter().find(|c| c.user.index() >= self.n_users()) {
+            return Err(TraceError::Invalid(format!(
+                "check-in references unknown user {}",
+                c.user
+            )));
+        }
+        if let Some(c) = batch.iter().find(|c| c.poi.index() >= self.n_pois()) {
+            return Err(TraceError::Invalid(format!("check-in references unknown poi {}", c.poi)));
+        }
+        let mut incoming = batch.to_vec();
+        incoming.sort_by_key(|c| (c.user, c.time, c.poi));
+        // Stable linear merge of two runs sorted by the same key. Ties break
+        // toward the existing side, which matches what a stable re-sort of
+        // `existing ++ batch` would produce.
+        let key = |c: &CheckIn| (c.user, c.time, c.poi);
+        let mut merged = Vec::with_capacity(self.checkins.len() + incoming.len());
+        let mut ia = self.checkins.iter().peekable();
+        let mut ib = incoming.iter().peekable();
+        loop {
+            match (ia.peek(), ib.peek()) {
+                (Some(&a), Some(&b)) => {
+                    if key(a) <= key(b) {
+                        merged.push(*a);
+                        ia.next();
+                    } else {
+                        merged.push(*b);
+                        ib.next();
+                    }
+                }
+                (Some(&a), None) => {
+                    merged.push(*a);
+                    ia.next();
+                }
+                (None, Some(&b)) => {
+                    merged.push(*b);
+                    ib.next();
+                }
+                (None, None) => break,
+            }
+        }
+        let (checkins, user_spans) = sort_and_span(merged, self.n_users());
+        Ok(Dataset {
+            name: self.name.clone(),
+            pois: self.pois.clone(),
+            checkins,
+            user_spans,
+            friendships: self.friendships.clone(),
+            adjacency: self.adjacency.clone(),
+        })
+    }
+
+    /// Reassembles a dataset from exact parts, bypassing the builder's
+    /// sparse-user filtering and raw-id renumbering.
+    ///
+    /// This is the snapshot-restore constructor: [`DatasetBuilder`] cannot
+    /// round-trip an arbitrary dataset (it renumbers ids and drops users
+    /// below its check-in floor), so persisted snapshots rebuild through
+    /// here. `friendships` may be empty — a serving-side target dataset
+    /// carries no ground truth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Invalid`] if a check-in or friendship references
+    /// an id outside `0..n_users` / the POI table.
+    pub fn from_parts(
+        name: impl Into<String>,
+        n_users: usize,
+        pois: Vec<Poi>,
+        checkins: Vec<CheckIn>,
+        friendships: impl IntoIterator<Item = UserPair>,
+    ) -> Result<Dataset> {
+        if let Some(c) = checkins.iter().find(|c| c.user.index() >= n_users) {
+            return Err(TraceError::Invalid(format!(
+                "check-in references unknown user {}",
+                c.user
+            )));
+        }
+        if let Some(c) = checkins.iter().find(|c| c.poi.index() >= pois.len()) {
+            return Err(TraceError::Invalid(format!("check-in references unknown poi {}", c.poi)));
+        }
+        let mut edges = BTreeSet::new();
+        for pair in friendships {
+            if pair.hi().index() >= n_users {
+                return Err(TraceError::Invalid(format!(
+                    "friendship references unknown user {pair}"
+                )));
+            }
+            edges.insert(pair);
+        }
+        let (checkins, user_spans) = sort_and_span(checkins, n_users);
+        let adjacency = build_adjacency(&edges, n_users);
+        Ok(Dataset { name: name.into(), pois, checkins, user_spans, friendships: edges, adjacency })
+    }
+
     /// The induced sub-dataset on `users`: keeps only their check-ins and the
     /// friendships among them, renumbering users densely in the order given.
     ///
@@ -549,6 +658,70 @@ mod tests {
         // Unknown poi rejected.
         let bad = vec![CheckIn::new(UserId::new(0), PoiId::new(99), Timestamp::from_secs(0))];
         assert!(ds.with_checkins(bad).is_err());
+    }
+
+    #[test]
+    fn append_batch_equals_with_checkins_rebuild() {
+        let ds = small();
+        let batch = vec![
+            CheckIn::new(UserId::new(2), PoiId::new(0), Timestamp::from_secs(7)),
+            CheckIn::new(UserId::new(0), PoiId::new(1), Timestamp::from_secs(1)), // tie on key
+            CheckIn::new(UserId::new(1), PoiId::new(1), Timestamp::from_secs(100)),
+        ];
+        let appended = ds.append_batch(&batch).unwrap();
+        let mut all = ds.checkins().to_vec();
+        all.extend_from_slice(&batch);
+        let rebuilt = ds.with_checkins(all).unwrap();
+        assert_eq!(appended.checkins(), rebuilt.checkins());
+        for u in appended.users() {
+            assert_eq!(appended.trajectory(u), rebuilt.trajectory(u));
+        }
+        // Unknown ids rejected, dataset untouched.
+        assert!(ds
+            .append_batch(&[CheckIn::new(UserId::new(99), PoiId::new(0), Timestamp::from_secs(0))])
+            .is_err());
+        assert!(ds
+            .append_batch(&[CheckIn::new(UserId::new(0), PoiId::new(99), Timestamp::from_secs(0))])
+            .is_err());
+        // Empty append is the identity.
+        assert_eq!(ds.append_batch(&[]).unwrap().checkins(), ds.checkins());
+    }
+
+    #[test]
+    fn from_parts_round_trips_exactly() {
+        let ds = small();
+        let rt = Dataset::from_parts(
+            ds.name(),
+            ds.n_users(),
+            ds.pois().to_vec(),
+            ds.checkins().to_vec(),
+            ds.friendships(),
+        )
+        .unwrap();
+        assert_eq!(rt.n_users(), ds.n_users());
+        assert_eq!(rt.checkins(), ds.checkins());
+        assert_eq!(rt.n_links(), ds.n_links());
+        // Zero-check-in users survive (no builder filtering).
+        let sparse = Dataset::from_parts("sparse", 3, ds.pois().to_vec(), Vec::new(), []).unwrap();
+        assert_eq!(sparse.n_users(), 3);
+        assert_eq!(sparse.trajectory(UserId::new(2)), &[]);
+        // Out-of-range ids rejected.
+        assert!(Dataset::from_parts(
+            "bad",
+            1,
+            ds.pois().to_vec(),
+            vec![CheckIn::new(UserId::new(1), PoiId::new(0), Timestamp::from_secs(0))],
+            [],
+        )
+        .is_err());
+        assert!(Dataset::from_parts(
+            "bad",
+            1,
+            ds.pois().to_vec(),
+            Vec::new(),
+            [UserPair::new(UserId::new(0), UserId::new(5))],
+        )
+        .is_err());
     }
 
     #[test]
